@@ -1,0 +1,93 @@
+//===- bench/BenchSupport.cpp ----------------------------------------------==//
+
+#include "BenchSupport.h"
+
+#include "stats/Stats.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::harness;
+
+Registry &ren::bench::registry() {
+  static Registry *R = [] {
+    auto *Reg = new Registry();
+    workloads::registerAllBenchmarks(*Reg);
+    return Reg;
+  }();
+  return *R;
+}
+
+std::vector<BenchmarkId> ren::bench::allBenchmarks() {
+  std::vector<BenchmarkId> Out;
+  for (Suite S : {Suite::Renaissance, Suite::DaCapo, Suite::ScalaBench,
+                  Suite::SpecJvm2008})
+    for (const std::string &Name : registry().names(S))
+      Out.push_back(BenchmarkId{S, Name});
+  return Out;
+}
+
+std::vector<RunResult> ren::bench::collectAllMetrics(bool Quick) {
+  Runner::Options Opts;
+  if (Quick) {
+    Opts.WarmupOverride = 1;
+    Opts.MeasuredOverride = 1;
+  }
+  Runner R(Opts);
+  std::vector<RunResult> Results;
+  for (const BenchmarkId &Id : allBenchmarks()) {
+    auto B = registry().create(Id.Suite, Id.Name);
+    Results.push_back(R.run(*B));
+  }
+  return Results;
+}
+
+std::vector<double> ren::bench::noisySamples(uint64_t BaseCycles, unsigned N,
+                                             uint64_t Seed, double Sigma) {
+  Xoshiro256StarStar Rng(Seed);
+  std::vector<double> Samples;
+  Samples.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Samples.push_back(static_cast<double>(BaseCycles) *
+                      std::exp(Sigma * Rng.nextGaussian()));
+  return Samples;
+}
+
+ImpactCell ren::bench::impactCell(uint64_t CyclesWith,
+                                  uint64_t CyclesWithout, uint64_t Seed) {
+  constexpr unsigned kExecutions = 15; // paper supplemental §C
+  std::vector<double> With =
+      stats::winsorize(noisySamples(CyclesWith, kExecutions, Seed), 0.1);
+  std::vector<double> Without = stats::winsorize(
+      noisySamples(CyclesWithout, kExecutions, Seed ^ 0x517EC0DE), 0.1);
+  ImpactCell Cell;
+  Cell.Impact = (stats::mean(Without) - stats::mean(With)) /
+                stats::mean(With);
+  Cell.PValue = stats::welchTTest(With, Without).PValue;
+  return Cell;
+}
+
+std::vector<BenchmarkImpactRow> ren::bench::computeImpactMatrix() {
+  std::vector<BenchmarkImpactRow> Rows;
+  uint64_t Seed = 0xF165;
+  for (const BenchmarkId &Id : allBenchmarks()) {
+    const char *SuiteStr = suiteName(Id.Suite);
+    if (!jit::kernels::hasKernel(SuiteStr, Id.Name))
+      continue;
+    jit::kernels::Kernel K = jit::kernels::kernelFor(SuiteStr, Id.Name);
+    jit::KernelRun Base = jit::runKernel(K, jit::OptConfig::graal());
+
+    BenchmarkImpactRow Row;
+    Row.Id = Id;
+    Row.BaselineCycles = Base.Cycles;
+    for (const std::string &Pass : jit::OptConfig::passShortNames()) {
+      jit::KernelRun Without =
+          jit::runKernel(K, jit::OptConfig::graalWithout(Pass));
+      Row.Cells.push_back(impactCell(Base.Cycles, Without.Cycles, Seed++));
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}

@@ -1,0 +1,78 @@
+//===- bench/BenchSupport.h - Shared experiment plumbing --------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure regeneration binaries: running the
+/// whole registry with the metrics plugin, enumerating benchmarks in the
+/// paper's suite order, and the measurement-noise model used to feed the
+/// significance tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_BENCH_BENCHSUPPORT_H
+#define REN_BENCH_BENCHSUPPORT_H
+
+#include "harness/Harness.h"
+#include "jit/Experiment.h"
+#include "workloads/Workloads.h"
+
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace bench {
+
+/// (suite, benchmark-name) in registration order.
+struct BenchmarkId {
+  harness::Suite Suite;
+  std::string Name;
+};
+
+/// Returns the registry with all four suites registered (singleton).
+harness::Registry &registry();
+
+/// All benchmarks in paper order (Renaissance, DaCapo, ScalaBench, SPEC).
+std::vector<BenchmarkId> allBenchmarks();
+
+/// Runs every benchmark once through the harness with the metrics plugin
+/// and returns steady-state results in allBenchmarks() order. \p Quick
+/// shrinks the protocol to 1 warmup + 1 measured iteration.
+std::vector<harness::RunResult> collectAllMetrics(bool Quick);
+
+/// The paper executes each configuration 15 times on real hardware; our
+/// interpreter is deterministic, so run-to-run variance is modelled as a
+/// seeded log-normal perturbation (sigma ~ 1.5%, documented in DESIGN.md).
+/// Returns \p N samples around \p BaseCycles.
+std::vector<double> noisySamples(uint64_t BaseCycles, unsigned N,
+                                 uint64_t Seed, double Sigma = 0.015);
+
+/// The impact measurement of §6 for one benchmark and one optimization:
+/// mean relative change when the pass is disabled, with Welch's p-value
+/// over the winsorized 15-sample sets.
+struct ImpactCell {
+  double Impact = 0.0; ///< (mean_without - mean_with) / mean_with
+  double PValue = 1.0;
+};
+
+/// Computes the impact cell from the two deterministic cycle counts.
+ImpactCell impactCell(uint64_t CyclesWith, uint64_t CyclesWithout,
+                      uint64_t Seed);
+
+/// Runs the benchmark's kernel under graal and all seven leave-one-out
+/// configurations. Row layout follows OptConfig::passShortNames().
+struct BenchmarkImpactRow {
+  BenchmarkId Id;
+  uint64_t BaselineCycles = 0;
+  std::vector<ImpactCell> Cells; ///< one per pass short name
+};
+
+/// Computes the full Figure 5 data set.
+std::vector<BenchmarkImpactRow> computeImpactMatrix();
+
+} // namespace bench
+} // namespace ren
+
+#endif // REN_BENCH_BENCHSUPPORT_H

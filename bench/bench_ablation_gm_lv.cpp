@@ -1,0 +1,67 @@
+//===- bench/bench_ablation_gm_lv.cpp -------------------------------------==//
+//
+// Ablation for the §5.5/§5.6 interaction: "by disabling speculative guard
+// motion, loop vectorization almost never triggers". Runs a bounds-checked
+// array-reduction kernel (the als/dec-tree shape) under the four GM x LV
+// combinations and reports cycles and whether vector code was emitted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "jit/IrBuilder.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::jit;
+
+namespace {
+
+bool hasVectorCode(const Module &M) {
+  for (const auto &F : M.functions())
+    for (const auto &B : F->Blocks)
+      for (const auto &I : B->Insts)
+        if (I->Lanes > 1)
+          return true;
+  return false;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: guard motion enables vectorization ===\n");
+  std::printf("(bounds+null-checked reduction loop, the als/dec-tree "
+              "hot shape)\n\n");
+
+  // Build the coupled kernel directly: guards in a vectorizable loop.
+  kernels::Kernel K;
+  K.M = std::make_unique<Module>();
+  unsigned Arr = K.M->addArray(std::vector<int64_t>(20000, 3));
+  kernels::buildBoundsCheckedLoop(*K.M, "hot", Arr, 1);
+  K.Invocations.push_back({"hot", {16000, 1}});
+
+  TextTable T({"GM", "LV", "cycles", "vector code emitted",
+               "guards executed"});
+  for (bool Gm : {false, true})
+    for (bool Lv : {false, true}) {
+      OptConfig Config = OptConfig::graal();
+      Config.Gm = Gm;
+      Config.Lv = Lv;
+      auto M = K.M->clone();
+      compileModule(*M, Config);
+      bool Vectorized = hasVectorCode(*M);
+      KernelRun R = runKernel(K, Config);
+      T.addRow({Gm ? "on" : "off", Lv ? "on" : "off",
+                groupedInt(R.Cycles), Vectorized ? "yes" : "no",
+                groupedInt(R.Guards.total())});
+    }
+  std::printf("%s", T.render().c_str());
+  std::printf("paper's reading: with GM disabled, LV almost never "
+              "triggers — the in-loop bounds checks block it "
+              "(§5.6)\n");
+  return 0;
+}

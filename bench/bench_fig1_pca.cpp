@@ -1,0 +1,110 @@
+//===- bench/bench_fig1_pca.cpp -------------------------------------------==//
+//
+// Regenerates Table 3 and Figure 1 (and the larger Figure 8): principal
+// component analysis of the eleven Table 2 metrics across all benchmarks
+// (minus the paper's three exclusions), the loadings of each metric on
+// PC1-PC4, the per-benchmark scores, and the diversity observations of §4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "stats/Stats.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::harness;
+using namespace ren::stats;
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--full" ? false : true;
+  std::vector<RunResult> Results = collectAllMetrics(Quick);
+
+  // Build the N x 11 metric matrix, excluding tradebeans, actors and
+  // scimark.monte_carlo (paper supplemental §B).
+  std::vector<const RunResult *> Rows;
+  for (const RunResult &R : Results)
+    if (!workloads::isExcludedFromPca(R.Info.Name))
+      Rows.push_back(&R);
+
+  Matrix X(Rows.size(), 11);
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    auto Vec = Rows[R]->normalized().asVector();
+    for (size_t C = 0; C < 11; ++C)
+      X.at(R, C) = Vec[C];
+  }
+  PcaResult P = pca(standardize(X));
+
+  // Table 3: loadings on the first four PCs, sorted by |loading|.
+  auto Names = metrics::NormalizedMetrics::vectorNames();
+  std::printf("=== Table 3: metric loadings on PC1..PC4 ===\n");
+  for (unsigned Pc = 0; Pc < 4; ++Pc) {
+    std::vector<size_t> Order(11);
+    for (size_t I = 0; I < 11; ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return std::abs(P.Loadings.at(A, Pc)) > std::abs(P.Loadings.at(B, Pc));
+    });
+    TextTable T({"PC" + std::to_string(Pc + 1) + " metric", "loading"});
+    for (size_t I : Order) {
+      double L = P.Loadings.at(I, Pc);
+      T.addRow({Names[I], (L >= 0 ? "+" : "") + fixed(L, 2)});
+    }
+    std::printf("%s\n", T.render().c_str());
+  }
+
+  std::printf("variance explained by PC1..PC4: %.1f%% (paper: ~60%%)\n\n",
+              P.varianceExplained(4) * 100.0);
+
+  // Figure 1 / Figure 8: benchmark scores.
+  std::printf("=== Figure 1: benchmark scores on the first four PCs ===\n");
+  TextTable S({"benchmark", "suite", "PC1", "PC2", "PC3", "PC4"});
+  for (size_t R = 0; R < Rows.size(); ++R)
+    S.addRow({Rows[R]->Info.Name,
+              suiteName(Rows[R]->Info.BenchmarkSuite), fixed(P.Scores.at(R, 0), 2),
+              fixed(P.Scores.at(R, 1), 2), fixed(P.Scores.at(R, 2), 2),
+              fixed(P.Scores.at(R, 3), 2)});
+  std::printf("%s\n", S.render().c_str());
+
+  // §4.3's key diversity observation, quantified: Renaissance spans the
+  // concurrency-loaded components more widely than the other suites.
+  auto spanOf = [&](Suite Wanted, unsigned Pc) {
+    double Lo = 1e300, Hi = -1e300;
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      if (Rows[R]->Info.BenchmarkSuite != Wanted)
+        continue;
+      Lo = std::min(Lo, P.Scores.at(R, Pc));
+      Hi = std::max(Hi, P.Scores.at(R, Pc));
+    }
+    return Hi - Lo;
+  };
+  // Find the PC most loaded with the concurrency primitives
+  // (atomic+park+synch+wait+notify absolute loadings).
+  unsigned ConcPc = 0;
+  double BestLoad = -1;
+  for (unsigned Pc = 0; Pc < 4; ++Pc) {
+    double Load = std::abs(P.Loadings.at(3, Pc)) + // atomic
+                  std::abs(P.Loadings.at(4, Pc)) + // park
+                  std::abs(P.Loadings.at(0, Pc));  // synch
+    if (Load > BestLoad) {
+      BestLoad = Load;
+      ConcPc = Pc;
+    }
+  }
+  std::printf("=== Section 4.3 diversity check ===\n");
+  std::printf("most concurrency-loaded component: PC%u\n", ConcPc + 1);
+  TextTable Span({"suite", "score span on that PC"});
+  for (Suite Su : {Suite::Renaissance, Suite::DaCapo, Suite::ScalaBench,
+                   Suite::SpecJvm2008})
+    Span.addRow({suiteName(Su), fixed(spanOf(Su, ConcPc), 2)});
+  std::printf("%s", Span.render().c_str());
+  std::printf("paper's reading: Renaissance spans the concurrency "
+              "components much more widely than the other suites "
+              "(Fig 1a/1b)\n");
+  return 0;
+}

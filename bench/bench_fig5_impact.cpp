@@ -1,0 +1,137 @@
+//===- bench/bench_fig5_impact.cpp ----------------------------------------==//
+//
+// Regenerates Figure 5 and Tables 12-15: the impact of each of the seven
+// §5 optimizations on every benchmark of the four suites, with Welch
+// p-values, plus the paper's §6 summary claims (optimizations with >= 5%
+// impact per suite at alpha = 0.01, and per-suite median impacts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "support/Format.h"
+#include "support/Output.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::harness;
+
+namespace {
+
+void printSuiteTable(const std::vector<BenchmarkImpactRow> &Rows, Suite S,
+                     const char *Title) {
+  std::vector<std::string> Header = {"workload"};
+  for (const std::string &Pass : jit::OptConfig::passShortNames()) {
+    Header.push_back(Pass);
+    Header.push_back("p");
+  }
+  TextTable T(Header);
+  for (const BenchmarkImpactRow &Row : Rows) {
+    if (Row.Id.Suite != S)
+      continue;
+    std::vector<std::string> Cells = {Row.Id.Name};
+    for (const ImpactCell &C : Row.Cells) {
+      Cells.push_back(signedPercent(C.Impact));
+      Cells.push_back(fixed(C.PValue * 100, 0) + "%");
+    }
+    T.addRow(Cells);
+  }
+  std::printf("%s\n%s\n", Title, T.render().c_str());
+}
+
+/// Count of optimizations with an impact >= 5% on some suite benchmark at
+/// significance alpha (the paper's headline §6 claim).
+unsigned passesWithBigImpact(const std::vector<BenchmarkImpactRow> &Rows,
+                             Suite S, double Alpha) {
+  unsigned Count = 0;
+  size_t NumPasses = jit::OptConfig::passShortNames().size();
+  for (size_t P = 0; P < NumPasses; ++P) {
+    bool Big = false;
+    for (const BenchmarkImpactRow &Row : Rows)
+      if (Row.Id.Suite == S && Row.Cells[P].Impact >= 0.05 &&
+          Row.Cells[P].PValue < Alpha)
+        Big = true;
+    Count += Big ? 1 : 0;
+  }
+  return Count;
+}
+
+/// Median of the significant impacts on a suite (paper: median impact of
+/// the significant results).
+double medianSignificantImpact(const std::vector<BenchmarkImpactRow> &Rows,
+                               Suite S, double Alpha) {
+  std::vector<double> Significant;
+  for (const BenchmarkImpactRow &Row : Rows)
+    for (const ImpactCell &C : Row.Cells)
+      if (Row.Id.Suite == S && C.PValue < Alpha && C.Impact > 0)
+        Significant.push_back(C.Impact);
+  if (Significant.empty())
+    return 0.0;
+  std::sort(Significant.begin(), Significant.end());
+  return Significant[Significant.size() / 2];
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 5 / Tables 12-15: optimization impact ===\n");
+  std::printf("(impact = relative slowdown when the optimization is "
+              "disabled; p from Welch's t-test over 15 winsorized "
+              "executions)\n\n");
+
+  std::vector<BenchmarkImpactRow> Rows = computeImpactMatrix();
+
+  printSuiteTable(Rows, Suite::Renaissance,
+                  "Table 12. Optimization impact - Renaissance");
+  printSuiteTable(Rows, Suite::DaCapo,
+                  "Table 13. Optimization impact - DaCapo");
+  printSuiteTable(Rows, Suite::ScalaBench,
+                  "Table 14. Optimization impact - ScalaBench");
+  printSuiteTable(Rows, Suite::SpecJvm2008,
+                  "Table 15. Optimization impact - SPECjvm2008");
+
+  std::printf("=== Section 6 summary (alpha = 0.01) ===\n");
+  constexpr double Alpha = 0.01;
+  struct SuiteClaim {
+    Suite S;
+    const char *Name;
+    unsigned PaperBigImpact;
+    double PaperMedian;
+  };
+  const SuiteClaim Claims[] = {
+      {Suite::Renaissance, "Renaissance", 7, 0.064},
+      {Suite::ScalaBench, "ScalaBench", 2, 0.028},
+      {Suite::DaCapo, "DaCapo", 1, 0.018},
+      {Suite::SpecJvm2008, "SPECjvm2008", 3, 0.039},
+  };
+  TextTable Summary({"suite", "opts >=5% (measured)", "opts >=5% (paper)",
+                     "median impact (measured)", "median impact (paper)"});
+  for (const SuiteClaim &C : Claims) {
+    Summary.addRow({C.Name,
+                    std::to_string(passesWithBigImpact(Rows, C.S, Alpha)) +
+                        " of 7",
+                    std::to_string(C.PaperBigImpact) + " of 7",
+                    fixed(medianSignificantImpact(Rows, C.S, Alpha) * 100,
+                          1) + "%",
+                    fixed(C.PaperMedian * 100, 1) + "%"});
+  }
+  std::printf("%s\n", Summary.render().c_str());
+
+  // Machine-readable dump (one row per benchmark x optimization).
+  std::printf("=== CSV ===\n");
+  CsvWriter W;
+  W.addRow({"suite", "benchmark", "optimization", "impact", "p_value"});
+  for (const BenchmarkImpactRow &Row : Rows) {
+    const auto &Passes = jit::OptConfig::passShortNames();
+    for (size_t P = 0; P < Passes.size(); ++P)
+      W.addRow({suiteName(Row.Id.Suite), Row.Id.Name, Passes[P],
+                fixed(Row.Cells[P].Impact, 4),
+                fixed(Row.Cells[P].PValue, 4)});
+  }
+  std::fputs(W.str().c_str(), stdout);
+  return 0;
+}

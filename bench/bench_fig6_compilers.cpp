@@ -1,0 +1,88 @@
+//===- bench/bench_fig6_compilers.cpp -------------------------------------==//
+//
+// Regenerates Figure 6: performance of the Graal-style configuration
+// relative to the C2-style configuration on every benchmark, with 99%
+// confidence intervals, plus the paper's §6 summary (how many benchmarks
+// each compiler wins and the median speedups).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "stats/Stats.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::harness;
+
+int main() {
+  std::printf("=== Figure 6: Graal-config performance relative to "
+              "C2-config ===\n");
+  std::printf("(speedup = c2 cycles / graal cycles; CI from 15 noisy "
+              "executions at 99%%)\n\n");
+
+  TextTable T({"workload", "suite", "speedup", "ci-low", "ci-high",
+               "verdict"});
+  unsigned GraalBetter = 0, C2Better = 0, Ties = 0;
+  std::vector<double> GraalWins, C2Wins;
+  uint64_t Seed = 0xF16;
+
+  for (const BenchmarkId &Id : allBenchmarks()) {
+    const char *SuiteStr = suiteName(Id.Suite);
+    jit::kernels::Kernel K = jit::kernels::kernelFor(SuiteStr, Id.Name);
+    jit::KernelRun Graal = jit::runKernel(K, jit::OptConfig::graal());
+    jit::KernelRun C2 = jit::runKernel(K, jit::OptConfig::c2());
+
+    // Ratio samples: paired noisy executions.
+    std::vector<double> GraalTimes = noisySamples(Graal.Cycles, 15, Seed++);
+    std::vector<double> C2Times = noisySamples(C2.Cycles, 15, Seed++);
+    std::vector<double> Ratios;
+    for (size_t I = 0; I < GraalTimes.size(); ++I)
+      Ratios.push_back(C2Times[I] / GraalTimes[I]);
+    auto [Lo, Hi] = stats::meanConfidenceInterval(Ratios, 0.01);
+    double Speedup = stats::mean(Ratios);
+
+    const char *Verdict;
+    if (Lo > 1.0) {
+      Verdict = "graal";
+      ++GraalBetter;
+      GraalWins.push_back(Speedup);
+    } else if (Hi < 1.0) {
+      Verdict = "c2";
+      ++C2Better;
+      C2Wins.push_back(1.0 / Speedup);
+    } else {
+      Verdict = "tie";
+      ++Ties;
+    }
+    T.addRow({Id.Name, SuiteStr, fixed(Speedup, 3), fixed(Lo, 3),
+              fixed(Hi, 3), Verdict});
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  auto median = [](std::vector<double> V) {
+    if (V.empty())
+      return 0.0;
+    std::sort(V.begin(), V.end());
+    return V[V.size() / 2];
+  };
+  std::printf("=== Section 6 summary ===\n");
+  TextTable S({"quantity", "measured", "paper"});
+  S.addRow({"benchmarks where graal is better",
+            std::to_string(GraalBetter) + " of 68", "51 of 68"});
+  S.addRow({"benchmarks where c2 is better",
+            std::to_string(C2Better) + " of 68", "10 of 68"});
+  S.addRow({"no significant difference", std::to_string(Ties) + " of 68",
+            "7 of 68"});
+  S.addRow({"median speedup where graal better",
+            signedPercent(median(GraalWins) - 1.0), "+20%"});
+  S.addRow({"median slowdown where c2 better",
+            signedPercent(median(C2Wins) - 1.0), "+4%"});
+  std::printf("%s\n", S.render().c_str());
+  return 0;
+}

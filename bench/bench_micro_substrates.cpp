@@ -1,0 +1,209 @@
+//===- bench/bench_micro_substrates.cpp -----------------------------------==//
+//
+// Google-benchmark microbenchmarks of the substrate libraries: the
+// instrumented primitives, fork/join, STM, actors, futures, streams,
+// netsim, kvstore and the cache simulator. These are not paper artifacts;
+// they quantify the building blocks the workloads run on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "actors/ActorSystem.h"
+#include "forkjoin/ForkJoinPool.h"
+#include "futures/Future.h"
+#include "kvstore/KvStore.h"
+#include "memsim/MemSim.h"
+#include "netsim/NetSim.h"
+#include "rx/Observable.h"
+#include "stm/Stm.h"
+#include "streams/Stream.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace ren;
+
+static void BM_MonitorUncontended(benchmark::State &State) {
+  runtime::Monitor M;
+  for (auto _ : State) {
+    runtime::Synchronized Sync(M);
+    benchmark::DoNotOptimize(&M);
+  }
+}
+BENCHMARK(BM_MonitorUncontended);
+
+static void BM_AtomicCas(benchmark::State &State) {
+  runtime::Atomic<long> A(0);
+  long V = 0;
+  for (auto _ : State) {
+    A.compareAndSwap(V, V + 1);
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_AtomicCas);
+
+static void BM_SharedRandomNextDouble(benchmark::State &State) {
+  runtime::SharedRandom Rng(42);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Rng.nextDouble());
+}
+BENCHMARK(BM_SharedRandomNextDouble);
+
+static void BM_ParkUnpark(benchmark::State &State) {
+  runtime::Parker P;
+  for (auto _ : State) {
+    P.unpark();
+    P.park();
+  }
+}
+BENCHMARK(BM_ParkUnpark);
+
+static void BM_MethodHandleInvoke(benchmark::State &State) {
+  auto H = runtime::bindLambda<long(long)>([](long X) { return X * 31; });
+  long V = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(V = H.invoke(V));
+}
+BENCHMARK(BM_MethodHandleInvoke);
+
+static void BM_ForkJoinParallelFor(benchmark::State &State) {
+  forkjoin::ForkJoinPool Pool(2);
+  std::vector<long> Data(static_cast<size_t>(State.range(0)), 1);
+  for (auto _ : State) {
+    std::atomic<long> Sum{0};
+    Pool.parallelFor(0, Data.size(), 256, [&](size_t Lo, size_t Hi) {
+      long Local = 0;
+      for (size_t I = Lo; I < Hi; ++I)
+        Local += Data[I];
+      Sum.fetch_add(Local);
+    });
+    benchmark::DoNotOptimize(Sum.load());
+  }
+}
+BENCHMARK(BM_ForkJoinParallelFor)->Arg(1 << 10)->Arg(1 << 14);
+
+static void BM_StmIncrement(benchmark::State &State) {
+  stm::TVar<long> Counter(0);
+  for (auto _ : State)
+    stm::atomically([&](stm::Transaction &Txn) {
+      Counter.set(Txn, Counter.get(Txn) + 1);
+    });
+}
+BENCHMARK(BM_StmIncrement);
+
+static void BM_StmReadOnlyScan(benchmark::State &State) {
+  std::vector<std::unique_ptr<stm::TVar<long>>> Vars;
+  for (int I = 0; I < 32; ++I)
+    Vars.push_back(std::make_unique<stm::TVar<long>>(I));
+  for (auto _ : State) {
+    long Sum = stm::atomically([&](stm::Transaction &Txn) {
+      long S = 0;
+      for (auto &V : Vars)
+        S += V->get(Txn);
+      return S;
+    });
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_StmReadOnlyScan);
+
+static void BM_ActorPingPong(benchmark::State &State) {
+  struct Echo : actors::Actor<int> {
+    explicit Echo(std::atomic<long> &N) : N(N) {}
+    void receive(int M) override { N.fetch_add(M); }
+    std::atomic<long> &N;
+  };
+  std::atomic<long> N{0};
+  actors::ActorSystem Sys(2);
+  auto Ref = Sys.spawn<Echo>(N);
+  for (auto _ : State) {
+    Ref.tell(1);
+  }
+  Sys.awaitQuiescence();
+  benchmark::DoNotOptimize(N.load());
+}
+BENCHMARK(BM_ActorPingPong);
+
+static void BM_FutureMapChain(benchmark::State &State) {
+  for (auto _ : State) {
+    auto F = futures::Future<int>::value(1)
+                 .map([](const int &X) { return X + 1; })
+                 .map([](const int &X) { return X * 2; });
+    benchmark::DoNotOptimize(F.get());
+  }
+}
+BENCHMARK(BM_FutureMapChain);
+
+static void BM_StreamPipeline(benchmark::State &State) {
+  std::vector<int> Input(static_cast<size_t>(State.range(0)));
+  std::iota(Input.begin(), Input.end(), 0);
+  for (auto _ : State) {
+    auto Sum = streams::Stream<int>::of(Input)
+                   .map([](const int &X) { return X * 3; })
+                   .filter([](const int &X) { return X % 2 == 0; })
+                   .template reduce<long>(
+                       0, [](long A, const int &X) { return A + X; },
+                       [](long A, long B) { return A + B; });
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_StreamPipeline)->Arg(1 << 10);
+
+static void BM_RxPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Last = rx::Observable<int>::range(0, 512)
+                    .map([](const int &X) { return X * 2; })
+                    .filter([](const int &X) { return X % 3 == 0; })
+                    .reduce(0, [](int A, const int &X) { return A + X; })
+                    .blockingLast();
+    benchmark::DoNotOptimize(Last);
+  }
+}
+BENCHMARK(BM_RxPipeline);
+
+static void BM_NetsimRpc(benchmark::State &State) {
+  netsim::Server Srv("echo",
+                     [](const netsim::Bytes &B) { return B; }, 1);
+  auto Conn = Srv.connect();
+  netsim::Bytes Req = {1, 2, 3, 4};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Conn->call(Req).get());
+  Conn->close();
+}
+BENCHMARK(BM_NetsimRpc);
+
+static void BM_KvStorePut(benchmark::State &State) {
+  kvstore::Table T(64);
+  uint64_t K = 0;
+  for (auto _ : State)
+    T.put(K++ & 0xFFFF, "value");
+}
+BENCHMARK(BM_KvStorePut);
+
+static void BM_KvStoreTransaction(benchmark::State &State) {
+  kvstore::Database Db;
+  Db.table("t").put(1, "a");
+  Db.table("t").put(2, "b");
+  for (auto _ : State) {
+    auto R = Db.transact({
+        {kvstore::Database::Op::Kind::Get, "t", 1, ""},
+        {kvstore::Database::Op::Kind::Put, "t", 2, "c"},
+    });
+    benchmark::DoNotOptimize(R.Reads.size());
+  }
+}
+BENCHMARK(BM_KvStoreTransaction);
+
+static void BM_CacheSimAccess(benchmark::State &State) {
+  memsim::MemorySystem MS;
+  uint64_t Addr = 0;
+  for (auto _ : State) {
+    MS.access(Addr, 8, memsim::AccessKind::Data);
+    Addr = (Addr + 4096 + 64) & 0xFFFFF;
+  }
+  benchmark::DoNotOptimize(MS.totalMisses());
+}
+BENCHMARK(BM_CacheSimAccess);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+//===- bench/bench_table7_metrics.cpp -------------------------------------==//
+//
+// Regenerates Table 7 (supplemental §D): the unnormalized values of the
+// eleven Table 2 metrics for every benchmark of the four suites, collected
+// by running each workload to steady state under the instrumented runtime
+// with the cache simulator enabled.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+#include "support/Clock.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::bench;
+using namespace ren::harness;
+using namespace ren::metrics;
+
+int main(int Argc, char **Argv) {
+  bool Quick = Argc > 1 && std::string(Argv[1]) == "--full" ? false : true;
+  std::printf("=== Table 7: unnormalized metrics, all benchmarks ===\n");
+  std::printf("(steady-state counts; %s protocol)\n\n",
+              Quick ? "quick 1+1 iteration" : "full warmup");
+
+  std::vector<RunResult> Results = collectAllMetrics(Quick);
+
+  Suite Current = Suite::Renaissance;
+  bool First = true;
+  TextTable *T = nullptr;
+  auto flush = [&] {
+    if (T) {
+      std::printf("%s\n", T->render().c_str());
+      delete T;
+      T = nullptr;
+    }
+  };
+  for (const RunResult &R : Results) {
+    if (First || R.Info.BenchmarkSuite != Current) {
+      flush();
+      Current = R.Info.BenchmarkSuite;
+      First = false;
+      std::printf("--- %s ---\n", suiteName(Current));
+      T = new TextTable({"benchmark", "synch", "wait", "notify", "atomic",
+                         "park", "cpu", "cachemiss", "object", "array",
+                         "method", "idynamic"});
+    }
+    const MetricSnapshot &D = R.SteadyDelta;
+    T->addRow({R.Info.Name,
+               scientific(static_cast<double>(D.get(Metric::Synch))),
+               scientific(static_cast<double>(D.get(Metric::Wait))),
+               scientific(static_cast<double>(D.get(Metric::Notify))),
+               scientific(static_cast<double>(D.get(Metric::Atomic))),
+               scientific(static_cast<double>(D.get(Metric::Park))),
+               fixed(D.cpuUtilizationPercent(), 2),
+               scientific(static_cast<double>(D.get(Metric::CacheMiss))),
+               scientific(static_cast<double>(D.get(Metric::Object))),
+               scientific(static_cast<double>(D.get(Metric::Array))),
+               scientific(static_cast<double>(D.get(Metric::Method))),
+               scientific(static_cast<double>(D.get(Metric::IDynamic)))});
+  }
+  flush();
+
+  std::printf("Reference-cycle substitution: process CPU time at a nominal "
+              "%.1f GHz (see DESIGN.md).\n", kNominalHz / 1e9);
+  return 0;
+}

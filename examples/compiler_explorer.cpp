@@ -1,0 +1,108 @@
+//===- examples/compiler_explorer.cpp -------------------------------------==//
+//
+// Exploring the mini JIT: build an IR kernel by hand, dump it, run the §5
+// optimization passes one at a time, and watch the IR and the modelled
+// cycle count change — the workflow behind the paper's §5 case studies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Compiler.h"
+#include "jit/Interp.h"
+#include "jit/IrBuilder.h"
+#include "jit/Passes.h"
+
+#include <cstdio>
+
+using namespace ren::jit;
+
+namespace {
+
+uint64_t cyclesOf(const Module &M, const char *Fn,
+                  std::vector<int64_t> Args) {
+  Interpreter I(M);
+  return I.run(*M.function(Fn), Args).Cycles;
+}
+
+} // namespace
+
+int main() {
+  // Build the §5.1 pattern by hand: a loop allocating a box, CASing its
+  // field, and reading it back — the AtomicReference publish idiom.
+  Module M;
+  unsigned Box = M.addClass("Box", 1);
+  Function *F = M.addFunction("publish", 1);
+  {
+    IrBuilder B(*F);
+    BasicBlock *Entry = B.makeBlock("entry");
+    BasicBlock *Header = B.makeBlock("header");
+    BasicBlock *Body = B.makeBlock("body");
+    BasicBlock *Exit = B.makeBlock("exit");
+
+    B.setBlock(Entry);
+    Instruction *N = B.param(0);
+    Instruction *Zero = B.constant(0);
+    B.jump(Header);
+
+    B.setBlock(Header);
+    Instruction *I = B.phi();
+    Instruction *Acc = B.phi();
+    B.branch(B.cmpLt(I, N), Body, Exit);
+
+    B.setBlock(Body);
+    Instruction *O = B.newObject(Box);
+    B.putField(O, 0, I);
+    Instruction *One = B.constant(1);
+    Instruction *IPlus1 = B.add(I, One);
+    B.cas(O, 0, I, IPlus1);
+    Instruction *V = B.getField(O, 0);
+    Instruction *Acc2 = B.add(Acc, V);
+    Instruction *I2 = B.add(I, One);
+    B.jump(Header);
+
+    B.setBlock(Exit);
+    B.ret(Acc);
+
+    IrBuilder::addIncoming(I, Zero, Entry);
+    IrBuilder::addIncoming(I, I2, Body);
+    IrBuilder::addIncoming(Acc, Zero, Entry);
+    IrBuilder::addIncoming(Acc, Acc2, Body);
+    B.finish();
+  }
+
+  std::printf("=== IR before optimization ===\n%s\n", F->dump().c_str());
+  uint64_t Before = cyclesOf(M, "publish", {1000});
+  std::printf("modelled cycles for n=1000: %llu\n\n",
+              static_cast<unsigned long long>(Before));
+
+  // Baseline PEA (no atomics, the pre-paper state): bails on the CAS.
+  auto Baseline = M.clone();
+  bool BaselineChanged =
+      runEscapeAnalysis(*Baseline->function("publish"),
+                        /*HandleAtomics=*/false);
+  std::printf("partial escape analysis WITHOUT atomics support: %s\n\n",
+              BaselineChanged ? "transformed (unexpected!)"
+                              : "bails out on the CAS (paper 5.1)");
+
+  // EAWA: scalar-replaces the allocation, emulating the CAS.
+  runEscapeAnalysis(*F, /*HandleAtomics=*/true);
+  runConstantFolding(*F);
+  std::printf("=== IR after escape analysis with atomics ===\n%s\n",
+              F->dump().c_str());
+  uint64_t After = cyclesOf(M, "publish", {1000});
+  std::printf("modelled cycles for n=1000: %llu (%.1fx faster)\n\n",
+              static_cast<unsigned long long>(After),
+              static_cast<double>(Before) / static_cast<double>(After));
+
+  // Full pipelines for comparison.
+  for (const char *Config : {"graal", "c2"}) {
+    auto Clone = M.clone();
+    compileModule(*Clone, std::string(Config) == "graal"
+                              ? OptConfig::graal()
+                              : OptConfig::c2());
+    std::printf("%s pipeline: %llu cycles, %u IR nodes\n", Config,
+                static_cast<unsigned long long>(
+                    cyclesOf(*Clone, "publish", {1000})),
+                Clone->function("publish")->instructionCount());
+  }
+  return 0;
+}

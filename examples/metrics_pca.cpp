@@ -1,0 +1,66 @@
+//===- examples/metrics_pca.cpp -------------------------------------------==//
+//
+// Using the metrics + stats stack directly: profile a few workloads with
+// the metric counters, build the Table 2 metric matrix, and run the §4
+// PCA pipeline on it — a small-scale version of the diversity study.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "stats/Stats.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::stats;
+
+int main() {
+  workloads::registerAllBenchmarks();
+
+  // Profile a deliberately diverse slice of the suites (quick protocol).
+  const char *Picks[] = {"philosophers", "scrabble",   "fj-kmeans",
+                         "akka-uct",     "compress",   "scimark.sor.small",
+                         "factorie",     "h2",         "page-rank"};
+  Runner::Options Opts;
+  Opts.WarmupOverride = 1;
+  Opts.MeasuredOverride = 1;
+  Runner R(Opts);
+
+  std::vector<RunResult> Results;
+  for (const char *Name : Picks) {
+    std::printf("profiling %s...\n", Name);
+    Results.push_back(R.runByName(Name));
+  }
+
+  // Metric matrix -> standardize -> PCA (the §4.2 methodology).
+  Matrix X(Results.size(), 11);
+  for (size_t Row = 0; Row < Results.size(); ++Row) {
+    auto Vec = Results[Row].normalized().asVector();
+    for (size_t Col = 0; Col < 11; ++Col)
+      X.at(Row, Col) = Vec[Col];
+  }
+  PcaResult P = pca(standardize(X));
+
+  std::printf("\nvariance explained: PC1 %.0f%%, PC1..2 %.0f%%, "
+              "PC1..4 %.0f%%\n",
+              P.varianceExplained(1) * 100, P.varianceExplained(2) * 100,
+              P.varianceExplained(4) * 100);
+
+  std::printf("\nscores (PC1, PC2):\n");
+  for (size_t Row = 0; Row < Results.size(); ++Row)
+    std::printf("  %-20s %7s %7s\n", Picks[Row],
+                fixed(P.Scores.at(Row, 0), 2).c_str(),
+                fixed(P.Scores.at(Row, 1), 2).c_str());
+
+  std::printf("\ntop PC1 loadings (which metrics separate these "
+              "workloads):\n");
+  auto Names = metrics::NormalizedMetrics::vectorNames();
+  for (size_t I = 0; I < Names.size(); ++I)
+    if (std::abs(P.Loadings.at(I, 0)) > 0.3)
+      std::printf("  %-10s %+0.2f\n", Names[I].c_str(),
+                  P.Loadings.at(I, 0));
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/quickstart.cpp --------------------------------------------==//
+//
+// Quickstart: run one Renaissance benchmark through the harness, attach a
+// plugin, and read its timing and Table 2 metrics.
+//
+// Build: cmake --build build --target example_quickstart
+// Run:   ./build/examples/example_quickstart [benchmark-name]
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace ren;
+using namespace ren::harness;
+
+namespace {
+
+/// A minimal custom plugin: prints a line per iteration (the paper's §2.2
+/// plugin interface "latches onto benchmark execution events").
+class PrintingPlugin : public Plugin {
+public:
+  void afterIteration(const BenchmarkInfo &Info, unsigned Index,
+                      bool Warmup, uint64_t Nanos) override {
+    std::printf("  %s iteration %u (%s): %.2f ms\n", Info.Name.c_str(),
+                Index, Warmup ? "warmup" : "steady",
+                static_cast<double>(Nanos) / 1e6);
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // 1. Register the suites (68 benchmarks across four suites).
+  workloads::registerAllBenchmarks();
+  Registry &Reg = Registry::get();
+
+  std::string Name = Argc > 1 ? Argv[1] : "scrabble";
+  if (!Reg.contains(Name)) {
+    std::printf("unknown benchmark '%s'; available:\n", Name.c_str());
+    for (const std::string &N : Reg.names())
+      std::printf("  %s\n", N.c_str());
+    return 1;
+  }
+
+  // 2. Run it with the default warmup/steady-state protocol.
+  std::printf("running %s...\n", Name.c_str());
+  PrintingPlugin Plugin;
+  Runner R;
+  R.addPlugin(Plugin);
+  RunResult Result = R.runByName(Name);
+
+  // 3. Read the results.
+  std::printf("\nmean steady-state operation time: %.2f ms\n",
+              Result.meanSteadyNanos() / 1e6);
+  std::printf("checksum: %llu\n",
+              static_cast<unsigned long long>(Result.Checksum));
+
+  std::printf("\nsteady-state metrics (paper Table 2):\n");
+  auto MetricNames = metrics::NormalizedMetrics::vectorNames();
+  auto Rates = Result.normalized().asVector();
+  for (size_t I = 0; I < MetricNames.size(); ++I) {
+    if (MetricNames[I] == "cpu") {
+      std::printf("  %-10s %s%% average utilization\n",
+                  MetricNames[I].c_str(),
+                  fixed(Result.normalized().Cpu, 1).c_str());
+      continue;
+    }
+    std::printf("  %-10s %s per 1e9 reference cycles\n",
+                MetricNames[I].c_str(), fixed(Rates[I] * 1e9, 1).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,297 @@
+//===- ckmodel/CkModel.cpp -------------------------------------------------==//
+
+#include "ckmodel/CkModel.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <mutex>
+#include <unordered_set>
+
+using namespace ren;
+using namespace ren::ckmodel;
+
+void ClassGraph::add(ClassDecl Decl) {
+  if (Index.count(Decl.Name))
+    return;
+  Index[Decl.Name] = Classes.size();
+  Classes.push_back(std::move(Decl));
+}
+
+void ClassGraph::merge(const ClassGraph &Other) {
+  for (const ClassDecl &C : Other.Classes)
+    add(C);
+}
+
+double ren::ckmodel::lcomFromSeed(unsigned NumMethods, unsigned NumFields,
+                                  uint64_t Seed) {
+  if (NumMethods < 2 || NumFields == 0)
+    return 0.0;
+  // Deterministic access matrix: method m accesses ~2 fields chosen by a
+  // SplitMix stream.
+  SplitMix64 Rng(Seed);
+  std::vector<uint64_t> AccessMask(NumMethods, 0);
+  for (unsigned M = 0; M < NumMethods; ++M) {
+    unsigned Accesses = 1 + static_cast<unsigned>(Rng.next() % 3);
+    for (unsigned A = 0; A < Accesses; ++A)
+      AccessMask[M] |= 1ull << (Rng.next() % std::min(NumFields, 63u));
+  }
+  long Sharing = 0, Disjoint = 0;
+  for (unsigned A = 0; A < NumMethods; ++A)
+    for (unsigned B = A + 1; B < NumMethods; ++B) {
+      if (AccessMask[A] & AccessMask[B])
+        ++Sharing;
+      else
+        ++Disjoint;
+    }
+  return static_cast<double>(std::max(0l, Disjoint - Sharing));
+}
+
+std::vector<CkValues> ClassGraph::computeAll() const {
+  std::vector<CkValues> Out(Classes.size());
+
+  // NOC: immediate children.
+  std::unordered_map<std::string, unsigned> Children;
+  for (const ClassDecl &C : Classes)
+    if (!C.Base.empty())
+      ++Children[C.Base];
+
+  // DIT by walking base chains (bounded to avoid cycles).
+  auto depthOf = [&](const ClassDecl &C) {
+    unsigned Depth = 1; // below the implicit root (java.lang.Object)
+    const ClassDecl *Cur = &C;
+    for (int Hop = 0; Hop < 64; ++Hop) {
+      if (Cur->Base.empty())
+        break;
+      auto It = Index.find(Cur->Base);
+      if (It == Index.end()) {
+        ++Depth; // base outside the graph still adds a level
+        break;
+      }
+      ++Depth;
+      Cur = &Classes[It->second];
+    }
+    return Depth;
+  };
+
+  for (size_t I = 0; I < Classes.size(); ++I) {
+    const ClassDecl &C = Classes[I];
+    CkValues &V = Out[I];
+    V.Wmc = C.NumMethods;
+    V.Dit = depthOf(C);
+    V.Noc = Children.count(C.Name) ? Children.at(C.Name) : 0;
+    std::unordered_set<std::string> Coupled(C.UsedClasses.begin(),
+                                            C.UsedClasses.end());
+    if (!C.Base.empty())
+      Coupled.insert(C.Base);
+    Coupled.erase(C.Name);
+    V.Cbo = static_cast<double>(Coupled.size());
+    V.Rfc = C.NumMethods + C.ExternalMethodsCalled;
+    V.Lcom = lcomFromSeed(C.NumMethods, C.NumFields, C.LcomSeed);
+  }
+  return Out;
+}
+
+CkSummary ClassGraph::summarize() const {
+  CkSummary S;
+  S.NumClasses = Classes.size();
+  std::vector<CkValues> All = computeAll();
+  for (const CkValues &V : All) {
+    S.Sum.Wmc += V.Wmc;
+    S.Sum.Dit += V.Dit;
+    S.Sum.Cbo += V.Cbo;
+    S.Sum.Noc += V.Noc;
+    S.Sum.Rfc += V.Rfc;
+    S.Sum.Lcom += V.Lcom;
+  }
+  if (!All.empty()) {
+    double N = static_cast<double>(All.size());
+    S.Average = {S.Sum.Wmc / N, S.Sum.Dit / N, S.Sum.Cbo / N,
+                 S.Sum.Noc / N, S.Sum.Rfc / N, S.Sum.Lcom / N};
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Module inventory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Population parameters of one module's class set.
+struct ModuleProfile {
+  unsigned NumClasses;
+  double MeanMethods;   // geometric-ish mean of methods per class
+  double SubclassRate;  // probability a class extends another in-module
+  double MeanCoupling;  // mean |UsedClasses|
+  double MeanExtCalls;  // mean external methods called
+};
+
+/// Profiles are sized so per-benchmark loaded-class totals land in the
+/// paper's Table 5 ballpark (Renaissance benchmarks load the most).
+ModuleProfile profileFor(const std::string &Module) {
+  if (Module == "jdkbase")
+    return {1400, 12.0, 0.45, 12.0, 13.0};
+  if (Module == "runtime")
+    return {180, 11.0, 0.30, 11.0, 12.0};
+  if (Module == "forkjoin")
+    return {160, 12.5, 0.35, 12.5, 13.0};
+  if (Module == "actors")
+    return {300, 13.0, 0.40, 13.5, 13.0};
+  if (Module == "stm")
+    return {220, 12.0, 0.35, 12.5, 12.0};
+  if (Module == "futures")
+    return {260, 12.5, 0.45, 13.0, 12.5};
+  if (Module == "rx")
+    return {340, 13.5, 0.50, 13.5, 13.0};
+  if (Module == "streams")
+    return {320, 13.0, 0.45, 13.5, 13.0};
+  if (Module == "netsim")
+    return {420, 12.0, 0.40, 14.0, 13.0};
+  if (Module == "kvstore")
+    return {380, 13.0, 0.35, 13.5, 13.5};
+  if (Module == "harness")
+    return {120, 11.5, 0.25, 12.0, 12.0};
+  if (Module == "mlalgos")
+    return {900, 14.5, 0.40, 14.0, 15.0};
+  if (Module == "scala-stdlib")
+    return {950, 16.0, 0.55, 13.5, 16.0};
+  if (Module == "app-small")
+    return {350, 12.0, 0.35, 12.5, 12.5};
+  if (Module == "app-large")
+    return {1600, 13.5, 0.40, 13.5, 14.0};
+  assert(false && "unknown module profile");
+  return {100, 12.0, 0.3, 12.0, 12.0};
+}
+
+uint64_t hashName(const std::string &Name) {
+  uint64_t H = 1469598103934665603ULL;
+  for (char C : Name)
+    H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
+  return H;
+}
+
+ClassGraph generateModule(const std::string &Module) {
+  ModuleProfile P = profileFor(Module);
+  Xoshiro256StarStar Rng(hashName(Module));
+  ClassGraph G;
+  std::vector<std::string> Names;
+  for (unsigned I = 0; I < P.NumClasses; ++I)
+    Names.push_back(Module + ".C" + std::to_string(I));
+  for (unsigned I = 0; I < P.NumClasses; ++I) {
+    ClassDecl C;
+    C.Name = Names[I];
+    // Methods: geometric-ish around the mean with a heavy-ish tail.
+    double Draw = -std::log(1.0 - Rng.nextDouble());
+    C.NumMethods = std::max(
+        1u, static_cast<unsigned>(P.MeanMethods * 0.6 +
+                                  Draw * P.MeanMethods * 0.45));
+    C.NumFields = 2 + static_cast<unsigned>(Rng.nextBounded(28));
+    if (I > 0 && Rng.nextDouble() < P.SubclassRate)
+      C.Base = Names[Rng.nextBounded(I)];
+    unsigned Coupling = static_cast<unsigned>(
+        P.MeanCoupling * (0.5 + Rng.nextDouble()));
+    for (unsigned K = 0; K < Coupling && P.NumClasses > 1; ++K) {
+      unsigned Target = static_cast<unsigned>(
+          Rng.nextBounded(P.NumClasses));
+      if (Names[Target] != C.Name)
+        C.UsedClasses.push_back(Names[Target]);
+    }
+    C.ExternalMethodsCalled = static_cast<unsigned>(
+        P.MeanExtCalls * (0.5 + Rng.nextDouble()));
+    C.LcomSeed = hashName(C.Name);
+    G.add(std::move(C));
+  }
+  return G;
+}
+
+} // namespace
+
+const ClassGraph &ren::ckmodel::moduleClasses(const std::string &Module) {
+  static std::mutex Lock;
+  static std::unordered_map<std::string, ClassGraph> *Cache =
+      new std::unordered_map<std::string, ClassGraph>();
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Cache->find(Module);
+  if (It == Cache->end())
+    It = Cache->emplace(Module, generateModule(Module)).first;
+  return It->second;
+}
+
+std::vector<std::string>
+ren::ckmodel::modulesOf(const std::string &SuiteName,
+                        const std::string &BenchmarkName) {
+  std::vector<std::string> Mods = {"jdkbase", "harness", "runtime"};
+  auto addApp = [&](const char *Scale) { Mods.push_back(Scale); };
+
+  if (SuiteName == "renaissance") {
+    // Renaissance workloads stack several frameworks (paper §7.1: they
+    // load by far the most classes, Table 5).
+    const std::string &N = BenchmarkName;
+    Mods.push_back("forkjoin");
+    if (N == "akka-uct" || N == "reactors")
+      Mods.insert(Mods.end(), {"actors", "app-small"});
+    else if (N == "als" || N == "chi-square" || N == "dec-tree" ||
+             N == "log-regression" || N == "naive-bayes" ||
+             N == "movie-lens" || N == "page-rank")
+      Mods.insert(Mods.end(), {"mlalgos", "streams", "app-large"});
+    else if (N == "db-shootout" || N == "neo4j-analytics")
+      Mods.insert(Mods.end(), {"kvstore", "app-large"});
+    else if (N == "dotty")
+      Mods.insert(Mods.end(), {"scala-stdlib", "app-small"});
+    else if (N == "finagle-chirper" || N == "finagle-http")
+      Mods.insert(Mods.end(), {"netsim", "futures", "app-large"});
+    else if (N == "future-genetic")
+      Mods.insert(Mods.end(), {"futures", "app-small"});
+    else if (N == "philosophers" || N == "stm-bench7")
+      Mods.insert(Mods.end(), {"stm", "app-small"});
+    else if (N == "rx-scrabble")
+      Mods.insert(Mods.end(), {"rx", "app-small"});
+    else if (N == "scrabble" || N == "streams-mnemonics")
+      Mods.insert(Mods.end(), {"streams", "app-small"});
+    else
+      addApp("app-small");
+    return Mods;
+  }
+  if (SuiteName == "dacapo") {
+    const std::string &N = BenchmarkName;
+    if (N == "eclipse" || N == "tomcat" || N == "tradebeans" ||
+        N == "tradesoap" || N == "jython")
+      addApp("app-large");
+    else
+      addApp("app-small");
+    if (N == "h2" || N == "tradebeans" || N == "tradesoap")
+      Mods.push_back("kvstore");
+    return Mods;
+  }
+  if (SuiteName == "scalabench") {
+    Mods.push_back("scala-stdlib");
+    if (BenchmarkName == "actors")
+      Mods.push_back("actors");
+    if (BenchmarkName == "scalatest" || BenchmarkName == "specs" ||
+        BenchmarkName == "scalac")
+      addApp("app-large");
+    else
+      addApp("app-small");
+    return Mods;
+  }
+  // SPECjvm2008: small kernels over the base library; derby adds the db.
+  if (BenchmarkName == "derby")
+    Mods.push_back("kvstore");
+  if (BenchmarkName.rfind("compiler.", 0) == 0 ||
+      BenchmarkName.rfind("xml.", 0) == 0 ||
+      BenchmarkName == "serial")
+    addApp("app-small");
+  return Mods;
+}
+
+ClassGraph
+ren::ckmodel::classesForBenchmark(const std::string &SuiteName,
+                                  const std::string &BenchmarkName) {
+  ClassGraph G;
+  for (const std::string &M : modulesOf(SuiteName, BenchmarkName))
+    G.merge(moduleClasses(M));
+  return G;
+}

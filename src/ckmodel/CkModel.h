@@ -1,0 +1,112 @@
+//===- ckmodel/CkModel.h - Chidamber-Kemerer metrics (paper §7) -*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Chidamber & Kemerer object-oriented complexity suite (WMC, DIT,
+/// NOC, CBO, RFC, LCOM) computed over a class graph, plus the per-suite
+/// class inventory used to reproduce §7's Tables 4/5 and 8-11.
+///
+/// The paper runs the `ckjm` tool over the classes each JVM benchmark
+/// loads. Our substitution computes the same metric definitions over class
+/// graphs describing this repository's own frameworks and workloads: every
+/// module contributes a deterministic population of class descriptions
+/// (inheritance, method counts, coupling, and a seeded method-field access
+/// matrix for LCOM), and each benchmark "loads" the union of the modules
+/// it links — mirroring how class loading determined the paper's per-
+/// benchmark class sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_CKMODEL_CKMODEL_H
+#define REN_CKMODEL_CKMODEL_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace ckmodel {
+
+/// One class in the graph.
+struct ClassDecl {
+  std::string Name;
+  std::string Base; ///< empty = direct subclass of the root
+  unsigned NumMethods = 1;
+  unsigned NumFields = 1;
+  /// Distinct other classes this class is coupled to (calls, field types,
+  /// signatures) — CBO counts these plus the base class.
+  std::vector<std::string> UsedClasses;
+  /// Distinct external methods called by this class's methods (RFC adds
+  /// these to the declared method count).
+  unsigned ExternalMethodsCalled = 0;
+  /// Seed of the deterministic method-field access matrix used for LCOM.
+  uint64_t LcomSeed = 1;
+};
+
+/// Computed CK metrics of one class.
+struct CkValues {
+  double Wmc = 0;  ///< weighted methods per class (method count)
+  double Dit = 0;  ///< depth of inheritance tree
+  double Cbo = 0;  ///< coupling between object classes
+  double Noc = 0;  ///< number of immediate children
+  double Rfc = 0;  ///< response for a class
+  double Lcom = 0; ///< lack of cohesion in methods
+};
+
+/// Aggregates over a class set (one benchmark's loaded classes).
+struct CkSummary {
+  size_t NumClasses = 0;
+  CkValues Sum;
+  CkValues Average;
+};
+
+/// A collection of classes with CK computation.
+class ClassGraph {
+public:
+  /// Adds a class (duplicate names are merged by keeping the first).
+  void add(ClassDecl Decl);
+
+  /// Merges another graph into this one.
+  void merge(const ClassGraph &Other);
+
+  size_t size() const { return Classes.size(); }
+  const std::vector<ClassDecl> &classes() const { return Classes; }
+
+  /// Computes the six CK metrics for every class.
+  std::vector<CkValues> computeAll() const;
+
+  /// Computes sums and averages over all classes.
+  CkSummary summarize() const;
+
+private:
+  std::vector<ClassDecl> Classes;
+  std::unordered_map<std::string, size_t> Index;
+};
+
+/// Computes LCOM from a seeded method-field access matrix: the number of
+/// method pairs sharing no field minus the pairs sharing at least one,
+/// floored at zero (the classic CK definition).
+double lcomFromSeed(unsigned NumMethods, unsigned NumFields, uint64_t Seed);
+
+/// Deterministic class population for one source module of this repository
+/// ("runtime", "forkjoin", "actors", "stm", "futures", "rx", "streams",
+/// "netsim", "kvstore", "harness", "jdkbase", plus per-suite application
+/// packages). Generated once and cached.
+const ClassGraph &moduleClasses(const std::string &ModuleName);
+
+/// The modules a benchmark links (its "loaded classes" universe).
+std::vector<std::string> modulesOf(const std::string &SuiteName,
+                                   const std::string &BenchmarkName);
+
+/// The merged class graph a benchmark loads.
+ClassGraph classesForBenchmark(const std::string &SuiteName,
+                               const std::string &BenchmarkName);
+
+} // namespace ckmodel
+} // namespace ren
+
+#endif // REN_CKMODEL_CKMODEL_H

@@ -1,0 +1,187 @@
+//===- forkjoin/ForkJoinPool.cpp ------------------------------------------==//
+
+#include "forkjoin/ForkJoinPool.h"
+
+#include "support/Clock.h"
+
+#include <mutex>
+
+using namespace ren;
+using namespace ren::forkjoin;
+
+namespace {
+
+/// Identifies the worker context of the calling thread.
+struct WorkerContext {
+  ForkJoinPool *Pool = nullptr;
+  unsigned Index = 0;
+};
+
+thread_local WorkerContext CurrentWorker;
+
+} // namespace
+
+/// Per-worker state: a deque (LIFO for the owner, FIFO for thieves) and a
+/// parking slot. The deque lock is a plain mutex: it models the VM-internal
+/// lock-free deque, which the paper's instrumentation does not count.
+struct ForkJoinPool::WorkerState {
+  std::mutex DequeLock;
+  std::deque<std::shared_ptr<TaskBase>> Deque;
+  runtime::Parker Park;
+  std::atomic<bool> Idle{false};
+};
+
+void TaskBase::run() {
+  assert(!isDone() && "task ran twice");
+  execute();
+  Done.store(true, std::memory_order_release);
+  runtime::Synchronized Sync(DoneMonitor);
+  DoneMonitor.notifyAll();
+}
+
+void TaskBase::awaitDone(ForkJoinPool *Pool) {
+  while (!isDone()) {
+    // Helping join: a *worker* of this pool runs other tasks instead of
+    // blocking (otherwise recursive fork/join would deadlock). External
+    // threads block, as in java.util.concurrent.
+    if (Pool && CurrentWorker.Pool == Pool && Pool->helpOneTask())
+      continue;
+    runtime::Synchronized Sync(DoneMonitor);
+    if (!isDone())
+      DoneMonitor.waitFor(/*Millis=*/1);
+  }
+}
+
+ForkJoinPool::ForkJoinPool(unsigned Parallelism) {
+  if (Parallelism == 0)
+    Parallelism = hardwareThreads();
+  for (unsigned I = 0; I < Parallelism; ++I)
+    Workers.push_back(std::make_unique<WorkerState>());
+  for (unsigned I = 0; I < Parallelism; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  ShuttingDown.store(true, std::memory_order_release);
+  for (auto &W : Workers)
+    W->Park.unpark();
+  for (auto &T : Threads)
+    T.join();
+}
+
+bool ForkJoinPool::onWorkerThread() { return CurrentWorker.Pool != nullptr; }
+
+void ForkJoinPool::schedule(std::shared_ptr<TaskBase> T) {
+  if (CurrentWorker.Pool == this) {
+    WorkerState &W = *Workers[CurrentWorker.Index];
+    {
+      std::lock_guard<std::mutex> Guard(W.DequeLock);
+      W.Deque.push_back(std::move(T));
+    }
+    signalWork();
+    return;
+  }
+  {
+    runtime::Synchronized Sync(ExternalLock);
+    ExternalQueue.push_back(std::move(T));
+  }
+  signalWork();
+}
+
+void ForkJoinPool::signalWork() {
+  for (auto &W : Workers) {
+    if (W->Idle.load(std::memory_order_acquire)) {
+      W->Park.unpark();
+      return;
+    }
+  }
+}
+
+std::shared_ptr<TaskBase> ForkJoinPool::popExternal() {
+  runtime::Synchronized Sync(ExternalLock);
+  if (ExternalQueue.empty())
+    return nullptr;
+  auto T = std::move(ExternalQueue.front());
+  ExternalQueue.pop_front();
+  return T;
+}
+
+std::shared_ptr<TaskBase> ForkJoinPool::findWork(unsigned SelfIndex) {
+  // 1. Own deque, LIFO.
+  if (SelfIndex < Workers.size()) {
+    WorkerState &Self = *Workers[SelfIndex];
+    std::lock_guard<std::mutex> Guard(Self.DequeLock);
+    if (!Self.Deque.empty()) {
+      auto T = std::move(Self.Deque.back());
+      Self.Deque.pop_back();
+      return T;
+    }
+  }
+  // 2. External submissions.
+  if (auto T = popExternal())
+    return T;
+  // 3. Steal FIFO from any victim.
+  for (size_t I = 0; I < Workers.size(); ++I) {
+    if (I == SelfIndex)
+      continue;
+    WorkerState &Victim = *Workers[I];
+    std::lock_guard<std::mutex> Guard(Victim.DequeLock);
+    if (!Victim.Deque.empty()) {
+      auto T = std::move(Victim.Deque.front());
+      Victim.Deque.pop_front();
+      return T;
+    }
+  }
+  return nullptr;
+}
+
+bool ForkJoinPool::helpOneTask() {
+  unsigned SelfIndex =
+      CurrentWorker.Pool == this ? CurrentWorker.Index : Workers.size();
+  if (auto T = findWork(SelfIndex)) {
+    T->run();
+    return true;
+  }
+  return false;
+}
+
+void ForkJoinPool::workerLoop(unsigned Index) {
+  CurrentWorker.Pool = this;
+  CurrentWorker.Index = Index;
+  WorkerState &Self = *Workers[Index];
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    if (auto T = findWork(Index)) {
+      T->run();
+      continue;
+    }
+    // Nothing to do: advertise idleness, re-check, then park briefly. The
+    // re-check after setting Idle closes the lost-wakeup window against
+    // signalWork.
+    Self.Idle.store(true, std::memory_order_release);
+    if (auto T = findWork(Index)) {
+      Self.Idle.store(false, std::memory_order_release);
+      T->run();
+      continue;
+    }
+    Self.Park.parkFor(/*Millis=*/2);
+    Self.Idle.store(false, std::memory_order_release);
+  }
+  CurrentWorker.Pool = nullptr;
+}
+
+void ForkJoinPool::parallelFor(
+    size_t Lo, size_t Hi, size_t Grain,
+    const std::function<void(size_t, size_t)> &Body) {
+  assert(Lo <= Hi && "invalid range");
+  if (Grain == 0)
+    Grain = 1;
+  if (Hi - Lo <= Grain || parallelism() == 1) {
+    if (Lo != Hi)
+      Body(Lo, Hi);
+    return;
+  }
+  size_t Mid = Lo + (Hi - Lo) / 2;
+  auto Right = fork([&] { parallelFor(Mid, Hi, Grain, Body); });
+  parallelFor(Lo, Mid, Grain, Body);
+  join(Right);
+}

@@ -1,0 +1,176 @@
+//===- forkjoin/ForkJoinPool.h - Work-stealing fork/join pool ---*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing fork/join pool modelling java.util.concurrent's
+/// ForkJoinPool (Lea, "A Java Fork/Join Framework"), the substrate of the
+/// fj-kmeans benchmark and the default executor of several others.
+///
+/// Workers keep per-worker deques (LIFO for the owner, FIFO for thieves)
+/// and park via the instrumented runtime::Parker when idle, so a fork/join
+/// workload exhibits the paper's park-heavy profile. Task and future
+/// allocation is counted through runtime::newShared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_FORKJOIN_FORKJOINPOOL_H
+#define REN_FORKJOIN_FORKJOINPOOL_H
+
+#include "runtime/Alloc.h"
+#include "runtime/Monitor.h"
+#include "runtime/Park.h"
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace ren {
+namespace forkjoin {
+
+class ForkJoinPool;
+
+/// Base class for pool tasks: completion latch + execution hook.
+class TaskBase {
+public:
+  virtual ~TaskBase() = default;
+
+  /// Runs the task body exactly once.
+  void run();
+
+  /// True once the task body has finished.
+  bool isDone() const { return Done.load(std::memory_order_acquire); }
+
+protected:
+  /// Subclasses implement the body.
+  virtual void execute() = 0;
+
+private:
+  friend class ForkJoinPool;
+  void awaitDone(ForkJoinPool *Pool);
+
+  std::atomic<bool> Done{false};
+  runtime::Monitor DoneMonitor;
+};
+
+/// A typed fork/join task holding its result.
+template <typename T> class Task : public TaskBase {
+public:
+  explicit Task(std::function<T()> Body) : Body(std::move(Body)) {}
+
+  /// Returns the result; only valid once done.
+  const T &result() const {
+    assert(isDone() && "result read before completion");
+    return Result;
+  }
+
+protected:
+  void execute() override { Result = Body(); }
+
+private:
+  std::function<T()> Body;
+  T Result{};
+};
+
+/// void specialization.
+template <> class Task<void> : public TaskBase {
+public:
+  explicit Task(std::function<void()> Body) : Body(std::move(Body)) {}
+
+protected:
+  void execute() override { Body(); }
+
+private:
+  std::function<void()> Body;
+};
+
+/// The work-stealing pool.
+class ForkJoinPool {
+public:
+  /// Creates a pool with \p Parallelism worker threads (0 = hardware).
+  explicit ForkJoinPool(unsigned Parallelism = 0);
+  ~ForkJoinPool();
+
+  ForkJoinPool(const ForkJoinPool &) = delete;
+  ForkJoinPool &operator=(const ForkJoinPool &) = delete;
+
+  unsigned parallelism() const { return Workers.size(); }
+
+  /// Forks \p Body as a task. From a worker thread it is pushed onto the
+  /// worker's own deque; otherwise onto the external submission queue.
+  template <typename FnT> auto fork(FnT Body) {
+    using R = std::invoke_result_t<FnT>;
+    auto T = runtime::newShared<Task<R>>(std::function<R()>(std::move(Body)));
+    schedule(T);
+    return T;
+  }
+
+  /// Blocks until \p T completes; worker threads help by running other
+  /// tasks while waiting ("join with helping").
+  void join(const std::shared_ptr<TaskBase> &T) { T->awaitDone(this); }
+
+  /// Forks \p Body and waits for its result.
+  template <typename FnT> auto invoke(FnT Body) {
+    auto T = fork(std::move(Body));
+    join(T);
+    if constexpr (!std::is_void_v<std::invoke_result_t<FnT>>)
+      return T->result();
+  }
+
+  /// Recursive parallel-for over [Lo, Hi): splits until the range is at
+  /// most \p Grain and runs \p Body(ChunkLo, ChunkHi) on the leaves.
+  void parallelFor(size_t Lo, size_t Hi, size_t Grain,
+                   const std::function<void(size_t, size_t)> &Body);
+
+  /// Recursive parallel reduction: \p Leaf maps a chunk to a T, \p Combine
+  /// merges two T values.
+  template <typename T>
+  T parallelReduce(size_t Lo, size_t Hi, size_t Grain,
+                   const std::function<T(size_t, size_t)> &Leaf,
+                   const std::function<T(T, T)> &Combine) {
+    assert(Lo <= Hi && "invalid range");
+    if (Hi - Lo <= Grain || parallelism() == 1)
+      return Leaf(Lo, Hi);
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    auto Right = fork([&] { return parallelReduce(Mid, Hi, Grain, Leaf,
+                                                  Combine); });
+    T Left = parallelReduce(Lo, Mid, Grain, Leaf, Combine);
+    join(Right);
+    return Combine(std::move(Left), Right->result());
+  }
+
+  /// True if the calling thread is a worker of any pool.
+  static bool onWorkerThread();
+
+  /// Runs one pending task if any is available (used by joins and tests).
+  /// \returns true if a task was executed.
+  bool helpOneTask();
+
+private:
+  struct WorkerState;
+
+  void schedule(std::shared_ptr<TaskBase> T);
+  std::shared_ptr<TaskBase> findWork(unsigned SelfIndex);
+  std::shared_ptr<TaskBase> popExternal();
+  void workerLoop(unsigned Index);
+  void signalWork();
+
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  std::vector<std::thread> Threads;
+
+  runtime::Monitor ExternalLock;
+  std::deque<std::shared_ptr<TaskBase>> ExternalQueue;
+
+  std::atomic<bool> ShuttingDown{false};
+};
+
+} // namespace forkjoin
+} // namespace ren
+
+#endif // REN_FORKJOIN_FORKJOINPOOL_H

@@ -1,0 +1,10 @@
+//===- futures/Future.cpp -------------------------------------------------==//
+
+#include "futures/Future.h"
+
+using namespace ren::futures;
+
+InlineExecutor &InlineExecutor::get() {
+  static InlineExecutor *E = new InlineExecutor();
+  return *E;
+}

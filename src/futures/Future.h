@@ -1,0 +1,361 @@
+//===- futures/Future.h - Futures and promises ------------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composable futures and promises modelling com.twitter.util (the Finagle
+/// substrate) and java.util.concurrent.CompletableFuture.
+///
+/// Instrumentation mirrors what the equivalent JVM code exhibits:
+///  - completion is a CAS state transition (Metric::Atomic) — Twitter
+///    futures are lock-free state machines, which is why finagle-chirper
+///    is the most atomic-heavy benchmark in the suite (Fig 2);
+///  - combinator lambdas are created through runtime::bindLambda
+///    (Metric::IDynamic) and invoked through MethodHandle (Metric::Method);
+///  - blocking \c await uses a Monitor guarded block (Metric::Wait).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_FUTURES_FUTURE_H
+#define REN_FUTURES_FUTURE_H
+
+#include "runtime/Alloc.h"
+#include "runtime/Atomic.h"
+#include "runtime/MethodHandle.h"
+#include "runtime/Monitor.h"
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace futures {
+
+/// Where continuations run.
+class Executor {
+public:
+  virtual ~Executor() = default;
+
+  /// Runs \p Work, possibly asynchronously.
+  virtual void execute(std::function<void()> Work) = 0;
+};
+
+/// Runs continuations on the completing thread.
+class InlineExecutor : public Executor {
+public:
+  void execute(std::function<void()> Work) override { Work(); }
+
+  /// Returns the shared inline executor.
+  static InlineExecutor &get();
+};
+
+/// The result of a fallible asynchronous computation: a value or an error
+/// message (our no-exceptions analogue of Twitter's Try/Throw).
+template <typename T> class Try {
+public:
+  static Try success(T Value) {
+    Try R;
+    R.Ok = true;
+    R.Val = std::move(Value);
+    return R;
+  }
+
+  static Try failure(std::string Message) {
+    Try R;
+    R.Ok = false;
+    R.Error = std::move(Message);
+    return R;
+  }
+
+  bool isSuccess() const { return Ok; }
+  bool isFailure() const { return !Ok; }
+
+  const T &value() const {
+    assert(Ok && "value() on a failed Try");
+    return Val;
+  }
+
+  const std::string &error() const {
+    assert(!Ok && "error() on a successful Try");
+    return Error;
+  }
+
+private:
+  bool Ok = false;
+  T Val{};
+  std::string Error;
+};
+
+namespace detail {
+
+/// Shared state between a Promise and its Futures.
+template <typename T> class FutureState {
+public:
+  using Callback = std::function<void(const Try<T> &)>;
+
+  /// Attempts the pending->completed transition. \returns false if the
+  /// state was already completed.
+  bool tryComplete(Try<T> Result) {
+    std::vector<Callback> ToRun;
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      if (Completed.load(std::memory_order_acquire) != 0)
+        return false;
+      // Write the value BEFORE publishing the completed flag: readers
+      // check the flag without the lock, so the release-CAS below is what
+      // makes the value visible to them.
+      Value = std::move(Result);
+      // The counted CAS: the lock-free transition the JVM code performs.
+      // It cannot fail here — we hold the lock and checked the flag.
+      [[maybe_unused]] bool Won = Completed.compareAndSet(0, 1);
+      assert(Won && "completion raced despite the lock");
+      ToRun.swap(Callbacks);
+    }
+    for (Callback &Cb : ToRun)
+      Cb(Value);
+    runtime::Synchronized Sync(WaitMonitor);
+    WaitMonitor.notifyAll();
+    return true;
+  }
+
+  /// Registers \p Cb, running it immediately if already completed.
+  void onComplete(Callback Cb) {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      if (Completed.load(std::memory_order_acquire) == 0) {
+        Callbacks.push_back(std::move(Cb));
+        return;
+      }
+    }
+    Cb(Value);
+  }
+
+  bool isCompleted() const {
+    return Completed.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Blocks until completed (guarded block), then returns the result.
+  const Try<T> &await() {
+    if (!isCompleted()) {
+      runtime::Synchronized Sync(WaitMonitor);
+      WaitMonitor.waitUntil([this] { return isCompleted(); });
+    }
+    return Value;
+  }
+
+  /// Non-blocking peek; only valid once completed.
+  const Try<T> &peek() const {
+    assert(isCompleted() && "peek before completion");
+    return Value;
+  }
+
+private:
+  runtime::Atomic<int> Completed{0};
+  std::mutex Lock;
+  Try<T> Value{Try<T>::failure("pending")};
+  std::vector<Callback> Callbacks;
+  runtime::Monitor WaitMonitor;
+};
+
+} // namespace detail
+
+template <typename T> class Promise;
+
+/// A read handle on an eventually-available value.
+template <typename T> class Future {
+public:
+  Future() = default;
+
+  /// An already-successful future.
+  static Future value(T V) {
+    Future F = makePending();
+    F.State->tryComplete(Try<T>::success(std::move(V)));
+    return F;
+  }
+
+  /// An already-failed future.
+  static Future failed(std::string Error) {
+    Future F = makePending();
+    F.State->tryComplete(Try<T>::failure(std::move(Error)));
+    return F;
+  }
+
+  bool valid() const { return State != nullptr; }
+  bool isCompleted() const { return State && State->isCompleted(); }
+
+  /// Blocks until completion and returns the Try.
+  const Try<T> &await() const {
+    assert(State && "await on invalid future");
+    return State->await();
+  }
+
+  /// Blocks and returns the value; the computation must have succeeded.
+  /// The reference lives as long as this future's shared state — bind the
+  /// future to a variable before calling get() on it (calling get() on a
+  /// temporary future dangles at the end of the full expression).
+  const T &get() const {
+    const Try<T> &R = await();
+    assert(R.isSuccess() && "get() on failed future");
+    return R.value();
+  }
+
+  /// Registers a raw completion callback on \p Exec.
+  void onComplete(Executor &Exec,
+                  std::function<void(const Try<T> &)> Cb) const {
+    assert(State && "onComplete on invalid future");
+    State->onComplete([&Exec, Cb = std::move(Cb)](const Try<T> &R) {
+      // Copy the result: an asynchronous executor may outlive the source
+      // future's state.
+      Exec.execute([Cb, R]() { Cb(R); });
+    });
+  }
+
+  /// Transforms the successful value; failures propagate. The user lambda
+  /// is a counted invokedynamic lambda, as on the JVM.
+  template <typename FnT>
+  auto map(FnT Fn, Executor &Exec = InlineExecutor::get()) const {
+    using U = std::invoke_result_t<FnT, const T &>;
+    auto Handle = runtime::bindLambda<U(const T &)>(std::move(Fn));
+    Future<U> Out = Future<U>::makePending();
+    auto OutState = Out.State;
+    State->onComplete([&Exec, Handle, OutState](const Try<T> &R) {
+      Exec.execute([Handle, OutState, R] {
+        if (R.isFailure())
+          OutState->tryComplete(Try<U>::failure(R.error()));
+        else
+          OutState->tryComplete(Try<U>::success(Handle.invoke(R.value())));
+      });
+    });
+    return Out;
+  }
+
+  /// Monadic bind: chains an asynchronous continuation.
+  template <typename FnT>
+  auto flatMap(FnT Fn, Executor &Exec = InlineExecutor::get()) const {
+    using FutU = std::invoke_result_t<FnT, const T &>;
+    using U = typename FutU::ValueType;
+    auto Handle = runtime::bindLambda<FutU(const T &)>(std::move(Fn));
+    Future<U> Out = Future<U>::makePending();
+    auto OutState = Out.State;
+    State->onComplete([&Exec, Handle, OutState](const Try<T> &R) {
+      Exec.execute([Handle, OutState, R] {
+        if (R.isFailure()) {
+          OutState->tryComplete(Try<U>::failure(R.error()));
+          return;
+        }
+        FutU Next = Handle.invoke(R.value());
+        Next.onComplete(InlineExecutor::get(), [OutState](const Try<U> &R2) {
+          OutState->tryComplete(R2);
+        });
+      });
+    });
+    return Out;
+  }
+
+  /// Maps a failure back to a value; successes pass through.
+  template <typename FnT>
+  Future<T> recover(FnT Fn, Executor &Exec = InlineExecutor::get()) const {
+    auto Handle = runtime::bindLambda<T(const std::string &)>(std::move(Fn));
+    Future<T> Out = makePending();
+    auto OutState = Out.State;
+    State->onComplete([&Exec, Handle, OutState](const Try<T> &R) {
+      Exec.execute([Handle, OutState, R] {
+        if (R.isSuccess())
+          OutState->tryComplete(R);
+        else
+          OutState->tryComplete(Try<T>::success(Handle.invoke(R.error())));
+      });
+    });
+    return Out;
+  }
+
+  using ValueType = T;
+
+private:
+  friend class Promise<T>;
+  template <typename U> friend class Future;
+
+  static Future makePending() {
+    Future F;
+    F.State = runtime::newShared<detail::FutureState<T>>();
+    return F;
+  }
+
+  std::shared_ptr<detail::FutureState<T>> State;
+};
+
+/// The write handle paired with a Future.
+template <typename T> class Promise {
+public:
+  Promise() : Fut(Future<T>::makePending()) {}
+
+  /// Returns the read side.
+  Future<T> future() const { return Fut; }
+
+  /// Completes successfully; asserts single completion.
+  void setValue(T Value) {
+    bool First = trySuccess(std::move(Value));
+    assert(First && "promise completed twice");
+    (void)First;
+  }
+
+  /// Completes with an error; asserts single completion.
+  void setFailure(std::string Error) {
+    bool First = Fut.State->tryComplete(Try<T>::failure(std::move(Error)));
+    assert(First && "promise completed twice");
+    (void)First;
+  }
+
+  /// Race-tolerant completion. \returns true if this call won.
+  bool trySuccess(T Value) {
+    return Fut.State->tryComplete(Try<T>::success(std::move(Value)));
+  }
+
+  /// Race-tolerant failure. \returns true if this call won.
+  bool tryFailure(std::string Error) {
+    return Fut.State->tryComplete(Try<T>::failure(std::move(Error)));
+  }
+
+private:
+  Future<T> Fut;
+};
+
+/// Collects a vector of futures into a future vector, failing on the first
+/// failure (Twitter's Future.collect).
+template <typename T>
+Future<std::vector<T>> collectAll(const std::vector<Future<T>> &Futures) {
+  struct Collector {
+    explicit Collector(size_t N) : Results(N), Remaining(N) {}
+    std::vector<T> Results;
+    runtime::Atomic<long> Remaining;
+    Promise<std::vector<T>> Done;
+  };
+  auto C = runtime::newShared<Collector>(Futures.size());
+  if (Futures.empty()) {
+    C->Done.setValue({});
+    return C->Done.future();
+  }
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    Futures[I].onComplete(InlineExecutor::get(), [C, I](const Try<T> &R) {
+      if (R.isFailure()) {
+        C->Done.tryFailure(R.error());
+        return;
+      }
+      C->Results[I] = R.value();
+      if (C->Remaining.decrementAndGet() == 0)
+        C->Done.trySuccess(std::move(C->Results));
+    });
+  }
+  return C->Done.future();
+}
+
+} // namespace futures
+} // namespace ren
+
+#endif // REN_FUTURES_FUTURE_H

@@ -1,0 +1,55 @@
+//===- futures/PoolExecutor.h - Fork/join-backed executor -------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Executor that runs continuations on a ForkJoinPool, the analogue of
+/// Twitter's FuturePool over the JVM common pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_FUTURES_POOLEXECUTOR_H
+#define REN_FUTURES_POOLEXECUTOR_H
+
+#include "forkjoin/ForkJoinPool.h"
+#include "futures/Future.h"
+
+namespace ren {
+namespace futures {
+
+/// Dispatches work onto a fork/join pool without waiting for completion.
+class PoolExecutor : public Executor {
+public:
+  explicit PoolExecutor(forkjoin::ForkJoinPool &Pool) : Pool(Pool) {}
+
+  void execute(std::function<void()> Work) override {
+    Pool.fork(std::move(Work));
+  }
+
+  /// Runs \p Body on the pool and exposes the result as a Future. A void
+  /// body yields Future<int> completing with 0 (Try<void> does not exist).
+  template <typename FnT> auto async(FnT Body) {
+    using R0 = std::invoke_result_t<FnT>;
+    using R = std::conditional_t<std::is_void_v<R0>, int, R0>;
+    Promise<R> P;
+    Pool.fork([P, Body = std::move(Body)]() mutable {
+      if constexpr (std::is_void_v<R0>) {
+        Body();
+        P.setValue(0);
+      } else {
+        P.setValue(Body());
+      }
+    });
+    return P.future();
+  }
+
+private:
+  forkjoin::ForkJoinPool &Pool;
+};
+
+} // namespace futures
+} // namespace ren
+
+#endif // REN_FUTURES_POOLEXECUTOR_H

@@ -1,0 +1,209 @@
+//===- harness/Harness.cpp ------------------------------------------------==//
+
+#include "harness/Harness.h"
+
+#include "memsim/MemSim.h"
+#include "support/Clock.h"
+#include "support/Output.h"
+
+#include <algorithm>
+
+using namespace ren;
+using namespace ren::harness;
+
+Benchmark::~Benchmark() = default;
+Plugin::~Plugin() = default;
+
+const char *ren::harness::suiteName(Suite S) {
+  switch (S) {
+  case Suite::Renaissance:
+    return "renaissance";
+  case Suite::DaCapo:
+    return "dacapo";
+  case Suite::ScalaBench:
+    return "scalabench";
+  case Suite::SpecJvm2008:
+    return "specjvm2008";
+  }
+  assert(false && "unknown suite");
+  return "?";
+}
+
+double RunResult::meanSteadyNanos() const {
+  double Sum = 0.0;
+  unsigned Count = 0;
+  for (const IterationRecord &R : Iterations) {
+    if (R.Warmup)
+      continue;
+    Sum += static_cast<double>(R.Nanos);
+    ++Count;
+  }
+  return Count == 0 ? 0.0 : Sum / Count;
+}
+
+Registry &Registry::get() {
+  static Registry *R = new Registry();
+  return *R;
+}
+
+void Registry::add(Factory MakeBenchmark) {
+  std::unique_ptr<Benchmark> Probe = MakeBenchmark();
+  Entry E;
+  E.Info = Probe->info();
+  E.MakeBenchmark = std::move(MakeBenchmark);
+  assert(!contains(E.Info.BenchmarkSuite, E.Info.Name) &&
+         "duplicate benchmark name within a suite");
+  Entries.push_back(std::move(E));
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Names.push_back(E.Info.Name);
+  return Names;
+}
+
+std::vector<std::string> Registry::names(Suite S) const {
+  std::vector<std::string> Names;
+  for (const Entry &E : Entries)
+    if (E.Info.BenchmarkSuite == S)
+      Names.push_back(E.Info.Name);
+  return Names;
+}
+
+bool Registry::contains(const std::string &Name) const {
+  return std::any_of(Entries.begin(), Entries.end(),
+                     [&](const Entry &E) { return E.Info.Name == Name; });
+}
+
+bool Registry::contains(Suite S, const std::string &Name) const {
+  return std::any_of(Entries.begin(), Entries.end(), [&](const Entry &E) {
+    return E.Info.BenchmarkSuite == S && E.Info.Name == Name;
+  });
+}
+
+std::unique_ptr<Benchmark> Registry::create(Suite S,
+                                            const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Info.BenchmarkSuite == S && E.Info.Name == Name)
+      return E.MakeBenchmark();
+  assert(false && "unknown suite-qualified benchmark name");
+  return nullptr;
+}
+
+std::unique_ptr<Benchmark> Registry::create(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Info.Name == Name)
+      return E.MakeBenchmark();
+  assert(false && "unknown benchmark name");
+  return nullptr;
+}
+
+RunResult Runner::run(Benchmark &B) {
+  RunResult Result;
+  Result.Info = B.info();
+  unsigned Warmup = Opts.WarmupOverride ? Opts.WarmupOverride
+                                        : Result.Info.WarmupIterations;
+  unsigned Measured = Opts.MeasuredOverride ? Opts.MeasuredOverride
+                                            : Result.Info.MeasuredIterations;
+
+  for (Plugin *P : Plugins)
+    P->beforeRun(Result.Info);
+
+  if (Opts.TraceMemory)
+    memsim::setGlobalTracing(true);
+
+  B.setUp();
+
+  metrics::MetricSnapshot SteadyBegin;
+  unsigned Total = Warmup + Measured;
+  for (unsigned I = 0; I < Total; ++I) {
+    bool IsWarmup = I < Warmup;
+    if (I == Warmup)
+      SteadyBegin = metrics::MetricsRegistry::get().snapshot();
+    for (Plugin *P : Plugins)
+      P->beforeIteration(Result.Info, I, IsWarmup);
+    uint64_t Begin = wallNanos();
+    B.runIteration();
+    uint64_t Nanos = wallNanos() - Begin;
+    Result.Iterations.push_back(IterationRecord{I, IsWarmup, Nanos});
+    for (Plugin *P : Plugins)
+      P->afterIteration(Result.Info, I, IsWarmup, Nanos);
+  }
+  metrics::MetricSnapshot SteadyEnd = metrics::MetricsRegistry::get().snapshot();
+  if (Warmup == Total) // no measured iterations
+    SteadyBegin = SteadyEnd;
+  Result.SteadyDelta =
+      metrics::MetricSnapshot::delta(SteadyBegin, SteadyEnd);
+
+  Result.Checksum = B.checksum();
+  B.tearDown();
+
+  if (Opts.TraceMemory)
+    memsim::setGlobalTracing(false);
+
+  for (Plugin *P : Plugins)
+    P->afterRun(Result.Info);
+  return Result;
+}
+
+RunResult Runner::runByName(const std::string &Name) {
+  std::unique_ptr<Benchmark> B = Registry::get().create(Name);
+  return run(*B);
+}
+
+std::string ren::harness::toCsv(const std::vector<RunResult> &Results) {
+  CsvWriter W;
+  W.addRow({"benchmark", "suite", "iteration", "warmup", "nanos"});
+  for (const RunResult &R : Results)
+    for (const IterationRecord &I : R.Iterations)
+      W.addRow({R.Info.Name, suiteName(R.Info.BenchmarkSuite),
+                std::to_string(I.Index), I.Warmup ? "true" : "false",
+                std::to_string(I.Nanos)});
+  return W.str();
+}
+
+std::string ren::harness::toJson(const std::vector<RunResult> &Results) {
+  JsonWriter W;
+  W.beginArray();
+  for (const RunResult &R : Results) {
+    W.beginObject();
+    W.key("benchmark");
+    W.value(R.Info.Name);
+    W.key("suite");
+    W.value(suiteName(R.Info.BenchmarkSuite));
+    W.key("checksum");
+    W.value(static_cast<uint64_t>(R.Checksum));
+    W.key("mean_steady_nanos");
+    W.value(R.meanSteadyNanos());
+    W.key("iterations");
+    W.beginArray();
+    for (const IterationRecord &I : R.Iterations) {
+      W.beginObject();
+      W.key("index");
+      W.value(static_cast<uint64_t>(I.Index));
+      W.key("warmup");
+      W.value(I.Warmup);
+      W.key("nanos");
+      W.value(static_cast<uint64_t>(I.Nanos));
+      W.endObject();
+    }
+    W.endArray();
+    W.key("metrics");
+    W.beginObject();
+    {
+      auto Norm = R.normalized();
+      auto Names = metrics::NormalizedMetrics::vectorNames();
+      auto Values = Norm.asVector();
+      for (size_t I = 0; I < Names.size(); ++I) {
+        W.key(Names[I]);
+        W.value(Values[I]);
+      }
+    }
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  return W.str();
+}

@@ -1,0 +1,92 @@
+//===- harness/Plugins.h - Stock measurement plugins ------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ready-made plugins for the harness's §2.2 plugin interface. The paper's
+/// conclusion proposes the suite for GC and profiler studies; the
+/// AllocationRatePlugin is the natural first tool for that direction: it
+/// tracks per-iteration object/array allocation against wall time, the
+/// quantity GC research starts from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_HARNESS_PLUGINS_H
+#define REN_HARNESS_PLUGINS_H
+
+#include "harness/Harness.h"
+
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace harness {
+
+/// Records per-iteration allocation counts and rates.
+class AllocationRatePlugin : public Plugin {
+public:
+  struct IterationAllocation {
+    std::string Benchmark;
+    unsigned Iteration = 0;
+    bool Warmup = false;
+    uint64_t Objects = 0;
+    uint64_t Arrays = 0;
+    uint64_t Nanos = 0;
+
+    /// Objects per millisecond of operation time.
+    double objectsPerMs() const {
+      return Nanos == 0 ? 0.0
+                        : static_cast<double>(Objects) /
+                              (static_cast<double>(Nanos) / 1e6);
+    }
+  };
+
+  void beforeIteration(const BenchmarkInfo &, unsigned, bool) override {
+    Before = metrics::MetricsRegistry::get().snapshot();
+  }
+
+  void afterIteration(const BenchmarkInfo &Info, unsigned Index,
+                      bool Warmup, uint64_t Nanos) override {
+    metrics::MetricSnapshot After =
+        metrics::MetricsRegistry::get().snapshot();
+    metrics::MetricSnapshot Delta =
+        metrics::MetricSnapshot::delta(Before, After);
+    IterationAllocation Rec;
+    Rec.Benchmark = Info.Name;
+    Rec.Iteration = Index;
+    Rec.Warmup = Warmup;
+    Rec.Objects = Delta.get(metrics::Metric::Object);
+    Rec.Arrays = Delta.get(metrics::Metric::Array);
+    Rec.Nanos = Nanos;
+    Records.push_back(std::move(Rec));
+  }
+
+  const std::vector<IterationAllocation> &records() const {
+    return Records;
+  }
+
+  /// Mean steady-state allocation rate (objects/ms) across all recorded
+  /// benchmarks (0 when nothing was recorded).
+  double meanSteadyObjectsPerMs() const {
+    double Sum = 0.0;
+    unsigned Count = 0;
+    for (const IterationAllocation &R : Records) {
+      if (R.Warmup)
+        continue;
+      Sum += R.objectsPerMs();
+      ++Count;
+    }
+    return Count == 0 ? 0.0 : Sum / Count;
+  }
+
+private:
+  metrics::MetricSnapshot Before;
+  std::vector<IterationAllocation> Records;
+};
+
+} // namespace harness
+} // namespace ren
+
+#endif // REN_HARNESS_PLUGINS_H

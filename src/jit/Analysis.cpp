@@ -1,0 +1,196 @@
+//===- jit/Analysis.cpp ----------------------------------------------------==//
+
+#include "jit/Analysis.h"
+
+#include <algorithm>
+
+using namespace ren;
+using namespace ren::jit;
+
+//===----------------------------------------------------------------------===//
+// DominatorTree
+//===----------------------------------------------------------------------===//
+
+DominatorTree::DominatorTree(const Function &F) {
+  // Depth-first post-order from the entry.
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  Stack.push_back({F.entry(), 0});
+  Visited.insert(F.entry());
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    auto Succs = Block->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Cooper-Harvey-Kennedy iterative algorithm.
+  Idom[F.entry()] = F.entry();
+  bool Changed = true;
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex.at(A) > RpoIndex.at(B))
+        A = Idom.at(A);
+      while (RpoIndex.at(B) > RpoIndex.at(A))
+        B = Idom.at(B);
+    }
+    return A;
+  };
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *B : Rpo) {
+      if (B == F.entry())
+        continue;
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *P : B->Preds) {
+        if (!Idom.count(P))
+          continue; // not yet processed / unreachable
+        NewIdom = NewIdom ? intersect(NewIdom, P) : P;
+      }
+      if (!NewIdom)
+        continue;
+      auto It = Idom.find(B);
+      if (It == Idom.end() || It->second != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *B) const {
+  auto It = Idom.find(B);
+  if (It == Idom.end() || It->second == B)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  const BasicBlock *Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    auto It = Idom.find(Cur);
+    if (It == Idom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loops
+//===----------------------------------------------------------------------===//
+
+std::vector<Loop> ren::jit::findLoops(const Function &F,
+                                      const DominatorTree &Dom) {
+  std::vector<Loop> Loops;
+  for (const auto &B : F.Blocks) {
+    for (BasicBlock *Succ : B->successors()) {
+      if (!Dom.dominates(Succ, B.get()))
+        continue;
+      // Back edge B -> Succ: collect the natural loop.
+      Loop L;
+      L.Header = Succ;
+      L.Latch = B.get();
+      L.Blocks.insert(Succ);
+      std::vector<BasicBlock *> Work;
+      if (B.get() != Succ) {
+        L.Blocks.insert(B.get());
+        Work.push_back(B.get());
+      }
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        for (BasicBlock *P : Cur->Preds)
+          if (L.Blocks.insert(P).second)
+            Work.push_back(P);
+      }
+      // Preheader: the unique out-of-loop predecessor of the header.
+      BasicBlock *Pre = nullptr;
+      bool Unique = true;
+      for (BasicBlock *P : L.Header->Preds) {
+        if (L.contains(P))
+          continue;
+        if (Pre)
+          Unique = false;
+        Pre = P;
+      }
+      L.Preheader = Unique ? Pre : nullptr;
+      Loops.push_back(std::move(L));
+    }
+  }
+  return Loops;
+}
+
+bool ren::jit::matchCountedLoop(const Loop &L, CountedLoop &Out) {
+  if (!L.Preheader)
+    return false;
+  BasicBlock *H = L.Header;
+  Instruction *Term = H->terminator();
+  if (!Term || Term->Op != Opcode::Branch)
+    return false;
+  // The branch must stay in the loop on true and exit on false.
+  if (!L.contains(Term->TrueTarget) || L.contains(Term->FalseTarget))
+    return false;
+  Instruction *Cmp = Term->Operands[0];
+  if (Cmp->Op != Opcode::CmpLt || Cmp->Parent != H)
+    return false;
+  Instruction *IndVar = Cmp->Operands[0];
+  Instruction *Bound = Cmp->Operands[1];
+  if (IndVar->Op != Opcode::Phi || IndVar->Parent != H)
+    return false;
+  if (!isLoopInvariant(L, Bound) && Bound->Op != Opcode::Const)
+    return false;
+  // Phi: one incoming from the preheader (init), one from the latch (step).
+  if (IndVar->Operands.size() != 2)
+    return false;
+  Instruction *Init = nullptr, *Step = nullptr;
+  for (size_t I = 0; I < 2; ++I) {
+    if (IndVar->PhiBlocks[I] == L.Preheader)
+      Init = IndVar->Operands[I];
+    else if (L.contains(IndVar->PhiBlocks[I]))
+      Step = IndVar->Operands[I];
+  }
+  if (!Init || !Step)
+    return false;
+  if (Step->Op != Opcode::Add || !L.contains(Step))
+    return false;
+  Instruction *StepConst = nullptr;
+  if (Step->Operands[0] == IndVar &&
+      Step->Operands[1]->Op == Opcode::Const)
+    StepConst = Step->Operands[1];
+  else if (Step->Operands[1] == IndVar &&
+           Step->Operands[0]->Op == Opcode::Const)
+    StepConst = Step->Operands[0];
+  if (!StepConst || StepConst->Imm <= 0)
+    return false;
+
+  Out.TheLoop = L;
+  Out.Induction = IndVar;
+  Out.Init = Init;
+  Out.Step = Step;
+  Out.StepValue = StepConst->Imm;
+  Out.Bound = Bound;
+  Out.Compare = Cmp;
+  Out.Exit = Term->FalseTarget;
+  return true;
+}
+
+bool ren::jit::isLoopInvariant(const Loop &L, const Instruction *I) {
+  if (I->Op == Opcode::Const || I->Op == Opcode::Param)
+    return true;
+  if (L.contains(I))
+    return false;
+  return true;
+}

@@ -1,0 +1,91 @@
+//===- jit/Analysis.h - CFG analyses: dominators and loops ------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator-tree and natural-loop analyses over the mini-JIT CFG, used by
+/// the optimization passes (guard motion, lock coarsening, vectorization,
+/// dominance-based duplication).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_ANALYSIS_H
+#define REN_JIT_ANALYSIS_H
+
+#include "jit/Ir.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ren {
+namespace jit {
+
+/// Immediate-dominator tree (Cooper-Harvey-Kennedy iteration).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator of \p B (nullptr for the entry block).
+  BasicBlock *idom(const BasicBlock *B) const;
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Reverse post-order of reachable blocks.
+  const std::vector<BasicBlock *> &reversePostOrder() const { return Rpo; }
+
+private:
+  std::vector<BasicBlock *> Rpo;
+  std::unordered_map<const BasicBlock *, unsigned> RpoIndex;
+  std::unordered_map<const BasicBlock *, BasicBlock *> Idom;
+};
+
+/// A natural loop discovered from a back edge Latch -> Header.
+struct Loop {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr;
+  /// All blocks of the loop body (including header and latch).
+  std::unordered_set<BasicBlock *> Blocks;
+  /// The unique out-of-loop predecessor of the header, if there is exactly
+  /// one (the preheader); nullptr otherwise.
+  BasicBlock *Preheader = nullptr;
+
+  bool contains(const BasicBlock *B) const {
+    return Blocks.count(const_cast<BasicBlock *>(B)) != 0;
+  }
+
+  bool contains(const Instruction *I) const { return contains(I->Parent); }
+};
+
+/// Finds all natural loops of \p F.
+std::vector<Loop> findLoops(const Function &F, const DominatorTree &Dom);
+
+/// A recognized counted loop:
+///   header: i = phi(init from preheader, step from latch)
+///           cond = cmplt(i, bound); br cond body, exit
+/// with i incremented by a constant in the loop.
+struct CountedLoop {
+  Loop TheLoop;
+  Instruction *Induction = nullptr; ///< the phi
+  Instruction *Init = nullptr;      ///< initial value (from preheader)
+  Instruction *Step = nullptr;      ///< the add producing the next value
+  int64_t StepValue = 0;            ///< constant increment
+  Instruction *Bound = nullptr;     ///< loop bound operand of the compare
+  Instruction *Compare = nullptr;   ///< the cmplt
+  BasicBlock *Exit = nullptr;       ///< the false target of the branch
+};
+
+/// Attempts to match \p L as a counted loop. \returns true on success.
+bool matchCountedLoop(const Loop &L, CountedLoop &Out);
+
+/// True if \p I is invariant in \p L: all of its operands are defined
+/// outside the loop or are constants (one level; no recursion).
+bool isLoopInvariant(const Loop &L, const Instruction *I);
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_ANALYSIS_H

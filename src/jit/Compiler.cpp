@@ -1,0 +1,120 @@
+//===- jit/Compiler.cpp ----------------------------------------------------==//
+
+#include "jit/Compiler.h"
+
+#include "jit/Passes.h"
+#include "support/Clock.h"
+
+using namespace ren;
+using namespace ren::jit;
+
+OptConfig OptConfig::graal() { return OptConfig(); }
+
+OptConfig OptConfig::c2() {
+  OptConfig C;
+  C.Eawa = false; // no atomics support in its escape analysis
+  C.BasePea = true;
+  C.Llc = false;
+  C.Ac = false;
+  C.Mhs = false;
+  C.Dbds = false;
+  C.Gm = true;
+  C.Lv = true;
+  C.Unroll = true;
+  C.InlineThreshold = 12; // conservative inlining, unlike Graal
+  return C;
+}
+
+OptConfig OptConfig::graalWithout(const std::string &PassShortName) {
+  OptConfig C;
+  if (PassShortName == "AC")
+    C.Ac = false;
+  else if (PassShortName == "DS")
+    C.Dbds = false;
+  else if (PassShortName == "EAWA")
+    C.Eawa = false; // BasePea stays on: §6 disables only the atomics part
+  else if (PassShortName == "GM")
+    C.Gm = false;
+  else if (PassShortName == "LV")
+    C.Lv = false;
+  else if (PassShortName == "LLC")
+    C.Llc = false;
+  else if (PassShortName == "MHS")
+    C.Mhs = false;
+  else
+    assert(false && "unknown pass short name");
+  return C;
+}
+
+const std::vector<std::string> &OptConfig::passShortNames() {
+  static const std::vector<std::string> Names = {"AC", "DS",  "EAWA", "GM",
+                                                 "LV", "LLC", "MHS"};
+  return Names;
+}
+
+uint64_t ren::jit::estimateCodeBytes(const Function &F) {
+  // A frame prologue/epilogue plus ~14 bytes of machine code per IR node,
+  // in the ballpark of compiled bytecode expansion on x86-64.
+  return 64 + 14ull * F.instructionCount();
+}
+
+std::vector<CompileStats> ren::jit::compileModule(Module &M,
+                                                  const OptConfig &Config) {
+  std::vector<CompileStats> AllStats;
+  for (const auto &FPtr : M.functions()) {
+    Function &F = *FPtr;
+    CompileStats Stats;
+    Stats.FunctionName = F.Name;
+    Stats.NodesBefore = F.instructionCount();
+
+    auto runPass = [&](const char *Name, auto Body) {
+      uint64_t Begin = wallNanos();
+      bool Changed = Body();
+      PassStat P;
+      P.PassName = Name;
+      P.WallNanos = wallNanos() - Begin;
+      P.ChangedIr = Changed;
+      Stats.Passes.push_back(P);
+      if (Changed) {
+        [[maybe_unused]] std::string Error = F.verify();
+        assert(Error.empty() && "pass produced malformed IR");
+      }
+    };
+
+    // Pipeline order mirrors the paper's description: abstraction-lowering
+    // passes first (MHS + inlining + PEA), then the concurrency and loop
+    // optimizations, with folding as the connective cleanup.
+    runPass("ConstantFolding", [&] { return runConstantFolding(F); });
+    if (Config.Mhs)
+      runPass("MethodHandleSimplification",
+              [&] { return runMethodHandleSimplification(M, F); });
+    if (Config.Inline)
+      runPass("Inlining",
+              [&] { return runInliner(M, F, Config.InlineThreshold); });
+    if (Config.Eawa)
+      runPass("EscapeAnalysisWithAtomics",
+              [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/true); });
+    else if (Config.BasePea)
+      runPass("PartialEscapeAnalysis",
+              [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/false); });
+    if (Config.Ac)
+      runPass("AtomicCoalescing", [&] { return runAtomicCoalescing(F); });
+    if (Config.Llc)
+      runPass("LockCoarsening",
+              [&] { return runLockCoarsening(F, Config.LlcChunk); });
+    if (Config.Dbds)
+      runPass("Duplication", [&] { return runDuplication(F); });
+    if (Config.Gm)
+      runPass("GuardMotion", [&] { return runGuardMotion(F); });
+    if (Config.Lv)
+      runPass("LoopVectorization",
+              [&] { return runLoopVectorization(F); });
+    if (Config.Unroll)
+      runPass("LoopUnrolling", [&] { return runLoopUnrolling(F); });
+    runPass("ConstantFolding", [&] { return runConstantFolding(F); });
+
+    Stats.NodesAfter = F.instructionCount();
+    AllStats.push_back(std::move(Stats));
+  }
+  return AllStats;
+}

@@ -1,0 +1,96 @@
+//===- jit/Compiler.h - Optimization pipeline and configs -------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation pipeline: an optimization configuration (which of the
+/// §5 passes run), per-pass timing (Table 16), and compiled-code-size
+/// accounting (Fig 7).
+///
+/// Two named configurations mirror the paper's §6 compiler comparison:
+///  - "graal": all seven studied optimizations plus inlining;
+///  - "c2": the classic HotSpot-server-style set — basic escape analysis
+///    (without atomics), guard motion, vectorization, inlining and 4x
+///    unrolling (its distinguishing classic loop optimization), but none
+///    of the four newly proposed passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_COMPILER_H
+#define REN_JIT_COMPILER_H
+
+#include "jit/Ir.h"
+
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace jit {
+
+/// Which optimizations the pipeline runs.
+struct OptConfig {
+  bool Inline = true;
+  bool Eawa = true;  ///< §5.1 escape analysis *with atomics*
+  bool BasePea = true; ///< baseline PEA (no atomics) when Eawa is off
+  bool Llc = true;   ///< §5.2 loop-wide lock coarsening
+  bool Ac = true;    ///< §5.3 atomic-operation coalescing
+  bool Mhs = true;   ///< §5.4 method-handle simplification
+  bool Gm = true;    ///< §5.5 speculative guard motion
+  bool Lv = true;    ///< §5.6 loop vectorization
+  bool Dbds = true;  ///< §5.7 duplication simulation
+  bool Unroll = false; ///< classic 4x unrolling (C2 flavour)
+  unsigned LlcChunk = 32;
+  /// Maximum callee size the inliner accepts. Graal's inliner is markedly
+  /// more aggressive than C2's — a large part of its general advantage.
+  unsigned InlineThreshold = 48;
+
+  /// All §5 optimizations enabled (the paper's experimental baseline).
+  static OptConfig graal();
+
+  /// The HotSpot-C2-style configuration.
+  static OptConfig c2();
+
+  /// graal() with exactly one §5 pass disabled, by short name:
+  /// "AC", "DS", "EAWA", "GM", "LV", "LLC", "MHS".
+  static OptConfig graalWithout(const std::string &PassShortName);
+
+  /// The seven short names in the paper's column order.
+  static const std::vector<std::string> &passShortNames();
+};
+
+/// Wall-time and size effect of one pass over one function.
+struct PassStat {
+  std::string PassName;
+  uint64_t WallNanos = 0;
+  bool ChangedIr = false;
+};
+
+/// The result of compiling one function.
+struct CompileStats {
+  std::string FunctionName;
+  unsigned NodesBefore = 0;
+  unsigned NodesAfter = 0;
+  std::vector<PassStat> Passes;
+
+  uint64_t totalCompileNanos() const {
+    uint64_t T = 0;
+    for (const PassStat &P : Passes)
+      T += P.WallNanos;
+    return T;
+  }
+};
+
+/// Modelled machine-code bytes for a compiled function: a fixed frame cost
+/// plus a per-IR-node expansion factor (Fig 7's "code size").
+uint64_t estimateCodeBytes(const Function &F);
+
+/// Runs the configured pipeline over every function of \p M in place.
+/// \returns per-function statistics.
+std::vector<CompileStats> compileModule(Module &M, const OptConfig &Config);
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_COMPILER_H

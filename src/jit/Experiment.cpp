@@ -1,0 +1,40 @@
+//===- jit/Experiment.cpp --------------------------------------------------==//
+
+#include "jit/Experiment.h"
+
+using namespace ren;
+using namespace ren::jit;
+
+KernelRun ren::jit::runKernel(const kernels::Kernel &K,
+                              const OptConfig &Config) {
+  KernelRun Out;
+  std::unique_ptr<Module> M = K.M->clone();
+  Out.Compilation = compileModule(*M, Config);
+  for (const CompileStats &S : Out.Compilation) {
+    Out.TotalNodesBefore += S.NodesBefore;
+    Out.TotalNodesAfter += S.NodesAfter;
+  }
+
+  Interpreter Interp(*M);
+  for (const kernels::Invocation &Inv : K.Invocations) {
+    Function *F = M->function(Inv.FunctionName);
+    assert(F && "kernel invocation names unknown function");
+    ExecResult R = Interp.run(*F, Inv.Args);
+    Out.Cycles += R.Cycles;
+    Out.ResultHash = static_cast<int64_t>(
+        static_cast<uint64_t>(Out.ResultHash) * 1000003u +
+        static_cast<uint64_t>(R.ReturnValue));
+    for (size_t G = 0; G < R.Guards.Normal.size(); ++G) {
+      Out.Guards.Normal[G] += R.Guards.Normal[G];
+      Out.Guards.Speculative[G] += R.Guards.Speculative[G];
+    }
+    Out.CasExecuted += R.CasExecuted;
+    Out.CallsExecuted += R.CallsExecuted;
+    Out.MonitorOps += R.MonitorOps;
+    Out.Allocations += R.Allocations;
+    Out.MhDispatches += R.MhDispatches;
+    for (const auto &[Name, Cycles] : R.CyclesByFunction)
+      Out.CyclesByFunction[Name] += Cycles;
+  }
+  return Out;
+}

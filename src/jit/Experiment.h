@@ -1,0 +1,50 @@
+//===- jit/Experiment.h - Kernel execution under a config -------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue for the §5/§6 experiments: compile a benchmark kernel under an
+/// optimization configuration and execute it, collecting modelled cycles,
+/// guard counters and compilation statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_EXPERIMENT_H
+#define REN_JIT_EXPERIMENT_H
+
+#include "jit/Compiler.h"
+#include "jit/Interp.h"
+#include "jit/Kernels.h"
+
+namespace ren {
+namespace jit {
+
+/// The outcome of one kernel execution under one configuration.
+struct KernelRun {
+  uint64_t Cycles = 0;
+  int64_t ResultHash = 0; ///< order-sensitive hash of invocation results
+  GuardCounts Guards;
+  uint64_t CasExecuted = 0;
+  uint64_t CallsExecuted = 0;
+  uint64_t MonitorOps = 0;
+  uint64_t Allocations = 0;
+  uint64_t MhDispatches = 0;
+  /// Per-function cycle attribution (for the §5.4 hot-method table).
+  std::unordered_map<std::string, uint64_t> CyclesByFunction;
+  /// Compilation statistics of the configured pipeline.
+  std::vector<CompileStats> Compilation;
+  /// Total optimized IR nodes across the module (Fig 7 ingredient).
+  unsigned TotalNodesAfter = 0;
+  unsigned TotalNodesBefore = 0;
+};
+
+/// Clones the kernel module, compiles it under \p Config, runs every
+/// invocation in order and aggregates the results.
+KernelRun runKernel(const kernels::Kernel &K, const OptConfig &Config);
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_EXPERIMENT_H

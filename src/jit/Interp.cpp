@@ -1,0 +1,356 @@
+//===- jit/Interp.cpp ------------------------------------------------------==//
+
+#include "jit/Interp.h"
+
+#include <algorithm>
+#include <array>
+
+using namespace ren;
+using namespace ren::jit;
+
+namespace {
+
+constexpr unsigned kMaxCallDepth = 64;
+
+/// Two's-complement wrapping arithmetic (Java long semantics).
+int64_t wrapAdd(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                              static_cast<uint64_t>(R));
+}
+int64_t wrapSub(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                              static_cast<uint64_t>(R));
+}
+int64_t wrapMul(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                              static_cast<uint64_t>(R));
+}
+
+int64_t evalBinary(Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case Opcode::Add:
+    return wrapAdd(L, R);
+  case Opcode::Sub:
+    return wrapSub(L, R);
+  case Opcode::Mul:
+    return wrapMul(L, R);
+  case Opcode::Div:
+    return R == 0 ? 0 : L / R;
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::Shl:
+    return L << (R & 63);
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) >> (R & 63));
+  case Opcode::Min:
+    return std::min(L, R);
+  case Opcode::Max:
+    return std::max(L, R);
+  case Opcode::CmpLt:
+    return L < R ? 1 : 0;
+  case Opcode::CmpLe:
+    return L <= R ? 1 : 0;
+  case Opcode::CmpEq:
+    return L == R ? 1 : 0;
+  case Opcode::CmpNe:
+    return L != R ? 1 : 0;
+  default:
+    assert(false && "not a binary op");
+    return 0;
+  }
+}
+
+} // namespace
+
+const std::vector<int64_t> &Interpreter::arrayState(unsigned ArrayId) {
+  if (!ArraysInitialized) {
+    for (size_t I = 0; I < M.numArrays(); ++I)
+      Arrays.push_back(M.arrayInit(static_cast<unsigned>(I)));
+    ArraysInitialized = true;
+  }
+  assert(ArrayId < Arrays.size() && "bad array id");
+  return Arrays[ArrayId];
+}
+
+ExecResult Interpreter::run(const Function &F,
+                            const std::vector<int64_t> &Args) {
+  if (!ArraysInitialized) {
+    for (size_t I = 0; I < M.numArrays(); ++I)
+      Arrays.push_back(M.arrayInit(static_cast<unsigned>(I)));
+    ArraysInitialized = true;
+  }
+  ExecResult Result;
+  Result.ReturnValue = execFunction(F, Args, Result, 0);
+  return Result;
+}
+
+int64_t Interpreter::execFunction(const Function &F,
+                                  const std::vector<int64_t> &Args,
+                                  ExecResult &Result, unsigned Depth) {
+  assert(Depth < kMaxCallDepth && "call depth exceeded");
+  assert(Args.size() == F.NumParams && "argument count mismatch");
+
+  // Register file indexed by instruction renumbering. The const_cast is
+  // confined to renumber(): executing does not mutate the IR otherwise.
+  unsigned NumValues = const_cast<Function &>(F).renumber();
+  std::vector<int64_t> Regs(NumValues, 0);
+  // Lane storage for vectorized instructions (Lanes == 4). Scalar
+  // consumers of a vector value see lane 0 via Regs.
+  std::vector<std::array<int64_t, 4>> VRegs(NumValues, {0, 0, 0, 0});
+  uint64_t &FnCycles = Result.CyclesByFunction[F.Name];
+
+  auto readLane = [&](const Instruction *Operand, unsigned Lane) {
+    return Operand->Lanes > 1 ? VRegs[Operand->Index][Lane]
+                              : Regs[Operand->Index];
+  };
+
+  auto charge = [&](uint64_t Cycles) {
+    Result.Cycles += Cycles;
+    FnCycles += Cycles;
+  };
+
+  const BasicBlock *Block = F.entry();
+  const BasicBlock *PrevBlock = nullptr;
+
+  for (;;) {
+    // Phase 1: evaluate all phis in parallel against PrevBlock.
+    size_t FirstNonPhi = 0;
+    {
+      std::vector<std::tuple<unsigned, int64_t, std::array<int64_t, 4>>>
+          PhiWrites;
+      for (const auto &I : Block->Insts) {
+        if (I->Op != Opcode::Phi)
+          break;
+        ++FirstNonPhi;
+        assert(PrevBlock && "phi in entry block");
+        const Instruction *Incoming = nullptr;
+        for (size_t K = 0; K < I->PhiBlocks.size(); ++K) {
+          if (I->PhiBlocks[K] == PrevBlock) {
+            Incoming = I->Operands[K];
+            break;
+          }
+        }
+        assert(Incoming && "phi has no incoming value for predecessor");
+        std::array<int64_t, 4> Vec = {0, 0, 0, 0};
+        if (I->Lanes > 1)
+          for (unsigned L = 0; L < 4; ++L)
+            Vec[L] = readLane(Incoming, L);
+        PhiWrites.push_back({I->Index, Regs[Incoming->Index], Vec});
+        charge(Costs.PhiMove);
+        ++Result.InstructionsExecuted;
+      }
+      for (auto &[Index, Value, Vec] : PhiWrites) {
+        Regs[Index] = Value;
+        VRegs[Index] = Vec;
+      }
+    }
+
+    // Phase 2: straight-line execution.
+    for (size_t Pos = FirstNonPhi; Pos < Block->Insts.size(); ++Pos) {
+      const Instruction *I = Block->Insts[Pos].get();
+      ++Result.InstructionsExecuted;
+      switch (I->Op) {
+      case Opcode::Const:
+        Regs[I->Index] = I->Imm;
+        break;
+      case Opcode::Param:
+        Regs[I->Index] = Args[static_cast<size_t>(I->Imm)];
+        break;
+      case Opcode::Phi:
+        assert(false && "phi after non-phi");
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Min:
+      case Opcode::Max: {
+        if (I->Lanes > 1) {
+          for (unsigned L = 0; L < 4; ++L)
+            VRegs[I->Index][L] = evalBinary(I->Op, readLane(I->Operands[0], L),
+                                            readLane(I->Operands[1], L));
+          Regs[I->Index] = VRegs[I->Index][0];
+          charge(Costs.Arith + Costs.VectorOverhead);
+        } else {
+          Regs[I->Index] = evalBinary(I->Op, Regs[I->Operands[0]->Index],
+                                      Regs[I->Operands[1]->Index]);
+          charge(Costs.Arith);
+        }
+        break;
+      }
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        Regs[I->Index] = evalBinary(I->Op, Regs[I->Operands[0]->Index],
+                                    Regs[I->Operands[1]->Index]);
+        charge(Costs.Compare);
+        break;
+      case Opcode::Load: {
+        auto &Array = Arrays[static_cast<size_t>(I->Imm)];
+        uint64_t Index =
+            static_cast<uint64_t>(Regs[I->Operands[0]->Index]);
+        if (I->Lanes > 1) {
+          assert(Index + 3 < Array.size() && "vector load out of bounds");
+          for (unsigned L = 0; L < 4; ++L)
+            VRegs[I->Index][L] = Array[Index + L];
+          Regs[I->Index] = VRegs[I->Index][0];
+          charge(Costs.Load + Costs.VectorOverhead);
+        } else {
+          assert(Index < Array.size() && "load out of bounds");
+          Regs[I->Index] = Array[Index];
+          charge(Costs.Load);
+        }
+        break;
+      }
+      case Opcode::Store: {
+        auto &Array = Arrays[static_cast<size_t>(I->Imm)];
+        uint64_t Index =
+            static_cast<uint64_t>(Regs[I->Operands[0]->Index]);
+        if (I->Lanes > 1) {
+          assert(Index + 3 < Array.size() && "vector store out of bounds");
+          for (unsigned L = 0; L < 4; ++L)
+            Array[Index + L] = readLane(I->Operands[1], L);
+          charge(Costs.Store + Costs.VectorOverhead);
+        } else {
+          assert(Index < Array.size() && "store out of bounds");
+          Array[Index] = Regs[I->Operands[1]->Index];
+          charge(Costs.Store);
+        }
+        break;
+      }
+      case Opcode::NewObject: {
+        const ClassInfo &C = M.classInfo(static_cast<unsigned>(I->Imm));
+        Objects.emplace_back(C.NumFields, 0);
+        ObjectClasses.push_back(static_cast<unsigned>(I->Imm));
+        Regs[I->Index] = static_cast<int64_t>(Objects.size());
+        charge(Costs.AllocBase + C.NumFields * Costs.FieldAccess);
+        ++Result.Allocations;
+        break;
+      }
+      case Opcode::GetField: {
+        int64_t Ref = Regs[I->Operands[0]->Index];
+        assert(Ref > 0 && "null dereference");
+        Regs[I->Index] =
+            Objects[static_cast<size_t>(Ref - 1)]
+                   [static_cast<size_t>(I->Imm)];
+        charge(Costs.FieldAccess);
+        break;
+      }
+      case Opcode::PutField: {
+        int64_t Ref = Regs[I->Operands[0]->Index];
+        assert(Ref > 0 && "null dereference");
+        Objects[static_cast<size_t>(Ref - 1)][static_cast<size_t>(I->Imm)] =
+            Regs[I->Operands[1]->Index];
+        charge(Costs.FieldAccess);
+        break;
+      }
+      case Opcode::Cas: {
+        int64_t Ref = Regs[I->Operands[0]->Index];
+        assert(Ref > 0 && "null dereference");
+        auto &Field =
+            Objects[static_cast<size_t>(Ref - 1)]
+                   [static_cast<size_t>(I->Imm)];
+        int64_t Expected = Regs[I->Operands[1]->Index];
+        int64_t NewValue = Regs[I->Operands[2]->Index];
+        if (Field == Expected) {
+          Field = NewValue;
+          Regs[I->Index] = 1;
+        } else {
+          Regs[I->Index] = 0;
+        }
+        charge(Costs.CasOp);
+        ++Result.CasExecuted;
+        break;
+      }
+      case Opcode::Extract: {
+        const Instruction *Src = I->Operands[0];
+        Regs[I->Index] = Src->Lanes > 1
+                             ? VRegs[Src->Index][static_cast<size_t>(I->Imm)]
+                             : Regs[Src->Index];
+        charge(Costs.Arith);
+        break;
+      }
+      case Opcode::MonitorEnter:
+        charge(Costs.MonitorEnterOp);
+        ++Result.MonitorOps;
+        break;
+      case Opcode::MonitorExit:
+        charge(Costs.MonitorExitOp);
+        ++Result.MonitorOps;
+        break;
+      case Opcode::Guard: {
+        [[maybe_unused]] int64_t Cond = Regs[I->Operands[0]->Index];
+        assert(Cond != 0 && "guard failed (kernels never deoptimize)");
+        auto &Slot = I->Speculative
+                         ? Result.Guards.Speculative
+                         : Result.Guards.Normal;
+        ++Slot[static_cast<size_t>(I->Kind)];
+        charge(Costs.GuardOp);
+        Regs[I->Index] = 1;
+        break;
+      }
+      case Opcode::InstanceOf: {
+        // Objects carry the class id recorded at allocation.
+        int64_t Ref = Regs[I->Operands[0]->Index];
+        Regs[I->Index] =
+            Ref > 0 && ObjectClasses[static_cast<size_t>(Ref - 1)] ==
+                           static_cast<unsigned>(I->Imm)
+                ? 1
+                : 0;
+        charge(Costs.InstanceOfOp);
+        break;
+      }
+      case Opcode::Invoke: {
+        const Function *Callee =
+            M.functionById(static_cast<size_t>(I->Imm));
+        std::vector<int64_t> CallArgs;
+        CallArgs.reserve(I->Operands.size());
+        for (const Instruction *A : I->Operands)
+          CallArgs.push_back(Regs[A->Index]);
+        charge(Costs.CallOverhead);
+        ++Result.CallsExecuted;
+        Regs[I->Index] = execFunction(*Callee, CallArgs, Result, Depth + 1);
+        break;
+      }
+      case Opcode::MethodHandleInvoke: {
+        const Function *Callee =
+            M.handleTarget(static_cast<unsigned>(I->Imm));
+        std::vector<int64_t> CallArgs;
+        CallArgs.reserve(I->Operands.size());
+        for (const Instruction *A : I->Operands)
+          CallArgs.push_back(Regs[A->Index]);
+        charge(Costs.MhDispatch);
+        ++Result.MhDispatches;
+        Regs[I->Index] = execFunction(*Callee, CallArgs, Result, Depth + 1);
+        break;
+      }
+      case Opcode::Branch: {
+        charge(Costs.Branch);
+        PrevBlock = Block;
+        Block = Regs[I->Operands[0]->Index] != 0 ? I->TrueTarget
+                                                 : I->FalseTarget;
+        goto nextBlock;
+      }
+      case Opcode::Jump:
+        charge(Costs.Branch);
+        PrevBlock = Block;
+        Block = I->TrueTarget;
+        goto nextBlock;
+      case Opcode::Return:
+        return Regs[I->Operands[0]->Index];
+      }
+    }
+    assert(false && "fell off the end of a block");
+  nextBlock:;
+  }
+}

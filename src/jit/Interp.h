@@ -1,0 +1,118 @@
+//===- jit/Interp.h - Deterministic cost-model interpreter ------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes mini-JIT IR under a deterministic cycle cost model.
+///
+/// This is the measurement substrate for the §5/§6 experiments: a kernel is
+/// compiled under some optimization configuration and then *executed* here;
+/// the modelled cycle count is the quantity the impact studies compare.
+/// Costs approximate the relative expense of the modelled operations on the
+/// paper's hardware: a CAS is tens of cycles, monitor enter/exit more,
+/// guards a couple of cycles, a polymorphic method-handle dispatch is an
+/// uninlinable call, and a vector operation amortizes its lanes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_INTERP_H
+#define REN_JIT_INTERP_H
+
+#include "jit/Ir.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+namespace ren {
+namespace jit {
+
+/// Cycle costs per modelled operation.
+struct CostModel {
+  uint64_t Arith = 1;
+  uint64_t Compare = 1;
+  uint64_t Branch = 1;
+  uint64_t PhiMove = 0;
+  uint64_t Load = 3;
+  uint64_t Store = 3;
+  uint64_t AllocBase = 24;
+  uint64_t FieldAccess = 2;
+  uint64_t CasOp = 30;
+  uint64_t MonitorEnterOp = 40;
+  uint64_t MonitorExitOp = 20;
+  uint64_t GuardOp = 2;
+  uint64_t InstanceOfOp = 4;
+  uint64_t CallOverhead = 15;
+  /// Polymorphic method-handle dispatch: lookup + uninlinable call.
+  uint64_t MhDispatch = 45;
+  /// A vectorized op costs one scalar op plus this per extra lane bundle.
+  uint64_t VectorOverhead = 1;
+};
+
+/// Per-guard-kind execution counters (the §5.5 table), split by whether
+/// the guard was a hoisted speculative variant.
+struct GuardCounts {
+  std::array<uint64_t, 5> Normal = {};      // indexed by GuardKind
+  std::array<uint64_t, 5> Speculative = {}; // indexed by GuardKind
+
+  uint64_t total() const {
+    uint64_t T = 0;
+    for (uint64_t N : Normal)
+      T += N;
+    for (uint64_t N : Speculative)
+      T += N;
+    return T;
+  }
+};
+
+/// The outcome of executing one entry function.
+struct ExecResult {
+  int64_t ReturnValue = 0;
+  uint64_t Cycles = 0;
+  uint64_t InstructionsExecuted = 0;
+  GuardCounts Guards;
+  uint64_t CasExecuted = 0;
+  uint64_t MonitorOps = 0;
+  uint64_t Allocations = 0;
+  uint64_t CallsExecuted = 0;
+  uint64_t MhDispatches = 0;
+  /// Modelled cycles attributed to each function (inclusive of callees'
+  /// own attribution; call overhead attributed to the caller).
+  std::unordered_map<std::string, uint64_t> CyclesByFunction;
+};
+
+/// Executes IR functions of one module against fresh heap state.
+class Interpreter {
+public:
+  explicit Interpreter(const Module &M, CostModel Costs = CostModel())
+      : M(M), Costs(Costs) {}
+
+  /// Runs \p F with \p Args. Array state persists across calls within
+  /// this interpreter (module arrays are copied on construction).
+  ExecResult run(const Function &F, const std::vector<int64_t> &Args);
+
+  /// Read access to a module array's current contents (for tests).
+  const std::vector<int64_t> &arrayState(unsigned ArrayId);
+
+private:
+  struct Frame;
+
+  int64_t execFunction(const Function &F, const std::vector<int64_t> &Args,
+                       ExecResult &Result, unsigned Depth);
+
+  const Module &M;
+  CostModel Costs;
+  // Heap: arrays initialized lazily from the module; objects are rows of
+  // fields, ref = index + 1 (0 is null).
+  std::vector<std::vector<int64_t>> Arrays;
+  bool ArraysInitialized = false;
+  std::vector<std::vector<int64_t>> Objects;
+  std::vector<unsigned> ObjectClasses; // dynamic class of each object
+};
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_INTERP_H

@@ -1,0 +1,358 @@
+//===- jit/Ir.cpp ----------------------------------------------------------==//
+
+#include "jit/Ir.h"
+
+#include <algorithm>
+
+using namespace ren;
+using namespace ren::jit;
+
+const char *ren::jit::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Param:
+    return "param";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::NewObject:
+    return "new";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::Cas:
+    return "cas";
+  case Opcode::MonitorEnter:
+    return "monitorenter";
+  case Opcode::MonitorExit:
+    return "monitorexit";
+  case Opcode::Extract:
+    return "extract";
+  case Opcode::Guard:
+    return "guard";
+  case Opcode::InstanceOf:
+    return "instanceof";
+  case Opcode::Invoke:
+    return "invoke";
+  case Opcode::MethodHandleInvoke:
+    return "mhinvoke";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::Jump:
+    return "jmp";
+  case Opcode::Return:
+    return "ret";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+bool ren::jit::isTerminator(Opcode Op) {
+  return Op == Opcode::Branch || Op == Opcode::Jump || Op == Opcode::Return;
+}
+
+bool ren::jit::isVectorizable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Load:
+  case Opcode::Store:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ren::jit::guardKindName(GuardKind K) {
+  switch (K) {
+  case GuardKind::BoundsCheck:
+    return "BoundsCheckException";
+  case GuardKind::NullCheck:
+    return "NullCheckException";
+  case GuardKind::TypeCheck:
+    return "TypeCheckException";
+  case GuardKind::UnreachedCode:
+    return "UnreachedCode";
+  case GuardKind::Other:
+    return "Others";
+  }
+  assert(false && "unknown guard kind");
+  return "?";
+}
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  assert(!terminator() && "appending past a terminator");
+  Inst->Parent = this;
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Pos,
+                                  std::unique_ptr<Instruction> Inst) {
+  assert(Pos <= Insts.size() && "insert position out of range");
+  Inst->Parent = this;
+  auto It = Insts.insert(Insts.begin() + static_cast<ptrdiff_t>(Pos),
+                         std::move(Inst));
+  return It->get();
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *Term = terminator();
+  if (!Term)
+    return {};
+  switch (Term->Op) {
+  case Opcode::Jump:
+    return {Term->TrueTarget};
+  case Opcode::Branch:
+    return {Term->TrueTarget, Term->FalseTarget};
+  default:
+    return {};
+  }
+}
+
+BasicBlock *Function::addBlock(const std::string &Label) {
+  Blocks.push_back(std::make_unique<BasicBlock>(NextBlockId++, Label));
+  return Blocks.back().get();
+}
+
+void Function::recomputePreds() {
+  for (auto &B : Blocks)
+    B->Preds.clear();
+  for (auto &B : Blocks)
+    for (BasicBlock *Succ : B->successors())
+      Succ->Preds.push_back(B.get());
+}
+
+unsigned Function::renumber() {
+  unsigned Index = 0;
+  for (auto &B : Blocks)
+    for (auto &I : B->Insts)
+      I->Index = Index++;
+  return Index;
+}
+
+unsigned Function::instructionCount() const {
+  unsigned N = 0;
+  for (const auto &B : Blocks)
+    N += static_cast<unsigned>(B->Insts.size());
+  return N;
+}
+
+std::string Function::dump() const {
+  std::string Out = "function " + Name + "(" + std::to_string(NumParams) +
+                    " params)\n";
+  // Value names are vN by renumber order; compute on a copy of indices.
+  std::unordered_map<const Instruction *, unsigned> Ids;
+  unsigned Next = 0;
+  for (const auto &B : Blocks)
+    for (const auto &I : B->Insts)
+      Ids[I.get()] = Next++;
+  for (const auto &B : Blocks) {
+    Out += B->Label + ":  ; preds:";
+    for (BasicBlock *P : B->Preds)
+      Out += " " + P->Label;
+    Out += "\n";
+    for (const auto &I : B->Insts) {
+      Out += "  v" + std::to_string(Ids[I.get()]) + " = ";
+      Out += opcodeName(I->Op);
+      if (I->Lanes > 1)
+        Out += "<x" + std::to_string(I->Lanes) + ">";
+      if (I->Op == Opcode::Guard) {
+        Out += std::string(" [") + guardKindName(I->Kind) +
+               (I->Speculative ? ", speculative]" : "]");
+      }
+      for (const Instruction *Operand : I->Operands)
+        Out += " v" + std::to_string(Ids[Operand]);
+      if (I->Op == Opcode::Const || I->Op == Opcode::Param ||
+          I->Op == Opcode::Load || I->Op == Opcode::Store ||
+          I->Op == Opcode::NewObject || I->Op == Opcode::GetField ||
+          I->Op == Opcode::PutField || I->Op == Opcode::Cas ||
+          I->Op == Opcode::InstanceOf || I->Op == Opcode::Invoke ||
+          I->Op == Opcode::MethodHandleInvoke)
+        Out += " #" + std::to_string(I->Imm);
+      if (I->TrueTarget)
+        Out += " -> " + I->TrueTarget->Label;
+      if (I->FalseTarget)
+        Out += " / " + I->FalseTarget->Label;
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+std::string Function::verify() const {
+  if (Blocks.empty())
+    return Name + ": function has no blocks";
+  // Every block must end with exactly one terminator and contain no
+  // interior terminators.
+  for (const auto &B : Blocks) {
+    if (B->Insts.empty() || !B->Insts.back()->isTerm())
+      return Name + "/" + B->Label + ": missing terminator";
+    for (size_t I = 0; I + 1 < B->Insts.size(); ++I)
+      if (B->Insts[I]->isTerm())
+        return Name + "/" + B->Label + ": interior terminator";
+    for (const auto &I : B->Insts)
+      if (I->Parent != B.get())
+        return Name + "/" + B->Label + ": bad parent link";
+  }
+  // Phi arity must match predecessor count; phis only at block start.
+  for (const auto &B : Blocks) {
+    bool SeenNonPhi = false;
+    for (const auto &I : B->Insts) {
+      if (I->Op == Opcode::Phi) {
+        if (SeenNonPhi)
+          return Name + "/" + B->Label + ": phi after non-phi";
+        if (I->Operands.size() != I->PhiBlocks.size())
+          return Name + "/" + B->Label + ": phi operand/block mismatch";
+        if (I->Operands.size() != B->Preds.size())
+          return Name + "/" + B->Label + ": phi arity " +
+                 std::to_string(I->Operands.size()) + " != preds " +
+                 std::to_string(B->Preds.size());
+        for (BasicBlock *In : I->PhiBlocks) {
+          bool Found = false;
+          for (BasicBlock *P : B->Preds)
+            Found |= P == In;
+          if (!Found)
+            return Name + "/" + B->Label + ": phi incoming block '" +
+                   In->Label + "' is not a predecessor";
+        }
+      } else {
+        SeenNonPhi = true;
+      }
+    }
+  }
+  // Params in entry block only.
+  for (size_t BI = 1; BI < Blocks.size(); ++BI)
+    for (const auto &I : Blocks[BI]->Insts)
+      if (I->Op == Opcode::Param)
+        return Name + ": param outside entry block";
+  return "";
+}
+
+Function *Module::addFunction(const std::string &Name, unsigned NumParams) {
+  Functions.push_back(std::make_unique<Function>(Name, NumParams));
+  return Functions.back().get();
+}
+
+Function *Module::function(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+size_t Module::functionId(const Function *F) const {
+  for (size_t I = 0; I < Functions.size(); ++I)
+    if (Functions[I].get() == F)
+      return I;
+  assert(false && "function not in module");
+  return 0;
+}
+
+unsigned Module::addClass(const std::string &Name, unsigned NumFields) {
+  Classes.push_back(ClassInfo{Name, NumFields});
+  return static_cast<unsigned>(Classes.size() - 1);
+}
+
+unsigned Module::addArray(std::vector<int64_t> Initial) {
+  Arrays.push_back(std::move(Initial));
+  return static_cast<unsigned>(Arrays.size() - 1);
+}
+
+unsigned Module::addMethodHandle(Function *Target) {
+  Handles.push_back(Target);
+  return static_cast<unsigned>(Handles.size() - 1);
+}
+
+std::unordered_map<const Instruction *, Instruction *>
+ren::jit::cloneFunctionInto(const Function &Source, Function &Dest) {
+  assert(Dest.Blocks.empty() && "destination must be empty");
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  std::unordered_map<const Instruction *, Instruction *> InstMap;
+  for (const auto &B : Source.Blocks)
+    BlockMap[B.get()] = Dest.addBlock(B->Label);
+  for (const auto &B : Source.Blocks) {
+    BasicBlock *NewB = BlockMap[B.get()];
+    for (const auto &I : B->Insts) {
+      auto NewI = std::make_unique<Instruction>(I->Op);
+      NewI->Imm = I->Imm;
+      NewI->Kind = I->Kind;
+      NewI->Speculative = I->Speculative;
+      NewI->Lanes = I->Lanes;
+      if (I->TrueTarget)
+        NewI->TrueTarget = BlockMap[I->TrueTarget];
+      if (I->FalseTarget)
+        NewI->FalseTarget = BlockMap[I->FalseTarget];
+      for (BasicBlock *In : I->PhiBlocks)
+        NewI->PhiBlocks.push_back(BlockMap.at(In));
+      InstMap[I.get()] = NewB->append(std::move(NewI));
+    }
+  }
+  // Second pass: remap operands (forward references via phis).
+  for (const auto &B : Source.Blocks)
+    for (const auto &I : B->Insts) {
+      Instruction *NewI = InstMap[I.get()];
+      for (Instruction *Operand : I->Operands)
+        NewI->Operands.push_back(InstMap.at(Operand));
+    }
+  Dest.recomputePreds();
+  return InstMap;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto New = std::make_unique<Module>();
+  New->Classes = Classes;
+  New->Arrays = Arrays;
+  std::unordered_map<const Function *, Function *> FuncMap;
+  for (const auto &F : Functions) {
+    Function *NewF = New->addFunction(F->Name, F->NumParams);
+    cloneFunctionInto(*F, *NewF);
+    FuncMap[F.get()] = NewF;
+  }
+  for (Function *H : Handles)
+    New->Handles.push_back(FuncMap.at(H));
+  return New;
+}

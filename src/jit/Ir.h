@@ -1,0 +1,278 @@
+//===- jit/Ir.h - Graph IR for the mini JIT ---------------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intermediate representation of the mini JIT compiler used for the
+/// paper's optimization experiments (§5, §6).
+///
+/// The paper implements its optimizations in Graal, a graph-based
+/// speculative compiler. We use an SSA CFG of basic blocks — structurally
+/// simpler than Graal's sea of nodes, but carrying the node kinds the seven
+/// optimizations operate on: object allocation and field access, CAS,
+/// monitor enter/exit, speculative guards (with the §5.5 guard taxonomy),
+/// direct and method-handle invocations, instanceof checks, vectorizable
+/// arithmetic, and phi-based loops.
+///
+/// Functions execute under a deterministic cost-model interpreter
+/// (Interp.h); an optimization's "impact" is the change in modelled cycles
+/// when the pass is disabled, mirroring the paper's §6 methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_IR_H
+#define REN_JIT_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace jit {
+
+class BasicBlock;
+class Function;
+class Module;
+
+/// Instruction opcodes.
+enum class Opcode {
+  // Values.
+  Const, ///< Imm = the constant.
+  Param, ///< Imm = parameter index; entry block only.
+  Phi,   ///< Operands paired with PhiBlocks (incoming block per value).
+  // Arithmetic / logic (vectorizable).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Min,
+  Max,
+  // Comparisons (produce 0/1).
+  CmpLt,
+  CmpLe,
+  CmpEq,
+  CmpNe,
+  // Global-array memory (Imm = array id in the module).
+  Load,  ///< Operands: [index].
+  Store, ///< Operands: [index, value].
+  // Objects (field count fixed per class; Imm = class id / field index).
+  NewObject, ///< Imm = class id.
+  GetField,  ///< Operands: [object]; Imm = field index.
+  PutField,  ///< Operands: [object, value]; Imm = field index.
+  Cas,       ///< Operands: [object, expected, newValue]; Imm = field index.
+             ///< Result: 1 if swapped (always, single-threaded model).
+  // Synchronization.
+  MonitorEnter, ///< Operands: [object].
+  MonitorExit,  ///< Operands: [object].
+  // Vector lane extraction (LV reductions): Operands [vector]; Imm = lane.
+  Extract,
+  // Checks.
+  Guard,      ///< Operands: [condition]; GuardInfo says which kind.
+  InstanceOf, ///< Operands: [object]; Imm = class id; result 0/1.
+  // Calls.
+  Invoke,             ///< Imm = function id; Operands = args.
+  MethodHandleInvoke, ///< Imm = method-handle id; Operands = args.
+  // Control flow (block terminators).
+  Branch, ///< Operands: [condition]; targets TrueTarget/FalseTarget.
+  Jump,   ///< Target TrueTarget.
+  Return  ///< Operands: [value].
+};
+
+/// Returns a printable mnemonic.
+const char *opcodeName(Opcode Op);
+
+/// True for Branch/Jump/Return.
+bool isTerminator(Opcode Op);
+
+/// True for the arithmetic/comparison opcodes eligible for vectorization.
+bool isVectorizable(Opcode Op);
+
+/// The §5.5 guard taxonomy.
+enum class GuardKind {
+  BoundsCheck,
+  NullCheck,
+  TypeCheck,
+  UnreachedCode,
+  Other
+};
+
+const char *guardKindName(GuardKind K);
+
+/// One SSA instruction. Owned by its basic block; referenced by pointer.
+class Instruction {
+public:
+  Instruction(Opcode Op, std::vector<Instruction *> Operands = {},
+              int64_t Imm = 0)
+      : Op(Op), Operands(std::move(Operands)), Imm(Imm) {}
+
+  Opcode Op;
+  std::vector<Instruction *> Operands;
+  int64_t Imm = 0;
+
+  /// For phis: the incoming block of each operand (parallel to Operands).
+  /// Phis are therefore robust to predecessor-list reordering.
+  std::vector<BasicBlock *> PhiBlocks;
+
+  /// Guard metadata (Op == Guard).
+  GuardKind Kind = GuardKind::Other;
+  /// True once a guard has been hoisted by speculative guard motion.
+  bool Speculative = false;
+
+  /// Lanes > 1 marks a vectorized instruction (set by loop vectorization).
+  unsigned Lanes = 1;
+
+  /// Branch targets (terminators).
+  BasicBlock *TrueTarget = nullptr;
+  BasicBlock *FalseTarget = nullptr;
+
+  /// Dense value index assigned by Function::renumber().
+  unsigned Index = 0;
+
+  /// The owning block (maintained by BasicBlock::append/insert).
+  BasicBlock *Parent = nullptr;
+
+  bool isTerm() const { return isTerminator(Op); }
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(unsigned Id, std::string Label)
+      : Id(Id), Label(std::move(Label)) {}
+
+  unsigned Id;
+  std::string Label;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+
+  /// Predecessors in phi-operand order (maintained by the builder and by
+  /// Function::recomputePreds).
+  std::vector<BasicBlock *> Preds;
+
+  /// Appends an instruction (terminator must come last).
+  Instruction *append(std::unique_ptr<Instruction> Inst);
+
+  /// Inserts before the instruction at position \p Pos.
+  Instruction *insertAt(size_t Pos, std::unique_ptr<Instruction> Inst);
+
+  /// The terminator, or nullptr while under construction.
+  Instruction *terminator() const {
+    if (Insts.empty() || !Insts.back()->isTerm())
+      return nullptr;
+    return Insts.back().get();
+  }
+
+  /// Successor blocks (0, 1 or 2).
+  std::vector<BasicBlock *> successors() const;
+};
+
+/// A function: entry block first, SSA values, parameter count.
+class Function {
+public:
+  Function(std::string Name, unsigned NumParams)
+      : Name(std::move(Name)), NumParams(NumParams) {}
+
+  std::string Name;
+  unsigned NumParams;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  /// Creates and appends a block.
+  BasicBlock *addBlock(const std::string &Label);
+
+  /// Recomputes predecessor lists from terminators. Invalidates phi
+  /// operand order only if the CFG actually changed shape; passes that
+  /// restructure control flow must fix phis themselves.
+  void recomputePreds();
+
+  /// Assigns dense instruction indices; returns the value count.
+  unsigned renumber();
+
+  /// Total instruction count (the "IR node" count of §5.4).
+  unsigned instructionCount() const;
+
+  /// Human-readable dump.
+  std::string dump() const;
+
+  /// Checks SSA/CFG invariants; returns an empty string on success or a
+  /// description of the first violation.
+  std::string verify() const;
+
+private:
+  unsigned NextBlockId = 0;
+};
+
+/// A class layout: number of fields.
+struct ClassInfo {
+  std::string Name;
+  unsigned NumFields = 1;
+};
+
+/// A module: functions, classes, global arrays, method-handle table.
+class Module {
+public:
+  /// Creates a function and returns it.
+  Function *addFunction(const std::string &Name, unsigned NumParams);
+
+  Function *function(const std::string &Name) const;
+  Function *functionById(size_t Id) const {
+    assert(Id < Functions.size() && "bad function id");
+    return Functions[Id].get();
+  }
+  size_t functionId(const Function *F) const;
+
+  /// Registers a class; returns its id.
+  unsigned addClass(const std::string &Name, unsigned NumFields);
+  const ClassInfo &classInfo(unsigned Id) const { return Classes[Id]; }
+
+  /// Registers a global array with initial contents; returns its id.
+  unsigned addArray(std::vector<int64_t> Initial);
+  const std::vector<int64_t> &arrayInit(unsigned Id) const {
+    return Arrays[Id];
+  }
+  size_t numArrays() const { return Arrays.size(); }
+
+  /// Registers a method handle bound to \p Target; returns the handle id.
+  unsigned addMethodHandle(Function *Target);
+  Function *handleTarget(unsigned HandleId) const {
+    assert(HandleId < Handles.size() && "bad handle id");
+    return Handles[HandleId];
+  }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Deep-copies the whole module (used to compile under different
+  /// configurations without mutating the source).
+  std::unique_ptr<Module> clone() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<ClassInfo> Classes;
+  std::vector<std::vector<int64_t>> Arrays;
+  std::vector<Function *> Handles;
+};
+
+/// Deep-copies \p Source into \p Dest (an empty function shell with the
+/// same arity). Returns the instruction mapping used for the copy.
+std::unordered_map<const Instruction *, Instruction *>
+cloneFunctionInto(const Function &Source, Function &Dest);
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_IR_H

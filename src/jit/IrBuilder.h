@@ -1,0 +1,173 @@
+//===- jit/IrBuilder.h - Convenience IR construction ------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder for constructing IR functions, used by tests and by the
+/// per-benchmark kernel generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_IRBUILDER_H
+#define REN_JIT_IRBUILDER_H
+
+#include "jit/Ir.h"
+
+namespace ren {
+namespace jit {
+
+/// Appends instructions to a chosen insertion block.
+class IrBuilder {
+public:
+  explicit IrBuilder(Function &F) : F(F) {}
+
+  /// Switches the insertion point.
+  void setBlock(BasicBlock *B) { Block = B; }
+  BasicBlock *block() const { return Block; }
+
+  /// Creates a new block (does not switch to it).
+  BasicBlock *makeBlock(const std::string &Label) {
+    return F.addBlock(Label);
+  }
+
+  Instruction *constant(int64_t Value) {
+    return emit(Opcode::Const, {}, Value);
+  }
+
+  Instruction *param(unsigned Index) {
+    return emit(Opcode::Param, {}, static_cast<int64_t>(Index));
+  }
+
+  Instruction *binary(Opcode Op, Instruction *Lhs, Instruction *Rhs) {
+    return emit(Op, {Lhs, Rhs});
+  }
+
+  Instruction *add(Instruction *L, Instruction *R) {
+    return binary(Opcode::Add, L, R);
+  }
+  Instruction *sub(Instruction *L, Instruction *R) {
+    return binary(Opcode::Sub, L, R);
+  }
+  Instruction *mul(Instruction *L, Instruction *R) {
+    return binary(Opcode::Mul, L, R);
+  }
+  Instruction *cmpLt(Instruction *L, Instruction *R) {
+    return binary(Opcode::CmpLt, L, R);
+  }
+  Instruction *cmpLe(Instruction *L, Instruction *R) {
+    return binary(Opcode::CmpLe, L, R);
+  }
+  Instruction *cmpEq(Instruction *L, Instruction *R) {
+    return binary(Opcode::CmpEq, L, R);
+  }
+
+  /// Creates an empty phi; incoming values are added with addIncoming.
+  Instruction *phi() { return emit(Opcode::Phi, {}); }
+
+  static void addIncoming(Instruction *Phi, Instruction *Value,
+                          BasicBlock *From) {
+    assert(Phi->Op == Opcode::Phi && "not a phi");
+    Phi->Operands.push_back(Value);
+    Phi->PhiBlocks.push_back(From);
+  }
+
+  Instruction *load(unsigned ArrayId, Instruction *Index) {
+    return emit(Opcode::Load, {Index}, ArrayId);
+  }
+
+  Instruction *store(unsigned ArrayId, Instruction *Index,
+                     Instruction *Value) {
+    return emit(Opcode::Store, {Index, Value}, ArrayId);
+  }
+
+  Instruction *newObject(unsigned ClassId) {
+    return emit(Opcode::NewObject, {}, ClassId);
+  }
+
+  Instruction *getField(Instruction *Obj, unsigned FieldIndex) {
+    return emit(Opcode::GetField, {Obj}, FieldIndex);
+  }
+
+  Instruction *putField(Instruction *Obj, unsigned FieldIndex,
+                        Instruction *Value) {
+    return emit(Opcode::PutField, {Obj, Value}, FieldIndex);
+  }
+
+  Instruction *cas(Instruction *Obj, unsigned FieldIndex,
+                   Instruction *Expected, Instruction *NewValue) {
+    return emit(Opcode::Cas, {Obj, Expected, NewValue}, FieldIndex);
+  }
+
+  Instruction *monitorEnter(Instruction *Obj) {
+    return emit(Opcode::MonitorEnter, {Obj});
+  }
+
+  Instruction *monitorExit(Instruction *Obj) {
+    return emit(Opcode::MonitorExit, {Obj});
+  }
+
+  Instruction *guard(Instruction *Cond, GuardKind Kind) {
+    Instruction *G = emit(Opcode::Guard, {Cond});
+    G->Kind = Kind;
+    return G;
+  }
+
+  Instruction *instanceOf(Instruction *Obj, unsigned ClassId) {
+    return emit(Opcode::InstanceOf, {Obj}, ClassId);
+  }
+
+  Instruction *invoke(size_t FunctionId,
+                      std::vector<Instruction *> Args) {
+    return emit(Opcode::Invoke, std::move(Args),
+                static_cast<int64_t>(FunctionId));
+  }
+
+  Instruction *mhInvoke(unsigned HandleId,
+                        std::vector<Instruction *> Args) {
+    return emit(Opcode::MethodHandleInvoke, std::move(Args), HandleId);
+  }
+
+  Instruction *branch(Instruction *Cond, BasicBlock *IfTrue,
+                      BasicBlock *IfFalse) {
+    Instruction *B = emit(Opcode::Branch, {Cond});
+    B->TrueTarget = IfTrue;
+    B->FalseTarget = IfFalse;
+    return B;
+  }
+
+  Instruction *jump(BasicBlock *Target) {
+    Instruction *J = emit(Opcode::Jump, {});
+    J->TrueTarget = Target;
+    return J;
+  }
+
+  Instruction *ret(Instruction *Value) {
+    return emit(Opcode::Return, {Value});
+  }
+
+  /// Finalizes construction: recomputes predecessors and verifies.
+  /// Asserts on malformed IR.
+  void finish() {
+    F.recomputePreds();
+    [[maybe_unused]] std::string Error = F.verify();
+    assert(Error.empty() && "built malformed IR");
+  }
+
+private:
+  Instruction *emit(Opcode Op, std::vector<Instruction *> Operands,
+                    int64_t Imm = 0) {
+    assert(Block && "no insertion block set");
+    return Block->append(
+        std::make_unique<Instruction>(Op, std::move(Operands), Imm));
+  }
+
+  Function &F;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_IRBUILDER_H

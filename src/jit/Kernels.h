@@ -1,0 +1,142 @@
+//===- jit/Kernels.h - Per-benchmark hot-code kernels -----------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR kernels capturing each benchmark's hot code patterns, used by the §5
+/// and §6 experiments.
+///
+/// The paper measures optimization impact on the real JVM workloads; our
+/// substitution executes, for every benchmark, a small IR module whose
+/// code patterns mirror what the benchmark's hot loops do on the JVM
+/// (after inlining): CAS retry loops for the Random/AtomicLong users,
+/// synchronized loops for fj-kmeans-style aggregation, bounds-checked
+/// array loops for the Spark ML kernels, method-handle pipelines for the
+/// lambda-heavy streams code, duplicated type checks for megamorphic
+/// dispatch code, allocation loops for the Scala workloads, and plain
+/// arithmetic for the SPEC kernels. Per-benchmark pattern *mixes* (which
+/// patterns and how many iterations) encode what fraction of the
+/// benchmark's time the paper attributes to each opportunity.
+///
+/// Pattern builders are exposed individually for tests and ablations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_KERNELS_H
+#define REN_JIT_KERNELS_H
+
+#include "jit/Ir.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace jit {
+namespace kernels {
+
+/// Pattern builders. Every function takes the trip count as parameter 0
+/// and returns an accumulator (so results can validate optimizations).
+/// \p Work scales extra per-iteration arithmetic.
+
+/// Bounds+null-checked array reduction (GM/LV target).
+Function *buildBoundsCheckedLoop(Module &M, const std::string &Name,
+                                 unsigned ArrayId, unsigned Work);
+
+/// Monitor-protected loop body (LLC target).
+Function *buildSyncLoop(Module &M, const std::string &Name,
+                        unsigned ArrayId, unsigned LockClass, unsigned Work);
+
+/// Two consecutive CAS retry loops per iteration (AC target).
+Function *buildCasRetryPair(Module &M, const std::string &Name,
+                            unsigned CellClass);
+
+/// A single CAS retry loop per iteration (atomic-heavy, not coalescible).
+Function *buildSingleCasLoop(Module &M, const std::string &Name,
+                             unsigned CellClass);
+
+/// Allocate + initialize + CAS + read on a non-escaping object (EAWA).
+Function *buildAtomicPublish(Module &M, const std::string &Name,
+                             unsigned BoxClass);
+
+/// Loop invoking a small lambda through a method handle (MHS target).
+/// The callee is created alongside and registered in the handle table.
+Function *buildMhPipeline(Module &M, const std::string &Name,
+                          unsigned Work);
+
+/// Branch on instanceof followed by a merge re-checking it (DBDS target).
+Function *buildTypeCheckMerge(Module &M, const std::string &Name,
+                              unsigned ClassA, unsigned ClassB);
+
+/// Tight scalar array loop with no guards (LV and unroll both apply).
+Function *buildPlainArrayLoop(Module &M, const std::string &Name,
+                              unsigned ArrayId, unsigned Work);
+
+/// Hash-indexed array loop: the load index is a hash of the induction
+/// variable, so no loop pass applies — the neutral "filler" computation.
+Function *buildHashedLoop(Module &M, const std::string &Name,
+                          unsigned ArrayId, unsigned Work);
+
+/// Hash-indexed loop with \p GuardPairs (null check + bounds check) per
+/// iteration. Guard motion hoists all checks, but the hashed access keeps
+/// the loop unvectorizable: a pure-GM opportunity.
+Function *buildGuardedHashLoop(Module &M, const std::string &Name,
+                               unsigned ArrayId, unsigned GuardPairs);
+
+/// Loop calling a mid-size helper through a direct call. Inlined by an
+/// aggressive (Graal-like) inliner, left out-of-line by a conservative
+/// (C2-like) one — the generic inlining advantage of Fig 6.
+Function *buildCallLoop(Module &M, const std::string &Name);
+
+/// Array loop guarded by a data-dependent check (GM cannot hoist it, so
+/// LV bails; only classic unrolling helps — the "C2 wins" shape).
+Function *buildDataGuardLoop(Module &M, const std::string &Name,
+                             unsigned ArrayId, unsigned Work);
+
+/// Loop allocating objects that escape into an array (allocation-rate
+/// profile of the Scala workloads; PEA cannot remove it).
+Function *buildEscapingAllocLoop(Module &M, const std::string &Name,
+                                 unsigned BoxClass, unsigned RefArrayId);
+
+/// One entry-point invocation of a kernel module.
+struct Invocation {
+  std::string FunctionName;
+  std::vector<int64_t> Args;
+};
+
+/// A benchmark's kernel: the module plus its invocation schedule.
+struct Kernel {
+  std::unique_ptr<Module> M;
+  std::vector<Invocation> Invocations;
+};
+
+/// Builds the kernel for the benchmark \p Name of \p SuiteName
+/// ("renaissance", "dacapo", "scalabench", "specjvm2008"). Asserts the
+/// benchmark is known.
+Kernel kernelFor(const std::string &SuiteName, const std::string &Name);
+
+/// True if a kernel mix is defined for the benchmark.
+bool hasKernel(const std::string &SuiteName, const std::string &Name);
+
+/// Calibrated per-trip cycle cost of a pattern under the graal pipeline
+/// and the per-trip cycle delta its targeted pass removes. Kernel trip
+/// counts are derived from these; KernelCalibrationTest verifies they
+/// match the implementation.
+struct PatternCalibration {
+  double GraalPerTrip;
+  double DeltaPerTrip;
+};
+
+/// Calibration constants by pass short name ("AC", "DS", "EAWA", "GM",
+/// "LV", "LLC", "MHS") plus "C2ADV" (data-guard loop, where the delta is
+/// the c2-config advantage) and "INLINE" (call loop, where the delta is
+/// the graal-inliner advantage over c2).
+const PatternCalibration &calibrationFor(const std::string &Key);
+
+} // namespace kernels
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_KERNELS_H

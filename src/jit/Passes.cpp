@@ -1,0 +1,982 @@
+//===- jit/Passes.cpp - Implementations of the §5 optimizations -----------==//
+
+#include "jit/Passes.h"
+
+#include "jit/Analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ren;
+using namespace ren::jit;
+
+//===----------------------------------------------------------------------===//
+// Shared utilities
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Replaces every use of \p Old with \p New across the function.
+void replaceAllUses(Function &F, Instruction *Old, Instruction *New) {
+  for (auto &B : F.Blocks)
+    for (auto &I : B->Insts)
+      for (Instruction *&Operand : I->Operands)
+        if (Operand == Old)
+          Operand = New;
+}
+
+/// True if the instruction has no side effects and its value can be
+/// recomputed freely.
+bool isPure(const Instruction *I) {
+  switch (I->Op) {
+  case Opcode::Const:
+  case Opcode::Param:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::InstanceOf:
+  case Opcode::Extract:
+  case Opcode::Phi:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Collects the set of instructions that are used as an operand anywhere.
+std::unordered_set<const Instruction *> collectUsed(const Function &F) {
+  std::unordered_set<const Instruction *> Used;
+  for (const auto &B : F.Blocks)
+    for (const auto &I : B->Insts)
+      for (const Instruction *Operand : I->Operands)
+        Used.insert(Operand);
+  return Used;
+}
+
+/// Removes blocks unreachable from the entry; fixes phis of survivors.
+bool removeUnreachableBlocks(Function &F) {
+  std::unordered_set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work = {F.entry()};
+  Reachable.insert(F.entry());
+  while (!Work.empty()) {
+    BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : B->successors())
+      if (Reachable.insert(S).second)
+        Work.push_back(S);
+  }
+  if (Reachable.size() == F.Blocks.size())
+    return false;
+  // Drop phi incomings that reference dying blocks.
+  for (auto &B : F.Blocks) {
+    if (!Reachable.count(B.get()))
+      continue;
+    for (auto &I : B->Insts) {
+      if (I->Op != Opcode::Phi)
+        break;
+      for (size_t K = I->PhiBlocks.size(); K-- > 0;) {
+        if (!Reachable.count(I->PhiBlocks[K])) {
+          I->PhiBlocks.erase(I->PhiBlocks.begin() +
+                             static_cast<ptrdiff_t>(K));
+          I->Operands.erase(I->Operands.begin() +
+                            static_cast<ptrdiff_t>(K));
+        }
+      }
+    }
+  }
+  F.Blocks.erase(std::remove_if(F.Blocks.begin(), F.Blocks.end(),
+                                [&](const std::unique_ptr<BasicBlock> &B) {
+                                  return !Reachable.count(B.get());
+                                }),
+                 F.Blocks.end());
+  F.recomputePreds();
+  return true;
+}
+
+/// Replaces single-incoming phis with their value and erases them.
+bool simplifyTrivialPhis(Function &F) {
+  bool Changed = false;
+  for (auto &B : F.Blocks) {
+    for (auto It = B->Insts.begin(); It != B->Insts.end();) {
+      Instruction *I = It->get();
+      if (I->Op != Opcode::Phi || I->Operands.size() != 1) {
+        ++It;
+        continue;
+      }
+      replaceAllUses(F, I, I->Operands[0]);
+      It = B->Insts.erase(It);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+/// Erases pure instructions with no uses.
+bool eraseDeadInstructions(Function &F) {
+  bool Changed = false;
+  for (;;) {
+    auto Used = collectUsed(F);
+    bool Round = false;
+    for (auto &B : F.Blocks) {
+      for (auto It = B->Insts.begin(); It != B->Insts.end();) {
+        Instruction *I = It->get();
+        if (!I->isTerm() && isPure(I) && !Used.count(I)) {
+          It = B->Insts.erase(It);
+          Round = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    Changed |= Round;
+    if (!Round)
+      return Changed;
+  }
+}
+
+/// Two's-complement wrapping arithmetic, matching the interpreter's
+/// Java-long semantics exactly (folding must not change results).
+int64_t wrapAdd(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) +
+                              static_cast<uint64_t>(R));
+}
+int64_t wrapSub(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) -
+                              static_cast<uint64_t>(R));
+}
+int64_t wrapMul(int64_t L, int64_t R) {
+  return static_cast<int64_t>(static_cast<uint64_t>(L) *
+                              static_cast<uint64_t>(R));
+}
+
+int64_t foldBinary(Opcode Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case Opcode::Add:
+    return wrapAdd(L, R);
+  case Opcode::Sub:
+    return wrapSub(L, R);
+  case Opcode::Mul:
+    return wrapMul(L, R);
+  case Opcode::Div:
+    return R == 0 ? 0 : L / R;
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::Shl:
+    return L << (R & 63);
+  case Opcode::Shr:
+    return static_cast<int64_t>(static_cast<uint64_t>(L) >> (R & 63));
+  case Opcode::Min:
+    return std::min(L, R);
+  case Opcode::Max:
+    return std::max(L, R);
+  case Opcode::CmpLt:
+    return L < R ? 1 : 0;
+  case Opcode::CmpLe:
+    return L <= R ? 1 : 0;
+  case Opcode::CmpEq:
+    return L == R ? 1 : 0;
+  case Opcode::CmpNe:
+    return L != R ? 1 : 0;
+  default:
+    assert(false && "not foldable");
+    return 0;
+  }
+}
+
+bool isBinaryArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant folding + branch folding
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runConstantFolding(Function &F) {
+  bool ChangedAny = false;
+  for (;;) {
+    bool Changed = false;
+    for (auto &B : F.Blocks) {
+      for (auto &IPtr : B->Insts) {
+        Instruction *I = IPtr.get();
+        if (!isBinaryArith(I->Op) || I->Lanes > 1)
+          continue;
+        Instruction *L = I->Operands[0];
+        Instruction *R = I->Operands[1];
+        bool Fold = false;
+        int64_t Value = 0;
+        if (L->Op == Opcode::Const && R->Op == Opcode::Const) {
+          Value = foldBinary(I->Op, L->Imm, R->Imm);
+          Fold = true;
+        } else if (L == R && I->Op == Opcode::CmpEq) {
+          Value = 1;
+          Fold = true;
+        } else if (L == R && I->Op == Opcode::CmpNe) {
+          Value = 0;
+          Fold = true;
+        } else if (I->Op == Opcode::Add && R->Op == Opcode::Const &&
+                   R->Imm == 0) {
+          // x + 0 -> x (reuse as identity rewrite rather than constant).
+          replaceAllUses(F, I, L);
+          Changed = true;
+          continue;
+        } else if (I->Op == Opcode::Mul && R->Op == Opcode::Const &&
+                   R->Imm == 1) {
+          replaceAllUses(F, I, L);
+          Changed = true;
+          continue;
+        }
+        if (Fold) {
+          I->Op = Opcode::Const;
+          I->Operands.clear();
+          I->Imm = Value;
+          Changed = true;
+        }
+      }
+      // Branch on constant -> jump.
+      Instruction *Term = B->terminator();
+      if (Term && Term->Op == Opcode::Branch &&
+          Term->Operands[0]->Op == Opcode::Const) {
+        BasicBlock *Target = Term->Operands[0]->Imm != 0 ? Term->TrueTarget
+                                                         : Term->FalseTarget;
+        BasicBlock *Dropped = Term->Operands[0]->Imm != 0
+                                  ? Term->FalseTarget
+                                  : Term->TrueTarget;
+        Term->Op = Opcode::Jump;
+        Term->Operands.clear();
+        Term->TrueTarget = Target;
+        Term->FalseTarget = nullptr;
+        // The dropped edge disappears: fix the target's phis if it
+        // remains reachable through other edges.
+        for (auto &I : Dropped->Insts) {
+          if (I->Op != Opcode::Phi)
+            break;
+          for (size_t K = I->PhiBlocks.size(); K-- > 0;)
+            if (I->PhiBlocks[K] == B.get()) {
+              I->PhiBlocks.erase(I->PhiBlocks.begin() +
+                                 static_cast<ptrdiff_t>(K));
+              I->Operands.erase(I->Operands.begin() +
+                                static_cast<ptrdiff_t>(K));
+            }
+        }
+        Changed = true;
+      }
+    }
+    if (Changed)
+      F.recomputePreds();
+    Changed |= removeUnreachableBlocks(F);
+    Changed |= simplifyTrivialPhis(F);
+    Changed |= eraseDeadInstructions(F);
+    ChangedAny |= Changed;
+    if (!Changed)
+      return ChangedAny;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inliner
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits \p B after position \p Pos; returns the continuation block
+/// containing the instructions after \p Pos. Successor phis are retargeted
+/// to the continuation.
+BasicBlock *splitBlockAfter(Function &F, BasicBlock *B, size_t Pos) {
+  BasicBlock *Cont = F.addBlock(B->Label + ".cont");
+  for (size_t I = Pos + 1; I < B->Insts.size(); ++I) {
+    B->Insts[I]->Parent = Cont;
+    Cont->Insts.push_back(std::move(B->Insts[I]));
+  }
+  B->Insts.resize(Pos + 1);
+  // Successor phis that referenced B now see Cont.
+  for (BasicBlock *S : Cont->successors())
+    for (auto &I : S->Insts) {
+      if (I->Op != Opcode::Phi)
+        break;
+      for (BasicBlock *&In : I->PhiBlocks)
+        if (In == B)
+          In = Cont;
+    }
+  return Cont;
+}
+
+} // namespace
+
+bool ren::jit::runInliner(Module &M, Function &F,
+                          unsigned MaxCalleeInsts) {
+  bool Changed = false;
+  // Restart the scan whenever we inline (the block list mutates).
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    for (auto &BPtr : F.Blocks) {
+      BasicBlock *B = BPtr.get();
+      for (size_t Pos = 0; Pos < B->Insts.size(); ++Pos) {
+        Instruction *Call = B->Insts[Pos].get();
+        if (Call->Op != Opcode::Invoke)
+          continue;
+        Function *Callee = M.functionById(static_cast<size_t>(Call->Imm));
+        if (Callee == &F || Callee->instructionCount() > MaxCalleeInsts)
+          continue;
+
+        // 1. Split the call block; the call stays last in B for now.
+        BasicBlock *Cont = splitBlockAfter(F, B, Pos);
+
+        // 2. Clone the callee body into this function.
+        Function Temp("inlined." + Callee->Name, Callee->NumParams);
+        std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+        std::unordered_map<const Instruction *, Instruction *> InstMap;
+        for (const auto &CB : Callee->Blocks)
+          BlockMap[CB.get()] =
+              F.addBlock(Callee->Name + "." + CB->Label);
+        for (const auto &CB : Callee->Blocks) {
+          BasicBlock *NB = BlockMap[CB.get()];
+          for (const auto &CI : CB->Insts) {
+            auto NI = std::make_unique<Instruction>(CI->Op);
+            NI->Imm = CI->Imm;
+            NI->Kind = CI->Kind;
+            NI->Speculative = CI->Speculative;
+            NI->Lanes = CI->Lanes;
+            if (CI->TrueTarget)
+              NI->TrueTarget = BlockMap[CI->TrueTarget];
+            if (CI->FalseTarget)
+              NI->FalseTarget = BlockMap[CI->FalseTarget];
+            for (BasicBlock *In : CI->PhiBlocks)
+              NI->PhiBlocks.push_back(BlockMap.at(In));
+            InstMap[CI.get()] = NB->append(std::move(NI));
+          }
+        }
+        for (const auto &CB : Callee->Blocks)
+          for (const auto &CI : CB->Insts)
+            for (Instruction *Operand : CI->Operands)
+              InstMap.at(CI.get())->Operands.push_back(InstMap.at(Operand));
+
+        // 3. Rewrite cloned params to the call arguments and returns to
+        // jumps into the continuation, collecting return values.
+        std::vector<std::pair<BasicBlock *, Instruction *>> Returns;
+        for (const auto &CB : Callee->Blocks) {
+          BasicBlock *NB = BlockMap[CB.get()];
+          for (auto &NI : NB->Insts) {
+            if (NI->Op == Opcode::Param) {
+              replaceAllUses(F, NI.get(),
+                             Call->Operands[static_cast<size_t>(NI->Imm)]);
+              NI->Op = Opcode::Const; // neutralized; DCE removes it
+              NI->Imm = 0;
+              NI->Operands.clear();
+            } else if (NI->Op == Opcode::Return) {
+              Returns.push_back({NB, NI->Operands[0]});
+              NI->Op = Opcode::Jump;
+              NI->Operands.clear();
+              NI->TrueTarget = Cont;
+            }
+          }
+        }
+        assert(!Returns.empty() && "callee had no return");
+
+        // 4. Merge the return value: single return feeds directly, multiple
+        // returns go through a phi at the continuation head.
+        Instruction *ResultValue = nullptr;
+        if (Returns.size() == 1) {
+          ResultValue = Returns[0].second;
+        } else {
+          auto Phi = std::make_unique<Instruction>(Opcode::Phi);
+          for (auto &[RB, RV] : Returns) {
+            Phi->Operands.push_back(RV);
+            Phi->PhiBlocks.push_back(RB);
+          }
+          ResultValue = Cont->insertAt(0, std::move(Phi));
+        }
+        replaceAllUses(F, Call, ResultValue);
+
+        // 5. Replace the call with a jump into the inlined entry.
+        Call->Op = Opcode::Jump;
+        Call->Operands.clear();
+        Call->Imm = 0;
+        Call->TrueTarget = BlockMap[Callee->entry()];
+
+        F.recomputePreds();
+        Progress = true;
+        Changed = true;
+        break;
+      }
+      if (Progress)
+        break;
+    }
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.4 Method-handle simplification
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runMethodHandleSimplification(Module &M, Function &F) {
+  bool Changed = false;
+  for (auto &B : F.Blocks)
+    for (auto &I : B->Insts) {
+      if (I->Op != Opcode::MethodHandleInvoke)
+        continue;
+      // The handle id is a compile-time constant: resolve it through the
+      // JVMCI-style handle table to the target method and devirtualize.
+      Function *Target = M.handleTarget(static_cast<unsigned>(I->Imm));
+      I->Op = Opcode::Invoke;
+      I->Imm = static_cast<int64_t>(M.functionId(Target));
+      Changed = true;
+    }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.1 Escape analysis with atomic operations
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runEscapeAnalysis(Function &F, bool HandleAtomics) {
+  bool Changed = false;
+  for (auto &BPtr : F.Blocks) {
+    BasicBlock *B = BPtr.get();
+    // Find allocations in this block whose every use is a same-block field
+    // operation on the allocated object itself.
+    for (size_t Pos = 0; Pos < B->Insts.size(); ++Pos) {
+      Instruction *Alloc = B->Insts[Pos].get();
+      if (Alloc->Op != Opcode::NewObject)
+        continue;
+      bool Escapes = false;
+      bool HasCas = false;
+      for (auto &OB : F.Blocks)
+        for (auto &U : OB->Insts) {
+          for (size_t OperandIdx = 0; OperandIdx < U->Operands.size();
+               ++OperandIdx) {
+            if (U->Operands[OperandIdx] != Alloc)
+              continue;
+            bool SameBlock = U->Parent == B;
+            switch (U->Op) {
+            case Opcode::GetField:
+              Escapes |= !SameBlock;
+              break;
+            case Opcode::PutField:
+              // Storing the object *into* another object escapes it.
+              Escapes |= !SameBlock || OperandIdx == 1;
+              break;
+            case Opcode::Cas:
+              HasCas = true;
+              // As the CASed location's holder it can be scalarized; as a
+              // value operand it escapes.
+              Escapes |= !SameBlock || OperandIdx != 0;
+              break;
+            case Opcode::InstanceOf:
+              break; // folds away; treated as non-escaping use
+            default:
+              Escapes = true; // calls, stores elsewhere, returns, phis...
+            }
+          }
+        }
+      if (Escapes || (HasCas && !HandleAtomics))
+        continue;
+
+      // Scalar replacement: walk the block tracking per-field SSA values.
+      unsigned NumFields = 4; // conservative upper bound; fields tracked
+                              // lazily below
+      std::vector<Instruction *> FieldValues(NumFields, nullptr);
+      auto fieldValue = [&](size_t FieldIdx, size_t AtPos) -> Instruction * {
+        if (FieldValues[FieldIdx])
+          return FieldValues[FieldIdx];
+        // Unwritten field reads as 0: materialize a constant before use.
+        auto Zero = std::make_unique<Instruction>(Opcode::Const);
+        Zero->Imm = 0;
+        Instruction *Z = B->insertAt(AtPos, std::move(Zero));
+        FieldValues[FieldIdx] = Z;
+        return Z;
+      };
+
+      std::vector<Instruction *> ToErase;
+      ToErase.push_back(Alloc);
+      for (size_t UPos = 0; UPos < B->Insts.size(); ++UPos) {
+        Instruction *U = B->Insts[UPos].get();
+        if (std::find(U->Operands.begin(), U->Operands.end(), Alloc) ==
+            U->Operands.end())
+          continue;
+        // Replacement instructions are inserted before U; track how many
+        // so UPos keeps pointing at U afterwards.
+        size_t InsertedHere = 0;
+        size_t FieldIdx = static_cast<size_t>(U->Imm);
+        switch (U->Op) {
+        case Opcode::GetField: {
+          size_t Before = B->Insts.size();
+          replaceAllUses(F, U, fieldValue(FieldIdx, UPos));
+          InsertedHere = B->Insts.size() - Before;
+          ToErase.push_back(U);
+          break;
+        }
+        case Opcode::PutField:
+          FieldValues[FieldIdx] = U->Operands[1];
+          ToErase.push_back(U);
+          break;
+        case Opcode::Cas: {
+          // Emulate the CAS on the scalarized field (§5.1): the paper's
+          // transformation updates the virtual object's state directly.
+          //   success  = (field == expected)
+          //   field'   = field + success * (new - field)
+          size_t SizeBefore = B->Insts.size();
+          Instruction *Cur = fieldValue(FieldIdx, UPos);
+          size_t At = UPos + (B->Insts.size() - SizeBefore);
+          auto emitAt = [&](Opcode Op, std::vector<Instruction *> Ops) {
+            auto NI = std::make_unique<Instruction>(Op, std::move(Ops));
+            return B->insertAt(At++, std::move(NI));
+          };
+          Instruction *Expected = U->Operands[1];
+          Instruction *NewValue = U->Operands[2];
+          Instruction *Success = emitAt(Opcode::CmpEq, {Cur, Expected});
+          Instruction *Delta = emitAt(Opcode::Sub, {NewValue, Cur});
+          Instruction *Scaled = emitAt(Opcode::Mul, {Success, Delta});
+          Instruction *Updated = emitAt(Opcode::Add, {Cur, Scaled});
+          FieldValues[FieldIdx] = Updated;
+          replaceAllUses(F, U, Success);
+          ToErase.push_back(U);
+          InsertedHere = B->Insts.size() - SizeBefore;
+          break;
+        }
+        case Opcode::InstanceOf: {
+          // The object exists and has the allocation's class: fold.
+          U->Op = Opcode::Const;
+          U->Imm = U->Operands[0] == Alloc ? 1 : 0;
+          U->Operands.clear();
+          break;
+        }
+        default:
+          assert(false && "escape analysis missed an escaping use");
+        }
+        UPos += InsertedHere;
+      }
+      for (Instruction *Dead : ToErase) {
+        for (auto It = B->Insts.begin(); It != B->Insts.end(); ++It)
+          if (It->get() == Dead) {
+            B->Insts.erase(It);
+            break;
+          }
+      }
+      Changed = true;
+      // Block contents shifted; restart scanning this block.
+      Pos = 0;
+    }
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.5 Speculative guard motion
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runGuardMotion(Function &F) {
+  bool Changed = false;
+  DominatorTree Dom(F);
+  std::vector<Loop> Loops = findLoops(F, Dom);
+  for (Loop &L : Loops) {
+    if (!L.Preheader)
+      continue;
+    CountedLoop Counted;
+    bool IsCounted = matchCountedLoop(L, Counted);
+
+    for (BasicBlock *B : std::vector<BasicBlock *>(L.Blocks.begin(),
+                                                   L.Blocks.end())) {
+      for (size_t Pos = 0; Pos < B->Insts.size(); ++Pos) {
+        Instruction *G = B->Insts[Pos].get();
+        if (G->Op != Opcode::Guard)
+          continue;
+        Instruction *Cond = G->Operands[0];
+        BasicBlock *Pre = L.Preheader;
+        size_t PreInsert = Pre->Insts.size() - 1; // before terminator
+
+        // Case 1: loop-invariant guard condition — either defined outside
+        // the loop, or a pure in-loop computation whose operands are all
+        // invariant (hoist the computation together with the guard).
+        bool CondInvariant = isLoopInvariant(L, Cond);
+        bool CondHoistable = false;
+        if (!CondInvariant && isPure(Cond) && Cond->Op != Opcode::Phi &&
+            L.contains(Cond)) {
+          CondHoistable = true;
+          for (Instruction *Operand : Cond->Operands)
+            CondHoistable &= isLoopInvariant(L, Operand);
+        }
+        if (CondInvariant || CondHoistable) {
+          if (CondHoistable) {
+            // Move the condition computation to the preheader.
+            BasicBlock *CondBlock = Cond->Parent;
+            for (auto It = CondBlock->Insts.begin();
+                 It != CondBlock->Insts.end(); ++It) {
+              if (It->get() != Cond)
+                continue;
+              std::unique_ptr<Instruction> Taken = std::move(*It);
+              CondBlock->Insts.erase(It);
+              if (CondBlock == B) {
+                // Keep Pos pointing at the guard after the removal.
+                --Pos;
+              }
+              Taken->Parent = Pre;
+              Pre->Insts.insert(Pre->Insts.begin() +
+                                    static_cast<ptrdiff_t>(PreInsert),
+                                std::move(Taken));
+              ++PreInsert;
+              break;
+            }
+          }
+          auto NewGuard = std::make_unique<Instruction>(
+              Opcode::Guard, std::vector<Instruction *>{Cond});
+          NewGuard->Kind = G->Kind;
+          NewGuard->Speculative = true;
+          Instruction *Hoisted = Pre->insertAt(PreInsert,
+                                               std::move(NewGuard));
+          replaceAllUses(F, G, Hoisted);
+          for (auto It = B->Insts.begin(); It != B->Insts.end(); ++It)
+            if (It->get() == G) {
+              B->Insts.erase(It);
+              break;
+            }
+          --Pos;
+          Changed = true;
+          continue;
+        }
+
+        // Case 2: induction-variable inequality i < len with invariant
+        // len: the induction variable increases monotonically, so the
+        // guard holds across the whole range iff bound <= len.
+        if (!IsCounted || Cond->Op != Opcode::CmpLt || Cond->Parent == nullptr)
+          continue;
+        if (Cond->Operands[0] != Counted.Induction)
+          continue;
+        Instruction *Len = Cond->Operands[1];
+        if (!isLoopInvariant(L, Len))
+          continue;
+        auto NewCmp = std::make_unique<Instruction>(
+            Opcode::CmpLe,
+            std::vector<Instruction *>{Counted.Bound, Len});
+        Instruction *CmpInst = Pre->insertAt(PreInsert++,
+                                             std::move(NewCmp));
+        auto NewGuard = std::make_unique<Instruction>(
+            Opcode::Guard, std::vector<Instruction *>{CmpInst});
+        NewGuard->Kind = G->Kind;
+        NewGuard->Speculative = true;
+        Instruction *Hoisted = Pre->insertAt(PreInsert, std::move(NewGuard));
+        replaceAllUses(F, G, Hoisted);
+        B->Insts.erase(B->Insts.begin() + static_cast<ptrdiff_t>(Pos));
+        --Pos;
+        Changed = true;
+      }
+    }
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.2 Loop-wide lock coarsening
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runLockCoarsening(Function &F, unsigned Chunk) {
+  assert(Chunk >= 1 && "chunk must be positive");
+  DominatorTree Dom(F);
+  std::vector<Loop> Loops = findLoops(F, Dom);
+  bool Changed = false;
+
+  for (Loop &L : Loops) {
+    CountedLoop C;
+    if (!matchCountedLoop(L, C))
+      continue;
+    // Shape: loop is exactly {header H, body B}; B starts with
+    // MonitorEnter(x), ends with MonitorExit(x) immediately before the
+    // back-edge jump; x is loop-invariant; C.StepValue == 1.
+    if (L.Blocks.size() != 2 || C.StepValue != 1)
+      continue;
+    BasicBlock *H = L.Header;
+    BasicBlock *B = L.Latch;
+    if (B == H || B->Insts.size() < 3)
+      continue;
+    Instruction *Enter = B->Insts.front().get();
+    Instruction *BackJump = B->terminator();
+    if (Enter->Op != Opcode::MonitorEnter || BackJump->Op != Opcode::Jump ||
+        BackJump->TrueTarget != H)
+      continue;
+    // Exactly one matching exit somewhere in the body (instructions after
+    // it, e.g. the induction step, are simply kept under the coarsened
+    // lock — holding it slightly longer is what coarsening does anyway).
+    Instruction *Exit = nullptr;
+    bool MonitorShapeOk = true;
+    for (auto &I : B->Insts) {
+      if (I->Op == Opcode::MonitorExit) {
+        MonitorShapeOk &= Exit == nullptr;
+        Exit = I.get();
+      } else if (I->Op == Opcode::MonitorEnter && I.get() != Enter) {
+        MonitorShapeOk = false;
+      }
+    }
+    if (!Exit || !MonitorShapeOk)
+      continue;
+    if (Enter->Operands[0] != Exit->Operands[0] ||
+        !isLoopInvariant(L, Enter->Operands[0]))
+      continue;
+    // The loop condition must not take another lock: our conditions are
+    // pure compares by construction (matchCountedLoop checked the shape).
+
+    // --- Restructure ---
+    // H keeps its phis and compare; its true edge now enters OB.
+    BasicBlock *OB = F.addBlock(B->Label + ".chunk");
+    BasicBlock *IH = F.addBlock(H->Label + ".inner");
+    BasicBlock *IX = F.addBlock(B->Label + ".unlock");
+
+    // Collect header phis.
+    std::vector<Instruction *> HeaderPhis;
+    for (auto &I : H->Insts) {
+      if (I->Op != Opcode::Phi)
+        break;
+      HeaderPhis.push_back(I.get());
+    }
+
+    // OB: monitorEnter; limit = min(i + Chunk, bound); jmp IH.
+    Instruction *Lock = Enter->Operands[0];
+    {
+      auto ME = std::make_unique<Instruction>(
+          Opcode::MonitorEnter, std::vector<Instruction *>{Lock});
+      OB->append(std::move(ME));
+      auto CConst = std::make_unique<Instruction>(Opcode::Const);
+      CConst->Imm = static_cast<int64_t>(Chunk);
+      Instruction *ChunkConst = OB->append(std::move(CConst));
+      auto AddI = std::make_unique<Instruction>(
+          Opcode::Add,
+          std::vector<Instruction *>{C.Induction, ChunkConst});
+      Instruction *IPlusC = OB->append(std::move(AddI));
+      auto MinI = std::make_unique<Instruction>(
+          Opcode::Min, std::vector<Instruction *>{IPlusC, C.Bound});
+      Instruction *Limit = OB->append(std::move(MinI));
+      auto J = std::make_unique<Instruction>(Opcode::Jump);
+      J->TrueTarget = IH;
+      OB->append(std::move(J));
+
+      // IH: inner phis mirroring every header phi.
+      std::unordered_map<Instruction *, Instruction *> InnerPhi;
+      for (Instruction *P : HeaderPhis) {
+        auto Q = std::make_unique<Instruction>(Opcode::Phi);
+        Q->Operands.push_back(P);
+        Q->PhiBlocks.push_back(OB);
+        // Latch value: the value this phi receives along the back edge.
+        Instruction *LatchValue = nullptr;
+        for (size_t K = 0; K < P->PhiBlocks.size(); ++K)
+          if (P->PhiBlocks[K] == B)
+            LatchValue = P->Operands[K];
+        assert(LatchValue && "header phi lacks a latch value");
+        Q->Operands.push_back(LatchValue);
+        Q->PhiBlocks.push_back(B);
+        InnerPhi[P] = IH->append(std::move(Q));
+      }
+      Instruction *InnerInd = InnerPhi.at(C.Induction);
+      auto InnerCmp = std::make_unique<Instruction>(
+          Opcode::CmpLt, std::vector<Instruction *>{InnerInd, Limit});
+      Instruction *IC = IH->append(std::move(InnerCmp));
+      auto IBr = std::make_unique<Instruction>(
+          Opcode::Branch, std::vector<Instruction *>{IC});
+      IBr->TrueTarget = B;
+      IBr->FalseTarget = IX;
+      IH->append(std::move(IBr));
+
+      // B: strip monitor ops; retarget back edge to IH; uses of header
+      // phis inside B become uses of the inner phis.
+      B->Insts.erase(B->Insts.begin()); // MonitorEnter
+      // MonitorExit is now at size-2 relative to new layout:
+      for (auto It = B->Insts.begin(); It != B->Insts.end(); ++It)
+        if (It->get() == Exit) {
+          B->Insts.erase(It);
+          break;
+        }
+      B->terminator()->TrueTarget = IH;
+      for (auto &I : B->Insts)
+        for (Instruction *&Operand : I->Operands) {
+          auto It = InnerPhi.find(Operand);
+          if (It != InnerPhi.end())
+            Operand = It->second;
+        }
+
+      // IX: monitorExit; jmp H.
+      auto MX = std::make_unique<Instruction>(
+          Opcode::MonitorExit, std::vector<Instruction *>{Lock});
+      IX->append(std::move(MX));
+      auto JX = std::make_unique<Instruction>(Opcode::Jump);
+      JX->TrueTarget = H;
+      IX->append(std::move(JX));
+
+      // Header phis: the back edge now comes from IX carrying the inner
+      // phi values.
+      for (Instruction *P : HeaderPhis)
+        for (size_t K = 0; K < P->PhiBlocks.size(); ++K)
+          if (P->PhiBlocks[K] == B) {
+            P->PhiBlocks[K] = IX;
+            P->Operands[K] = InnerPhi.at(P);
+          }
+
+      // H's true edge enters the chunked body.
+      H->terminator()->TrueTarget = OB;
+    }
+    F.recomputePreds();
+    Changed = true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.3 Atomic-operation coalescing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A recognized CAS retry loop: a single-block self-loop of the form
+///   L: v = getfield x.f; <pure computation nv>; ok = cas x.f v nv;
+///      br ok -> Next, L
+struct CasRetryLoop {
+  BasicBlock *Block = nullptr;
+  Instruction *Read = nullptr;
+  Instruction *Cas = nullptr;
+  BasicBlock *Next = nullptr;
+};
+
+bool matchCasRetryLoop(BasicBlock *B, CasRetryLoop &Out) {
+  Instruction *Term = B->terminator();
+  if (!Term || Term->Op != Opcode::Branch || Term->FalseTarget != B)
+    return false;
+  if (B->Insts.size() < 3)
+    return false;
+  Instruction *Read = B->Insts.front().get();
+  Instruction *Cas = B->Insts[B->Insts.size() - 2].get();
+  if (Read->Op != Opcode::GetField || Cas->Op != Opcode::Cas)
+    return false;
+  if (Term->Operands[0] != Cas)
+    return false;
+  // Same object and field, and the CAS expects exactly the read value.
+  if (Cas->Operands[0] != Read->Operands[0] || Cas->Imm != Read->Imm ||
+      Cas->Operands[1] != Read)
+    return false;
+  // Everything between must be pure computation.
+  for (size_t I = 1; I + 2 < B->Insts.size(); ++I)
+    if (!isPure(B->Insts[I].get()) ||
+        B->Insts[I]->Op == Opcode::Phi)
+      return false;
+  Out.Block = B;
+  Out.Read = Read;
+  Out.Cas = Cas;
+  Out.Next = Term->TrueTarget;
+  return true;
+}
+
+} // namespace
+
+bool ren::jit::runAtomicCoalescing(Function &F) {
+  bool Changed = false;
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    for (auto &BPtr : F.Blocks) {
+      CasRetryLoop First;
+      if (!matchCasRetryLoop(BPtr.get(), First))
+        continue;
+      CasRetryLoop Second;
+      if (!matchCasRetryLoop(First.Next, Second))
+        continue;
+      if (Second.Block == First.Block)
+        continue;
+      // Both loops must target the same location, and the second loop's
+      // block must have no other predecessors than the first loop.
+      if (Second.Read->Operands[0] != First.Read->Operands[0] ||
+          Second.Read->Imm != First.Read->Imm)
+        continue;
+      bool OnlyPred = true;
+      for (BasicBlock *P : Second.Block->Preds)
+        OnlyPred &= P == First.Block || P == Second.Block;
+      if (!OnlyPred)
+        continue;
+
+      // Fuse: clone the second loop's pure computation into the first
+      // loop with v2 := nv1, make the first CAS install f2(f1(v)), and
+      // bypass the second loop entirely.
+      BasicBlock *B = First.Block;
+      Instruction *Nv1 = First.Cas->Operands[2];
+      std::unordered_map<Instruction *, Instruction *> Map;
+      Map[Second.Read] = Nv1;
+      size_t InsertPos = 0;
+      for (size_t I = 0; I < B->Insts.size(); ++I)
+        if (B->Insts[I].get() == First.Cas) {
+          InsertPos = I;
+          break;
+        }
+      for (size_t I = 1; I + 2 < Second.Block->Insts.size(); ++I) {
+        Instruction *Orig = Second.Block->Insts[I].get();
+        auto Clone = std::make_unique<Instruction>(Orig->Op);
+        Clone->Imm = Orig->Imm;
+        for (Instruction *Operand : Orig->Operands) {
+          auto It = Map.find(Operand);
+          Clone->Operands.push_back(It != Map.end() ? It->second : Operand);
+        }
+        Map[Orig] = B->insertAt(InsertPos++, std::move(Clone));
+      }
+      Instruction *Nv2 = Second.Cas->Operands[2];
+      auto MappedNv2It = Map.find(Nv2);
+      Instruction *FusedNew =
+          MappedNv2It != Map.end() ? MappedNv2It->second : Nv2;
+      First.Cas->Operands[2] = FusedNew;
+      B->terminator()->TrueTarget = Second.Next;
+
+      // External uses of the second loop's values: the read observed nv1,
+      // the installed value is the fused result, the CAS succeeded.
+      replaceAllUses(F, Second.Read, Nv1);
+      replaceAllUses(F, Second.Cas, First.Cas);
+      for (size_t I = 1; I + 2 < Second.Block->Insts.size(); ++I)
+        replaceAllUses(F, Second.Block->Insts[I].get(),
+                       Map.at(Second.Block->Insts[I].get()));
+
+      F.recomputePreds();
+      removeUnreachableBlocks(F);
+      Changed = true;
+      Progress = true;
+      break;
+    }
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}

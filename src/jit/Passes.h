@@ -1,0 +1,89 @@
+//===- jit/Passes.h - The paper's optimization passes -----------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR-to-IR implementations of the seven optimizations the paper studies
+/// (§5), plus the supporting scalar cleanups they enable:
+///
+///  - Escape Analysis with Atomic operations (EAWA, §5.1): scalar-replaces
+///    non-escaping allocations; with atomics enabled, CAS effects are
+///    emulated with compare+select arithmetic on the scalarized field.
+///  - Loop-Wide Lock Coarsening (LLC, §5.2): tiles a synchronized loop
+///    into monitor-held chunks of C iterations.
+///  - Atomic-operation Coalescing (AC, §5.3): fuses two consecutive CAS
+///    retry loops on the same location into one.
+///  - Method-Handle Simplification (MHS, §5.4): devirtualizes constant
+///    method-handle invocations into direct calls (which the inliner then
+///    inlines, enabling the downstream optimizations).
+///  - Speculative Guard Motion (GM, §5.5): hoists loop-invariant guards
+///    and rewrites induction-variable bounds checks to loop-invariant
+///    speculative variants in the preheader.
+///  - Loop Vectorization (LV, §5.6): rewrites guard-free counted loops to
+///    4-lane vector form with a scalar remainder loop; requires GM to have
+///    removed in-loop guards first (the paper's observed dependency).
+///  - Dominance-Based Duplication Simulation (DBDS, §5.7): duplicates a
+///    merge block into its predecessors when that makes a type check
+///    dominated by an identical check, then folds it.
+///
+/// Support passes: constant folding (with branch folding and unreachable-
+/// block elimination), a bottom-up inliner, and 4x loop unrolling (used by
+/// the "C2" configuration as its distinguishing strength).
+///
+/// Every pass returns true if it changed the IR. Passes keep the IR
+/// verifiable: Function::verify() must hold before and after.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_PASSES_H
+#define REN_JIT_PASSES_H
+
+#include "jit/Ir.h"
+
+namespace ren {
+namespace jit {
+
+/// Folds constant arithmetic/compares, cmpeq(x,x), branches on constants;
+/// removes unreachable blocks (fixing phis) and trivially dead pure
+/// instructions. Iterates to a fixpoint.
+bool runConstantFolding(Function &F);
+
+/// Inlines direct calls to callees with at most \p MaxCalleeInsts
+/// instructions (non-recursive).
+bool runInliner(Module &M, Function &F, unsigned MaxCalleeInsts = 48);
+
+/// §5.4: MethodHandleInvoke -> Invoke through the module's handle table.
+bool runMethodHandleSimplification(Module &M, Function &F);
+
+/// §5.1: partial escape analysis / scalar replacement for allocations used
+/// only by field operations in their defining block. When
+/// \p HandleAtomics is false (the pre-paper baseline), any CAS use
+/// disqualifies the allocation.
+bool runEscapeAnalysis(Function &F, bool HandleAtomics);
+
+/// §5.2: loop-wide lock coarsening with chunk size \p Chunk.
+bool runLockCoarsening(Function &F, unsigned Chunk = 32);
+
+/// §5.3: coalesces consecutive CAS retry loops on the same field.
+bool runAtomicCoalescing(Function &F);
+
+/// §5.5: speculative guard motion.
+bool runGuardMotion(Function &F);
+
+/// §5.6: 4-lane loop vectorization (emits a scalar remainder loop).
+bool runLoopVectorization(Function &F);
+
+/// §5.7: dominance-based duplication of merge blocks to eliminate
+/// dominated instanceof checks.
+bool runDuplication(Function &F);
+
+/// 4x unrolling of tight counted loops (the "C2" configuration's
+/// distinguishing classic loop optimization).
+bool runLoopUnrolling(Function &F);
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_PASSES_H

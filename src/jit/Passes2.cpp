@@ -1,0 +1,634 @@
+//===- jit/Passes2.cpp - DBDS, loop vectorization, unrolling --------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// The loop-restructuring passes: dominance-based duplication simulation
+// (§5.7), 4-lane loop vectorization with a scalar remainder loop (§5.6),
+// and the classic 4x unroller used by the "C2" configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Analysis.h"
+#include "jit/Passes.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ren;
+using namespace ren::jit;
+
+namespace {
+
+/// True if the instruction has no side effects (local copy; Passes.cpp
+/// keeps its own static equivalent).
+bool isPure(const Instruction *I) {
+  switch (I->Op) {
+  case Opcode::Const:
+  case Opcode::Param:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::InstanceOf:
+  case Opcode::Extract:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Replaces uses of \p Old with \p New in every block NOT contained in
+/// \p Excluded.
+void replaceUsesOutside(Function &F, Instruction *Old, Instruction *New,
+                        const std::unordered_set<BasicBlock *> &Excluded) {
+  for (auto &B : F.Blocks) {
+    if (Excluded.count(B.get()))
+      continue;
+    for (auto &I : B->Insts)
+      for (Instruction *&Operand : I->Operands)
+        if (Operand == Old)
+          Operand = New;
+  }
+}
+
+/// Clones instruction \p Orig without operands/targets (copied by caller).
+std::unique_ptr<Instruction> shallowClone(const Instruction *Orig) {
+  auto NI = std::make_unique<Instruction>(Orig->Op);
+  NI->Imm = Orig->Imm;
+  NI->Kind = Orig->Kind;
+  NI->Speculative = Orig->Speculative;
+  NI->Lanes = Orig->Lanes;
+  return NI;
+}
+
+/// Information about the remainder loop produced by cloneLoopAsRemainder.
+struct RemainderLoop {
+  BasicBlock *Header = nullptr;
+  BasicBlock *Body = nullptr;
+  /// Original header phi -> remainder header phi.
+  std::unordered_map<Instruction *, Instruction *> PhiMap;
+};
+
+/// Clones the two-block counted loop \p C (header H, body B) into a scalar
+/// remainder loop entered from \p EntryFrom. For each header phi P, the
+/// remainder phi starts from \p EntryValues[P] on entry and continues with
+/// the cloned latch value. The original exit block's phis and all external
+/// users are retargeted to the remainder loop's results.
+RemainderLoop cloneLoopAsRemainder(
+    Function &F, const CountedLoop &C, BasicBlock *EntryFrom,
+    const std::unordered_map<Instruction *, Instruction *> &EntryValues) {
+  BasicBlock *H = C.TheLoop.Header;
+  BasicBlock *B = C.TheLoop.Latch;
+
+  RemainderLoop Out;
+  Out.Header = F.addBlock(H->Label + ".rem");
+  Out.Body = F.addBlock(B->Label + ".rem");
+
+  std::unordered_map<const Instruction *, Instruction *> Map;
+  // First pass: clone instructions.
+  for (BasicBlock *Src : {H, B}) {
+    BasicBlock *Dst = Src == H ? Out.Header : Out.Body;
+    for (const auto &I : Src->Insts)
+      Map[I.get()] = Dst->append(shallowClone(I.get()));
+  }
+  // Second pass: operands and targets.
+  for (BasicBlock *Src : {H, B}) {
+    for (const auto &I : Src->Insts) {
+      Instruction *NI = Map.at(I.get());
+      NI->Lanes = 1; // the remainder is scalar even if the main loop
+                     // becomes vectorized afterwards
+      for (Instruction *Operand : I->Operands) {
+        auto It = Map.find(Operand);
+        NI->Operands.push_back(It != Map.end() ? It->second : Operand);
+      }
+      if (I->TrueTarget)
+        NI->TrueTarget = I->TrueTarget == H   ? Out.Header
+                         : I->TrueTarget == B ? Out.Body
+                                              : I->TrueTarget;
+      if (I->FalseTarget)
+        NI->FalseTarget = I->FalseTarget == H   ? Out.Header
+                          : I->FalseTarget == B ? Out.Body
+                                                : I->FalseTarget;
+    }
+  }
+  // Remainder phis: entry edge comes from EntryFrom with the provided
+  // values; latch edge from the cloned body.
+  for (const auto &I : H->Insts) {
+    if (I->Op != Opcode::Phi)
+      break;
+    Instruction *P2 = Map.at(I.get());
+    P2->PhiBlocks.clear();
+    std::vector<Instruction *> OldOperands = P2->Operands;
+    P2->Operands.clear();
+    // Entry value.
+    P2->Operands.push_back(EntryValues.at(I.get()));
+    P2->PhiBlocks.push_back(EntryFrom);
+    // Latch value: the clone of the original latch value.
+    for (size_t K = 0; K < I->PhiBlocks.size(); ++K) {
+      if (I->PhiBlocks[K] != B)
+        continue;
+      auto It = Map.find(I->Operands[K]);
+      P2->Operands.push_back(It != Map.end() ? It->second
+                                             : I->Operands[K]);
+      P2->PhiBlocks.push_back(Out.Body);
+    }
+    Out.PhiMap[I.get()] = P2;
+  }
+
+  // The original exit block now receives control from the remainder
+  // header instead of the main header: fix its phis.
+  for (auto &I : C.Exit->Insts) {
+    if (I->Op != Opcode::Phi)
+      break;
+    for (size_t K = 0; K < I->PhiBlocks.size(); ++K)
+      if (I->PhiBlocks[K] == H) {
+        I->PhiBlocks[K] = Out.Header;
+        auto It = Out.PhiMap.find(I->Operands[K]);
+        if (It != Out.PhiMap.end())
+          I->Operands[K] = It->second;
+      }
+  }
+
+  // External users of the original header phis see the remainder results.
+  std::unordered_set<BasicBlock *> Internal = {H, B, Out.Header, Out.Body,
+                                               EntryFrom};
+  for (auto &[P, P2] : Out.PhiMap)
+    replaceUsesOutside(F, P, P2, Internal);
+  return Out;
+}
+
+/// The common shape both LV and unrolling require: a two-block counted
+/// loop {H, B} with unit step, whose body is side-effect-restricted.
+struct TightLoop {
+  CountedLoop C;
+  std::vector<Instruction *> HeaderPhis;       // includes the induction
+  std::vector<Instruction *> ReductionPhis;    // header phis that reduce
+  std::unordered_map<Instruction *, Instruction *> LatchValue;
+};
+
+bool matchTightLoop(const Loop &L, TightLoop &Out, bool AllowGuards) {
+  CountedLoop C;
+  if (!matchCountedLoop(L, C) || C.StepValue != 1)
+    return false;
+  if (L.Blocks.size() != 2)
+    return false;
+  BasicBlock *H = L.Header;
+  BasicBlock *B = L.Latch;
+  if (B == H)
+    return false;
+  // Header: phis, the compare, the branch — nothing else.
+  for (const auto &I : H->Insts) {
+    if (I->Op == Opcode::Phi || I.get() == C.Compare ||
+        I.get() == H->terminator())
+      continue;
+    return false;
+  }
+  // Body: pure computation, loads/stores indexed by the induction
+  // variable, the step add, optionally guards; one Jump back.
+  for (const auto &I : B->Insts) {
+    switch (I->Op) {
+    case Opcode::Load:
+      if (I->Operands[0] != C.Induction)
+        return false;
+      break;
+    case Opcode::Store:
+      if (I->Operands[0] != C.Induction)
+        return false;
+      break;
+    case Opcode::Guard:
+      if (!AllowGuards)
+        return false;
+      break;
+    case Opcode::Jump:
+      if (I->TrueTarget != H)
+        return false;
+      break;
+    default:
+      if (!isPure(I.get()) || I->Op == Opcode::Phi)
+        return false;
+    }
+  }
+  Out.C = C;
+  for (const auto &I : H->Insts) {
+    if (I->Op != Opcode::Phi)
+      break;
+    Out.HeaderPhis.push_back(I.get());
+    for (size_t K = 0; K < I->PhiBlocks.size(); ++K)
+      if (I->PhiBlocks[K] == B)
+        Out.LatchValue[I.get()] = I->Operands[K];
+    if (I.get() != C.Induction)
+      Out.ReductionPhis.push_back(I.get());
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// §5.7 Dominance-based duplication simulation
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runDuplication(Function &F) {
+  bool Changed = false;
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    F.recomputePreds();
+    for (auto &MPtr : F.Blocks) {
+      BasicBlock *M = MPtr.get();
+      // Merge block with exactly two Jump predecessors.
+      if (M->Preds.size() != 2)
+        continue;
+      BasicBlock *T = M->Preds[0];
+      BasicBlock *Fb = M->Preds[1];
+      if (T == Fb || !T->terminator() || !Fb->terminator())
+        continue;
+      if (T->terminator()->Op != Opcode::Jump ||
+          Fb->terminator()->Op != Opcode::Jump)
+        continue;
+      // The predecessors must be the two arms of one branch on an
+      // instanceof, with a matching instanceof re-checked inside M.
+      BasicBlock *CondBlock = nullptr;
+      if (T->Preds.size() == 1 && Fb->Preds.size() == 1 &&
+          T->Preds[0] == Fb->Preds[0])
+        CondBlock = T->Preds[0];
+      if (!CondBlock)
+        continue;
+      Instruction *OuterBranch = CondBlock->terminator();
+      if (!OuterBranch || OuterBranch->Op != Opcode::Branch)
+        continue;
+      Instruction *OuterCheck = OuterBranch->Operands[0];
+      if (OuterCheck->Op != Opcode::InstanceOf)
+        continue;
+      bool TIsTrueArm = OuterBranch->TrueTarget == T;
+      if (!TIsTrueArm && OuterBranch->TrueTarget != Fb)
+        continue;
+
+      // M re-checks the same instanceof and branches on it.
+      Instruction *InnerCheck = nullptr;
+      for (auto &I : M->Insts)
+        if (I->Op == Opcode::InstanceOf &&
+            I->Operands[0] == OuterCheck->Operands[0] &&
+            I->Imm == OuterCheck->Imm)
+          InnerCheck = I.get();
+      if (!InnerCheck)
+        continue;
+      // Duplication safety: values defined in M may only be used inside M
+      // or as phi inputs of M's successors.
+      bool Safe = true;
+      for (auto &I : M->Insts)
+        for (auto &OB : F.Blocks) {
+          if (OB.get() == M)
+            continue;
+          for (auto &U : OB->Insts) {
+            bool UsesIt = std::find(U->Operands.begin(), U->Operands.end(),
+                                    I.get()) != U->Operands.end();
+            if (UsesIt && U->Op != Opcode::Phi)
+              Safe = false;
+          }
+        }
+      if (!Safe)
+        continue;
+
+      // Duplicate M into each predecessor path.
+      auto duplicateInto = [&](BasicBlock *Pred, bool CheckValue) {
+        BasicBlock *Clone = F.addBlock(M->Label + (CheckValue ? ".t" : ".f"));
+        std::unordered_map<const Instruction *, Instruction *> Map;
+        for (auto &I : M->Insts) {
+          if (I->Op == Opcode::Phi) {
+            // Resolve the phi to the value flowing in from Pred.
+            for (size_t K = 0; K < I->PhiBlocks.size(); ++K)
+              if (I->PhiBlocks[K] == Pred)
+                Map[I.get()] = I->Operands[K];
+            continue;
+          }
+          Instruction *NI = Clone->append(shallowClone(I.get()));
+          NI->TrueTarget = I->TrueTarget;
+          NI->FalseTarget = I->FalseTarget;
+          for (Instruction *Operand : I->Operands) {
+            auto It = Map.find(Operand);
+            NI->Operands.push_back(It != Map.end() ? It->second : Operand);
+          }
+          Map[I.get()] = NI;
+          // This is the dominance simulation payoff: the duplicated check
+          // is dominated by the identical outer check, so it folds.
+          if (I.get() == InnerCheck) {
+            NI->Op = Opcode::Const;
+            NI->Imm = CheckValue ? 1 : 0;
+            NI->Operands.clear();
+          }
+        }
+        Pred->terminator()->TrueTarget = Clone;
+        // Successor phis referencing M gain an entry for the clone.
+        for (BasicBlock *S : Clone->successors())
+          for (auto &I : S->Insts) {
+            if (I->Op != Opcode::Phi)
+              break;
+            for (size_t K = 0; K < I->PhiBlocks.size(); ++K)
+              if (I->PhiBlocks[K] == M) {
+                auto It = Map.find(I->Operands[K]);
+                I->Operands.push_back(It != Map.end() ? It->second
+                                                      : I->Operands[K]);
+                I->PhiBlocks.push_back(Clone);
+              }
+          }
+        return Clone;
+      };
+
+      duplicateInto(T, TIsTrueArm);
+      duplicateInto(Fb, !TIsTrueArm);
+
+      // M is now unreachable; drop the stale phi entries in successors.
+      for (BasicBlock *S : M->successors())
+        for (auto &I : S->Insts) {
+          if (I->Op != Opcode::Phi)
+            break;
+          for (size_t K = I->PhiBlocks.size(); K-- > 0;)
+            if (I->PhiBlocks[K] == M) {
+              I->PhiBlocks.erase(I->PhiBlocks.begin() +
+                                 static_cast<ptrdiff_t>(K));
+              I->Operands.erase(I->Operands.begin() +
+                                static_cast<ptrdiff_t>(K));
+            }
+        }
+      F.recomputePreds();
+      runConstantFolding(F);
+      Changed = true;
+      Progress = true;
+      break;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// §5.6 Loop vectorization
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runLoopVectorization(Function &F) {
+  bool Changed = false;
+  DominatorTree Dom(F);
+  std::vector<Loop> Loops = findLoops(F, Dom);
+  for (Loop &L : Loops) {
+    TightLoop TL;
+    // Guards in the loop prevent vectorization — this is the paper's
+    // observed dependency on speculative guard motion (§5.6).
+    if (!matchTightLoop(L, TL, /*AllowGuards=*/false))
+      continue;
+    BasicBlock *H = L.Header;
+    BasicBlock *B = L.Latch;
+
+    // The induction variable may only feed memory addressing, its own
+    // step, and the loop compare (lane-invariant uses).
+    bool UsesOk = true;
+    for (auto &Blk : F.Blocks)
+      for (auto &U : Blk->Insts) {
+        if (U.get() == TL.C.Step || U.get() == TL.C.Compare)
+          continue;
+        for (size_t K = 0; K < U->Operands.size(); ++K) {
+          if (U->Operands[K] != TL.C.Induction)
+            continue;
+          bool IsAddress = (U->Op == Opcode::Load && K == 0) ||
+                           (U->Op == Opcode::Store && K == 0);
+          if (!IsAddress && L.contains(U.get()))
+            UsesOk = false;
+        }
+      }
+    if (!UsesOk)
+      continue;
+    // Reductions must be additive so a zero-initialized vector
+    // accumulator plus a post-loop horizontal sum is exact.
+    bool ReductionsOk = true;
+    for (Instruction *P : TL.ReductionPhis) {
+      Instruction *Latch = TL.LatchValue.at(P);
+      bool Additive = Latch->Op == Opcode::Add &&
+                      (Latch->Operands[0] == P || Latch->Operands[1] == P);
+      ReductionsOk &= Additive;
+    }
+    if (!ReductionsOk)
+      continue;
+
+    // --- Build the scalar remainder loop first (clone of the original).
+    BasicBlock *VecExit = F.addBlock(H->Label + ".vexit");
+    std::unordered_map<Instruction *, Instruction *> EntryValues;
+    // Remainder entry values: filled below (induction: phi itself;
+    // reductions: horizontal sums computed in VecExit).
+    EntryValues[TL.C.Induction] = TL.C.Induction;
+
+    // Horizontal sums in VecExit; the reduction phi's scalar init is
+    // added back here because the vector accumulator starts at zero.
+    std::unordered_map<Instruction *, Instruction *> InitOfPhi;
+    for (Instruction *P : TL.ReductionPhis) {
+      for (size_t K = 0; K < P->PhiBlocks.size(); ++K)
+        if (P->PhiBlocks[K] == L.Preheader)
+          InitOfPhi[P] = P->Operands[K];
+      Instruction *Sum = nullptr;
+      for (unsigned Lane = 0; Lane < 4; ++Lane) {
+        auto Ext = std::make_unique<Instruction>(
+            Opcode::Extract, std::vector<Instruction *>{P},
+            static_cast<int64_t>(Lane));
+        Instruction *E = VecExit->append(std::move(Ext));
+        if (!Sum) {
+          Sum = E;
+        } else {
+          auto AddI = std::make_unique<Instruction>(
+              Opcode::Add, std::vector<Instruction *>{Sum, E});
+          Sum = VecExit->append(std::move(AddI));
+        }
+      }
+      auto AddInit = std::make_unique<Instruction>(
+          Opcode::Add, std::vector<Instruction *>{Sum, InitOfPhi.at(P)});
+      Sum = VecExit->append(std::move(AddInit));
+      EntryValues[P] = Sum;
+    }
+
+    RemainderLoop Rem = cloneLoopAsRemainder(F, TL.C, VecExit, EntryValues);
+    auto JumpRem = std::make_unique<Instruction>(Opcode::Jump);
+    JumpRem->TrueTarget = Rem.Header;
+    VecExit->append(std::move(JumpRem));
+
+    // --- Vectorize the main loop.
+    // Bound becomes bound-3 so lanes i..i+3 stay in range.
+    BasicBlock *Pre = L.Preheader;
+    auto Three = std::make_unique<Instruction>(Opcode::Const);
+    Three->Imm = 3;
+    Instruction *C3 = Pre->insertAt(Pre->Insts.size() - 1, std::move(Three));
+    auto VB = std::make_unique<Instruction>(
+        Opcode::Sub, std::vector<Instruction *>{TL.C.Bound, C3});
+    Instruction *VecBound =
+        Pre->insertAt(Pre->Insts.size() - 1, std::move(VB));
+    TL.C.Compare->Operands[1] = VecBound;
+    // Exit edge goes to the horizontal-sum block.
+    H->terminator()->FalseTarget = VecExit;
+    // Step 1 -> 4.
+    Instruction *StepConst = TL.C.Step->Operands[0] == TL.C.Induction
+                                 ? TL.C.Step->Operands[1]
+                                 : TL.C.Step->Operands[0];
+    // The step constant may be shared; give the step its own constant.
+    auto Four = std::make_unique<Instruction>(Opcode::Const);
+    Four->Imm = 4;
+    Instruction *C4 = Pre->insertAt(Pre->Insts.size() - 1, std::move(Four));
+    for (Instruction *&Operand : TL.C.Step->Operands)
+      if (Operand == StepConst)
+        Operand = C4;
+    // Zero the vector accumulators' init and widen them.
+    for (Instruction *P : TL.ReductionPhis) {
+      auto Zero = std::make_unique<Instruction>(Opcode::Const);
+      Zero->Imm = 0;
+      Instruction *Z = Pre->insertAt(Pre->Insts.size() - 1, std::move(Zero));
+      for (size_t K = 0; K < P->PhiBlocks.size(); ++K)
+        if (P->PhiBlocks[K] == Pre)
+          P->Operands[K] = Z;
+      P->Lanes = 4;
+    }
+    // Widen the body.
+    for (auto &I : B->Insts) {
+      if (I.get() == TL.C.Step || I->isTerm())
+        continue;
+      if (isVectorizable(I->Op))
+        I->Lanes = 4;
+    }
+
+    F.recomputePreds();
+    Changed = true;
+    break; // one loop per invocation keeps analyses simple
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// 4x loop unrolling (the "C2" configuration's classic strength)
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runLoopUnrolling(Function &F) {
+  bool Changed = false;
+  DominatorTree Dom(F);
+  std::vector<Loop> Loops = findLoops(F, Dom);
+  for (Loop &L : Loops) {
+    TightLoop TL;
+    if (!matchTightLoop(L, TL, /*AllowGuards=*/true))
+      continue;
+    BasicBlock *H = L.Header;
+    BasicBlock *B = L.Latch;
+    if (B->Insts.size() > 24)
+      continue; // only tight bodies benefit
+    // Never unroll an already-vectorized loop: replicating lane-4 loads
+    // with a stride-4 step would read overlapping elements.
+    bool HasVector = false;
+    for (auto &I : B->Insts)
+      HasVector |= I->Lanes > 1;
+    for (auto &I : H->Insts)
+      HasVector |= I->Lanes > 1;
+    if (HasVector)
+      continue;
+
+    // Remainder loop: entered straight from the header with the current
+    // phi values.
+    std::unordered_map<Instruction *, Instruction *> EntryValues;
+    for (Instruction *P : TL.HeaderPhis)
+      EntryValues[P] = P;
+    RemainderLoop Rem = cloneLoopAsRemainder(F, TL.C, H, EntryValues);
+    H->terminator()->FalseTarget = Rem.Header;
+
+    // Main loop bound becomes bound-3.
+    BasicBlock *Pre = L.Preheader;
+    auto Three = std::make_unique<Instruction>(Opcode::Const);
+    Three->Imm = 3;
+    Instruction *C3 = Pre->insertAt(Pre->Insts.size() - 1, std::move(Three));
+    auto UB = std::make_unique<Instruction>(
+        Opcode::Sub, std::vector<Instruction *>{TL.C.Bound, C3});
+    Instruction *UnrollBound =
+        Pre->insertAt(Pre->Insts.size() - 1, std::move(UB));
+    TL.C.Compare->Operands[1] = UnrollBound;
+
+    // Replicate the body three more times, chaining loop-carried values.
+    // CurrentValue maps each header phi to its value at the end of the
+    // copies emitted so far.
+    std::unordered_map<Instruction *, Instruction *> CurrentValue;
+    for (Instruction *P : TL.HeaderPhis)
+      CurrentValue[P] = TL.LatchValue.at(P);
+    // Original body instructions (excluding the terminator and step).
+    std::vector<Instruction *> BodyInsts;
+    for (auto &I : B->Insts)
+      if (!I->isTerm())
+        BodyInsts.push_back(I.get());
+
+    size_t InsertPos = B->Insts.size() - 1; // before the jump
+    for (unsigned Copy = 1; Copy < 4; ++Copy) {
+      std::unordered_map<Instruction *, Instruction *> Map;
+      // The induction value for this copy is i + Copy.
+      auto CConst = std::make_unique<Instruction>(Opcode::Const);
+      CConst->Imm = static_cast<int64_t>(Copy);
+      Instruction *K = B->insertAt(InsertPos++, std::move(CConst));
+      auto AddK = std::make_unique<Instruction>(
+          Opcode::Add, std::vector<Instruction *>{TL.C.Induction, K});
+      Instruction *IK = B->insertAt(InsertPos++, std::move(AddK));
+      Map[TL.C.Induction] = IK;
+      for (Instruction *P : TL.ReductionPhis)
+        Map[P] = CurrentValue.at(P);
+
+      std::unordered_map<Instruction *, Instruction *> CopyClones;
+      for (Instruction *Orig : BodyInsts) {
+        if (Orig == TL.C.Step) {
+          // The step itself is replicated implicitly through Map; the
+          // original step becomes i+4 below.
+          CopyClones[Orig] = IK;
+          continue;
+        }
+        Instruction *NI = B->insertAt(InsertPos++, shallowClone(Orig));
+        for (Instruction *Operand : Orig->Operands) {
+          Instruction *Mapped = Operand;
+          auto ItPhi = Map.find(Operand);
+          if (ItPhi != Map.end())
+            Mapped = ItPhi->second;
+          auto ItClone = CopyClones.find(Operand);
+          if (ItClone != CopyClones.end())
+            Mapped = ItClone->second;
+          NI->Operands.push_back(Mapped);
+        }
+        CopyClones[Orig] = NI;
+      }
+      // New loop-carried values after this copy.
+      for (Instruction *P : TL.ReductionPhis) {
+        Instruction *Latch = TL.LatchValue.at(P);
+        auto It = CopyClones.find(Latch);
+        if (It != CopyClones.end())
+          CurrentValue[P] = It->second;
+      }
+    }
+    // Header phis' latch operands come from the final copy; step i+1->i+4.
+    for (Instruction *P : TL.ReductionPhis)
+      for (size_t K = 0; K < P->PhiBlocks.size(); ++K)
+        if (P->PhiBlocks[K] == B)
+          P->Operands[K] = CurrentValue.at(P);
+    Instruction *StepConst = TL.C.Step->Operands[0] == TL.C.Induction
+                                 ? TL.C.Step->Operands[1]
+                                 : TL.C.Step->Operands[0];
+    auto Four = std::make_unique<Instruction>(Opcode::Const);
+    Four->Imm = 4;
+    Instruction *C4 = Pre->insertAt(Pre->Insts.size() - 1, std::move(Four));
+    for (Instruction *&Operand : TL.C.Step->Operands)
+      if (Operand == StepConst)
+        Operand = C4;
+
+    F.recomputePreds();
+    Changed = true;
+    break;
+  }
+  if (Changed)
+    runConstantFolding(F);
+  return Changed;
+}

@@ -1,0 +1,320 @@
+//===- kvstore/KvStore.cpp ------------------------------------------------==//
+
+#include "kvstore/KvStore.h"
+
+#include "memsim/MemSim.h"
+#include "runtime/Alloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace ren;
+using namespace ren::kvstore;
+
+static unsigned roundUpPowerOfTwo(unsigned X) {
+  unsigned P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+Table::Table(unsigned Stripes) {
+  unsigned N = roundUpPowerOfTwo(Stripes == 0 ? 1 : Stripes);
+  for (unsigned I = 0; I < N; ++I)
+    Shards.push_back(std::make_unique<Stripe>());
+}
+
+bool Table::put(uint64_t Key, std::string Value) {
+  Stripe &S = stripeFor(Key);
+  runtime::Synchronized Sync(S.Lock);
+  runtime::noteObjectAlloc(); // the row object
+  runtime::noteVirtualCall(); // the storage-engine dispatch
+  if (AttachedIndex) {
+    auto It = S.Map.find(Key);
+    AttachedIndex->onPut(Key, It == S.Map.end() ? std::string() : It->second,
+                         It != S.Map.end(), Value);
+  }
+  return S.Map.insert_or_assign(Key, std::move(Value)).second;
+}
+
+std::optional<std::string> Table::get(uint64_t Key) {
+  Stripe &S = stripeFor(Key);
+  runtime::Synchronized Sync(S.Lock);
+  runtime::noteVirtualCall();
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return std::nullopt;
+  memsim::traceData(&It->second, sizeof(It->second));
+  return It->second;
+}
+
+bool Table::remove(uint64_t Key) {
+  Stripe &S = stripeFor(Key);
+  runtime::Synchronized Sync(S.Lock);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return false;
+  if (AttachedIndex)
+    AttachedIndex->onRemove(Key, It->second);
+  S.Map.erase(It);
+  return true;
+}
+
+void Table::attachIndex(SecondaryIndex &Index) {
+  assert(!AttachedIndex && "table already indexed");
+  AttachedIndex = &Index;
+  scan([&](uint64_t Key, const std::string &Value) {
+    Index.onPut(Key, std::string(), false, Value);
+  });
+}
+
+std::vector<uint64_t> SecondaryIndex::lookup(const std::string &Value) {
+  runtime::Synchronized Sync(Lock);
+  runtime::noteVirtualCall();
+  auto It = Map.find(Value);
+  return It == Map.end() ? std::vector<uint64_t>() : It->second;
+}
+
+size_t SecondaryIndex::distinctValues() {
+  runtime::Synchronized Sync(Lock);
+  return Map.size();
+}
+
+void SecondaryIndex::onPut(uint64_t Key, const std::string &OldValue,
+                           bool HadOld, const std::string &NewValue) {
+  runtime::Synchronized Sync(Lock);
+  if (HadOld) {
+    auto &Old = Map[OldValue];
+    Old.erase(std::remove(Old.begin(), Old.end(), Key), Old.end());
+    if (Old.empty())
+      Map.erase(OldValue);
+  }
+  Map[NewValue].push_back(Key);
+}
+
+void SecondaryIndex::onRemove(uint64_t Key, const std::string &OldValue) {
+  runtime::Synchronized Sync(Lock);
+  auto It = Map.find(OldValue);
+  if (It == Map.end())
+    return;
+  It->second.erase(std::remove(It->second.begin(), It->second.end(), Key),
+                   It->second.end());
+  if (It->second.empty())
+    Map.erase(It);
+}
+
+size_t Table::size() {
+  size_t N = 0;
+  for (auto &S : Shards) {
+    runtime::Synchronized Sync(S->Lock);
+    N += S->Map.size();
+  }
+  return N;
+}
+
+void Table::scan(
+    const std::function<void(uint64_t, const std::string &)> &Fn) {
+  for (auto &S : Shards) {
+    runtime::Synchronized Sync(S->Lock);
+    for (const auto &[Key, Value] : S->Map)
+      Fn(Key, Value);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Database
+//===----------------------------------------------------------------------===//
+
+Table &Database::table(const std::string &Name) {
+  runtime::Synchronized Sync(CatalogLock);
+  auto It = Tables.find(Name);
+  if (It == Tables.end())
+    It = Tables.emplace(Name, std::make_unique<Table>()).first;
+  return *It->second;
+}
+
+Database::TxnResult Database::transact(const std::vector<Op> &Ops) {
+  // Phase 0: resolve the stripe set.
+  std::vector<Table::Stripe *> StripeSet;
+  StripeSet.reserve(Ops.size());
+  std::vector<Table *> OpTables;
+  OpTables.reserve(Ops.size());
+  for (const Op &O : Ops) {
+    Table &T = table(O.TableName);
+    OpTables.push_back(&T);
+    StripeSet.push_back(&T.stripeFor(O.Key));
+  }
+
+  // Phase 1 (growing): lock distinct stripes in address order. A canonical
+  // global order makes deadlock impossible (conservative 2PL).
+  std::vector<Table::Stripe *> Ordered = StripeSet;
+  std::sort(Ordered.begin(), Ordered.end());
+  Ordered.erase(std::unique(Ordered.begin(), Ordered.end()), Ordered.end());
+  for (Table::Stripe *S : Ordered)
+    S->Lock.enter();
+
+  // Execute under the locks.
+  TxnResult Result;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    const Op &O = Ops[I];
+    auto &Map = StripeSet[I]->Map;
+    switch (O.OpKind) {
+    case Op::Kind::Get: {
+      auto It = Map.find(O.Key);
+      Result.Reads.push_back(It == Map.end()
+                                 ? std::nullopt
+                                 : std::optional<std::string>(It->second));
+      break;
+    }
+    case Op::Kind::Put:
+      Map.insert_or_assign(O.Key, O.Value);
+      break;
+    case Op::Kind::Remove:
+      Map.erase(O.Key);
+      break;
+    }
+  }
+
+  // Phase 2 (shrinking): release in reverse order.
+  for (auto It = Ordered.rbegin(); It != Ordered.rend(); ++It)
+    (*It)->Lock.exit();
+
+  {
+    runtime::Synchronized Sync(StatsLock);
+    ++CommitCount;
+  }
+  return Result;
+}
+
+uint64_t Database::commits() {
+  runtime::Synchronized Sync(StatsLock);
+  return CommitCount;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph
+//===----------------------------------------------------------------------===//
+
+Graph::Graph(unsigned Stripes) {
+  unsigned N = roundUpPowerOfTwo(Stripes == 0 ? 1 : Stripes);
+  for (unsigned I = 0; I < N; ++I)
+    Shards.push_back(std::make_unique<Stripe>());
+}
+
+uint64_t Graph::addNode(std::string Label) {
+  uint64_t Id;
+  {
+    runtime::Synchronized Sync(IdLock);
+    Id = NextId++;
+  }
+  Stripe &S = stripeFor(Id);
+  runtime::Synchronized Sync(S.Lock);
+  S.Nodes.emplace(Id, NodeRecord{std::move(Label), {}, {}});
+  return Id;
+}
+
+void Graph::addEdge(uint64_t From, uint64_t To) {
+  Stripe &S = stripeFor(From);
+  runtime::Synchronized Sync(S.Lock);
+  auto It = S.Nodes.find(From);
+  assert(It != S.Nodes.end() && "edge from unknown node");
+  It->second.Out.push_back(To);
+}
+
+void Graph::setProperty(uint64_t Node, const std::string &Key,
+                        int64_t Value) {
+  Stripe &S = stripeFor(Node);
+  runtime::Synchronized Sync(S.Lock);
+  auto It = S.Nodes.find(Node);
+  assert(It != S.Nodes.end() && "property on unknown node");
+  It->second.Props[Key] = Value;
+}
+
+std::optional<int64_t> Graph::getProperty(uint64_t Node,
+                                          const std::string &Key) {
+  Stripe &S = stripeFor(Node);
+  runtime::Synchronized Sync(S.Lock);
+  auto It = S.Nodes.find(Node);
+  if (It == S.Nodes.end())
+    return std::nullopt;
+  auto PropIt = It->second.Props.find(Key);
+  if (PropIt == It->second.Props.end())
+    return std::nullopt;
+  return PropIt->second;
+}
+
+const std::string &Graph::labelOf(uint64_t Node) {
+  Stripe &S = stripeFor(Node);
+  runtime::Synchronized Sync(S.Lock);
+  auto It = S.Nodes.find(Node);
+  assert(It != S.Nodes.end() && "label of unknown node");
+  return It->second.Label;
+}
+
+std::vector<uint64_t> Graph::neighbours(uint64_t Node) {
+  Stripe &S = stripeFor(Node);
+  runtime::Synchronized Sync(S.Lock);
+  runtime::noteVirtualCall();
+  auto It = S.Nodes.find(Node);
+  if (It == S.Nodes.end())
+    return {};
+  memsim::traceBuffer(It->second.Out.data(),
+                      It->second.Out.size() * sizeof(uint64_t));
+  runtime::noteArrayAlloc(); // the result copy
+  return It->second.Out;
+}
+
+size_t Graph::reachableWithin(uint64_t Start, unsigned MaxDepth) {
+  std::unordered_map<uint64_t, unsigned> Depth;
+  std::deque<uint64_t> Frontier;
+  Depth[Start] = 0;
+  Frontier.push_back(Start);
+  while (!Frontier.empty()) {
+    uint64_t Node = Frontier.front();
+    Frontier.pop_front();
+    unsigned D = Depth[Node];
+    if (D == MaxDepth)
+      continue;
+    for (uint64_t Next : neighbours(Node)) {
+      if (Depth.count(Next))
+        continue;
+      Depth[Next] = D + 1;
+      Frontier.push_back(Next);
+    }
+  }
+  return Depth.size();
+}
+
+std::optional<unsigned> Graph::shortestPath(uint64_t From, uint64_t To) {
+  std::unordered_map<uint64_t, unsigned> Depth;
+  std::deque<uint64_t> Frontier;
+  Depth[From] = 0;
+  Frontier.push_back(From);
+  while (!Frontier.empty()) {
+    uint64_t Node = Frontier.front();
+    Frontier.pop_front();
+    if (Node == To)
+      return Depth[Node];
+    for (uint64_t Next : neighbours(Node)) {
+      if (Depth.count(Next))
+        continue;
+      Depth[Next] = Depth[Node] + 1;
+      Frontier.push_back(Next);
+    }
+  }
+  return std::nullopt;
+}
+
+size_t Graph::nodeCount() {
+  size_t N = 0;
+  for (auto &S : Shards) {
+    runtime::Synchronized Sync(S->Lock);
+    N += S->Nodes.size();
+  }
+  return N;
+}

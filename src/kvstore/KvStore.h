@@ -1,0 +1,195 @@
+//===- kvstore/KvStore.h - In-memory transactional store --------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory key-value store with striped locking, conservative
+/// two-phase-locking transactions and a small property-graph layer — the
+/// substrate of db-shootout (query processing, data structures) and
+/// neo4j-analytics (analytical queries and transactions).
+///
+/// Concurrency structure mirrors the Java in-memory databases the paper
+/// benchmarks: every stripe access is a synchronized section
+/// (Metric::Synch), so db-shootout and neo4j-analytics are the
+/// synchronization-heavy query workloads of Table 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_KVSTORE_KVSTORE_H
+#define REN_KVSTORE_KVSTORE_H
+
+#include "runtime/Monitor.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace kvstore {
+
+class SecondaryIndex;
+
+/// A hash table sharded into independently locked stripes.
+class Table {
+public:
+  /// Creates a table with \p Stripes lock stripes (rounded up to a power
+  /// of two).
+  explicit Table(unsigned Stripes = 16);
+
+  /// Inserts or updates; \returns true if the key was new.
+  bool put(uint64_t Key, std::string Value);
+
+  /// Point lookup.
+  std::optional<std::string> get(uint64_t Key);
+
+  /// Removes a key. \returns true if it was present.
+  bool remove(uint64_t Key);
+
+  /// Number of stored keys.
+  size_t size();
+
+  /// Full scan: applies \p Fn to every entry, one stripe at a time (each
+  /// stripe is visited under its lock).
+  void scan(const std::function<void(uint64_t, const std::string &)> &Fn);
+
+  unsigned stripeCount() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Attaches a value index; subsequent puts/removes maintain it. Existing
+  /// rows are indexed immediately. The index must outlive the table.
+  void attachIndex(SecondaryIndex &Index);
+
+private:
+  friend class Database;
+  SecondaryIndex *AttachedIndex = nullptr;
+
+  struct Stripe {
+    runtime::Monitor Lock;
+    std::unordered_map<uint64_t, std::string> Map;
+  };
+
+  Stripe &stripeFor(uint64_t Key) {
+    return *Shards[Key & (Shards.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Stripe>> Shards;
+};
+
+/// A secondary index over a Table: value -> set of keys, maintained by
+/// the table on every put/remove once attached (Table::attachIndex).
+class SecondaryIndex {
+public:
+  /// Keys currently holding exactly \p Value.
+  std::vector<uint64_t> lookup(const std::string &Value);
+
+  /// Number of distinct indexed values.
+  size_t distinctValues();
+
+private:
+  friend class Table;
+  void onPut(uint64_t Key, const std::string &OldValue, bool HadOld,
+             const std::string &NewValue);
+  void onRemove(uint64_t Key, const std::string &OldValue);
+
+  runtime::Monitor Lock;
+  std::unordered_map<std::string, std::vector<uint64_t>> Map;
+};
+
+/// A database of named tables with conservative 2PL transactions.
+class Database {
+public:
+  /// Creates (or returns) the table named \p Name.
+  Table &table(const std::string &Name);
+
+  /// One read or write of a transaction.
+  struct Op {
+    enum class Kind { Get, Put, Remove };
+    Kind OpKind;
+    std::string TableName;
+    uint64_t Key;
+    std::string Value; // for Put
+  };
+
+  /// The outcome of a committed transaction.
+  struct TxnResult {
+    /// Results of Get ops, in op order (nullopt = key absent).
+    std::vector<std::optional<std::string>> Reads;
+  };
+
+  /// Executes \p Ops atomically under conservative two-phase locking: all
+  /// stripes covering the key set are locked in a canonical global order
+  /// (so transactions cannot deadlock), the ops run, and the locks are
+  /// released. Transactions always commit (static 2PL has no aborts).
+  TxnResult transact(const std::vector<Op> &Ops);
+
+  /// Number of committed transactions.
+  uint64_t commits();
+
+private:
+  runtime::Monitor CatalogLock;
+  std::unordered_map<std::string, std::unique_ptr<Table>> Tables;
+  runtime::Monitor StatsLock;
+  uint64_t CommitCount = 0;
+};
+
+/// A property graph stored over striped node records — the Neo4j analogue.
+class Graph {
+public:
+  explicit Graph(unsigned Stripes = 16);
+
+  /// Adds a node with \p Label; returns its id.
+  uint64_t addNode(std::string Label);
+
+  /// Adds a directed edge.
+  void addEdge(uint64_t From, uint64_t To);
+
+  /// Sets a node property.
+  void setProperty(uint64_t Node, const std::string &Key, int64_t Value);
+
+  /// Reads a node property.
+  std::optional<int64_t> getProperty(uint64_t Node, const std::string &Key);
+
+  const std::string &labelOf(uint64_t Node);
+
+  /// Out-neighbours of a node (copy).
+  std::vector<uint64_t> neighbours(uint64_t Node);
+
+  /// Number of nodes reachable from \p Start within \p MaxDepth hops
+  /// (including the start node).
+  size_t reachableWithin(uint64_t Start, unsigned MaxDepth);
+
+  /// Unweighted shortest-path length from \p From to \p To, or nullopt.
+  std::optional<unsigned> shortestPath(uint64_t From, uint64_t To);
+
+  size_t nodeCount();
+
+private:
+  struct NodeRecord {
+    std::string Label;
+    std::vector<uint64_t> Out;
+    std::unordered_map<std::string, int64_t> Props;
+  };
+
+  struct Stripe {
+    runtime::Monitor Lock;
+    std::unordered_map<uint64_t, NodeRecord> Nodes;
+  };
+
+  Stripe &stripeFor(uint64_t Node) {
+    return *Shards[Node & (Shards.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Stripe>> Shards;
+  runtime::Monitor IdLock;
+  uint64_t NextId = 0;
+};
+
+} // namespace kvstore
+} // namespace ren
+
+#endif // REN_KVSTORE_KVSTORE_H

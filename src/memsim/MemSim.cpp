@@ -1,0 +1,179 @@
+//===- memsim/MemSim.cpp --------------------------------------------------==//
+
+#include "memsim/MemSim.h"
+
+#include "metrics/Metrics.h"
+
+#include <atomic>
+#include <memory>
+
+using namespace ren;
+using namespace ren::memsim;
+
+static bool isPowerOfTwo(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+CacheLevel::CacheLevel(const CacheConfig &Config)
+    : LineBytes(Config.LineBytes), Ways(Config.Ways),
+      NumSets(Config.SizeBytes / (Config.LineBytes * Config.Ways)) {
+  assert(isPowerOfTwo(LineBytes) && "line size must be a power of two");
+  assert(NumSets > 0 && "cache must hold at least one set");
+  assert(isPowerOfTwo(NumSets) && "set count must be a power of two");
+  Lines.resize(NumSets * Ways);
+}
+
+bool CacheLevel::access(uint64_t Address) {
+  uint64_t LineAddr = Address / LineBytes;
+  uint64_t Set = LineAddr & (NumSets - 1);
+  uint64_t Tag = LineAddr; // Full line address; avoids aliasing for any
+                           // set count (a tag comparison is cheap here).
+  Line *SetBase = &Lines[Set * Ways];
+  ++Clock;
+
+  Line *Victim = SetBase;
+  for (unsigned Way = 0; Way < Ways; ++Way) {
+    Line &L = SetBase[Way];
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!L.Valid) {
+      Victim = &L;
+    } else if (Victim->Valid && L.LastUse < Victim->LastUse) {
+      Victim = &L;
+    }
+  }
+
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+void CacheLevel::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  Clock = Hits = Misses = 0;
+}
+
+Tlb::Tlb(unsigned NumEntries, uint64_t PageSize)
+    : PageBytes(PageSize), Entries(NumEntries) {
+  assert(isPowerOfTwo(PageBytes) && "page size must be a power of two");
+  assert(NumEntries > 0 && "TLB needs at least one entry");
+}
+
+bool Tlb::access(uint64_t Address) {
+  uint64_t Page = Address / PageBytes;
+  ++Clock;
+
+  Entry *Victim = &Entries[0];
+  for (Entry &E : Entries) {
+    if (E.Valid && E.Page == Page) {
+      E.LastUse = Clock;
+      ++Hits;
+      return true;
+    }
+    if (!E.Valid) {
+      Victim = &E;
+    } else if (Victim->Valid && E.LastUse < Victim->LastUse) {
+      Victim = &E;
+    }
+  }
+
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Page = Page;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+void Tlb::reset() {
+  for (Entry &E : Entries)
+    E = Entry();
+  Clock = Hits = Misses = 0;
+}
+
+MemorySystem::MemorySystem(const MemorySystemConfig &Config)
+    : L1D(Config.L1D), L1I(Config.L1I), Llc(Config.Llc),
+      DTlb(Config.DTlbEntries, Config.PageBytes),
+      ITlb(Config.ITlbEntries, Config.PageBytes) {}
+
+void MemorySystem::access(uint64_t Address, uint64_t Bytes, AccessKind Kind) {
+  if (Bytes == 0)
+    return;
+  CacheLevel &L1 = Kind == AccessKind::Data ? L1D : L1I;
+  Tlb &T = Kind == AccessKind::Data ? DTlb : ITlb;
+  uint64_t Line = L1.lineBytes();
+  uint64_t First = Address / Line;
+  uint64_t Last = (Address + Bytes - 1) / Line;
+  uint64_t NewMisses = 0;
+  for (uint64_t LineIndex = First; LineIndex <= Last; ++LineIndex) {
+    uint64_t LineAddr = LineIndex * Line;
+    if (!T.access(LineAddr))
+      ++NewMisses;
+    if (!L1.access(LineAddr)) {
+      ++NewMisses;
+      if (!Llc.access(LineAddr)) // Only L1 misses reach the LLC.
+        ++NewMisses;
+    }
+  }
+  if (NewMisses != 0)
+    metrics::count(metrics::Metric::CacheMiss, NewMisses);
+}
+
+uint64_t MemorySystem::totalMisses() const {
+  return L1D.misses() + L1I.misses() + Llc.misses() + DTlb.misses() +
+         ITlb.misses();
+}
+
+void MemorySystem::reset() {
+  L1D.reset();
+  L1I.reset();
+  Llc.reset();
+  DTlb.reset();
+  ITlb.reset();
+}
+
+namespace {
+thread_local MemorySystem *ActiveSystem = nullptr;
+std::atomic<bool> GlobalTracing{false};
+
+/// Per-thread lazily-created system used under global tracing; owned by the
+/// thread so it is reclaimed at thread exit.
+thread_local std::unique_ptr<MemorySystem> GlobalThreadSystem;
+} // namespace
+
+void ren::memsim::setGlobalTracing(bool Enabled) {
+  GlobalTracing.store(Enabled, std::memory_order_release);
+}
+
+bool ren::memsim::globalTracingEnabled() {
+  return GlobalTracing.load(std::memory_order_acquire);
+}
+
+MemorySystem *ren::memsim::activeMemorySystem() {
+  if (ActiveSystem)
+    return ActiveSystem;
+  if (!globalTracingEnabled())
+    return nullptr;
+  if (!GlobalThreadSystem)
+    GlobalThreadSystem = std::make_unique<MemorySystem>();
+  return GlobalThreadSystem.get();
+}
+
+ScopedMemTrace::ScopedMemTrace() : Previous(ActiveSystem), Owned(false) {
+  if (!ActiveSystem) {
+    ActiveSystem = new MemorySystem();
+    Owned = true;
+  }
+}
+
+ScopedMemTrace::~ScopedMemTrace() {
+  if (!Owned) {
+    ActiveSystem = Previous;
+    return;
+  }
+  delete ActiveSystem;
+  ActiveSystem = Previous;
+}

@@ -1,0 +1,236 @@
+//===- memsim/MemSim.h - Memory-hierarchy simulator -------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, multi-level cache and TLB simulator.
+///
+/// The paper collects its \c cachemiss metric ("cache misses, including L1
+/// cache (instruction and data), last-layer cache (LLC), and translation
+/// lookaside buffer (TLB; instruction and data)") via perf hardware
+/// counters. Hardware PMUs are unavailable/non-deterministic here, so this
+/// module simulates the same hierarchy: per-thread L1I/L1D/iTLB/dTLB plus a
+/// per-thread LLC slice, fed by explicit traces of each workload's hot data
+/// structures (see TracedArray). Miss totals are flushed into the
+/// Metric::CacheMiss counter.
+///
+/// Modelling note: real LLCs are shared; modelling a coherent shared LLC
+/// would serialize all threads through one lock and perturb the very
+/// concurrency behaviour we measure, so each thread simulates a private LLC
+/// slice (capacity / hardware threads). DESIGN.md documents this deviation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_MEMSIM_MEMSIM_H
+#define REN_MEMSIM_MEMSIM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ren {
+namespace memsim {
+
+/// Whether an access is a data or an instruction reference.
+enum class AccessKind { Data, Instruction };
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  uint64_t SizeBytes;
+  uint64_t LineBytes;
+  unsigned Ways;
+};
+
+/// One set-associative cache level with true-LRU replacement.
+class CacheLevel {
+public:
+  explicit CacheLevel(const CacheConfig &Config);
+
+  /// Looks up the line containing \p Address, filling it on miss.
+  /// \returns true on hit.
+  bool access(uint64_t Address);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t lineBytes() const { return LineBytes; }
+
+  /// Invalidates all lines and zeroes the statistics.
+  void reset();
+
+private:
+  struct Line {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint64_t LineBytes;
+  unsigned Ways;
+  uint64_t NumSets;
+  std::vector<Line> Lines; // NumSets x Ways, row-major.
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// A fully-associative TLB with LRU replacement.
+class Tlb {
+public:
+  Tlb(unsigned Entries, uint64_t PageBytes);
+
+  /// Translates the page containing \p Address. \returns true on hit.
+  bool access(uint64_t Address);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+  /// Invalidates all entries and zeroes the statistics.
+  void reset();
+
+private:
+  struct Entry {
+    uint64_t Page = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  uint64_t PageBytes;
+  std::vector<Entry> Entries;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// Geometry of the simulated hierarchy. Defaults approximate the paper's
+/// Xeon E5-2680 (32KB L1, 20MB LLC shared over 8 cores, 4KB pages).
+struct MemorySystemConfig {
+  CacheConfig L1D = {32 * 1024, 64, 8};
+  CacheConfig L1I = {32 * 1024, 64, 8};
+  // Private LLC slice: ~20MB/8 cores, rounded down to a power-of-two set
+  // count (2MB, 16-way).
+  CacheConfig Llc = {2 * 1024 * 1024, 64, 16};
+  unsigned DTlbEntries = 64;
+  unsigned ITlbEntries = 64;
+  uint64_t PageBytes = 4096;
+};
+
+/// The full simulated hierarchy for one thread.
+class MemorySystem {
+public:
+  explicit MemorySystem(const MemorySystemConfig &Config = {});
+
+  /// Simulates an access of \p Bytes starting at \p Address. Accesses that
+  /// span cache lines touch every covered line. Misses are counted into
+  /// Metric::CacheMiss as they occur.
+  void access(uint64_t Address, uint64_t Bytes, AccessKind Kind);
+
+  /// Total misses across L1I, L1D, LLC, iTLB and dTLB (the paper's
+  /// \c cachemiss aggregation).
+  uint64_t totalMisses() const;
+
+  const CacheLevel &l1d() const { return L1D; }
+  const CacheLevel &l1i() const { return L1I; }
+  const CacheLevel &llc() const { return Llc; }
+  const Tlb &dtlb() const { return DTlb; }
+  const Tlb &itlb() const { return ITlb; }
+
+  /// Invalidates all state and statistics.
+  void reset();
+
+private:
+  CacheLevel L1D;
+  CacheLevel L1I;
+  CacheLevel Llc;
+  Tlb DTlb;
+  Tlb ITlb;
+};
+
+/// Enables memory tracing *process-wide*: any thread that performs a traced
+/// access lazily receives its own thread-local MemorySystem. Used by the
+/// harness metrics plugin so that worker threads of the fork/join pool and
+/// friends are traced too. Misses are counted into Metric::CacheMiss as
+/// they occur.
+void setGlobalTracing(bool Enabled);
+
+/// True if process-wide tracing is on.
+bool globalTracingEnabled();
+
+/// Enables memory tracing on the calling thread for the guard's lifetime.
+/// Guards nest; inner guards reuse the outer system.
+class ScopedMemTrace {
+public:
+  ScopedMemTrace();
+  ~ScopedMemTrace();
+
+  ScopedMemTrace(const ScopedMemTrace &) = delete;
+  ScopedMemTrace &operator=(const ScopedMemTrace &) = delete;
+
+private:
+  MemorySystem *Previous;
+  bool Owned;
+};
+
+/// Returns the calling thread's active trace target, or nullptr when
+/// tracing is disabled. Under global tracing a thread-local system is
+/// created on first use.
+MemorySystem *activeMemorySystem();
+
+/// Records a data access if tracing is enabled on this thread.
+inline void traceData(const void *Pointer, uint64_t Bytes) {
+  if (MemorySystem *MS = activeMemorySystem())
+    MS->access(reinterpret_cast<uint64_t>(Pointer), Bytes, AccessKind::Data);
+}
+
+/// Streams a traced read over \p Bytes of memory at cache-line stride —
+/// the cheap way for a workload to expose a data structure's footprint to
+/// the cache simulator once per pass.
+inline void traceBuffer(const void *Pointer, uint64_t Bytes) {
+  const char *Base = static_cast<const char *>(Pointer);
+  for (uint64_t Offset = 0; Offset < Bytes; Offset += 64)
+    traceData(Base + Offset, 8);
+}
+
+/// Records an instruction-side access if tracing is enabled on this thread.
+inline void traceInstruction(uint64_t Pc, uint64_t Bytes) {
+  if (MemorySystem *MS = activeMemorySystem())
+    MS->access(Pc, Bytes, AccessKind::Instruction);
+}
+
+/// A contiguous array whose element accesses are routed through the memory
+/// simulator. Workloads use this for their hot data structures so the
+/// cachemiss metric reflects their actual access patterns.
+template <typename T> class TracedArray {
+public:
+  TracedArray() = default;
+  explicit TracedArray(size_t Count, T Fill = T()) : Data(Count, Fill) {}
+
+  T read(size_t Index) const {
+    assert(Index < Data.size() && "TracedArray read out of range");
+    traceData(&Data[Index], sizeof(T));
+    return Data[Index];
+  }
+
+  void write(size_t Index, const T &Value) {
+    assert(Index < Data.size() && "TracedArray write out of range");
+    traceData(&Data[Index], sizeof(T));
+    Data[Index] = Value;
+  }
+
+  size_t size() const { return Data.size(); }
+  void resize(size_t Count, T Fill = T()) { Data.resize(Count, Fill); }
+
+  /// Untraced raw access for initialization code.
+  T &raw(size_t Index) { return Data[Index]; }
+  const T &raw(size_t Index) const { return Data[Index]; }
+
+private:
+  std::vector<T> Data;
+};
+
+} // namespace memsim
+} // namespace ren
+
+#endif // REN_MEMSIM_MEMSIM_H

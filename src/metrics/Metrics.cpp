@@ -1,0 +1,150 @@
+//===- metrics/Metrics.cpp ------------------------------------------------==//
+
+#include "metrics/Metrics.h"
+
+#include "support/Clock.h"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace ren;
+using namespace ren::metrics;
+
+const char *ren::metrics::metricName(Metric M) {
+  switch (M) {
+  case Metric::Synch:
+    return "synch";
+  case Metric::Wait:
+    return "wait";
+  case Metric::Notify:
+    return "notify";
+  case Metric::Atomic:
+    return "atomic";
+  case Metric::Park:
+    return "park";
+  case Metric::CacheMiss:
+    return "cachemiss";
+  case Metric::Object:
+    return "object";
+  case Metric::Array:
+    return "array";
+  case Metric::Method:
+    return "method";
+  case Metric::IDynamic:
+    return "idynamic";
+  }
+  assert(false && "unknown metric");
+  return "?";
+}
+
+namespace {
+
+/// Internal registry state. Cells are heap-allocated and shared with the
+/// owning thread via shared_ptr so that a cell outlives either side.
+struct RegistryState {
+  std::mutex Lock;
+  std::vector<std::shared_ptr<CounterCell>> Cells;
+};
+
+RegistryState &state() {
+  static RegistryState *S = new RegistryState();
+  return *S;
+}
+
+/// RAII holder living in each thread's TLS; keeps the shared cell alive for
+/// the thread's lifetime. The registry retains its own reference so counts
+/// survive thread exit.
+struct ThreadCellHolder {
+  std::shared_ptr<CounterCell> Cell;
+
+  ThreadCellHolder() : Cell(std::make_shared<CounterCell>()) {
+    RegistryState &S = state();
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    S.Cells.push_back(Cell);
+  }
+};
+
+CounterCell &localCell() {
+  thread_local ThreadCellHolder Holder;
+  return *Holder.Cell;
+}
+
+} // namespace
+
+void ren::metrics::count(Metric M, uint64_t Delta) {
+  localCell().bump(M, Delta);
+}
+
+MetricsRegistry &MetricsRegistry::get() {
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+CounterCell &MetricsRegistry::threadCell() { return localCell(); }
+
+MetricSnapshot MetricsRegistry::snapshot() {
+  MetricSnapshot Snap;
+  RegistryState &S = state();
+  {
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    for (const auto &Cell : S.Cells)
+      for (unsigned I = 0; I < kNumCounters; ++I)
+        Snap.Counts[I] += Cell->Counts[I].load(std::memory_order_relaxed);
+  }
+  Snap.ProcessCpuNanos = processCpuNanos();
+  Snap.WallNanos = wallNanos();
+  return Snap;
+}
+
+uint64_t MetricSnapshot::referenceCycles() const {
+  return cpuNanosToRefCycles(ProcessCpuNanos);
+}
+
+double MetricSnapshot::cpuUtilizationPercent() const {
+  if (WallNanos == 0)
+    return 0.0;
+  double Busy = static_cast<double>(ProcessCpuNanos);
+  double Capacity =
+      static_cast<double>(WallNanos) * static_cast<double>(hardwareThreads());
+  double Pct = 100.0 * Busy / Capacity;
+  return Pct > 100.0 ? 100.0 : Pct;
+}
+
+MetricSnapshot MetricSnapshot::delta(const MetricSnapshot &Begin,
+                                     const MetricSnapshot &End) {
+  MetricSnapshot D;
+  for (unsigned I = 0; I < kNumCounters; ++I) {
+    assert(End.Counts[I] >= Begin.Counts[I] && "counters must not decrease");
+    D.Counts[I] = End.Counts[I] - Begin.Counts[I];
+  }
+  D.ProcessCpuNanos = End.ProcessCpuNanos - Begin.ProcessCpuNanos;
+  D.WallNanos = End.WallNanos - Begin.WallNanos;
+  return D;
+}
+
+NormalizedMetrics ren::metrics::normalize(const MetricSnapshot &Delta) {
+  NormalizedMetrics N;
+  double RefCycles = static_cast<double>(Delta.referenceCycles());
+  if (RefCycles <= 0.0)
+    RefCycles = 1.0;
+  for (unsigned I = 0; I < kNumCounters; ++I)
+    N.Rates[I] = static_cast<double>(Delta.Counts[I]) / RefCycles;
+  N.Cpu = Delta.cpuUtilizationPercent();
+  return N;
+}
+
+std::array<double, 11> NormalizedMetrics::asVector() const {
+  return {rate(Metric::Synch),    rate(Metric::Wait),
+          rate(Metric::Notify),   rate(Metric::Atomic),
+          rate(Metric::Park),     Cpu,
+          rate(Metric::CacheMiss), rate(Metric::Object),
+          rate(Metric::Array),    rate(Metric::Method),
+          rate(Metric::IDynamic)};
+}
+
+std::array<std::string, 11> NormalizedMetrics::vectorNames() {
+  return {"synch", "wait",   "notify", "atomic", "park",  "cpu",
+          "cachemiss", "object", "array",  "method", "idynamic"};
+}

@@ -1,0 +1,241 @@
+//===- netsim/NetSim.cpp --------------------------------------------------==//
+
+#include "netsim/NetSim.h"
+
+#include "runtime/Alloc.h"
+
+#include <cassert>
+
+using namespace ren;
+using namespace ren::netsim;
+
+//===----------------------------------------------------------------------===//
+// ByteBuffer
+//===----------------------------------------------------------------------===//
+
+void ByteBuffer::writeU32(uint32_t V) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Data.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+void ByteBuffer::writeU64(uint64_t V) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Data.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+void ByteBuffer::writeString(const std::string &S) {
+  writeU32(static_cast<uint32_t>(S.size()));
+  Data.insert(Data.end(), S.begin(), S.end());
+}
+
+uint32_t ByteBuffer::readU32() {
+  assert(remaining() >= 4 && "buffer underflow");
+  uint32_t V = 0;
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    V |= static_cast<uint32_t>(Data[ReadPos++]) << Shift;
+  return V;
+}
+
+uint64_t ByteBuffer::readU64() {
+  assert(remaining() >= 8 && "buffer underflow");
+  uint64_t V = 0;
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    V |= static_cast<uint64_t>(Data[ReadPos++]) << Shift;
+  return V;
+}
+
+std::string ByteBuffer::readString() {
+  uint32_t Len = readU32();
+  assert(remaining() >= Len && "buffer underflow");
+  std::string S(Data.begin() + static_cast<ptrdiff_t>(ReadPos),
+                Data.begin() + static_cast<ptrdiff_t>(ReadPos + Len));
+  ReadPos += Len;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Channel
+//===----------------------------------------------------------------------===//
+
+void Channel::send(Bytes Frame) {
+  runtime::Synchronized Sync(Lock);
+  // A peer may legitimately race a send against close (e.g. a server
+  // worker replying to a connection the client just tore down); the frame
+  // is dropped, as on a real closed socket.
+  if (Closed)
+    return;
+  Frames.push_back(std::move(Frame));
+  Lock.notifyAll();
+}
+
+bool Channel::recv(Bytes &FrameOut) {
+  runtime::Synchronized Sync(Lock);
+  Lock.waitUntil([this] { return !Frames.empty() || Closed; });
+  if (Frames.empty())
+    return false;
+  FrameOut = std::move(Frames.front());
+  Frames.pop_front();
+  return true;
+}
+
+void Channel::close() {
+  runtime::Synchronized Sync(Lock);
+  Closed = true;
+  Lock.notifyAll();
+}
+
+size_t Channel::pending() {
+  runtime::Synchronized Sync(Lock);
+  return Frames.size();
+}
+
+//===----------------------------------------------------------------------===//
+// ClientConnection
+//===----------------------------------------------------------------------===//
+
+ClientConnection::ClientConnection(std::shared_ptr<Channel> ToServer)
+    : ToServer(std::move(ToServer)),
+      FromServer(std::make_shared<Channel>()) {
+  Pump = std::thread([this] { pumpLoop(); });
+}
+
+ClientConnection::~ClientConnection() { close(); }
+
+void ClientConnection::close() {
+  {
+    runtime::Synchronized Sync(PendingLock);
+    if (!Open)
+      return;
+    Open = false;
+  }
+  ToServer->close(); // stops the server-side splice for this connection
+  FromServer->close();
+  Pump.join();
+  // Fail any still-outstanding requests.
+  runtime::Synchronized Sync(PendingLock);
+  for (auto &[Id, P] : Pending)
+    P.tryFailure("connection closed");
+  Pending.clear();
+}
+
+futures::Future<Bytes> ClientConnection::call(Bytes Request) {
+  futures::Promise<Bytes> P;
+  uint64_t Id;
+  {
+    runtime::Synchronized Sync(PendingLock);
+    if (!Open)
+      return futures::Future<Bytes>::failed("connection closed");
+    Id = NextRequestId++;
+    Pending.emplace(Id, P);
+  }
+  ByteBuffer Out;
+  Out.writeU64(Id);
+  Bytes Frame = Out.takeBytes();
+  Frame.insert(Frame.end(), Request.begin(), Request.end());
+  runtime::noteObjectAlloc(); // the wire envelope
+  ToServer->send(std::move(Frame));
+  return P.future();
+}
+
+void ClientConnection::pumpLoop() {
+  Bytes Frame;
+  while (FromServer->recv(Frame)) {
+    ByteBuffer In(std::move(Frame));
+    uint64_t Id = In.readU64();
+    Bytes Payload = In.takeBytes();
+    Payload.erase(Payload.begin(), Payload.begin() + 8);
+    futures::Promise<Bytes> P;
+    bool Found = false;
+    {
+      runtime::Synchronized Sync(PendingLock);
+      auto It = Pending.find(Id);
+      if (It != Pending.end()) {
+        P = It->second;
+        Pending.erase(It);
+        Found = true;
+      }
+    }
+    if (Found)
+      P.trySuccess(std::move(Payload));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(std::string Name, Handler Handle, unsigned NumWorkers)
+    : Name(std::move(Name)), Handle(std::move(Handle)) {
+  assert(NumWorkers > 0 && "server needs at least one worker");
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() {
+  {
+    runtime::Synchronized Sync(QueueLock);
+    ShuttingDown = true;
+    QueueLock.notifyAll();
+  }
+  for (auto &W : Workers)
+    W.join();
+  for (auto &S : Splices)
+    S.join();
+}
+
+std::unique_ptr<ClientConnection> Server::connect() {
+  auto ToServer = std::make_shared<Channel>();
+  auto *Conn = new ClientConnection(ToServer);
+  // Splice: a per-connection forwarding thread moves frames from the
+  // connection's outbound channel into the shared request queue, tagging
+  // them with the reply channel. It exits when the connection closes its
+  // outbound channel; the server joins it at destruction (connections must
+  // therefore be closed before their server is destroyed).
+  std::thread Splice([this, ToServer, Reply = Conn->FromServer] {
+    Bytes Frame;
+    while (ToServer->recv(Frame)) {
+      runtime::Synchronized Sync(QueueLock);
+      Queue.push_back(WireRequest{Reply, std::move(Frame)});
+      QueueLock.notifyAll();
+    }
+  });
+  {
+    runtime::Synchronized Sync(QueueLock);
+    Splices.push_back(std::move(Splice));
+  }
+  return std::unique_ptr<ClientConnection>(Conn);
+}
+
+uint64_t Server::requestsHandled() {
+  runtime::Synchronized Sync(QueueLock);
+  return Handled;
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    WireRequest Req;
+    {
+      runtime::Synchronized Sync(QueueLock);
+      QueueLock.waitUntil(
+          [this] { return !Queue.empty() || ShuttingDown; });
+      if (Queue.empty())
+        return;
+      Req = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    ByteBuffer In(std::move(Req.Frame));
+    uint64_t Id = In.readU64();
+    Bytes Whole = In.takeBytes();
+    Bytes Payload(Whole.begin() + 8, Whole.end());
+    Bytes Response = Handle(Payload);
+    ByteBuffer Out;
+    Out.writeU64(Id);
+    Bytes Reply = Out.takeBytes();
+    Reply.insert(Reply.end(), Response.begin(), Response.end());
+    Req.ReplyTo->send(std::move(Reply));
+    {
+      runtime::Synchronized Sync(QueueLock);
+      ++Handled;
+    }
+  }
+}

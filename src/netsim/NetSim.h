@@ -1,0 +1,164 @@
+//===- netsim/NetSim.h - In-process loopback network ------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-process "network": byte-frame channels between client and server
+/// endpoints, the substrate of finagle-http and finagle-chirper.
+///
+/// The paper encodes network benchmarks "as multiple threads that exercise
+/// the network stack within a single process (using the loopback
+/// interface)". We model the same structure: requests are serialized into
+/// byte frames, queued through monitor-guarded channels (synch/wait/notify
+/// metrics), handled by a server worker pool, and responses are demuxed
+/// back into futures on a per-connection pump thread — the Finagle RPC
+/// pipeline in miniature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_NETSIM_NETSIM_H
+#define REN_NETSIM_NETSIM_H
+
+#include "futures/Future.h"
+#include "runtime/Monitor.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace netsim {
+
+/// A wire frame.
+using Bytes = std::vector<uint8_t>;
+
+/// Little-endian serialization cursor over a byte frame.
+class ByteBuffer {
+public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(Bytes Data) : Data(std::move(Data)) {}
+
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeString(const std::string &S);
+
+  uint32_t readU32();
+  uint64_t readU64();
+  std::string readString();
+
+  /// Remaining unread bytes.
+  size_t remaining() const { return Data.size() - ReadPos; }
+
+  const Bytes &bytes() const { return Data; }
+  Bytes takeBytes() { return std::move(Data); }
+
+private:
+  Bytes Data;
+  size_t ReadPos = 0;
+};
+
+/// A blocking MPMC frame queue modelling one direction of a socket.
+class Channel {
+public:
+  /// Enqueues a frame and wakes a receiver.
+  void send(Bytes Frame);
+
+  /// Dequeues a frame, blocking while empty. \returns false when the
+  /// channel is closed and drained.
+  bool recv(Bytes &FrameOut);
+
+  /// Closes the channel: pending frames still drain, then recv fails.
+  void close();
+
+  size_t pending();
+
+private:
+  runtime::Monitor Lock;
+  std::deque<Bytes> Frames;
+  bool Closed = false;
+};
+
+/// Handles one request frame and produces a response frame.
+using Handler = std::function<Bytes(const Bytes &)>;
+
+class Server;
+
+/// A client connection: request/response with future-based dispatch.
+class ClientConnection {
+public:
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection &) = delete;
+  ClientConnection &operator=(const ClientConnection &) = delete;
+
+  /// Sends \p Request and returns a future response.
+  futures::Future<Bytes> call(Bytes Request);
+
+  /// Closes the connection (idempotent).
+  void close();
+
+private:
+  friend class Server;
+  explicit ClientConnection(std::shared_ptr<Channel> ToServer);
+
+  void pumpLoop();
+
+  std::shared_ptr<Channel> ToServer;
+  std::shared_ptr<Channel> FromServer;
+  std::thread Pump;
+
+  runtime::Monitor PendingLock;
+  std::unordered_map<uint64_t, futures::Promise<Bytes>> Pending;
+  uint64_t NextRequestId = 1;
+  bool Open = true;
+};
+
+/// A server endpoint: a worker pool consuming request frames.
+class Server {
+public:
+  /// Starts \p Workers handler threads for service \p Name.
+  Server(std::string Name, Handler Handle, unsigned Workers);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Opens a connection to this server.
+  std::unique_ptr<ClientConnection> connect();
+
+  const std::string &name() const { return Name; }
+
+  /// Total requests handled so far.
+  uint64_t requestsHandled();
+
+private:
+  struct WireRequest {
+    std::shared_ptr<Channel> ReplyTo;
+    Bytes Frame;
+  };
+
+  void workerLoop();
+
+  std::string Name;
+  Handler Handle;
+
+  runtime::Monitor QueueLock;
+  std::deque<WireRequest> Queue;
+  bool ShuttingDown = false;
+  uint64_t Handled = 0;
+
+  std::vector<std::thread> Workers;
+  std::vector<std::thread> Splices;
+};
+
+} // namespace netsim
+} // namespace ren
+
+#endif // REN_NETSIM_NETSIM_H

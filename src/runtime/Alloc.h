@@ -1,0 +1,76 @@
+//===- runtime/Alloc.h - Instrumented allocation & dispatch ----*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation and dynamic-dispatch instrumentation.
+///
+/// The paper counts objects allocated, arrays allocated, and methods
+/// invoked via invokevirtual/invokeinterface/invokedynamic. The frameworks
+/// and workloads in this repository route their allocation sites through
+/// \c newObject / \c newArray and their polymorphic call sites through
+/// \c virtualCall so the same dynamic counts are produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_ALLOC_H
+#define REN_RUNTIME_ALLOC_H
+
+#include "metrics/Metrics.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace runtime {
+
+/// Notes \p N object allocations (for code that allocates in bulk).
+inline void noteObjectAlloc(uint64_t N = 1) {
+  metrics::count(metrics::Metric::Object, N);
+}
+
+/// Notes \p N array allocations.
+inline void noteArrayAlloc(uint64_t N = 1) {
+  metrics::count(metrics::Metric::Array, N);
+}
+
+/// Notes \p N dynamic-dispatch method invocations.
+inline void noteVirtualCall(uint64_t N = 1) {
+  metrics::count(metrics::Metric::Method, N);
+}
+
+/// Allocates a counted object: the analogue of Java \c new.
+template <typename T, typename... ArgTs>
+std::unique_ptr<T> newObject(ArgTs &&...Args) {
+  noteObjectAlloc();
+  return std::make_unique<T>(std::forward<ArgTs>(Args)...);
+}
+
+/// Allocates a counted shared object.
+template <typename T, typename... ArgTs>
+std::shared_ptr<T> newShared(ArgTs &&...Args) {
+  noteObjectAlloc();
+  return std::make_shared<T>(std::forward<ArgTs>(Args)...);
+}
+
+/// Allocates a counted array (the analogue of Java \c new T[n]).
+template <typename T> std::vector<T> newArray(size_t Count, T Fill = T()) {
+  noteArrayAlloc();
+  return std::vector<T>(Count, Fill);
+}
+
+/// Invokes a virtual member function through an object pointer while
+/// counting the dispatch: \c virtualCall(Shape, &Shape::area).
+template <typename ObjT, typename FnT, typename... ArgTs>
+decltype(auto) virtualCall(ObjT &&Obj, FnT Member, ArgTs &&...Args) {
+  noteVirtualCall();
+  return (std::forward<ObjT>(Obj)->*Member)(std::forward<ArgTs>(Args)...);
+}
+
+} // namespace runtime
+} // namespace ren
+
+#endif // REN_RUNTIME_ALLOC_H

@@ -1,0 +1,36 @@
+//===- runtime/Atomic.cpp -------------------------------------------------==//
+
+#include "runtime/Atomic.h"
+
+using namespace ren;
+using namespace ren::runtime;
+
+uint32_t SharedRandom::next(unsigned Bits) {
+  uint64_t Old = Seed_.load(std::memory_order_relaxed);
+  uint64_t New;
+  do {
+    New = (Old * kMultiplier + kAddend) & kMask;
+  } while (!Seed_.compareAndSwap(Old, New));
+  return static_cast<uint32_t>(New >> (48 - Bits));
+}
+
+uint32_t SharedRandom::nextInt(uint32_t Bound) {
+  // Power-of-two fast path, then rejection sampling, as in the JDK.
+  if ((Bound & (Bound - 1)) == 0)
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(Bound) * next(31)) >> 31);
+  uint32_t Bits, Val;
+  do {
+    Bits = next(31);
+    Val = Bits % Bound;
+  } while (Bits - Val + (Bound - 1) > 0x7fffffffu);
+  return Val;
+}
+
+double SharedRandom::nextDouble() {
+  // Two consecutive CAS retry loops, exactly like java.util.Random:
+  // (next(26) << 27 + next(27)) * 2^-53.
+  uint64_t Hi = next(26);
+  uint64_t Lo = next(27);
+  return static_cast<double>((Hi << 27) + Lo) * 0x1.0p-53;
+}

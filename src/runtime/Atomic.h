@@ -1,0 +1,138 @@
+//===- runtime/Atomic.h - Counted atomic operations -------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic wrappers whose read-modify-write operations bump Metric::Atomic.
+///
+/// The paper counts "atomic operations executed" by intercepting
+/// sun.misc.Unsafe's CAS/getAndAdd family. Plain (volatile-style) loads and
+/// stores are intentionally *not* counted, matching that instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_ATOMIC_H
+#define REN_RUNTIME_ATOMIC_H
+
+#include "metrics/Metrics.h"
+
+#include <atomic>
+
+namespace ren {
+namespace runtime {
+
+/// An instrumented atomic cell, analogous to
+/// java.util.concurrent.atomic.Atomic{Integer,Long,Reference}.
+template <typename T> class Atomic {
+public:
+  Atomic() : Value(T()) {}
+  explicit Atomic(T Initial) : Value(Initial) {}
+
+  /// Plain atomic load (uncounted, like a volatile read).
+  T load(std::memory_order Order = std::memory_order_seq_cst) const {
+    return Value.load(Order);
+  }
+
+  /// Plain atomic store (uncounted, like a volatile write).
+  void store(T Desired, std::memory_order Order = std::memory_order_seq_cst) {
+    Value.store(Desired, Order);
+  }
+
+  /// Counted compare-and-swap. \returns true if the swap succeeded; on
+  /// failure \p Expected is updated with the observed value.
+  bool compareAndSwap(T &Expected, T Desired) {
+    metrics::count(metrics::Metric::Atomic);
+    return Value.compare_exchange_strong(Expected, Desired);
+  }
+
+  /// Counted CAS with value semantics, like AtomicReference.compareAndSet.
+  bool compareAndSet(T Expected, T Desired) {
+    metrics::count(metrics::Metric::Atomic);
+    return Value.compare_exchange_strong(Expected, Desired);
+  }
+
+  /// Counted atomic exchange.
+  T getAndSet(T Desired) {
+    metrics::count(metrics::Metric::Atomic);
+    return Value.exchange(Desired);
+  }
+
+  /// Counted fetch-add (integral T only).
+  T getAndAdd(T Delta) {
+    metrics::count(metrics::Metric::Atomic);
+    return Value.fetch_add(Delta);
+  }
+
+  /// Counted increment returning the new value.
+  T incrementAndGet() { return getAndAdd(T(1)) + T(1); }
+
+  /// Counted decrement returning the new value.
+  T decrementAndGet() { return getAndAdd(T(-1)) - T(1); }
+
+private:
+  std::atomic<T> Value;
+};
+
+/// An instrumented shared counter updated with a CAS retry loop, modelling
+/// the java.util.Random / concurrent-counter pattern the paper's
+/// atomic-operation-coalescing optimization (§5.3) targets: each update
+/// performs READ + CAS, retrying under contention.
+class CasCounter {
+public:
+  explicit CasCounter(uint64_t Initial = 0) : Value(Initial) {}
+
+  /// Applies \p F to the current value with a CAS retry loop and returns
+  /// the new value.
+  template <typename FnT> uint64_t updateAndGet(FnT F) {
+    uint64_t Old = Value.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t New = F(Old);
+      if (Value.compareAndSwap(Old, New))
+        return New;
+    }
+  }
+
+  /// Adds \p Delta via CAS retry and returns the new value.
+  uint64_t addAndGet(uint64_t Delta) {
+    return updateAndGet([Delta](uint64_t V) { return V + Delta; });
+  }
+
+  uint64_t get() const { return Value.load(); }
+
+private:
+  Atomic<uint64_t> Value;
+};
+
+/// A deterministic java.util.Random analogue whose state is advanced with a
+/// CAS retry loop, exactly like the JDK implementation. Calling nextDouble
+/// performs *two* consecutive CAS retry loops (the JDK builds a double from
+/// two next(26)/next(27) calls) — the pattern that makes future-genetic
+/// atomic-heavy and that atomic-operation coalescing (§5.3) optimizes.
+class SharedRandom {
+public:
+  explicit SharedRandom(uint64_t Seed)
+      : Seed_((Seed ^ kMultiplier) & kMask) {}
+
+  /// Returns the next \p Bits (<= 48) pseudo-random bits; one CAS loop.
+  uint32_t next(unsigned Bits);
+
+  /// Uniform in [0, Bound); one CAS loop per retry.
+  uint32_t nextInt(uint32_t Bound);
+
+  /// Uniform in [0, 1); two consecutive CAS loops, as in the JDK.
+  double nextDouble();
+
+private:
+  static constexpr uint64_t kMultiplier = 0x5DEECE66DULL;
+  static constexpr uint64_t kAddend = 0xBULL;
+  static constexpr uint64_t kMask = (1ULL << 48) - 1;
+
+  Atomic<uint64_t> Seed_;
+};
+
+} // namespace runtime
+} // namespace ren
+
+#endif // REN_RUNTIME_ATOMIC_H

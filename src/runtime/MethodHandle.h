@@ -1,0 +1,141 @@
+//===- runtime/MethodHandle.h - invokedynamic analogue ----------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of the JVM's invokedynamic / method-handle machinery (JSR 292),
+/// which underlies Java 8 lambdas (paper §5.4).
+///
+/// On the JVM, a lambda-creation site compiles to an \c invokedynamic
+/// bytecode. Its first execution runs a *bootstrap method* that spins an
+/// anonymous class and links the call site; every execution of the bytecode
+/// then produces the lambda object, and invoking the lambda goes through
+/// the method handle's polymorphic \c invoke. We model all three stages:
+///
+///  - \c InvokeDynamicSite — a static call-site object. \c makeHandle
+///    counts Metric::IDynamic per execution and runs the bootstrap lambda
+///    factory exactly once (first execution), caching the linkage.
+///  - \c MethodHandle<Sig> — a polymorphic callable. \c invoke counts
+///    Metric::Method (an invokevirtual-equivalent dispatch).
+///
+/// The streams, rx and futures frameworks route user lambdas through these
+/// types, which is what makes Renaissance workloads idynamic-heavy (Fig 4)
+/// and creates the method-handle-simplification opportunity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_METHODHANDLE_H
+#define REN_RUNTIME_METHODHANDLE_H
+
+#include "metrics/Metrics.h"
+#include "runtime/Alloc.h"
+
+#include <atomic>
+#include <cassert>
+#include <type_traits>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace ren {
+namespace runtime {
+
+template <typename SigT> class MethodHandle;
+
+/// A polymorphic method handle holding a target callable. Invocation is a
+/// counted dynamic dispatch (the \c invoke on the JVM is polymorphic and
+/// blocks inlining — exactly the cost MHS removes in the JIT experiments).
+template <typename RetT, typename... ArgTs> class MethodHandle<RetT(ArgTs...)> {
+public:
+  MethodHandle() = default;
+
+  /// Links a handle to \p Target. Constrained so that copying a
+  /// MethodHandle never routes through this greedy forwarding constructor.
+  template <typename FnT,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<FnT>, MethodHandle> &&
+                std::is_invocable_r_v<RetT, FnT &, ArgTs...>>>
+  explicit MethodHandle(FnT &&Target)
+      : Target(std::make_shared<std::function<RetT(ArgTs...)>>(
+            std::forward<FnT>(Target))) {}
+
+  /// True if the handle is linked to a target.
+  explicit operator bool() const { return Target != nullptr; }
+
+  /// Polymorphic invocation; counts one dynamic dispatch.
+  RetT invoke(ArgTs... Args) const {
+    assert(Target && "invoking an unlinked method handle");
+    noteVirtualCall();
+    return (*Target)(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Convenience call syntax.
+  RetT operator()(ArgTs... Args) const {
+    return invoke(std::forward<ArgTs>(Args)...);
+  }
+
+private:
+  std::shared_ptr<std::function<RetT(ArgTs...)>> Target;
+};
+
+/// The call-site object behind one textual lambda-creation site.
+///
+/// Declare one site per lambda occurrence (typically \c static inside the
+/// enclosing function) and call \c makeHandle with the bootstrap factory:
+///
+/// \code
+///   static InvokeDynamicSite<int(int)> Site;
+///   auto Doubler = Site.makeHandle([] { // bootstrap: runs once
+///     return MethodHandle<int(int)>([](int X) { return 2 * X; });
+///   });
+/// \endcode
+template <typename SigT> class InvokeDynamicSite {
+public:
+  /// Executes the invokedynamic: counts Metric::IDynamic, bootstraps the
+  /// anonymous lambda "class" on first execution, and returns a handle
+  /// bound to the linked target. Object allocation for the lambda instance
+  /// is counted (lambdas capture state, i.e. allocate, on the JVM too).
+  template <typename BootstrapT>
+  MethodHandle<SigT> makeHandle(BootstrapT Bootstrap) {
+    metrics::count(metrics::Metric::IDynamic);
+    if (!Linked.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> Guard(BootstrapLock);
+      if (!Linked.load(std::memory_order_relaxed)) {
+        // Bootstrap: "spin the anonymous class" — run the factory once.
+        Cached = Bootstrap();
+        ++BootstrapRuns;
+        Linked.store(true, std::memory_order_release);
+      }
+    }
+    noteObjectAlloc(); // The lambda instance produced per execution.
+    return Cached;
+  }
+
+  /// Number of times the bootstrap method actually ran (for tests).
+  unsigned bootstrapCount() const { return BootstrapRuns; }
+
+private:
+  std::atomic<bool> Linked{false};
+  std::mutex BootstrapLock;
+  MethodHandle<SigT> Cached;
+  unsigned BootstrapRuns = 0;
+};
+
+/// Wraps an arbitrary callable as a lambda routed through a (function-local)
+/// invokedynamic site, counting IDynamic once per call of this function.
+/// Framework entry points that accept user lambdas use this to model the
+/// lambda creation the equivalent Java code would perform.
+template <typename SigT, typename FnT>
+MethodHandle<SigT> bindLambda(FnT &&Fn) {
+  metrics::count(metrics::Metric::IDynamic);
+  noteObjectAlloc();
+  return MethodHandle<SigT>(std::forward<FnT>(Fn));
+}
+
+} // namespace runtime
+} // namespace ren
+
+#endif // REN_RUNTIME_METHODHANDLE_H

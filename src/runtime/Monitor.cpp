@@ -1,0 +1,107 @@
+//===- runtime/Monitor.cpp ------------------------------------------------==//
+
+#include "runtime/Monitor.h"
+
+#include "metrics/Metrics.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace ren;
+using namespace ren::runtime;
+using metrics::Metric;
+
+void Monitor::enter() {
+  metrics::count(Metric::Synch);
+  std::unique_lock<std::mutex> Guard(Lock);
+  std::thread::id Self = std::this_thread::get_id();
+  if (Owner == Self) {
+    ++Depth;
+    return;
+  }
+  acquireSlow(Guard);
+}
+
+void Monitor::acquireSlow(std::unique_lock<std::mutex> &Guard) {
+  EntryCv.wait(Guard, [this] { return Depth == 0; });
+  Owner = std::this_thread::get_id();
+  Depth = 1;
+}
+
+bool Monitor::tryEnter() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  std::thread::id Self = std::this_thread::get_id();
+  if (Owner == Self) {
+    metrics::count(Metric::Synch);
+    ++Depth;
+    return true;
+  }
+  if (Depth != 0)
+    return false;
+  metrics::count(Metric::Synch);
+  Owner = Self;
+  Depth = 1;
+  return true;
+}
+
+void Monitor::exit() {
+  std::unique_lock<std::mutex> Guard(Lock);
+  assert(Owner == std::this_thread::get_id() &&
+         "monitor exited by non-owner");
+  assert(Depth > 0 && "monitor exit without enter");
+  if (--Depth == 0) {
+    Owner = std::thread::id();
+    Guard.unlock();
+    EntryCv.notify_one();
+  }
+}
+
+bool Monitor::heldByCurrentThread() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Depth > 0 && Owner == std::this_thread::get_id();
+}
+
+void Monitor::wait() {
+  metrics::count(Metric::Wait);
+  std::unique_lock<std::mutex> Guard(Lock);
+  assert(Owner == std::this_thread::get_id() && "wait requires ownership");
+  unsigned SavedDepth = Depth;
+  Depth = 0;
+  Owner = std::thread::id();
+  EntryCv.notify_one();
+  WaitCv.wait(Guard);
+  // Reacquire at the saved depth.
+  EntryCv.wait(Guard, [this] { return Depth == 0; });
+  Owner = std::this_thread::get_id();
+  Depth = SavedDepth;
+}
+
+bool Monitor::waitFor(uint64_t Millis) {
+  metrics::count(Metric::Wait);
+  std::unique_lock<std::mutex> Guard(Lock);
+  assert(Owner == std::this_thread::get_id() && "wait requires ownership");
+  unsigned SavedDepth = Depth;
+  Depth = 0;
+  Owner = std::thread::id();
+  EntryCv.notify_one();
+  bool Notified = WaitCv.wait_for(Guard, std::chrono::milliseconds(Millis)) ==
+                  std::cv_status::no_timeout;
+  EntryCv.wait(Guard, [this] { return Depth == 0; });
+  Owner = std::this_thread::get_id();
+  Depth = SavedDepth;
+  return Notified;
+}
+
+void Monitor::notifyOne() {
+  metrics::count(Metric::Notify);
+  std::lock_guard<std::mutex> Guard(Lock);
+  assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  WaitCv.notify_one();
+}
+
+void Monitor::notifyAll() {
+  metrics::count(Metric::Notify);
+  std::lock_guard<std::mutex> Guard(Lock);
+  assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  WaitCv.notify_all();
+}

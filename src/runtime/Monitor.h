@@ -1,0 +1,99 @@
+//===- runtime/Monitor.h - Reentrant monitors and guarded blocks -*- C++ -*-==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Java-monitor analogues: reentrant mutual exclusion plus the wait/notify
+/// ("guarded block") protocol, with metric instrumentation.
+///
+/// Every \c enter bumps Metric::Synch (the paper's "synchronized methods and
+/// blocks executed"), every \c wait bumps Metric::Wait, and every
+/// \c notifyOne / \c notifyAll bumps Metric::Notify — mirroring the DiSL
+/// instrumentation the paper deploys on monitorenter and
+/// Object.wait/notify/notifyAll.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_MONITOR_H
+#define REN_RUNTIME_MONITOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace ren {
+namespace runtime {
+
+/// A reentrant monitor with an associated wait set, like a Java object
+/// monitor. Waiting releases the full recursion depth and restores it after
+/// wakeup; spurious wakeups are permitted (as in Java), so callers must
+/// re-check their condition — or use \c waitUntil.
+class Monitor {
+public:
+  Monitor() = default;
+  Monitor(const Monitor &) = delete;
+  Monitor &operator=(const Monitor &) = delete;
+
+  /// Enters the monitor, blocking until available. Reentrant.
+  void enter();
+
+  /// Attempts to enter without blocking. \returns true on success.
+  bool tryEnter();
+
+  /// Exits the monitor. Must be called by the owner.
+  void exit();
+
+  /// Returns true if the calling thread owns the monitor.
+  bool heldByCurrentThread() const;
+
+  /// Releases the monitor and blocks until notified (or spuriously woken),
+  /// then reacquires it at the previous depth. Caller must own the monitor.
+  void wait();
+
+  /// Like \c wait, but with a wall-clock timeout in milliseconds.
+  /// \returns false if the timeout elapsed before a notification.
+  bool waitFor(uint64_t Millis);
+
+  /// Waits until \p Pred() holds, re-checking after every wakeup.
+  template <typename PredT> void waitUntil(PredT Pred) {
+    while (!Pred())
+      wait();
+  }
+
+  /// Wakes one waiter. Caller must own the monitor.
+  void notifyOne();
+
+  /// Wakes all waiters. Caller must own the monitor.
+  void notifyAll();
+
+private:
+  mutable std::mutex Lock;
+  std::condition_variable EntryCv;
+  std::condition_variable WaitCv;
+  std::thread::id Owner;
+  unsigned Depth = 0;
+
+  void acquireSlow(std::unique_lock<std::mutex> &Guard);
+};
+
+/// RAII synchronized block: \c Synchronized Sync(M); models
+/// \c synchronized(m) { ... }.
+class Synchronized {
+public:
+  explicit Synchronized(Monitor &M) : Mon(M) { Mon.enter(); }
+  ~Synchronized() { Mon.exit(); }
+
+  Synchronized(const Synchronized &) = delete;
+  Synchronized &operator=(const Synchronized &) = delete;
+
+private:
+  Monitor &Mon;
+};
+
+} // namespace runtime
+} // namespace ren
+
+#endif // REN_RUNTIME_MONITOR_H

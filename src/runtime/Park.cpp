@@ -1,0 +1,41 @@
+//===- runtime/Park.cpp ---------------------------------------------------==//
+
+#include "runtime/Park.h"
+
+#include "metrics/Metrics.h"
+
+#include <chrono>
+
+using namespace ren;
+using namespace ren::runtime;
+using metrics::Metric;
+
+void Parker::park() {
+  metrics::count(Metric::Park);
+  std::unique_lock<std::mutex> Guard(Lock);
+  Cv.wait(Guard, [this] { return Permit; });
+  Permit = false;
+}
+
+bool Parker::parkFor(uint64_t Millis) {
+  metrics::count(Metric::Park);
+  std::unique_lock<std::mutex> Guard(Lock);
+  bool Got = Cv.wait_for(Guard, std::chrono::milliseconds(Millis),
+                         [this] { return Permit; });
+  if (Got)
+    Permit = false;
+  return Got;
+}
+
+void Parker::unpark() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Permit = true;
+  }
+  Cv.notify_one();
+}
+
+Parker &ren::runtime::currentParker() {
+  thread_local Parker P;
+  return P;
+}

@@ -1,0 +1,58 @@
+//===- runtime/Park.h - Thread parking (LockSupport analogue) ---*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Permit-based thread parking, modelling
+/// java.util.concurrent.locks.LockSupport (the paper profiles park through
+/// sun.misc.Unsafe interception; we bump Metric::Park on every park).
+///
+/// Semantics match LockSupport: \c unpark grants a single permit (permits do
+/// not accumulate); \c park consumes the permit if available, otherwise
+/// blocks until unparked. Spurious returns are permitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_PARK_H
+#define REN_RUNTIME_PARK_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ren {
+namespace runtime {
+
+/// The per-thread parking primitive. Obtain the current thread's parker via
+/// \c currentParker and hand it to the thread that will unpark.
+class Parker {
+public:
+  /// Blocks the calling thread until a permit is available, then consumes
+  /// it. Counts Metric::Park. Must only be called by the owning thread.
+  void park();
+
+  /// Like \c park, but returns after \p Millis milliseconds even without a
+  /// permit. \returns true if a permit was consumed.
+  bool parkFor(uint64_t Millis);
+
+  /// Makes a single permit available and wakes the parked thread (if any).
+  /// Callable from any thread, but — as with LockSupport.unpark(thread) —
+  /// the parker's owning thread must not have terminated (thread-local
+  /// parkers die with their thread).
+  void unpark();
+
+private:
+  std::mutex Lock;
+  std::condition_variable Cv;
+  bool Permit = false;
+};
+
+/// Returns the calling thread's parker.
+Parker &currentParker();
+
+} // namespace runtime
+} // namespace ren
+
+#endif // REN_RUNTIME_PARK_H

@@ -1,0 +1,21 @@
+//===- runtime/Runtime.h - Umbrella header for the runtime ------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for the instrumented runtime primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RUNTIME_RUNTIME_H
+#define REN_RUNTIME_RUNTIME_H
+
+#include "runtime/Alloc.h"
+#include "runtime/Atomic.h"
+#include "runtime/MethodHandle.h"
+#include "runtime/Monitor.h"
+#include "runtime/Park.h"
+
+#endif // REN_RUNTIME_RUNTIME_H

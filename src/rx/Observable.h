@@ -1,0 +1,256 @@
+//===- rx/Observable.h - Push-based reactive streams ------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reactive Extensions analogue (RxJava), the substrate of rx-scrabble:
+/// cold push-based observables with map/filter/flatMap/reduce/take and an
+/// \c observeOn asynchronous boundary.
+///
+/// Operator lambdas go through runtime::bindLambda / MethodHandle exactly
+/// like the streams framework, so rx workloads exercise idynamic and
+/// dynamic dispatch; \c observeOn hands events to an Executor through a
+/// monitor-guarded queue (synch/wait/notify).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_RX_OBSERVABLE_H
+#define REN_RX_OBSERVABLE_H
+
+#include "futures/Future.h"
+#include "runtime/MethodHandle.h"
+#include "runtime/Monitor.h"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace rx {
+
+/// The downstream side of a subscription.
+template <typename T> struct Observer {
+  std::function<void(const T &)> OnNext;
+  std::function<void()> OnComplete;
+};
+
+/// A cold observable: each subscription re-runs the producer.
+template <typename T> class Observable {
+public:
+  using SubscribeFn = std::function<void(Observer<T>)>;
+
+  Observable() = default;
+
+  /// Builds an observable from a raw producer function.
+  static Observable create(SubscribeFn Producer) {
+    Observable O;
+    O.Producer = std::move(Producer);
+    return O;
+  }
+
+  /// Emits every element of \p Values, then completes.
+  static Observable fromVector(std::vector<T> Values) {
+    return create([Values = std::move(Values)](Observer<T> Obs) {
+      for (const T &V : Values)
+        Obs.OnNext(V);
+      Obs.OnComplete();
+    });
+  }
+
+  /// Emits the integers [Lo, Hi).
+  static Observable range(T Lo, T Hi) {
+    return create([Lo, Hi](Observer<T> Obs) {
+      for (T I = Lo; I < Hi; ++I)
+        Obs.OnNext(I);
+      Obs.OnComplete();
+    });
+  }
+
+  /// Subscribes with explicit callbacks (terminal).
+  void subscribe(std::function<void(const T &)> OnNext,
+                 std::function<void()> OnComplete = [] {}) const {
+    assert(Producer && "subscribe on an empty observable");
+    Producer(Observer<T>{std::move(OnNext), std::move(OnComplete)});
+  }
+
+  /// Element-wise transformation.
+  template <typename FnT> auto map(FnT Fn) const {
+    using U = std::invoke_result_t<FnT, const T &>;
+    auto Handle = runtime::bindLambda<U(const T &)>(std::move(Fn));
+    Observable<U> Out;
+    // The downstream observer is held in shared state: an upstream
+    // observeOn boundary may keep emitting after this frame unwinds.
+    Out.Producer = [Upstream = Producer, Handle](Observer<U> Obs) {
+      auto Down = std::make_shared<Observer<U>>(std::move(Obs));
+      Upstream(Observer<T>{
+          [Down, Handle](const T &V) { Down->OnNext(Handle.invoke(V)); },
+          [Down] { Down->OnComplete(); }});
+    };
+    return Out;
+  }
+
+  /// Keeps matching elements.
+  template <typename FnT> Observable filter(FnT Fn) const {
+    auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
+    Observable Out;
+    Out.Producer = [Upstream = Producer, Handle](Observer<T> Obs) {
+      auto Down = std::make_shared<Observer<T>>(std::move(Obs));
+      Upstream(Observer<T>{[Down, Handle](const T &V) {
+                             if (Handle.invoke(V))
+                               Down->OnNext(V);
+                           },
+                           [Down] { Down->OnComplete(); }});
+    };
+    return Out;
+  }
+
+  /// Maps each element to an inner observable and concatenates (RxJava's
+  /// concatMap; sufficient for the synchronous workloads we model).
+  template <typename FnT> auto flatMap(FnT Fn) const {
+    using ObsU = std::invoke_result_t<FnT, const T &>;
+    using U = typename ObsU::ValueType;
+    auto Handle = runtime::bindLambda<ObsU(const T &)>(std::move(Fn));
+    Observable<U> Out;
+    Out.Producer = [Upstream = Producer, Handle](Observer<U> Obs) {
+      auto Down = std::make_shared<Observer<U>>(std::move(Obs));
+      Upstream(Observer<T>{[Down, Handle](const T &V) {
+                             ObsU Inner = Handle.invoke(V);
+                             Inner.subscribe(
+                                 [Down](const U &IV) { Down->OnNext(IV); });
+                           },
+                           [Down] { Down->OnComplete(); }});
+    };
+    return Out;
+  }
+
+  /// Emits only the first \p N elements, then completes.
+  Observable take(size_t N) const {
+    Observable Out;
+    Out.Producer = [Upstream = Producer, N](Observer<T> Obs) {
+      struct TakeState {
+        Observer<T> Down;
+        size_t Seen = 0;
+        bool Completed = false;
+      };
+      auto St = std::make_shared<TakeState>();
+      St->Down = std::move(Obs);
+      Upstream(Observer<T>{[St, N](const T &V) {
+                             if (St->Seen < N) {
+                               St->Down.OnNext(V);
+                               ++St->Seen;
+                             }
+                             if (St->Seen == N && !St->Completed) {
+                               St->Completed = true;
+                               St->Down.OnComplete();
+                             }
+                           },
+                           [St] {
+                             if (!St->Completed) {
+                               St->Completed = true;
+                               St->Down.OnComplete();
+                             }
+                           }});
+    };
+    return Out;
+  }
+
+  /// Accumulates all elements into one value emitted at completion.
+  template <typename R, typename FnT> Observable<R> reduce(R Init,
+                                                           FnT Fold) const {
+    auto Handle = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
+    Observable<R> Out;
+    Out.Producer = [Upstream = Producer, Init, Handle](Observer<R> Obs) {
+      struct ReduceState {
+        Observer<R> Down;
+        R Acc;
+      };
+      auto St = std::make_shared<ReduceState>();
+      St->Down = std::move(Obs);
+      St->Acc = Init;
+      Upstream(Observer<T>{[St, Handle](const T &V) {
+                             St->Acc = Handle.invoke(std::move(St->Acc), V);
+                           },
+                           [St] {
+                             St->Down.OnNext(St->Acc);
+                             St->Down.OnComplete();
+                           }});
+    };
+    return Out;
+  }
+
+  /// Moves emission downstream onto \p Exec through a bounded-ish queue;
+  /// the returned observable completes asynchronously.
+  Observable observeOn(futures::Executor &Exec) const {
+    Observable Out;
+    Out.Producer = [Upstream = Producer, &Exec](Observer<T> Obs) {
+      struct Queue {
+        runtime::Monitor Lock;
+        std::deque<T> Items;
+        bool Done = false;
+      };
+      auto Q = std::make_shared<Queue>();
+      Exec.execute([Q, Obs] {
+        for (;;) {
+          T Item;
+          {
+            runtime::Synchronized Sync(Q->Lock);
+            Q->Lock.waitUntil(
+                [&] { return !Q->Items.empty() || Q->Done; });
+            if (Q->Items.empty() && Q->Done)
+              break;
+            Item = std::move(Q->Items.front());
+            Q->Items.pop_front();
+          }
+          Obs.OnNext(Item);
+        }
+        Obs.OnComplete();
+      });
+      Upstream(Observer<T>{[Q](const T &V) {
+                             runtime::Synchronized Sync(Q->Lock);
+                             Q->Items.push_back(V);
+                             Q->Lock.notifyAll();
+                           },
+                           [Q] {
+                             runtime::Synchronized Sync(Q->Lock);
+                             Q->Done = true;
+                             Q->Lock.notifyAll();
+                           }});
+    };
+    return Out;
+  }
+
+  /// Terminal: collects all emissions synchronously (blocking if the chain
+  /// crosses an observeOn boundary).
+  std::vector<T> blockingCollect() const {
+    futures::Promise<int> Done;
+    auto Sink = std::make_shared<std::vector<T>>();
+    subscribe([Sink](const T &V) { Sink->push_back(V); },
+              [Done]() mutable { Done.setValue(0); });
+    Done.future().await();
+    return std::move(*Sink);
+  }
+
+  /// Terminal: the single final value of a reduce chain.
+  T blockingLast() const {
+    std::vector<T> All = blockingCollect();
+    assert(!All.empty() && "blockingLast on empty observable");
+    return All.back();
+  }
+
+  using ValueType = T;
+
+private:
+  template <typename U> friend class Observable;
+
+  SubscribeFn Producer;
+};
+
+} // namespace rx
+} // namespace ren
+
+#endif // REN_RX_OBSERVABLE_H

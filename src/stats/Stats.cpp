@@ -1,0 +1,287 @@
+//===- stats/Stats.cpp -----------------------------------------------------==//
+
+#include "stats/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ren;
+using namespace ren::stats;
+
+double ren::stats::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ren::stats::sampleVariance(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return Sum / static_cast<double>(Values.size() - 1);
+}
+
+double ren::stats::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of empty set");
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+Matrix ren::stats::standardize(const Matrix &X) {
+  Matrix Y(X.Rows, X.Cols);
+  for (size_t C = 0; C < X.Cols; ++C) {
+    std::vector<double> Column(X.Rows);
+    for (size_t R = 0; R < X.Rows; ++R)
+      Column[R] = X.at(R, C);
+    double M = mean(Column);
+    double Sd = std::sqrt(sampleVariance(Column));
+    for (size_t R = 0; R < X.Rows; ++R)
+      Y.at(R, C) = Sd > 0.0 ? (X.at(R, C) - M) / Sd : 0.0;
+  }
+  return Y;
+}
+
+double PcaResult::varianceExplained(size_t K) const {
+  double Total = 0.0, First = 0.0;
+  for (size_t I = 0; I < Eigenvalues.size(); ++I) {
+    Total += Eigenvalues[I];
+    if (I < K)
+      First += Eigenvalues[I];
+  }
+  return Total > 0.0 ? First / Total : 0.0;
+}
+
+PcaResult ren::stats::pca(const Matrix &Y) {
+  size_t N = Y.Rows, K = Y.Cols;
+  assert(N >= 2 && K >= 1 && "PCA needs at least two observations");
+
+  // Covariance matrix (K x K).
+  Matrix Cov(K, K);
+  for (size_t A = 0; A < K; ++A)
+    for (size_t B = 0; B < K; ++B) {
+      double Sum = 0.0;
+      for (size_t R = 0; R < N; ++R)
+        Sum += Y.at(R, A) * Y.at(R, B);
+      Cov.at(A, B) = Sum / static_cast<double>(N - 1);
+    }
+
+  // Cyclic Jacobi eigendecomposition: Cov = V diag(e) V^T.
+  Matrix V(K, K);
+  for (size_t I = 0; I < K; ++I)
+    V.at(I, I) = 1.0;
+  Matrix A = Cov;
+  for (int Sweep = 0; Sweep < 100; ++Sweep) {
+    double Off = 0.0;
+    for (size_t P = 0; P < K; ++P)
+      for (size_t Q = P + 1; Q < K; ++Q)
+        Off += A.at(P, Q) * A.at(P, Q);
+    if (Off < 1e-20)
+      break;
+    for (size_t P = 0; P < K; ++P)
+      for (size_t Q = P + 1; Q < K; ++Q) {
+        double Apq = A.at(P, Q);
+        if (std::fabs(Apq) < 1e-15)
+          continue;
+        double Theta = (A.at(Q, Q) - A.at(P, P)) / (2.0 * Apq);
+        double T = (Theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+        for (size_t I = 0; I < K; ++I) {
+          double Aip = A.at(I, P), Aiq = A.at(I, Q);
+          A.at(I, P) = C * Aip - S * Aiq;
+          A.at(I, Q) = S * Aip + C * Aiq;
+        }
+        for (size_t I = 0; I < K; ++I) {
+          double Api = A.at(P, I), Aqi = A.at(Q, I);
+          A.at(P, I) = C * Api - S * Aqi;
+          A.at(Q, I) = S * Api + C * Aqi;
+        }
+        for (size_t I = 0; I < K; ++I) {
+          double Vip = V.at(I, P), Viq = V.at(I, Q);
+          V.at(I, P) = C * Vip - S * Viq;
+          V.at(I, Q) = S * Vip + C * Viq;
+        }
+      }
+  }
+
+  // Sort components by descending eigenvalue.
+  std::vector<size_t> Order(K);
+  for (size_t I = 0; I < K; ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t X, size_t Z) {
+    return A.at(X, X) > A.at(Z, Z);
+  });
+
+  PcaResult Result;
+  Result.Loadings = Matrix(K, K);
+  Result.Eigenvalues.resize(K);
+  for (size_t J = 0; J < K; ++J) {
+    size_t Src = Order[J];
+    Result.Eigenvalues[J] = std::max(0.0, A.at(Src, Src));
+    // Sign convention: the largest-magnitude loading is positive.
+    double MaxAbs = 0.0;
+    double Sign = 1.0;
+    for (size_t I = 0; I < K; ++I)
+      if (std::fabs(V.at(I, Src)) > MaxAbs) {
+        MaxAbs = std::fabs(V.at(I, Src));
+        Sign = V.at(I, Src) >= 0 ? 1.0 : -1.0;
+      }
+    for (size_t I = 0; I < K; ++I)
+      Result.Loadings.at(I, J) = Sign * V.at(I, Src);
+  }
+
+  // Scores: S = Y L.
+  Result.Scores = Matrix(N, K);
+  for (size_t R = 0; R < N; ++R)
+    for (size_t J = 0; J < K; ++J) {
+      double Sum = 0.0;
+      for (size_t I = 0; I < K; ++I)
+        Sum += Y.at(R, I) * Result.Loadings.at(I, J);
+      Result.Scores.at(R, J) = Sum;
+    }
+  return Result;
+}
+
+namespace {
+
+/// Regularized incomplete beta function I_x(a, b) by continued fraction
+/// (Lentz), used for the t-distribution CDF.
+double incompleteBeta(double A, double B, double X) {
+  if (X <= 0.0)
+    return 0.0;
+  if (X >= 1.0)
+    return 1.0;
+  double LogBeta = std::lgamma(A + B) - std::lgamma(A) - std::lgamma(B) +
+                   A * std::log(X) + B * std::log(1.0 - X);
+  double Front = std::exp(LogBeta);
+
+  // Modified-Lentz continued fraction for the incomplete beta function
+  // (the classic betacf formulation).
+  auto contFraction = [](double A0, double B0, double X0) {
+    constexpr int MaxIter = 300;
+    constexpr double Tiny = 1e-30;
+    double Qab = A0 + B0, Qap = A0 + 1.0, Qam = A0 - 1.0;
+    double C = 1.0;
+    double D = 1.0 - Qab * X0 / Qap;
+    if (std::fabs(D) < Tiny)
+      D = Tiny;
+    D = 1.0 / D;
+    double H = D;
+    for (int M = 1; M <= MaxIter; ++M) {
+      double M2 = 2.0 * M;
+      double Aa = M * (B0 - M) * X0 / ((Qam + M2) * (A0 + M2));
+      D = 1.0 + Aa * D;
+      if (std::fabs(D) < Tiny)
+        D = Tiny;
+      C = 1.0 + Aa / C;
+      if (std::fabs(C) < Tiny)
+        C = Tiny;
+      D = 1.0 / D;
+      H *= D * C;
+      Aa = -(A0 + M) * (Qab + M) * X0 / ((A0 + M2) * (Qap + M2));
+      D = 1.0 + Aa * D;
+      if (std::fabs(D) < Tiny)
+        D = Tiny;
+      C = 1.0 + Aa / C;
+      if (std::fabs(C) < Tiny)
+        C = Tiny;
+      D = 1.0 / D;
+      double Del = D * C;
+      H *= Del;
+      if (std::fabs(Del - 1.0) < 1e-12)
+        break;
+    }
+    return H;
+  };
+
+  if (X < (A + 1.0) / (A + B + 2.0))
+    return Front * contFraction(A, B, X) / A;
+  return 1.0 - incompleteBeta(B, A, 1.0 - X);
+}
+
+/// Two-sided p-value of |t| with \p Df degrees of freedom.
+double tTwoSidedP(double T, double Df) {
+  double X = Df / (Df + T * T);
+  return incompleteBeta(Df / 2.0, 0.5, X);
+}
+
+} // namespace
+
+WelchResult ren::stats::welchTTest(const std::vector<double> &A,
+                                   const std::vector<double> &B) {
+  assert(A.size() >= 2 && B.size() >= 2 && "Welch needs n >= 2 per sample");
+  double MeanA = mean(A), MeanB = mean(B);
+  double VarA = sampleVariance(A), VarB = sampleVariance(B);
+  double Na = static_cast<double>(A.size());
+  double Nb = static_cast<double>(B.size());
+  double SeSq = VarA / Na + VarB / Nb;
+
+  WelchResult R;
+  if (SeSq <= 0.0) {
+    // Degenerate samples: identical means -> p = 1; else "infinitely"
+    // significant.
+    R.TStatistic = MeanA == MeanB ? 0.0 : 1e300;
+    R.DegreesOfFreedom = Na + Nb - 2.0;
+    R.PValue = MeanA == MeanB ? 1.0 : 0.0;
+    return R;
+  }
+  R.TStatistic = (MeanA - MeanB) / std::sqrt(SeSq);
+  double Num = SeSq * SeSq;
+  double Den = (VarA / Na) * (VarA / Na) / (Na - 1.0) +
+               (VarB / Nb) * (VarB / Nb) / (Nb - 1.0);
+  R.DegreesOfFreedom = Num / Den;
+  R.PValue = tTwoSidedP(R.TStatistic, R.DegreesOfFreedom);
+  return R;
+}
+
+std::vector<double> ren::stats::winsorize(std::vector<double> Values,
+                                          double Fraction) {
+  assert(Fraction >= 0.0 && Fraction < 0.5 && "fraction must be in [0,.5)");
+  if (Values.size() < 3 || Fraction == 0.0)
+    return Values;
+  std::vector<double> Sorted = Values;
+  std::sort(Sorted.begin(), Sorted.end());
+  size_t Cut = static_cast<size_t>(
+      Fraction * static_cast<double>(Sorted.size()));
+  double Lo = Sorted[Cut];
+  double Hi = Sorted[Sorted.size() - 1 - Cut];
+  for (double &V : Values)
+    V = std::clamp(V, Lo, Hi);
+  return Values;
+}
+
+double ren::stats::tCriticalValue(double Df, double Alpha) {
+  // Bisection on the two-sided p-value.
+  double Lo = 0.0, Hi = 1e3;
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    double Mid = (Lo + Hi) / 2.0;
+    if (tTwoSidedP(Mid, Df) > Alpha)
+      Lo = Mid;
+    else
+      Hi = Mid;
+  }
+  return (Lo + Hi) / 2.0;
+}
+
+std::pair<double, double>
+ren::stats::meanConfidenceInterval(const std::vector<double> &Values,
+                                   double Alpha) {
+  assert(Values.size() >= 2 && "CI needs at least two samples");
+  double M = mean(Values);
+  double Se = std::sqrt(sampleVariance(Values) /
+                        static_cast<double>(Values.size()));
+  double T = tCriticalValue(static_cast<double>(Values.size() - 1), Alpha);
+  return {M - T * Se, M + T * Se};
+}

@@ -1,0 +1,99 @@
+//===- stats/Stats.h - Statistical toolkit (paper §4, §6) -------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistics the paper's evaluation relies on, implemented from
+/// scratch: standardization and principal component analysis for the
+/// diversity study (§4.2), Welch's t-test and winsorized filtering for the
+/// optimization-impact study (§6 / supplemental §C), plus geometric means
+/// and confidence intervals used throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_STATS_STATS_H
+#define REN_STATS_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ren {
+namespace stats {
+
+/// A dense row-major matrix.
+struct Matrix {
+  size_t Rows = 0;
+  size_t Cols = 0;
+  std::vector<double> Data;
+
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols)
+      : Rows(Rows), Cols(Cols), Data(Rows * Cols, 0.0) {}
+
+  double &at(size_t R, size_t C) { return Data[R * Cols + C]; }
+  double at(size_t R, size_t C) const { return Data[R * Cols + C]; }
+};
+
+/// Mean of \p Values (0 for empty input).
+double mean(const std::vector<double> &Values);
+
+/// Unbiased sample variance (n-1 denominator; 0 when n < 2).
+double sampleVariance(const std::vector<double> &Values);
+
+/// Geometric mean; all inputs must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+/// Standardizes each column of \p X to zero mean and unit variance (the
+/// paper's Y matrix, §4.2). Constant columns map to all-zeros.
+Matrix standardize(const Matrix &X);
+
+/// The result of a principal component analysis.
+struct PcaResult {
+  /// Loadings: Cols x Cols; loading of metric i on PC j at (i, j).
+  Matrix Loadings;
+  /// Scores: Rows x Cols; projection of each observation on the PCs.
+  Matrix Scores;
+  /// Eigenvalues (variance per component), descending.
+  std::vector<double> Eigenvalues;
+
+  /// Fraction of total variance explained by the first \p K components.
+  double varianceExplained(size_t K) const;
+};
+
+/// PCA via eigendecomposition (cyclic Jacobi) of the covariance matrix of
+/// \p Y (standardize first, per the paper's methodology). Components are
+/// ordered by decreasing eigenvalue; loading signs are normalized so the
+/// largest-magnitude loading of each component is positive.
+PcaResult pca(const Matrix &Y);
+
+/// Welch's two-sample t-test.
+struct WelchResult {
+  double TStatistic = 0.0;
+  double DegreesOfFreedom = 0.0;
+  double PValue = 1.0; ///< two-sided
+};
+
+/// Runs Welch's unequal-variance t-test on two samples (each n >= 2).
+WelchResult welchTTest(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+/// Winsorizes: clamps values below the \p Fraction quantile and above the
+/// (1 - \p Fraction) quantile to those quantiles (paper supplemental §C:
+/// "Winsorized filtering is used to remove outliers").
+std::vector<double> winsorize(std::vector<double> Values, double Fraction);
+
+/// Student-t two-sided critical value approximation for the given
+/// significance level (via the incomplete beta function).
+double tCriticalValue(double DegreesOfFreedom, double Alpha);
+
+/// A (lo, hi) confidence interval for the mean of \p Values at level
+/// 1 - \p Alpha, using the t distribution.
+std::pair<double, double> meanConfidenceInterval(
+    const std::vector<double> &Values, double Alpha);
+
+} // namespace stats
+} // namespace ren
+
+#endif // REN_STATS_STATS_H

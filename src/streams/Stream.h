@@ -1,0 +1,269 @@
+//===- streams/Stream.h - Data-parallel stream pipelines --------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Java 8 Streams analogue: declarative map/filter/flatMap/reduce/groupBy
+/// pipelines, optionally evaluated in parallel on a fork/join pool — the
+/// substrate of scrabble and streams-mnemonics.
+///
+/// Matching the JVM metric profile:
+///  - every pipeline-stage lambda is created through runtime::bindLambda
+///    (Metric::IDynamic) and applied through MethodHandle::invoke per
+///    element (Metric::Method) — streams workloads are dispatch-heavy;
+///  - stages materialize intermediate arrays, counted via noteArrayAlloc
+///    (Table 2, footnote: "some data-parallel and streaming frameworks
+///    allocate intermediate arrays");
+///  - parallel evaluation splits the source across the fork/join pool.
+///
+/// Evaluation is eager stage-by-stage (each operation returns a new
+/// materialized Stream), which keeps the framework small while preserving
+/// the allocation and dispatch behaviour that matters for the metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_STREAMS_STREAM_H
+#define REN_STREAMS_STREAM_H
+
+#include "forkjoin/ForkJoinPool.h"
+#include "runtime/Alloc.h"
+#include "runtime/MethodHandle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace streams {
+
+/// A materialized stream of values of type \p T.
+template <typename T> class Stream {
+public:
+  /// Wraps a vector as a stream (copy counted as one array allocation).
+  static Stream of(std::vector<T> Values) {
+    runtime::noteArrayAlloc();
+    Stream S;
+    S.Data = std::move(Values);
+    return S;
+  }
+
+  /// Integer ranges [Lo, Hi) (enabled only for integral T at call sites).
+  static Stream range(T Lo, T Hi) {
+    runtime::noteArrayAlloc();
+    Stream S;
+    S.Data.reserve(static_cast<size_t>(Hi - Lo));
+    for (T I = Lo; I < Hi; ++I)
+      S.Data.push_back(I);
+    return S;
+  }
+
+  /// Switches subsequent stages to parallel evaluation on \p Pool.
+  Stream &parallel(forkjoin::ForkJoinPool &Pool) {
+    this->Pool = &Pool;
+    return *this;
+  }
+
+  /// True if this stream evaluates stages in parallel.
+  bool isParallel() const { return Pool != nullptr; }
+
+  size_t size() const { return Data.size(); }
+
+  /// Element-wise transformation.
+  template <typename FnT> auto map(FnT Fn) {
+    using U = std::invoke_result_t<FnT, const T &>;
+    auto Handle = runtime::bindLambda<U(const T &)>(std::move(Fn));
+    Stream<U> Out;
+    Out.Pool = Pool;
+    runtime::noteArrayAlloc();
+    Out.Data.resize(Data.size());
+    eachChunk([&](size_t Lo, size_t Hi) {
+      for (size_t I = Lo; I < Hi; ++I)
+        Out.Data[I] = Handle.invoke(Data[I]);
+    });
+    return Out;
+  }
+
+  /// Keeps elements satisfying \p Fn.
+  template <typename FnT> Stream filter(FnT Fn) {
+    auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
+    Stream Out;
+    Out.Pool = Pool;
+    runtime::noteArrayAlloc();
+    std::vector<std::vector<T>> Parts = chunkResults<T>(
+        [&](size_t Lo, size_t Hi, std::vector<T> &Part) {
+          for (size_t I = Lo; I < Hi; ++I)
+            if (Handle.invoke(Data[I]))
+              Part.push_back(Data[I]);
+        });
+    for (auto &Part : Parts)
+      Out.Data.insert(Out.Data.end(), std::make_move_iterator(Part.begin()),
+                      std::make_move_iterator(Part.end()));
+    return Out;
+  }
+
+  /// Expands each element into a sequence and concatenates.
+  template <typename FnT> auto flatMap(FnT Fn) {
+    using VecU = std::invoke_result_t<FnT, const T &>;
+    using U = typename VecU::value_type;
+    auto Handle = runtime::bindLambda<VecU(const T &)>(std::move(Fn));
+    Stream<U> Out;
+    Out.Pool = Pool;
+    runtime::noteArrayAlloc();
+    std::vector<std::vector<U>> Parts = chunkResults<U>(
+        [&](size_t Lo, size_t Hi, std::vector<U> &Part) {
+          for (size_t I = Lo; I < Hi; ++I) {
+            VecU Expanded = Handle.invoke(Data[I]);
+            runtime::noteArrayAlloc();
+            Part.insert(Part.end(), std::make_move_iterator(Expanded.begin()),
+                        std::make_move_iterator(Expanded.end()));
+          }
+        });
+    for (auto &Part : Parts)
+      Out.Data.insert(Out.Data.end(), std::make_move_iterator(Part.begin()),
+                      std::make_move_iterator(Part.end()));
+    return Out;
+  }
+
+  /// Folds the stream; \p Combine merges partial results in parallel mode.
+  template <typename R, typename FoldT, typename CombineT>
+  R reduce(R Init, FoldT Fold, CombineT Combine) {
+    auto FoldH = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
+    if (!Pool || Data.size() < 2) {
+      R Acc = Init;
+      for (const T &V : Data)
+        Acc = FoldH.invoke(std::move(Acc), V);
+      return Acc;
+    }
+    auto CombineH = runtime::bindLambda<R(R, R)>(std::move(Combine));
+    size_t Grain = grain();
+    return Pool->template parallelReduce<R>(
+        0, Data.size(), Grain,
+        [&](size_t Lo, size_t Hi) {
+          R Acc = Init;
+          for (size_t I = Lo; I < Hi; ++I)
+            Acc = FoldH.invoke(std::move(Acc), Data[I]);
+          return Acc;
+        },
+        [&](R A, R B) { return CombineH.invoke(std::move(A), std::move(B)); });
+  }
+
+  /// Sequential fold without a combiner (sequential even in parallel mode).
+  template <typename R, typename FoldT> R fold(R Init, FoldT Fold) {
+    auto FoldH = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
+    R Acc = std::move(Init);
+    for (const T &V : Data)
+      Acc = FoldH.invoke(std::move(Acc), V);
+    return Acc;
+  }
+
+  /// Groups elements by key (hash map of materialized groups).
+  template <typename FnT> auto groupBy(FnT KeyFn) {
+    using K = std::invoke_result_t<FnT, const T &>;
+    auto Handle = runtime::bindLambda<K(const T &)>(std::move(KeyFn));
+    std::unordered_map<K, std::vector<T>> Groups;
+    runtime::noteObjectAlloc();
+    for (const T &V : Data)
+      Groups[Handle.invoke(V)].push_back(V);
+    return Groups;
+  }
+
+  /// Applies \p Fn to every element (terminal).
+  template <typename FnT> void forEach(FnT Fn) {
+    auto Handle = runtime::bindLambda<void(const T &)>(std::move(Fn));
+    eachChunk([&](size_t Lo, size_t Hi) {
+      for (size_t I = Lo; I < Hi; ++I)
+        Handle.invoke(Data[I]);
+    });
+  }
+
+  /// Number of elements satisfying \p Fn.
+  template <typename FnT> size_t countIf(FnT Fn) {
+    auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
+    size_t N = 0;
+    for (const T &V : Data)
+      N += Handle.invoke(V) ? 1 : 0;
+    return N;
+  }
+
+  /// Sorted copy of the stream.
+  template <typename CmpT> Stream sorted(CmpT Cmp) {
+    Stream Out = *this;
+    runtime::noteArrayAlloc();
+    std::stable_sort(Out.Data.begin(), Out.Data.end(), Cmp);
+    return Out;
+  }
+
+  /// First \p N elements.
+  Stream limit(size_t N) {
+    Stream Out = *this;
+    if (Out.Data.size() > N)
+      Out.Data.resize(N);
+    return Out;
+  }
+
+  /// Largest element under \p Cmp; stream must be non-empty.
+  template <typename CmpT> T maxBy(CmpT Cmp) {
+    assert(!Data.empty() && "maxBy on empty stream");
+    return *std::max_element(Data.begin(), Data.end(), Cmp);
+  }
+
+  /// Terminal: moves the materialized elements out.
+  std::vector<T> collect() { return std::move(Data); }
+
+  /// Non-consuming view of the data (for tests).
+  const std::vector<T> &view() const { return Data; }
+
+private:
+  template <typename U> friend class Stream;
+
+  size_t grain() const {
+    size_t G = Data.size() / (Pool ? 4 * Pool->parallelism() : 1);
+    return G == 0 ? 1 : G;
+  }
+
+  /// Runs \p Body over index chunks, in parallel when a pool is attached.
+  template <typename BodyT> void eachChunk(BodyT Body) {
+    if (!Pool || Data.size() < 2) {
+      if (!Data.empty())
+        Body(0, Data.size());
+      return;
+    }
+    Pool->parallelFor(0, Data.size(), grain(),
+                      [&](size_t Lo, size_t Hi) { Body(Lo, Hi); });
+  }
+
+  /// Runs \p Body over chunks, collecting one partial vector per chunk in
+  /// deterministic order regardless of scheduling.
+  template <typename U, typename BodyT>
+  std::vector<std::vector<U>> chunkResults(BodyT Body) {
+    if (!Pool || Data.size() < 2) {
+      std::vector<std::vector<U>> Parts(1);
+      if (!Data.empty())
+        Body(0, Data.size(), Parts[0]);
+      return Parts;
+    }
+    size_t G = grain();
+    size_t NumChunks = (Data.size() + G - 1) / G;
+    std::vector<std::vector<U>> Parts(NumChunks);
+    Pool->parallelFor(0, NumChunks, 1, [&](size_t CLo, size_t CHi) {
+      for (size_t C = CLo; C < CHi; ++C) {
+        size_t Lo = C * G;
+        size_t Hi = std::min(Lo + G, Data.size());
+        Body(Lo, Hi, Parts[C]);
+      }
+    });
+    return Parts;
+  }
+
+  std::vector<T> Data;
+  forkjoin::ForkJoinPool *Pool = nullptr;
+};
+
+} // namespace streams
+} // namespace ren
+
+#endif // REN_STREAMS_STREAM_H

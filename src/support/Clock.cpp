@@ -1,0 +1,26 @@
+//===- support/Clock.cpp --------------------------------------------------==//
+
+#include "support/Clock.h"
+
+#include <ctime>
+#include <thread>
+
+using namespace ren;
+
+static uint64_t readClock(clockid_t Id) {
+  timespec Ts;
+  clock_gettime(Id, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+uint64_t ren::wallNanos() { return readClock(CLOCK_MONOTONIC); }
+
+uint64_t ren::threadCpuNanos() { return readClock(CLOCK_THREAD_CPUTIME_ID); }
+
+uint64_t ren::processCpuNanos() { return readClock(CLOCK_PROCESS_CPUTIME_ID); }
+
+unsigned ren::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}

@@ -1,0 +1,66 @@
+//===- support/Format.cpp -------------------------------------------------==//
+
+#include "support/Format.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ren;
+
+std::string ren::fixed(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string ren::scientific(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*E", Precision, Value);
+  return Buf;
+}
+
+std::string ren::signedPercent(double Fraction) {
+  double Pct = Fraction * 100.0;
+  char Buf[64];
+  // The paper prints "+0%"/"-0%" for sub-percent effects; keep that style.
+  std::snprintf(Buf, sizeof(Buf), "%+.0f%%", Pct);
+  return Buf;
+}
+
+std::string ren::humanBytes(uint64_t Bytes) {
+  static const char *Suffixes[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  int Index = 0;
+  while (Value >= 1024.0 && Index < 4) {
+    Value /= 1024.0;
+    ++Index;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.2f%s", Value, Suffixes[Index]);
+  return Buf;
+}
+
+std::string ren::groupedInt(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(' ');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string ren::padLeft(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return std::string(Width - Text.size(), ' ') + Text;
+}
+
+std::string ren::padRight(const std::string &Text, size_t Width) {
+  if (Text.size() >= Width)
+    return Text;
+  return Text + std::string(Width - Text.size(), ' ');
+}

@@ -1,0 +1,44 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers shared by reporters and bench binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_SUPPORT_FORMAT_H
+#define REN_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ren {
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+std::string fixed(double Value, int Precision = 2);
+
+/// Formats \p Value in scientific notation with \p Precision digits,
+/// matching the paper's Table 7 style (e.g. "4.27E+05").
+std::string scientific(double Value, int Precision = 2);
+
+/// Formats \p Value as a signed percentage ("+24%" / "-3%").
+std::string signedPercent(double Fraction);
+
+/// Formats a byte count with a binary-unit suffix ("6.87MB").
+std::string humanBytes(uint64_t Bytes);
+
+/// Formats \p Value with thousands separators ("5 144 959 612", paper style).
+std::string groupedInt(uint64_t Value);
+
+/// Left-pads \p Text with spaces to \p Width columns.
+std::string padLeft(const std::string &Text, size_t Width);
+
+/// Right-pads \p Text with spaces to \p Width columns.
+std::string padRight(const std::string &Text, size_t Width);
+
+} // namespace ren
+
+#endif // REN_SUPPORT_FORMAT_H

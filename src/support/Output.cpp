@@ -1,0 +1,134 @@
+//===- support/Output.cpp -------------------------------------------------==//
+
+#include "support/Output.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ren;
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    if (I != 0)
+      Buffer.push_back(',');
+    const std::string &Cell = Cells[I];
+    bool NeedsQuote = Cell.find_first_of(",\"\n") != std::string::npos;
+    if (!NeedsQuote) {
+      Buffer += Cell;
+      continue;
+    }
+    Buffer.push_back('"');
+    for (char C : Cell) {
+      if (C == '"')
+        Buffer.push_back('"');
+      Buffer.push_back(C);
+    }
+    Buffer.push_back('"');
+  }
+  Buffer.push_back('\n');
+}
+
+void JsonWriter::maybeComma() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Buffer.push_back(',');
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::escapeInto(const std::string &Text) {
+  Buffer.push_back('"');
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Buffer += "\\\"";
+      break;
+    case '\\':
+      Buffer += "\\\\";
+      break;
+    case '\n':
+      Buffer += "\\n";
+      break;
+    case '\t':
+      Buffer += "\\t";
+      break;
+    case '\r':
+      Buffer += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Buffer += Hex;
+      } else {
+        Buffer.push_back(C);
+      }
+    }
+  }
+  Buffer.push_back('"');
+}
+
+void JsonWriter::beginObject() {
+  maybeComma();
+  Buffer.push_back('{');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  assert(!NeedComma.empty() && "unbalanced endObject");
+  NeedComma.pop_back();
+  Buffer.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  maybeComma();
+  Buffer.push_back('[');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  assert(!NeedComma.empty() && "unbalanced endArray");
+  NeedComma.pop_back();
+  Buffer.push_back(']');
+}
+
+void JsonWriter::key(const std::string &Name) {
+  maybeComma();
+  escapeInto(Name);
+  Buffer.push_back(':');
+  PendingKey = true;
+}
+
+void JsonWriter::value(const std::string &Text) {
+  maybeComma();
+  escapeInto(Text);
+}
+
+void JsonWriter::value(const char *Text) { value(std::string(Text)); }
+
+void JsonWriter::value(double Number) {
+  maybeComma();
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Number);
+  Buffer += Buf;
+}
+
+void JsonWriter::value(uint64_t Number) {
+  maybeComma();
+  Buffer += std::to_string(Number);
+}
+
+void JsonWriter::value(int64_t Number) {
+  maybeComma();
+  Buffer += std::to_string(Number);
+}
+
+void JsonWriter::value(bool Flag) {
+  maybeComma();
+  Buffer += Flag ? "true" : "false";
+}

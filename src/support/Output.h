@@ -1,0 +1,74 @@
+//===- support/Output.h - CSV and JSON result writers ----------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight CSV and JSON writers for machine-readable harness output.
+/// The Renaissance harness can emit results as CSV/JSON; so can ours.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_SUPPORT_OUTPUT_H
+#define REN_SUPPORT_OUTPUT_H
+
+#include <string>
+#include <vector>
+
+namespace ren {
+
+/// Incrementally builds CSV text with proper quoting.
+class CsvWriter {
+public:
+  /// Appends one row; cells containing commas/quotes/newlines are quoted.
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// Returns the document built so far.
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string Buffer;
+};
+
+/// A tiny streaming JSON writer (objects, arrays, scalars) with escaping.
+///
+/// Usage mirrors a SAX-style writer:
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("benchmark"); W.value("scrabble");
+///   W.key("times"); W.beginArray(); W.value(1.5); W.endArray();
+///   W.endObject();
+/// \endcode
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void key(const std::string &Name);
+  void value(const std::string &Text);
+  void value(const char *Text);
+  void value(double Number);
+  void value(uint64_t Number);
+  void value(int64_t Number);
+  void value(int Number) { value(static_cast<int64_t>(Number)); }
+  void value(bool Flag);
+
+  /// Returns the document built so far.
+  const std::string &str() const { return Buffer; }
+
+private:
+  void maybeComma();
+  void escapeInto(const std::string &Text);
+
+  std::string Buffer;
+  // Tracks whether a value has already been emitted at each nesting level.
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+} // namespace ren
+
+#endif // REN_SUPPORT_OUTPUT_H

@@ -1,0 +1,10 @@
+//===- support/Rng.cpp ----------------------------------------------------==//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace ren;
+
+double Xoshiro256StarStar::sqrtOf(double X) { return std::sqrt(X); }
+double Xoshiro256StarStar::logOf(double X) { return std::log(X); }

@@ -1,0 +1,142 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generators used by every workload.
+///
+/// The paper's benchmark-selection goals (Section 2.1) require *deterministic
+/// execution*: the control flow of a benchmark must not depend on entropy
+/// sources such as the current time. All data generators in this repository
+/// therefore draw from the explicitly seeded generators in this file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_SUPPORT_RNG_H
+#define REN_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ren {
+
+/// SplitMix64: a tiny, fast, high-quality 64-bit generator.
+///
+/// Primarily used to seed Xoshiro256StarStar and for cheap per-thread
+/// streams. Passes BigCrush when used as a standalone generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the default workload generator.
+///
+/// The JVM workloads in the paper mostly rely on java.util.Random; we use a
+/// stronger generator with the same "explicit constant seed" discipline.
+class Xoshiro256StarStar {
+public:
+  /// Creates a generator whose four state words are derived from \p Seed via
+  /// SplitMix64, as recommended by the xoshiro authors.
+  explicit Xoshiro256StarStar(uint64_t Seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    // Lemire-style rejection-free multiply-shift is overkill here; a simple
+    // rejection loop keeps the distribution exactly uniform.
+    uint64_t Threshold = (0ULL - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniformly distributed int in [Lo, Hi] inclusive.
+  int64_t nextInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + static_cast<int64_t>(
+                    nextBounded(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a standard-normal deviate (Marsaglia polar method).
+  double nextGaussian() {
+    if (HaveSpare) {
+      HaveSpare = false;
+      return Spare;
+    }
+    double U, V, S;
+    do {
+      U = 2.0 * nextDouble() - 1.0;
+      V = 2.0 * nextDouble() - 1.0;
+      S = U * U + V * V;
+    } while (S >= 1.0 || S == 0.0);
+    double Mul = sqrtOf(-2.0 * logOf(S) / S);
+    Spare = V * Mul;
+    HaveSpare = true;
+    return U * Mul;
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P = 0.5) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBounded(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+  // Indirections so the header does not pull in <cmath> for every user.
+  static double sqrtOf(double X);
+  static double logOf(double X);
+
+  uint64_t State[4];
+  bool HaveSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace ren
+
+#endif // REN_SUPPORT_RNG_H

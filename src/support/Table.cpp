@@ -1,0 +1,51 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ren;
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addSeparator() { Rows.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto renderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      // Left-align the first column (names), right-align numbers.
+      Line += I == 0 ? padRight(Row[I], Widths[I]) : padLeft(Row[I], Widths[I]);
+    }
+    return Line + "\n";
+  };
+
+  std::string Out = renderRow(Header);
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  Out += std::string(TotalWidth >= 2 ? TotalWidth - 2 : 0, '-') + "\n";
+  for (const auto &Row : Rows) {
+    if (Row.empty()) {
+      Out += std::string(TotalWidth >= 2 ? TotalWidth - 2 : 0, '-') + "\n";
+      continue;
+    }
+    Out += renderRow(Row);
+  }
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- support/Table.h - Console table rendering ----------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal console table used by the bench binaries to print the paper's
+/// tables (Table 3, Table 4, Tables 7-16, ...) in an aligned, readable form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_SUPPORT_TABLE_H
+#define REN_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ren {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> Headers)
+      : Header(std::move(Headers)) {}
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to a string (trailing newline included).
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows; // empty vector == separator
+};
+
+} // namespace ren
+
+#endif // REN_SUPPORT_TABLE_H

@@ -1,0 +1,148 @@
+//===- workloads/DataGen.cpp ----------------------------------------------==//
+
+#include "workloads/DataGen.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ren;
+using namespace ren::workloads;
+
+Dataset ren::workloads::makeClassificationDataset(size_t Rows, size_t Cols,
+                                                  uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed);
+  Dataset D;
+  D.Rows = Rows;
+  D.Cols = Cols;
+  D.Features.resize(Rows * Cols);
+  D.Labels.resize(Rows);
+  // Class centroids at +/- 0.7 on every axis with unit Gaussian noise.
+  for (size_t R = 0; R < Rows; ++R) {
+    int Label = Rng.nextBool() ? 1 : 0;
+    D.Labels[R] = Label;
+    double Center = Label == 1 ? 0.7 : -0.7;
+    for (size_t C = 0; C < Cols; ++C)
+      D.Features[R * Cols + C] = Center + Rng.nextGaussian();
+  }
+  return D;
+}
+
+std::vector<std::string> ren::workloads::makeDictionary(size_t Count,
+                                                        uint64_t Seed) {
+  Xoshiro256StarStar Rng(Seed);
+  // Letter frequencies roughly follow English so Scrabble scoring has a
+  // realistic distribution of rare letters.
+  static const char Letters[] = "eeeeeeeeeeeetttttttttaaaaaaaaoooooooiiiiiii"
+                                "nnnnnnnsssssshhhhhhrrrrrrddddllllcccuuummm"
+                                "wwfffggyyppbbvkjxqz";
+  const size_t NumLetters = sizeof(Letters) - 1;
+  std::vector<std::string> Words;
+  Words.reserve(Count);
+  while (Words.size() < Count) {
+    size_t Len = 2 + Rng.nextBounded(8); // 2..9 letters
+    std::string W;
+    W.reserve(Len);
+    for (size_t I = 0; I < Len; ++I)
+      W.push_back(Letters[Rng.nextBounded(NumLetters)]);
+    Words.push_back(std::move(W));
+  }
+  std::sort(Words.begin(), Words.end());
+  Words.erase(std::unique(Words.begin(), Words.end()), Words.end());
+  // Re-fill after dedup to hit the requested count deterministically.
+  while (Words.size() < Count) {
+    std::string W = Words[Rng.nextBounded(Words.size())];
+    W.push_back(Letters[Rng.nextBounded(NumLetters)]);
+    if (!std::binary_search(Words.begin(), Words.end(), W))
+      Words.insert(std::upper_bound(Words.begin(), Words.end(), W), W);
+  }
+  return Words;
+}
+
+std::vector<Rating> ren::workloads::makeRatings(uint32_t Users,
+                                                uint32_t Items, size_t Count,
+                                                uint64_t Seed) {
+  assert(Users > 0 && Items > 0 && "need nonempty universe");
+  Xoshiro256StarStar Rng(Seed);
+  std::vector<Rating> Ratings;
+  Ratings.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    uint32_t User = static_cast<uint32_t>(Rng.nextBounded(Users));
+    // Popularity skew: square the uniform draw so low item ids dominate.
+    double U = Rng.nextDouble();
+    uint32_t Item = static_cast<uint32_t>(U * U * Items);
+    if (Item >= Items)
+      Item = Items - 1;
+    float Score = static_cast<float>(1 + Rng.nextBounded(5));
+    Ratings.push_back(Rating{User, Item, Score});
+  }
+  return Ratings;
+}
+
+std::vector<Document> ren::workloads::makeDocuments(size_t Count,
+                                                    size_t WordsPerDoc,
+                                                    uint32_t VocabSize,
+                                                    unsigned NumClasses,
+                                                    uint64_t Seed) {
+  assert(NumClasses > 0 && VocabSize >= NumClasses && "bad vocabulary");
+  Xoshiro256StarStar Rng(Seed);
+  std::vector<Document> Docs;
+  Docs.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    Document D;
+    D.Label = static_cast<int>(Rng.nextBounded(NumClasses));
+    D.Words.reserve(WordsPerDoc);
+    // Each class prefers its own slice of the vocabulary 70% of the time.
+    uint32_t SliceSize = VocabSize / NumClasses;
+    uint32_t SliceBase = static_cast<uint32_t>(D.Label) * SliceSize;
+    for (size_t W = 0; W < WordsPerDoc; ++W) {
+      uint32_t Word =
+          Rng.nextBool(0.7)
+              ? SliceBase + static_cast<uint32_t>(Rng.nextBounded(SliceSize))
+              : static_cast<uint32_t>(Rng.nextBounded(VocabSize));
+      D.Words.push_back(Word);
+    }
+    Docs.push_back(std::move(D));
+  }
+  return Docs;
+}
+
+std::vector<std::vector<uint32_t>>
+ren::workloads::makeScaleFreeGraph(uint32_t Nodes, unsigned EdgesPerNode,
+                                   uint64_t Seed) {
+  assert(Nodes >= 2 && "graph needs at least two nodes");
+  Xoshiro256StarStar Rng(Seed);
+  std::vector<std::vector<uint32_t>> Adj(Nodes);
+  // Preferential attachment over a growing endpoint pool.
+  std::vector<uint32_t> Pool;
+  Pool.push_back(0);
+  for (uint32_t N = 1; N < Nodes; ++N) {
+    for (unsigned E = 0; E < EdgesPerNode; ++E) {
+      uint32_t Target = Pool[Rng.nextBounded(Pool.size())];
+      if (Target == N)
+        Target = (N + 1) % Nodes == N ? 0 : N - 1;
+      Adj[N].push_back(Target);
+      Pool.push_back(Target);
+    }
+    Pool.push_back(N);
+  }
+  return Adj;
+}
+
+std::vector<std::string> ren::workloads::makeTextLines(size_t Lines,
+                                                       size_t WordsPerLine,
+                                                       uint64_t Seed) {
+  std::vector<std::string> Dict = makeDictionary(512, Seed ^ 0xD1C7);
+  Xoshiro256StarStar Rng(Seed);
+  std::vector<std::string> Out;
+  Out.reserve(Lines);
+  for (size_t L = 0; L < Lines; ++L) {
+    std::string Line;
+    for (size_t W = 0; W < WordsPerLine; ++W) {
+      if (W != 0)
+        Line.push_back(' ');
+      Line += Dict[Rng.nextBounded(Dict.size())];
+    }
+    Out.push_back(std::move(Line));
+  }
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- workloads/DataGen.h - Deterministic synthetic datasets ---*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded synthetic data generators shared by the workloads: feature
+/// matrices for the ML benchmarks, a word dictionary for the Scrabble
+/// family, rating triples for the recommender benchmarks, documents for
+/// text workloads, and scale-free graphs for page-rank/neo4j.
+///
+/// Everything is generated from fixed seeds (paper §2.1, "Deterministic
+/// Execution"): no time-based entropy anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_WORKLOADS_DATAGEN_H
+#define REN_WORKLOADS_DATAGEN_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace workloads {
+
+/// A dense row-major feature matrix with per-row labels.
+struct Dataset {
+  size_t Rows = 0;
+  size_t Cols = 0;
+  std::vector<double> Features; ///< Rows x Cols, row-major.
+  std::vector<int> Labels;      ///< one label per row.
+
+  double at(size_t Row, size_t Col) const {
+    return Features[Row * Cols + Col];
+  }
+};
+
+/// Generates a two-class Gaussian-mixture dataset (labels correlate with
+/// features, so learners have something to find).
+Dataset makeClassificationDataset(size_t Rows, size_t Cols, uint64_t Seed);
+
+/// Generates a deterministic pseudo-English dictionary of \p Count distinct
+/// lowercase words with Scrabble-like length distribution.
+std::vector<std::string> makeDictionary(size_t Count, uint64_t Seed);
+
+/// A user-item-rating triple.
+struct Rating {
+  uint32_t User;
+  uint32_t Item;
+  float Score;
+};
+
+/// Generates ratings with popularity-skewed items (MovieLens-like shape).
+std::vector<Rating> makeRatings(uint32_t Users, uint32_t Items, size_t Count,
+                                uint64_t Seed);
+
+/// Generates \p Count documents, each a bag of word indices drawn from a
+/// class-dependent distribution over \p VocabSize words.
+struct Document {
+  int Label;
+  std::vector<uint32_t> Words;
+};
+std::vector<Document> makeDocuments(size_t Count, size_t WordsPerDoc,
+                                    uint32_t VocabSize, unsigned NumClasses,
+                                    uint64_t Seed);
+
+/// Generates a scale-free directed graph (preferential attachment) as
+/// adjacency lists.
+std::vector<std::vector<uint32_t>> makeScaleFreeGraph(uint32_t Nodes,
+                                                      unsigned EdgesPerNode,
+                                                      uint64_t Seed);
+
+/// Deterministic sentence-like text lines for the indexing workloads.
+std::vector<std::string> makeTextLines(size_t Lines, size_t WordsPerLine,
+                                       uint64_t Seed);
+
+} // namespace workloads
+} // namespace ren
+
+#endif // REN_WORKLOADS_DATAGEN_H

@@ -1,0 +1,46 @@
+//===- workloads/RegisterAll.cpp ------------------------------------------==//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+using namespace ren;
+using namespace ren::harness;
+
+void ren::workloads::registerRenaissanceSuite(Registry &R) {
+  R.add(makeAkkaUct);
+  R.add(makeAls);
+  R.add(makeChiSquare);
+  R.add(makeDbShootout);
+  R.add(makeDecTree);
+  R.add(makeDotty);
+  R.add(makeFinagleChirper);
+  R.add(makeFinagleHttp);
+  R.add(makeFjKmeans);
+  R.add(makeFutureGenetic);
+  R.add(makeLogRegression);
+  R.add(makeMovieLens);
+  R.add(makeNaiveBayes);
+  R.add(makeNeo4jAnalytics);
+  R.add(makePageRank);
+  R.add(makePhilosophers);
+  R.add(makeReactors);
+  R.add(makeRxScrabble);
+  R.add(makeScrabble);
+  R.add(makeStmBench7);
+  R.add(makeStreamsMnemonics);
+}
+
+void ren::workloads::registerAllBenchmarks(Registry &R) {
+  registerRenaissanceSuite(R);
+  registerDaCapoSuite(R);
+  registerScalaBenchSuite(R);
+  registerSpecJvmSuite(R);
+}
+
+bool ren::workloads::isExcludedFromPca(const std::string &Name) {
+  // Supplemental §B: tradebeans and actors time out under instrumentation;
+  // scimark.monte_carlo takes too long to profile.
+  return Name == "tradebeans" || Name == "actors" ||
+         Name == "scimark.monte_carlo";
+}

@@ -1,0 +1,46 @@
+//===- workloads/Workloads.h - Benchmark registration -----------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration entry points for every workload in the four suites.
+///
+/// Registration is explicit (not static-initializer based) so that linking
+/// the workloads as a static library cannot silently drop benchmarks: call
+/// \c registerAllBenchmarks() once at program start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_WORKLOADS_WORKLOADS_H
+#define REN_WORKLOADS_WORKLOADS_H
+
+#include "harness/Harness.h"
+
+namespace ren {
+namespace workloads {
+
+/// Registers the 21 Renaissance benchmarks (paper Table 1).
+void registerRenaissanceSuite(harness::Registry &R);
+
+/// Registers the DaCapo-analogue suite (14 benchmarks, Table 6).
+void registerDaCapoSuite(harness::Registry &R);
+
+/// Registers the ScalaBench-analogue suite (12 benchmarks, Table 6).
+void registerScalaBenchSuite(harness::Registry &R);
+
+/// Registers the SPECjvm2008-analogue suite (21 benchmarks, Table 6).
+void registerSpecJvmSuite(harness::Registry &R);
+
+/// Registers all four suites into \p R (idempotence is the caller's
+/// responsibility; call once).
+void registerAllBenchmarks(harness::Registry &R = harness::Registry::get());
+
+/// The benchmarks the paper excludes from PCA (supplemental §B).
+bool isExcludedFromPca(const std::string &Name);
+
+} // namespace workloads
+} // namespace ren
+
+#endif // REN_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,421 @@
+//===- workloads/classic/ScalaBenchWorkloads.cpp --------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// ScalaBench-analogue suite (Table 6): 12 workloads in the functional/
+// object-hybrid style the ScalaBench paper documents — very high
+// allocation rates (small immutable objects, closures), deep call chains,
+// pattern-matching-style dispatch, and little concurrency. factorie and
+// tmt are the paper's allocation-rate extremes (Table 7), actors is its
+// lone message-passing workload (excluded from PCA, still implemented).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "actors/ActorSystem.h"
+#include "memsim/MemSim.h"
+#include "runtime/Alloc.h"
+#include "support/Rng.h"
+#include "workloads/DataGen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+BenchmarkInfo scalaInfo(const std::string &Name,
+                        const std::string &Description,
+                        const std::string &Focus) {
+  return {Name, Suite::ScalaBench, Description, Focus, 2, 3};
+}
+
+/// An immutable cons list — the canonical Scala-style allocation engine.
+struct ConsCell {
+  long Head;
+  std::shared_ptr<ConsCell> Tail;
+};
+using ConsList = std::shared_ptr<ConsCell>;
+
+ConsList cons(long Head, ConsList Tail) {
+  runtime::noteObjectAlloc();
+  runtime::noteVirtualCall(); // List.::(...) dispatch
+  auto Cell = std::make_shared<ConsCell>();
+  Cell->Head = Head;
+  Cell->Tail = std::move(Tail);
+  return Cell;
+}
+
+/// Builds [0, N) as a cons list (freshly allocated).
+ConsList listOfRange(long N) {
+  ConsList L;
+  for (long I = N - 1; I >= 0; --I)
+    L = cons(I, L);
+  return L;
+}
+
+/// map over a cons list, allocating the result list (like Scala's List).
+template <typename FnT> ConsList mapList(const ConsList &L, FnT Fn) {
+  if (!L)
+    return nullptr;
+  return cons(Fn(L->Head), mapList(L->Tail, Fn));
+}
+
+long sumList(const ConsList &L) {
+  long Sum = 0;
+  for (const ConsCell *C = L.get(); C; C = C->Tail.get()) {
+    memsim::traceData(C, sizeof(*C)); // pointer-chasing list walk
+    Sum += C->Head;
+  }
+  return Sum;
+}
+
+/// A generic allocation-heavy functional workload: repeated build / map /
+/// filter-ish passes over immutable lists, parameterized per benchmark so
+/// the suite members differ in scale and mix.
+class FunctionalChurnBenchmark : public Benchmark {
+public:
+  FunctionalChurnBenchmark(std::string Name, std::string Description,
+                           long ListLength, unsigned Passes)
+      : Name(std::move(Name)), Description(std::move(Description)),
+        ListLength(ListLength), Passes(Passes) {}
+
+  BenchmarkInfo info() const override {
+    return scalaInfo(Name, Description, "functional allocation churn");
+  }
+
+  void runIteration() override {
+    long Acc = 0;
+    for (unsigned P = 0; P < Passes; ++P) {
+      ConsList L = listOfRange(ListLength);
+      ConsList Doubled = mapList(L, [](long X) { return 2 * X + 1; });
+      ConsList Squares = mapList(Doubled, [P](long X) {
+        return X * X % (1000003 + static_cast<long>(P));
+      });
+      Acc ^= sumList(Squares);
+    }
+    Result = static_cast<uint64_t>(Acc);
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  std::string Name;
+  std::string Description;
+  long ListLength;
+  unsigned Passes;
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// actors: Scala-actors message throughput (paper excludes it from PCA).
+//===----------------------------------------------------------------------===//
+
+class ScalaActorsBenchmark : public Benchmark {
+public:
+  BenchmarkInfo info() const override {
+    return scalaInfo("actors", "Scala-actors message throughput",
+                     "message passing");
+  }
+
+  void runIteration() override {
+    struct Counter : actors::Actor<int> {
+      explicit Counter(std::atomic<long> &Sum) : Sum(Sum) {}
+      void receive(int M) override { Sum.fetch_add(M); }
+      std::atomic<long> &Sum;
+    };
+    std::atomic<long> Sum{0};
+    {
+      actors::ActorSystem System(2);
+      auto Ref = System.spawn<Counter>(Sum);
+      for (int I = 0; I < 4000; ++I)
+        Ref.tell(1);
+      System.awaitQuiescence();
+    }
+    Result = static_cast<uint64_t>(Sum.load());
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// scalac / scaladoc / scalap: compiler-shaped passes — parse-ish
+// tokenization, symbol interning and tree rewriting over text corpora.
+//===----------------------------------------------------------------------===//
+
+class ScalacLikeBenchmark : public Benchmark {
+public:
+  ScalacLikeBenchmark(std::string Name, std::string Description,
+                      size_t CorpusLines, unsigned RewritePasses)
+      : Name(std::move(Name)), Description(std::move(Description)),
+        CorpusLines(CorpusLines), RewritePasses(RewritePasses) {}
+
+  BenchmarkInfo info() const override {
+    return scalaInfo(Name, Description, "compiler-shaped symbol tables");
+  }
+
+  void setUp() override {
+    Corpus = makeTextLines(CorpusLines, 16, 0x5CA1A);
+  }
+
+  void runIteration() override {
+    // Intern all symbols, then run rewrite passes remapping symbols.
+    std::unordered_map<std::string, uint32_t> Interned;
+    std::vector<std::vector<uint32_t>> Trees;
+    for (const std::string &Line : Corpus) {
+      std::vector<uint32_t> Tokens;
+      size_t Pos = 0;
+      while (Pos < Line.size()) {
+        size_t End = Line.find(' ', Pos);
+        if (End == std::string::npos)
+          End = Line.size();
+        std::string Sym = Line.substr(Pos, End - Pos);
+        auto [It, Inserted] =
+            Interned.emplace(Sym, static_cast<uint32_t>(Interned.size()));
+        Tokens.push_back(It->second);
+        runtime::noteObjectAlloc(); // tree node per token
+        runtime::noteVirtualCall(2); // parser + symbol-table dispatch
+        Pos = End + 1;
+      }
+      Trees.push_back(std::move(Tokens));
+    }
+    uint64_t Hash = 0;
+    for (unsigned Pass = 0; Pass < RewritePasses; ++Pass)
+      for (auto &Tree : Trees) {
+        memsim::traceBuffer(Tree.data(), Tree.size() * sizeof(uint32_t));
+        for (uint32_t &Tok : Tree) {
+          runtime::noteVirtualCall(); // transform dispatch
+          Tok = (Tok * 2654435761u + Pass) % Interned.size();
+          Hash = Hash * 31 + Tok;
+        }
+      }
+    Result = Interned.size() * 1000003 + Hash % 1000003;
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  std::string Name;
+  std::string Description;
+  size_t CorpusLines;
+  unsigned RewritePasses;
+  std::vector<std::string> Corpus;
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// kiama: attribute-grammar-style tree rewriting to a fixpoint.
+//===----------------------------------------------------------------------===//
+
+class KiamaBenchmark : public Benchmark {
+public:
+  BenchmarkInfo info() const override {
+    return scalaInfo("kiama", "rewriting arithmetic trees to normal form",
+                     "tree rewriting");
+  }
+
+  struct Node {
+    char Op; // '+', '*', or 'n' for leaf
+    long Value = 0;
+    std::unique_ptr<Node> Lhs, Rhs;
+  };
+
+  void runIteration() override {
+    Xoshiro256StarStar Rng(0x1A3A);
+    uint64_t Folded = 0;
+    for (int T = 0; T < 150; ++T) {
+      auto Tree = buildTree(Rng, 0);
+      // Rewrite to fixpoint: constant-fold leaves upward.
+      Folded += fold(*Tree);
+    }
+    Result = Folded;
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  std::unique_ptr<Node> buildTree(Xoshiro256StarStar &Rng, int Depth) {
+    auto N = runtime::newObject<Node>();
+    if (Depth >= 8 || Rng.nextBool(0.3)) {
+      N->Op = 'n';
+      N->Value = static_cast<long>(Rng.nextBounded(100));
+      return N;
+    }
+    N->Op = Rng.nextBool() ? '+' : '*';
+    N->Lhs = buildTree(Rng, Depth + 1);
+    N->Rhs = buildTree(Rng, Depth + 1);
+    return N;
+  }
+
+  static long fold(const Node &N) {
+    runtime::noteVirtualCall(); // strategy dispatch per node
+    memsim::traceData(&N, sizeof(N));
+    if (N.Op == 'n')
+      return N.Value;
+    long L = fold(*N.Lhs);
+    long R = fold(*N.Rhs);
+    return N.Op == '+' ? (L + R) % 1000003 : (L * R) % 1000003;
+  }
+
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// factorie / tmt: machine-learning workloads with extreme allocation rates
+// (topic-model-style sampling where every step allocates small objects).
+//===----------------------------------------------------------------------===//
+
+class TopicModelBenchmark : public Benchmark {
+public:
+  TopicModelBenchmark(std::string Name, size_t Docs, unsigned Sweeps)
+      : Name(std::move(Name)), Docs(Docs), Sweeps(Sweeps) {}
+
+  BenchmarkInfo info() const override {
+    return scalaInfo(Name, "Gibbs-style topic sampling",
+                     "extreme allocation rate");
+  }
+
+  void setUp() override {
+    Corpus = makeDocuments(Docs, 30, 512, 4, 0xFAC70);
+  }
+
+  void runIteration() override {
+    constexpr unsigned kTopics = 8;
+    Xoshiro256StarStar Rng(0x731);
+    // Topic assignment per token, re-sampled per sweep; each sampling step
+    // allocates a fresh distribution object (the factorie/tmt behaviour).
+    std::vector<std::vector<uint8_t>> Assignments;
+    for (const Document &D : Corpus)
+      Assignments.emplace_back(D.Words.size(), 0);
+    std::vector<double> TopicCounts(kTopics, 1.0);
+    uint64_t Moves = 0;
+    for (unsigned S = 0; S < Sweeps; ++S) {
+      for (size_t D = 0; D < Corpus.size(); ++D)
+        for (size_t W = 0; W < Corpus[D].Words.size(); ++W) {
+          // Allocate the proposal distribution object and its backing
+          // array (both counted, as on the JVM).
+          runtime::noteObjectAlloc();
+          runtime::noteVirtualCall(2); // factor/variable dispatch
+          auto Proposal = runtime::newArray<double>(kTopics);
+          double Total = 0;
+          for (unsigned T = 0; T < kTopics; ++T) {
+            Proposal[T] = TopicCounts[T] *
+                          (1.0 + ((Corpus[D].Words[W] + T) % 7));
+            Total += Proposal[T];
+          }
+          double Pick = Rng.nextDouble() * Total;
+          uint8_t NewTopic = 0;
+          for (unsigned T = 0; T < kTopics; ++T) {
+            Pick -= Proposal[T];
+            if (Pick <= 0) {
+              NewTopic = static_cast<uint8_t>(T);
+              break;
+            }
+          }
+          if (NewTopic != Assignments[D][W]) {
+            TopicCounts[Assignments[D][W]] =
+                std::max(1.0, TopicCounts[Assignments[D][W]] - 1.0);
+            TopicCounts[NewTopic] += 1.0;
+            Assignments[D][W] = NewTopic;
+            ++Moves;
+          }
+        }
+    }
+    Result = Moves;
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  std::string Name;
+  size_t Docs;
+  unsigned Sweeps;
+  std::vector<Document> Corpus;
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// scalatest / specs: test-framework-shaped workloads — build and run many
+// tiny assertion closures.
+//===----------------------------------------------------------------------===//
+
+class TestFrameworkBenchmark : public Benchmark {
+public:
+  TestFrameworkBenchmark(std::string Name, unsigned Suites,
+                         unsigned TestsPerSuite)
+      : Name(std::move(Name)), Suites(Suites),
+        TestsPerSuite(TestsPerSuite) {}
+
+  BenchmarkInfo info() const override {
+    return scalaInfo(Name, "assertion-closure execution",
+                     "closure-heavy test running");
+  }
+
+  void runIteration() override {
+    uint64_t Passed = 0;
+    for (unsigned S = 0; S < Suites; ++S) {
+      // Each suite registers closures, then runs them.
+      std::vector<std::function<bool()>> Tests;
+      for (unsigned T = 0; T < TestsPerSuite; ++T) {
+        runtime::noteObjectAlloc(); // the closure object
+        Tests.push_back([S, T] {
+          long X = static_cast<long>(S) * 31 + T;
+          return (X * X) % 7 == (X % 7) * (X % 7) % 7;
+        });
+      }
+      for (auto &Test : Tests) {
+        runtime::noteVirtualCall(3); // reporter/suite/test dispatch
+        Passed += Test() ? 1 : 0;
+      }
+    }
+    Result = Passed;
+  }
+
+  uint64_t checksum() const override { return Result; }
+
+private:
+  std::string Name;
+  unsigned Suites;
+  unsigned TestsPerSuite;
+  uint64_t Result = 0;
+};
+
+} // namespace
+
+void ren::workloads::registerScalaBenchSuite(harness::Registry &R) {
+  R.add([] { return std::make_unique<ScalaActorsBenchmark>(); });
+  R.add([] { return std::make_unique<FunctionalChurnBenchmark>(
+                 "apparat", "bytecode-manipulation-style list passes", 900,
+                 40); });
+  R.add([] { return std::make_unique<TopicModelBenchmark>("factorie", 260,
+                                                          4); });
+  R.add([] { return std::make_unique<KiamaBenchmark>(); });
+  R.add([] { return std::make_unique<ScalacLikeBenchmark>(
+                 "scalac", "compiles a synthetic corpus", 700, 8); });
+  R.add([] { return std::make_unique<ScalacLikeBenchmark>(
+                 "scaladoc", "documents a synthetic corpus", 550, 6); });
+  R.add([] { return std::make_unique<ScalacLikeBenchmark>(
+                 "scalap", "decompiles class signatures", 260, 4); });
+  R.add([] { return std::make_unique<FunctionalChurnBenchmark>(
+                 "scalariform", "pretty-printer-style list churn", 600,
+                 30); });
+  R.add([] { return std::make_unique<TestFrameworkBenchmark>("scalatest",
+                                                             120, 60); });
+  R.add([] { return std::make_unique<FunctionalChurnBenchmark>(
+                 "scalaxb", "schema-binding-style list churn", 800, 35); });
+  R.add([] { return std::make_unique<TestFrameworkBenchmark>("specs", 100,
+                                                             50); });
+  R.add([] { return std::make_unique<TopicModelBenchmark>("tmt", 380, 5); });
+}

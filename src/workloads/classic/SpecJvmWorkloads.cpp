@@ -1,0 +1,898 @@
+//===- workloads/classic/SpecJvmWorkloads.cpp -----------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// SPECjvm2008-analogue suite (Table 6): 21 computationally intensive
+// kernels. The paper characterizes these workloads as small, CPU-saturating
+// and light on object-oriented abstraction and concurrency (§8, Fig 1);
+// these analogues reproduce that metric profile with real kernels: FFT,
+// LU, SOR, sparse matmul, Monte Carlo, compression, ciphers, a tiny
+// expression compiler, serialization, a ray tracer and XML-ish transforms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "kvstore/KvStore.h"
+#include "runtime/Alloc.h"
+#include "memsim/MemSim.h"
+#include "netsim/NetSim.h"
+#include "support/Rng.h"
+#include "workloads/DataGen.h"
+
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+/// Base class for the scimark-style kernels: a single hot loop nest over
+/// preallocated arrays, CPU-bound, negligible allocation.
+class KernelBenchmark : public Benchmark {
+public:
+  KernelBenchmark(std::string Name, std::string Description)
+      : Name(std::move(Name)), Description(std::move(Description)) {}
+
+  BenchmarkInfo info() const override {
+    return {Name, Suite::SpecJvm2008, Description, "compute kernel", 2, 3};
+  }
+
+  uint64_t checksum() const override { return Checksum; }
+
+protected:
+  std::string Name;
+  std::string Description;
+  uint64_t Checksum = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// scimark.fft
+//===----------------------------------------------------------------------===//
+
+class FftBenchmark : public KernelBenchmark {
+public:
+  FftBenchmark(std::string Name, size_t N, unsigned Repeats)
+      : KernelBenchmark(std::move(Name), "radix-2 FFT kernel"), N(N),
+        Repeats(Repeats) {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0xFF7);
+    Data.assign(N, {});
+    for (auto &C : Data)
+      C = {Rng.nextDouble() - 0.5, Rng.nextDouble() - 0.5};
+  }
+
+  void runIteration() override {
+    std::vector<std::complex<double>> Work = Data;
+    for (unsigned R = 0; R < Repeats; ++R) {
+      fft(Work, false);
+      fft(Work, true);
+      // Expose the working set to the cache simulator and account the
+      // virtual calls the Java kernel makes per transform pass.
+      memsim::traceBuffer(Work.data(), Work.size() * sizeof(Work[0]));
+      runtime::noteVirtualCall(2 * N);
+    }
+    double Sum = 0;
+    for (auto &C : Work)
+      Sum += std::abs(C);
+    Checksum = static_cast<uint64_t>(Sum * 1e3);
+  }
+
+private:
+  static void fft(std::vector<std::complex<double>> &A, bool Invert) {
+    size_t N = A.size();
+    for (size_t I = 1, J = 0; I < N; ++I) {
+      size_t Bit = N >> 1;
+      for (; J & Bit; Bit >>= 1)
+        J ^= Bit;
+      J ^= Bit;
+      if (I < J)
+        std::swap(A[I], A[J]);
+    }
+    for (size_t Len = 2; Len <= N; Len <<= 1) {
+      double Angle = 2 * 3.14159265358979323846 / static_cast<double>(Len) *
+                     (Invert ? -1 : 1);
+      std::complex<double> WLen(std::cos(Angle), std::sin(Angle));
+      for (size_t I = 0; I < N; I += Len) {
+        std::complex<double> W(1);
+        for (size_t K = 0; K < Len / 2; ++K) {
+          std::complex<double> U = A[I + K];
+          std::complex<double> V = A[I + K + Len / 2] * W;
+          A[I + K] = U + V;
+          A[I + K + Len / 2] = U - V;
+          W *= WLen;
+        }
+      }
+    }
+    if (Invert)
+      for (auto &X : A)
+        X /= static_cast<double>(N);
+  }
+
+  size_t N;
+  unsigned Repeats;
+  std::vector<std::complex<double>> Data;
+};
+
+//===----------------------------------------------------------------------===//
+// scimark.lu
+//===----------------------------------------------------------------------===//
+
+class LuBenchmark : public KernelBenchmark {
+public:
+  LuBenchmark(std::string Name, size_t N, unsigned Repeats)
+      : KernelBenchmark(std::move(Name), "LU factorization kernel"), N(N),
+        Repeats(Repeats) {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0x10);
+    Matrix.assign(N * N, 0.0);
+    for (double &V : Matrix)
+      V = Rng.nextDouble() * 2.0 - 1.0;
+    for (size_t I = 0; I < N; ++I)
+      Matrix[I * N + I] += N; // diagonally dominant: no pivoting needed
+  }
+
+  void runIteration() override {
+    double Sum = 0;
+    for (unsigned R = 0; R < Repeats; ++R) {
+      std::vector<double> A = Matrix;
+      memsim::traceBuffer(A.data(), A.size() * sizeof(double));
+      runtime::noteVirtualCall(N);
+      for (size_t K = 0; K < N; ++K)
+        for (size_t I = K + 1; I < N; ++I) {
+          double F = A[I * N + K] / A[K * N + K];
+          for (size_t J = K; J < N; ++J)
+            A[I * N + J] -= F * A[K * N + J];
+        }
+      for (size_t I = 0; I < N; ++I)
+        Sum += A[I * N + I];
+    }
+    Checksum = static_cast<uint64_t>(std::fabs(Sum));
+  }
+
+private:
+  size_t N;
+  unsigned Repeats;
+  std::vector<double> Matrix;
+};
+
+//===----------------------------------------------------------------------===//
+// scimark.sor
+//===----------------------------------------------------------------------===//
+
+class SorBenchmark : public KernelBenchmark {
+public:
+  SorBenchmark(std::string Name, size_t N, unsigned Sweeps)
+      : KernelBenchmark(std::move(Name), "successive over-relaxation"),
+        N(N), Sweeps(Sweeps) {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0x50F);
+    Grid.assign(N * N, 0.0);
+    for (double &V : Grid)
+      V = Rng.nextDouble();
+  }
+
+  void runIteration() override {
+    std::vector<double> G = Grid;
+    constexpr double Omega = 1.25;
+    memsim::traceBuffer(G.data(), G.size() * sizeof(double));
+    runtime::noteVirtualCall(Sweeps * N);
+    for (unsigned S = 0; S < Sweeps; ++S)
+      for (size_t I = 1; I < N - 1; ++I)
+        for (size_t J = 1; J < N - 1; ++J)
+          G[I * N + J] =
+              Omega * 0.25 *
+                  (G[(I - 1) * N + J] + G[(I + 1) * N + J] +
+                   G[I * N + J - 1] + G[I * N + J + 1]) +
+              (1.0 - Omega) * G[I * N + J];
+    double Sum = 0;
+    for (double V : G)
+      Sum += V;
+    Checksum = static_cast<uint64_t>(Sum * 1e3);
+  }
+
+private:
+  size_t N;
+  unsigned Sweeps;
+  std::vector<double> Grid;
+};
+
+//===----------------------------------------------------------------------===//
+// scimark.sparse
+//===----------------------------------------------------------------------===//
+
+class SparseBenchmark : public KernelBenchmark {
+public:
+  SparseBenchmark(std::string Name, size_t N, size_t Nnz, unsigned Repeats)
+      : KernelBenchmark(std::move(Name), "sparse mat-vec multiply"), N(N),
+        Nnz(Nnz), Repeats(Repeats) {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0x5BA);
+    Values.assign(Nnz, 0.0);
+    Columns.assign(Nnz, 0);
+    RowStart.assign(N + 1, 0);
+    size_t PerRow = Nnz / N;
+    size_t Pos = 0;
+    for (size_t R = 0; R < N; ++R) {
+      RowStart[R] = Pos;
+      for (size_t E = 0; E < PerRow && Pos < Nnz; ++E, ++Pos) {
+        Values[Pos] = Rng.nextDouble();
+        Columns[Pos] = Rng.nextBounded(N);
+      }
+    }
+    RowStart[N] = Pos;
+    X.assign(N, 1.0);
+  }
+
+  void runIteration() override {
+    std::vector<double> Y(N, 0.0);
+    memsim::traceBuffer(Values.data(), Values.size() * sizeof(double));
+    memsim::traceBuffer(X.data(), X.size() * sizeof(double));
+    runtime::noteVirtualCall(Repeats * N);
+    for (unsigned Rep = 0; Rep < Repeats; ++Rep)
+      for (size_t R = 0; R < N; ++R) {
+        double Sum = 0;
+        for (size_t E = RowStart[R]; E < RowStart[R + 1]; ++E)
+          Sum += Values[E] * X[Columns[E]];
+        Y[R] = Sum;
+      }
+    double Total = 0;
+    for (double V : Y)
+      Total += V;
+    Checksum = static_cast<uint64_t>(Total * 1e3);
+  }
+
+private:
+  size_t N, Nnz;
+  unsigned Repeats;
+  std::vector<double> Values, X;
+  std::vector<size_t> Columns, RowStart;
+};
+
+//===----------------------------------------------------------------------===//
+// scimark.monte_carlo
+//===----------------------------------------------------------------------===//
+
+class MonteCarloBenchmark : public KernelBenchmark {
+public:
+  MonteCarloBenchmark()
+      : KernelBenchmark("scimark.monte_carlo", "pi by rejection sampling") {}
+
+  void runIteration() override {
+    Xoshiro256StarStar Rng(0x3C);
+    constexpr size_t Samples = 3000000;
+    size_t Inside = 0;
+    for (size_t I = 0; I < Samples; ++I) {
+      double X = Rng.nextDouble();
+      double Y = Rng.nextDouble();
+      Inside += X * X + Y * Y <= 1.0 ? 1 : 0;
+    }
+    Checksum = static_cast<uint64_t>(4.0e6 * Inside / Samples);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// compress: run-length + move-to-front + order-0 entropy coding pass.
+//===----------------------------------------------------------------------===//
+
+class CompressBenchmark : public KernelBenchmark {
+public:
+  CompressBenchmark()
+      : KernelBenchmark("compress", "LZ-style window compressor") {}
+
+  void setUp() override {
+    auto Lines = makeTextLines(3000, 12, 0xC0);
+    for (const std::string &L : Lines) {
+      Input.insert(Input.end(), L.begin(), L.end());
+      Input.push_back('\n');
+    }
+  }
+
+  void runIteration() override {
+    // LZ77-style greedy window compression.
+    std::vector<uint8_t> Out;
+    Out.reserve(Input.size() / 2);
+    runtime::noteArrayAlloc();
+    memsim::traceBuffer(Input.data(), Input.size());
+    runtime::noteVirtualCall(Input.size() / 16);
+    constexpr size_t WindowBytes = 4096;
+    size_t Pos = 0;
+    while (Pos < Input.size()) {
+      size_t BestLen = 0, BestOffset = 0;
+      size_t WindowBegin = Pos > WindowBytes ? Pos - WindowBytes : 0;
+      for (size_t Cand = WindowBegin; Cand < Pos; ++Cand) {
+        size_t Len = 0;
+        while (Pos + Len < Input.size() && Len < 255 &&
+               Input[Cand + Len] == Input[Pos + Len])
+          ++Len;
+        if (Len > BestLen) {
+          BestLen = Len;
+          BestOffset = Pos - Cand;
+        }
+        // Greedy cutoff to bound the O(window * len) scan.
+        if (BestLen >= 32)
+          break;
+      }
+      if (BestLen >= 4) {
+        Out.push_back(0xFF);
+        Out.push_back(static_cast<uint8_t>(BestOffset & 0xFF));
+        Out.push_back(static_cast<uint8_t>(BestOffset >> 8));
+        Out.push_back(static_cast<uint8_t>(BestLen));
+        Pos += BestLen;
+      } else {
+        Out.push_back(Input[Pos]);
+        ++Pos;
+      }
+    }
+    Checksum = Out.size();
+  }
+
+private:
+  std::vector<uint8_t> Input;
+};
+
+//===----------------------------------------------------------------------===//
+// crypto.*: XTEA block cipher, RSA-style modular exponentiation, and a
+// sign/verify loop combining a rolling hash with modexp.
+//===----------------------------------------------------------------------===//
+
+uint64_t modmul(uint64_t A, uint64_t B, uint64_t Mod) {
+  return static_cast<uint64_t>(
+      static_cast<unsigned __int128>(A) * B % Mod);
+}
+
+uint64_t modpow(uint64_t Base, uint64_t Exp, uint64_t Mod) {
+  uint64_t Result = 1 % Mod;
+  Base %= Mod;
+  while (Exp) {
+    if (Exp & 1)
+      Result = modmul(Result, Base, Mod);
+    Base = modmul(Base, Base, Mod);
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+class CryptoAesBenchmark : public KernelBenchmark {
+public:
+  CryptoAesBenchmark()
+      : KernelBenchmark("crypto.aes", "XTEA block encryption loop") {}
+
+  void setUp() override {
+    auto Lines = makeTextLines(2000, 10, 0xAE5);
+    for (const std::string &L : Lines)
+      for (char C : L)
+        Data.push_back(static_cast<uint8_t>(C));
+    Data.resize(Data.size() & ~size_t(7)); // whole 8-byte blocks
+  }
+
+  void runIteration() override {
+    const uint32_t Key[4] = {0x01234567, 0x89ABCDEF, 0xFEDCBA98,
+                             0x76543210};
+    uint64_t Sum = 0;
+    memsim::traceBuffer(Data.data(), Data.size());
+    runtime::noteVirtualCall(Data.size() / 8);
+    for (size_t B = 0; B + 8 <= Data.size(); B += 8) {
+      uint32_t V0, V1;
+      std::memcpy(&V0, &Data[B], 4);
+      std::memcpy(&V1, &Data[B + 4], 4);
+      uint32_t S = 0;
+      for (int Round = 0; Round < 32; ++Round) {
+        V0 += (((V1 << 4) ^ (V1 >> 5)) + V1) ^ (S + Key[S & 3]);
+        S += 0x9E3779B9;
+        V1 += (((V0 << 4) ^ (V0 >> 5)) + V0) ^ (S + Key[(S >> 11) & 3]);
+      }
+      Sum += V0 ^ V1;
+    }
+    Checksum = Sum;
+  }
+
+private:
+  std::vector<uint8_t> Data;
+};
+
+class CryptoRsaBenchmark : public KernelBenchmark {
+public:
+  CryptoRsaBenchmark()
+      : KernelBenchmark("crypto.rsa", "modular exponentiation loop") {}
+
+  void runIteration() override {
+    constexpr uint64_t Mod = 0xFFFFFFFFFFFFFFC5ULL; // large prime
+    constexpr uint64_t E = 65537;
+    uint64_t Sum = 0;
+    for (uint64_t M = 1; M <= 1500; ++M)
+      Sum ^= modpow(M * 0x9E3779B97F4A7C15ULL % Mod, E, Mod);
+    Checksum = Sum;
+  }
+};
+
+class CryptoSignVerifyBenchmark : public KernelBenchmark {
+public:
+  CryptoSignVerifyBenchmark()
+      : KernelBenchmark("crypto.signverify", "hash + modexp sign/verify") {}
+
+  void setUp() override { Lines = makeTextLines(600, 10, 0x516); }
+
+  void runIteration() override {
+    constexpr uint64_t Mod = 0xFFFFFFFFFFFFFFC5ULL;
+    constexpr uint64_t D = 0x10001;
+    uint64_t Ok = 0;
+    for (const std::string &L : Lines) {
+      uint64_t H = 1469598103934665603ULL;
+      for (char C : L)
+        H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ULL;
+      uint64_t Sig = modpow(H % Mod, D, Mod);
+      Ok += modpow(Sig, D, Mod) != 0 ? 1 : 0;
+    }
+    Checksum = Ok;
+  }
+
+private:
+  std::vector<std::string> Lines;
+};
+
+//===----------------------------------------------------------------------===//
+// compiler.compiler / compiler.sunflow: compile synthetic expression
+// sources with a small shunting-yard compiler to a stack machine, then
+// execute the bytecode (the "compiler compiles itself/sunflow" shape).
+//===----------------------------------------------------------------------===//
+
+class MiniCompilerBenchmark : public KernelBenchmark {
+public:
+  MiniCompilerBenchmark(std::string Name, uint64_t Seed, size_t Exprs)
+      : KernelBenchmark(std::move(Name),
+                        "expression compiler + stack machine"),
+        Seed(Seed), Exprs(Exprs) {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(Seed);
+    Sources.clear();
+    for (size_t I = 0; I < Exprs; ++I) {
+      std::string E = std::to_string(Rng.nextBounded(100));
+      size_t Terms = 4 + Rng.nextBounded(24);
+      for (size_t T = 0; T < Terms; ++T) {
+        const char *Ops[] = {"+", "-", "*"};
+        E += Ops[Rng.nextBounded(3)];
+        E += std::to_string(1 + Rng.nextBounded(99));
+      }
+      Sources.push_back(std::move(E));
+    }
+  }
+
+  void runIteration() override {
+    uint64_t Sum = 0;
+    for (const std::string &Src : Sources) {
+      memsim::traceBuffer(Src.data(), Src.size());
+      runtime::noteObjectAlloc(2); // code + constant pool objects
+      runtime::noteVirtualCall(Src.size() / 4);
+      Sum += static_cast<uint64_t>(compileAndRun(Src));
+    }
+    Checksum = Sum;
+  }
+
+private:
+  enum Op : uint8_t { OpPush, OpAdd, OpSub, OpMul };
+
+  static long compileAndRun(const std::string &Src) {
+    // Compile: shunting-yard to postfix bytecode.
+    std::vector<uint8_t> Code;
+    std::vector<long> Consts;
+    std::vector<char> OpStack;
+    auto precedence = [](char C) { return C == '*' ? 2 : 1; };
+    size_t Pos = 0;
+    while (Pos < Src.size()) {
+      if (std::isdigit(Src[Pos])) {
+        long V = 0;
+        while (Pos < Src.size() && std::isdigit(Src[Pos]))
+          V = V * 10 + (Src[Pos++] - '0');
+        Code.push_back(OpPush);
+        Code.push_back(static_cast<uint8_t>(Consts.size()));
+        Consts.push_back(V);
+        continue;
+      }
+      char C = Src[Pos++];
+      while (!OpStack.empty() &&
+             precedence(OpStack.back()) >= precedence(C)) {
+        Code.push_back(opFor(OpStack.back()));
+        OpStack.pop_back();
+      }
+      OpStack.push_back(C);
+    }
+    while (!OpStack.empty()) {
+      Code.push_back(opFor(OpStack.back()));
+      OpStack.pop_back();
+    }
+    // Execute on the stack machine.
+    std::vector<long> Stack;
+    for (size_t I = 0; I < Code.size(); ++I) {
+      switch (Code[I]) {
+      case OpPush:
+        Stack.push_back(Consts[Code[++I]]);
+        break;
+      case OpAdd: {
+        long B = Stack.back();
+        Stack.pop_back();
+        Stack.back() += B;
+        break;
+      }
+      case OpSub: {
+        long B = Stack.back();
+        Stack.pop_back();
+        Stack.back() -= B;
+        break;
+      }
+      case OpMul: {
+        long B = Stack.back();
+        Stack.pop_back();
+        Stack.back() *= B;
+        break;
+      }
+      }
+    }
+    return Stack.empty() ? 0 : Stack.back();
+  }
+
+  static uint8_t opFor(char C) {
+    return C == '+' ? OpAdd : C == '-' ? OpSub : OpMul;
+  }
+
+  uint64_t Seed;
+  size_t Exprs;
+  std::vector<std::string> Sources;
+};
+
+//===----------------------------------------------------------------------===//
+// derby: a transactional order-processing mix over the kv tables (the one
+// SPEC workload with heavy synchronization, matching Table 7).
+//===----------------------------------------------------------------------===//
+
+class DerbyBenchmark : public Benchmark {
+  static constexpr unsigned kThreads = 4;
+  static constexpr unsigned kOpsPerThread = 1500;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"derby", Suite::SpecJvm2008,
+            "Transactional order processing over the kv store",
+            "database, synchronization", 2, 3};
+  }
+
+  void runIteration() override;
+
+  uint64_t checksum() const override { return Committed; }
+
+private:
+  uint64_t Committed = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// mpegaudio: a filter-bank-style signal-processing loop.
+//===----------------------------------------------------------------------===//
+
+class MpegAudioBenchmark : public KernelBenchmark {
+public:
+  MpegAudioBenchmark()
+      : KernelBenchmark("mpegaudio", "polyphase filter-bank loop") {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0x3A6);
+    Samples.assign(1 << 16, 0.0);
+    for (double &S : Samples)
+      S = Rng.nextDouble() * 2.0 - 1.0;
+    for (int I = 0; I < 64; ++I)
+      Window[I] = std::sin((I + 0.5) * 3.14159265358979 / 64.0);
+  }
+
+  void runIteration() override {
+    double Energy = 0;
+    memsim::traceBuffer(Samples.data(), Samples.size() * sizeof(double));
+    runtime::noteVirtualCall(Samples.size() / 32);
+    for (size_t Frame = 0; Frame + 64 <= Samples.size(); Frame += 32) {
+      double Bands[32] = {};
+      for (int B = 0; B < 32; ++B)
+        for (int K = 0; K < 64; ++K)
+          Bands[B] += Samples[Frame + (K % 64)] * Window[K] *
+                      std::cos((2 * B + 1) * (K - 16) * 3.14159265358979 /
+                               64.0);
+      for (double Band : Bands)
+        Energy += Band * Band;
+    }
+    Checksum = static_cast<uint64_t>(Energy);
+  }
+
+private:
+  std::vector<double> Samples;
+  double Window[64] = {};
+};
+
+//===----------------------------------------------------------------------===//
+// serial: serialize/deserialize record trees through the byte codec.
+//===----------------------------------------------------------------------===//
+
+class SerialBenchmark : public KernelBenchmark {
+public:
+  SerialBenchmark()
+      : KernelBenchmark("serial", "record serialization round trips") {}
+
+  void setUp() override { Lines = makeTextLines(1500, 8, 0x5E1A); }
+
+  void runIteration() override;
+
+private:
+  std::vector<std::string> Lines;
+};
+
+//===----------------------------------------------------------------------===//
+// sunflow (and the core of compiler.sunflow's payload): a tiny sphere
+// ray tracer.
+//===----------------------------------------------------------------------===//
+
+struct Vec3 {
+  double X = 0, Y = 0, Z = 0;
+  Vec3 operator+(const Vec3 &O) const { return {X + O.X, Y + O.Y, Z + O.Z}; }
+  Vec3 operator-(const Vec3 &O) const { return {X - O.X, Y - O.Y, Z - O.Z}; }
+  Vec3 operator*(double S) const { return {X * S, Y * S, Z * S}; }
+  double dot(const Vec3 &O) const { return X * O.X + Y * O.Y + Z * O.Z; }
+};
+
+class SunflowBenchmark : public KernelBenchmark {
+  static constexpr int kWidth = 96;
+  static constexpr int kHeight = 96;
+
+public:
+  explicit SunflowBenchmark(std::string Name)
+      : KernelBenchmark(std::move(Name), "sphere ray tracer") {}
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0x5F);
+    for (int I = 0; I < 24; ++I) {
+      Spheres.push_back({{Rng.nextDouble() * 8 - 4, Rng.nextDouble() * 8 - 4,
+                          4 + Rng.nextDouble() * 8},
+                         0.3 + Rng.nextDouble()});
+    }
+  }
+
+  void runIteration() override {
+    uint64_t Image = 0;
+    runtime::noteVirtualCall(static_cast<uint64_t>(kWidth) * kHeight);
+    for (int Y = 0; Y < kHeight; ++Y)
+      for (int X = 0; X < kWidth; ++X) {
+        Vec3 Dir = {(X - kWidth / 2) / static_cast<double>(kWidth),
+                    (Y - kHeight / 2) / static_cast<double>(kHeight), 1.0};
+        double Norm = std::sqrt(Dir.dot(Dir));
+        Dir = Dir * (1.0 / Norm);
+        Image = Image * 31 + tracePixel({{0, 0, 0}}, Dir, 0);
+      }
+    Checksum = Image;
+  }
+
+private:
+  struct Sphere {
+    Vec3 Center;
+    double Radius;
+  };
+  struct Ray {
+    Vec3 Origin;
+  };
+
+  unsigned tracePixel(Ray R, Vec3 Dir, int Depth) const {
+    double Nearest = 1e300;
+    const Sphere *Hit = nullptr;
+    for (const Sphere &S : Spheres) {
+      Vec3 Oc = S.Center - R.Origin;
+      double B = Oc.dot(Dir);
+      double Det = B * B - Oc.dot(Oc) + S.Radius * S.Radius;
+      if (Det < 0)
+        continue;
+      double T = B - std::sqrt(Det);
+      if (T > 1e-6 && T < Nearest) {
+        Nearest = T;
+        Hit = &S;
+      }
+    }
+    if (!Hit)
+      return 16; // sky
+    // One diffuse bounce toward the fixed light.
+    Vec3 Point = R.Origin + Dir * Nearest;
+    Vec3 Normal = (Point - Hit->Center) * (1.0 / Hit->Radius);
+    Vec3 Light = {0.5, -1.0, -0.3};
+    double Shade = std::max(0.0, -Normal.dot(Light));
+    unsigned Color = static_cast<unsigned>(Shade * 200) + 16;
+    if (Depth < 1) {
+      Vec3 Reflect = Dir - Normal * (2.0 * Dir.dot(Normal));
+      Color = (Color + tracePixel({Point}, Reflect, Depth + 1)) / 2;
+    }
+    return Color;
+  }
+
+  std::vector<Sphere> Spheres;
+};
+
+//===----------------------------------------------------------------------===//
+// xml.transform / xml.validation: parse an XML-ish document into a tree,
+// transform it (rename + reorder) or validate it against a depth/format
+// schema.
+//===----------------------------------------------------------------------===//
+
+class XmlBenchmark : public KernelBenchmark {
+public:
+  XmlBenchmark(std::string Name, bool Validate)
+      : KernelBenchmark(std::move(Name), Validate ? "XML-ish validation"
+                                                  : "XML-ish transform"),
+        Validate(Validate) {}
+
+  void setUp() override {
+    // Build a nested document deterministically.
+    Xoshiro256StarStar Rng(0x3317);
+    Doc = buildElement(Rng, 0);
+  }
+
+  void runIteration() override {
+    uint64_t Acc = 0;
+    memsim::traceBuffer(Doc.data(), Doc.size());
+    runtime::noteVirtualCall(40 * (Doc.size() / 16));
+    runtime::noteObjectAlloc(Doc.size() / 64); // element nodes
+    for (int Rep = 0; Rep < 40; ++Rep) {
+      size_t Pos = 0;
+      Acc += Validate ? validate(Doc, Pos, 0)
+                      : transform(Doc, Pos).size();
+    }
+    Checksum = Acc;
+  }
+
+private:
+  static std::string buildElement(Xoshiro256StarStar &Rng, int Depth) {
+    static const char *Tags[] = {"record", "item", "name", "value", "list"};
+    std::string Tag = Tags[Rng.nextBounded(5)];
+    std::string Out = "<" + Tag + ">";
+    if (Depth >= 5 || Rng.nextBool(0.3)) {
+      Out += "text" + std::to_string(Rng.nextBounded(1000));
+    } else {
+      unsigned Children = 1 + Rng.nextBounded(4);
+      for (unsigned C = 0; C < Children; ++C)
+        Out += buildElement(Rng, Depth + 1);
+    }
+    Out += "</" + Tag + ">";
+    return Out;
+  }
+
+  /// Streaming validation: balanced tags, depth limit, text format.
+  static uint64_t validate(const std::string &Doc, size_t &Pos, int Depth) {
+    uint64_t Nodes = 0;
+    while (Pos < Doc.size()) {
+      if (Doc[Pos] != '<') { // text content
+        while (Pos < Doc.size() && Doc[Pos] != '<')
+          ++Pos;
+        continue;
+      }
+      if (Doc[Pos + 1] == '/') { // closing tag
+        while (Pos < Doc.size() && Doc[Pos] != '>')
+          ++Pos;
+        ++Pos;
+        return Nodes;
+      }
+      size_t End = Doc.find('>', Pos);
+      ++Nodes;
+      Pos = End + 1;
+      Nodes += validate(Doc, Pos, Depth + 1);
+    }
+    return Nodes;
+  }
+
+  /// Transform: uppercase tag names, preserving structure.
+  static std::string transform(const std::string &Doc, size_t &Pos) {
+    std::string Out;
+    Out.reserve(Doc.size());
+    bool InTag = false;
+    for (char C : Doc) {
+      if (C == '<')
+        InTag = true;
+      if (C == '>')
+        InTag = false;
+      Out.push_back(InTag && C >= 'a' && C <= 'z'
+                        ? static_cast<char>(C - 'a' + 'A')
+                        : C);
+    }
+    Pos = Doc.size();
+    return Out;
+  }
+
+  bool Validate;
+  std::string Doc;
+};
+
+void DerbyBenchmark::runIteration() {
+  kvstore::Database Db;
+  // Seed accounts.
+  for (uint64_t K = 0; K < 400; ++K)
+    Db.table("orders").put(K, "0");
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Workers.emplace_back([&, T] {
+      Xoshiro256StarStar Rng(0xDE4B + T);
+      volatile uint64_t Work = 0;
+      for (unsigned Op = 0; Op < kOpsPerThread; ++Op) {
+        uint64_t A = Rng.nextBounded(400);
+        uint64_t B = Rng.nextBounded(400);
+        auto R = Db.transact({
+            {kvstore::Database::Op::Kind::Get, "orders", A, ""},
+            {kvstore::Database::Op::Kind::Put, "orders", B,
+             std::to_string(Op)},
+        });
+        // Query planning + row formatting between transactions.
+        uint64_t H = R.Reads[0] ? R.Reads[0]->size() : 1;
+        for (int W = 0; W < 500; ++W)
+          Work = Work + H * W;
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  Committed = Db.commits();
+}
+
+void SerialBenchmark::runIteration() {
+  uint64_t Bytes = 0;
+  runtime::noteVirtualCall(Lines.size() * 3); // writeObject/readObject
+  runtime::noteObjectAlloc(Lines.size());     // deserialized records
+  for (const std::string &L : Lines) {
+    memsim::traceBuffer(L.data(), L.size());
+    netsim::ByteBuffer Out;
+    Out.writeU32(static_cast<uint32_t>(L.size()));
+    Out.writeString(L);
+    Out.writeU64(0xFEEDULL);
+    netsim::ByteBuffer In(Out.takeBytes());
+    uint32_t Len = In.readU32();
+    std::string Round = In.readString();
+    uint64_t Tag = In.readU64();
+    Bytes += Len + Round.size() + (Tag == 0xFEEDULL ? 1 : 0);
+  }
+  Checksum = Bytes;
+}
+
+} // namespace
+
+void ren::workloads::registerSpecJvmSuite(harness::Registry &R) {
+  R.add([] { return std::make_unique<MiniCompilerBenchmark>(
+                 "compiler.compiler", 0xCC, 400); });
+  R.add([] { return std::make_unique<MiniCompilerBenchmark>(
+                 "compiler.sunflow", 0xC5, 500); });
+  R.add([] { return std::make_unique<CompressBenchmark>(); });
+  R.add([] { return std::make_unique<CryptoAesBenchmark>(); });
+  R.add([] { return std::make_unique<CryptoRsaBenchmark>(); });
+  R.add([] { return std::make_unique<CryptoSignVerifyBenchmark>(); });
+  R.add([] { return std::make_unique<DerbyBenchmark>(); });
+  R.add([] { return std::make_unique<MpegAudioBenchmark>(); });
+  R.add([] { return std::make_unique<FftBenchmark>("scimark.fft.large",
+                                                   1 << 14, 2); });
+  R.add([] { return std::make_unique<FftBenchmark>("scimark.fft.small",
+                                                   1 << 10, 24); });
+  R.add([] { return std::make_unique<LuBenchmark>("scimark.lu.large", 160,
+                                                  1); });
+  R.add([] { return std::make_unique<LuBenchmark>("scimark.lu.small", 64,
+                                                  12); });
+  R.add([] { return std::make_unique<MonteCarloBenchmark>(); });
+  R.add([] { return std::make_unique<SorBenchmark>("scimark.sor.large", 192,
+                                                   4); });
+  R.add([] { return std::make_unique<SorBenchmark>("scimark.sor.small", 64,
+                                                   32); });
+  R.add([] { return std::make_unique<SparseBenchmark>(
+                 "scimark.sparse.large", 8192, 65536, 4); });
+  R.add([] { return std::make_unique<SparseBenchmark>(
+                 "scimark.sparse.small", 1024, 8192, 32); });
+  R.add([] { return std::make_unique<SerialBenchmark>(); });
+  R.add([] { return std::make_unique<SunflowBenchmark>("sunflow"); });
+  R.add([] { return std::make_unique<XmlBenchmark>("xml.transform",
+                                                   false); });
+  R.add([] { return std::make_unique<XmlBenchmark>("xml.validation",
+                                                   true); });
+}

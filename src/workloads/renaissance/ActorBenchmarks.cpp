@@ -1,0 +1,268 @@
+//===- workloads/renaissance/ActorBenchmarks.cpp --------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// The message-passing benchmarks of Table 1: akka-uct (Unbalanced Cobwebbed
+// Tree over the actor framework) and reactors (a set of message-passing
+// workloads with critical sections, after the Reactors/Savina benchmarks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+#include "actors/ActorSystem.h"
+#include "runtime/Monitor.h"
+#include "support/Rng.h"
+
+#include <atomic>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// akka-uct: Unbalanced Cobwebbed Tree.
+//
+// Each node actor receives an Expand message, performs a deterministic
+// amount of "search" work that depends on its position (the imbalance),
+// spawns its children and reports its subtree size to its parent. The
+// geometry follows the UCT benchmark: node fanout and depth vary wildly
+// across the tree, stressing the actor scheduler's load balancing.
+//===----------------------------------------------------------------------===//
+
+struct UctMsg {
+  enum class Kind { Expand, Report };
+  Kind MsgKind;
+  uint64_t Value;    // Expand: node id; Report: subtree size
+  uint64_t Budget;   // Expand: remaining node budget for this subtree
+  unsigned Depth;
+};
+
+class UctNodeActor;
+
+struct UctShared {
+  actors::ActorSystem *System = nullptr;
+  std::atomic<uint64_t> NodesExpanded{0};
+  std::atomic<uint64_t> WorkDone{0};
+};
+
+class UctNodeActor : public actors::Actor<UctMsg> {
+public:
+  UctNodeActor(UctShared &Shared, actors::ActorRef<UctMsg> Parent)
+      : Shared(Shared), Parent(Parent) {}
+
+  void receive(UctMsg M) override {
+    if (M.MsgKind == UctMsg::Kind::Report) {
+      SubtreeSize += M.Value;
+      if (--PendingChildren == 0)
+        finish();
+      return;
+    }
+
+    Shared.NodesExpanded.fetch_add(1);
+    SubtreeSize = 1;
+
+    // Imbalanced busy work: nodes whose id hashes low do much more work.
+    SplitMix64 Mix(M.Value);
+    uint64_t H = Mix.next();
+    unsigned WorkUnits = 60 + static_cast<unsigned>(H % 997);
+    if (H % 16 == 0)
+      WorkUnits *= 12; // the "cobweb" hot spots
+    volatile uint64_t Acc = 0;
+    for (unsigned I = 0; I < WorkUnits * 12; ++I)
+      Acc = Acc + I * H;
+    Shared.WorkDone.fetch_add(WorkUnits);
+
+    // Imbalanced fanout: 0..4 children, biased by the hash, bounded by the
+    // node budget so the tree size is fixed per run. Shallow nodes always
+    // branch so the cobweb actually grows.
+    unsigned Fanout = static_cast<unsigned>((H >> 32) % 5);
+    if (M.Depth < 2)
+      Fanout = 2 + static_cast<unsigned>((H >> 32) % 3);
+    if (M.Depth >= 9)
+      Fanout = 0;
+    uint64_t Budget = M.Budget;
+    if (Budget == 0 || Fanout == 0) {
+      finish();
+      return;
+    }
+    Fanout = static_cast<unsigned>(
+        std::min<uint64_t>(Fanout, Budget));
+    PendingChildren = static_cast<int>(Fanout);
+    uint64_t PerChild = (Budget - Fanout) / Fanout;
+    uint64_t Extra = (Budget - Fanout) % Fanout;
+    for (unsigned C = 0; C < Fanout; ++C) {
+      auto Child = Shared.System->spawn<UctNodeActor>(Shared, self());
+      uint64_t ChildBudget = PerChild + (C == 0 ? Extra : 0);
+      Child.tell(UctMsg{UctMsg::Kind::Expand, Mix.next(), ChildBudget,
+                        M.Depth + 1});
+    }
+  }
+
+private:
+  void finish() {
+    if (Parent.valid())
+      Parent.tell(UctMsg{UctMsg::Kind::Report, SubtreeSize, 0, 0});
+    else
+      Shared.NodesExpanded.fetch_add(0); // root: nothing to report
+  }
+
+  UctShared &Shared;
+  actors::ActorRef<UctMsg> Parent;
+  uint64_t SubtreeSize = 0;
+  int PendingChildren = 0;
+};
+
+class AkkaUctBenchmark : public Benchmark {
+  static constexpr uint64_t kNodeBudget = 1500;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"akka-uct", Suite::Renaissance,
+            "Unbalanced Cobwebbed Tree computation over actors",
+            "actors, message-passing", 2, 3};
+  }
+
+  void runIteration() override {
+    actors::ActorSystem System(4);
+    UctShared Shared;
+    Shared.System = &System;
+    auto Root = System.spawn<UctNodeActor>(Shared,
+                                           actors::ActorRef<UctMsg>());
+    Root.tell(UctMsg{UctMsg::Kind::Expand, 0x5EED, kNodeBudget, 0});
+    System.awaitQuiescence();
+    Expanded = Shared.NodesExpanded.load();
+  }
+
+  uint64_t checksum() const override { return Expanded; }
+
+private:
+  uint64_t Expanded = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// reactors: ping-pong, ring and fan-in counting workloads with critical
+// sections (the paper's reactors benchmark mixes message passing with
+// guarded critical sections).
+//===----------------------------------------------------------------------===//
+
+struct ReactorMsg {
+  int Round;
+};
+
+class ReactorsBenchmark : public Benchmark {
+  static constexpr int kPingPongRounds = 3000;
+  static constexpr int kRingActors = 32;
+  static constexpr int kRingLaps = 60;
+  static constexpr int kFanInSenders = 8;
+  static constexpr int kFanInMessages = 500;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"reactors", Suite::Renaissance,
+            "Message-passing ping-pong/ring/fan-in workloads",
+            "actors, message-passing, critical sections", 2, 3};
+  }
+
+  void runIteration() override {
+    Total = 0;
+    runPingPong();
+    runRing();
+    runFanIn();
+  }
+
+  uint64_t checksum() const override { return Total; }
+
+private:
+  void runPingPong() {
+    struct PongActor : actors::Actor<ReactorMsg> {
+      explicit PongActor(actors::ActorRef<ReactorMsg> *PingSlot)
+          : PingSlot(PingSlot) {}
+      void receive(ReactorMsg M) override {
+        if (M.Round > 0)
+          PingSlot->tell(ReactorMsg{M.Round - 1});
+      }
+      actors::ActorRef<ReactorMsg> *PingSlot;
+    };
+    struct PingActor : actors::Actor<ReactorMsg> {
+      PingActor(std::atomic<long> &Count, actors::ActorRef<ReactorMsg> *Pong)
+          : Count(Count), Pong(Pong) {}
+      void receive(ReactorMsg M) override {
+        Count.fetch_add(1);
+        Pong->tell(M);
+      }
+      std::atomic<long> &Count;
+      actors::ActorRef<ReactorMsg> *Pong;
+    };
+    actors::ActorSystem System(2);
+    std::atomic<long> Count{0};
+    actors::ActorRef<ReactorMsg> PingRef, PongRef;
+    PongRef = System.spawn<PongActor>(&PingRef);
+    PingRef = System.spawn<PingActor>(Count, &PongRef);
+    PingRef.tell(ReactorMsg{kPingPongRounds});
+    System.awaitQuiescence();
+    Total += static_cast<uint64_t>(Count.load());
+  }
+
+  void runRing() {
+    struct RingActor : actors::Actor<ReactorMsg> {
+      RingActor(std::vector<actors::ActorRef<ReactorMsg>> &Ring, int Index)
+          : Ring(Ring), Index(Index) {}
+      void receive(ReactorMsg M) override {
+        if (M.Round > 0)
+          Ring[(Index + 1) % Ring.size()].tell(ReactorMsg{M.Round - 1});
+      }
+      std::vector<actors::ActorRef<ReactorMsg>> &Ring;
+      int Index;
+    };
+    actors::ActorSystem System(2);
+    std::vector<actors::ActorRef<ReactorMsg>> Ring(kRingActors);
+    for (int I = 0; I < kRingActors; ++I)
+      Ring[I] = System.spawn<RingActor>(Ring, I);
+    Ring[0].tell(ReactorMsg{kRingActors * kRingLaps});
+    System.awaitQuiescence();
+    Total += static_cast<uint64_t>(kRingActors) * kRingLaps;
+  }
+
+  void runFanIn() {
+    // Many senders, one counting actor updating shared state under a
+    // critical section (the "critical sections" part of the focus).
+    struct CounterActor : actors::Actor<ReactorMsg> {
+      CounterActor(runtime::Monitor &Lock, long &Shared)
+          : Lock(Lock), Shared(Shared) {}
+      void receive(ReactorMsg M) override {
+        runtime::Synchronized Sync(Lock);
+        Shared += M.Round;
+      }
+      runtime::Monitor &Lock;
+      long &Shared;
+    };
+    actors::ActorSystem System(4);
+    runtime::Monitor Lock;
+    long Shared = 0;
+    auto Counter = System.spawn<CounterActor>(Lock, Shared);
+    std::vector<std::thread> Senders;
+    for (int S = 0; S < kFanInSenders; ++S)
+      Senders.emplace_back([&] {
+        for (int I = 0; I < kFanInMessages; ++I)
+          Counter.tell(ReactorMsg{1});
+      });
+    for (auto &S : Senders)
+      S.join();
+    System.awaitQuiescence();
+    Total += static_cast<uint64_t>(Shared);
+  }
+
+  uint64_t Total = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> ren::workloads::makeAkkaUct() {
+  return std::make_unique<AkkaUctBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makeReactors() {
+  return std::make_unique<ReactorsBenchmark>();
+}

@@ -1,0 +1,241 @@
+//===- workloads/renaissance/DataBenchmarks.cpp ---------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// Query-processing and graph benchmarks of Table 1: db-shootout (parallel
+// in-memory database shootout), neo4j-analytics (analytical queries and
+// transactions over the property graph) and page-rank (data-parallel rank
+// iteration with atomic accumulation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+#include "forkjoin/ForkJoinPool.h"
+#include "kvstore/KvStore.h"
+#include "memsim/MemSim.h"
+#include "runtime/Atomic.h"
+#include "workloads/DataGen.h"
+
+#include <cmath>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// db-shootout
+//===----------------------------------------------------------------------===//
+
+class DbShootoutBenchmark : public Benchmark {
+  static constexpr unsigned kThreads = 4;
+  static constexpr uint64_t kKeys = 20000;
+  static constexpr unsigned kOpsPerThread = 6000;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"db-shootout", Suite::Renaissance,
+            "Parallel shootout over the in-memory key-value store",
+            "query processing, data structures", 2, 3};
+  }
+
+  void setUp() override {
+    Store = std::make_unique<kvstore::Table>(64);
+    for (uint64_t K = 0; K < kKeys; ++K)
+      Store->put(K, "v" + std::to_string(K));
+  }
+
+  void runIteration() override {
+    forkjoin::ForkJoinPool Pool(kThreads);
+    runtime::Atomic<uint64_t> Hits{0};
+    Pool.parallelFor(0, kThreads, 1, [&](size_t Lo, size_t Hi) {
+      for (size_t T = Lo; T < Hi; ++T) {
+        Xoshiro256StarStar Rng(0xD8 + T);
+        uint64_t LocalHits = 0;
+        for (unsigned Op = 0; Op < kOpsPerThread; ++Op) {
+          double Dice = Rng.nextDouble();
+          uint64_t Key = Rng.nextBounded(kKeys);
+          if (Dice < 0.70) {
+            LocalHits += Store->get(Key).has_value() ? 1 : 0;
+          } else if (Dice < 0.95) {
+            Store->put(Key, "u" + std::to_string(Op));
+          } else {
+            Store->remove(Key);
+            Store->put(Key, "r" + std::to_string(Op));
+          }
+        }
+        Hits.getAndAdd(LocalHits);
+      }
+    });
+    TotalHits = Hits.load();
+    FinalSize = Store->size();
+  }
+
+  void tearDown() override { Store.reset(); }
+
+  uint64_t checksum() const override { return FinalSize; }
+
+private:
+  std::unique_ptr<kvstore::Table> Store;
+  uint64_t TotalHits = 0;
+  uint64_t FinalSize = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// neo4j-analytics
+//===----------------------------------------------------------------------===//
+
+class Neo4jAnalyticsBenchmark : public Benchmark {
+  static constexpr uint32_t kNodes = 3000;
+  static constexpr unsigned kEdgesPerNode = 4;
+  static constexpr unsigned kThreads = 4;
+  static constexpr unsigned kQueriesPerThread = 120;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"neo4j-analytics", Suite::Renaissance,
+            "Analytical queries and transactions on the property graph",
+            "query processing, transactions", 2, 3};
+  }
+
+  void setUp() override {
+    Db = std::make_unique<kvstore::Graph>(64);
+    auto Adj = makeScaleFreeGraph(kNodes, kEdgesPerNode, 0x4E04);
+    for (uint32_t N = 0; N < kNodes; ++N) {
+      uint64_t Id = Db->addNode(N % 5 == 0 ? "Celebrity" : "Person");
+      Db->setProperty(Id, "score", 0);
+    }
+    for (uint32_t N = 0; N < kNodes; ++N)
+      for (uint32_t To : Adj[N])
+        Db->addEdge(N, To);
+  }
+
+  void runIteration() override {
+    std::vector<std::thread> Workers;
+    runtime::Atomic<uint64_t> QuerySum{0};
+    for (unsigned T = 0; T < kThreads; ++T)
+      Workers.emplace_back([&, T] {
+        Xoshiro256StarStar Rng(0x4E + T);
+        uint64_t Local = 0;
+        for (unsigned Q = 0; Q < kQueriesPerThread; ++Q) {
+          double Dice = Rng.nextDouble();
+          uint64_t Node = Rng.nextBounded(kNodes);
+          if (Dice < 0.4) {
+            // Analytical: bounded reachability.
+            Local += Db->reachableWithin(Node, 2);
+          } else if (Dice < 0.6) {
+            // Analytical: shortest path between two random nodes.
+            auto Path = Db->shortestPath(Node, Rng.nextBounded(kNodes));
+            Local += Path ? *Path : 0;
+          } else {
+            // Transactional: bump the score of a node's neighbourhood.
+            for (uint64_t Peer : Db->neighbours(Node)) {
+              auto Score = Db->getProperty(Peer, "score");
+              Db->setProperty(Peer, "score", (Score ? *Score : 0) + 1);
+            }
+          }
+        }
+        QuerySum.getAndAdd(Local);
+      });
+    for (auto &W : Workers)
+      W.join();
+    Result = QuerySum.load();
+  }
+
+  void tearDown() override { Db.reset(); }
+
+  uint64_t checksum() const override { return Db ? Db->nodeCount() : kNodes; }
+
+private:
+  std::unique_ptr<kvstore::Graph> Db;
+  uint64_t Result = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// page-rank
+//===----------------------------------------------------------------------===//
+
+class PageRankBenchmark : public Benchmark {
+  static constexpr uint32_t kNodes = 8000;
+  static constexpr unsigned kEdgesPerNode = 6;
+  static constexpr unsigned kIterations = 6;
+  static constexpr double kDamping = 0.85;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"page-rank", Suite::Renaissance,
+            "PageRank with atomic rank accumulation",
+            "data-parallel, atomics", 2, 3};
+  }
+
+  void setUp() override {
+    Pool = std::make_unique<forkjoin::ForkJoinPool>(4);
+    Adj = makeScaleFreeGraph(kNodes, kEdgesPerNode, 0x9A6E);
+    // Flatten to CSR for the traced arrays.
+    Offsets.resize(kNodes + 1);
+    size_t Total = 0;
+    for (uint32_t N = 0; N < kNodes; ++N) {
+      Offsets.raw(N) = Total;
+      Total += Adj[N].size();
+    }
+    Offsets.raw(kNodes) = Total;
+    Edges.resize(Total);
+    size_t Pos = 0;
+    for (uint32_t N = 0; N < kNodes; ++N)
+      for (uint32_t To : Adj[N])
+        Edges.raw(Pos++) = To;
+  }
+
+  void runIteration() override {
+    std::vector<double> Ranks(kNodes, 1.0 / kNodes);
+    for (unsigned It = 0; It < kIterations; ++It) {
+      // Fixed-point accumulation through counted atomics: the "atomics"
+      // focus of the benchmark (Table 1).
+      std::vector<runtime::Atomic<long>> Incoming(kNodes);
+      Pool->parallelFor(0, kNodes, 256, [&](size_t Lo, size_t Hi) {
+        for (size_t N = Lo; N < Hi; ++N) {
+          size_t Begin = Offsets.read(N);
+          size_t End = Offsets.read(N + 1);
+          size_t Degree = End - Begin;
+          if (Degree == 0)
+            continue;
+          long Share = static_cast<long>(Ranks[N] / Degree * 1e12);
+          for (size_t E = Begin; E < End; ++E)
+            Incoming[Edges.read(E)].getAndAdd(Share);
+        }
+      });
+      for (uint32_t N = 0; N < kNodes; ++N)
+        Ranks[N] = (1.0 - kDamping) / kNodes +
+                   kDamping * static_cast<double>(Incoming[N].load()) / 1e12;
+    }
+    double Sum = 0;
+    for (double R : Ranks)
+      Sum += R;
+    RankSum = static_cast<uint64_t>(Sum * 1e9);
+  }
+
+  void tearDown() override { Pool.reset(); }
+
+  uint64_t checksum() const override { return RankSum; }
+
+private:
+  std::unique_ptr<forkjoin::ForkJoinPool> Pool;
+  std::vector<std::vector<uint32_t>> Adj;
+  memsim::TracedArray<size_t> Offsets;
+  memsim::TracedArray<uint32_t> Edges;
+  uint64_t RankSum = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> ren::workloads::makeDbShootout() {
+  return std::make_unique<DbShootoutBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makeNeo4jAnalytics() {
+  return std::make_unique<Neo4jAnalyticsBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makePageRank() {
+  return std::make_unique<PageRankBenchmark>();
+}

@@ -1,0 +1,420 @@
+//===- workloads/renaissance/DottyBenchmark.cpp ---------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// dotty: "Compiles a Scala codebase using the Dotty compiler" — focus
+// "data structures, synchronization" (Table 1). The Dotty compiler itself
+// is substituted by a small from-scratch compiler frontend for an
+// expression language: lexer, recursive-descent parser, AST, and a type
+// checker resolving names through a *shared, monitor-synchronized symbol
+// table* while multiple worker threads compile different source files — the
+// data-structure- and synchronization-heavy shape the paper documents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+#include "runtime/Alloc.h"
+#include "runtime/Monitor.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cctype>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A tiny language:  fn name(params) = expr ;  with integer/double types.
+//===----------------------------------------------------------------------===//
+
+enum class TokKind {
+  Identifier,
+  Number,
+  KwFn,
+  LParen,
+  RParen,
+  Comma,
+  Equals,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Semicolon,
+  End
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Source(Source) {}
+
+  Token next() {
+    while (Pos < Source.size() && std::isspace(Source[Pos]))
+      ++Pos;
+    if (Pos >= Source.size())
+      return {TokKind::End, ""};
+    char C = Source[Pos];
+    if (std::isalpha(C)) {
+      size_t Begin = Pos;
+      while (Pos < Source.size() && std::isalnum(Source[Pos]))
+        ++Pos;
+      std::string Text = Source.substr(Begin, Pos - Begin);
+      return {Text == "fn" ? TokKind::KwFn : TokKind::Identifier, Text};
+    }
+    if (std::isdigit(C)) {
+      size_t Begin = Pos;
+      while (Pos < Source.size() &&
+             (std::isdigit(Source[Pos]) || Source[Pos] == '.'))
+        ++Pos;
+      return {TokKind::Number, Source.substr(Begin, Pos - Begin)};
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      return {TokKind::LParen, "("};
+    case ')':
+      return {TokKind::RParen, ")"};
+    case ',':
+      return {TokKind::Comma, ","};
+    case '=':
+      return {TokKind::Equals, "="};
+    case '+':
+      return {TokKind::Plus, "+"};
+    case '-':
+      return {TokKind::Minus, "-"};
+    case '*':
+      return {TokKind::Star, "*"};
+    case '/':
+      return {TokKind::Slash, "/"};
+    case ';':
+      return {TokKind::Semicolon, ";"};
+    default:
+      return {TokKind::End, ""};
+    }
+  }
+
+private:
+  const std::string &Source;
+  size_t Pos = 0;
+};
+
+/// AST nodes (counted allocations: compilers are object-churn-heavy).
+/// Discriminated with an explicit kind tag, LLVM-style, instead of RTTI.
+enum class ExprKind { Number, Var, Call, Binary };
+
+struct Expr {
+  explicit Expr(ExprKind K) : Kind(K) {}
+  virtual ~Expr() = default;
+  const ExprKind Kind;
+};
+
+struct NumberExpr : Expr {
+  double Value;
+  explicit NumberExpr(double V) : Expr(ExprKind::Number), Value(V) {}
+};
+
+struct VarExpr : Expr {
+  std::string Name;
+  explicit VarExpr(std::string N)
+      : Expr(ExprKind::Var), Name(std::move(N)) {}
+};
+
+struct CallExpr : Expr {
+  CallExpr() : Expr(ExprKind::Call) {}
+  std::string Callee;
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(ExprKind::Binary) {}
+  char Op = '+';
+  std::unique_ptr<Expr> Lhs, Rhs;
+};
+
+struct FunctionDef {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<Expr> Body;
+};
+
+/// The shared symbol table: function arities resolved across files, every
+/// access under one global monitor (the "synchronization" focus).
+class SymbolTable {
+public:
+  void define(const std::string &Name, unsigned Arity) {
+    runtime::Synchronized Sync(Lock);
+    Arities[Name] = Arity;
+  }
+
+  int lookup(const std::string &Name) {
+    runtime::Synchronized Sync(Lock);
+    auto It = Arities.find(Name);
+    return It == Arities.end() ? -1 : static_cast<int>(It->second);
+  }
+
+private:
+  runtime::Monitor Lock;
+  std::unordered_map<std::string, unsigned> Arities;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Source) : Lex(Source) { advance(); }
+
+  std::vector<FunctionDef> parseFile() {
+    std::vector<FunctionDef> Defs;
+    while (Current.Kind == TokKind::KwFn)
+      Defs.push_back(parseFunction());
+    return Defs;
+  }
+
+private:
+  void advance() { Current = Lex.next(); }
+
+  bool expect(TokKind K) {
+    if (Current.Kind != K)
+      return false;
+    advance();
+    return true;
+  }
+
+  FunctionDef parseFunction() {
+    FunctionDef Def;
+    expect(TokKind::KwFn);
+    Def.Name = Current.Text;
+    expect(TokKind::Identifier);
+    expect(TokKind::LParen);
+    while (Current.Kind == TokKind::Identifier) {
+      Def.Params.push_back(Current.Text);
+      advance();
+      if (!expect(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::RParen);
+    expect(TokKind::Equals);
+    Def.Body = parseExpr();
+    expect(TokKind::Semicolon);
+    return Def;
+  }
+
+  std::unique_ptr<Expr> parseExpr() {
+    auto Lhs = parseTerm();
+    while (Current.Kind == TokKind::Plus ||
+           Current.Kind == TokKind::Minus) {
+      char Op = Current.Text[0];
+      advance();
+      auto Node = runtime::newObject<BinaryExpr>();
+      Node->Op = Op;
+      Node->Lhs = std::move(Lhs);
+      Node->Rhs = parseTerm();
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Expr> parseTerm() {
+    auto Lhs = parsePrimary();
+    while (Current.Kind == TokKind::Star ||
+           Current.Kind == TokKind::Slash) {
+      char Op = Current.Text[0];
+      advance();
+      auto Node = runtime::newObject<BinaryExpr>();
+      Node->Op = Op;
+      Node->Lhs = std::move(Lhs);
+      Node->Rhs = parsePrimary();
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  std::unique_ptr<Expr> parsePrimary() {
+    if (Current.Kind == TokKind::Number) {
+      double V = std::stod(Current.Text);
+      advance();
+      return runtime::newObject<NumberExpr>(V);
+    }
+    if (Current.Kind == TokKind::Identifier) {
+      std::string Name = Current.Text;
+      advance();
+      if (Current.Kind != TokKind::LParen)
+        return runtime::newObject<VarExpr>(std::move(Name));
+      advance();
+      auto Call = runtime::newObject<CallExpr>();
+      Call->Callee = std::move(Name);
+      while (Current.Kind != TokKind::RParen &&
+             Current.Kind != TokKind::End) {
+        Call->Args.push_back(parseExpr());
+        if (!expect(TokKind::Comma))
+          break;
+      }
+      expect(TokKind::RParen);
+      return Call;
+    }
+    if (Current.Kind == TokKind::LParen) {
+      advance();
+      auto Inner = parseExpr();
+      expect(TokKind::RParen);
+      return Inner;
+    }
+    advance();
+    return runtime::newObject<NumberExpr>(0.0);
+  }
+
+  Lexer Lex;
+  Token Current;
+};
+
+/// Name/arity checking against the shared symbol table.
+class TypeChecker {
+public:
+  TypeChecker(SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  unsigned checkFunction(const FunctionDef &Def) {
+    Params = &Def.Params;
+    Errors = 0;
+    checkExpr(*Def.Body);
+    return Errors;
+  }
+
+private:
+  void checkExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Number:
+      return;
+    case ExprKind::Call: {
+      const auto &Call = static_cast<const CallExpr &>(E);
+      int Arity = Symbols.lookup(Call.Callee);
+      if (Arity < 0 || static_cast<size_t>(Arity) != Call.Args.size())
+        ++Errors;
+      for (const auto &Arg : Call.Args)
+        checkExpr(*Arg);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto &Bin = static_cast<const BinaryExpr &>(E);
+      checkExpr(*Bin.Lhs);
+      checkExpr(*Bin.Rhs);
+      return;
+    }
+    case ExprKind::Var: {
+      const auto &Var = static_cast<const VarExpr &>(E);
+      bool Known = false;
+      for (const std::string &P : *Params)
+        Known |= P == Var.Name;
+      if (!Known && Symbols.lookup(Var.Name) < 0)
+        ++Errors;
+      return;
+    }
+    }
+  }
+
+  SymbolTable &Symbols;
+  const std::vector<std::string> *Params = nullptr;
+  unsigned Errors = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// The benchmark: generate a corpus of source files, compile with threads.
+//===----------------------------------------------------------------------===//
+
+class DottyBenchmark : public Benchmark {
+  static constexpr unsigned kFiles = 24;
+  static constexpr unsigned kFunctionsPerFile = 40;
+  static constexpr unsigned kThreads = 4;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"dotty", Suite::Renaissance,
+            "Compiles a synthetic codebase with the mini frontend",
+            "data structures, synchronization", 2, 3};
+  }
+
+  void setUp() override {
+    Xoshiro256StarStar Rng(0xD077);
+    Corpus.clear();
+    for (unsigned F = 0; F < kFiles; ++F) {
+      std::string Source;
+      for (unsigned Fn = 0; Fn < kFunctionsPerFile; ++Fn) {
+        unsigned Id = F * kFunctionsPerFile + Fn;
+        Source += "fn f" + std::to_string(Id) + "(a, b) = a * " +
+                  std::to_string(Rng.nextBounded(100)) + " + b";
+        if (Id > 0)
+          Source += " + f" + std::to_string(Rng.nextBounded(Id)) + "(a, b)";
+        Source += ";\n";
+      }
+      Corpus.push_back(std::move(Source));
+    }
+  }
+
+  void runIteration() override {
+    SymbolTable Symbols;
+    std::vector<std::vector<FunctionDef>> Parsed(Corpus.size());
+
+    // Pass 1: parse all files and publish function signatures.
+    runCompilePass([&](size_t File) {
+      Parser P(Corpus[File]);
+      Parsed[File] = P.parseFile();
+      for (const FunctionDef &Def : Parsed[File])
+        Symbols.define(Def.Name,
+                       static_cast<unsigned>(Def.Params.size()));
+    });
+
+    // Pass 2: type-check every function against the shared table.
+    std::atomic<unsigned> TotalErrors{0};
+    runCompilePass([&](size_t File) {
+      TypeChecker Checker(Symbols);
+      unsigned Errors = 0;
+      for (const FunctionDef &Def : Parsed[File])
+        Errors += Checker.checkFunction(Def);
+      TotalErrors.fetch_add(Errors);
+    });
+    ErrorCount = TotalErrors.load();
+    FunctionCount = 0;
+    for (const auto &File : Parsed)
+      FunctionCount += File.size();
+  }
+
+  uint64_t checksum() const override {
+    return FunctionCount * 1000 + ErrorCount;
+  }
+
+private:
+  template <typename FnT> void runCompilePass(FnT PerFile) {
+    std::atomic<size_t> NextFile{0};
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < kThreads; ++T)
+      Workers.emplace_back([&] {
+        for (;;) {
+          size_t File = NextFile.fetch_add(1);
+          if (File >= Corpus.size())
+            return;
+          PerFile(File);
+        }
+      });
+    for (auto &W : Workers)
+      W.join();
+  }
+
+  std::vector<std::string> Corpus;
+  uint64_t FunctionCount = 0;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> ren::workloads::makeDotty() {
+  return std::make_unique<DottyBenchmark>();
+}

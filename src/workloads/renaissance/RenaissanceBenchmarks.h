@@ -1,0 +1,48 @@
+//===- workloads/renaissance/RenaissanceBenchmarks.h ------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory declarations for the 21 Renaissance benchmarks (paper Table 1).
+/// Internal to the workloads library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_WORKLOADS_RENAISSANCE_RENAISSANCEBENCHMARKS_H
+#define REN_WORKLOADS_RENAISSANCE_RENAISSANCEBENCHMARKS_H
+
+#include "harness/Harness.h"
+
+#include <memory>
+
+namespace ren {
+namespace workloads {
+
+std::unique_ptr<harness::Benchmark> makeAkkaUct();
+std::unique_ptr<harness::Benchmark> makeAls();
+std::unique_ptr<harness::Benchmark> makeChiSquare();
+std::unique_ptr<harness::Benchmark> makeDbShootout();
+std::unique_ptr<harness::Benchmark> makeDecTree();
+std::unique_ptr<harness::Benchmark> makeDotty();
+std::unique_ptr<harness::Benchmark> makeFinagleChirper();
+std::unique_ptr<harness::Benchmark> makeFinagleHttp();
+std::unique_ptr<harness::Benchmark> makeFjKmeans();
+std::unique_ptr<harness::Benchmark> makeFutureGenetic();
+std::unique_ptr<harness::Benchmark> makeLogRegression();
+std::unique_ptr<harness::Benchmark> makeMovieLens();
+std::unique_ptr<harness::Benchmark> makeNaiveBayes();
+std::unique_ptr<harness::Benchmark> makeNeo4jAnalytics();
+std::unique_ptr<harness::Benchmark> makePageRank();
+std::unique_ptr<harness::Benchmark> makePhilosophers();
+std::unique_ptr<harness::Benchmark> makeReactors();
+std::unique_ptr<harness::Benchmark> makeRxScrabble();
+std::unique_ptr<harness::Benchmark> makeScrabble();
+std::unique_ptr<harness::Benchmark> makeStmBench7();
+std::unique_ptr<harness::Benchmark> makeStreamsMnemonics();
+
+} // namespace workloads
+} // namespace ren
+
+#endif // REN_WORKLOADS_RENAISSANCE_RENAISSANCEBENCHMARKS_H

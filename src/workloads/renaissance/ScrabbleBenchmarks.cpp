@@ -1,0 +1,263 @@
+//===- workloads/renaissance/ScrabbleBenchmarks.cpp -----------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// The lambda-heavy streaming benchmarks of Table 1: scrabble (J. Paumard's
+// "Shakespeare plays Scrabble" over parallel streams), rx-scrabble (the
+// same puzzle over the Rx framework) and streams-mnemonics (Odersky's
+// phone-mnemonics over streams).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+#include "forkjoin/ForkJoinPool.h"
+#include "rx/Observable.h"
+#include "streams/Stream.h"
+#include "workloads/DataGen.h"
+
+#include <array>
+#include <string>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+/// Scrabble letter scores (English edition).
+int letterScore(char C) {
+  static const int Scores[26] = {1, 3, 3, 2,  1, 4, 2, 4, 1, 8, 5, 1, 3,
+                                 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10};
+  return Scores[C - 'a'];
+}
+
+/// Letter histogram of a word.
+std::array<int, 26> histogramOf(const std::string &Word) {
+  std::array<int, 26> H = {};
+  for (char C : Word)
+    ++H[C - 'a'];
+  return H;
+}
+
+/// True if \p Word can be built from the available letter histogram.
+bool playable(const std::array<int, 26> &Word,
+              const std::array<int, 26> &Available) {
+  for (int I = 0; I < 26; ++I)
+    if (Word[I] > Available[I])
+      return false;
+  return true;
+}
+
+int wordScore(const std::string &Word) {
+  int S = 0;
+  for (char C : Word)
+    S += letterScore(C);
+  return S;
+}
+
+/// The available letters shared by the scrabble benchmarks: the letters of
+/// a fixed "rack" replicated so mid-size dictionary words are playable.
+std::array<int, 26> availableLetters() {
+  std::array<int, 26> H = {};
+  const std::string Rack = "etaoinshrdlucmfwypvbgkjqxz"
+                           "etaoinshrdlu"
+                           "etaoinshr";
+  for (char C : Rack)
+    ++H[C - 'a'];
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// scrabble (Java 8 Streams flavour)
+//===----------------------------------------------------------------------===//
+
+class ScrabbleBenchmark : public Benchmark {
+  static constexpr size_t kWords = 12000;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"scrabble", Suite::Renaissance,
+            "Scrabble puzzle over parallel streams",
+            "data-parallel, memory-bound, lambdas", 2, 3};
+  }
+
+  void setUp() override {
+    Pool = std::make_unique<forkjoin::ForkJoinPool>(4);
+    Dictionary = makeDictionary(kWords, 0x5C7A);
+    Available = availableLetters();
+  }
+
+  void runIteration() override {
+    // The Paumard pipeline shape: histogram each word (lambda), filter the
+    // playable ones (lambda), score them (lambda), group by score, and
+    // find the best bucket.
+    auto Scored =
+        streams::Stream<std::string>::of(Dictionary)
+            .parallel(*Pool)
+            .filter([this](const std::string &W) {
+              return playable(histogramOf(W), Available);
+            })
+            .map([](const std::string &W) {
+              return std::make_pair(wordScore(W), W);
+            });
+    auto Groups = Scored.groupBy(
+        [](const std::pair<int, std::string> &P) { return P.first; });
+    BestScore = 0;
+    BestBucket = 0;
+    for (const auto &[Score, Words] : Groups) {
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestBucket = Words.size();
+      }
+    }
+  }
+
+  void tearDown() override { Pool.reset(); }
+
+  uint64_t checksum() const override {
+    return static_cast<uint64_t>(BestScore) * 1000 + BestBucket;
+  }
+
+private:
+  std::unique_ptr<forkjoin::ForkJoinPool> Pool;
+  std::vector<std::string> Dictionary;
+  std::array<int, 26> Available = {};
+  int BestScore = 0;
+  uint64_t BestBucket = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// rx-scrabble (Reactive Extensions flavour)
+//===----------------------------------------------------------------------===//
+
+class RxScrabbleBenchmark : public Benchmark {
+  static constexpr size_t kWords = 12000;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"rx-scrabble", Suite::Renaissance,
+            "Scrabble puzzle over the Rx framework", "streaming", 2, 3};
+  }
+
+  void setUp() override {
+    Dictionary = makeDictionary(kWords, 0x5C7A);
+    Available = availableLetters();
+  }
+
+  void runIteration() override {
+    auto Best =
+        rx::Observable<std::string>::fromVector(Dictionary)
+            .filter([this](const std::string &W) {
+              return playable(histogramOf(W), Available);
+            })
+            .map([](const std::string &W) { return wordScore(W); })
+            .reduce(0, [](int Acc, const int &S) {
+              return S > Acc ? S : Acc;
+            });
+    BestScore = Best.blockingLast();
+  }
+
+  uint64_t checksum() const override {
+    return static_cast<uint64_t>(BestScore);
+  }
+
+private:
+  std::vector<std::string> Dictionary;
+  std::array<int, 26> Available = {};
+  int BestScore = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// streams-mnemonics (phone mnemonics over streams)
+//===----------------------------------------------------------------------===//
+
+class StreamsMnemonicsBenchmark : public Benchmark {
+  static constexpr size_t kWords = 6000;
+  static constexpr size_t kNumbers = 60;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"streams-mnemonics", Suite::Renaissance,
+            "Phone mnemonics over streams", "data-parallel, memory-bound",
+            2, 3};
+  }
+
+  void setUp() override {
+    Pool = std::make_unique<forkjoin::ForkJoinPool>(4);
+    Dictionary = makeDictionary(kWords, 0x3E30);
+    // Phone numbers to decode: digit images of dictionary words pairs, so
+    // at least some numbers have encodings.
+    Xoshiro256StarStar Rng(0x909);
+    for (size_t I = 0; I < kNumbers; ++I) {
+      const std::string &A = Dictionary[Rng.nextBounded(Dictionary.size())];
+      const std::string &B = Dictionary[Rng.nextBounded(Dictionary.size())];
+      Numbers.push_back(digitsOf(A) + digitsOf(B));
+    }
+  }
+
+  void runIteration() override {
+    // Index words by digit image (a stream groupBy), then count the
+    // two-word decompositions of each phone number with a flatMap.
+    auto Index = streams::Stream<std::string>::of(Dictionary)
+                     .groupBy([](const std::string &W) {
+                       return digitsOf(W);
+                     });
+    Encodings = 0;
+    auto Counts =
+        streams::Stream<std::string>::of(Numbers)
+            .parallel(*Pool)
+            .map([&Index](const std::string &Number) {
+              uint64_t Count = 0;
+              // Split into every prefix/suffix pair present in the index.
+              for (size_t Cut = 1; Cut < Number.size(); ++Cut) {
+                auto Prefix = Index.find(Number.substr(0, Cut));
+                if (Prefix == Index.end())
+                  continue;
+                auto Suffix = Index.find(Number.substr(Cut));
+                if (Suffix == Index.end())
+                  continue;
+                Count += Prefix->second.size() * Suffix->second.size();
+              }
+              return Count;
+            });
+    Encodings = Counts.template reduce<uint64_t>(
+        0, [](uint64_t Acc, const uint64_t &C) { return Acc + C; },
+        [](uint64_t A, uint64_t B) { return A + B; });
+  }
+
+  void tearDown() override { Pool.reset(); }
+
+  uint64_t checksum() const override { return Encodings; }
+
+private:
+  static std::string digitsOf(const std::string &Word) {
+    // The classic phone keypad mapping.
+    static const char Map[26] = {'2', '2', '2', '3', '3', '3', '4', '4',
+                                 '4', '5', '5', '5', '6', '6', '6', '7',
+                                 '7', '7', '7', '8', '8', '8', '9', '9',
+                                 '9', '9'};
+    std::string D;
+    D.reserve(Word.size());
+    for (char C : Word)
+      D.push_back(Map[C - 'a']);
+    return D;
+  }
+
+  std::unique_ptr<forkjoin::ForkJoinPool> Pool;
+  std::vector<std::string> Dictionary;
+  std::vector<std::string> Numbers;
+  uint64_t Encodings = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> ren::workloads::makeScrabble() {
+  return std::make_unique<ScrabbleBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makeRxScrabble() {
+  return std::make_unique<RxScrabbleBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makeStreamsMnemonics() {
+  return std::make_unique<StreamsMnemonicsBenchmark>();
+}

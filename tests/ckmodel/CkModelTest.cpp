@@ -1,0 +1,122 @@
+//===- tests/ckmodel/CkModelTest.cpp --------------------------------------==//
+
+#include "ckmodel/CkModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::ckmodel;
+
+namespace {
+
+ClassGraph smallGraph() {
+  ClassGraph G;
+  // Object-less three-level hierarchy: A <- B <- C, plus standalone D.
+  G.add({"A", "", 4, 2, {"D"}, 6, 1});
+  G.add({"B", "A", 3, 1, {"A", "D"}, 5, 2});
+  G.add({"C", "B", 2, 1, {}, 2, 3});
+  G.add({"D", "", 5, 3, {"A"}, 7, 4});
+  return G;
+}
+
+} // namespace
+
+TEST(CkModelTest, WmcIsMethodCount) {
+  auto Values = smallGraph().computeAll();
+  EXPECT_DOUBLE_EQ(Values[0].Wmc, 4);
+  EXPECT_DOUBLE_EQ(Values[3].Wmc, 5);
+}
+
+TEST(CkModelTest, DitFollowsInheritanceChains) {
+  auto Values = smallGraph().computeAll();
+  EXPECT_DOUBLE_EQ(Values[0].Dit, 1) << "A extends only the root";
+  EXPECT_DOUBLE_EQ(Values[1].Dit, 2);
+  EXPECT_DOUBLE_EQ(Values[2].Dit, 3);
+}
+
+TEST(CkModelTest, NocCountsImmediateChildrenOnly) {
+  auto Values = smallGraph().computeAll();
+  EXPECT_DOUBLE_EQ(Values[0].Noc, 1) << "B extends A; C does not directly";
+  EXPECT_DOUBLE_EQ(Values[1].Noc, 1);
+  EXPECT_DOUBLE_EQ(Values[2].Noc, 0);
+}
+
+TEST(CkModelTest, CboCountsDistinctCoupledClasses) {
+  auto Values = smallGraph().computeAll();
+  EXPECT_DOUBLE_EQ(Values[0].Cbo, 1) << "A uses D";
+  EXPECT_DOUBLE_EQ(Values[1].Cbo, 2) << "B uses A (also base) and D";
+}
+
+TEST(CkModelTest, RfcIsMethodsPlusExternalCalls) {
+  auto Values = smallGraph().computeAll();
+  EXPECT_DOUBLE_EQ(Values[0].Rfc, 10);
+  EXPECT_DOUBLE_EQ(Values[2].Rfc, 4);
+}
+
+TEST(CkModelTest, LcomDeterministicAndNonNegative) {
+  double L1 = lcomFromSeed(10, 5, 42);
+  double L2 = lcomFromSeed(10, 5, 42);
+  EXPECT_DOUBLE_EQ(L1, L2);
+  EXPECT_GE(L1, 0.0);
+  EXPECT_DOUBLE_EQ(lcomFromSeed(1, 5, 42), 0.0) << "one method: no pairs";
+  EXPECT_DOUBLE_EQ(lcomFromSeed(8, 0, 42), 0.0) << "no fields: undefined=0";
+}
+
+TEST(CkModelTest, SummarizeAveragesSums) {
+  CkSummary S = smallGraph().summarize();
+  EXPECT_EQ(S.NumClasses, 4u);
+  EXPECT_DOUBLE_EQ(S.Sum.Wmc, 14);
+  EXPECT_DOUBLE_EQ(S.Average.Wmc, 3.5);
+}
+
+TEST(CkModelTest, MergeDeduplicatesByName) {
+  ClassGraph A = smallGraph();
+  ClassGraph B;
+  B.add({"A", "", 99, 9, {}, 0, 9}); // duplicate name, different stats
+  B.add({"E", "", 2, 1, {}, 1, 5});
+  A.merge(B);
+  EXPECT_EQ(A.size(), 5u);
+  EXPECT_DOUBLE_EQ(A.computeAll()[0].Wmc, 4) << "first declaration wins";
+}
+
+TEST(CkInventoryTest, ModuleClassesAreDeterministicAndCached) {
+  const ClassGraph &A = moduleClasses("actors");
+  const ClassGraph &B = moduleClasses("actors");
+  EXPECT_EQ(&A, &B);
+  EXPECT_GT(A.size(), 100u);
+}
+
+TEST(CkInventoryTest, RenaissanceLoadsMoreClassesThanSpec) {
+  // The paper's §7.1 observation (Table 5): Renaissance benchmarks load
+  // many more classes than SPECjvm2008 kernels.
+  size_t RenClasses =
+      classesForBenchmark("renaissance", "als").size();
+  size_t SpecClasses =
+      classesForBenchmark("specjvm2008", "compress").size();
+  EXPECT_GT(RenClasses, 2 * SpecClasses);
+}
+
+TEST(CkInventoryTest, AverageMetricsInPaperBallpark) {
+  // Table 10: per-benchmark averages are WMC ~11-19, DIT ~1.8-2.3,
+  // CBO ~12-18, RFC ~20-34.
+  CkSummary S = classesForBenchmark("renaissance", "scrabble").summarize();
+  EXPECT_GT(S.Average.Wmc, 8);
+  EXPECT_LT(S.Average.Wmc, 25);
+  EXPECT_GT(S.Average.Dit, 1.0);
+  EXPECT_LT(S.Average.Dit, 3.5);
+  EXPECT_GT(S.Average.Cbo, 6);
+  EXPECT_LT(S.Average.Cbo, 25);
+  EXPECT_GT(S.Average.Rfc, 15);
+  EXPECT_LT(S.Average.Rfc, 45);
+}
+
+TEST(CkInventoryTest, EveryModuleProfileGenerates) {
+  for (const char *Module :
+       {"jdkbase", "runtime", "forkjoin", "actors", "stm", "futures", "rx",
+        "streams", "netsim", "kvstore", "harness", "mlalgos",
+        "scala-stdlib", "app-small", "app-large"}) {
+    const ClassGraph &G = moduleClasses(Module);
+    EXPECT_GT(G.size(), 50u) << Module;
+    CkSummary S = G.summarize();
+    EXPECT_GT(S.Average.Wmc, 1.0) << Module;
+  }
+}

@@ -1,0 +1,119 @@
+//===- tests/forkjoin/ForkJoinPoolTest.cpp --------------------------------==//
+
+#include "forkjoin/ForkJoinPool.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+using namespace ren::forkjoin;
+using namespace ren::metrics;
+
+TEST(ForkJoinPoolTest, InvokeReturnsResult) {
+  ForkJoinPool Pool(2);
+  int R = Pool.invoke([] { return 6 * 7; });
+  EXPECT_EQ(R, 42);
+}
+
+TEST(ForkJoinPoolTest, InvokeVoidRuns) {
+  ForkJoinPool Pool(2);
+  std::atomic<bool> Ran{false};
+  Pool.invoke([&] { Ran.store(true); });
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(ForkJoinPoolTest, ManyForkedTasksAllComplete) {
+  ForkJoinPool Pool(4);
+  std::atomic<int> Count{0};
+  std::vector<std::shared_ptr<Task<void>>> Tasks;
+  for (int I = 0; I < 500; ++I)
+    Tasks.push_back(Pool.fork([&] { Count.fetch_add(1); }));
+  for (auto &T : Tasks)
+    Pool.join(T);
+  EXPECT_EQ(Count.load(), 500);
+}
+
+TEST(ForkJoinPoolTest, NestedForkJoinFibonacci) {
+  ForkJoinPool Pool(4);
+  // Classic recursive fork/join: exercises helping joins on workers.
+  std::function<long(int)> Fib = [&](int N) -> long {
+    if (N < 2)
+      return N;
+    auto Right = Pool.fork([&, N] { return Fib(N - 2); });
+    long Left = Fib(N - 1);
+    Pool.join(Right);
+    return Left + Right->result();
+  };
+  EXPECT_EQ(Pool.invoke([&] { return Fib(15); }), 610);
+}
+
+TEST(ForkJoinPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ForkJoinPool Pool(4);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(0, N, 64, [&](size_t Lo, size_t Hi) {
+    for (size_t I = Lo; I < Hi; ++I)
+      Hits[I].fetch_add(1);
+  });
+  for (size_t I = 0; I < N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ForkJoinPoolTest, ParallelForEmptyRange) {
+  ForkJoinPool Pool(2);
+  bool Called = false;
+  Pool.parallelFor(5, 5, 8, [&](size_t, size_t) { Called = true; });
+  EXPECT_FALSE(Called);
+}
+
+TEST(ForkJoinPoolTest, ParallelReduceSumsRange) {
+  ForkJoinPool Pool(4);
+  long Sum = Pool.parallelReduce<long>(
+      1, 1001, 32,
+      [](size_t Lo, size_t Hi) {
+        long S = 0;
+        for (size_t I = Lo; I < Hi; ++I)
+          S += static_cast<long>(I);
+        return S;
+      },
+      [](long A, long B) { return A + B; });
+  EXPECT_EQ(Sum, 500500);
+}
+
+TEST(ForkJoinPoolTest, OnWorkerThreadDetection) {
+  ForkJoinPool Pool(2);
+  EXPECT_FALSE(ForkJoinPool::onWorkerThread());
+  bool OnWorker = Pool.invoke([] { return ForkJoinPool::onWorkerThread(); });
+  EXPECT_TRUE(OnWorker);
+}
+
+TEST(ForkJoinPoolTest, SingleWorkerPoolStillCompletes) {
+  ForkJoinPool Pool(1);
+  long Sum = Pool.parallelReduce<long>(
+      0, 100, 10,
+      [](size_t Lo, size_t Hi) { return static_cast<long>(Hi - Lo); },
+      [](long A, long B) { return A + B; });
+  EXPECT_EQ(Sum, 100);
+}
+
+TEST(ForkJoinPoolTest, TaskAllocationAndParkingAreCounted) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  {
+    ForkJoinPool Pool(2);
+    for (int I = 0; I < 50; ++I)
+      Pool.invoke([] { return 1; });
+  }
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::Object), 50u) << "task objects are counted";
+  EXPECT_GT(D.get(Metric::Park), 0u) << "idle workers park";
+}
+
+TEST(ForkJoinPoolTest, DefaultParallelismPositive) {
+  ForkJoinPool Pool;
+  EXPECT_GE(Pool.parallelism(), 1u);
+}

@@ -1,0 +1,181 @@
+//===- tests/futures/FutureTest.cpp ---------------------------------------==//
+
+#include "futures/Future.h"
+
+#include "futures/PoolExecutor.h"
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+using namespace ren::futures;
+using namespace ren::metrics;
+
+TEST(FutureTest, ImmediateValue) {
+  Future<int> F = Future<int>::value(42);
+  EXPECT_TRUE(F.isCompleted());
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(FutureTest, ImmediateFailure) {
+  Future<int> F = Future<int>::failed("boom");
+  const Try<int> &R = F.await();
+  EXPECT_TRUE(R.isFailure());
+  EXPECT_EQ(R.error(), "boom");
+}
+
+TEST(FutureTest, PromiseCompletesFuture) {
+  Promise<std::string> P;
+  Future<std::string> F = P.future();
+  EXPECT_FALSE(F.isCompleted());
+  P.setValue("done");
+  EXPECT_TRUE(F.isCompleted());
+  EXPECT_EQ(F.get(), "done");
+}
+
+TEST(FutureTest, AwaitBlocksUntilCompletion) {
+  Promise<int> P;
+  std::thread Producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    P.setValue(7);
+  });
+  EXPECT_EQ(P.future().get(), 7);
+  Producer.join();
+}
+
+TEST(FutureTest, MapTransformsValue) {
+  Future<int> F = Future<int>::value(10).map([](const int &X) {
+    return X * 3;
+  });
+  EXPECT_EQ(F.get(), 30);
+}
+
+TEST(FutureTest, MapChangesType) {
+  Future<std::string> F = Future<int>::value(5).map([](const int &X) {
+    return std::string(static_cast<size_t>(X), 'x');
+  });
+  EXPECT_EQ(F.get(), "xxxxx");
+}
+
+TEST(FutureTest, MapPropagatesFailure) {
+  bool Ran = false;
+  Future<int> F = Future<int>::failed("err").map([&](const int &X) {
+    Ran = true;
+    return X;
+  });
+  EXPECT_TRUE(F.await().isFailure());
+  EXPECT_FALSE(Ran);
+}
+
+TEST(FutureTest, FlatMapChainsAsync) {
+  Promise<int> P;
+  Future<int> F = Future<int>::value(2).flatMap([&](const int &X) {
+    return P.future().map([X](const int &Y) { return X + Y; });
+  });
+  EXPECT_FALSE(F.isCompleted());
+  P.setValue(40);
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(FutureTest, RecoverMapsFailureToValue) {
+  Future<int> F = Future<int>::failed("x").recover([](const std::string &E) {
+    return static_cast<int>(E.size());
+  });
+  EXPECT_EQ(F.get(), 1);
+}
+
+TEST(FutureTest, RecoverPassesSuccessThrough) {
+  Future<int> F = Future<int>::value(9).recover([](const std::string &) {
+    return -1;
+  });
+  EXPECT_EQ(F.get(), 9);
+}
+
+TEST(FutureTest, CallbacksRegisteredBeforeAndAfterCompletionBothRun) {
+  Promise<int> P;
+  int Sum = 0;
+  P.future().onComplete(InlineExecutor::get(),
+                        [&](const Try<int> &R) { Sum += R.value(); });
+  P.setValue(10);
+  P.future().onComplete(InlineExecutor::get(),
+                        [&](const Try<int> &R) { Sum += R.value(); });
+  EXPECT_EQ(Sum, 20);
+}
+
+TEST(FutureTest, TryCompleteRaceHasSingleWinner) {
+  Promise<int> P;
+  std::atomic<int> Wins{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      if (P.trySuccess(T))
+        Wins.fetch_add(1);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Wins.load(), 1);
+  EXPECT_TRUE(P.future().isCompleted());
+}
+
+TEST(FutureTest, CollectAllGathersInOrder) {
+  Promise<int> A, B, C;
+  auto F = collectAll<int>({A.future(), B.future(), C.future()});
+  B.setValue(2);
+  A.setValue(1);
+  EXPECT_FALSE(F.isCompleted());
+  C.setValue(3);
+  EXPECT_EQ(F.get(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FutureTest, CollectAllFailsFast) {
+  Promise<int> A, B;
+  auto F = collectAll<int>({A.future(), B.future()});
+  A.setFailure("dead");
+  EXPECT_TRUE(F.await().isFailure());
+}
+
+TEST(FutureTest, CollectAllEmptyCompletesImmediately) {
+  auto F = collectAll<int>({});
+  EXPECT_TRUE(F.isCompleted());
+  EXPECT_TRUE(F.get().empty());
+}
+
+TEST(FutureTest, CompletionCasAndLambdaMetrics) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  Promise<int> P;
+  auto F = P.future().map([](const int &X) { return X + 1; });
+  P.setValue(1);
+  F.get();
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::Atomic), 2u) << "two CAS completions";
+  EXPECT_GE(D.get(Metric::IDynamic), 1u) << "map lambda creation";
+  EXPECT_GE(D.get(Metric::Method), 1u) << "method-handle invocation";
+}
+
+TEST(PoolExecutorTest, AsyncRunsOnPool) {
+  ren::forkjoin::ForkJoinPool Pool(2);
+  PoolExecutor Exec(Pool);
+  auto F = Exec.async([] { return 21 * 2; });
+  EXPECT_EQ(F.get(), 42);
+}
+
+TEST(PoolExecutorTest, AsyncVoidYieldsZero) {
+  ren::forkjoin::ForkJoinPool Pool(2);
+  PoolExecutor Exec(Pool);
+  std::atomic<bool> Ran{false};
+  auto F = Exec.async([&] { Ran.store(true); });
+  EXPECT_EQ(F.get(), 0);
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(PoolExecutorTest, MapOnPoolExecutor) {
+  ren::forkjoin::ForkJoinPool Pool(2);
+  PoolExecutor Exec(Pool);
+  auto F = Exec.async([] { return 10; }).map(
+      [](const int &X) { return X * 2; }, Exec);
+  EXPECT_EQ(F.get(), 20);
+}

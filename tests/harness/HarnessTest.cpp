@@ -1,0 +1,200 @@
+//===- tests/harness/HarnessTest.cpp --------------------------------------==//
+
+#include "harness/Harness.h"
+
+#include "harness/Plugins.h"
+#include "memsim/MemSim.h"
+#include "runtime/Alloc.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::harness;
+
+namespace {
+
+/// A deterministic toy benchmark recording its lifecycle.
+class ToyBenchmark : public Benchmark {
+public:
+  BenchmarkInfo info() const override {
+    return {"toy", Suite::Renaissance, "toy", "none", 2, 3};
+  }
+  void setUp() override { ++SetUps; }
+  void runIteration() override {
+    ++Runs;
+    ren::metrics::count(ren::metrics::Metric::Object, 10);
+  }
+  void tearDown() override { ++TearDowns; }
+  uint64_t checksum() const override { return 42; }
+
+  int SetUps = 0, Runs = 0, TearDowns = 0;
+};
+
+/// A plugin that records the events it sees.
+class RecordingPlugin : public Plugin {
+public:
+  void beforeRun(const BenchmarkInfo &) override { ++BeforeRuns; }
+  void beforeIteration(const BenchmarkInfo &, unsigned, bool W) override {
+    W ? ++WarmupIters : ++SteadyIters;
+  }
+  void afterIteration(const BenchmarkInfo &, unsigned, bool,
+                      uint64_t Nanos) override {
+    TotalNanos += Nanos;
+  }
+  void afterRun(const BenchmarkInfo &) override { ++AfterRuns; }
+
+  int BeforeRuns = 0, AfterRuns = 0, WarmupIters = 0, SteadyIters = 0;
+  uint64_t TotalNanos = 0;
+};
+
+} // namespace
+
+TEST(HarnessTest, LifecycleOrderAndCounts) {
+  ToyBenchmark B;
+  Runner R;
+  RunResult Result = R.run(B);
+  EXPECT_EQ(B.SetUps, 1);
+  EXPECT_EQ(B.Runs, 5) << "2 warmup + 3 measured";
+  EXPECT_EQ(B.TearDowns, 1);
+  EXPECT_EQ(Result.Iterations.size(), 5u);
+  EXPECT_TRUE(Result.Iterations[0].Warmup);
+  EXPECT_TRUE(Result.Iterations[1].Warmup);
+  EXPECT_FALSE(Result.Iterations[2].Warmup);
+  EXPECT_EQ(Result.Checksum, 42u);
+}
+
+TEST(HarnessTest, OverridesChangeIterationCounts) {
+  ToyBenchmark B;
+  Runner::Options Opts;
+  Opts.WarmupOverride = 1;
+  Opts.MeasuredOverride = 4;
+  Runner R(Opts);
+  RunResult Result = R.run(B);
+  EXPECT_EQ(B.Runs, 5);
+  unsigned Warmups = 0;
+  for (const auto &I : Result.Iterations)
+    Warmups += I.Warmup ? 1 : 0;
+  EXPECT_EQ(Warmups, 1u);
+}
+
+TEST(HarnessTest, SteadyDeltaCoversOnlySteadyIterations) {
+  ToyBenchmark B;
+  Runner R;
+  RunResult Result = R.run(B);
+  // 3 steady iterations x 10 objects.
+  EXPECT_EQ(Result.SteadyDelta.get(ren::metrics::Metric::Object), 30u);
+}
+
+TEST(HarnessTest, PluginsSeeAllEvents) {
+  ToyBenchmark B;
+  RecordingPlugin P;
+  Runner R;
+  R.addPlugin(P);
+  R.run(B);
+  EXPECT_EQ(P.BeforeRuns, 1);
+  EXPECT_EQ(P.AfterRuns, 1);
+  EXPECT_EQ(P.WarmupIters, 2);
+  EXPECT_EQ(P.SteadyIters, 3);
+}
+
+TEST(HarnessTest, MeanSteadyNanosAveragesSteadyOnly) {
+  RunResult R;
+  R.Iterations = {{0, true, 1000}, {1, false, 10}, {2, false, 20}};
+  EXPECT_DOUBLE_EQ(R.meanSteadyNanos(), 15.0);
+  RunResult Empty;
+  EXPECT_DOUBLE_EQ(Empty.meanSteadyNanos(), 0.0);
+}
+
+TEST(HarnessTest, RegistryRegistersAndCreates) {
+  Registry R;
+  R.add([] { return std::make_unique<ToyBenchmark>(); });
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R.contains("toy"));
+  EXPECT_FALSE(R.contains("nonexistent"));
+  auto B = R.create("toy");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->info().Name, "toy");
+  EXPECT_EQ(R.names(Suite::Renaissance).size(), 1u);
+  EXPECT_EQ(R.names(Suite::DaCapo).size(), 0u);
+}
+
+TEST(HarnessTest, SuiteNames) {
+  EXPECT_STREQ(suiteName(Suite::Renaissance), "renaissance");
+  EXPECT_STREQ(suiteName(Suite::DaCapo), "dacapo");
+  EXPECT_STREQ(suiteName(Suite::ScalaBench), "scalabench");
+  EXPECT_STREQ(suiteName(Suite::SpecJvm2008), "specjvm2008");
+}
+
+TEST(HarnessTest, CsvAndJsonReporters) {
+  ToyBenchmark B;
+  Runner R;
+  std::vector<RunResult> Results = {R.run(B)};
+  std::string Csv = toCsv(Results);
+  EXPECT_NE(Csv.find("benchmark,suite,iteration,warmup,nanos"),
+            std::string::npos);
+  EXPECT_NE(Csv.find("toy,renaissance,0,true"), std::string::npos);
+  std::string Json = toJson(Results);
+  EXPECT_NE(Json.find("\"benchmark\":\"toy\""), std::string::npos);
+  EXPECT_NE(Json.find("\"checksum\":42"), std::string::npos);
+  EXPECT_NE(Json.find("\"idynamic\""), std::string::npos);
+}
+
+namespace {
+
+/// A benchmark whose only work is traced memory accesses.
+class TracingBenchmark : public Benchmark {
+public:
+  BenchmarkInfo info() const override {
+    return {"tracing", Suite::Renaissance, "t", "none", 0, 1};
+  }
+  void runIteration() override {
+    // Larger than the simulated LLC slice (2MB), so even a re-run over a
+    // warm simulated cache keeps missing.
+    std::vector<int> Data(1 << 20);
+    for (size_t I = 0; I < Data.size(); I += 16)
+      ren::memsim::traceData(&Data[I], sizeof(int));
+  }
+};
+
+} // namespace
+
+TEST(HarnessTest, TraceMemoryOptionControlsCacheMisses) {
+  TracingBenchmark B;
+  Runner::Options On;
+  On.WarmupOverride = 1;
+  On.MeasuredOverride = 1;
+  Runner WithTrace(On);
+  RunResult Traced = WithTrace.run(B);
+  EXPECT_GT(Traced.SteadyDelta.get(ren::metrics::Metric::CacheMiss), 0u);
+
+  Runner::Options Off = On;
+  Off.TraceMemory = false;
+  Runner WithoutTrace(Off);
+  RunResult Untraced = WithoutTrace.run(B);
+  EXPECT_EQ(Untraced.SteadyDelta.get(ren::metrics::Metric::CacheMiss), 0u);
+}
+
+TEST(AllocationRatePluginTest, RecordsPerIterationAllocations) {
+  class Allocates : public Benchmark {
+  public:
+    BenchmarkInfo info() const override {
+      return {"alloc", Suite::Renaissance, "a", "none", 1, 2};
+    }
+    void runIteration() override {
+      ren::runtime::noteObjectAlloc(100);
+      ren::runtime::noteArrayAlloc(5);
+    }
+  };
+  Allocates B;
+  ren::harness::AllocationRatePlugin Plugin;
+  Runner R;
+  R.addPlugin(Plugin);
+  R.run(B);
+  ASSERT_EQ(Plugin.records().size(), 3u);
+  EXPECT_TRUE(Plugin.records()[0].Warmup);
+  for (const auto &Rec : Plugin.records()) {
+    EXPECT_EQ(Rec.Objects, 100u);
+    EXPECT_EQ(Rec.Arrays, 5u);
+    EXPECT_EQ(Rec.Benchmark, "alloc");
+  }
+  EXPECT_GT(Plugin.meanSteadyObjectsPerMs(), 0.0);
+}

@@ -1,0 +1,145 @@
+//===- tests/jit/AnalysisTest.cpp -----------------------------------------==//
+
+#include "jit/Analysis.h"
+
+#include "jit/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+
+namespace {
+
+/// Builds a diamond: entry -> (left | right) -> merge -> exit.
+struct Diamond {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *Left, *Right, *Merge;
+};
+
+Diamond buildDiamond() {
+  Diamond D;
+  D.F = D.M.addFunction("diamond", 1);
+  IrBuilder B(*D.F);
+  D.Entry = B.makeBlock("entry");
+  D.Left = B.makeBlock("left");
+  D.Right = B.makeBlock("right");
+  D.Merge = B.makeBlock("merge");
+
+  B.setBlock(D.Entry);
+  Instruction *X = B.param(0);
+  Instruction *Zero = B.constant(0);
+  B.branch(B.cmpLt(X, Zero), D.Left, D.Right);
+  B.setBlock(D.Left);
+  Instruction *L = B.constant(1);
+  B.jump(D.Merge);
+  B.setBlock(D.Right);
+  Instruction *R = B.constant(2);
+  B.jump(D.Merge);
+  B.setBlock(D.Merge);
+  Instruction *P = B.phi();
+  B.ret(P);
+  IrBuilder::addIncoming(P, L, D.Left);
+  IrBuilder::addIncoming(P, R, D.Right);
+  B.finish();
+  return D;
+}
+
+/// Builds a simple counted loop; returns the function.
+Function *buildLoop(Module &M) {
+  Function *F = M.addFunction("loop", 1);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Header = B.makeBlock("header");
+  BasicBlock *Body = B.makeBlock("body");
+  BasicBlock *Exit = B.makeBlock("exit");
+  B.setBlock(Entry);
+  Instruction *N = B.param(0);
+  Instruction *Zero = B.constant(0);
+  B.jump(Header);
+  B.setBlock(Header);
+  Instruction *I = B.phi();
+  B.branch(B.cmpLt(I, N), Body, Exit);
+  B.setBlock(Body);
+  Instruction *I2 = B.add(I, B.constant(1));
+  B.jump(Header);
+  B.setBlock(Exit);
+  B.ret(I);
+  IrBuilder::addIncoming(I, Zero, Entry);
+  IrBuilder::addIncoming(I, I2, Body);
+  B.finish();
+  return F;
+}
+
+} // namespace
+
+TEST(DominatorTest, DiamondDominance) {
+  Diamond D = buildDiamond();
+  DominatorTree Dom(*D.F);
+  EXPECT_TRUE(Dom.dominates(D.Entry, D.Merge));
+  EXPECT_TRUE(Dom.dominates(D.Entry, D.Left));
+  EXPECT_FALSE(Dom.dominates(D.Left, D.Merge));
+  EXPECT_FALSE(Dom.dominates(D.Right, D.Merge));
+  EXPECT_TRUE(Dom.dominates(D.Merge, D.Merge)) << "reflexive";
+  EXPECT_EQ(Dom.idom(D.Merge), D.Entry);
+  EXPECT_EQ(Dom.idom(D.Left), D.Entry);
+  EXPECT_EQ(Dom.idom(D.Entry), nullptr);
+}
+
+TEST(DominatorTest, ReversePostOrderStartsAtEntry) {
+  Diamond D = buildDiamond();
+  DominatorTree Dom(*D.F);
+  const auto &Rpo = Dom.reversePostOrder();
+  ASSERT_EQ(Rpo.size(), 4u);
+  EXPECT_EQ(Rpo.front(), D.Entry);
+  EXPECT_EQ(Rpo.back(), D.Merge);
+}
+
+TEST(LoopTest, FindsNaturalLoop) {
+  Module M;
+  Function *F = buildLoop(M);
+  DominatorTree Dom(*F);
+  std::vector<Loop> Loops = findLoops(*F, Dom);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header->Label, "header");
+  EXPECT_EQ(Loops[0].Latch->Label, "body");
+  EXPECT_EQ(Loops[0].Blocks.size(), 2u);
+  ASSERT_NE(Loops[0].Preheader, nullptr);
+  EXPECT_EQ(Loops[0].Preheader->Label, "entry");
+}
+
+TEST(LoopTest, DiamondHasNoLoops) {
+  Diamond D = buildDiamond();
+  DominatorTree Dom(*D.F);
+  EXPECT_TRUE(findLoops(*D.F, Dom).empty());
+}
+
+TEST(LoopTest, MatchesCountedLoop) {
+  Module M;
+  Function *F = buildLoop(M);
+  DominatorTree Dom(*F);
+  std::vector<Loop> Loops = findLoops(*F, Dom);
+  ASSERT_EQ(Loops.size(), 1u);
+  CountedLoop C;
+  ASSERT_TRUE(matchCountedLoop(Loops[0], C));
+  EXPECT_EQ(C.StepValue, 1);
+  EXPECT_EQ(C.Induction->Op, Opcode::Phi);
+  EXPECT_EQ(C.Exit->Label, "exit");
+  EXPECT_EQ(C.Bound->Op, Opcode::Param);
+}
+
+TEST(LoopTest, LoopInvariance) {
+  Module M;
+  Function *F = buildLoop(M);
+  DominatorTree Dom(*F);
+  std::vector<Loop> Loops = findLoops(*F, Dom);
+  ASSERT_EQ(Loops.size(), 1u);
+  const Loop &L = Loops[0];
+  // The bound (a param in the entry block) is invariant; the induction
+  // phi and its step are not.
+  CountedLoop C;
+  ASSERT_TRUE(matchCountedLoop(L, C));
+  EXPECT_TRUE(isLoopInvariant(L, C.Bound));
+  EXPECT_FALSE(isLoopInvariant(L, C.Induction));
+  EXPECT_FALSE(isLoopInvariant(L, C.Step));
+}

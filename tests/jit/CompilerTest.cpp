@@ -1,0 +1,108 @@
+//===- tests/jit/CompilerTest.cpp -----------------------------------------==//
+
+#include "jit/Compiler.h"
+
+#include "jit/Experiment.h"
+#include "jit/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+
+TEST(CompilerTest, NamedConfigsDiffer) {
+  OptConfig Graal = OptConfig::graal();
+  OptConfig C2 = OptConfig::c2();
+  EXPECT_TRUE(Graal.Eawa);
+  EXPECT_FALSE(C2.Eawa);
+  EXPECT_TRUE(C2.BasePea) << "C2 keeps classic escape analysis";
+  EXPECT_FALSE(C2.Mhs);
+  EXPECT_FALSE(C2.Ac);
+  EXPECT_FALSE(C2.Llc);
+  EXPECT_FALSE(C2.Dbds);
+  EXPECT_TRUE(C2.Unroll);
+  EXPECT_LT(C2.InlineThreshold, Graal.InlineThreshold);
+}
+
+TEST(CompilerTest, GraalWithoutDisablesExactlyOnePass) {
+  for (const std::string &Pass : OptConfig::passShortNames()) {
+    OptConfig C = OptConfig::graalWithout(Pass);
+    unsigned Disabled = 0;
+    Disabled += C.Eawa ? 0 : 1;
+    Disabled += C.Llc ? 0 : 1;
+    Disabled += C.Ac ? 0 : 1;
+    Disabled += C.Mhs ? 0 : 1;
+    Disabled += C.Gm ? 0 : 1;
+    Disabled += C.Lv ? 0 : 1;
+    Disabled += C.Dbds ? 0 : 1;
+    EXPECT_EQ(Disabled, 1u) << Pass;
+  }
+  EXPECT_EQ(OptConfig::passShortNames().size(), 7u);
+}
+
+TEST(CompilerTest, PipelineReportsPassStats) {
+  kernels::Kernel K = kernels::kernelFor("renaissance", "scrabble");
+  auto M = K.M->clone();
+  auto Stats = compileModule(*M, OptConfig::graal());
+  ASSERT_EQ(Stats.size(), M->functions().size());
+  bool SawChange = false;
+  for (const CompileStats &S : Stats) {
+    EXPECT_FALSE(S.Passes.empty());
+    EXPECT_GT(S.NodesBefore, 0u);
+    EXPECT_GT(S.NodesAfter, 0u);
+    for (const PassStat &P : S.Passes)
+      SawChange |= P.ChangedIr;
+  }
+  EXPECT_TRUE(SawChange) << "the scrabble kernel has MHS opportunities";
+}
+
+TEST(CompilerTest, CompiledIrStaysVerifiable) {
+  for (const char *Name : {"future-genetic", "fj-kmeans", "als",
+                           "streams-mnemonics"}) {
+    kernels::Kernel K = kernels::kernelFor("renaissance", Name);
+    for (const OptConfig &Config :
+         {OptConfig::graal(), OptConfig::c2()}) {
+      auto M = K.M->clone();
+      compileModule(*M, Config);
+      for (const auto &F : M->functions())
+        EXPECT_EQ(F->verify(), "") << Name << "/" << F->Name;
+    }
+  }
+}
+
+TEST(CompilerTest, CodeSizeScalesWithNodes) {
+  Module M;
+  Function *Small = M.addFunction("small", 0);
+  Function *Big = M.addFunction("big", 0);
+  // Build trivially via blocks with constants + ret.
+  for (Function *F : {Small, Big}) {
+    BasicBlock *B = F->addBlock("entry");
+    unsigned N = F == Small ? 2 : 50;
+    Instruction *Last = nullptr;
+    for (unsigned I = 0; I < N; ++I)
+      Last = B->append(std::make_unique<Instruction>(Opcode::Const));
+    auto Ret = std::make_unique<Instruction>(
+        Opcode::Return, std::vector<Instruction *>{Last});
+    B->append(std::move(Ret));
+  }
+  EXPECT_GT(estimateCodeBytes(*Big), estimateCodeBytes(*Small));
+  EXPECT_GE(estimateCodeBytes(*Small), 64u) << "frame overhead";
+}
+
+TEST(CompilerTest, C2WinsOnUnrollDominatedKernels) {
+  // The Fig 6 crossover: benchmarks whose kernels are dominated by
+  // data-dependent-guard loops (only classic unrolling applies) must run
+  // faster under the c2 configuration.
+  kernels::Kernel K = kernels::kernelFor("specjvm2008", "scimark.fft.small");
+  KernelRun Graal = runKernel(K, OptConfig::graal());
+  KernelRun C2 = runKernel(K, OptConfig::c2());
+  EXPECT_EQ(Graal.ResultHash, C2.ResultHash);
+  EXPECT_LT(C2.Cycles, Graal.Cycles);
+}
+
+TEST(CompilerTest, GraalWinsOnLambdaHeavyKernels) {
+  kernels::Kernel K = kernels::kernelFor("renaissance", "scrabble");
+  KernelRun Graal = runKernel(K, OptConfig::graal());
+  KernelRun C2 = runKernel(K, OptConfig::c2());
+  EXPECT_EQ(Graal.ResultHash, C2.ResultHash);
+  EXPECT_LT(Graal.Cycles, C2.Cycles);
+}

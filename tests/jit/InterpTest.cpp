@@ -1,0 +1,194 @@
+//===- tests/jit/InterpTest.cpp -------------------------------------------==//
+
+#include "jit/Interp.h"
+
+#include "jit/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+
+namespace {
+
+Function *makeArith(Module &M) {
+  Function *F = M.addFunction("arith", 2);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *X = B.param(0);
+  Instruction *Y = B.param(1);
+  Instruction *Sum = B.add(X, Y);
+  Instruction *Prod = B.mul(Sum, X);
+  B.ret(Prod);
+  B.finish();
+  return F;
+}
+
+} // namespace
+
+TEST(InterpTest, EvaluatesArithmetic) {
+  Module M;
+  makeArith(M);
+  Interpreter I(M);
+  ExecResult R = I.run(*M.function("arith"), {3, 4});
+  EXPECT_EQ(R.ReturnValue, 21);
+  EXPECT_GT(R.Cycles, 0u);
+  EXPECT_GT(R.InstructionsExecuted, 0u);
+}
+
+TEST(InterpTest, LoopComputesSum) {
+  Module M;
+  Function *F = M.addFunction("sum", 1);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Header = B.makeBlock("header");
+  BasicBlock *Body = B.makeBlock("body");
+  BasicBlock *Exit = B.makeBlock("exit");
+  B.setBlock(Entry);
+  Instruction *N = B.param(0);
+  Instruction *Zero = B.constant(0);
+  B.jump(Header);
+  B.setBlock(Header);
+  Instruction *I = B.phi();
+  Instruction *Acc = B.phi();
+  B.branch(B.cmpLt(I, N), Body, Exit);
+  B.setBlock(Body);
+  Instruction *Acc2 = B.add(Acc, I);
+  Instruction *I2 = B.add(I, B.constant(1));
+  B.jump(Header);
+  B.setBlock(Exit);
+  B.ret(Acc);
+  IrBuilder::addIncoming(I, Zero, Entry);
+  IrBuilder::addIncoming(I, I2, Body);
+  IrBuilder::addIncoming(Acc, Zero, Entry);
+  IrBuilder::addIncoming(Acc, Acc2, Body);
+  B.finish();
+
+  Interpreter Interp(M);
+  EXPECT_EQ(Interp.run(*F, {100}).ReturnValue, 4950);
+  EXPECT_EQ(Interp.run(*F, {0}).ReturnValue, 0);
+}
+
+TEST(InterpTest, ArraysLoadAndStore) {
+  Module M;
+  unsigned Arr = M.addArray({10, 20, 30});
+  Function *F = M.addFunction("swap", 0);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *I0 = B.constant(0);
+  Instruction *I2 = B.constant(2);
+  Instruction *A = B.load(Arr, I0);
+  Instruction *C = B.load(Arr, I2);
+  B.store(Arr, I0, C);
+  B.store(Arr, I2, A);
+  B.ret(B.sub(C, A));
+  B.finish();
+
+  Interpreter Interp(M);
+  EXPECT_EQ(Interp.run(*F, {}).ReturnValue, 20);
+  EXPECT_EQ(Interp.arrayState(Arr),
+            (std::vector<int64_t>{30, 20, 10}));
+}
+
+TEST(InterpTest, ObjectsFieldsAndCas) {
+  Module M;
+  unsigned Box = M.addClass("Box", 2);
+  Function *F = M.addFunction("obj", 0);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *O = B.newObject(Box);
+  B.putField(O, 0, B.constant(5));
+  Instruction *Ok1 = B.cas(O, 0, B.constant(5), B.constant(9));
+  Instruction *Ok2 = B.cas(O, 0, B.constant(5), B.constant(11)); // fails
+  Instruction *V = B.getField(O, 0);
+  Instruction *Packed = B.add(B.mul(V, B.constant(100)),
+                              B.add(B.mul(Ok1, B.constant(10)), Ok2));
+  B.ret(Packed);
+  B.finish();
+
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(*F, {});
+  EXPECT_EQ(R.ReturnValue, 910) << "field 9, first CAS ok, second failed";
+  EXPECT_EQ(R.CasExecuted, 2u);
+  EXPECT_EQ(R.Allocations, 1u);
+}
+
+TEST(InterpTest, InstanceOfUsesDynamicClass) {
+  Module M;
+  unsigned A = M.addClass("A", 1);
+  unsigned Bc = M.addClass("B", 1);
+  Function *F = M.addFunction("iof", 0);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *Oa = B.newObject(A);
+  Instruction *IsA = B.instanceOf(Oa, A);
+  Instruction *IsB = B.instanceOf(Oa, Bc);
+  B.ret(B.add(B.mul(IsA, B.constant(10)), IsB));
+  B.finish();
+  Interpreter Interp(M);
+  EXPECT_EQ(Interp.run(*F, {}).ReturnValue, 10);
+}
+
+TEST(InterpTest, CallsAndMethodHandles) {
+  Module M;
+  Function *Sq = M.addFunction("sq", 1);
+  {
+    IrBuilder B(*Sq);
+    B.setBlock(B.makeBlock("entry"));
+    Instruction *X = B.param(0);
+    B.ret(B.mul(X, X));
+    B.finish();
+  }
+  unsigned H = M.addMethodHandle(Sq);
+  Function *F = M.addFunction("f", 1);
+  {
+    IrBuilder B(*F);
+    B.setBlock(B.makeBlock("entry"));
+    Instruction *X = B.param(0);
+    Instruction *Direct = B.invoke(M.functionId(Sq), {X});
+    Instruction *ViaHandle = B.mhInvoke(H, {X});
+    B.ret(B.add(Direct, ViaHandle));
+    B.finish();
+  }
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(*F, {6});
+  EXPECT_EQ(R.ReturnValue, 72);
+  EXPECT_EQ(R.CallsExecuted, 1u);
+  EXPECT_EQ(R.MhDispatches, 1u);
+  EXPECT_GT(R.CyclesByFunction.at("sq"), 0u);
+}
+
+TEST(InterpTest, GuardsCountByKindAndSpeculation) {
+  Module M;
+  Function *F = M.addFunction("g", 0);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *T = B.constant(1);
+  B.guard(T, GuardKind::BoundsCheck);
+  Instruction *G2 = B.guard(T, GuardKind::NullCheck);
+  G2->Speculative = true;
+  B.ret(T);
+  B.finish();
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(*F, {});
+  EXPECT_EQ(R.Guards.Normal[(int)GuardKind::BoundsCheck], 1u);
+  EXPECT_EQ(R.Guards.Speculative[(int)GuardKind::NullCheck], 1u);
+  EXPECT_EQ(R.Guards.total(), 2u);
+}
+
+TEST(InterpTest, MonitorCostsCharged) {
+  Module M;
+  unsigned Lock = M.addClass("Lock", 1);
+  Function *F = M.addFunction("m", 0);
+  IrBuilder B(*F);
+  B.setBlock(B.makeBlock("entry"));
+  Instruction *L = B.newObject(Lock);
+  B.monitorEnter(L);
+  B.monitorExit(L);
+  B.ret(B.constant(0));
+  B.finish();
+  Interpreter Interp(M);
+  ExecResult R = Interp.run(*F, {});
+  EXPECT_EQ(R.MonitorOps, 2u);
+  CostModel Costs;
+  EXPECT_GE(R.Cycles, Costs.MonitorEnterOp + Costs.MonitorExitOp);
+}

@@ -1,0 +1,124 @@
+//===- tests/jit/IrTest.cpp -----------------------------------------------==//
+
+#include "jit/Ir.h"
+
+#include "jit/IrBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+
+namespace {
+
+/// Builds: f(n) = sum_{i=0}^{n-1} i
+void buildSumLoop(Module &M, Function *&FOut) {
+  Function *F = M.addFunction("sum", 1);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Header = B.makeBlock("header");
+  BasicBlock *Body = B.makeBlock("body");
+  BasicBlock *Exit = B.makeBlock("exit");
+
+  B.setBlock(Entry);
+  Instruction *N = B.param(0);
+  Instruction *Zero = B.constant(0);
+  B.jump(Header);
+
+  B.setBlock(Header);
+  Instruction *I = B.phi();
+  Instruction *Acc = B.phi();
+  Instruction *Cond = B.cmpLt(I, N);
+  B.branch(Cond, Body, Exit);
+
+  B.setBlock(Body);
+  Instruction *Acc2 = B.add(Acc, I);
+  Instruction *One = B.constant(1);
+  Instruction *I2 = B.add(I, One);
+  B.jump(Header);
+
+  B.setBlock(Exit);
+  B.ret(Acc);
+
+  IrBuilder::addIncoming(I, Zero, Entry);
+  IrBuilder::addIncoming(I, I2, Body);
+  IrBuilder::addIncoming(Acc, Zero, Entry);
+  IrBuilder::addIncoming(Acc, Acc2, Body);
+  B.finish();
+  FOut = F;
+}
+
+} // namespace
+
+TEST(IrTest, BuildAndVerifyLoop) {
+  Module M;
+  Function *F = nullptr;
+  buildSumLoop(M, F);
+  EXPECT_EQ(F->verify(), "");
+  EXPECT_EQ(F->Blocks.size(), 4u);
+  EXPECT_GT(F->instructionCount(), 8u);
+}
+
+TEST(IrTest, VerifyCatchesMissingTerminator) {
+  Module M;
+  Function *F = M.addFunction("bad", 0);
+  BasicBlock *B = F->addBlock("entry");
+  B->append(std::make_unique<Instruction>(Opcode::Const));
+  EXPECT_NE(F->verify(), "");
+}
+
+TEST(IrTest, VerifyCatchesPhiArityMismatch) {
+  Module M;
+  Function *F = M.addFunction("bad", 0);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Next = B.makeBlock("next");
+  B.setBlock(Entry);
+  Instruction *C = B.constant(1);
+  B.jump(Next);
+  B.setBlock(Next);
+  Instruction *P = B.phi(); // zero incoming vs one pred
+  (void)P;
+  (void)C;
+  B.ret(C);
+  F->recomputePreds();
+  EXPECT_NE(F->verify(), "");
+}
+
+TEST(IrTest, DumpMentionsBlocksAndOpcodes) {
+  Module M;
+  Function *F = nullptr;
+  buildSumLoop(M, F);
+  std::string Text = F->dump();
+  EXPECT_NE(Text.find("header:"), std::string::npos);
+  EXPECT_NE(Text.find("phi"), std::string::npos);
+  EXPECT_NE(Text.find("cmplt"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(IrTest, CloneModulePreservesStructure) {
+  Module M;
+  Function *F = nullptr;
+  buildSumLoop(M, F);
+  M.addClass("Box", 2);
+  M.addArray({1, 2, 3});
+  M.addMethodHandle(F);
+  auto Copy = M.clone();
+  Function *F2 = Copy->function("sum");
+  ASSERT_NE(F2, nullptr);
+  EXPECT_NE(F2, F);
+  EXPECT_EQ(F2->verify(), "");
+  EXPECT_EQ(F2->instructionCount(), F->instructionCount());
+  EXPECT_EQ(Copy->handleTarget(0), F2);
+  EXPECT_EQ(Copy->arrayInit(0), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(IrTest, SuccessorsOfTerminators) {
+  Module M;
+  Function *F = nullptr;
+  buildSumLoop(M, F);
+  BasicBlock *Header = F->Blocks[1].get();
+  auto Succ = Header->successors();
+  ASSERT_EQ(Succ.size(), 2u);
+  EXPECT_EQ(F->entry()->successors().size(), 1u);
+  EXPECT_EQ(F->Blocks[3]->successors().size(), 0u);
+}

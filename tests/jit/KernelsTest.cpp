@@ -1,0 +1,238 @@
+//===- tests/jit/KernelsTest.cpp ------------------------------------------==//
+//
+// Kernel-layer tests: every benchmark has a kernel, kernels are
+// semantics-preserving across all configurations, and the calibration
+// constants that size the kernels match the implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Kernels.h"
+
+#include "jit/Experiment.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+using namespace ren::jit::kernels;
+
+namespace {
+
+const char *kSuites[4] = {"renaissance", "dacapo", "scalabench",
+                          "specjvm2008"};
+const unsigned kSuiteSizes[4] = {21, 14, 12, 21};
+const char *kSuiteSamples[4][21] = {
+    {"akka-uct", "als", "chi-square", "db-shootout", "dec-tree", "dotty",
+     "finagle-chirper", "finagle-http", "fj-kmeans", "future-genetic",
+     "log-regression", "movie-lens", "naive-bayes", "neo4j-analytics",
+     "page-rank", "philosophers", "reactors", "rx-scrabble", "scrabble",
+     "stm-bench7", "streams-mnemonics"},
+    {"avrora", "batik", "eclipse", "fop", "h2", "jython", "luindex",
+     "lusearch-fix", "pmd", "sunflow", "tomcat", "tradebeans", "tradesoap",
+     "xalan"},
+    {"actors", "apparat", "factorie", "kiama", "scalac", "scaladoc",
+     "scalap", "scalariform", "scalatest", "scalaxb", "specs", "tmt"},
+    {"compiler.compiler", "compiler.sunflow", "compress", "crypto.aes",
+     "crypto.rsa", "crypto.signverify", "derby", "mpegaudio",
+     "scimark.fft.large", "scimark.fft.small", "scimark.lu.large",
+     "scimark.lu.small", "scimark.monte_carlo", "scimark.sor.large",
+     "scimark.sor.small", "scimark.sparse.large", "scimark.sparse.small",
+     "serial", "sunflow", "xml.transform", "xml.validation"}};
+
+/// Measures the graal per-trip cost and the per-trip delta of disabling
+/// \p Pass on a single-pattern kernel built by \p Build.
+template <typename BuildT>
+std::pair<double, double> measurePattern(BuildT Build, const char *Pass,
+                                         bool NeedsRefArg) {
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  Build(*K.M);
+  constexpr int64_t kTrips = 4000;
+  std::vector<int64_t> Args = {kTrips};
+  if (NeedsRefArg)
+    Args.push_back(1);
+  K.Invocations.push_back({"k", Args});
+  KernelRun Graal = runKernel(K, OptConfig::graal());
+  double PerTrip = static_cast<double>(Graal.Cycles) / kTrips;
+  double Delta = 0.0;
+  if (Pass) {
+    KernelRun Without = runKernel(K, OptConfig::graalWithout(Pass));
+    Delta = (static_cast<double>(Without.Cycles) -
+             static_cast<double>(Graal.Cycles)) /
+            kTrips;
+  }
+  return {PerTrip, Delta};
+}
+
+} // namespace
+
+TEST(KernelsTest, EveryBenchmarkHasAKernel) {
+  for (int S = 0; S < 4; ++S)
+    for (unsigned I = 0; I < kSuiteSizes[S]; ++I)
+      EXPECT_TRUE(hasKernel(kSuites[S], kSuiteSamples[S][I]))
+          << kSuites[S] << "/" << kSuiteSamples[S][I];
+  EXPECT_FALSE(hasKernel("renaissance", "no-such-benchmark"));
+}
+
+TEST(KernelsTest, KernelsVerifyAndRun) {
+  // One representative per suite: IR must verify and execute under all
+  // three named configurations with identical results.
+  const char *Picks[4] = {"future-genetic", "eclipse", "tmt",
+                          "scimark.lu.small"};
+  for (int S = 0; S < 4; ++S) {
+    Kernel K = kernelFor(kSuites[S], Picks[S]);
+    for (const auto &F : K.M->functions())
+      ASSERT_EQ(F->verify(), "") << Picks[S] << "/" << F->Name;
+    KernelRun Graal = runKernel(K, OptConfig::graal());
+    KernelRun C2 = runKernel(K, OptConfig::c2());
+    EXPECT_EQ(Graal.ResultHash, C2.ResultHash) << Picks[S];
+    EXPECT_GT(Graal.Cycles, 0u);
+    EXPECT_LE(Graal.Cycles, C2.Cycles) << Picks[S]
+        << ": the full pipeline must not lose to the classic one here";
+  }
+}
+
+TEST(KernelsTest, KernelsAreDeterministic) {
+  Kernel A = kernelFor("renaissance", "scrabble");
+  Kernel B = kernelFor("renaissance", "scrabble");
+  EXPECT_EQ(runKernel(A, OptConfig::graal()).Cycles,
+            runKernel(B, OptConfig::graal()).Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Calibration verification: the constants in calibrationFor() must match
+// what the patterns actually cost, within 5% (they size every kernel).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CalibrationCase {
+  const char *Key;
+  const char *Pass; // nullptr: the delta is not a leave-one-out delta
+  bool NeedsRefArg;
+};
+
+} // namespace
+
+class CalibrationTest : public ::testing::TestWithParam<CalibrationCase> {};
+
+TEST_P(CalibrationTest, ConstantsMatchImplementation) {
+  const CalibrationCase &C = GetParam();
+  auto Build = [&](Module &M) {
+    unsigned Box = M.addClass("Box", 1);
+    unsigned Lock = M.addClass("Lock", 1);
+    unsigned Cell = M.addClass("Cell", 1);
+    unsigned A = M.addClass("A", 1);
+    unsigned B = M.addClass("B", 1);
+    unsigned Arr = M.addArray(std::vector<int64_t>(8192, 7));
+    std::string Key = C.Key;
+    if (Key == "AC")
+      buildCasRetryPair(M, "k", Cell);
+    else if (Key == "DS")
+      buildTypeCheckMerge(M, "k", A, B);
+    else if (Key == "EAWA")
+      buildAtomicPublish(M, "k", Box);
+    else if (Key == "GM")
+      buildGuardedHashLoop(M, "k", Arr, 2);
+    else if (Key == "LV")
+      buildPlainArrayLoop(M, "k", Arr, 2);
+    else if (Key == "LLC")
+      buildSyncLoop(M, "k", Arr, Lock, 1);
+    else if (Key == "MHS")
+      buildMhPipeline(M, "k", 1);
+    else if (Key == "FILLER")
+      buildHashedLoop(M, "k", Arr, 2);
+  };
+  auto [PerTrip, Delta] = measurePattern(Build, C.Pass, C.NeedsRefArg);
+  const PatternCalibration &Expected = calibrationFor(C.Key);
+  EXPECT_NEAR(PerTrip, Expected.GraalPerTrip,
+              Expected.GraalPerTrip * 0.05)
+      << C.Key << " per-trip cost drifted; update the calibration table";
+  if (C.Pass) {
+    EXPECT_NEAR(Delta, Expected.DeltaPerTrip,
+                Expected.DeltaPerTrip * 0.05)
+        << C.Key << " delta drifted; update the calibration table";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CalibrationTest,
+    ::testing::Values(CalibrationCase{"AC", "AC", false},
+                      CalibrationCase{"DS", "DS", false},
+                      CalibrationCase{"EAWA", "EAWA", false},
+                      CalibrationCase{"GM", "GM", true},
+                      CalibrationCase{"LV", "LV", false},
+                      CalibrationCase{"LLC", "LLC", false},
+                      CalibrationCase{"MHS", "MHS", false},
+                      CalibrationCase{"FILLER", nullptr, false}),
+    [](const ::testing::TestParamInfo<CalibrationCase> &Info) {
+      return std::string(Info.param.Key);
+    });
+
+TEST(CalibrationTest, C2AdvantagePatterns) {
+  // DataGuard: c2 (unroll) must beat graal by the calibrated delta.
+  auto BuildDg = [](Module &M) {
+    unsigned Arr = M.addArray(std::vector<int64_t>(8192, 7));
+    buildDataGuardLoop(M, "k", Arr, 1);
+  };
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  BuildDg(*K.M);
+  K.Invocations.push_back({"k", {4000}});
+  KernelRun Graal = runKernel(K, OptConfig::graal());
+  KernelRun C2 = runKernel(K, OptConfig::c2());
+  double Delta = (static_cast<double>(Graal.Cycles) -
+                  static_cast<double>(C2.Cycles)) /
+                 4000.0;
+  const PatternCalibration &Expected = calibrationFor("C2ADV");
+  EXPECT_NEAR(static_cast<double>(Graal.Cycles) / 4000.0,
+              Expected.GraalPerTrip, Expected.GraalPerTrip * 0.05);
+  EXPECT_NEAR(Delta, Expected.DeltaPerTrip, Expected.DeltaPerTrip * 0.08);
+
+  // CallLoop: graal (aggressive inlining) must beat c2 by its delta.
+  Kernel K2;
+  K2.M = std::make_unique<Module>();
+  buildCallLoop(*K2.M, "k");
+  K2.Invocations.push_back({"k", {4000}});
+  KernelRun G2 = runKernel(K2, OptConfig::graal());
+  KernelRun C22 = runKernel(K2, OptConfig::c2());
+  double InlineDelta = (static_cast<double>(C22.Cycles) -
+                        static_cast<double>(G2.Cycles)) /
+                       4000.0;
+  const PatternCalibration &ExpectedCall = calibrationFor("INLINE");
+  EXPECT_NEAR(InlineDelta, ExpectedCall.DeltaPerTrip,
+              ExpectedCall.DeltaPerTrip * 0.05);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: ANY combination of the seven passes must preserve the
+// kernel's results (passes are independent semantic-preserving
+// transforms, so their composition must be too).
+//===----------------------------------------------------------------------===//
+
+class PassComboTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PassComboTest, ArbitraryPassSubsetsPreserveSemantics) {
+  unsigned Mask = GetParam();
+  OptConfig Config = OptConfig::graal();
+  Config.Ac = Mask & 1;
+  Config.Dbds = Mask & 2;
+  Config.Eawa = Mask & 4;
+  Config.Gm = Mask & 8;
+  Config.Lv = Mask & 16;
+  Config.Llc = Mask & 32;
+  Config.Mhs = Mask & 64;
+
+  // future-genetic + streams-mnemonics together cover every pattern kind.
+  for (const char *Name : {"future-genetic", "streams-mnemonics"}) {
+    Kernel K = kernelFor("renaissance", Name);
+    KernelRun Reference = runKernel(K, OptConfig::graal());
+    KernelRun Combo = runKernel(K, Config);
+    ASSERT_EQ(Combo.ResultHash, Reference.ResultHash)
+        << Name << " under pass mask " << Mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, PassComboTest,
+                         ::testing::Values(0u, 1u, 2u, 4u, 8u, 16u, 32u,
+                                           64u, 3u, 12u, 48u, 65u, 85u,
+                                           106u, 127u));

@@ -1,0 +1,398 @@
+//===- tests/jit/PassesTest.cpp -------------------------------------------==//
+//
+// Pass-correctness tests: every §5 optimization must preserve the kernel's
+// result while reducing the targeted cost component.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Passes.h"
+
+#include "jit/Compiler.h"
+#include "jit/Experiment.h"
+#include "jit/Interp.h"
+#include "jit/IrBuilder.h"
+#include "jit/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+using namespace ren::jit::kernels;
+
+namespace {
+
+/// Runs function \p Name in a fresh interpreter against \p M.
+ExecResult execute(const Module &M, const std::string &Name,
+                   std::vector<int64_t> Args) {
+  Interpreter I(M);
+  return I.run(*M.function(Name), Args);
+}
+
+/// Applies \p Mutate to a clone of \p M and returns (before, after) runs.
+template <typename FnT>
+std::pair<ExecResult, ExecResult>
+runBeforeAfter(const Module &M, const std::string &Fn,
+               std::vector<int64_t> Args, FnT Mutate) {
+  ExecResult Before = execute(M, Fn, Args);
+  auto Clone = M.clone();
+  Mutate(*Clone);
+  EXPECT_EQ(Clone->function(Fn)->verify(), "");
+  ExecResult After = execute(*Clone, Fn, Args);
+  return {Before, After};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Constant folding & inlining
+//===----------------------------------------------------------------------===//
+
+TEST(ConstantFoldingTest, FoldsArithmeticAndBranches) {
+  Module M;
+  Function *F = M.addFunction("f", 0);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Dead = B.makeBlock("dead");
+  BasicBlock *Live = B.makeBlock("live");
+  B.setBlock(Entry);
+  Instruction *A = B.constant(6);
+  Instruction *C = B.constant(7);
+  Instruction *Mul = B.mul(A, C);
+  Instruction *Cond = B.cmpEq(Mul, Mul); // folds to 1
+  B.branch(Cond, Live, Dead);
+  B.setBlock(Dead);
+  B.ret(B.constant(-1));
+  B.setBlock(Live);
+  B.ret(Mul);
+  B.finish();
+
+  EXPECT_TRUE(runConstantFolding(*F));
+  EXPECT_EQ(F->verify(), "");
+  // Dead block eliminated, result still 42.
+  EXPECT_EQ(F->Blocks.size(), 2u);
+  EXPECT_EQ(execute(M, "f", {}).ReturnValue, 42);
+}
+
+TEST(InlinerTest, InlinesSmallCalleePreservingResult) {
+  Module M;
+  Function *Callee = M.addFunction("sq", 1);
+  {
+    IrBuilder B(*Callee);
+    B.setBlock(B.makeBlock("entry"));
+    Instruction *X = B.param(0);
+    B.ret(B.mul(X, X));
+    B.finish();
+  }
+  Function *Caller = M.addFunction("caller", 1);
+  {
+    IrBuilder B(*Caller);
+    B.setBlock(B.makeBlock("entry"));
+    Instruction *X = B.param(0);
+    Instruction *R = B.invoke(M.functionId(Callee), {X});
+    Instruction *One = B.constant(1);
+    B.ret(B.add(R, One));
+    B.finish();
+  }
+  auto [Before, After] = runBeforeAfter(M, "caller", {9}, [](Module &C) {
+    EXPECT_TRUE(runInliner(C, *C.function("caller")));
+  });
+  EXPECT_EQ(Before.ReturnValue, 82);
+  EXPECT_EQ(After.ReturnValue, 82);
+  EXPECT_EQ(After.CallsExecuted, 0u) << "call disappeared";
+  EXPECT_LT(After.Cycles, Before.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// §5.4 Method-handle simplification
+//===----------------------------------------------------------------------===//
+
+TEST(MhsTest, DevirtualizesAndEnablesInlining) {
+  Module M;
+  M.addArray(std::vector<int64_t>(64, 5));
+  Function *F = buildMhPipeline(M, "mh", /*Work=*/1);
+  ExecResult Before = execute(M, F->Name, {50});
+  EXPECT_EQ(Before.MhDispatches, 50u);
+
+  auto Clone = M.clone();
+  Function *FC = Clone->function("mh");
+  EXPECT_TRUE(runMethodHandleSimplification(*Clone, *FC));
+  EXPECT_TRUE(runInliner(*Clone, *FC));
+  EXPECT_EQ(FC->verify(), "");
+  ExecResult After = execute(*Clone, "mh", {50});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  EXPECT_EQ(After.MhDispatches, 0u);
+  EXPECT_EQ(After.CallsExecuted, 0u) << "direct call was then inlined";
+  EXPECT_LT(After.Cycles, Before.Cycles / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// §5.1 Escape analysis with atomics
+//===----------------------------------------------------------------------===//
+
+TEST(EawaTest, ScalarReplacesCasOnNonEscapingObject) {
+  Module M;
+  unsigned Box = M.addClass("Box", 1);
+  Function *F = buildAtomicPublish(M, "pub", Box);
+  ExecResult Before = execute(M, F->Name, {100});
+  EXPECT_EQ(Before.CasExecuted, 100u);
+  EXPECT_EQ(Before.Allocations, 100u);
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(runEscapeAnalysis(*Clone->function("pub"),
+                                /*HandleAtomics=*/true));
+  ExecResult After = execute(*Clone, "pub", {100});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  EXPECT_EQ(After.CasExecuted, 0u) << "CAS emulated on the scalarized field";
+  EXPECT_EQ(After.Allocations, 0u) << "allocation removed";
+  EXPECT_LT(After.Cycles, Before.Cycles / 2);
+}
+
+TEST(EawaTest, BaselinePeaBailsOnCas) {
+  Module M;
+  unsigned Box = M.addClass("Box", 1);
+  buildAtomicPublish(M, "pub", Box);
+  auto Clone = M.clone();
+  EXPECT_FALSE(runEscapeAnalysis(*Clone->function("pub"),
+                                 /*HandleAtomics=*/false))
+      << "pre-paper PEA cannot handle atomic operations (§5.1)";
+}
+
+TEST(EawaTest, EscapingObjectIsKept) {
+  Module M;
+  unsigned Box = M.addClass("Box", 1);
+  M.addArray(std::vector<int64_t>(1024, 0));
+  Function *F = buildEscapingAllocLoop(M, "esc", Box, 0);
+  ExecResult Before = execute(M, F->Name, {64});
+  auto Clone = M.clone();
+  runEscapeAnalysis(*Clone->function("esc"), /*HandleAtomics=*/true);
+  ExecResult After = execute(*Clone, "esc", {64});
+  EXPECT_EQ(After.Allocations, Before.Allocations)
+      << "published objects must not be scalar-replaced";
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+}
+
+//===----------------------------------------------------------------------===//
+// §5.2 Loop-wide lock coarsening
+//===----------------------------------------------------------------------===//
+
+TEST(LlcTest, TilesMonitorAcquisitions) {
+  Module M;
+  M.addArray(std::vector<int64_t>(1024, 3));
+  unsigned Lock = M.addClass("Lock", 1);
+  Function *F = buildSyncLoop(M, "sync", 0, Lock, /*Work=*/1);
+  ExecResult Before = execute(M, F->Name, {320});
+  EXPECT_EQ(Before.MonitorOps, 640u);
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(runLockCoarsening(*Clone->function("sync"), 32));
+  EXPECT_EQ(Clone->function("sync")->verify(), "");
+  ExecResult After = execute(*Clone, "sync", {320});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  EXPECT_EQ(After.MonitorOps, 20u) << "320 iterations / chunks of 32";
+  EXPECT_LT(After.Cycles, Before.Cycles);
+}
+
+TEST(LlcTest, ChunkBoundaryNotMultiple) {
+  Module M;
+  M.addArray(std::vector<int64_t>(1024, 7));
+  unsigned Lock = M.addClass("Lock", 1);
+  buildSyncLoop(M, "sync", 0, Lock, /*Work=*/0);
+  ExecResult Before = execute(M, "sync", {45});
+  auto Clone = M.clone();
+  EXPECT_TRUE(runLockCoarsening(*Clone->function("sync"), 32));
+  ExecResult After = execute(*Clone, "sync", {45});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  EXPECT_EQ(After.MonitorOps, 4u) << "chunks: 32 + 13";
+}
+
+TEST(LlcTest, ZeroTripLoopStaysCorrect) {
+  Module M;
+  M.addArray(std::vector<int64_t>(1024, 7));
+  unsigned Lock = M.addClass("Lock", 1);
+  buildSyncLoop(M, "sync", 0, Lock, 0);
+  auto Clone = M.clone();
+  runLockCoarsening(*Clone->function("sync"), 32);
+  ExecResult After = execute(*Clone, "sync", {0});
+  EXPECT_EQ(After.ReturnValue, 0);
+  EXPECT_EQ(After.MonitorOps, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// §5.3 Atomic-operation coalescing
+//===----------------------------------------------------------------------===//
+
+TEST(AcTest, FusesConsecutiveRetryLoops) {
+  Module M;
+  unsigned Cell = M.addClass("Cell", 1);
+  Function *F = buildCasRetryPair(M, "pair", Cell);
+  ExecResult Before = execute(M, F->Name, {200});
+  EXPECT_EQ(Before.CasExecuted, 400u);
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(runAtomicCoalescing(*Clone->function("pair")));
+  EXPECT_EQ(Clone->function("pair")->verify(), "");
+  ExecResult After = execute(*Clone, "pair", {200});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue)
+      << "f2(f1(v)) must equal the two-step result";
+  EXPECT_EQ(After.CasExecuted, 200u) << "one CAS per iteration";
+  EXPECT_LT(After.Cycles, Before.Cycles);
+}
+
+TEST(AcTest, SingleRetryLoopUntouched) {
+  Module M;
+  unsigned Cell = M.addClass("Cell", 1);
+  buildSingleCasLoop(M, "single", Cell);
+  auto Clone = M.clone();
+  EXPECT_FALSE(runAtomicCoalescing(*Clone->function("single")));
+}
+
+//===----------------------------------------------------------------------===//
+// §5.5 Speculative guard motion
+//===----------------------------------------------------------------------===//
+
+TEST(GmTest, HoistsInvariantAndBoundsGuards) {
+  Module M;
+  M.addArray(std::vector<int64_t>(4096, 2));
+  Function *F = buildBoundsCheckedLoop(M, "guards", 0, /*Work=*/0);
+  ExecResult Before = execute(M, F->Name, {1000, 1});
+  EXPECT_EQ(Before.Guards.Normal[(int)GuardKind::NullCheck], 1000u);
+  EXPECT_EQ(Before.Guards.Normal[(int)GuardKind::BoundsCheck], 1000u);
+  EXPECT_EQ(Before.Guards.total(), 2000u);
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(runGuardMotion(*Clone->function("guards")));
+  EXPECT_EQ(Clone->function("guards")->verify(), "");
+  ExecResult After = execute(*Clone, "guards", {1000, 1});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  // Both guards execute once, as speculative variants (the §5.5 table).
+  EXPECT_EQ(After.Guards.Normal[(int)GuardKind::NullCheck], 0u);
+  EXPECT_EQ(After.Guards.Normal[(int)GuardKind::BoundsCheck], 0u);
+  EXPECT_EQ(After.Guards.Speculative[(int)GuardKind::NullCheck], 1u);
+  EXPECT_EQ(After.Guards.Speculative[(int)GuardKind::BoundsCheck], 1u);
+  EXPECT_LT(After.Cycles, Before.Cycles);
+}
+
+TEST(GmTest, DataDependentGuardStaysPut) {
+  Module M;
+  M.addArray(std::vector<int64_t>(4096, 2));
+  buildDataGuardLoop(M, "dguard", 0, 0);
+  auto Clone = M.clone();
+  runGuardMotion(*Clone->function("dguard"));
+  ExecResult After = execute(*Clone, "dguard", {500});
+  EXPECT_EQ(After.Guards.Normal[(int)GuardKind::Other], 500u)
+      << "a guard on loaded data cannot be hoisted";
+}
+
+//===----------------------------------------------------------------------===//
+// §5.6 Loop vectorization (and its dependency on guard motion)
+//===----------------------------------------------------------------------===//
+
+TEST(LvTest, VectorizesAfterGuardMotion) {
+  Module M;
+  M.addArray(std::vector<int64_t>(4096, 3));
+  Function *F = buildBoundsCheckedLoop(M, "vec", 0, /*Work=*/1);
+  ExecResult Before = execute(M, F->Name, {1001, 1});
+
+  auto Clone = M.clone();
+  Function *FC = Clone->function("vec");
+  EXPECT_FALSE(runLoopVectorization(*FC))
+      << "in-loop guards must block vectorization (§5.6)";
+  EXPECT_TRUE(runGuardMotion(*FC));
+  EXPECT_TRUE(runLoopVectorization(*FC)) << "GM enables LV";
+  EXPECT_EQ(FC->verify(), "");
+  ExecResult After = execute(*Clone, "vec", {1001, 1});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue)
+      << "vector + remainder must cover the whole range";
+  EXPECT_LT(After.Cycles, Before.Cycles);
+}
+
+TEST(LvTest, TripCountEdgeCases) {
+  for (int64_t N : {0, 1, 3, 4, 5, 8, 1023}) {
+    Module M;
+    M.addArray(std::vector<int64_t>(4096, 5));
+    buildPlainArrayLoop(M, "plain", 0, 1);
+    ExecResult Before = execute(M, "plain", {N});
+    auto Clone = M.clone();
+    Function *FC = Clone->function("plain");
+    ASSERT_TRUE(runLoopVectorization(*FC)) << "N=" << N;
+    ASSERT_EQ(FC->verify(), "") << "N=" << N;
+    ExecResult After = execute(*Clone, "plain", {N});
+    ASSERT_EQ(After.ReturnValue, Before.ReturnValue) << "N=" << N;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// §5.7 Dominance-based duplication
+//===----------------------------------------------------------------------===//
+
+TEST(DbdsTest, DuplicatesMergeAndFoldsTypeCheck) {
+  Module M;
+  unsigned A = M.addClass("A", 1);
+  unsigned Bc = M.addClass("B", 1);
+  Function *F = buildTypeCheckMerge(M, "dup", A, Bc);
+  ExecResult Before = execute(M, F->Name, {200});
+
+  auto Clone = M.clone();
+  EXPECT_TRUE(runDuplication(*Clone->function("dup")));
+  EXPECT_EQ(Clone->function("dup")->verify(), "");
+  ExecResult After = execute(*Clone, "dup", {200});
+  EXPECT_EQ(After.ReturnValue, Before.ReturnValue);
+  EXPECT_LT(After.Cycles, Before.Cycles)
+      << "the re-checked instanceof disappears";
+}
+
+//===----------------------------------------------------------------------===//
+// Loop unrolling (the C2 configuration's distinguishing pass)
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollTest, UnrollsDataGuardLoopPreservingResult) {
+  for (int64_t N : {0, 1, 5, 64, 333}) {
+    Module M;
+    M.addArray(std::vector<int64_t>(4096, 9));
+    buildDataGuardLoop(M, "dg", 0, 1);
+    ExecResult Before = execute(M, "dg", {N});
+    auto Clone = M.clone();
+    Function *FC = Clone->function("dg");
+    ASSERT_TRUE(runLoopUnrolling(*FC)) << "N=" << N;
+    ASSERT_EQ(FC->verify(), "") << "N=" << N;
+    ExecResult After = execute(*Clone, "dg", {N});
+    ASSERT_EQ(After.ReturnValue, Before.ReturnValue) << "N=" << N;
+    ASSERT_EQ(After.Guards.total(), Before.Guards.total())
+        << "every element still checked, N=" << N;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-pipeline integration
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, GraalAndC2AgreeOnResults) {
+  for (const char *Suite : {"renaissance", "specjvm2008"}) {
+    const char *Name =
+        std::string(Suite) == "renaissance" ? "scrabble" : "compress";
+    Kernel K = kernelFor(Suite, Name);
+    KernelRun None = runKernel(K, [] {
+      OptConfig C;
+      C.Inline = false;
+      C.Eawa = C.BasePea = C.Llc = C.Ac = C.Mhs = C.Gm = C.Lv = C.Dbds =
+          false;
+      return C;
+    }());
+    KernelRun Graal = runKernel(K, OptConfig::graal());
+    KernelRun C2 = runKernel(K, OptConfig::c2());
+    EXPECT_EQ(Graal.ResultHash, None.ResultHash) << Name;
+    EXPECT_EQ(C2.ResultHash, None.ResultHash) << Name;
+    EXPECT_LT(Graal.Cycles, None.Cycles) << Name;
+    EXPECT_LT(C2.Cycles, None.Cycles) << Name;
+  }
+}
+
+TEST(PipelineTest, EveryDisabledConfigPreservesSemantics) {
+  Kernel K = kernelFor("renaissance", "future-genetic");
+  KernelRun Base = runKernel(K, OptConfig::graal());
+  for (const std::string &Pass : OptConfig::passShortNames()) {
+    KernelRun Without = runKernel(K, OptConfig::graalWithout(Pass));
+    EXPECT_EQ(Without.ResultHash, Base.ResultHash) << "without " << Pass;
+    EXPECT_GE(Without.Cycles, Base.Cycles)
+        << "disabling " << Pass << " must not speed the kernel up";
+  }
+}

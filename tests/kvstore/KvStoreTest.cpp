@@ -1,0 +1,240 @@
+//===- tests/kvstore/KvStoreTest.cpp --------------------------------------==//
+
+#include "kvstore/KvStore.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+using namespace ren::kvstore;
+
+TEST(TableTest, PutGetRemove) {
+  Table T;
+  EXPECT_TRUE(T.put(1, "one"));
+  EXPECT_FALSE(T.put(1, "uno")) << "update is not an insert";
+  EXPECT_EQ(T.get(1), "uno");
+  EXPECT_EQ(T.get(2), std::nullopt);
+  EXPECT_TRUE(T.remove(1));
+  EXPECT_FALSE(T.remove(1));
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(TableTest, ScanVisitsEverything) {
+  Table T(4);
+  for (uint64_t K = 0; K < 100; ++K)
+    T.put(K, std::to_string(K));
+  std::set<uint64_t> Seen;
+  T.scan([&](uint64_t K, const std::string &V) {
+    EXPECT_EQ(V, std::to_string(K));
+    Seen.insert(K);
+  });
+  EXPECT_EQ(Seen.size(), 100u);
+}
+
+TEST(TableTest, StripeCountRoundsToPowerOfTwo) {
+  Table T(5);
+  EXPECT_EQ(T.stripeCount(), 8u);
+  Table T1(1);
+  EXPECT_EQ(T1.stripeCount(), 1u);
+}
+
+TEST(TableTest, ConcurrentWritersDisjointKeys) {
+  Table T;
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < 4; ++W)
+    Writers.emplace_back([&T, W] {
+      for (uint64_t K = 0; K < 500; ++K)
+        T.put(static_cast<uint64_t>(W) * 1000 + K, "v");
+    });
+  for (auto &W : Writers)
+    W.join();
+  EXPECT_EQ(T.size(), 2000u);
+}
+
+TEST(DatabaseTest, TablesAreNamedAndStable) {
+  Database Db;
+  Table &A = Db.table("users");
+  Table &B = Db.table("users");
+  EXPECT_EQ(&A, &B);
+  EXPECT_NE(&A, &Db.table("posts"));
+}
+
+TEST(DatabaseTest, TransactionReadsItsOwnTableState) {
+  Database Db;
+  Db.table("t").put(1, "before");
+  auto Result = Db.transact({
+      {Database::Op::Kind::Get, "t", 1, ""},
+      {Database::Op::Kind::Put, "t", 1, "after"},
+      {Database::Op::Kind::Get, "t", 1, ""},
+  });
+  ASSERT_EQ(Result.Reads.size(), 2u);
+  EXPECT_EQ(Result.Reads[0], "before");
+  EXPECT_EQ(Result.Reads[1], "after");
+}
+
+TEST(DatabaseTest, TransactionsAreAtomicUnderContention) {
+  // Two keys in one table must always move money in lock-step.
+  Database Db;
+  Db.table("acct").put(1, "1000");
+  Db.table("acct").put(2, "1000");
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Violated{false};
+  std::thread Observer([&] {
+    while (!Stop.load()) {
+      auto R = Db.transact({
+          {Database::Op::Kind::Get, "acct", 1, ""},
+          {Database::Op::Kind::Get, "acct", 2, ""},
+      });
+      long Total = std::stol(*R.Reads[0]) + std::stol(*R.Reads[1]);
+      if (Total != 2000)
+        Violated.store(true);
+    }
+  });
+  std::vector<std::thread> Movers;
+  for (int M = 0; M < 2; ++M)
+    Movers.emplace_back([&] {
+      for (int I = 0; I < 1000; ++I) {
+        auto R = Db.transact({
+            {Database::Op::Kind::Get, "acct", 1, ""},
+            {Database::Op::Kind::Get, "acct", 2, ""},
+        });
+        long A = std::stol(*R.Reads[0]);
+        long B = std::stol(*R.Reads[1]);
+        Db.transact({
+            {Database::Op::Kind::Put, "acct", 1, std::to_string(A - 1)},
+            {Database::Op::Kind::Put, "acct", 2, std::to_string(B + 1)},
+        });
+      }
+    });
+  for (auto &M : Movers)
+    M.join();
+  Stop.store(true);
+  Observer.join();
+  EXPECT_FALSE(Violated.load());
+}
+
+TEST(DatabaseTest, CommitCounterAdvances) {
+  Database Db;
+  uint64_t Before = Db.commits();
+  Db.transact({{Database::Op::Kind::Put, "t", 1, "v"}});
+  EXPECT_EQ(Db.commits(), Before + 1);
+}
+
+TEST(GraphTest, NodesEdgesAndNeighbours) {
+  Graph G;
+  uint64_t A = G.addNode("Person");
+  uint64_t B = G.addNode("Person");
+  uint64_t C = G.addNode("City");
+  G.addEdge(A, B);
+  G.addEdge(A, C);
+  EXPECT_EQ(G.labelOf(C), "City");
+  EXPECT_EQ(G.neighbours(A), (std::vector<uint64_t>{B, C}));
+  EXPECT_TRUE(G.neighbours(B).empty());
+  EXPECT_EQ(G.nodeCount(), 3u);
+}
+
+TEST(GraphTest, Properties) {
+  Graph G;
+  uint64_t N = G.addNode("Person");
+  EXPECT_EQ(G.getProperty(N, "age"), std::nullopt);
+  G.setProperty(N, "age", 30);
+  EXPECT_EQ(G.getProperty(N, "age"), 30);
+  G.setProperty(N, "age", 31);
+  EXPECT_EQ(G.getProperty(N, "age"), 31);
+}
+
+TEST(GraphTest, ReachabilityBfs) {
+  // Chain 0 -> 1 -> 2 -> 3 plus a side branch 1 -> 4.
+  Graph G;
+  std::vector<uint64_t> N;
+  for (int I = 0; I < 5; ++I)
+    N.push_back(G.addNode("n"));
+  G.addEdge(N[0], N[1]);
+  G.addEdge(N[1], N[2]);
+  G.addEdge(N[2], N[3]);
+  G.addEdge(N[1], N[4]);
+  EXPECT_EQ(G.reachableWithin(N[0], 0), 1u);
+  EXPECT_EQ(G.reachableWithin(N[0], 1), 2u);
+  EXPECT_EQ(G.reachableWithin(N[0], 2), 4u);
+  EXPECT_EQ(G.reachableWithin(N[0], 3), 5u);
+}
+
+TEST(GraphTest, ShortestPath) {
+  Graph G;
+  std::vector<uint64_t> N;
+  for (int I = 0; I < 4; ++I)
+    N.push_back(G.addNode("n"));
+  G.addEdge(N[0], N[1]);
+  G.addEdge(N[1], N[2]);
+  G.addEdge(N[0], N[3]);
+  G.addEdge(N[3], N[2]);
+  EXPECT_EQ(G.shortestPath(N[0], N[2]), 2u);
+  EXPECT_EQ(G.shortestPath(N[0], N[0]), 0u);
+  EXPECT_EQ(G.shortestPath(N[2], N[0]), std::nullopt) << "edges are directed";
+}
+
+TEST(GraphTest, ConcurrentNodeCreationYieldsUniqueIds) {
+  Graph G;
+  std::vector<std::thread> Threads;
+  std::vector<std::vector<uint64_t>> Ids(4);
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (int I = 0; I < 250; ++I)
+        Ids[T].push_back(G.addNode("n"));
+    });
+  for (auto &T : Threads)
+    T.join();
+  std::set<uint64_t> Unique;
+  for (auto &V : Ids)
+    Unique.insert(V.begin(), V.end());
+  EXPECT_EQ(Unique.size(), 1000u);
+  EXPECT_EQ(G.nodeCount(), 1000u);
+}
+
+TEST(SecondaryIndexTest, LookupReflectsPutsUpdatesAndRemoves) {
+  Table T(4);
+  SecondaryIndex Idx;
+  T.put(1, "red");
+  T.attachIndex(Idx); // indexes existing rows
+  T.put(2, "red");
+  T.put(3, "blue");
+  auto Reds = Idx.lookup("red");
+  std::sort(Reds.begin(), Reds.end());
+  EXPECT_EQ(Reds, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Idx.lookup("blue"), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(Idx.distinctValues(), 2u);
+
+  T.put(2, "blue"); // value update moves the key between buckets
+  EXPECT_EQ(Idx.lookup("red"), (std::vector<uint64_t>{1}));
+  auto Blues = Idx.lookup("blue");
+  std::sort(Blues.begin(), Blues.end());
+  EXPECT_EQ(Blues, (std::vector<uint64_t>{2, 3}));
+
+  T.remove(3);
+  EXPECT_EQ(Idx.lookup("blue"), (std::vector<uint64_t>{2}));
+  T.remove(1);
+  EXPECT_TRUE(Idx.lookup("red").empty());
+  EXPECT_EQ(Idx.distinctValues(), 1u);
+}
+
+TEST(SecondaryIndexTest, ConcurrentPutsStayConsistent) {
+  Table T(8);
+  SecondaryIndex Idx;
+  T.attachIndex(Idx);
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < 4; ++W)
+    Writers.emplace_back([&T, W] {
+      for (uint64_t K = 0; K < 250; ++K)
+        T.put(static_cast<uint64_t>(W) * 1000 + K,
+              "bucket" + std::to_string(K % 7));
+    });
+  for (auto &W : Writers)
+    W.join();
+  size_t Indexed = 0;
+  for (int B = 0; B < 7; ++B)
+    Indexed += Idx.lookup("bucket" + std::to_string(B)).size();
+  EXPECT_EQ(Indexed, 1000u);
+  EXPECT_EQ(Idx.distinctValues(), 7u);
+}

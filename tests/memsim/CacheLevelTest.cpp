@@ -1,0 +1,72 @@
+//===- tests/memsim/CacheLevelTest.cpp ------------------------------------==//
+
+#include "memsim/MemSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::memsim;
+
+namespace {
+
+// A tiny 2-way cache with 2 sets of 64-byte lines (256 bytes total).
+CacheConfig tinyConfig() { return {256, 64, 2}; }
+
+} // namespace
+
+TEST(CacheLevelTest, ColdMissThenHit) {
+  CacheLevel C(tinyConfig());
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000 + 63)); // same line
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(CacheLevelTest, DistinctLinesMissSeparately) {
+  CacheLevel C(tinyConfig());
+  EXPECT_FALSE(C.access(0));
+  EXPECT_FALSE(C.access(64));
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet) {
+  CacheLevel C(tinyConfig());
+  // Lines 0, 128, 256 map to set 0 (2 sets, 64B lines): line addr % 2 == 0.
+  C.access(0);   // miss, fills way A
+  C.access(128); // miss, fills way B
+  C.access(0);   // hit, makes 128 the LRU line
+  C.access(256); // miss, evicts 128
+  EXPECT_TRUE(C.access(0));    // still resident
+  EXPECT_FALSE(C.access(128)); // was evicted
+}
+
+TEST(CacheLevelTest, ResetClearsStateAndStats) {
+  CacheLevel C(tinyConfig());
+  C.access(0);
+  C.access(0);
+  C.reset();
+  EXPECT_EQ(C.hits(), 0u);
+  EXPECT_EQ(C.misses(), 0u);
+  EXPECT_FALSE(C.access(0)) << "reset must invalidate lines";
+}
+
+TEST(CacheLevelTest, SequentialScanLargerThanCacheAlwaysMisses) {
+  CacheLevel C(tinyConfig());
+  // Two passes over 16 lines (1 KiB) through a 256-byte cache: with LRU,
+  // every access of both passes misses.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Addr = 0; Addr < 1024; Addr += 64)
+      C.access(Addr);
+  EXPECT_EQ(C.misses(), 32u);
+  EXPECT_EQ(C.hits(), 0u);
+}
+
+TEST(CacheLevelTest, WorkingSetSmallerThanCacheHitsAfterWarmup) {
+  CacheLevel C(tinyConfig());
+  // 4 lines fit exactly (2 sets x 2 ways): second pass is all hits.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (uint64_t Addr = 0; Addr < 256; Addr += 64)
+      C.access(Addr);
+  EXPECT_EQ(C.misses(), 4u);
+  EXPECT_EQ(C.hits(), 4u);
+}

@@ -1,0 +1,128 @@
+//===- tests/memsim/MemorySystemTest.cpp ----------------------------------==//
+
+#include "memsim/MemSim.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace ren::memsim;
+using namespace ren::metrics;
+
+TEST(MemorySystemTest, StraddlingAccessTouchesBothLines) {
+  MemorySystem MS;
+  MS.access(60, 8, AccessKind::Data); // crosses the 64-byte boundary
+  EXPECT_EQ(MS.l1d().misses(), 2u);
+}
+
+TEST(MemorySystemTest, L1HitDoesNotReachLlc) {
+  MemorySystem MS;
+  MS.access(0, 4, AccessKind::Data);
+  uint64_t LlcAfterMiss = MS.llc().misses() + MS.llc().hits();
+  MS.access(0, 4, AccessKind::Data); // L1 hit
+  EXPECT_EQ(MS.llc().misses() + MS.llc().hits(), LlcAfterMiss);
+}
+
+TEST(MemorySystemTest, InstructionAndDataSidesAreSeparate) {
+  MemorySystem MS;
+  MS.access(0, 4, AccessKind::Instruction);
+  MS.access(0, 4, AccessKind::Data);
+  EXPECT_EQ(MS.l1i().misses(), 1u);
+  EXPECT_EQ(MS.l1d().misses(), 1u);
+  EXPECT_EQ(MS.itlb().misses(), 1u);
+  EXPECT_EQ(MS.dtlb().misses(), 1u);
+}
+
+TEST(MemorySystemTest, TotalMissesAggregatesAllStructures) {
+  MemorySystem MS;
+  MS.access(0, 4, AccessKind::Data);
+  // Cold access: dTLB miss + L1D miss + LLC miss = 3.
+  EXPECT_EQ(MS.totalMisses(), 3u);
+}
+
+TEST(MemorySystemTest, GlobalTracingCoversWorkerThreads) {
+  using namespace ren::metrics;
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  setGlobalTracing(true);
+  std::thread Worker([] {
+    int Data[512] = {};
+    for (int I = 0; I < 512; ++I)
+      traceData(&Data[I], sizeof(int));
+  });
+  Worker.join();
+  setGlobalTracing(false);
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GT(D.get(Metric::CacheMiss), 0u);
+  EXPECT_EQ(activeMemorySystem(), nullptr);
+}
+
+TEST(MemorySystemTest, ZeroByteAccessIsNoop) {
+  MemorySystem MS;
+  MS.access(0x1000, 0, AccessKind::Data);
+  EXPECT_EQ(MS.totalMisses(), 0u);
+}
+
+TEST(MemorySystemTest, RandomScanMissesMoreThanSequentialScan) {
+  // The property the cachemiss metric must deliver: pointer-chasing random
+  // access patterns generate more misses than streaming ones.
+  MemorySystemConfig Small;
+  Small.L1D = {4096, 64, 4};
+  Small.Llc = {32768, 64, 8};
+  MemorySystem Seq(Small), Rnd(Small);
+  constexpr uint64_t N = 1 << 16;
+  for (uint64_t I = 0; I < N; ++I)
+    Seq.access(I * 8, 8, AccessKind::Data);
+  uint64_t State = 88172645463325252ULL;
+  for (uint64_t I = 0; I < N; ++I) {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    Rnd.access((State % N) * 8, 8, AccessKind::Data);
+  }
+  EXPECT_GT(Rnd.totalMisses(), Seq.totalMisses());
+}
+
+TEST(ScopedMemTraceTest, FlushesMissesToMetric) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  {
+    ScopedMemTrace Trace;
+    ASSERT_NE(activeMemorySystem(), nullptr);
+    int Data[1024] = {};
+    for (int I = 0; I < 1024; ++I)
+      traceData(&Data[I], sizeof(int));
+  }
+  EXPECT_EQ(activeMemorySystem(), nullptr);
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GT(D.get(Metric::CacheMiss), 0u);
+}
+
+TEST(ScopedMemTraceTest, NestedGuardsShareOneSystem) {
+  ScopedMemTrace Outer;
+  MemorySystem *OuterSystem = activeMemorySystem();
+  {
+    ScopedMemTrace Inner;
+    EXPECT_EQ(activeMemorySystem(), OuterSystem);
+  }
+  EXPECT_EQ(activeMemorySystem(), OuterSystem);
+}
+
+TEST(ScopedMemTraceTest, TraceIsNoopWhenDisabled) {
+  EXPECT_EQ(activeMemorySystem(), nullptr);
+  int X = 0;
+  traceData(&X, sizeof(X)); // must not crash
+}
+
+TEST(TracedArrayTest, ReadWriteRoundTripAndTracing) {
+  ScopedMemTrace Trace;
+  MemorySystem *MS = activeMemorySystem();
+  TracedArray<int> Arr(128, -1);
+  EXPECT_EQ(Arr.read(0), -1);
+  Arr.write(5, 42);
+  EXPECT_EQ(Arr.read(5), 42);
+  EXPECT_GT(MS->l1d().hits() + MS->l1d().misses(), 0u);
+  EXPECT_EQ(Arr.size(), 128u);
+}

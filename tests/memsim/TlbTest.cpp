@@ -1,0 +1,34 @@
+//===- tests/memsim/TlbTest.cpp -------------------------------------------==//
+
+#include "memsim/MemSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::memsim;
+
+TEST(TlbTest, SamePageHitsAfterFirstAccess) {
+  Tlb T(4, 4096);
+  EXPECT_FALSE(T.access(0x1234));
+  EXPECT_TRUE(T.access(0x1FFF)); // same 4K page
+  EXPECT_FALSE(T.access(0x2000)); // next page
+  EXPECT_EQ(T.misses(), 2u);
+  EXPECT_EQ(T.hits(), 1u);
+}
+
+TEST(TlbTest, LruEvictionWhenFull) {
+  Tlb T(2, 4096);
+  T.access(0 * 4096); // miss
+  T.access(1 * 4096); // miss
+  T.access(0 * 4096); // hit; page 1 becomes LRU
+  T.access(2 * 4096); // miss; evicts page 1
+  EXPECT_TRUE(T.access(0 * 4096));
+  EXPECT_FALSE(T.access(1 * 4096));
+}
+
+TEST(TlbTest, ResetClears) {
+  Tlb T(2, 4096);
+  T.access(0);
+  T.reset();
+  EXPECT_EQ(T.hits() + T.misses(), 0u);
+  EXPECT_FALSE(T.access(0));
+}

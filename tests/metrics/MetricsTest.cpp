@@ -1,0 +1,119 @@
+//===- tests/metrics/MetricsTest.cpp --------------------------------------==//
+
+#include "metrics/Metrics.h"
+
+#include "support/Clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ren::metrics;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+} // namespace
+
+TEST(MetricsTest, CountIncrementsSnapshotDelta) {
+  MetricSnapshot Before = snap();
+  count(Metric::Atomic, 5);
+  count(Metric::Object);
+  MetricSnapshot After = snap();
+  MetricSnapshot D = MetricSnapshot::delta(Before, After);
+  EXPECT_EQ(D.get(Metric::Atomic), 5u);
+  EXPECT_EQ(D.get(Metric::Object), 1u);
+  EXPECT_EQ(D.get(Metric::Park), 0u);
+}
+
+TEST(MetricsTest, CountsAggregateAcrossThreads) {
+  MetricSnapshot Before = snap();
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < 4; ++T)
+    Workers.emplace_back([] {
+      for (int I = 0; I < 1000; ++I)
+        count(Metric::Synch);
+    });
+  for (auto &W : Workers)
+    W.join();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Synch), 4000u);
+}
+
+TEST(MetricsTest, CountsSurviveThreadExit) {
+  MetricSnapshot Before = snap();
+  {
+    std::thread W([] { count(Metric::Wait, 7); });
+    W.join();
+  }
+  // Snapshot taken strictly after the counting thread has exited.
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Wait), 7u);
+}
+
+TEST(MetricsTest, MetricNamesMatchPaperTable2) {
+  EXPECT_STREQ(metricName(Metric::Synch), "synch");
+  EXPECT_STREQ(metricName(Metric::Wait), "wait");
+  EXPECT_STREQ(metricName(Metric::Notify), "notify");
+  EXPECT_STREQ(metricName(Metric::Atomic), "atomic");
+  EXPECT_STREQ(metricName(Metric::Park), "park");
+  EXPECT_STREQ(metricName(Metric::CacheMiss), "cachemiss");
+  EXPECT_STREQ(metricName(Metric::Object), "object");
+  EXPECT_STREQ(metricName(Metric::Array), "array");
+  EXPECT_STREQ(metricName(Metric::Method), "method");
+  EXPECT_STREQ(metricName(Metric::IDynamic), "idynamic");
+}
+
+TEST(MetricsTest, ReferenceCyclesDerivedFromCpuTime) {
+  MetricSnapshot S;
+  S.ProcessCpuNanos = 1000000000ULL; // 1 second
+  EXPECT_EQ(S.referenceCycles(), static_cast<uint64_t>(ren::kNominalHz));
+}
+
+TEST(MetricsTest, CpuUtilizationBounded) {
+  MetricSnapshot S;
+  S.WallNanos = 1000000;
+  S.ProcessCpuNanos = 500000;
+  double Pct = S.cpuUtilizationPercent();
+  EXPECT_GT(Pct, 0.0);
+  EXPECT_LE(Pct, 100.0);
+
+  MetricSnapshot Zero;
+  EXPECT_EQ(Zero.cpuUtilizationPercent(), 0.0);
+}
+
+TEST(MetricsTest, NormalizationDividesByRefCycles) {
+  MetricSnapshot D;
+  D.Counts[static_cast<unsigned>(Metric::Atomic)] = 2100;
+  D.ProcessCpuNanos = 1000; // 2100 reference cycles at 2.1 GHz.
+  NormalizedMetrics N = normalize(D);
+  EXPECT_DOUBLE_EQ(N.rate(Metric::Atomic), 1.0);
+}
+
+TEST(MetricsTest, NormalizedVectorHasCanonicalOrder) {
+  auto Names = NormalizedMetrics::vectorNames();
+  ASSERT_EQ(Names.size(), 11u);
+  EXPECT_EQ(Names[0], "synch");
+  EXPECT_EQ(Names[5], "cpu");
+  EXPECT_EQ(Names[10], "idynamic");
+
+  MetricSnapshot D;
+  D.Counts[static_cast<unsigned>(Metric::IDynamic)] = 21;
+  D.ProcessCpuNanos = 10; // 21 ref cycles.
+  auto Vec = normalize(D).asVector();
+  EXPECT_DOUBLE_EQ(Vec[10], 1.0);
+  EXPECT_DOUBLE_EQ(Vec[0], 0.0);
+}
+
+TEST(MetricsTest, DeltaSubtractsTimeFields) {
+  MetricSnapshot A, B;
+  A.WallNanos = 100;
+  B.WallNanos = 300;
+  A.ProcessCpuNanos = 50;
+  B.ProcessCpuNanos = 150;
+  MetricSnapshot D = MetricSnapshot::delta(A, B);
+  EXPECT_EQ(D.WallNanos, 200u);
+  EXPECT_EQ(D.ProcessCpuNanos, 100u);
+}

@@ -1,0 +1,163 @@
+//===- tests/netsim/NetSimTest.cpp ----------------------------------------==//
+
+#include "netsim/NetSim.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace ren::netsim;
+using namespace ren::metrics;
+
+namespace {
+
+Bytes toBytes(const std::string &S) { return Bytes(S.begin(), S.end()); }
+std::string toString(const Bytes &B) {
+  return std::string(B.begin(), B.end());
+}
+
+/// Echo with an "echo:" prefix.
+Bytes echoHandler(const Bytes &Request) {
+  std::string Body = "echo:" + toString(Request);
+  return toBytes(Body);
+}
+
+} // namespace
+
+TEST(ByteBufferTest, RoundTripsScalarsAndStrings) {
+  ByteBuffer W;
+  W.writeU32(0xDEADBEEF);
+  W.writeU64(0x0123456789ABCDEFULL);
+  W.writeString("hello, wire");
+  ByteBuffer R(W.takeBytes());
+  EXPECT_EQ(R.readU32(), 0xDEADBEEFu);
+  EXPECT_EQ(R.readU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(R.readString(), "hello, wire");
+  EXPECT_EQ(R.remaining(), 0u);
+}
+
+TEST(ByteBufferTest, EmptyString) {
+  ByteBuffer W;
+  W.writeString("");
+  ByteBuffer R(W.takeBytes());
+  EXPECT_EQ(R.readString(), "");
+}
+
+TEST(ChannelTest, SendThenRecv) {
+  Channel C;
+  C.send(toBytes("abc"));
+  Bytes Frame;
+  ASSERT_TRUE(C.recv(Frame));
+  EXPECT_EQ(toString(Frame), "abc");
+}
+
+TEST(ChannelTest, RecvBlocksUntilSend) {
+  Channel C;
+  std::thread Sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    C.send(toBytes("late"));
+  });
+  Bytes Frame;
+  ASSERT_TRUE(C.recv(Frame));
+  EXPECT_EQ(toString(Frame), "late");
+  Sender.join();
+}
+
+TEST(ChannelTest, CloseDrainsThenFails) {
+  Channel C;
+  C.send(toBytes("a"));
+  C.close();
+  Bytes Frame;
+  EXPECT_TRUE(C.recv(Frame));
+  EXPECT_FALSE(C.recv(Frame));
+}
+
+TEST(ChannelTest, SendAfterCloseIsDropped) {
+  Channel C;
+  C.close();
+  C.send(toBytes("dropped"));
+  Bytes Frame;
+  EXPECT_FALSE(C.recv(Frame));
+}
+
+TEST(ServerTest, SingleRequestResponse) {
+  Server Srv("echo", echoHandler, 2);
+  auto Conn = Srv.connect();
+  auto Response = Conn->call(toBytes("ping"));
+  EXPECT_EQ(toString(Response.get()), "echo:ping");
+  Conn->close();
+}
+
+TEST(ServerTest, PipelinedRequestsAllAnswered) {
+  Server Srv("echo", echoHandler, 2);
+  auto Conn = Srv.connect();
+  std::vector<ren::futures::Future<Bytes>> Responses;
+  for (int I = 0; I < 100; ++I)
+    Responses.push_back(Conn->call(toBytes("r" + std::to_string(I))));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(toString(Responses[I].get()), "echo:r" + std::to_string(I));
+  EXPECT_EQ(Srv.requestsHandled(), 100u);
+  Conn->close();
+}
+
+TEST(ServerTest, MultipleConnectionsAreIndependent) {
+  Server Srv("echo", echoHandler, 2);
+  auto A = Srv.connect();
+  auto B = Srv.connect();
+  auto RA = A->call(toBytes("a"));
+  auto RB = B->call(toBytes("b"));
+  EXPECT_EQ(toString(RA.get()), "echo:a");
+  EXPECT_EQ(toString(RB.get()), "echo:b");
+  A->close();
+  B->close();
+}
+
+TEST(ServerTest, ConcurrentClientsFloodServer) {
+  Server Srv("echo", echoHandler, 3);
+  constexpr int Clients = 4;
+  constexpr int PerClient = 50;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Correct{0};
+  for (int C = 0; C < Clients; ++C)
+    Threads.emplace_back([&] {
+      auto Conn = Srv.connect();
+      for (int I = 0; I < PerClient; ++I) {
+        auto R = Conn->call(toBytes(std::to_string(I)));
+        if (toString(R.get()) == "echo:" + std::to_string(I))
+          Correct.fetch_add(1);
+      }
+      Conn->close();
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Correct.load(), Clients * PerClient);
+  EXPECT_EQ(Srv.requestsHandled(),
+            static_cast<uint64_t>(Clients) * PerClient);
+}
+
+TEST(ServerTest, CallAfterCloseFailsFast) {
+  Server Srv("echo", echoHandler, 1);
+  auto Conn = Srv.connect();
+  Conn->close();
+  auto R = Conn->call(toBytes("x"));
+  EXPECT_TRUE(R.await().isFailure());
+}
+
+TEST(ServerTest, RpcCountsMonitorMetrics) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  {
+    Server Srv("echo", echoHandler, 2);
+    auto Conn = Srv.connect();
+    for (int I = 0; I < 20; ++I)
+      Conn->call(toBytes("x")).get();
+    Conn->close();
+  }
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GT(D.get(Metric::Synch), 0u);
+  EXPECT_GT(D.get(Metric::Wait), 0u);
+  EXPECT_GT(D.get(Metric::Notify), 0u);
+  EXPECT_GE(D.get(Metric::Atomic), 20u) << "future completions";
+}

@@ -1,0 +1,71 @@
+//===- tests/runtime/AllocTest.cpp ----------------------------------------==//
+
+#include "runtime/Alloc.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::runtime;
+using namespace ren::metrics;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+struct Shape {
+  virtual ~Shape() = default;
+  virtual int area() const = 0;
+};
+
+struct Square : Shape {
+  explicit Square(int S) : Side(S) {}
+  int area() const override { return Side * Side; }
+  int Side;
+};
+
+} // namespace
+
+TEST(AllocTest, NewObjectCountsAndConstructs) {
+  MetricSnapshot Before = snap();
+  auto S = newObject<Square>(4);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Object), 1u);
+  EXPECT_EQ(S->area(), 16);
+}
+
+TEST(AllocTest, NewSharedCounts) {
+  MetricSnapshot Before = snap();
+  auto S = newShared<Square>(2);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Object), 1u);
+  EXPECT_EQ(S->area(), 4);
+}
+
+TEST(AllocTest, NewArrayCountsOnceRegardlessOfLength) {
+  MetricSnapshot Before = snap();
+  auto A = newArray<int>(1000, 3);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Array), 1u);
+  EXPECT_EQ(A.size(), 1000u);
+  EXPECT_EQ(A[999], 3);
+}
+
+TEST(AllocTest, BulkNotesAddGivenCount) {
+  MetricSnapshot Before = snap();
+  noteObjectAlloc(10);
+  noteArrayAlloc(4);
+  noteVirtualCall(3);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Object), 10u);
+  EXPECT_EQ(D.get(Metric::Array), 4u);
+  EXPECT_EQ(D.get(Metric::Method), 3u);
+}
+
+TEST(AllocTest, VirtualCallDispatchesAndCounts) {
+  auto S = newObject<Square>(3);
+  Shape *Base = S.get();
+  MetricSnapshot Before = snap();
+  int Area = virtualCall(Base, &Shape::area);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(Area, 9);
+  EXPECT_EQ(D.get(Metric::Method), 1u);
+}

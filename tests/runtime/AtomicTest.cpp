@@ -1,0 +1,116 @@
+//===- tests/runtime/AtomicTest.cpp ---------------------------------------==//
+
+#include "runtime/Atomic.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ren::runtime;
+using namespace ren::metrics;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+} // namespace
+
+TEST(AtomicTest, CompareAndSwapSemantics) {
+  Atomic<int> A(5);
+  int Expected = 5;
+  EXPECT_TRUE(A.compareAndSwap(Expected, 7));
+  EXPECT_EQ(A.load(), 7);
+  Expected = 5;
+  EXPECT_FALSE(A.compareAndSwap(Expected, 9));
+  EXPECT_EQ(Expected, 7) << "failed CAS reports the observed value";
+}
+
+TEST(AtomicTest, GetAndAddIsAtomicAcrossThreads) {
+  Atomic<long> A(0);
+  constexpr int Threads = 4;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        A.getAndAdd(1);
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(A.load(), static_cast<long>(Threads) * PerThread);
+}
+
+TEST(AtomicTest, IncrementDecrement) {
+  Atomic<int> A(0);
+  EXPECT_EQ(A.incrementAndGet(), 1);
+  EXPECT_EQ(A.incrementAndGet(), 2);
+  EXPECT_EQ(A.decrementAndGet(), 1);
+}
+
+TEST(AtomicTest, GetAndSetReturnsOldValue) {
+  Atomic<int> A(3);
+  EXPECT_EQ(A.getAndSet(8), 3);
+  EXPECT_EQ(A.load(), 8);
+}
+
+TEST(AtomicTest, RmwOpsCountAtomicMetricButLoadsDoNot) {
+  Atomic<int> A(0);
+  MetricSnapshot Before = snap();
+  A.load();
+  A.store(1);
+  MetricSnapshot AfterPlain = snap();
+  EXPECT_EQ(MetricSnapshot::delta(Before, AfterPlain).get(Metric::Atomic), 0u)
+      << "volatile-style loads/stores are not counted (paper §3.3)";
+  int Exp = 1;
+  A.compareAndSwap(Exp, 2);
+  A.getAndAdd(1);
+  A.getAndSet(5);
+  A.compareAndSet(5, 6);
+  MetricSnapshot D = MetricSnapshot::delta(AfterPlain, snap());
+  EXPECT_EQ(D.get(Metric::Atomic), 4u);
+}
+
+TEST(CasCounterTest, AddAndGetUnderContention) {
+  CasCounter C;
+  constexpr int Threads = 4;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        C.addAndGet(1);
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(C.get(), static_cast<uint64_t>(Threads) * PerThread);
+}
+
+TEST(SharedRandomTest, MatchesJavaUtilRandom) {
+  // java.util.Random with seed 42 produces these nextInt(100) values.
+  SharedRandom R(42);
+  EXPECT_EQ(R.nextInt(100), 30u);
+  EXPECT_EQ(R.nextInt(100), 63u);
+  EXPECT_EQ(R.nextInt(100), 48u);
+}
+
+TEST(SharedRandomTest, NextDoubleMatchesJava) {
+  // java.util.Random(42).nextDouble() == 0.727564...
+  SharedRandom R(42);
+  EXPECT_NEAR(R.nextDouble(), 0.7275636800328681, 1e-15);
+}
+
+TEST(SharedRandomTest, NextDoubleExecutesTwoCasLoops) {
+  SharedRandom R(1);
+  MetricSnapshot Before = snap();
+  R.nextDouble();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Atomic), 2u)
+      << "nextDouble is the §5.3 double-CAS coalescing pattern";
+}
+
+TEST(SharedRandomTest, DeterministicAcrossInstances) {
+  SharedRandom A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(A.next(31), B.next(31));
+}

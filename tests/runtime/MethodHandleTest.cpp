@@ -1,0 +1,92 @@
+//===- tests/runtime/MethodHandleTest.cpp ---------------------------------==//
+
+#include "runtime/MethodHandle.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ren::runtime;
+using namespace ren::metrics;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+} // namespace
+
+TEST(MethodHandleTest, InvokeCallsTarget) {
+  MethodHandle<int(int)> H([](int X) { return X * 2; });
+  EXPECT_EQ(H.invoke(21), 42);
+  EXPECT_EQ(H(10), 20);
+}
+
+TEST(MethodHandleTest, UnlinkedHandleIsFalse) {
+  MethodHandle<void()> H;
+  EXPECT_FALSE(static_cast<bool>(H));
+  MethodHandle<void()> Linked([] {});
+  EXPECT_TRUE(static_cast<bool>(Linked));
+}
+
+TEST(MethodHandleTest, InvokeCountsDynamicDispatch) {
+  MethodHandle<int()> H([] { return 1; });
+  MetricSnapshot Before = snap();
+  for (int I = 0; I < 5; ++I)
+    H.invoke();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Method), 5u);
+}
+
+TEST(InvokeDynamicSiteTest, BootstrapRunsExactlyOnce) {
+  InvokeDynamicSite<int(int)> Site;
+  int BootstrapCalls = 0;
+  for (int I = 0; I < 10; ++I) {
+    auto H = Site.makeHandle([&] {
+      ++BootstrapCalls;
+      return MethodHandle<int(int)>([](int X) { return X + 1; });
+    });
+    EXPECT_EQ(H.invoke(I), I + 1);
+  }
+  EXPECT_EQ(BootstrapCalls, 1);
+  EXPECT_EQ(Site.bootstrapCount(), 1u);
+}
+
+TEST(InvokeDynamicSiteTest, CountsIDynamicPerExecution) {
+  InvokeDynamicSite<int()> Site;
+  MetricSnapshot Before = snap();
+  for (int I = 0; I < 7; ++I)
+    Site.makeHandle([] { return MethodHandle<int()>([] { return 0; }); });
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::IDynamic), 7u)
+      << "every execution of the invokedynamic site counts (paper §3.1)";
+}
+
+TEST(InvokeDynamicSiteTest, BootstrapIsThreadSafe) {
+  InvokeDynamicSite<int()> Site;
+  std::atomic<int> BootstrapCalls{0};
+  std::vector<std::thread> Workers;
+  std::atomic<int> Sum{0};
+  for (int T = 0; T < 4; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < 100; ++I) {
+        auto H = Site.makeHandle([&] {
+          ++BootstrapCalls;
+          return MethodHandle<int()>([] { return 1; });
+        });
+        Sum += H.invoke();
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(BootstrapCalls.load(), 1);
+  EXPECT_EQ(Sum.load(), 400);
+}
+
+TEST(BindLambdaTest, CountsIDynamicAndWorks) {
+  MetricSnapshot Before = snap();
+  auto H = bindLambda<int(int, int)>([](int A, int B) { return A + B; });
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::IDynamic), 1u);
+  EXPECT_EQ(H.invoke(2, 3), 5);
+}

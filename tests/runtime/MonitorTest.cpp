@@ -1,0 +1,171 @@
+//===- tests/runtime/MonitorTest.cpp --------------------------------------==//
+
+#include "runtime/Monitor.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ren::runtime;
+using namespace ren::metrics;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+} // namespace
+
+TEST(MonitorTest, MutualExclusionUnderContention) {
+  Monitor M;
+  long Counter = 0;
+  constexpr int Threads = 4;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        Synchronized Sync(M);
+        ++Counter; // data race iff the monitor is broken
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter, static_cast<long>(Threads) * PerThread);
+}
+
+TEST(MonitorTest, Reentrancy) {
+  Monitor M;
+  M.enter();
+  M.enter();
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.exit();
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.exit();
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+TEST(MonitorTest, TryEnterFailsWhenHeldElsewhere) {
+  Monitor M;
+  M.enter();
+  bool OtherGotIt = true;
+  std::thread Other([&] { OtherGotIt = M.tryEnter(); });
+  Other.join();
+  EXPECT_FALSE(OtherGotIt);
+  M.exit();
+}
+
+TEST(MonitorTest, TryEnterSucceedsReentrantly) {
+  Monitor M;
+  M.enter();
+  EXPECT_TRUE(M.tryEnter());
+  M.exit();
+  M.exit();
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+TEST(MonitorTest, CountsSynchMetric) {
+  Monitor M;
+  MetricSnapshot Before = snap();
+  for (int I = 0; I < 10; ++I) {
+    Synchronized Sync(M);
+  }
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Synch), 10u);
+}
+
+TEST(MonitorTest, WaitNotifyHandshake) {
+  Monitor M;
+  bool Ready = false;
+  std::thread Producer([&] {
+    Synchronized Sync(M);
+    Ready = true;
+    M.notifyOne();
+  });
+  {
+    Synchronized Sync(M);
+    M.waitUntil([&] { return Ready; });
+    EXPECT_TRUE(Ready);
+  }
+  Producer.join();
+}
+
+TEST(MonitorTest, NotifyAllWakesEveryWaiter) {
+  Monitor M;
+  bool Go = false;
+  int Woken = 0;
+  constexpr int Waiters = 3;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Waiters; ++T)
+    Workers.emplace_back([&] {
+      Synchronized Sync(M);
+      M.waitUntil([&] { return Go; });
+      ++Woken;
+    });
+  // Let the waiters reach wait().
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    Synchronized Sync(M);
+    Go = true;
+    M.notifyAll();
+  }
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Woken, Waiters);
+}
+
+TEST(MonitorTest, WaitRestoresRecursionDepth) {
+  Monitor M;
+  std::atomic<bool> Woke{false};
+  // Notify repeatedly until the waiter confirms, so a wakeup can never be
+  // missed regardless of scheduling.
+  std::thread Notifier([&] {
+    while (!Woke.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      Synchronized Sync(M);
+      M.notifyAll();
+    }
+  });
+  M.enter();
+  M.enter(); // depth 2
+  M.wait();
+  Woke.store(true);
+  // After wait we must again hold the monitor at depth 2.
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.exit();
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.exit();
+  EXPECT_FALSE(M.heldByCurrentThread());
+  Notifier.join();
+}
+
+TEST(MonitorTest, WaitForTimesOut) {
+  Monitor M;
+  Synchronized Sync(M);
+  EXPECT_FALSE(M.waitFor(10));
+}
+
+TEST(MonitorTest, CountsWaitAndNotifyMetrics) {
+  Monitor M;
+  MetricSnapshot Before = snap();
+  std::atomic<bool> Woke{false};
+  std::thread Notifier([&] {
+    while (!Woke.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      Synchronized Sync(M);
+      M.notifyOne();
+    }
+  });
+  {
+    Synchronized Sync(M);
+    M.wait();
+  }
+  Woke.store(true);
+  Notifier.join();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_GE(D.get(Metric::Wait), 1u);
+  EXPECT_GE(D.get(Metric::Notify), 1u);
+}

@@ -1,0 +1,84 @@
+//===- tests/runtime/ParkTest.cpp -----------------------------------------==//
+
+#include "runtime/Park.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace ren::runtime;
+using namespace ren::metrics;
+
+TEST(ParkTest, UnparkBeforeParkGrantsPermit) {
+  Parker P;
+  P.unpark();
+  P.park(); // must not block
+  SUCCEED();
+}
+
+TEST(ParkTest, PermitsDoNotAccumulate) {
+  Parker P;
+  P.unpark();
+  P.unpark();
+  P.park();                  // consumes the single permit
+  EXPECT_FALSE(P.parkFor(5)); // second park must time out
+}
+
+TEST(ParkTest, UnparkWakesParkedThread) {
+  Parker *Remote = nullptr;
+  std::atomic<bool> Registered{false};
+  std::atomic<bool> Finished{false};
+  std::atomic<bool> MayExit{false};
+  std::thread Worker([&] {
+    Remote = &currentParker();
+    Registered.store(true);
+    currentParker().park();
+    Finished.store(true);
+    // A thread-local parker dies with its thread: hold the thread alive
+    // until the unparker has fully returned (the LockSupport contract —
+    // unpark(thread) requires the thread not to have terminated).
+    while (!MayExit.load())
+      std::this_thread::yield();
+  });
+  while (!Registered.load())
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Remote->unpark();
+  MayExit.store(true);
+  Worker.join();
+  EXPECT_TRUE(Finished.load());
+}
+
+TEST(ParkTest, ParkForTimesOutWithoutPermit) {
+  Parker P;
+  EXPECT_FALSE(P.parkFor(5));
+}
+
+TEST(ParkTest, ParkForReturnsTrueWithPermit) {
+  Parker P;
+  P.unpark();
+  EXPECT_TRUE(P.parkFor(1000));
+}
+
+TEST(ParkTest, CurrentParkerIsPerThread) {
+  Parker *Main = &currentParker();
+  Parker *Other = nullptr;
+  std::thread Worker([&] { Other = &currentParker(); });
+  Worker.join();
+  EXPECT_NE(Main, Other);
+  EXPECT_EQ(Main, &currentParker());
+}
+
+TEST(ParkTest, CountsParkMetric) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  Parker P;
+  P.unpark();
+  P.park();
+  P.parkFor(1);
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_EQ(D.get(Metric::Park), 2u);
+}

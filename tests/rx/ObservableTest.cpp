@@ -1,0 +1,105 @@
+//===- tests/rx/ObservableTest.cpp ----------------------------------------==//
+
+#include "rx/Observable.h"
+
+#include "futures/PoolExecutor.h"
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace ren::rx;
+using namespace ren::metrics;
+
+TEST(ObservableTest, FromVectorEmitsAll) {
+  auto O = Observable<int>::fromVector({1, 2, 3});
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ObservableTest, RangeEmitsHalfOpen) {
+  auto O = Observable<int>::range(5, 8);
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{5, 6, 7}));
+}
+
+TEST(ObservableTest, MapTransforms) {
+  auto O = Observable<int>::range(0, 4).map([](const int &X) {
+    return X * 2;
+  });
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(ObservableTest, MapChangesType) {
+  auto O = Observable<int>::range(1, 4).map([](const int &X) {
+    return std::to_string(X);
+  });
+  EXPECT_EQ(O.blockingCollect(),
+            (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ObservableTest, FilterDropsNonMatching) {
+  auto O = Observable<int>::range(0, 10).filter([](const int &X) {
+    return X % 3 == 0;
+  });
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(ObservableTest, FlatMapConcatenates) {
+  auto O = Observable<int>::range(1, 4).flatMap([](const int &X) {
+    return Observable<int>::fromVector({X, X * 10});
+  });
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{1, 10, 2, 20, 3, 30}));
+}
+
+TEST(ObservableTest, TakeLimitsAndCompletes) {
+  int Completions = 0;
+  std::vector<int> Got;
+  Observable<int>::range(0, 100).take(3).subscribe(
+      [&](const int &V) { Got.push_back(V); },
+      [&] { ++Completions; });
+  EXPECT_EQ(Got, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(Completions, 1);
+}
+
+TEST(ObservableTest, TakeMoreThanAvailable) {
+  auto O = Observable<int>::range(0, 2).take(10);
+  EXPECT_EQ(O.blockingCollect(), (std::vector<int>{0, 1}));
+}
+
+TEST(ObservableTest, ReduceEmitsSingleAccumulation) {
+  auto O = Observable<int>::range(1, 11).reduce(
+      0, [](int Acc, const int &X) { return Acc + X; });
+  EXPECT_EQ(O.blockingLast(), 55);
+}
+
+TEST(ObservableTest, ColdObservableReplaysPerSubscription) {
+  int Sum = 0;
+  auto O = Observable<int>::range(0, 5);
+  O.subscribe([&](const int &V) { Sum += V; });
+  O.subscribe([&](const int &V) { Sum += V; });
+  EXPECT_EQ(Sum, 20);
+}
+
+TEST(ObservableTest, ObserveOnDeliversAllInOrder) {
+  ren::forkjoin::ForkJoinPool Pool(2);
+  ren::futures::PoolExecutor Exec(Pool);
+  auto O = Observable<int>::range(0, 200)
+               .observeOn(Exec)
+               .map([](const int &X) { return X + 1; });
+  std::vector<int> Got = O.blockingCollect();
+  ASSERT_EQ(Got.size(), 200u);
+  for (int I = 0; I < 200; ++I)
+    ASSERT_EQ(Got[I], I + 1);
+}
+
+TEST(ObservableTest, PipelineCountsMetrics) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  Observable<int>::range(0, 50)
+      .map([](const int &X) { return X * 2; })
+      .filter([](const int &X) { return X > 10; })
+      .blockingCollect();
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::IDynamic), 2u);
+  EXPECT_GE(D.get(Metric::Method), 100u);
+}

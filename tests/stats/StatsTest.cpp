@@ -1,0 +1,158 @@
+//===- tests/stats/StatsTest.cpp ------------------------------------------==//
+
+#include "stats/Stats.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ren;
+using namespace ren::stats;
+
+TEST(BasicStatsTest, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({5}), 0.0);
+}
+
+TEST(BasicStatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4, 1}), 2.0);
+  EXPECT_NEAR(geometricMean({2, 8}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({10, 10, 10}), 10.0, 1e-12);
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  Matrix X(4, 2);
+  double Values[4] = {1, 2, 3, 4};
+  for (size_t R = 0; R < 4; ++R) {
+    X.at(R, 0) = Values[R];
+    X.at(R, 1) = 7.0; // constant column
+  }
+  Matrix Y = standardize(X);
+  std::vector<double> Col0;
+  for (size_t R = 0; R < 4; ++R)
+    Col0.push_back(Y.at(R, 0));
+  EXPECT_NEAR(mean(Col0), 0.0, 1e-12);
+  EXPECT_NEAR(sampleVariance(Col0), 1.0, 1e-12);
+  for (size_t R = 0; R < 4; ++R)
+    EXPECT_DOUBLE_EQ(Y.at(R, 1), 0.0) << "constant column maps to zero";
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along y = 2x with tiny noise: PC1 must align with (1, 2)/|.|.
+  Xoshiro256StarStar Rng(11);
+  Matrix X(200, 2);
+  for (size_t R = 0; R < 200; ++R) {
+    double T = Rng.nextGaussian();
+    X.at(R, 0) = T + 0.01 * Rng.nextGaussian();
+    X.at(R, 1) = 2.0 * T + 0.01 * Rng.nextGaussian();
+  }
+  PcaResult P = pca(standardize(X));
+  ASSERT_EQ(P.Eigenvalues.size(), 2u);
+  EXPECT_GT(P.Eigenvalues[0], P.Eigenvalues[1]);
+  // After standardization both columns have equal weight: loadings are
+  // (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(P.Loadings.at(0, 0)), 1.0 / std::sqrt(2.0), 0.01);
+  EXPECT_NEAR(std::fabs(P.Loadings.at(1, 0)), 1.0 / std::sqrt(2.0), 0.01);
+  EXPECT_GT(P.varianceExplained(1), 0.99);
+}
+
+TEST(PcaTest, LoadingsAreOrthonormal) {
+  Xoshiro256StarStar Rng(23);
+  Matrix X(60, 4);
+  for (size_t R = 0; R < 60; ++R)
+    for (size_t C = 0; C < 4; ++C)
+      X.at(R, C) = Rng.nextGaussian() * (C + 1) +
+                   (C > 0 ? 0.5 * X.at(R, C - 1) : 0.0);
+  PcaResult P = pca(standardize(X));
+  for (size_t A = 0; A < 4; ++A)
+    for (size_t B = 0; B < 4; ++B) {
+      double Dot = 0;
+      for (size_t I = 0; I < 4; ++I)
+        Dot += P.Loadings.at(I, A) * P.Loadings.at(I, B);
+      EXPECT_NEAR(Dot, A == B ? 1.0 : 0.0, 1e-8);
+    }
+}
+
+TEST(PcaTest, ScoresVarianceMatchesEigenvalues) {
+  Xoshiro256StarStar Rng(31);
+  Matrix X(100, 3);
+  for (size_t R = 0; R < 100; ++R)
+    for (size_t C = 0; C < 3; ++C)
+      X.at(R, C) = Rng.nextGaussian() * (3 - C);
+  PcaResult P = pca(standardize(X));
+  for (size_t J = 0; J < 3; ++J) {
+    std::vector<double> Col;
+    for (size_t R = 0; R < 100; ++R)
+      Col.push_back(P.Scores.at(R, J));
+    EXPECT_NEAR(sampleVariance(Col), P.Eigenvalues[J], 1e-6);
+  }
+}
+
+TEST(WelchTest, DistinguishesClearlyDifferentSamples) {
+  std::vector<double> A = {10.1, 10.2, 9.9, 10.0, 10.1, 9.8};
+  std::vector<double> B = {12.0, 12.1, 11.9, 12.2, 12.0, 11.8};
+  WelchResult R = welchTTest(A, B);
+  EXPECT_LT(R.PValue, 0.001);
+  EXPECT_LT(R.TStatistic, 0.0) << "A's mean is smaller";
+}
+
+TEST(WelchTest, SimilarSamplesNotSignificant) {
+  std::vector<double> A = {10.0, 10.4, 9.7, 10.2, 9.9, 10.1};
+  std::vector<double> B = {10.1, 9.8, 10.3, 10.0, 10.2, 9.9};
+  WelchResult R = welchTTest(A, B);
+  EXPECT_GT(R.PValue, 0.3);
+}
+
+TEST(WelchTest, KnownValueAgainstReference) {
+  // Cross-checked against an independent numerical-integration reference
+  // of the t distribution (t = -2.08958, df = 18.9378, p = 0.050388).
+  std::vector<double> A = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                           16.9, 20.1, 21.9, 22.6, 23.1, 19.6};
+  std::vector<double> B = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                           25.8, 22.0, 24.8, 20.2, 21.9, 22.1};
+  WelchResult R = welchTTest(A, B);
+  EXPECT_NEAR(R.TStatistic, -2.08958, 0.001);
+  EXPECT_NEAR(R.DegreesOfFreedom, 18.9378, 0.01);
+  EXPECT_NEAR(R.PValue, 0.050388, 0.0005);
+}
+
+TEST(WelchTest, DegenerateZeroVariance) {
+  WelchResult Same = welchTTest({5, 5, 5}, {5, 5, 5});
+  EXPECT_DOUBLE_EQ(Same.PValue, 1.0);
+  WelchResult Diff = welchTTest({5, 5, 5}, {6, 6, 6});
+  EXPECT_DOUBLE_EQ(Diff.PValue, 0.0);
+}
+
+TEST(WinsorizeTest, ClampsTails) {
+  std::vector<double> V = {1, 2, 3, 4, 5, 6, 7, 8, 9, 1000};
+  std::vector<double> W = winsorize(V, 0.1);
+  EXPECT_DOUBLE_EQ(W[9], 9.0) << "outlier clamped to the 90% quantile";
+  EXPECT_DOUBLE_EQ(W[0], 2.0);
+  EXPECT_DOUBLE_EQ(W[4], 5.0) << "middle untouched";
+}
+
+TEST(WinsorizeTest, ZeroFractionIsIdentity) {
+  std::vector<double> V = {3, 1, 2};
+  EXPECT_EQ(winsorize(V, 0.0), V);
+}
+
+TEST(TCriticalTest, MatchesKnownQuantiles) {
+  // t_{0.975, 10} = 2.228; t_{0.995, 30} = 2.750.
+  EXPECT_NEAR(tCriticalValue(10, 0.05), 2.228, 0.01);
+  EXPECT_NEAR(tCriticalValue(30, 0.01), 2.750, 0.01);
+}
+
+TEST(ConfidenceIntervalTest, CoversTheMean) {
+  std::vector<double> V = {10, 11, 9, 10.5, 9.5, 10.2, 9.8};
+  auto [Lo, Hi] = meanConfidenceInterval(V, 0.01);
+  double M = mean(V);
+  EXPECT_LT(Lo, M);
+  EXPECT_GT(Hi, M);
+  auto [Lo95, Hi95] = meanConfidenceInterval(V, 0.05);
+  EXPECT_GT(Lo95, Lo) << "99% CI is wider than 95% CI";
+  EXPECT_LT(Hi95, Hi);
+}

@@ -1,0 +1,112 @@
+//===- tests/stm/StmPropertyTest.cpp --------------------------------------==//
+//
+// Property-style sweeps over the STM: invariants that must hold for any
+// thread count and any transaction mix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+using namespace ren;
+using namespace ren::stm;
+
+namespace {
+
+struct SweepParams {
+  unsigned Threads;
+  unsigned Vars;
+  unsigned OpsPerThread;
+};
+
+} // namespace
+
+class StmSweepTest : public ::testing::TestWithParam<SweepParams> {};
+
+TEST_P(StmSweepTest, TotalIsConservedUnderRandomTransfers) {
+  const SweepParams P = GetParam();
+  std::vector<std::unique_ptr<TVar<long>>> Vars;
+  for (unsigned I = 0; I < P.Vars; ++I)
+    Vars.push_back(std::make_unique<TVar<long>>(1000));
+  const long ExpectedTotal = static_cast<long>(P.Vars) * 1000;
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < P.Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Xoshiro256StarStar Rng(0x9990 + T);
+      for (unsigned Op = 0; Op < P.OpsPerThread; ++Op) {
+        size_t From = Rng.nextBounded(P.Vars);
+        size_t To = Rng.nextBounded(P.Vars);
+        long Amount = static_cast<long>(Rng.nextBounded(10));
+        atomically([&](Transaction &Txn) {
+          Vars[From]->set(Txn, Vars[From]->get(Txn) - Amount);
+          Vars[To]->set(Txn, Vars[To]->get(Txn) + Amount);
+        });
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  long Total = atomically([&](Transaction &Txn) {
+    long Sum = 0;
+    for (auto &V : Vars)
+      Sum += V->get(Txn);
+    return Sum;
+  });
+  EXPECT_EQ(Total, ExpectedTotal);
+}
+
+TEST_P(StmSweepTest, IncrementsAreNeverLost) {
+  const SweepParams P = GetParam();
+  TVar<long> Counter(0);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < P.Threads; ++T)
+    Workers.emplace_back([&] {
+      for (unsigned Op = 0; Op < P.OpsPerThread; ++Op)
+        atomically([&](Transaction &Txn) {
+          Counter.set(Txn, Counter.get(Txn) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter.readAtomic(),
+            static_cast<long>(P.Threads) * P.OpsPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StmSweepTest,
+    ::testing::Values(SweepParams{1, 4, 500}, SweepParams{2, 4, 500},
+                      SweepParams{4, 8, 400}, SweepParams{4, 2, 400},
+                      SweepParams{8, 16, 200}),
+    [](const ::testing::TestParamInfo<SweepParams> &Info) {
+      return "t" + std::to_string(Info.param.Threads) + "_v" +
+             std::to_string(Info.param.Vars) + "_o" +
+             std::to_string(Info.param.OpsPerThread);
+    });
+
+TEST(StmAbortTest, AbortCounterAdvancesUnderContention) {
+  // With heavy same-variable contention, at least some transactions must
+  // retry (probabilistic but overwhelmingly certain at these sizes).
+  TVar<long> Hot(0);
+  uint64_t AbortsBefore = StmRuntime::get().aborts();
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T)
+    Workers.emplace_back([&] {
+      for (int Op = 0; Op < 3000; ++Op)
+        atomically([&](Transaction &Txn) {
+          Hot.set(Txn, Hot.get(Txn) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Hot.readAtomic(), 12000);
+  EXPECT_GE(StmRuntime::get().aborts(), AbortsBefore);
+}

@@ -1,0 +1,171 @@
+//===- tests/stm/StmTest.cpp ----------------------------------------------==//
+
+#include "stm/Stm.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace ren::stm;
+using namespace ren::metrics;
+
+TEST(StmTest, ReadCommittedValue) {
+  TVar<int> X(5);
+  int V = atomically([&](Transaction &Txn) { return X.get(Txn); });
+  EXPECT_EQ(V, 5);
+}
+
+TEST(StmTest, WriteIsVisibleAfterCommit) {
+  TVar<int> X(0);
+  atomically([&](Transaction &Txn) { X.set(Txn, 9); });
+  EXPECT_EQ(X.readAtomic(), 9);
+}
+
+TEST(StmTest, ReadYourOwnWrites) {
+  TVar<int> X(1);
+  int Seen = atomically([&](Transaction &Txn) {
+    X.set(Txn, 2);
+    return X.get(Txn);
+  });
+  EXPECT_EQ(Seen, 2);
+}
+
+TEST(StmTest, WritesAreBufferedUntilCommit) {
+  TVar<int> X(1);
+  atomically([&](Transaction &Txn) {
+    X.set(Txn, 7);
+    EXPECT_EQ(X.readAtomic(), 1) << "uncommitted write must not be visible";
+  });
+  EXPECT_EQ(X.readAtomic(), 7);
+}
+
+TEST(StmTest, MultipleVarsCommitAtomically) {
+  TVar<int> A(10), B(0);
+  atomically([&](Transaction &Txn) {
+    int V = A.get(Txn);
+    A.set(Txn, 0);
+    B.set(Txn, V);
+  });
+  EXPECT_EQ(A.readAtomic(), 0);
+  EXPECT_EQ(B.readAtomic(), 10);
+}
+
+TEST(StmTest, ConcurrentIncrementsLoseNothing) {
+  TVar<long> Counter(0);
+  constexpr int Threads = 4;
+  constexpr int PerThread = 2000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        atomically([&](Transaction &Txn) {
+          Counter.set(Txn, Counter.get(Txn) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter.readAtomic(), static_cast<long>(Threads) * PerThread);
+}
+
+TEST(StmTest, BankTransferPreservesTotal) {
+  // The classic atomicity test: concurrent transfers between accounts
+  // must conserve the total balance at every observable instant.
+  constexpr int Accounts = 8;
+  // TVars pin their address (they carry an atomic lock word), so hold them
+  // by pointer.
+  std::vector<std::unique_ptr<TVar<long>>> Bank;
+  for (int I = 0; I < Accounts; ++I)
+    Bank.push_back(std::make_unique<TVar<long>>(100));
+  std::atomic<bool> Stop{false};
+  std::thread Observer([&] {
+    while (!Stop.load()) {
+      long Total = atomically([&](Transaction &Txn) {
+        long Sum = 0;
+        for (auto &Acct : Bank)
+          Sum += Acct->get(Txn);
+        return Sum;
+      });
+      ASSERT_EQ(Total, 800);
+    }
+  });
+  std::vector<std::thread> Movers;
+  for (int T = 0; T < 2; ++T)
+    Movers.emplace_back([&, T] {
+      for (int I = 0; I < 2000; ++I) {
+        int From = (I + T) % Accounts;
+        int To = (I + T + 3) % Accounts;
+        atomically([&](Transaction &Txn) {
+          long F = Bank[From]->get(Txn);
+          long G = Bank[To]->get(Txn);
+          Bank[From]->set(Txn, F - 1);
+          Bank[To]->set(Txn, G + 1);
+        });
+      }
+    });
+  for (auto &M : Movers)
+    M.join();
+  Stop.store(true);
+  Observer.join();
+  long Total = 0;
+  for (auto &Acct : Bank)
+    Total += Acct->readAtomic();
+  EXPECT_EQ(Total, 800);
+}
+
+TEST(StmTest, RetryBlocksUntilConditionHolds) {
+  TVar<int> Gate(0);
+  std::thread Opener([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    atomically([&](Transaction &Txn) { Gate.set(Txn, 1); });
+  });
+  int Seen = atomically([&](Transaction &Txn) {
+    int V = Gate.get(Txn);
+    if (V == 0)
+      retry(Txn);
+    return V;
+  });
+  EXPECT_EQ(Seen, 1);
+  Opener.join();
+}
+
+TEST(StmTest, ReadOnlyTransactionsCommit) {
+  TVar<int> X(3);
+  uint64_t Before = StmRuntime::get().commits();
+  atomically([&](Transaction &Txn) { return X.get(Txn); });
+  EXPECT_GT(StmRuntime::get().commits(), Before);
+}
+
+TEST(StmTest, TransactionSetSizesVisible) {
+  TVar<int> A(1), B(2);
+  atomically([&](Transaction &Txn) {
+    A.get(Txn);
+    B.set(Txn, 5);
+    EXPECT_EQ(Txn.readSetSize(), 1u);
+    EXPECT_EQ(Txn.writeSetSize(), 1u);
+  });
+}
+
+TEST(StmTest, CommitsCountAtomicMetric) {
+  TVar<int> X(0);
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  atomically([&](Transaction &Txn) { X.set(Txn, 1); });
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::Atomic), 2u)
+      << "lock acquisition CAS + clock advance CAS";
+}
+
+TEST(StmTest, OverwriteWithinTransactionKeepsLastValue) {
+  TVar<int> X(0);
+  atomically([&](Transaction &Txn) {
+    X.set(Txn, 1);
+    X.set(Txn, 2);
+    X.set(Txn, 3);
+  });
+  EXPECT_EQ(X.readAtomic(), 3);
+}

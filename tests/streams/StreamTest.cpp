@@ -1,0 +1,148 @@
+//===- tests/streams/StreamTest.cpp ---------------------------------------==//
+
+#include "streams/Stream.h"
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+using namespace ren::streams;
+using namespace ren::metrics;
+
+TEST(StreamTest, MapTransformsAllElements) {
+  auto Out = Stream<int>::of({1, 2, 3}).map([](const int &X) {
+    return X * X;
+  });
+  EXPECT_EQ(Out.collect(), (std::vector<int>{1, 4, 9}));
+}
+
+TEST(StreamTest, RangeProducesHalfOpenInterval) {
+  auto S = Stream<int>::range(2, 6);
+  EXPECT_EQ(S.collect(), (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(StreamTest, FilterKeepsMatching) {
+  auto Out = Stream<int>::range(0, 10).filter([](const int &X) {
+    return X % 2 == 0;
+  });
+  EXPECT_EQ(Out.collect(), (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(StreamTest, FlatMapConcatenatesInOrder) {
+  auto Out = Stream<int>::of({1, 2, 3}).flatMap([](const int &X) {
+    return std::vector<int>{X, X * 10};
+  });
+  EXPECT_EQ(Out.collect(), (std::vector<int>{1, 10, 2, 20, 3, 30}));
+}
+
+TEST(StreamTest, ReduceSequential) {
+  int Sum = Stream<int>::range(1, 101).reduce(
+      0, [](int Acc, const int &X) { return Acc + X; },
+      [](int A, int B) { return A + B; });
+  EXPECT_EQ(Sum, 5050);
+}
+
+TEST(StreamTest, GroupByPartitionsElements) {
+  auto Groups = Stream<int>::range(0, 10).groupBy([](const int &X) {
+    return X % 3;
+  });
+  EXPECT_EQ(Groups.size(), 3u);
+  EXPECT_EQ(Groups[0], (std::vector<int>{0, 3, 6, 9}));
+  EXPECT_EQ(Groups[1], (std::vector<int>{1, 4, 7}));
+  EXPECT_EQ(Groups[2], (std::vector<int>{2, 5, 8}));
+}
+
+TEST(StreamTest, SortedLimitMaxBy) {
+  auto S = Stream<int>::of({5, 1, 4, 2, 3});
+  EXPECT_EQ(S.sorted(std::less<int>()).limit(3).collect(),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(S.maxBy(std::less<int>()), 5);
+}
+
+TEST(StreamTest, CountIf) {
+  EXPECT_EQ(Stream<int>::range(0, 100).countIf(
+                [](const int &X) { return X % 7 == 0; }),
+            15u);
+}
+
+TEST(StreamTest, ForEachVisitsEverything) {
+  long Sum = 0;
+  Stream<int>::range(0, 50).forEach([&](const int &X) { Sum += X; });
+  EXPECT_EQ(Sum, 1225);
+}
+
+TEST(StreamTest, EmptyStreamBehaviour) {
+  auto S = Stream<int>::of({});
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_EQ(S.map([](const int &X) { return X; }).size(), 0u);
+  EXPECT_EQ(S.reduce(7, [](int A, const int &) { return A; },
+                     [](int A, int) { return A; }),
+            7);
+}
+
+class ParallelStreamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelStreamTest, ParallelMapMatchesSequential) {
+  ren::forkjoin::ForkJoinPool Pool(GetParam());
+  std::vector<int> Input(5000);
+  std::iota(Input.begin(), Input.end(), 0);
+  auto Seq = Stream<int>::of(Input).map([](const int &X) { return X * 3; });
+  auto Par = Stream<int>::of(Input).parallel(Pool).map(
+      [](const int &X) { return X * 3; });
+  EXPECT_EQ(Par.collect(), Seq.collect());
+}
+
+TEST_P(ParallelStreamTest, ParallelFilterPreservesOrder) {
+  ren::forkjoin::ForkJoinPool Pool(GetParam());
+  std::vector<int> Input(5000);
+  std::iota(Input.begin(), Input.end(), 0);
+  auto Par = Stream<int>::of(Input).parallel(Pool).filter(
+      [](const int &X) { return X % 5 == 0; });
+  std::vector<int> Got = Par.collect();
+  ASSERT_EQ(Got.size(), 1000u);
+  for (size_t I = 0; I < Got.size(); ++I)
+    ASSERT_EQ(Got[I], static_cast<int>(I * 5));
+}
+
+TEST_P(ParallelStreamTest, ParallelReduceMatchesSequential) {
+  ren::forkjoin::ForkJoinPool Pool(GetParam());
+  std::vector<int> Input(4001);
+  std::iota(Input.begin(), Input.end(), 0);
+  long Sum = Stream<int>::of(Input).parallel(Pool).reduce(
+      0L, [](long Acc, const int &X) { return Acc + X; },
+      [](long A, long B) { return A + B; });
+  EXPECT_EQ(Sum, 4000L * 4001 / 2);
+}
+
+TEST_P(ParallelStreamTest, ParallelFlatMapPreservesOrder) {
+  ren::forkjoin::ForkJoinPool Pool(GetParam());
+  std::vector<int> Input(500);
+  std::iota(Input.begin(), Input.end(), 0);
+  auto Par = Stream<int>::of(Input).parallel(Pool).flatMap(
+      [](const int &X) { return std::vector<int>{X, -X}; });
+  std::vector<int> Got = Par.collect();
+  ASSERT_EQ(Got.size(), 1000u);
+  for (int I = 0; I < 500; ++I) {
+    ASSERT_EQ(Got[2 * I], I);
+    ASSERT_EQ(Got[2 * I + 1], -I);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelStreamTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+TEST(StreamTest, PipelineCountsIDynamicAndDispatch) {
+  MetricSnapshot Before = MetricsRegistry::get().snapshot();
+  Stream<int>::range(0, 100)
+      .map([](const int &X) { return X + 1; })
+      .filter([](const int &X) { return X % 2 == 0; })
+      .collect();
+  MetricSnapshot D =
+      MetricSnapshot::delta(Before, MetricsRegistry::get().snapshot());
+  EXPECT_GE(D.get(Metric::IDynamic), 2u) << "two lambda stages";
+  EXPECT_GE(D.get(Metric::Method), 200u) << "per-element dispatch";
+  EXPECT_GE(D.get(Metric::Array), 2u) << "intermediate arrays";
+}

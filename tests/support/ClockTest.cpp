@@ -1,0 +1,53 @@
+//===- tests/support/ClockTest.cpp ----------------------------------------==//
+
+#include "support/Clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace ren;
+
+TEST(ClockTest, WallClockIsMonotonic) {
+  uint64_t A = wallNanos();
+  uint64_t B = wallNanos();
+  EXPECT_LE(A, B);
+}
+
+TEST(ClockTest, ThreadCpuAdvancesUnderWork) {
+  uint64_t Before = threadCpuNanos();
+  volatile uint64_t Sink = 0;
+  for (int I = 0; I < 2000000; ++I)
+    Sink = Sink + static_cast<uint64_t>(I);
+  uint64_t After = threadCpuNanos();
+  EXPECT_GT(After, Before);
+}
+
+TEST(ClockTest, ProcessCpuCoversAllThreads) {
+  uint64_t Before = processCpuNanos();
+  std::thread Worker([] {
+    volatile uint64_t Sink = 0;
+    for (int I = 0; I < 2000000; ++I)
+      Sink = Sink + static_cast<uint64_t>(I);
+  });
+  Worker.join();
+  uint64_t After = processCpuNanos();
+  EXPECT_GT(After, Before);
+}
+
+TEST(ClockTest, RefCycleConversionUsesNominalFrequency) {
+  // 1 second of CPU time == kNominalHz reference cycles.
+  EXPECT_EQ(cpuNanosToRefCycles(1000000000ULL),
+            static_cast<uint64_t>(kNominalHz));
+  EXPECT_EQ(cpuNanosToRefCycles(0), 0u);
+}
+
+TEST(ClockTest, HardwareThreadsPositive) { EXPECT_GE(hardwareThreads(), 1u); }
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch SW;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(SW.elapsedMillis(), 4.0);
+  SW.reset();
+  EXPECT_LT(SW.elapsedMillis(), 5.0);
+}

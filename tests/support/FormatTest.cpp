@@ -1,0 +1,44 @@
+//===- tests/support/FormatTest.cpp ---------------------------------------==//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren;
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(FormatTest, ScientificMatchesPaperStyle) {
+  EXPECT_EQ(scientific(4.27e5), "4.27E+05");
+  EXPECT_EQ(scientific(0.0), "0.00E+00");
+  EXPECT_EQ(scientific(1.05e18), "1.05E+18");
+}
+
+TEST(FormatTest, SignedPercent) {
+  EXPECT_EQ(signedPercent(0.24), "+24%");
+  EXPECT_EQ(signedPercent(-0.03), "-3%");
+  EXPECT_EQ(signedPercent(0.001), "+0%");
+  EXPECT_EQ(signedPercent(-0.001), "-0%");
+}
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(humanBytes(512), "512.00B");
+  EXPECT_EQ(humanBytes(6ull * 1024 * 1024), "6.00MB");
+}
+
+TEST(FormatTest, GroupedInt) {
+  EXPECT_EQ(groupedInt(0), "0");
+  EXPECT_EQ(groupedInt(999), "999");
+  EXPECT_EQ(groupedInt(1000), "1 000");
+  EXPECT_EQ(groupedInt(5144959612ULL), "5 144 959 612");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}

@@ -1,0 +1,52 @@
+//===- tests/support/OutputTest.cpp ---------------------------------------==//
+
+#include "support/Output.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren;
+
+TEST(CsvWriterTest, PlainRow) {
+  CsvWriter W;
+  W.addRow({"a", "b", "c"});
+  EXPECT_EQ(W.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCells) {
+  CsvWriter W;
+  W.addRow({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(W.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(JsonWriterTest, ObjectWithScalars) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name");
+  W.value("scrabble");
+  W.key("iters");
+  W.value(uint64_t(20));
+  W.key("ok");
+  W.value(true);
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"name\":\"scrabble\",\"iters\":20,\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestedArrays) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("times");
+  W.beginArray();
+  W.value(1.5);
+  W.value(2.5);
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"times\":[1.5,2.5]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter W;
+  W.beginArray();
+  W.value("a\"b\\c\nd");
+  W.endArray();
+  EXPECT_EQ(W.str(), "[\"a\\\"b\\\\c\\nd\"]");
+}

@@ -1,0 +1,103 @@
+//===- tests/support/RngTest.cpp ------------------------------------------==//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace ren;
+
+TEST(SplitMix64Test, DeterministicForFixedSeed) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, KnownVector) {
+  // Reference values from the public-domain splitmix64 reference code.
+  SplitMix64 G(0);
+  EXPECT_EQ(G.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(G.next(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(XoshiroTest, DeterministicForFixedSeed) {
+  Xoshiro256StarStar A(7), B(7);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar G(3);
+  for (int I = 0; I < 10000; ++I) {
+    double D = G.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(XoshiroTest, NextBoundedWithinBound) {
+  Xoshiro256StarStar G(11);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int I = 0; I < 1000; ++I)
+      ASSERT_LT(G.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(XoshiroTest, NextIntCoversInclusiveRange) {
+  Xoshiro256StarStar G(5);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = G.nextInt(-2, 2);
+    ASSERT_GE(V, -2);
+    ASSERT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(XoshiroTest, NextBoundedIsRoughlyUniform) {
+  Xoshiro256StarStar G(17);
+  constexpr int Buckets = 10;
+  constexpr int Samples = 100000;
+  int Hist[Buckets] = {};
+  for (int I = 0; I < Samples; ++I)
+    ++Hist[G.nextBounded(Buckets)];
+  for (int Count : Hist) {
+    EXPECT_GT(Count, Samples / Buckets * 0.9);
+    EXPECT_LT(Count, Samples / Buckets * 1.1);
+  }
+}
+
+TEST(XoshiroTest, GaussianMomentsReasonable) {
+  Xoshiro256StarStar G(23);
+  constexpr int Samples = 100000;
+  double Sum = 0.0, SumSq = 0.0;
+  for (int I = 0; I < Samples; ++I) {
+    double X = G.nextGaussian();
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / Samples;
+  double Var = SumSq / Samples - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.02);
+  EXPECT_NEAR(Var, 1.0, 0.03);
+}
+
+TEST(XoshiroTest, ShuffleIsPermutation) {
+  Xoshiro256StarStar G(29);
+  std::vector<int> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I);
+  std::vector<int> Orig = V;
+  G.shuffle(V);
+  EXPECT_NE(V, Orig) << "a 100-element shuffle should move something";
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}

@@ -1,0 +1,34 @@
+//===- tests/support/TableTest.cpp ----------------------------------------==//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren;
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable T({"name", "value"});
+  T.addRow({"akka-uct", "42"});
+  T.addRow({"als", "7"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("akka-uct"), std::string::npos);
+  EXPECT_NE(Out.find("als"), std::string::npos);
+  // Numeric column is right-aligned: "42" and " 7" end in the same column.
+  size_t Line1 = Out.find("akka-uct");
+  size_t Eol1 = Out.find('\n', Line1);
+  size_t Line2 = Out.find("als");
+  size_t Eol2 = Out.find('\n', Line2);
+  EXPECT_EQ(Eol1 - Line1, Eol2 - Line2);
+}
+
+TEST(TableTest, SeparatorProducesRule) {
+  TextTable T({"a"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y"});
+  std::string Out = T.render();
+  // Header rule plus explicit separator: at least two dashed lines.
+  size_t First = Out.find("-\n");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("-\n", First + 1), std::string::npos);
+}

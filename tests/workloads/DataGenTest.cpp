@@ -1,0 +1,114 @@
+//===- tests/workloads/DataGenTest.cpp ------------------------------------==//
+//
+// Properties of the synthetic data generators: determinism (paper §2.1),
+// shape constraints, and distribution sanity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/DataGen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace ren::workloads;
+
+TEST(DataGenTest, ClassificationDatasetShapeAndDeterminism) {
+  Dataset A = makeClassificationDataset(100, 8, 42);
+  Dataset B = makeClassificationDataset(100, 8, 42);
+  EXPECT_EQ(A.Features, B.Features);
+  EXPECT_EQ(A.Labels, B.Labels);
+  EXPECT_EQ(A.Rows, 100u);
+  EXPECT_EQ(A.Cols, 8u);
+  EXPECT_EQ(A.Features.size(), 800u);
+  // Labels are 0/1 and both classes occur.
+  std::set<int> Labels(A.Labels.begin(), A.Labels.end());
+  EXPECT_EQ(Labels, (std::set<int>{0, 1}));
+  // Centroid separation: class-1 rows average higher per feature.
+  double Sum0 = 0, Sum1 = 0;
+  int N0 = 0, N1 = 0;
+  for (size_t R = 0; R < A.Rows; ++R) {
+    (A.Labels[R] ? Sum1 : Sum0) += A.at(R, 0);
+    (A.Labels[R] ? N1 : N0) += 1;
+  }
+  EXPECT_GT(Sum1 / N1, Sum0 / N0);
+}
+
+TEST(DataGenTest, DictionaryIsSortedUniqueLowercase) {
+  auto Dict = makeDictionary(2000, 7);
+  EXPECT_EQ(Dict.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(Dict.begin(), Dict.end()));
+  std::unordered_set<std::string> Unique(Dict.begin(), Dict.end());
+  EXPECT_EQ(Unique.size(), Dict.size());
+  for (const std::string &W : Dict) {
+    EXPECT_GE(W.size(), 2u);
+    for (char C : W)
+      EXPECT_TRUE(C >= 'a' && C <= 'z') << W;
+  }
+  EXPECT_EQ(Dict, makeDictionary(2000, 7)) << "deterministic";
+  EXPECT_NE(Dict, makeDictionary(2000, 8)) << "seed-sensitive";
+}
+
+TEST(DataGenTest, RatingsWithinUniverseAndSkewed) {
+  auto Ratings = makeRatings(50, 200, 5000, 3);
+  EXPECT_EQ(Ratings.size(), 5000u);
+  size_t LowHalf = 0;
+  for (const Rating &R : Ratings) {
+    EXPECT_LT(R.User, 50u);
+    EXPECT_LT(R.Item, 200u);
+    EXPECT_GE(R.Score, 1.0f);
+    EXPECT_LE(R.Score, 5.0f);
+    LowHalf += R.Item < 100 ? 1 : 0;
+  }
+  EXPECT_GT(LowHalf, 5000u * 6 / 10)
+      << "popularity skew: low item ids dominate";
+}
+
+TEST(DataGenTest, DocumentsHaveClassSkewedVocabulary) {
+  auto Docs = makeDocuments(400, 40, 1000, 4, 99);
+  EXPECT_EQ(Docs.size(), 400u);
+  for (const Document &D : Docs) {
+    EXPECT_GE(D.Label, 0);
+    EXPECT_LT(D.Label, 4);
+    EXPECT_EQ(D.Words.size(), 40u);
+    size_t InSlice = 0;
+    uint32_t SliceBase = static_cast<uint32_t>(D.Label) * 250;
+    for (uint32_t W : D.Words) {
+      EXPECT_LT(W, 1000u);
+      InSlice += (W >= SliceBase && W < SliceBase + 250) ? 1 : 0;
+    }
+    // 70% of words draw from the class's own slice (+ uniform spill).
+    EXPECT_GT(InSlice, 15u) << "class slice must dominate";
+  }
+}
+
+TEST(DataGenTest, ScaleFreeGraphShape) {
+  auto Adj = makeScaleFreeGraph(500, 3, 77);
+  EXPECT_EQ(Adj.size(), 500u);
+  size_t Edges = 0;
+  std::vector<unsigned> InDegree(500, 0);
+  for (uint32_t N = 0; N < 500; ++N)
+    for (uint32_t To : Adj[N]) {
+      EXPECT_LT(To, 500u);
+      EXPECT_NE(To, N) << "no self loops";
+      ++InDegree[To];
+      ++Edges;
+    }
+  EXPECT_GE(Edges, 3u * 499u - 10);
+  // Preferential attachment: max in-degree far exceeds the average.
+  unsigned MaxIn = *std::max_element(InDegree.begin(), InDegree.end());
+  EXPECT_GT(MaxIn, 3u * Edges / 500u) << "hub formation";
+}
+
+TEST(DataGenTest, TextLinesShape) {
+  auto Lines = makeTextLines(100, 12, 5);
+  EXPECT_EQ(Lines.size(), 100u);
+  for (const std::string &L : Lines) {
+    size_t Words = 1;
+    for (char C : L)
+      Words += C == ' ' ? 1 : 0;
+    EXPECT_EQ(Words, 12u);
+  }
+  EXPECT_EQ(Lines, makeTextLines(100, 12, 5));
+}

@@ -1,0 +1,160 @@
+//===- tools/renaissance_cli.cpp ------------------------------------------==//
+//
+// The command-line launcher, mirroring the Renaissance suite's JAR
+// interface: list benchmarks, run a selection (or a whole suite) with
+// configurable iteration counts, and emit results as text, CSV or JSON.
+//
+// Usage:
+//   renaissance --list
+//   renaissance [options] <benchmark|suite> [more...]
+//   renaissance --repetitions 5 --warmups 2 --csv scrabble als dacapo
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ren;
+using namespace ren::harness;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: renaissance [options] <benchmark|suite> [more...]\n"
+      "\n"
+      "options:\n"
+      "  --list              list all benchmarks and exit\n"
+      "  --repetitions N     measured iterations per benchmark\n"
+      "  --warmups N         warmup iterations per benchmark\n"
+      "  --csv               emit CSV instead of the text summary\n"
+      "  --json              emit JSON instead of the text summary\n"
+      "  --no-trace          disable the cache simulator\n"
+      "\n"
+      "suites: renaissance, dacapo, scalabench, specjvm2008, all\n");
+}
+
+bool suiteByName(const std::string &Name, Suite &Out) {
+  for (Suite S : {Suite::Renaissance, Suite::DaCapo, Suite::ScalaBench,
+                  Suite::SpecJvm2008})
+    if (Name == suiteName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  workloads::registerAllBenchmarks();
+  Registry &Reg = Registry::get();
+
+  Runner::Options Opts;
+  bool Csv = false, Json = false;
+  std::vector<std::string> Selection;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--list") {
+      for (Suite S : {Suite::Renaissance, Suite::DaCapo, Suite::ScalaBench,
+                      Suite::SpecJvm2008}) {
+        std::printf("%s:\n", suiteName(S));
+        for (const std::string &Name : Reg.names(S))
+          std::printf("  %s\n", Name.c_str());
+      }
+      return 0;
+    }
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--csv") {
+      Csv = true;
+      continue;
+    }
+    if (Arg == "--json") {
+      Json = true;
+      continue;
+    }
+    if (Arg == "--no-trace") {
+      Opts.TraceMemory = false;
+      continue;
+    }
+    if (Arg == "--repetitions" || Arg == "--warmups") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        return 1;
+      }
+      int Value = std::atoi(Argv[++I]);
+      if (Value <= 0) {
+        std::fprintf(stderr, "error: %s must be positive\n", Arg.c_str());
+        return 1;
+      }
+      (Arg == "--repetitions" ? Opts.MeasuredOverride
+                              : Opts.WarmupOverride) =
+          static_cast<unsigned>(Value);
+      continue;
+    }
+    Selection.push_back(Arg);
+  }
+
+  if (Selection.empty()) {
+    printUsage();
+    return 1;
+  }
+
+  // Expand suites / "all" into benchmark ids.
+  std::vector<std::pair<Suite, std::string>> ToRun;
+  for (const std::string &Pick : Selection) {
+    Suite S;
+    if (Pick == "all") {
+      for (Suite Su : {Suite::Renaissance, Suite::DaCapo,
+                       Suite::ScalaBench, Suite::SpecJvm2008})
+        for (const std::string &Name : Reg.names(Su))
+          ToRun.push_back({Su, Name});
+    } else if (suiteByName(Pick, S)) {
+      for (const std::string &Name : Reg.names(S))
+        ToRun.push_back({S, Name});
+    } else if (Reg.contains(Pick)) {
+      // Bare benchmark name: first suite that has it.
+      for (Suite Su : {Suite::Renaissance, Suite::DaCapo,
+                       Suite::ScalaBench, Suite::SpecJvm2008})
+        if (Reg.contains(Su, Pick)) {
+          ToRun.push_back({Su, Pick});
+          break;
+        }
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown benchmark or suite '%s' (use --list)\n",
+                   Pick.c_str());
+      return 1;
+    }
+  }
+
+  Runner R(Opts);
+  std::vector<RunResult> Results;
+  for (const auto &[S, Name] : ToRun) {
+    if (!Csv && !Json)
+      std::printf("====== %s (%s) ======\n", Name.c_str(), suiteName(S));
+    auto B = Reg.create(S, Name);
+    RunResult Result = R.run(*B);
+    if (!Csv && !Json)
+      std::printf("  mean steady operation: %.2f ms, checksum %llu\n",
+                  Result.meanSteadyNanos() / 1e6,
+                  static_cast<unsigned long long>(Result.Checksum));
+    Results.push_back(std::move(Result));
+  }
+
+  if (Csv)
+    std::fputs(toCsv(Results).c_str(), stdout);
+  else if (Json)
+    std::fputs(toJson(Results).c_str(), stdout);
+  return 0;
+}
