@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_chunk.cpp" "bench/CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_chunk.dir/bench_ablation_chunk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ren_benchsupport.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckmodel/CMakeFiles/ren_ckmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ren_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/actors/CMakeFiles/ren_actors.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/ren_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ren_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ren_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/futures/CMakeFiles/ren_futures.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/ren_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ren_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/ren_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ren_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ren_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ren_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gm_lv.dir/bench_ablation_gm_lv.cpp.o"
+  "CMakeFiles/bench_ablation_gm_lv.dir/bench_ablation_gm_lv.cpp.o.d"
+  "bench_ablation_gm_lv"
+  "bench_ablation_gm_lv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gm_lv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

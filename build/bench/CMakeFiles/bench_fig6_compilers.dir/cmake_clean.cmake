@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_compilers.dir/bench_fig6_compilers.cpp.o"
+  "CMakeFiles/bench_fig6_compilers.dir/bench_fig6_compilers.cpp.o.d"
+  "bench_fig6_compilers"
+  "bench_fig6_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

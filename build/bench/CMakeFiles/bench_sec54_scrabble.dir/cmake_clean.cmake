@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_scrabble.dir/bench_sec54_scrabble.cpp.o"
+  "CMakeFiles/bench_sec54_scrabble.dir/bench_sec54_scrabble.cpp.o.d"
+  "bench_sec54_scrabble"
+  "bench_sec54_scrabble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_scrabble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

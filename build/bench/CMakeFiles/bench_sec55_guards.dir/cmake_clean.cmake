@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec55_guards.dir/bench_sec55_guards.cpp.o"
+  "CMakeFiles/bench_sec55_guards.dir/bench_sec55_guards.cpp.o.d"
+  "bench_sec55_guards"
+  "bench_sec55_guards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

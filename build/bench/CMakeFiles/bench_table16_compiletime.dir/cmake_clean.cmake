@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table16_compiletime.dir/bench_table16_compiletime.cpp.o"
+  "CMakeFiles/bench_table16_compiletime.dir/bench_table16_compiletime.cpp.o.d"
+  "bench_table16_compiletime"
+  "bench_table16_compiletime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table16_compiletime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ck.dir/bench_table4_ck.cpp.o"
+  "CMakeFiles/bench_table4_ck.dir/bench_table4_ck.cpp.o.d"
+  "bench_table4_ck"
+  "bench_table4_ck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

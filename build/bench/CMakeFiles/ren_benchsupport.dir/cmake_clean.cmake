@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_benchsupport.dir/BenchSupport.cpp.o"
+  "CMakeFiles/ren_benchsupport.dir/BenchSupport.cpp.o.d"
+  "libren_benchsupport.a"
+  "libren_benchsupport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_benchsupport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compiler_explorer.dir/compiler_explorer.cpp.o"
+  "CMakeFiles/example_compiler_explorer.dir/compiler_explorer.cpp.o.d"
+  "example_compiler_explorer"
+  "example_compiler_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compiler_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

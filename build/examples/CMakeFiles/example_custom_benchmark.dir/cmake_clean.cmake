@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_benchmark.dir/custom_benchmark.cpp.o"
+  "CMakeFiles/example_custom_benchmark.dir/custom_benchmark.cpp.o.d"
+  "example_custom_benchmark"
+  "example_custom_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

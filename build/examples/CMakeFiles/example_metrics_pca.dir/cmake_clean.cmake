@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metrics_pca.dir/metrics_pca.cpp.o"
+  "CMakeFiles/example_metrics_pca.dir/metrics_pca.cpp.o.d"
+  "example_metrics_pca"
+  "example_metrics_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metrics_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("metrics")
+subdirs("memsim")
+subdirs("runtime")
+subdirs("forkjoin")
+subdirs("actors")
+subdirs("stm")
+subdirs("futures")
+subdirs("rx")
+subdirs("streams")
+subdirs("netsim")
+subdirs("kvstore")
+subdirs("stats")
+subdirs("ckmodel")
+subdirs("harness")
+subdirs("jit")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_actors.dir/ActorSystem.cpp.o"
+  "CMakeFiles/ren_actors.dir/ActorSystem.cpp.o.d"
+  "libren_actors.a"
+  "libren_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ren_actors.
+# This may be replaced when dependencies are built.

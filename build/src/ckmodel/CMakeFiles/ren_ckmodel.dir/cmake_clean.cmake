@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_ckmodel.dir/CkModel.cpp.o"
+  "CMakeFiles/ren_ckmodel.dir/CkModel.cpp.o.d"
+  "libren_ckmodel.a"
+  "libren_ckmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_ckmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

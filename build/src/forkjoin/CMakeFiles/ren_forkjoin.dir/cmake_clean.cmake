@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_forkjoin.dir/ForkJoinPool.cpp.o"
+  "CMakeFiles/ren_forkjoin.dir/ForkJoinPool.cpp.o.d"
+  "libren_forkjoin.a"
+  "libren_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/futures/Future.cpp" "src/futures/CMakeFiles/ren_futures.dir/Future.cpp.o" "gcc" "src/futures/CMakeFiles/ren_futures.dir/Future.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/ren_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/ren_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

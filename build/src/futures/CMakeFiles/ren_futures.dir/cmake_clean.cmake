@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_futures.dir/Future.cpp.o"
+  "CMakeFiles/ren_futures.dir/Future.cpp.o.d"
+  "libren_futures.a"
+  "libren_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

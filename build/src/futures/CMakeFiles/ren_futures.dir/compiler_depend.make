@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ren_futures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_harness.dir/Harness.cpp.o"
+  "CMakeFiles/ren_harness.dir/Harness.cpp.o.d"
+  "libren_harness.a"
+  "libren_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/Analysis.cpp" "src/jit/CMakeFiles/ren_jit.dir/Analysis.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Analysis.cpp.o.d"
+  "/root/repo/src/jit/Compiler.cpp" "src/jit/CMakeFiles/ren_jit.dir/Compiler.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Compiler.cpp.o.d"
+  "/root/repo/src/jit/Experiment.cpp" "src/jit/CMakeFiles/ren_jit.dir/Experiment.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Experiment.cpp.o.d"
+  "/root/repo/src/jit/Interp.cpp" "src/jit/CMakeFiles/ren_jit.dir/Interp.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Interp.cpp.o.d"
+  "/root/repo/src/jit/Ir.cpp" "src/jit/CMakeFiles/ren_jit.dir/Ir.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Ir.cpp.o.d"
+  "/root/repo/src/jit/Kernels.cpp" "src/jit/CMakeFiles/ren_jit.dir/Kernels.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Kernels.cpp.o.d"
+  "/root/repo/src/jit/Passes.cpp" "src/jit/CMakeFiles/ren_jit.dir/Passes.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Passes.cpp.o.d"
+  "/root/repo/src/jit/Passes2.cpp" "src/jit/CMakeFiles/ren_jit.dir/Passes2.cpp.o" "gcc" "src/jit/CMakeFiles/ren_jit.dir/Passes2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_jit.dir/Analysis.cpp.o"
+  "CMakeFiles/ren_jit.dir/Analysis.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Compiler.cpp.o"
+  "CMakeFiles/ren_jit.dir/Compiler.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Experiment.cpp.o"
+  "CMakeFiles/ren_jit.dir/Experiment.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Interp.cpp.o"
+  "CMakeFiles/ren_jit.dir/Interp.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Ir.cpp.o"
+  "CMakeFiles/ren_jit.dir/Ir.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Kernels.cpp.o"
+  "CMakeFiles/ren_jit.dir/Kernels.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Passes.cpp.o"
+  "CMakeFiles/ren_jit.dir/Passes.cpp.o.d"
+  "CMakeFiles/ren_jit.dir/Passes2.cpp.o"
+  "CMakeFiles/ren_jit.dir/Passes2.cpp.o.d"
+  "libren_jit.a"
+  "libren_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

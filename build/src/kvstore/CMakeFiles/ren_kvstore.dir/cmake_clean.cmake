@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_kvstore.dir/KvStore.cpp.o"
+  "CMakeFiles/ren_kvstore.dir/KvStore.cpp.o.d"
+  "libren_kvstore.a"
+  "libren_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

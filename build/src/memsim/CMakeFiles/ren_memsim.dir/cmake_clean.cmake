@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_memsim.dir/MemSim.cpp.o"
+  "CMakeFiles/ren_memsim.dir/MemSim.cpp.o.d"
+  "libren_memsim.a"
+  "libren_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_metrics.dir/Metrics.cpp.o"
+  "CMakeFiles/ren_metrics.dir/Metrics.cpp.o.d"
+  "libren_metrics.a"
+  "libren_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

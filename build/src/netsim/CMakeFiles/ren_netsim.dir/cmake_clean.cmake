@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_netsim.dir/NetSim.cpp.o"
+  "CMakeFiles/ren_netsim.dir/NetSim.cpp.o.d"
+  "libren_netsim.a"
+  "libren_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

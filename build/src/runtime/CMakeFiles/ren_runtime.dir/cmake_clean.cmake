@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_runtime.dir/Atomic.cpp.o"
+  "CMakeFiles/ren_runtime.dir/Atomic.cpp.o.d"
+  "CMakeFiles/ren_runtime.dir/Monitor.cpp.o"
+  "CMakeFiles/ren_runtime.dir/Monitor.cpp.o.d"
+  "CMakeFiles/ren_runtime.dir/Park.cpp.o"
+  "CMakeFiles/ren_runtime.dir/Park.cpp.o.d"
+  "libren_runtime.a"
+  "libren_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

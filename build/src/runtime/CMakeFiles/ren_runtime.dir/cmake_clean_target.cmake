@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libren_runtime.a"
+)

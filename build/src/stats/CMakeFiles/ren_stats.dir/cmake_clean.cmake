@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_stats.dir/Stats.cpp.o"
+  "CMakeFiles/ren_stats.dir/Stats.cpp.o.d"
+  "libren_stats.a"
+  "libren_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

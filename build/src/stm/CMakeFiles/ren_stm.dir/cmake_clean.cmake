@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_stm.dir/Stm.cpp.o"
+  "CMakeFiles/ren_stm.dir/Stm.cpp.o.d"
+  "libren_stm.a"
+  "libren_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_support.dir/Clock.cpp.o"
+  "CMakeFiles/ren_support.dir/Clock.cpp.o.d"
+  "CMakeFiles/ren_support.dir/Format.cpp.o"
+  "CMakeFiles/ren_support.dir/Format.cpp.o.d"
+  "CMakeFiles/ren_support.dir/Output.cpp.o"
+  "CMakeFiles/ren_support.dir/Output.cpp.o.d"
+  "CMakeFiles/ren_support.dir/Rng.cpp.o"
+  "CMakeFiles/ren_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/ren_support.dir/Table.cpp.o"
+  "CMakeFiles/ren_support.dir/Table.cpp.o.d"
+  "libren_support.a"
+  "libren_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/DataGen.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/DataGen.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/DataGen.cpp.o.d"
+  "/root/repo/src/workloads/RegisterAll.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/RegisterAll.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/RegisterAll.cpp.o.d"
+  "/root/repo/src/workloads/classic/DaCapoWorkloads.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/classic/DaCapoWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/classic/DaCapoWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/classic/ScalaBenchWorkloads.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/classic/ScalaBenchWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/classic/ScalaBenchWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/classic/SpecJvmWorkloads.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/classic/SpecJvmWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/classic/SpecJvmWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/ActorBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/ActorBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/ActorBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/DataBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/DataBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/DataBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/DottyBenchmark.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/DottyBenchmark.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/DottyBenchmark.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/FinagleBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/FinagleBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/FinagleBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/MlBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/MlBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/MlBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/ScrabbleBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/ScrabbleBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/ScrabbleBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/StmBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/StmBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/StmBenchmarks.cpp.o.d"
+  "/root/repo/src/workloads/renaissance/TaskParallelBenchmarks.cpp" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/TaskParallelBenchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/ren_workloads.dir/renaissance/TaskParallelBenchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ren_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/actors/CMakeFiles/ren_actors.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/ren_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ren_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/ren_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/futures/CMakeFiles/ren_futures.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/ren_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ren_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ren_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ren_workloads.dir/DataGen.cpp.o"
+  "CMakeFiles/ren_workloads.dir/DataGen.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/RegisterAll.cpp.o"
+  "CMakeFiles/ren_workloads.dir/RegisterAll.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/classic/DaCapoWorkloads.cpp.o"
+  "CMakeFiles/ren_workloads.dir/classic/DaCapoWorkloads.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/classic/ScalaBenchWorkloads.cpp.o"
+  "CMakeFiles/ren_workloads.dir/classic/ScalaBenchWorkloads.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/classic/SpecJvmWorkloads.cpp.o"
+  "CMakeFiles/ren_workloads.dir/classic/SpecJvmWorkloads.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/ActorBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/ActorBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/DataBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/DataBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/DottyBenchmark.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/DottyBenchmark.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/FinagleBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/FinagleBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/MlBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/MlBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/ScrabbleBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/ScrabbleBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/StmBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/StmBenchmarks.cpp.o.d"
+  "CMakeFiles/ren_workloads.dir/renaissance/TaskParallelBenchmarks.cpp.o"
+  "CMakeFiles/ren_workloads.dir/renaissance/TaskParallelBenchmarks.cpp.o.d"
+  "libren_workloads.a"
+  "libren_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ren_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actors/ActorSystemTest.cpp" "tests/CMakeFiles/test_actors.dir/actors/ActorSystemTest.cpp.o" "gcc" "tests/CMakeFiles/test_actors.dir/actors/ActorSystemTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/actors/CMakeFiles/ren_actors.dir/DependInfo.cmake"
+  "/root/repo/build/src/futures/CMakeFiles/ren_futures.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/ren_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ren_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actors.dir/actors/ActorSystemTest.cpp.o"
+  "CMakeFiles/test_actors.dir/actors/ActorSystemTest.cpp.o.d"
+  "test_actors"
+  "test_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

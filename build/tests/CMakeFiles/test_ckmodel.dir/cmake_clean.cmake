@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckmodel.dir/ckmodel/CkModelTest.cpp.o"
+  "CMakeFiles/test_ckmodel.dir/ckmodel/CkModelTest.cpp.o.d"
+  "test_ckmodel"
+  "test_ckmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

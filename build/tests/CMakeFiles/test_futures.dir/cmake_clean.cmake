@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_futures.dir/futures/FutureTest.cpp.o"
+  "CMakeFiles/test_futures.dir/futures/FutureTest.cpp.o.d"
+  "test_futures"
+  "test_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

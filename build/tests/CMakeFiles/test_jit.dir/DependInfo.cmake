@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jit/AnalysisTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/jit/CompilerTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/CompilerTest.cpp.o.d"
+  "/root/repo/tests/jit/InterpTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/InterpTest.cpp.o.d"
+  "/root/repo/tests/jit/IrTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/IrTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/IrTest.cpp.o.d"
+  "/root/repo/tests/jit/KernelsTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/KernelsTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/KernelsTest.cpp.o.d"
+  "/root/repo/tests/jit/PassesTest.cpp" "tests/CMakeFiles/test_jit.dir/jit/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/test_jit.dir/jit/PassesTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jit/CMakeFiles/ren_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jit.dir/jit/AnalysisTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/AnalysisTest.cpp.o.d"
+  "CMakeFiles/test_jit.dir/jit/CompilerTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/CompilerTest.cpp.o.d"
+  "CMakeFiles/test_jit.dir/jit/InterpTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/InterpTest.cpp.o.d"
+  "CMakeFiles/test_jit.dir/jit/IrTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/IrTest.cpp.o.d"
+  "CMakeFiles/test_jit.dir/jit/KernelsTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/KernelsTest.cpp.o.d"
+  "CMakeFiles/test_jit.dir/jit/PassesTest.cpp.o"
+  "CMakeFiles/test_jit.dir/jit/PassesTest.cpp.o.d"
+  "test_jit"
+  "test_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

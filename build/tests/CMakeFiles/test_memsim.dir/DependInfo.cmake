@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/CacheLevelTest.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/CacheLevelTest.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/CacheLevelTest.cpp.o.d"
+  "/root/repo/tests/memsim/MemorySystemTest.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/MemorySystemTest.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/MemorySystemTest.cpp.o.d"
+  "/root/repo/tests/memsim/TlbTest.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/TlbTest.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/TlbTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/ren_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

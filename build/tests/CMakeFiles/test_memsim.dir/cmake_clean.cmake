@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/memsim/CacheLevelTest.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/CacheLevelTest.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/MemorySystemTest.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/MemorySystemTest.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/TlbTest.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/TlbTest.cpp.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

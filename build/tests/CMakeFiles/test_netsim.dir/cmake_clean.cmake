@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/netsim/NetSimStressTest.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/NetSimStressTest.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/netsim/NetSimTest.cpp.o"
+  "CMakeFiles/test_netsim.dir/netsim/NetSimTest.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

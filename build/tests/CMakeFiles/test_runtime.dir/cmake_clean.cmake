@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/AllocTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/AllocTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/AtomicTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/AtomicTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/MethodHandleTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/MethodHandleTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/MonitorTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/MonitorTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/ParkTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/ParkTest.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

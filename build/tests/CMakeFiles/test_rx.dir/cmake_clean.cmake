@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rx.dir/rx/ObservableTest.cpp.o"
+  "CMakeFiles/test_rx.dir/rx/ObservableTest.cpp.o.d"
+  "test_rx"
+  "test_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

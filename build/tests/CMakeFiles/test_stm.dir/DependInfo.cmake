@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stm/StmPropertyTest.cpp" "tests/CMakeFiles/test_stm.dir/stm/StmPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/StmPropertyTest.cpp.o.d"
+  "/root/repo/tests/stm/StmTest.cpp" "tests/CMakeFiles/test_stm.dir/stm/StmTest.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/StmTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stm/CMakeFiles/ren_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ren_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ren_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/ClockTest.cpp" "tests/CMakeFiles/test_support.dir/support/ClockTest.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/ClockTest.cpp.o.d"
+  "/root/repo/tests/support/FormatTest.cpp" "tests/CMakeFiles/test_support.dir/support/FormatTest.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/FormatTest.cpp.o.d"
+  "/root/repo/tests/support/OutputTest.cpp" "tests/CMakeFiles/test_support.dir/support/OutputTest.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/OutputTest.cpp.o.d"
+  "/root/repo/tests/support/RngTest.cpp" "tests/CMakeFiles/test_support.dir/support/RngTest.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/RngTest.cpp.o.d"
+  "/root/repo/tests/support/TableTest.cpp" "tests/CMakeFiles/test_support.dir/support/TableTest.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/TableTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ren_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/ClockTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/ClockTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/FormatTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/FormatTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/OutputTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/OutputTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/RngTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/RngTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/TableTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/TableTest.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/DataGenTest.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/DataGenTest.cpp.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/WorkloadsTest.cpp.o"
+  "CMakeFiles/test_workloads.dir/workloads/WorkloadsTest.cpp.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renaissance.dir/renaissance_cli.cpp.o"
+  "CMakeFiles/renaissance.dir/renaissance_cli.cpp.o.d"
+  "renaissance"
+  "renaissance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renaissance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
