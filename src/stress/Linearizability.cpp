@@ -1,0 +1,170 @@
+//===- stress/Linearizability.cpp - History checking ----------------------==//
+
+#include "stress/Linearizability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+using namespace ren;
+using namespace ren::stress;
+
+namespace {
+
+/// The Wing & Gong search. Operations are grouped per thread in program
+/// order (by invocation time — within a thread ops are sequential, so
+/// invocation order IS program order). At each step the candidates are the
+/// next-unconsumed op of each thread; under the real-time constraint a
+/// candidate is only eligible if no unconsumed op responded before it was
+/// invoked (i.e. it is "minimal" in the interval order).
+class Searcher {
+public:
+  Searcher(const std::vector<Op> &Ops, const SequentialSpec &Spec,
+           bool RealTime)
+      : Spec(Spec), RealTime(RealTime) {
+    // Group per thread, program order.
+    for (const Op &O : Ops) {
+      if (O.Thread >= PerThread.size())
+        PerThread.resize(O.Thread + 1);
+      PerThread[O.Thread].push_back(O);
+    }
+    for (std::vector<Op> &Thread : PerThread)
+      std::sort(Thread.begin(), Thread.end(),
+                [](const Op &L, const Op &R) {
+                  return L.InvokeTs < R.InvokeTs;
+                });
+    Total = Ops.size();
+    assert(Total <= 24 && "history too large for brute-force checking");
+  }
+
+  bool search() {
+    std::vector<size_t> Next(PerThread.size(), 0);
+    return step(Next, 0, Spec.Initial());
+  }
+
+private:
+  bool step(std::vector<size_t> &Next, size_t Taken, int64_t State) {
+    if (Taken == Total)
+      return true;
+    if (!Visited.insert(key(Next, State)).second)
+      return false;
+
+    // Real-time minimality bound: the earliest response among unconsumed
+    // ops. An op invoked after that response cannot be linearized next.
+    uint64_t MinResponse = ~uint64_t(0);
+    if (RealTime)
+      for (size_t T = 0; T < PerThread.size(); ++T)
+        for (size_t I = Next[T]; I < PerThread[T].size(); ++I)
+          MinResponse = std::min(MinResponse, PerThread[T][I].ResponseTs);
+
+    for (size_t T = 0; T < PerThread.size(); ++T) {
+      if (Next[T] >= PerThread[T].size())
+        continue;
+      const Op &Candidate = PerThread[T][Next[T]];
+      if (RealTime && Candidate.InvokeTs > MinResponse)
+        continue;
+      int64_t NewState = State;
+      std::optional<int64_t> Expected = Spec.Apply(NewState, Candidate);
+      assert(Expected && "operation unknown to the sequential spec");
+      if (Expected && *Expected == Candidate.Ret) {
+        ++Next[T];
+        if (step(Next, Taken + 1, NewState))
+          return true;
+        --Next[T];
+      }
+    }
+    return false;
+  }
+
+  /// Memo key: the per-thread positions plus the model state. Two search
+  /// nodes with equal keys explore identical futures.
+  std::pair<std::vector<size_t>, int64_t> key(const std::vector<size_t> &Next,
+                                              int64_t State) const {
+    return {Next, State};
+  }
+
+  const SequentialSpec &Spec;
+  const bool RealTime;
+  std::vector<std::vector<Op>> PerThread;
+  size_t Total = 0;
+  std::set<std::pair<std::vector<size_t>, int64_t>> Visited;
+};
+
+} // namespace
+
+bool ren::stress::isLinearizable(const std::vector<Op> &Ops,
+                                 const SequentialSpec &Spec) {
+  return Searcher(Ops, Spec, /*RealTime=*/true).search();
+}
+
+bool ren::stress::isSequentiallyConsistent(const std::vector<Op> &Ops,
+                                           const SequentialSpec &Spec) {
+  return Searcher(Ops, Spec, /*RealTime=*/false).search();
+}
+
+std::string ren::stress::formatHistory(const std::vector<Op> &Ops) {
+  std::string Out;
+  for (const Op &O : Ops) {
+    Out += "  t" + std::to_string(O.Thread) + " [" +
+           std::to_string(O.InvokeTs) + "," + std::to_string(O.ResponseTs) +
+           "] " + O.Name + "(" + std::to_string(O.Arg);
+    if (O.Arg2 != 0)
+      Out += ", " + std::to_string(O.Arg2);
+    Out += ") -> " + std::to_string(O.Ret) + "\n";
+  }
+  return Out;
+}
+
+SequentialSpec ren::stress::counterSpec(int64_t Initial) {
+  SequentialSpec Spec;
+  Spec.Initial = [Initial] { return Initial; };
+  Spec.Apply = [](int64_t &S, const Op &O) -> std::optional<int64_t> {
+    if (O.Name == "getAndAdd") {
+      int64_t Old = S;
+      S += O.Arg;
+      return Old;
+    }
+    if (O.Name == "get")
+      return S;
+    return std::nullopt;
+  };
+  return Spec;
+}
+
+SequentialSpec ren::stress::registerSpec(int64_t Initial) {
+  SequentialSpec Spec;
+  Spec.Initial = [Initial] { return Initial; };
+  Spec.Apply = [](int64_t &S, const Op &O) -> std::optional<int64_t> {
+    if (O.Name == "write") {
+      S = O.Arg;
+      return 0;
+    }
+    if (O.Name == "read")
+      return S;
+    return std::nullopt;
+  };
+  return Spec;
+}
+
+SequentialSpec ren::stress::casRegisterSpec(int64_t Initial) {
+  SequentialSpec Spec;
+  Spec.Initial = [Initial] { return Initial; };
+  Spec.Apply = [](int64_t &S, const Op &O) -> std::optional<int64_t> {
+    if (O.Name == "read")
+      return S;
+    if (O.Name == "cas") {
+      if (S == O.Arg) {
+        S = O.Arg2;
+        return 1;
+      }
+      return 0;
+    }
+    if (O.Name == "write") {
+      S = O.Arg;
+      return 0;
+    }
+    return std::nullopt;
+  };
+  return Spec;
+}

@@ -1,0 +1,147 @@
+//===- stress/Linearizability.h - History checking --------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Brute-force linearizability and sequential-consistency checking for
+/// small concurrent histories (Wing & Gong / Lincheck style).
+///
+/// Stress scenarios record each operation as an interval: a logical
+/// invocation timestamp taken when the operation starts and a response
+/// timestamp taken when it returns, plus the operation name, argument(s)
+/// and observed return value. The checker then searches for a sequential
+/// ordering of the operations that
+///
+///  - matches a user-supplied sequential specification of the data type
+///    (a fold over an int64 state), and
+///  - respects per-thread program order, and (for linearizability only)
+///  - respects the real-time order: an operation that *responded* before
+///    another was *invoked* must come first.
+///
+/// The search is exponential in the worst case but memoizes on
+/// (taken-set, state), which keeps the small histories used by the stress
+/// tests (≤ ~16 operations) instantaneous. We target the repo's concurrent
+/// primitives — \c runtime::Atomic<T>, \c Monitor guarded sections and the
+/// STM's transactional variables — whose sequential specs are one-liners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_STRESS_LINEARIZABILITY_H
+#define REN_STRESS_LINEARIZABILITY_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace stress {
+
+/// One completed operation in a concurrent history.
+struct Op {
+  unsigned Thread = 0;       ///< Recording thread (program order key).
+  std::string Name;          ///< Operation name, e.g. "getAndAdd".
+  int64_t Arg = 0;           ///< Primary argument (0 if none).
+  int64_t Arg2 = 0;          ///< Secondary argument (e.g. CAS desired).
+  int64_t Ret = 0;           ///< Observed return value (0 if none).
+  uint64_t InvokeTs = 0;     ///< Logical time the operation started.
+  uint64_t ResponseTs = 0;   ///< Logical time the operation returned.
+};
+
+/// Thread-safe recorder stamping operations with a global logical clock.
+///
+/// Usage inside an actor:
+/// \code
+///   uint64_t T0 = Hist.invoke();
+///   int64_t Old = Counter.getAndAdd(1);
+///   Hist.record(Actor, "getAndAdd", 1, 0, Old, T0);
+/// \endcode
+///
+/// The logical clock is a single atomic counter: if op A's response stamp
+/// is below op B's invocation stamp then A really did respond before B was
+/// invoked, so orderings derived from it are sound for linearizability.
+class History {
+public:
+  /// Returns an invocation timestamp. Call immediately before the op.
+  uint64_t invoke() {
+    return Clock.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Records a completed operation; stamps its response time now.
+  void record(unsigned Thread, std::string Name, int64_t Arg, int64_t Arg2,
+              int64_t Ret, uint64_t InvokeTs) {
+    uint64_t ResponseTs = Clock.fetch_add(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> Guard(Lock);
+    Ops.push_back({0, std::move(Name), Arg, Arg2, Ret, InvokeTs, ResponseTs});
+    Ops.back().Thread = Thread;
+  }
+
+  /// Snapshot of all recorded operations.
+  std::vector<Op> ops() const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Ops;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Ops.size();
+  }
+
+  /// Clears the history for the next repetition (not thread-safe against
+  /// concurrent recording; call from the control thread only).
+  void clear() {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Ops.clear();
+    Clock.store(0, std::memory_order_release);
+  }
+
+private:
+  std::atomic<uint64_t> Clock{0};
+  mutable std::mutex Lock;
+  std::vector<Op> Ops;
+};
+
+/// A sequential specification of the data type under test: an initial
+/// int64 state and a transition function returning the return value the
+/// sequential type would produce (nullopt if \p Name is unknown).
+struct SequentialSpec {
+  using State = int64_t;
+  std::function<State()> Initial;
+  std::function<std::optional<int64_t>(State &S, const Op &O)> Apply;
+};
+
+/// True iff \p Ops has a linearization: a total order matching \p Spec
+/// that respects both program order and real-time order.
+bool isLinearizable(const std::vector<Op> &Ops, const SequentialSpec &Spec);
+
+/// True iff \p Ops is sequentially consistent: like \c isLinearizable but
+/// only program order is respected (real-time order may be violated).
+/// Every linearizable history is sequentially consistent, not vice versa.
+bool isSequentiallyConsistent(const std::vector<Op> &Ops,
+                              const SequentialSpec &Spec);
+
+/// Renders \p Ops for failure messages, one operation per line.
+std::string formatHistory(const std::vector<Op> &Ops);
+
+// Canned sequential specs for the primitives the stress tests target.
+
+/// An atomic counter: "getAndAdd"(d) returns the old value, "get" returns
+/// the current value — the spec of runtime::Atomic<int64_t>::getAndAdd.
+SequentialSpec counterSpec(int64_t Initial = 0);
+
+/// A read/write register: "write"(v) returns 0, "read" returns the value.
+SequentialSpec registerSpec(int64_t Initial = 0);
+
+/// A CAS register: "read" returns the value, "cas"(expected, desired)
+/// returns 1 and stores on match else 0 — the spec of compareAndSet.
+SequentialSpec casRegisterSpec(int64_t Initial = 0);
+
+} // namespace stress
+} // namespace ren
+
+#endif // REN_STRESS_LINEARIZABILITY_H

@@ -1,0 +1,127 @@
+//===- stress/Outcome.h - Outcome spec DSL for stress scenarios -*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The jcstress-style outcome specification DSL.
+///
+/// A stress scenario does not assert inside its actors — concurrent
+/// interleavings legitimately produce several different results, and a
+/// single flaky assert conveys nothing about frequency. Instead the
+/// scenario declares, up front, which observed outcomes are ACCEPTABLE
+/// (correct), which are INTERESTING (correct but worth surfacing, e.g. a
+/// rare interleaving the scenario exists to provoke), and which are
+/// FORBIDDEN (a correctness bug such as a lost update or a torn read).
+/// The StressRunner then reports a frequency histogram classified against
+/// this spec; a scenario fails iff a forbidden outcome was ever observed.
+///
+/// Unlisted outcomes are forbidden by default — an outcome nobody thought
+/// of is exactly the kind of result a stress test exists to flag — unless
+/// the spec opts out with \c acceptUnlisted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_STRESS_OUTCOME_H
+#define REN_STRESS_OUTCOME_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace stress {
+
+/// Classification of one observed outcome of a stress scenario.
+enum class OutcomeClass {
+  Acceptable,  ///< Allowed result of a correct implementation.
+  Interesting, ///< Allowed, but notable — reported prominently.
+  Forbidden,   ///< Must never occur; any occurrence fails the scenario.
+};
+
+/// Short lower-case name ("acceptable", "interesting", "forbidden").
+const char *outcomeClassName(OutcomeClass C);
+
+/// Declarative map from outcome strings to their classification.
+///
+/// \code
+///   OutcomeSpec Spec;
+///   Spec.accept("1, 2", "both CASes in order")
+///       .accept("2, 1", "reversed order")
+///       .interesting("1, 1", "both saw the initial value, one CAS failed")
+///       .forbid("0, 0", "lost update");
+/// \endcode
+class OutcomeSpec {
+public:
+  /// Declares \p Outcome as acceptable. \returns *this for chaining.
+  OutcomeSpec &accept(std::string Outcome, std::string Note = "") {
+    return add(std::move(Outcome), OutcomeClass::Acceptable, std::move(Note));
+  }
+
+  /// Declares \p Outcome as interesting (allowed, surfaced in reports).
+  OutcomeSpec &interesting(std::string Outcome, std::string Note = "") {
+    return add(std::move(Outcome), OutcomeClass::Interesting,
+               std::move(Note));
+  }
+
+  /// Declares \p Outcome as forbidden.
+  OutcomeSpec &forbid(std::string Outcome, std::string Note = "") {
+    return add(std::move(Outcome), OutcomeClass::Forbidden, std::move(Note));
+  }
+
+  /// Makes outcomes not listed in the spec acceptable instead of the
+  /// default-forbidden policy. Use sparingly: it weakens the scenario.
+  OutcomeSpec &acceptUnlisted() {
+    UnlistedClass = OutcomeClass::Acceptable;
+    return *this;
+  }
+
+  /// Classifies \p Outcome against the declared entries.
+  OutcomeClass classify(const std::string &Outcome) const {
+    for (const Entry &E : Entries)
+      if (E.Outcome == Outcome)
+        return E.Class;
+    return UnlistedClass;
+  }
+
+  /// Returns the note attached to \p Outcome ("" if none or unlisted).
+  const std::string &noteFor(const std::string &Outcome) const {
+    static const std::string kEmpty;
+    for (const Entry &E : Entries)
+      if (E.Outcome == Outcome)
+        return E.Note;
+    return kEmpty;
+  }
+
+  /// True if \p Outcome appears explicitly in the spec.
+  bool lists(const std::string &Outcome) const {
+    for (const Entry &E : Entries)
+      if (E.Outcome == Outcome)
+        return true;
+    return false;
+  }
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    std::string Outcome;
+    OutcomeClass Class;
+    std::string Note;
+  };
+
+  OutcomeSpec &add(std::string Outcome, OutcomeClass Class,
+                   std::string Note) {
+    Entries.push_back({std::move(Outcome), Class, std::move(Note)});
+    return *this;
+  }
+
+  std::vector<Entry> Entries;
+  OutcomeClass UnlistedClass = OutcomeClass::Forbidden;
+};
+
+} // namespace stress
+} // namespace ren
+
+#endif // REN_STRESS_OUTCOME_H

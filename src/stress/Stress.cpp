@@ -1,0 +1,152 @@
+//===- stress/Stress.cpp - Concurrency stress harness ---------------------==//
+
+#include "stress/Stress.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <thread>
+
+using namespace ren;
+using namespace ren::stress;
+
+const char *ren::stress::outcomeClassName(OutcomeClass C) {
+  switch (C) {
+  case OutcomeClass::Acceptable:
+    return "acceptable";
+  case OutcomeClass::Interesting:
+    return "interesting";
+  case OutcomeClass::Forbidden:
+    return "forbidden";
+  }
+  return "unknown";
+}
+
+StressScenario::~StressScenario() = default;
+
+void InterleavingNudge::pause() {
+  // 1-in-8 pauses become a scheduler yield: a yield can move the thread to
+  // the end of its run queue, which shifts the race window by whole quanta
+  // instead of a handful of cycles.
+  if (Rng.nextBounded(8) == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  uint64_t Iters = Rng.nextBounded(MaxSpinIters + 1);
+  volatile uint64_t Sink = 0;
+  for (uint64_t I = 0; I < Iters; ++I)
+    Sink = Sink + 1;
+}
+
+void SpinBarrier::arriveAndWait() {
+  uint64_t Gen = Generation.load(std::memory_order_acquire);
+  if (Arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == Parties) {
+    // Last arrival: reset the count and open the next generation.
+    Arrived.store(0, std::memory_order_relaxed);
+    Generation.store(Gen + 1, std::memory_order_release);
+    return;
+  }
+  unsigned Spins = 0;
+  while (Generation.load(std::memory_order_acquire) == Gen) {
+    if (++Spins >= 1024) {
+      Spins = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+uint64_t StressReport::trials() const {
+  uint64_t Total = 0;
+  for (const OutcomeCount &C : Histogram)
+    Total += C.Count;
+  return Total;
+}
+
+uint64_t StressReport::countOf(OutcomeClass Class) const {
+  uint64_t Total = 0;
+  for (const OutcomeCount &C : Histogram)
+    if (C.Class == Class)
+      Total += C.Count;
+  return Total;
+}
+
+std::string StressReport::summary() const {
+  std::string Out = "[" + ScenarioName + "] " + std::to_string(trials()) +
+                    " trials, seed=" + std::to_string(Seed) + " — " +
+                    (passed() ? "PASSED" : "FAILED") + "\n";
+  for (const OutcomeCount &C : Histogram) {
+    Out += "  " + padRight(C.Outcome, 24) + " " +
+           padLeft(outcomeClassName(C.Class), 11) + " " +
+           padLeft(std::to_string(C.Count), 10);
+    if (!C.Note.empty())
+      Out += "  (" + C.Note + ")";
+    Out += "\n";
+  }
+  return Out;
+}
+
+StressReport StressRunner::run(StressScenario &S) {
+  const unsigned NumActors = S.actors();
+  assert(NumActors > 0 && "scenario needs at least one actor");
+  const unsigned Reps = std::max(1u, Opts.Repetitions);
+
+  // Two barriers, each synchronizing the control thread plus all actors:
+  // StartBarrier aligns the beginning of the concurrent phase (after
+  // prepare), EndBarrier marks its end (before observe).
+  SpinBarrier StartBarrier(NumActors + 1);
+  SpinBarrier EndBarrier(NumActors + 1);
+
+  auto actorSeed = [this](unsigned Rep, unsigned Actor) {
+    // Distinct, deterministic stream per (rep, actor); SplitMix64 scrambles
+    // the structured input so consecutive reps do not correlate.
+    SplitMix64 SM(Opts.Seed ^ (uint64_t(Rep) << 20) ^ Actor);
+    return SM.next();
+  };
+
+  std::vector<std::thread> Actors;
+  Actors.reserve(NumActors);
+  for (unsigned A = 0; A < NumActors; ++A) {
+    Actors.emplace_back([&, A] {
+      InterleavingNudge Nudge(actorSeed(0, A), Opts.MaxSpinIters);
+      for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+        Nudge.reseed(actorSeed(Rep, A));
+        StartBarrier.arriveAndWait();
+        // The pre-operation nudge staggers actor starts by a random few
+        // dozen cycles — enough to slide the operations across each
+        // other's critical regions over many repetitions.
+        Nudge.pause();
+        S.run(A, Nudge);
+        EndBarrier.arriveAndWait();
+      }
+    });
+  }
+
+  std::map<std::string, uint64_t> Counts;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    S.prepare();
+    StartBarrier.arriveAndWait();
+    EndBarrier.arriveAndWait();
+    ++Counts[S.observe()];
+  }
+  for (std::thread &T : Actors)
+    T.join();
+
+  OutcomeSpec Spec = S.spec();
+  std::vector<OutcomeCount> Histogram;
+  Histogram.reserve(Counts.size());
+  for (const auto &[Outcome, Count] : Counts) {
+    OutcomeCount Row;
+    Row.Outcome = Outcome;
+    Row.Class = Spec.classify(Outcome);
+    Row.Count = Count;
+    Row.Note = Spec.noteFor(Outcome);
+    Histogram.push_back(std::move(Row));
+  }
+  std::sort(Histogram.begin(), Histogram.end(),
+            [](const OutcomeCount &L, const OutcomeCount &R) {
+              return L.Count > R.Count;
+            });
+  return StressReport(S.name(), Opts.Seed, std::move(Histogram));
+}

@@ -1,0 +1,198 @@
+//===- stress/Stress.h - Concurrency stress harness -------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A jcstress/Lincheck-style concurrency stress harness for the runtime
+/// substrates (`ren::runtime`, `ren::forkjoin`, `ren::stm`, `ren::actors`).
+///
+/// The paper's central claim is that Renaissance workloads exercise
+/// concurrency primitives far more heavily than prior suites; this harness
+/// is the correctness gate that claim rests on. A \c StressScenario defines
+/// a small multi-threaded interaction: per-repetition state in \c prepare,
+/// one concurrent operation per actor in \c run, and an arbiter \c observe
+/// that renders the final state as an outcome string. The \c StressRunner
+/// executes the scenario for N short repetitions with
+/// barrier-aligned actor starts and randomized yield/spin nudges injected
+/// around the operations (seeded, so a failing seed reproduces), and
+/// histograms the observed outcomes against the scenario's \c OutcomeSpec.
+///
+/// Unlike a flaky assert, the report says *how often* each interleaving
+/// happened — and a forbidden outcome observed even once is a bug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_STRESS_STRESS_H
+#define REN_STRESS_STRESS_H
+
+#include "stress/Outcome.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ren {
+namespace stress {
+
+/// Per-actor interleaving randomizer.
+///
+/// Each actor thread receives a nudge seeded from (runner seed, repetition,
+/// actor index). The runner pauses once before invoking the actor body;
+/// scenario code may additionally call \c pause between its own operations
+/// to widen the explored interleaving space — this is the jcstress trick of
+/// perturbing thread timing without instrumenting the code under test.
+class InterleavingNudge {
+public:
+  explicit InterleavingNudge(uint64_t Seed, unsigned MaxSpinIters = 128)
+      : Rng(Seed), MaxSpinIters(MaxSpinIters) {}
+
+  /// Re-seeds the nudge (called by the runner between repetitions).
+  void reseed(uint64_t Seed) { Rng = Xoshiro256StarStar(Seed); }
+
+  /// Injects a randomized delay: a spin of 0..MaxSpinIters iterations,
+  /// occasionally replaced by a scheduler yield (which is what actually
+  /// migrates the race window across quanta).
+  void pause();
+
+  /// Uniform value in [0, Bound) for scenarios that randomize their own
+  /// operation order.
+  uint64_t nextBounded(uint64_t Bound) { return Rng.nextBounded(Bound); }
+
+private:
+  Xoshiro256StarStar Rng;
+  unsigned MaxSpinIters;
+};
+
+/// A user-defined stress scenario (one concurrent interaction).
+///
+/// Lifecycle per repetition: \c prepare on the control thread, then all
+/// actors \c run concurrently (barrier-aligned), then \c observe on the
+/// control thread after every actor finished.
+class StressScenario {
+public:
+  virtual ~StressScenario();
+
+  /// Scenario name for reports.
+  virtual std::string name() const = 0;
+
+  /// Number of concurrent actor threads.
+  virtual unsigned actors() const = 0;
+
+  /// Resets the scenario state for one repetition. Runs alone.
+  virtual void prepare() = 0;
+
+  /// Executes actor \p Index's operation. Runs concurrently with every
+  /// other actor; must not block indefinitely.
+  virtual void run(unsigned Index, InterleavingNudge &Nudge) = 0;
+
+  /// Renders the final state as an outcome string. Runs alone.
+  virtual std::string observe() = 0;
+
+  /// The acceptable / interesting / forbidden outcome sets.
+  virtual OutcomeSpec spec() const = 0;
+};
+
+/// One histogram row of a stress report.
+struct OutcomeCount {
+  std::string Outcome;
+  OutcomeClass Class = OutcomeClass::Acceptable;
+  uint64_t Count = 0;
+  std::string Note;
+};
+
+/// The result of running one scenario: an outcome frequency histogram
+/// classified against the scenario's spec.
+class StressReport {
+public:
+  StressReport() = default;
+  StressReport(std::string ScenarioName, uint64_t Seed,
+               std::vector<OutcomeCount> Histogram)
+      : ScenarioName(std::move(ScenarioName)), Seed(Seed),
+        Histogram(std::move(Histogram)) {}
+
+  const std::string &scenario() const { return ScenarioName; }
+
+  /// The runner seed (reported so failures reproduce).
+  uint64_t seed() const { return Seed; }
+
+  /// Histogram rows, most frequent first.
+  const std::vector<OutcomeCount> &counts() const { return Histogram; }
+
+  /// Total repetitions executed.
+  uint64_t trials() const;
+
+  /// Repetitions that produced an outcome of class \p C.
+  uint64_t countOf(OutcomeClass C) const;
+
+  /// Repetitions that hit a forbidden outcome (0 for a correct subject).
+  uint64_t forbiddenCount() const {
+    return countOf(OutcomeClass::Forbidden);
+  }
+
+  /// Distinct outcomes observed.
+  size_t distinctOutcomes() const { return Histogram.size(); }
+
+  /// True iff no forbidden outcome was ever observed.
+  bool passed() const { return forbiddenCount() == 0; }
+
+  /// Human-readable table: one row per outcome with class, count, note.
+  std::string summary() const;
+
+private:
+  std::string ScenarioName;
+  uint64_t Seed = 0;
+  std::vector<OutcomeCount> Histogram;
+};
+
+/// Executes stress scenarios and histograms their outcomes.
+class StressRunner {
+public:
+  struct Options {
+    /// Short repetitions, each a fresh prepare/run*/observe cycle.
+    unsigned Repetitions = 1000;
+    /// Base seed for the interleaving nudges; a report's seed field echoes
+    /// this so a failing run can be replayed exactly.
+    uint64_t Seed = 0x5eed0c0ffeeULL;
+    /// Upper bound of the random spin injected per pause.
+    unsigned MaxSpinIters = 128;
+  };
+
+  StressRunner() = default;
+  explicit StressRunner(Options RunOptions) : Opts(RunOptions) {}
+
+  /// Runs \p S for Options::Repetitions repetitions and returns the
+  /// classified outcome histogram. Actor threads are spawned once and
+  /// reused across repetitions; every repetition starts all actors on a
+  /// spinning barrier so their operations genuinely overlap.
+  StressReport run(StressScenario &S);
+
+private:
+  Options Opts = Options();
+};
+
+/// A reusable sense-reversing spin barrier aligning actor starts.
+///
+/// Spinning (with periodic yields) rather than blocking: the whole point
+/// of barrier alignment is that all actors leave the barrier within a few
+/// cycles of each other, which a mutex/condvar barrier cannot guarantee.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+
+  /// Blocks until all parties arrive, then releases them together.
+  void arriveAndWait();
+
+private:
+  const unsigned Parties;
+  std::atomic<unsigned> Arrived{0};
+  std::atomic<uint64_t> Generation{0};
+};
+
+} // namespace stress
+} // namespace ren
+
+#endif // REN_STRESS_STRESS_H

@@ -83,6 +83,57 @@ TEST(InvokeDynamicSiteTest, BootstrapIsThreadSafe) {
   EXPECT_EQ(Sum.load(), 400);
 }
 
+TEST(InvokeDynamicSiteTest, ConcurrentFirstInvocationBootstrapsOnce) {
+  // Eight threads race the very first execution of one invokedynamic
+  // site, starting as close together as a spin gate allows. The JVM
+  // contract (JSR 292): the bootstrap method runs exactly once no matter
+  // how many threads hit the unlinked site, every racer gets a handle
+  // bound to the linked target, and every execution counts IDynamic.
+  constexpr int kThreads = 8;
+  constexpr int kInvokesPerThread = 50;
+  InvokeDynamicSite<int(int)> Site;
+  std::atomic<int> BootstrapCalls{0};
+  std::atomic<int> Ready{0};
+  std::atomic<bool> Go{false};
+  std::atomic<long> Sum{0};
+  MetricSnapshot Before = snap();
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < kThreads; ++T)
+    Workers.emplace_back([&] {
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      long Local = 0;
+      for (int I = 0; I < kInvokesPerThread; ++I) {
+        auto H = Site.makeHandle([&] {
+          BootstrapCalls.fetch_add(1);
+          return MethodHandle<int(int)>([](int X) { return X + 1; });
+        });
+        Local += H.invoke(I);
+      }
+      Sum.fetch_add(Local);
+    });
+  while (Ready.load() != kThreads) {
+  }
+  Go.store(true, std::memory_order_release);
+  for (auto &W : Workers)
+    W.join();
+
+  EXPECT_EQ(BootstrapCalls.load(), 1)
+      << "bootstrap must run exactly once despite 8 racing first invokes";
+  EXPECT_EQ(Site.bootstrapCount(), 1u);
+  // Every thread invoked a correctly-linked handle: sum of (I + 1).
+  long PerThread = kInvokesPerThread * (kInvokesPerThread - 1) / 2 +
+                   kInvokesPerThread;
+  EXPECT_EQ(Sum.load(), kThreads * PerThread);
+  // Each makeHandle call is one idynamic execution, racing or not.
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::IDynamic),
+            uint64_t(kThreads) * kInvokesPerThread);
+  EXPECT_EQ(D.get(Metric::Method), uint64_t(kThreads) * kInvokesPerThread)
+      << "every invoke dispatches through the handle";
+}
+
 TEST(BindLambdaTest, CountsIDynamicAndWorks) {
   MetricSnapshot Before = snap();
   auto H = bindLambda<int(int, int)>([](int A, int B) { return A + B; });

@@ -1,0 +1,270 @@
+//===- tests/stress/ActorsStressTest.cpp ----------------------------------==//
+//
+// Concurrency stress scenarios for ren::actors (ctest -L stress): the
+// lock-free mailbox under concurrent producers, the per-sender FIFO
+// guarantee, the single-threaded-receive actor invariant, and the ask
+// pattern racing replies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "actors/ActorSystem.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+using namespace ren::stress;
+using ren::actors::Actor;
+using ren::actors::ActorRef;
+using ren::actors::ActorSystem;
+
+namespace {
+
+constexpr int kMessagesPerProducer = 64;
+
+/// Sums incoming ints into an external atomic (readable after
+/// awaitQuiescence without touching actor internals).
+struct SumActor : Actor<int> {
+  explicit SumActor(std::atomic<long> &Sum) : Sum(Sum) {}
+  void receive(int Message) override { Sum.fetch_add(Message); }
+  std::atomic<long> &Sum;
+};
+
+/// Two producer threads hammer one mailbox (Treiber-stack CAS pushes);
+/// every message must survive the push race and be processed exactly once.
+class MailboxScenario : public StressScenario {
+public:
+  MailboxScenario() : Sys(2) {}
+
+  std::string name() const override { return "actor-mailbox"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Sum.store(0);
+    Ref = Sys.spawn<SumActor>(Sum);
+  }
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    for (int I = 0; I < kMessagesPerProducer; ++I) {
+      Ref.tell(1);
+      if (I % 16 == 0)
+        Nudge.pause();
+    }
+  }
+  std::string observe() override {
+    Sys.awaitQuiescence();
+    return std::to_string(Sum.load());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept(std::to_string(2 * kMessagesPerProducer),
+                "every concurrent tell was delivered exactly once");
+    return Spec;
+  }
+
+private:
+  ActorSystem Sys;
+  std::atomic<long> Sum{0};
+  ActorRef<int> Ref;
+};
+
+/// Messages tagged with (sender, sequence); the receiving actor verifies
+/// per-sender monotonicity — the FIFO half of the mailbox contract that a
+/// Treiber-stack reversal bug would break.
+struct TaggedMsg {
+  int Sender;
+  int Seq;
+};
+
+struct FifoCheckActor : Actor<TaggedMsg> {
+  FifoCheckActor(std::atomic<int> &Violations, std::atomic<int> &Received)
+      : Violations(Violations), Received(Received) {
+    LastSeq[0] = LastSeq[1] = -1;
+  }
+  void receive(TaggedMsg M) override {
+    // Single-threaded per the actor invariant, so plain state is fine.
+    if (M.Seq != LastSeq[M.Sender] + 1)
+      Violations.fetch_add(1);
+    LastSeq[M.Sender] = M.Seq;
+    Received.fetch_add(1);
+  }
+  int LastSeq[2];
+  std::atomic<int> &Violations;
+  std::atomic<int> &Received;
+};
+
+class FifoScenario : public StressScenario {
+public:
+  FifoScenario() : Sys(2) {}
+
+  std::string name() const override { return "actor-fifo"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Violations.store(0);
+    Received.store(0);
+    Ref = Sys.spawn<FifoCheckActor>(Violations, Received);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    for (int I = 0; I < kMessagesPerProducer; ++I) {
+      Ref.tell(TaggedMsg{int(Index), I});
+      if (I % 16 == 0)
+        Nudge.pause();
+    }
+  }
+  std::string observe() override {
+    Sys.awaitQuiescence();
+    if (Received.load() != 2 * kMessagesPerProducer)
+      return "lost:" + std::to_string(Received.load());
+    if (Violations.load() != 0)
+      return "reordered:" + std::to_string(Violations.load());
+    return "fifo";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("fifo", "per-sender order preserved for every message");
+    return Spec;
+  }
+
+private:
+  ActorSystem Sys;
+  std::atomic<int> Violations{0};
+  std::atomic<int> Received{0};
+  ActorRef<TaggedMsg> Ref;
+};
+
+/// Detects concurrent receive invocations: a reentrancy flag flipped
+/// around unsynchronized state. The scheduling CAS (Scheduled 0->1) is
+/// what must prevent two pool workers from activating one actor at once.
+struct InvariantActor : Actor<int> {
+  InvariantActor(std::atomic<int> &Overlaps, std::atomic<int> &Count)
+      : Overlaps(Overlaps), Count(Count) {}
+  void receive(int) override {
+    if (Busy.exchange(true))
+      Overlaps.fetch_add(1);
+    // A small window inside receive widens any double-activation race.
+    volatile int Sink = 0;
+    for (int I = 0; I < 32; ++I)
+      Sink = Sink + 1;
+    Count.fetch_add(1);
+    Busy.store(false);
+  }
+  std::atomic<bool> Busy{false};
+  std::atomic<int> &Overlaps;
+  std::atomic<int> &Count;
+};
+
+class ReceiveInvariantScenario : public StressScenario {
+public:
+  ReceiveInvariantScenario() : Sys(4) {}
+
+  std::string name() const override { return "actor-receive-invariant"; }
+  unsigned actors() const override { return 3; }
+  void prepare() override {
+    Overlaps.store(0);
+    Count.store(0);
+    Ref = Sys.spawn<InvariantActor>(Overlaps, Count);
+  }
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    for (int I = 0; I < 16; ++I) {
+      Ref.tell(1);
+      if (I % 8 == 0)
+        Nudge.pause();
+    }
+  }
+  std::string observe() override {
+    Sys.awaitQuiescence();
+    if (Overlaps.load() != 0)
+      return "concurrent-receive:" + std::to_string(Overlaps.load());
+    return std::to_string(Count.load());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("48", "every message processed, never concurrently");
+    return Spec;
+  }
+
+private:
+  ActorSystem Sys;
+  std::atomic<int> Overlaps{0};
+  std::atomic<int> Count{0};
+  ActorRef<int> Ref;
+};
+
+/// The ask pattern under racing askers: each reply promise must be
+/// completed exactly once with the caller's own request doubled.
+struct AskMsg {
+  int Value;
+  ren::futures::Promise<int> Reply;
+};
+
+struct DoublerActor : Actor<AskMsg> {
+  void receive(AskMsg M) override { M.Reply.setValue(M.Value * 2); }
+};
+
+class AskScenario : public StressScenario {
+public:
+  AskScenario() : Sys(2) {}
+
+  std::string name() const override { return "actor-ask"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Ref = Sys.spawn<DoublerActor>();
+    Replies[0] = Replies[1] = -1;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    int Request = int(Index) + 10;
+    auto ReplyFuture = Ref.ask<int>([Request](ren::futures::Promise<int> P) {
+      return AskMsg{Request, std::move(P)};
+    });
+    Replies[Index] = ReplyFuture.get();
+  }
+  std::string observe() override {
+    return std::to_string(Replies[0]) + "," + std::to_string(Replies[1]);
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("20,22", "both askers got their own doubled value");
+    return Spec;
+  }
+
+private:
+  ActorSystem Sys;
+  ActorRef<AskMsg> Ref;
+  int Replies[2] = {-1, -1};
+};
+
+} // namespace
+
+TEST(ActorsStress, MailboxSurvivesConcurrentProducers) {
+  MailboxScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 100;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ActorsStress, PerSenderFifoPreserved) {
+  FifoScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 100;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ActorsStress, ReceiveNeverRunsConcurrently) {
+  ReceiveInvariantScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 100;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ActorsStress, AskPatternRacingAskers) {
+  AskScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 150;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}

@@ -1,0 +1,217 @@
+//===- tests/stress/ForkJoinStressTest.cpp --------------------------------==//
+//
+// Concurrency stress scenarios for ren::forkjoin (ctest -L stress):
+// concurrent external submission, join-with-helping, task-completion
+// visibility, and parallelReduce determinism under contention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "forkjoin/ForkJoinPool.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace ren::stress;
+using ren::forkjoin::ForkJoinPool;
+
+namespace {
+
+/// Two external threads concurrently submit-and-join small invocations on
+/// one shared pool. Exercises the external queue's monitor, the wakeup
+/// signalling, and join-with-helping from non-worker threads.
+class ExternalSubmitScenario : public StressScenario {
+public:
+  ExternalSubmitScenario() : Pool(4) {}
+
+  std::string name() const override { return "fj-external-submit"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Results[0] = Results[1] = -1;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    // Each actor invokes a sum over its own range; invoke = fork + join.
+    long Base = long(Index) * 100;
+    Results[Index] = Pool.invoke([Base] {
+      long Sum = 0;
+      for (long I = 0; I < 50; ++I)
+        Sum += Base + I;
+      return Sum;
+    });
+  }
+  std::string observe() override {
+    long Expected0 = 49 * 50 / 2;            // sum 0..49
+    long Expected1 = 100 * 50 + 49 * 50 / 2; // sum 100..149
+    if (Results[0] != Expected0)
+      return "actor0:" + std::to_string(Results[0]);
+    if (Results[1] != Expected1)
+      return "actor1:" + std::to_string(Results[1]);
+    return "both-correct";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("both-correct");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  long Results[2] = {-1, -1};
+};
+
+/// Fork K independent tasks from both actors, then join them all: every
+/// task must run exactly once and its writes must be visible after join.
+class ForkManyScenario : public StressScenario {
+public:
+  ForkManyScenario() : Pool(4) {}
+
+  std::string name() const override { return "fj-fork-many"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Executed.store(0); }
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    std::vector<std::shared_ptr<ren::forkjoin::TaskBase>> Tasks;
+    for (int I = 0; I < 8; ++I) {
+      Tasks.push_back(Pool.fork([this] {
+        Executed.fetch_add(1, std::memory_order_relaxed);
+      }));
+      if (I % 4 == 0)
+        Nudge.pause();
+    }
+    for (auto &T : Tasks)
+      Pool.join(T);
+    for (auto &T : Tasks)
+      if (!T->isDone())
+        JoinBeforeDone.store(true, std::memory_order_relaxed);
+  }
+  std::string observe() override {
+    if (JoinBeforeDone.load())
+      return "join-returned-before-done";
+    return std::to_string(Executed.load());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("16", "every forked task executed exactly once")
+        .forbid("join-returned-before-done", "join broke the done barrier");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::atomic<int> Executed{0};
+  std::atomic<bool> JoinBeforeDone{false};
+};
+
+/// Join-establishes-visibility: the task writes a PLAIN int; the forking
+/// actor reads it after join. Only the pool's completion synchronization
+/// (Done flag release/acquire + monitor) makes this defined — exactly the
+/// happens-before edge user code relies on.
+class JoinVisibilityScenario : public StressScenario {
+public:
+  JoinVisibilityScenario() : Pool(2) {}
+
+  std::string name() const override { return "fj-join-visibility"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Seen[0] = Seen[1] = 0;
+    Slot[0].store(0, std::memory_order_relaxed);
+    Slot[1].store(0, std::memory_order_relaxed);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto Task = Pool.fork([this, Index] {
+      Slot[Index].store(42 + int(Index), std::memory_order_relaxed);
+    });
+    Pool.join(Task);
+    // Relaxed read: the ordering must come from join, not from the slot.
+    Seen[Index] = Slot[Index].load(std::memory_order_relaxed);
+  }
+  std::string observe() override {
+    return std::to_string(Seen[0]) + "," + std::to_string(Seen[1]);
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("42,43", "joins published the task writes");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::atomic<int> Slot[2];
+  int Seen[2] = {0, 0};
+};
+
+/// Both actors run parallelReduce concurrently on the shared pool; the
+/// recursive splits interleave with the other actor's tasks in the deques,
+/// stressing work stealing. Results must be deterministic regardless.
+class ParallelReduceScenario : public StressScenario {
+public:
+  ParallelReduceScenario() : Pool(4) {}
+
+  std::string name() const override { return "fj-parallel-reduce"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Sums[0] = Sums[1] = -1; }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    Sums[Index] = Pool.parallelReduce<long>(
+        0, 512, 32,
+        [](size_t Lo, size_t Hi) {
+          long Sum = 0;
+          for (size_t I = Lo; I < Hi; ++I)
+            Sum += long(I);
+          return Sum;
+        },
+        [](long A, long B) { return A + B; });
+  }
+  std::string observe() override {
+    long Expected = 511 * 512 / 2;
+    if (Sums[0] != Expected || Sums[1] != Expected)
+      return std::to_string(Sums[0]) + "," + std::to_string(Sums[1]);
+    return "deterministic";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("deterministic");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  long Sums[2] = {-1, -1};
+};
+
+} // namespace
+
+TEST(ForkJoinStress, ConcurrentExternalSubmission) {
+  ExternalSubmitScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 150;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ForkJoinStress, ForkManyTasksAllExecuteOnce) {
+  ForkManyScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 150;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ForkJoinStress, JoinPublishesTaskWrites) {
+  JoinVisibilityScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 200;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ForkJoinStress, ConcurrentParallelReduceIsDeterministic) {
+  ParallelReduceScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 80;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}

@@ -1,0 +1,231 @@
+//===- tests/stress/FuturesStressTest.cpp ---------------------------------==//
+//
+// Concurrency stress scenarios for ren::futures (ctest -L stress): the
+// CAS completion race (one winner), the await guarded block (no lost
+// wakeup), callback registration racing completion (exactly-once), and
+// collectAll completed from multiple threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "futures/Future.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+using namespace ren::stress;
+using ren::futures::Future;
+using ren::futures::InlineExecutor;
+using ren::futures::Promise;
+using ren::futures::Try;
+using ren::futures::collectAll;
+
+namespace {
+
+/// Both actors race trySuccess on one promise: the completion CAS must
+/// elect exactly one winner, and the settled value must be the winner's.
+class CompletionRaceScenario : public StressScenario {
+public:
+  std::string name() const override { return "future-completion-race"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    P = std::make_unique<Promise<int>>();
+    Wins.store(0);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    if (P->trySuccess(int(Index) + 1)) {
+      Wins.fetch_add(1);
+      Winner.store(int(Index) + 1, std::memory_order_relaxed);
+    }
+  }
+  std::string observe() override {
+    if (Wins.load() != 1)
+      return "wins:" + std::to_string(Wins.load());
+    Future<int> F = P->future();
+    int Settled = F.get();
+    if (Settled != Winner.load())
+      return "value-mismatch:" + std::to_string(Settled);
+    return "one-winner";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("one-winner", "completion CAS elected a single winner")
+        .forbid("wins:0", "both completions lost")
+        .forbid("wins:2", "double completion")
+        .forbid("value-mismatch:1", "loser's value was published")
+        .forbid("value-mismatch:2", "loser's value was published");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<Promise<int>> P;
+  std::atomic<int> Wins{0};
+  std::atomic<int> Winner{0};
+};
+
+/// Actor 0 blocks in await (a Monitor guarded block) while actor 1
+/// completes the promise: completion must always wake the awaiter and the
+/// awaited Try must carry the value.
+class AwaitRaceScenario : public StressScenario {
+public:
+  std::string name() const override { return "future-await-race"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    P = std::make_unique<Promise<int>>();
+    Awaited = -1;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      Future<int> F = P->future();
+      const Try<int> &R = F.await();
+      Awaited = R.isSuccess() ? R.value() : -2;
+    } else {
+      Nudge.pause();
+      P->setValue(7);
+    }
+  }
+  std::string observe() override { return std::to_string(Awaited); }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("7", "await woke and saw the completed value")
+        .forbid("-1", "await returned without completion")
+        .forbid("-2", "await observed a failure");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<Promise<int>> P;
+  int Awaited = -1;
+};
+
+/// Actor 0 registers map+onComplete continuations while actor 1 completes:
+/// whichever side wins the registration race, every continuation must run
+/// exactly once with the completed value.
+class CallbackRaceScenario : public StressScenario {
+public:
+  std::string name() const override { return "future-callback-race"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    P = std::make_unique<Promise<int>>();
+    CallbackRuns.store(0);
+    MappedValue.store(0);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      Future<int> F = P->future();
+      Nudge.pause();
+      Future<int> Mapped = F.map([](const int &V) { return V * 2; });
+      Mapped.onComplete(InlineExecutor::get(),
+                        [this](const Try<int> &R) {
+                          CallbackRuns.fetch_add(1);
+                          if (R.isSuccess())
+                            MappedValue.store(R.value(),
+                                              std::memory_order_relaxed);
+                        });
+      // The chain must settle: await on the mapped future.
+      Mapped.await();
+    } else {
+      Nudge.pause();
+      P->setValue(21);
+    }
+  }
+  std::string observe() override {
+    if (CallbackRuns.load() != 1)
+      return "runs:" + std::to_string(CallbackRuns.load());
+    return std::to_string(MappedValue.load());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("42", "map + callback ran exactly once")
+        .forbid("runs:0", "registered callback never ran")
+        .forbid("runs:2", "callback ran twice");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<Promise<int>> P;
+  std::atomic<int> CallbackRuns{0};
+  std::atomic<int> MappedValue{0};
+};
+
+/// collectAll over four futures completed concurrently by two actors: the
+/// Remaining countdown (counted CAS decrements) must fire the aggregate
+/// future exactly once, after all completions, with every slot filled.
+class CollectAllScenario : public StressScenario {
+public:
+  std::string name() const override { return "future-collect-all"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Promises.clear();
+    for (int I = 0; I < 4; ++I)
+      Promises.push_back(std::make_unique<Promise<int>>());
+    std::vector<Future<int>> Futures;
+    for (auto &P : Promises)
+      Futures.push_back(P->future());
+    Aggregate = collectAll(Futures);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    // Actor 0 completes slots 0,1; actor 1 completes slots 2,3.
+    for (int I = 0; I < 2; ++I) {
+      Nudge.pause();
+      int Slot = int(Index) * 2 + I;
+      Promises[Slot]->setValue(Slot + 1);
+    }
+  }
+  std::string observe() override {
+    const Try<std::vector<int>> &R = Aggregate.await();
+    if (R.isFailure())
+      return "failed";
+    int Sum = 0;
+    for (int V : R.value())
+      Sum += V;
+    return std::to_string(Sum);
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("10", "all four slots delivered (1+2+3+4)")
+        .forbid("failed", "spurious aggregate failure");
+    return Spec;
+  }
+
+private:
+  std::vector<std::unique_ptr<Promise<int>>> Promises;
+  Future<std::vector<int>> Aggregate;
+};
+
+} // namespace
+
+TEST(FuturesStress, CompletionCasElectsOneWinner) {
+  CompletionRaceScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 500;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(FuturesStress, AwaitNeverMissesCompletion) {
+  AwaitRaceScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 400;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(FuturesStress, CallbacksRunExactlyOnceUnderRace) {
+  CallbackRaceScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 400;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(FuturesStress, CollectAllUnderConcurrentCompletion) {
+  CollectAllScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}

@@ -1,0 +1,225 @@
+//===- tests/stress/StmStressTest.cpp -------------------------------------==//
+//
+// Concurrency stress scenarios for ren::stm (ctest -L stress): conflicting
+// transfers conserve invariants, concurrent increments all commit, commit
+// histories linearize, and retry wakes up after a conflicting commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "stress/Linearizability.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace ren::stress;
+using ren::stm::TVar;
+using ren::stm::Transaction;
+using ren::stm::atomically;
+
+namespace {
+
+/// Opposing transfers between two transactional accounts with nudges
+/// injected between the reads and writes of each transaction — the widest
+/// possible conflict window. TL2 must either serialize or abort/retry;
+/// the invariant (conserved sum, exact final balances) must always hold.
+class TransferScenario : public StressScenario {
+public:
+  std::string name() const override { return "stm-transfer"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    A = std::make_unique<TVar<long>>(100);
+    B = std::make_unique<TVar<long>>(50);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      atomically([&](Transaction &Txn) {
+        long From = A->get(Txn);
+        Nudge.pause();
+        long To = B->get(Txn);
+        A->set(Txn, From - 10);
+        B->set(Txn, To + 10);
+      });
+    } else {
+      atomically([&](Transaction &Txn) {
+        long From = B->get(Txn);
+        Nudge.pause();
+        long To = A->get(Txn);
+        B->set(Txn, From - 5);
+        A->set(Txn, To + 5);
+      });
+    }
+  }
+  std::string observe() override {
+    long FinalA = A->readAtomic();
+    long FinalB = B->readAtomic();
+    if (FinalA + FinalB != 150)
+      return "sum-violated:" + std::to_string(FinalA + FinalB);
+    if (FinalA != 95 || FinalB != 55)
+      return "balances:" + std::to_string(FinalA) + "," +
+             std::to_string(FinalB);
+    return "conserved";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("conserved", "both transfers committed exactly once");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<TVar<long>> A, B;
+};
+
+/// Both actors increment one TVar K times: TL2's validate-abort-retry loop
+/// must apply every increment exactly once (no lost updates between
+/// conflicting write transactions).
+class IncrementScenario : public StressScenario {
+public:
+  std::string name() const override { return "stm-increments"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Cell = std::make_unique<TVar<long>>(0); }
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    for (int I = 0; I < 12; ++I) {
+      atomically([&](Transaction &Txn) {
+        long V = Cell->get(Txn);
+        Cell->set(Txn, V + 1);
+      });
+      if (I % 4 == 0)
+        Nudge.pause();
+    }
+  }
+  std::string observe() override {
+    return std::to_string(Cell->readAtomic());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("24", "every transactional increment committed");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<TVar<long>> Cell;
+};
+
+/// Records each committed increment as a counter op (the value read inside
+/// the winning attempt is the committed pre-state, so a committed
+/// "read v, write v+1" is getAndAdd(1) -> v) and checks the history
+/// linearizes: commits are the linearization points of TL2.
+class StmHistoryScenario : public StressScenario {
+public:
+  std::string name() const override { return "stm-linearizable"; }
+  unsigned actors() const override { return 3; }
+  void prepare() override {
+    Cell = std::make_unique<TVar<long>>(0);
+    Hist.clear();
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    for (int I = 0; I < 3; ++I) {
+      uint64_t T0 = Hist.invoke();
+      long Old = atomically([&](Transaction &Txn) {
+        long V = Cell->get(Txn);
+        Cell->set(Txn, V + 1);
+        return V;
+      });
+      Hist.record(Index, "getAndAdd", 1, 0, Old, T0);
+      Nudge.pause();
+    }
+  }
+  std::string observe() override {
+    std::vector<Op> Ops = Hist.ops();
+    if (!isLinearizable(Ops, counterSpec()))
+      return "non-linearizable:\n" + formatHistory(Ops);
+    if (Cell->readAtomic() != 9)
+      return "final:" + std::to_string(Cell->readAtomic());
+    return "linearizable";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("linearizable", "committed transactions form a legal "
+                                "sequential counter history");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<TVar<long>> Cell;
+  History Hist;
+};
+
+/// Actor 0 blocks in stm::retry until a flag flips; actor 1 publishes data
+/// then the flag in one transaction. The retry wakeup (awaitCommit's
+/// guarded block) must always fire, and the data write must be visible
+/// whenever the flag is — transactional isolation's no-lost-wakeup test.
+class RetryScenario : public StressScenario {
+public:
+  std::string name() const override { return "stm-retry"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    Flag = std::make_unique<TVar<int>>(0);
+    Data = std::make_unique<TVar<int>>(0);
+    SeenData = -1;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      SeenData = atomically([&](Transaction &Txn) {
+        if (Flag->get(Txn) == 0)
+          ren::stm::retry(Txn);
+        return Data->get(Txn);
+      });
+    } else {
+      Nudge.pause();
+      atomically([&](Transaction &Txn) {
+        Data->set(Txn, 42);
+        Flag->set(Txn, 1);
+      });
+    }
+  }
+  std::string observe() override { return std::to_string(SeenData); }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("42", "retry woke after the publishing commit")
+        .forbid("-1", "retry never returned")
+        .forbid("0", "flag visible without the data write (isolation "
+                     "violation)");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<TVar<int>> Flag, Data;
+  int SeenData = -1;
+};
+
+} // namespace
+
+TEST(StmStress, ConflictingTransfersConserveInvariant) {
+  TransferScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StmStress, ConcurrentIncrementsAllCommit) {
+  IncrementScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 200;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StmStress, CommittedHistoryIsLinearizable) {
+  StmHistoryScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 200;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StmStress, RetryAlwaysWakesAfterCommit) {
+  RetryScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 200;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}

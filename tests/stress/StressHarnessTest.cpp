@@ -1,0 +1,278 @@
+//===- tests/stress/StressHarnessTest.cpp ---------------------------------==//
+//
+// Deterministic tier-1 tests of the stress harness itself: the outcome
+// DSL, the report arithmetic, the runner's repetition protocol, and the
+// linearizability checker on hand-built histories. The probabilistic
+// stress scenarios live in the stress_* binaries (ctest -L stress).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress/Linearizability.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace ren::stress;
+
+TEST(OutcomeSpecTest, ClassifiesDeclaredOutcomes) {
+  OutcomeSpec Spec;
+  Spec.accept("1, 2", "in order")
+      .interesting("1, 1", "rare")
+      .forbid("0, 0", "lost update");
+  EXPECT_EQ(Spec.classify("1, 2"), OutcomeClass::Acceptable);
+  EXPECT_EQ(Spec.classify("1, 1"), OutcomeClass::Interesting);
+  EXPECT_EQ(Spec.classify("0, 0"), OutcomeClass::Forbidden);
+  EXPECT_EQ(Spec.noteFor("0, 0"), "lost update");
+  EXPECT_TRUE(Spec.lists("1, 1"));
+  EXPECT_FALSE(Spec.lists("2, 2"));
+  EXPECT_EQ(Spec.size(), 3u);
+}
+
+TEST(OutcomeSpecTest, UnlistedOutcomesForbiddenByDefault) {
+  OutcomeSpec Spec;
+  Spec.accept("ok");
+  EXPECT_EQ(Spec.classify("surprise"), OutcomeClass::Forbidden);
+  Spec.acceptUnlisted();
+  EXPECT_EQ(Spec.classify("surprise"), OutcomeClass::Acceptable);
+  EXPECT_EQ(Spec.classify("ok"), OutcomeClass::Acceptable);
+}
+
+TEST(OutcomeSpecTest, ClassNames) {
+  EXPECT_STREQ(outcomeClassName(OutcomeClass::Acceptable), "acceptable");
+  EXPECT_STREQ(outcomeClassName(OutcomeClass::Interesting), "interesting");
+  EXPECT_STREQ(outcomeClassName(OutcomeClass::Forbidden), "forbidden");
+}
+
+TEST(StressReportTest, CountsAndSummary) {
+  std::vector<OutcomeCount> Rows = {
+      {"ok", OutcomeClass::Acceptable, 990, ""},
+      {"rare", OutcomeClass::Interesting, 9, "provoked"},
+      {"bad", OutcomeClass::Forbidden, 1, "lost update"},
+  };
+  StressReport Report("demo", 42, Rows);
+  EXPECT_EQ(Report.trials(), 1000u);
+  EXPECT_EQ(Report.countOf(OutcomeClass::Acceptable), 990u);
+  EXPECT_EQ(Report.countOf(OutcomeClass::Interesting), 9u);
+  EXPECT_EQ(Report.forbiddenCount(), 1u);
+  EXPECT_FALSE(Report.passed());
+  EXPECT_EQ(Report.seed(), 42u);
+  EXPECT_EQ(Report.distinctOutcomes(), 3u);
+  std::string Summary = Report.summary();
+  EXPECT_NE(Summary.find("demo"), std::string::npos);
+  EXPECT_NE(Summary.find("FAILED"), std::string::npos);
+  EXPECT_NE(Summary.find("lost update"), std::string::npos);
+}
+
+TEST(StressReportTest, PassesWithoutForbiddenOutcomes) {
+  StressReport Report("demo", 1,
+                      {{"ok", OutcomeClass::Acceptable, 10, ""}});
+  EXPECT_TRUE(Report.passed());
+  EXPECT_NE(Report.summary().find("PASSED"), std::string::npos);
+}
+
+namespace {
+
+/// A deterministic scenario counting its own lifecycle calls.
+class LifecycleScenario : public StressScenario {
+public:
+  std::string name() const override { return "lifecycle"; }
+  unsigned actors() const override { return 3; }
+  void prepare() override {
+    ++Prepares;
+    RunsThisRep.store(0);
+  }
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    RunsThisRep.fetch_add(1);
+    TotalRuns.fetch_add(1);
+  }
+  std::string observe() override {
+    ++Observes;
+    return std::to_string(RunsThisRep.load());
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("3", "every actor ran exactly once per repetition");
+    return Spec;
+  }
+
+  int Prepares = 0, Observes = 0;
+  std::atomic<int> RunsThisRep{0};
+  std::atomic<int> TotalRuns{0};
+};
+
+} // namespace
+
+TEST(StressRunnerTest, RunsEveryActorOncePerRepetition) {
+  LifecycleScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 50;
+  StressRunner Runner(Opts);
+  StressReport Report = Runner.run(S);
+  EXPECT_EQ(S.Prepares, 50);
+  EXPECT_EQ(S.Observes, 50);
+  EXPECT_EQ(S.TotalRuns.load(), 150);
+  EXPECT_EQ(Report.trials(), 50u);
+  ASSERT_EQ(Report.distinctOutcomes(), 1u);
+  EXPECT_EQ(Report.counts()[0].Outcome, "3");
+  EXPECT_TRUE(Report.passed());
+}
+
+TEST(StressRunnerTest, ReportsForbiddenOutcomes) {
+  // A scenario whose outcome is never in its accept set: every trial must
+  // be classified forbidden.
+  class AlwaysWrong : public LifecycleScenario {
+    OutcomeSpec spec() const override {
+      OutcomeSpec Spec;
+      Spec.accept("999");
+      return Spec;
+    }
+  };
+  AlwaysWrong S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 10;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_EQ(Report.forbiddenCount(), 10u);
+  EXPECT_FALSE(Report.passed());
+}
+
+TEST(StressRunnerTest, SeedEchoedForReproduction) {
+  LifecycleScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 2;
+  Opts.Seed = 0xfeedULL;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_EQ(Report.seed(), 0xfeedULL);
+}
+
+TEST(SpinBarrierTest, AlignsParties) {
+  SpinBarrier Barrier(4);
+  std::atomic<int> Before{0}, After{0};
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < 4; ++I)
+    Threads.emplace_back([&] {
+      Before.fetch_add(1);
+      Barrier.arriveAndWait();
+      // Every thread must observe all 4 arrivals once released.
+      EXPECT_EQ(Before.load(), 4);
+      After.fetch_add(1);
+      Barrier.arriveAndWait(); // reusable: second generation
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(After.load(), 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Linearizability checker on hand-built histories.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Op makeOp(unsigned Thread, const char *Name, int64_t Arg, int64_t Ret,
+          uint64_t Invoke, uint64_t Response, int64_t Arg2 = 0) {
+  Op O;
+  O.Thread = Thread;
+  O.Name = Name;
+  O.Arg = Arg;
+  O.Arg2 = Arg2;
+  O.Ret = Ret;
+  O.InvokeTs = Invoke;
+  O.ResponseTs = Response;
+  return O;
+}
+
+} // namespace
+
+TEST(LinearizabilityTest, SequentialCounterHistoryPasses) {
+  std::vector<Op> Ops = {
+      makeOp(0, "getAndAdd", 1, 0, 0, 1),
+      makeOp(0, "getAndAdd", 1, 1, 2, 3),
+      makeOp(0, "get", 0, 2, 4, 5),
+  };
+  EXPECT_TRUE(isLinearizable(Ops, counterSpec()));
+  EXPECT_TRUE(isSequentiallyConsistent(Ops, counterSpec()));
+}
+
+TEST(LinearizabilityTest, OverlappingIncrementsLinearizeEitherWay) {
+  // Two overlapping getAndAdd(1): whichever linearizes first returns 0.
+  std::vector<Op> Ops = {
+      makeOp(0, "getAndAdd", 1, 1, 0, 3),
+      makeOp(1, "getAndAdd", 1, 0, 1, 2),
+  };
+  EXPECT_TRUE(isLinearizable(Ops, counterSpec()));
+}
+
+TEST(LinearizabilityTest, LostUpdateDetected) {
+  // Both increments return 0: a lost update no sequential counter allows.
+  std::vector<Op> Ops = {
+      makeOp(0, "getAndAdd", 1, 0, 0, 3),
+      makeOp(1, "getAndAdd", 1, 0, 1, 2),
+  };
+  EXPECT_FALSE(isLinearizable(Ops, counterSpec()));
+  EXPECT_FALSE(isSequentiallyConsistent(Ops, counterSpec()));
+}
+
+TEST(LinearizabilityTest, RealTimeOrderViolationDetected) {
+  // write(1) responded before read was invoked, yet the read saw 0. This
+  // is sequentially consistent (order the read first) but NOT linearizable
+  // — precisely the distinction between the two checks.
+  std::vector<Op> Ops = {
+      makeOp(0, "write", 1, 0, 0, 1),
+      makeOp(1, "read", 0, 0, 2, 3),
+  };
+  EXPECT_FALSE(isLinearizable(Ops, registerSpec()));
+  EXPECT_TRUE(isSequentiallyConsistent(Ops, registerSpec()));
+}
+
+TEST(LinearizabilityTest, ProgramOrderAlwaysRespected) {
+  // A thread that reads its own write back as the old value is wrong even
+  // under sequential consistency.
+  std::vector<Op> Ops = {
+      makeOp(0, "write", 5, 0, 0, 1),
+      makeOp(0, "read", 0, 0, 2, 3),
+  };
+  EXPECT_FALSE(isLinearizable(Ops, registerSpec()));
+  EXPECT_FALSE(isSequentiallyConsistent(Ops, registerSpec()));
+}
+
+TEST(LinearizabilityTest, CasRegisterSpec) {
+  // Two racing cas(0 -> x): exactly one may succeed.
+  std::vector<Op> Ops = {
+      makeOp(0, "cas", 0, 1, 0, 3, /*Arg2=*/7),
+      makeOp(1, "cas", 0, 0, 1, 2, /*Arg2=*/9),
+      makeOp(0, "read", 0, 7, 4, 5),
+  };
+  EXPECT_TRUE(isLinearizable(Ops, casRegisterSpec()));
+
+  // Both succeeding from the same expected value is forbidden.
+  std::vector<Op> BothWin = {
+      makeOp(0, "cas", 0, 1, 0, 3, /*Arg2=*/7),
+      makeOp(1, "cas", 0, 1, 1, 2, /*Arg2=*/9),
+  };
+  EXPECT_FALSE(isLinearizable(BothWin, casRegisterSpec()));
+}
+
+TEST(LinearizabilityTest, HistoryRecorderStampsOrder) {
+  History Hist;
+  uint64_t T0 = Hist.invoke();
+  Hist.record(0, "write", 1, 0, 0, T0);
+  uint64_t T1 = Hist.invoke();
+  Hist.record(0, "read", 0, 0, 1, T1);
+  std::vector<Op> Ops = Hist.ops();
+  ASSERT_EQ(Ops.size(), 2u);
+  EXPECT_LT(Ops[0].ResponseTs, Ops[1].InvokeTs);
+  EXPECT_TRUE(isLinearizable(Ops, registerSpec()));
+  Hist.clear();
+  EXPECT_EQ(Hist.size(), 0u);
+}
+
+TEST(LinearizabilityTest, FormatHistoryRendersOps) {
+  std::vector<Op> Ops = {makeOp(1, "cas", 0, 1, 0, 1, /*Arg2=*/7)};
+  std::string Text = formatHistory(Ops);
+  EXPECT_NE(Text.find("t1"), std::string::npos);
+  EXPECT_NE(Text.find("cas(0, 7) -> 1"), std::string::npos);
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+#===- tools/check.sh - build + test driver --------------------------------===#
+#
+# The repo's CI-style check flow.
+#
+#   tools/check.sh                 # tier-1: configure, build, ctest -L tier1
+#   tools/check.sh --stress        # ... then also run ctest -L stress
+#   tools/check.sh --tsan          # ... then a -DREN_SANITIZE=thread build
+#                                  #     and the runtime/stress tests under it
+#   tools/check.sh --stress --tsan # everything
+#
+# Options:
+#   --build-dir DIR   tier-1 build tree            (default: build)
+#   --tsan-dir DIR    TSan build tree              (default: build-tsan)
+#   --jobs N          parallel build/test jobs     (default: nproc)
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+TSAN_DIR=build-tsan
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_STRESS=0
+RUN_TSAN=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --stress) RUN_STRESS=1 ;;
+    --tsan) RUN_TSAN=1 ;;
+    --build-dir|--tsan-dir|--jobs)
+      if [[ $# -lt 2 ]]; then
+        echo "missing value for $1 (try --help)" >&2
+        exit 2
+      fi
+      case "$1" in
+        --build-dir) BUILD_DIR="$2" ;;
+        --tsan-dir) TSAN_DIR="$2" ;;
+        --jobs) JOBS="$2" ;;
+      esac
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,17p' "$0" | sed 's/^#//'
+      exit 0
+      ;;
+    *)
+      echo "unknown option: $1 (try --help)" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+step() { echo; echo "=== $* ==="; }
+
+step "tier-1: configure ($BUILD_DIR)"
+cmake -B "$BUILD_DIR" -S .
+
+step "tier-1: build"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+step "tier-1: ctest -L tier1"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_STRESS" == 1 ]]; then
+  step "stress: ctest -L stress"
+  ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  step "tsan: configure ($TSAN_DIR, -DREN_SANITIZE=thread)"
+  cmake -B "$TSAN_DIR" -S . -DREN_SANITIZE=thread
+
+  step "tsan: build"
+  cmake --build "$TSAN_DIR" -j "$JOBS"
+
+  step "tsan: runtime tests under TSan"
+  ctest --test-dir "$TSAN_DIR" -R '^test_runtime$' --output-on-failure
+
+  step "tsan: stress label under TSan"
+  ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
+fi
+
+step "all requested checks passed"
