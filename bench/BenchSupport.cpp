@@ -6,6 +6,8 @@
 #include "support/Rng.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace ren;
 using namespace ren::bench;
@@ -29,13 +31,42 @@ std::vector<BenchmarkId> ren::bench::allBenchmarks() {
   return Out;
 }
 
+ren::bench::ScopedBenchTrace::ScopedBenchTrace() {
+  const char *Env = std::getenv("REN_TRACE");
+  if (!Env || !Env[0])
+    return;
+  Path = Env;
+  Session = std::make_unique<trace::TraceSession>();
+  Session->start();
+}
+
+ren::bench::ScopedBenchTrace::~ScopedBenchTrace() {
+  if (!Session)
+    return;
+  Session->stop();
+  if (!Session->writeChromeJson(Path)) {
+    std::fprintf(stderr, "warning: cannot write REN_TRACE file '%s'\n",
+                 Path.c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n",
+               Session->events().size(),
+               static_cast<unsigned long long>(Session->dropped()),
+               Path.c_str());
+  if (std::getenv("REN_TRACE_SUMMARY"))
+    std::fputs(Session->profile().summary().c_str(), stderr);
+}
+
 std::vector<RunResult> ren::bench::collectAllMetrics(bool Quick) {
   Runner::Options Opts;
   if (Quick) {
     Opts.WarmupOverride = 1;
     Opts.MeasuredOverride = 1;
   }
+  ScopedBenchTrace Trace;
   Runner R(Opts);
+  if (Trace.active())
+    R.addPlugin(Trace.plugin());
   std::vector<RunResult> Results;
   for (const BenchmarkId &Id : allBenchmarks()) {
     auto B = registry().create(Id.Suite, Id.Name);

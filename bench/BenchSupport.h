@@ -16,9 +16,12 @@
 #define REN_BENCH_BENCHSUPPORT_H
 
 #include "harness/Harness.h"
+#include "harness/Plugins.h"
 #include "jit/Experiment.h"
+#include "trace/TraceSession.h"
 #include "workloads/Workloads.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,8 +42,35 @@ std::vector<BenchmarkId> allBenchmarks();
 
 /// Runs every benchmark once through the harness with the metrics plugin
 /// and returns steady-state results in allBenchmarks() order. \p Quick
-/// shrinks the protocol to 1 warmup + 1 measured iteration.
+/// shrinks the protocol to 1 warmup + 1 measured iteration. Honors
+/// REN_TRACE (see ScopedBenchTrace), so every figure/table binary built on
+/// this helper can emit a Chrome trace without its own wiring.
 std::vector<harness::RunResult> collectAllMetrics(bool Quick);
+
+/// Environment-driven tracing for the figure/table binaries: if REN_TRACE
+/// is set to a file path, the constructor starts a TraceSession (with a
+/// TracePlugin the caller should attach to its Runner) and the destructor
+/// writes the Chrome trace JSON there; if REN_TRACE_SUMMARY is also set,
+/// the aggregate profile is printed to stderr. Inactive (and free) when
+/// the variable is unset.
+class ScopedBenchTrace {
+public:
+  ScopedBenchTrace();
+  ~ScopedBenchTrace();
+
+  ScopedBenchTrace(const ScopedBenchTrace &) = delete;
+  ScopedBenchTrace &operator=(const ScopedBenchTrace &) = delete;
+
+  bool active() const { return Session != nullptr; }
+
+  /// The plugin to attach to Runners while the guard is live.
+  harness::TracePlugin &plugin() { return Plugin; }
+
+private:
+  std::string Path;
+  std::unique_ptr<trace::TraceSession> Session;
+  harness::TracePlugin Plugin;
+};
 
 /// The paper executes each configuration 15 times on real hardware; our
 /// interpreter is deterministic, so run-to-run variance is modelled as a

@@ -16,6 +16,8 @@
 #include "rx/Observable.h"
 #include "stm/Stm.h"
 #include "streams/Stream.h"
+#include "trace/Trace.h"
+#include "trace/TraceSession.h"
 
 #include <benchmark/benchmark.h>
 
@@ -58,6 +60,53 @@ static void BM_ParkUnpark(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ParkUnpark);
+
+// Tracing overhead probes: the *TracingOn variants run with event
+// recording enabled (events land in the ring and are periodically
+// discarded); compare against BM_MonitorUncontended / BM_ParkUnpark above,
+// whose guard is the disabled path (one relaxed load). The deltas are the
+// ren::trace overhead model documented in DESIGN.md.
+
+static void BM_MonitorUncontendedTracingOn(benchmark::State &State) {
+  trace::setEnabled(true);
+  runtime::Monitor M;
+  for (auto _ : State) {
+    runtime::Synchronized Sync(M);
+    benchmark::DoNotOptimize(&M);
+  }
+  trace::setEnabled(false);
+  trace::TraceRegistry::get().discardAll();
+}
+BENCHMARK(BM_MonitorUncontendedTracingOn);
+
+static void BM_ParkUnparkTracingOn(benchmark::State &State) {
+  trace::setEnabled(true);
+  runtime::Parker P;
+  for (auto _ : State) {
+    P.unpark();
+    P.park();
+  }
+  trace::setEnabled(false);
+  trace::TraceRegistry::get().discardAll();
+}
+BENCHMARK(BM_ParkUnparkTracingOn);
+
+static void BM_TraceInstantEvent(benchmark::State &State) {
+  trace::setEnabled(true);
+  for (auto _ : State)
+    trace::instant(trace::EventKind::User, "bench.instant", 1, 2);
+  trace::setEnabled(false);
+  trace::TraceRegistry::get().discardAll();
+}
+BENCHMARK(BM_TraceInstantEvent);
+
+static void BM_TraceDisabledGuard(benchmark::State &State) {
+  // The cost every instrumentation site pays when tracing is off: one
+  // relaxed load and a never-taken branch.
+  for (auto _ : State)
+    trace::instant(trace::EventKind::User, "bench.never");
+}
+BENCHMARK(BM_TraceDisabledGuard);
 
 static void BM_MethodHandleInvoke(benchmark::State &State) {
   auto H = runtime::bindLambda<long(long)>([](long X) { return X * 31; });

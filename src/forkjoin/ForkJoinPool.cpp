@@ -3,6 +3,7 @@
 #include "forkjoin/ForkJoinPool.h"
 
 #include "support/Clock.h"
+#include "trace/Trace.h"
 
 #include <mutex>
 
@@ -78,6 +79,8 @@ void ForkJoinPool::schedule(std::shared_ptr<TaskBase> T) {
       std::lock_guard<std::mutex> Guard(W.DequeLock);
       W.Deque.push_back(std::move(T));
     }
+    trace::instant(trace::EventKind::FjFork, "fj.fork",
+                   CurrentWorker.Index);
     signalWork();
     return;
   }
@@ -85,6 +88,9 @@ void ForkJoinPool::schedule(std::shared_ptr<TaskBase> T) {
     runtime::Synchronized Sync(ExternalLock);
     ExternalQueue.push_back(std::move(T));
   }
+  // Submissions from outside the pool overflow to the shared external
+  // queue — the analogue of ForkJoinPool's submission-queue path.
+  trace::instant(trace::EventKind::FjExternal, "fj.external");
   signalWork();
 }
 
@@ -125,10 +131,18 @@ std::shared_ptr<TaskBase> ForkJoinPool::findWork(unsigned SelfIndex) {
     if (I == SelfIndex)
       continue;
     WorkerState &Victim = *Workers[I];
-    std::lock_guard<std::mutex> Guard(Victim.DequeLock);
-    if (!Victim.Deque.empty()) {
-      auto T = std::move(Victim.Deque.front());
-      Victim.Deque.pop_front();
+    bool Stole = false;
+    std::shared_ptr<TaskBase> T;
+    {
+      std::lock_guard<std::mutex> Guard(Victim.DequeLock);
+      if (!Victim.Deque.empty()) {
+        T = std::move(Victim.Deque.front());
+        Victim.Deque.pop_front();
+        Stole = true;
+      }
+    }
+    if (Stole) {
+      trace::instant(trace::EventKind::FjSteal, "fj.steal", SelfIndex, I);
       return T;
     }
   }
@@ -163,7 +177,11 @@ void ForkJoinPool::workerLoop(unsigned Index) {
       T->run();
       continue;
     }
+    uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
     Self.Park.parkFor(/*Millis=*/2);
+    if (TraceT0)
+      trace::span(trace::EventKind::FjIdle, "fj.idle", TraceT0,
+                  trace::nowNanos() - TraceT0, Index);
     Self.Idle.store(false, std::memory_order_release);
   }
   CurrentWorker.Pool = nullptr;

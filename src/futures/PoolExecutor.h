@@ -15,26 +15,44 @@
 
 #include "forkjoin/ForkJoinPool.h"
 #include "futures/Future.h"
+#include "trace/Trace.h"
 
 namespace ren {
 namespace futures {
 
 /// Dispatches work onto a fork/join pool without waiting for completion.
+///
+/// When tracing is enabled, each dispatched task is wrapped so the tracer
+/// records a "pool.task" span: its duration is the task's run time and its
+/// argument the queue latency (submit-to-start nanoseconds) — the executor
+/// saturation signal the futures-heavy workloads (finagle-*) live or die
+/// by. Disabled cost is one relaxed load per dispatch.
 class PoolExecutor : public Executor {
 public:
   explicit PoolExecutor(forkjoin::ForkJoinPool &Pool) : Pool(Pool) {}
 
   void execute(std::function<void()> Work) override {
+    if (trace::enabled()) {
+      uint64_t SubmitNs = trace::nowNanos();
+      Pool.fork([SubmitNs, Work = std::move(Work)] {
+        uint64_t StartNs = trace::nowNanos();
+        Work();
+        trace::span(trace::EventKind::TaskRun, "pool.task", StartNs,
+                    trace::nowNanos() - StartNs, StartNs - SubmitNs);
+      });
+      return;
+    }
     Pool.fork(std::move(Work));
   }
 
   /// Runs \p Body on the pool and exposes the result as a Future. A void
   /// body yields Future<int> completing with 0 (Try<void> does not exist).
+  /// Routed through execute() so async tasks get the same trace spans.
   template <typename FnT> auto async(FnT Body) {
     using R0 = std::invoke_result_t<FnT>;
     using R = std::conditional_t<std::is_void_v<R0>, int, R0>;
     Promise<R> P;
-    Pool.fork([P, Body = std::move(Body)]() mutable {
+    execute([P, Body = std::move(Body)]() mutable {
       if constexpr (std::is_void_v<R0>) {
         Body();
         P.setValue(0);

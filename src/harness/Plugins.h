@@ -17,6 +17,7 @@
 #define REN_HARNESS_PLUGINS_H
 
 #include "harness/Harness.h"
+#include "trace/Trace.h"
 
 #include <string>
 #include <vector>
@@ -84,6 +85,67 @@ public:
 private:
   metrics::MetricSnapshot Before;
   std::vector<IterationAllocation> Records;
+};
+
+/// Emits harness lifecycle events into the tracer and keeps a local record
+/// of per-iteration spans.
+///
+/// Each benchmark run becomes a Begin/End "run" pair named after the
+/// benchmark (interned once per run), and every iteration a Begin/End
+/// "iteration" pair with the index and warmup flag as args — all on the
+/// harness thread, so the pairs nest and balance per tid, which is what
+/// chrome://tracing requires to draw them as stacked spans. The recorded
+/// spans use the tracer's clock (the same wallNanos the Runner times
+/// iterations with), so Span durations bound IterationRecord::Nanos from
+/// above: the span additionally covers only the Runner's own bookkeeping
+/// between the plugin hooks and the timed region.
+class TracePlugin : public Plugin {
+public:
+  struct IterationSpan {
+    std::string Benchmark;
+    unsigned Index = 0;
+    bool Warmup = false;
+    uint64_t BeginNs = 0;
+    uint64_t EndNs = 0;
+
+    uint64_t durationNanos() const { return EndNs - BeginNs; }
+  };
+
+  void beforeRun(const BenchmarkInfo &Info) override {
+    RunName = trace::internName(Info.Name);
+    trace::mark(trace::EventKind::Run, trace::Phase::Begin, RunName);
+  }
+
+  void beforeIteration(const BenchmarkInfo &Info, unsigned Index,
+                       bool Warmup) override {
+    Open.Benchmark = Info.Name;
+    Open.Index = Index;
+    Open.Warmup = Warmup;
+    Open.BeginNs = trace::nowNanos();
+    trace::mark(trace::EventKind::Iteration, trace::Phase::Begin,
+                "iteration", Index, Warmup);
+  }
+
+  void afterIteration(const BenchmarkInfo &, unsigned Index, bool Warmup,
+                      uint64_t) override {
+    trace::mark(trace::EventKind::Iteration, trace::Phase::End, "iteration",
+                Index, Warmup);
+    Open.EndNs = trace::nowNanos();
+    Spans.push_back(Open);
+  }
+
+  void afterRun(const BenchmarkInfo &) override {
+    trace::mark(trace::EventKind::Run, trace::Phase::End, RunName);
+    RunName = "run";
+  }
+
+  /// Per-iteration spans recorded so far (kept even when tracing is off).
+  const std::vector<IterationSpan> &spans() const { return Spans; }
+
+private:
+  const char *RunName = "run";
+  IterationSpan Open;
+  std::vector<IterationSpan> Spans;
 };
 
 } // namespace harness

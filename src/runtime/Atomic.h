@@ -17,11 +17,24 @@
 #define REN_RUNTIME_ATOMIC_H
 
 #include "metrics/Metrics.h"
+#include "trace/Trace.h"
 
 #include <atomic>
 
 namespace ren {
 namespace runtime {
+
+namespace detail {
+
+/// Traces one failed CAS (one retry-loop iteration). Out of line of the
+/// success path; guarded by a single relaxed load when tracing is off.
+inline void traceCasFailure(const void *Cell) {
+  trace::instant(trace::EventKind::CasFail, "cas.fail",
+                 reinterpret_cast<uint64_t>(
+                     reinterpret_cast<uintptr_t>(Cell)));
+}
+
+} // namespace detail
 
 /// An instrumented atomic cell, analogous to
 /// java.util.concurrent.atomic.Atomic{Integer,Long,Reference}.
@@ -44,13 +57,19 @@ public:
   /// failure \p Expected is updated with the observed value.
   bool compareAndSwap(T &Expected, T Desired) {
     metrics::count(metrics::Metric::Atomic);
-    return Value.compare_exchange_strong(Expected, Desired);
+    bool Ok = Value.compare_exchange_strong(Expected, Desired);
+    if (!Ok)
+      detail::traceCasFailure(this);
+    return Ok;
   }
 
   /// Counted CAS with value semantics, like AtomicReference.compareAndSet.
   bool compareAndSet(T Expected, T Desired) {
     metrics::count(metrics::Metric::Atomic);
-    return Value.compare_exchange_strong(Expected, Desired);
+    bool Ok = Value.compare_exchange_strong(Expected, Desired);
+    if (!Ok)
+      detail::traceCasFailure(this);
+    return Ok;
   }
 
   /// Counted atomic exchange.

@@ -31,6 +31,7 @@
 
 #include "metrics/Metrics.h"
 #include "runtime/Alloc.h"
+#include "trace/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -105,7 +106,15 @@ public:
       std::lock_guard<std::mutex> Guard(BootstrapLock);
       if (!Linked.load(std::memory_order_relaxed)) {
         // Bootstrap: "spin the anonymous class" — run the factory once.
+        // First-execution linkage is the cost JIT warmup pays per lambda
+        // site, so the tracer records its duration.
+        uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
         Cached = Bootstrap();
+        if (TraceT0)
+          trace::span(trace::EventKind::Bootstrap, "idynamic.bootstrap",
+                      TraceT0, trace::nowNanos() - TraceT0,
+                      reinterpret_cast<uint64_t>(
+                          reinterpret_cast<uintptr_t>(this)));
         ++BootstrapRuns;
         Linked.store(true, std::memory_order_release);
       }

@@ -3,6 +3,7 @@
 #include "runtime/Monitor.h"
 
 #include "metrics/Metrics.h"
+#include "trace/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -11,21 +12,56 @@ using namespace ren;
 using namespace ren::runtime;
 using metrics::Metric;
 
+namespace {
+
+inline uint64_t monitorId(const Monitor *M) {
+  return reinterpret_cast<uint64_t>(reinterpret_cast<uintptr_t>(M));
+}
+
+} // namespace
+
 void Monitor::enter() {
   metrics::count(Metric::Synch);
+  // Tracing guard: one relaxed load when disabled; the timestamp is taken
+  // only when a session is recording.
+  uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
   std::unique_lock<std::mutex> Guard(Lock);
   std::thread::id Self = std::this_thread::get_id();
   if (Owner == Self) {
     ++Depth;
+    if (TraceT0)
+      trace::instant(trace::EventKind::MonitorAcquire, "monitor.acquire",
+                     monitorId(this), Depth);
     return;
   }
-  acquireSlow(Guard);
+  bool Contended = Depth != 0;
+  acquireSlow(Guard, Contended);
+  if (TraceT0) {
+    if (Contended)
+      trace::span(trace::EventKind::MonitorContended, "monitor.contended",
+                  TraceT0, trace::nowNanos() - TraceT0, monitorId(this));
+    else
+      trace::instant(trace::EventKind::MonitorAcquire, "monitor.acquire",
+                     monitorId(this));
+  }
 }
 
-void Monitor::acquireSlow(std::unique_lock<std::mutex> &Guard) {
-  EntryCv.wait(Guard, [this] { return Depth == 0; });
+void Monitor::acquireSlow(std::unique_lock<std::mutex> &Guard,
+                          bool Contended) {
+  if (Contended) {
+    ++Waiting;
+    EntryCv.wait(Guard, [this] { return Depth == 0; });
+    --Waiting;
+  } else {
+    EntryCv.wait(Guard, [this] { return Depth == 0; });
+  }
   Owner = std::this_thread::get_id();
   Depth = 1;
+}
+
+unsigned Monitor::contendedAcquirers() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Waiting;
 }
 
 bool Monitor::tryEnter() {
@@ -63,6 +99,7 @@ bool Monitor::heldByCurrentThread() const {
 
 void Monitor::wait() {
   metrics::count(Metric::Wait);
+  uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
   std::unique_lock<std::mutex> Guard(Lock);
   assert(Owner == std::this_thread::get_id() && "wait requires ownership");
   unsigned SavedDepth = Depth;
@@ -74,10 +111,14 @@ void Monitor::wait() {
   EntryCv.wait(Guard, [this] { return Depth == 0; });
   Owner = std::this_thread::get_id();
   Depth = SavedDepth;
+  if (TraceT0)
+    trace::span(trace::EventKind::MonitorWait, "monitor.wait", TraceT0,
+                trace::nowNanos() - TraceT0, monitorId(this));
 }
 
 bool Monitor::waitFor(uint64_t Millis) {
   metrics::count(Metric::Wait);
+  uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
   std::unique_lock<std::mutex> Guard(Lock);
   assert(Owner == std::this_thread::get_id() && "wait requires ownership");
   unsigned SavedDepth = Depth;
@@ -89,6 +130,9 @@ bool Monitor::waitFor(uint64_t Millis) {
   EntryCv.wait(Guard, [this] { return Depth == 0; });
   Owner = std::this_thread::get_id();
   Depth = SavedDepth;
+  if (TraceT0)
+    trace::span(trace::EventKind::MonitorWait, "monitor.wait", TraceT0,
+                trace::nowNanos() - TraceT0, monitorId(this), Notified);
   return Notified;
 }
 
@@ -96,6 +140,8 @@ void Monitor::notifyOne() {
   metrics::count(Metric::Notify);
   std::lock_guard<std::mutex> Guard(Lock);
   assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  trace::instant(trace::EventKind::MonitorNotify, "monitor.notify",
+                 monitorId(this), 0);
   WaitCv.notify_one();
 }
 
@@ -103,5 +149,7 @@ void Monitor::notifyAll() {
   metrics::count(Metric::Notify);
   std::lock_guard<std::mutex> Guard(Lock);
   assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  trace::instant(trace::EventKind::MonitorNotify, "monitor.notify",
+                 monitorId(this), 1);
   WaitCv.notify_all();
 }

@@ -49,6 +49,11 @@ public:
   /// Returns true if the calling thread owns the monitor.
   bool heldByCurrentThread() const;
 
+  /// Number of threads currently blocked in a contended acquire. Lets
+  /// tests and profilers build deterministic contention scenarios: spin
+  /// until a victim is provably blocked before releasing.
+  unsigned contendedAcquirers() const;
+
   /// Releases the monitor and blocks until notified (or spuriously woken),
   /// then reacquires it at the previous depth. Caller must own the monitor.
   void wait();
@@ -75,8 +80,9 @@ private:
   std::condition_variable WaitCv;
   std::thread::id Owner;
   unsigned Depth = 0;
+  unsigned Waiting = 0; ///< Threads blocked in a contended acquire.
 
-  void acquireSlow(std::unique_lock<std::mutex> &Guard);
+  void acquireSlow(std::unique_lock<std::mutex> &Guard, bool Contended);
 };
 
 /// RAII synchronized block: \c Synchronized Sync(M); models

@@ -3,6 +3,7 @@
 #include "runtime/Park.h"
 
 #include "metrics/Metrics.h"
+#include "trace/Trace.h"
 
 #include <chrono>
 
@@ -10,20 +11,37 @@ using namespace ren;
 using namespace ren::runtime;
 using metrics::Metric;
 
+namespace {
+
+inline uint64_t parkerId(const Parker *P) {
+  return reinterpret_cast<uint64_t>(reinterpret_cast<uintptr_t>(P));
+}
+
+} // namespace
+
 void Parker::park() {
   metrics::count(Metric::Park);
+  // Tracing guard: one relaxed load when disabled.
+  uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
   std::unique_lock<std::mutex> Guard(Lock);
   Cv.wait(Guard, [this] { return Permit; });
   Permit = false;
+  if (TraceT0)
+    trace::span(trace::EventKind::Park, "park", TraceT0,
+                trace::nowNanos() - TraceT0, parkerId(this), 1);
 }
 
 bool Parker::parkFor(uint64_t Millis) {
   metrics::count(Metric::Park);
+  uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
   std::unique_lock<std::mutex> Guard(Lock);
   bool Got = Cv.wait_for(Guard, std::chrono::milliseconds(Millis),
                          [this] { return Permit; });
   if (Got)
     Permit = false;
+  if (TraceT0)
+    trace::span(trace::EventKind::Park, "park", TraceT0,
+                trace::nowNanos() - TraceT0, parkerId(this), Got);
   return Got;
 }
 
@@ -32,6 +50,7 @@ void Parker::unpark() {
     std::lock_guard<std::mutex> Guard(Lock);
     Permit = true;
   }
+  trace::instant(trace::EventKind::Unpark, "unpark", parkerId(this));
   Cv.notify_one();
 }
 

@@ -1,0 +1,267 @@
+//===- trace/Trace.cpp ----------------------------------------------------==//
+
+#include "trace/Trace.h"
+
+#include "support/Clock.h"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+using namespace ren;
+using namespace ren::trace;
+
+std::atomic<bool> ren::trace::detail::GTraceEnabled{false};
+
+const char *ren::trace::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::MonitorAcquire:
+    return "monitor.acquire";
+  case EventKind::MonitorContended:
+    return "monitor.contended";
+  case EventKind::MonitorWait:
+    return "monitor.wait";
+  case EventKind::MonitorNotify:
+    return "monitor.notify";
+  case EventKind::Park:
+    return "park";
+  case EventKind::Unpark:
+    return "unpark";
+  case EventKind::CasFail:
+    return "cas.fail";
+  case EventKind::Bootstrap:
+    return "idynamic.bootstrap";
+  case EventKind::FjFork:
+    return "fj.fork";
+  case EventKind::FjExternal:
+    return "fj.external";
+  case EventKind::FjSteal:
+    return "fj.steal";
+  case EventKind::FjIdle:
+    return "fj.idle";
+  case EventKind::TaskRun:
+    return "pool.task";
+  case EventKind::Iteration:
+    return "iteration";
+  case EventKind::Run:
+    return "run";
+  case EventKind::User:
+    return "user";
+  }
+  assert(false && "unknown event kind");
+  return "?";
+}
+
+uint64_t ren::trace::nowNanos() { return wallNanos(); }
+
+void ren::trace::setEnabled(bool On) {
+  detail::GTraceEnabled.store(On, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceBuffer: seqlock-published single-writer ring.
+//===----------------------------------------------------------------------===//
+
+void TraceBuffer::push(EventKind K, Phase P, const char *Name, uint64_t Ts,
+                       uint64_t Dur, uint64_t A, uint64_t B) {
+  uint64_t I = Head.load(std::memory_order_relaxed);
+  Slot &S = Slots[I & (kCapacity - 1)];
+  // Invalidate, then publish the payload behind a release fence so a
+  // concurrent reader that observes any new payload field is guaranteed to
+  // also observe Seq != oldIndex+1 and reject the slot (seqlock protocol).
+  S.Seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  S.Ts.store(Ts, std::memory_order_relaxed);
+  S.Dur.store(Dur, std::memory_order_relaxed);
+  S.A.store(A, std::memory_order_relaxed);
+  S.B.store(B, std::memory_order_relaxed);
+  S.Name.store(Name, std::memory_order_relaxed);
+  S.KindPhase.store(static_cast<uint16_t>(static_cast<uint16_t>(K) << 8 |
+                                          static_cast<uint8_t>(P)),
+                    std::memory_order_relaxed);
+  S.Seq.store(I + 1, std::memory_order_release);
+  Head.store(I + 1, std::memory_order_release);
+}
+
+uint64_t TraceBuffer::drainInto(std::vector<TraceEvent> &Out) {
+  uint64_t H = Head.load(std::memory_order_acquire);
+  uint64_t Begin = Tail;
+  uint64_t Dropped = 0;
+  if (H - Begin > kCapacity) {
+    // The writer lapped the cursor: everything older than one capacity has
+    // been overwritten.
+    Dropped += (H - kCapacity) - Begin;
+    Begin = H - kCapacity;
+  }
+  for (uint64_t I = Begin; I < H; ++I) {
+    Slot &S = Slots[I & (kCapacity - 1)];
+    uint64_t Seq1 = S.Seq.load(std::memory_order_acquire);
+    if (Seq1 != I + 1) {
+      // Overwritten (or mid-overwrite) by a lapping writer.
+      ++Dropped;
+      continue;
+    }
+    TraceEvent E;
+    E.Ts = S.Ts.load(std::memory_order_relaxed);
+    E.Dur = S.Dur.load(std::memory_order_relaxed);
+    E.A = S.A.load(std::memory_order_relaxed);
+    E.B = S.B.load(std::memory_order_relaxed);
+    E.Name = S.Name.load(std::memory_order_relaxed);
+    uint16_t KP = S.KindPhase.load(std::memory_order_relaxed);
+    E.Kind = static_cast<EventKind>(KP >> 8);
+    E.Ph = static_cast<Phase>(static_cast<char>(KP & 0xff));
+    E.Tid = Tid;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t Seq2 = S.Seq.load(std::memory_order_relaxed);
+    if (Seq2 != I + 1) {
+      // Torn: the writer re-entered this slot while we copied it.
+      ++Dropped;
+      continue;
+    }
+    Out.push_back(E);
+  }
+  Tail = H;
+  return Dropped;
+}
+
+void TraceBuffer::discard() { Tail = Head.load(std::memory_order_acquire); }
+
+//===----------------------------------------------------------------------===//
+// Registry: per-thread buffer registration and epoch-based reclamation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t kNeverEmpty = ~uint64_t(0);
+
+/// A registered buffer plus its reclamation bookkeeping: the epoch in which
+/// a retired buffer was first observed fully drained (kNeverEmpty until
+/// then). It is freed only in a *later* epoch, so a drain that raced the
+/// retirement can never touch freed memory.
+struct BufferEntry {
+  std::shared_ptr<TraceBuffer> Buffer;
+  uint64_t EmptySinceEpoch = kNeverEmpty;
+};
+
+/// Internal registry state; leaked (never destroyed) so TLS destructors of
+/// late-exiting threads can still reach it, mirroring MetricsRegistry.
+struct RegistryState {
+  std::mutex Lock;
+  std::vector<BufferEntry> Buffers;
+  uint64_t Epoch = 0;
+  uint32_t NextTid = 1;
+};
+
+RegistryState &state() {
+  static RegistryState *S = new RegistryState();
+  return *S;
+}
+
+/// RAII TLS holder: keeps the shared buffer alive for the thread's
+/// lifetime and flags it retired on thread exit (events already published
+/// survive and are drained later; the registry reclaims the buffer once it
+/// has been empty for a full epoch).
+struct ThreadBufferHolder {
+  std::shared_ptr<TraceBuffer> Buffer;
+
+  ThreadBufferHolder() {
+    RegistryState &S = state();
+    std::lock_guard<std::mutex> Guard(S.Lock);
+    Buffer = std::make_shared<TraceBuffer>(S.NextTid++);
+    S.Buffers.push_back(BufferEntry{Buffer, kNeverEmpty});
+  }
+
+  ~ThreadBufferHolder() { Buffer->retire(); }
+};
+
+TraceBuffer &localBuffer() {
+  thread_local ThreadBufferHolder Holder;
+  return *Holder.Buffer;
+}
+
+} // namespace
+
+void ren::trace::detail::emitAlways(EventKind K, Phase P, const char *Name,
+                                    uint64_t Ts, uint64_t Dur, uint64_t A,
+                                    uint64_t B) {
+  if (Ts == 0)
+    Ts = nowNanos();
+  localBuffer().push(K, P, Name, Ts, Dur, A, B);
+}
+
+TraceRegistry &TraceRegistry::get() {
+  static TraceRegistry *R = new TraceRegistry();
+  return *R;
+}
+
+TraceBuffer &TraceRegistry::threadBuffer() { return localBuffer(); }
+
+uint64_t TraceRegistry::drainAll(std::vector<TraceEvent> &Out) {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  ++S.Epoch;
+  uint64_t Dropped = 0;
+  for (size_t I = 0; I < S.Buffers.size();) {
+    BufferEntry &E = S.Buffers[I];
+    Dropped += E.Buffer->drainInto(Out);
+    if (E.Buffer->retired() && E.Buffer->drained()) {
+      if (E.EmptySinceEpoch == kNeverEmpty) {
+        E.EmptySinceEpoch = S.Epoch;
+      } else if (S.Epoch > E.EmptySinceEpoch) {
+        // Epoch-based reclamation: retired, drained, and a full epoch has
+        // passed since — no drain or writer can still reference it.
+        S.Buffers.erase(S.Buffers.begin() + static_cast<long>(I));
+        continue;
+      }
+    } else {
+      E.EmptySinceEpoch = kNeverEmpty;
+    }
+    ++I;
+  }
+  return Dropped;
+}
+
+void TraceRegistry::discardAll() {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  for (BufferEntry &E : S.Buffers)
+    E.Buffer->discard();
+}
+
+size_t TraceRegistry::bufferCount() {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Buffers.size();
+}
+
+uint64_t TraceRegistry::epoch() {
+  RegistryState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Epoch;
+}
+
+//===----------------------------------------------------------------------===//
+// Name interning.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct InternPool {
+  std::mutex Lock;
+  std::unordered_set<std::string> Names;
+};
+
+InternPool &internPool() {
+  static InternPool *P = new InternPool();
+  return *P;
+}
+
+} // namespace
+
+const char *ren::trace::internName(const std::string &Name) {
+  InternPool &P = internPool();
+  std::lock_guard<std::mutex> Guard(P.Lock);
+  // unordered_set nodes are address-stable across rehashes.
+  return P.Names.insert(Name).first->c_str();
+}

@@ -5,6 +5,8 @@
 #include "harness/Plugins.h"
 #include "memsim/MemSim.h"
 #include "runtime/Alloc.h"
+#include "support/Clock.h"
+#include "trace/TraceSession.h"
 
 #include <gtest/gtest.h>
 
@@ -329,4 +331,147 @@ TEST(AllocationRatePluginTest, RecordsPerIterationAllocations) {
     EXPECT_EQ(Rec.Benchmark, "alloc");
   }
   EXPECT_GT(Plugin.meanSteadyObjectsPerMs(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// TracePlugin: harness iteration boundaries in the event tracer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Stamps the tracer's clock in its own before/after hooks, so a plugin
+/// attached before the TracePlugin brackets the trace spans.
+class StampPlugin : public Plugin {
+public:
+  void beforeIteration(const BenchmarkInfo &, unsigned, bool) override {
+    BeforeNs.push_back(ren::wallNanos());
+  }
+  void afterIteration(const BenchmarkInfo &, unsigned, bool,
+                      uint64_t) override {
+    AfterNs.push_back(ren::wallNanos());
+  }
+  std::vector<uint64_t> BeforeNs, AfterNs;
+};
+
+} // namespace
+
+TEST(TracePluginTest, EmitsBalancedRunAndIterationEvents) {
+  if (!ren::trace::kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  ToyBenchmark B;
+  ren::harness::TracePlugin Tracer;
+  ren::trace::TraceSession Session;
+  Session.start();
+  Runner R;
+  R.addPlugin(Tracer);
+  R.run(B);
+  Session.stop();
+
+  // The harness thread's Run/Iteration events, in publication order: one
+  // Begin/End "run" pair named after the benchmark wrapping five balanced
+  // iteration pairs whose args carry the index and warmup flag.
+  uint32_t Tid = ren::trace::TraceRegistry::get().threadBuffer().tid();
+  std::vector<const ren::trace::TraceEvent *> Seq;
+  for (const ren::trace::TraceEvent &E : Session.events())
+    if (E.Tid == Tid && (E.Kind == ren::trace::EventKind::Run ||
+                         E.Kind == ren::trace::EventKind::Iteration))
+      Seq.push_back(&E);
+  ASSERT_EQ(Seq.size(), 2u + 2u * 5u);
+  EXPECT_EQ(Seq.front()->Kind, ren::trace::EventKind::Run);
+  EXPECT_EQ(Seq.front()->Ph, ren::trace::Phase::Begin);
+  EXPECT_STREQ(Seq.front()->Name, "toy");
+  EXPECT_EQ(Seq.back()->Kind, ren::trace::EventKind::Run);
+  EXPECT_EQ(Seq.back()->Ph, ren::trace::Phase::End);
+  EXPECT_STREQ(Seq.back()->Name, "toy");
+  for (unsigned I = 0; I < 5; ++I) {
+    const ren::trace::TraceEvent *Begin = Seq[1 + 2 * I];
+    const ren::trace::TraceEvent *End = Seq[2 + 2 * I];
+    EXPECT_EQ(Begin->Kind, ren::trace::EventKind::Iteration);
+    EXPECT_EQ(Begin->Ph, ren::trace::Phase::Begin);
+    EXPECT_EQ(Begin->A, I) << "args.a must carry the iteration index";
+    EXPECT_EQ(Begin->B, I < 2 ? 1u : 0u) << "args.b must carry warmup";
+    EXPECT_EQ(End->Kind, ren::trace::EventKind::Iteration);
+    EXPECT_EQ(End->Ph, ren::trace::Phase::End);
+    EXPECT_EQ(End->A, I);
+    EXPECT_GE(End->Ts, Begin->Ts);
+  }
+}
+
+TEST(TracePluginTest, SpansMatchIterationRecordTimings) {
+  // Each recorded span wraps the Runner's own timed region, so it bounds
+  // IterationRecord::Nanos from above — and only by the Runner's hook
+  // bookkeeping, far under the tolerance.
+  class Busy : public Benchmark {
+  public:
+    BenchmarkInfo info() const override {
+      return {"busy", Suite::Renaissance, "b", "none", 1, 2};
+    }
+    void runIteration() override {
+      volatile uint64_t Sink = 0;
+      for (uint64_t I = 0; I < 200000; ++I)
+        Sink = Sink + I;
+    }
+  };
+  Busy B;
+  ren::harness::TracePlugin Tracer;
+  Runner R;
+  R.addPlugin(Tracer);
+  RunResult Result = R.run(B);
+
+  constexpr uint64_t kToleranceNs = 50'000'000; // 50ms of harness slack
+  ASSERT_EQ(Tracer.spans().size(), Result.Iterations.size());
+  for (size_t I = 0; I < Tracer.spans().size(); ++I) {
+    const auto &Span = Tracer.spans()[I];
+    const IterationRecord &Rec = Result.Iterations[I];
+    EXPECT_EQ(Span.Benchmark, "busy");
+    EXPECT_EQ(Span.Index, Rec.Index);
+    EXPECT_EQ(Span.Warmup, Rec.Warmup);
+    EXPECT_GE(Span.durationNanos(), Rec.Nanos)
+        << "span must contain the timed region (iteration " << I << ")";
+    EXPECT_LT(Span.durationNanos() - Rec.Nanos, kToleranceNs)
+        << "span exceeds the iteration by more than hook bookkeeping";
+  }
+}
+
+TEST(TracePluginTest, HooksRunInAttachOrderRelativeToOtherPlugins) {
+  // A plugin attached before the TracePlugin observes timestamps that
+  // bracket the trace span edges: its beforeIteration stamp precedes the
+  // span's BeginNs, and its afterIteration stamp precedes the span's
+  // EndNs (both hooks run in attach order).
+  ToyBenchmark B;
+  StampPlugin Stamps;
+  ren::harness::TracePlugin Tracer;
+  Runner R;
+  R.addPlugin(Stamps).addPlugin(Tracer);
+  R.run(B);
+  ASSERT_EQ(Tracer.spans().size(), 5u);
+  ASSERT_EQ(Stamps.BeforeNs.size(), 5u);
+  ASSERT_EQ(Stamps.AfterNs.size(), 5u);
+  for (size_t I = 0; I < 5; ++I) {
+    const auto &Span = Tracer.spans()[I];
+    EXPECT_LE(Stamps.BeforeNs[I], Span.BeginNs);
+    EXPECT_GE(Span.EndNs, Stamps.AfterNs[I]);
+    EXPECT_LE(Span.BeginNs, Stamps.AfterNs[I]);
+  }
+}
+
+TEST(TracePluginTest, RecordsSpansEvenWhenTracingDisabled) {
+  // The local span record (used by tests and the timing comparison above)
+  // must not depend on the global tracer being enabled; only the published
+  // events are gated.
+  ren::trace::setEnabled(false);
+  ren::trace::TraceRegistry::get().discardAll();
+  ToyBenchmark B;
+  ren::harness::TracePlugin Tracer;
+  Runner R;
+  R.addPlugin(Tracer);
+  R.run(B);
+  ASSERT_EQ(Tracer.spans().size(), 5u);
+  for (const auto &Span : Tracer.spans())
+    EXPECT_GT(Span.EndNs, 0u);
+  std::vector<ren::trace::TraceEvent> Drained;
+  ren::trace::TraceRegistry::get().drainAll(Drained);
+  for (const ren::trace::TraceEvent &E : Drained)
+    EXPECT_NE(E.Kind, ren::trace::EventKind::Iteration)
+        << "disabled tracer must not publish iteration events";
 }

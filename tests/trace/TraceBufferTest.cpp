@@ -1,0 +1,175 @@
+//===- tests/trace/TraceBufferTest.cpp ------------------------------------==//
+//
+// Unit tests for the ren::trace core: ring-buffer wrap-around accounting,
+// registry drain/discard, epoch-based reclamation of exited threads'
+// buffers, name interning and kind naming.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+using namespace ren::trace;
+
+namespace {
+
+/// Drains the global registry and returns only the events carrying \p Name
+/// (pointer identity — trace names are static or interned).
+std::vector<TraceEvent> drainNamed(const char *Name) {
+  std::vector<TraceEvent> All, Out;
+  TraceRegistry::get().drainAll(All);
+  for (const TraceEvent &E : All)
+    if (E.Name == Name)
+      Out.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceBufferTest, PushDrainRoundTrip) {
+  auto B = std::make_unique<TraceBuffer>(7);
+  for (uint64_t I = 0; I < 10; ++I)
+    B->push(EventKind::User, Phase::Instant, "roundtrip", 100 + I, I, I * 2,
+            I * 3);
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(B->drainInto(Out), 0u);
+  ASSERT_EQ(Out.size(), 10u);
+  for (uint64_t I = 0; I < 10; ++I) {
+    EXPECT_EQ(Out[I].Ts, 100 + I);
+    EXPECT_EQ(Out[I].Dur, I);
+    EXPECT_EQ(Out[I].A, I * 2);
+    EXPECT_EQ(Out[I].B, I * 3);
+    EXPECT_STREQ(Out[I].Name, "roundtrip");
+    EXPECT_EQ(Out[I].Kind, EventKind::User);
+    EXPECT_EQ(Out[I].Ph, Phase::Instant);
+    EXPECT_EQ(Out[I].Tid, 7u);
+  }
+  EXPECT_TRUE(B->drained());
+}
+
+TEST(TraceBufferTest, WrapAroundDropsOldestAndCountsThem) {
+  auto B = std::make_unique<TraceBuffer>(1);
+  const uint64_t Extra = 100;
+  const uint64_t Total = TraceBuffer::kCapacity + Extra;
+  for (uint64_t I = 0; I < Total; ++I)
+    B->push(EventKind::User, Phase::Instant, "wrap", 1, 0, I, 0);
+  std::vector<TraceEvent> Out;
+  uint64_t Dropped = B->drainInto(Out);
+  // The writer lapped the (never-advanced) cursor: exactly the oldest
+  // `Extra` records were overwritten, the ring holds the newest kCapacity.
+  EXPECT_EQ(Dropped, Extra);
+  ASSERT_EQ(Out.size(), TraceBuffer::kCapacity);
+  EXPECT_EQ(Out.front().A, Extra);
+  EXPECT_EQ(Out.back().A, Total - 1);
+  for (size_t I = 1; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I].A, Out[I - 1].A + 1) << "gap at " << I;
+}
+
+TEST(TraceBufferTest, IncrementalDrainsSeeOnlyNewRecords) {
+  auto B = std::make_unique<TraceBuffer>(2);
+  for (uint64_t I = 0; I < 5; ++I)
+    B->push(EventKind::User, Phase::Instant, "inc", 1, 0, I, 0);
+  std::vector<TraceEvent> First;
+  EXPECT_EQ(B->drainInto(First), 0u);
+  EXPECT_EQ(First.size(), 5u);
+  for (uint64_t I = 5; I < 8; ++I)
+    B->push(EventKind::User, Phase::Instant, "inc", 1, 0, I, 0);
+  std::vector<TraceEvent> Second;
+  EXPECT_EQ(B->drainInto(Second), 0u);
+  ASSERT_EQ(Second.size(), 3u);
+  EXPECT_EQ(Second.front().A, 5u);
+}
+
+TEST(TraceBufferTest, DiscardSkipsEverythingPublished) {
+  auto B = std::make_unique<TraceBuffer>(3);
+  for (uint64_t I = 0; I < 32; ++I)
+    B->push(EventKind::User, Phase::Instant, "discard", 1, 0, I, 0);
+  B->discard();
+  EXPECT_TRUE(B->drained());
+  std::vector<TraceEvent> Out;
+  EXPECT_EQ(B->drainInto(Out), 0u);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(TraceRegistryTest, DisabledGuardRecordsNothing) {
+  setEnabled(false);
+  static const char kName[] = "disabled.probe";
+  TraceRegistry::get().discardAll();
+  for (int I = 0; I < 100; ++I) {
+    instant(EventKind::User, kName, 1, 2);
+    span(EventKind::User, kName, 10, 20);
+    mark(EventKind::User, Phase::Begin, kName);
+  }
+  EXPECT_TRUE(drainNamed(kName).empty());
+}
+
+TEST(TraceRegistryTest, EnabledEventsRoundTripThroughDrainAll) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  static const char kName[] = "enabled.probe";
+  setEnabled(true);
+  TraceRegistry::get().discardAll();
+  for (uint64_t I = 0; I < 50; ++I)
+    instant(EventKind::User, kName, I, I + 1);
+  setEnabled(false);
+  std::vector<TraceEvent> Got = drainNamed(kName);
+  ASSERT_EQ(Got.size(), 50u);
+  for (uint64_t I = 0; I < 50; ++I) {
+    EXPECT_EQ(Got[I].A, I);
+    EXPECT_EQ(Got[I].B, I + 1);
+    EXPECT_GT(Got[I].Ts, 0u) << "instant() must timestamp the event";
+    EXPECT_EQ(Got[I].Tid, TraceRegistry::get().threadBuffer().tid());
+  }
+}
+
+TEST(TraceRegistryTest, RetiredBuffersAreReclaimedAfterAFullEpoch) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  static const char kName[] = "reclaim.probe";
+  setEnabled(true);
+  TraceRegistry::get().discardAll();
+  std::thread T([] {
+    for (uint64_t I = 0; I < 3; ++I)
+      instant(EventKind::User, kName, I, 0);
+  });
+  T.join();
+  setEnabled(false);
+  size_t AfterExit = TraceRegistry::get().bufferCount();
+  // The exited thread's buffer is still registered: its events must
+  // survive until a drain collects them.
+  std::vector<TraceEvent> Got = drainNamed(kName);
+  ASSERT_EQ(Got.size(), 3u);
+  EXPECT_NE(Got[0].Tid, TraceRegistry::get().threadBuffer().tid());
+  // First drain empties the retired buffer; a later drain reclaims it.
+  std::vector<TraceEvent> Sink;
+  TraceRegistry::get().drainAll(Sink);
+  TraceRegistry::get().drainAll(Sink);
+  EXPECT_LT(TraceRegistry::get().bufferCount(), AfterExit);
+}
+
+TEST(TraceNamesTest, InternNameIsStableAndContentPreserving) {
+  const char *A = internName("bench:such-name");
+  const char *B = internName("bench:such-name");
+  const char *C = internName("bench:other-name");
+  EXPECT_EQ(A, B) << "same string must intern to the same pointer";
+  EXPECT_NE(A, C);
+  EXPECT_STREQ(A, "bench:such-name");
+  EXPECT_STREQ(C, "bench:other-name");
+}
+
+TEST(TraceNamesTest, EventKindNamesAreDistinctAndLowerCase) {
+  for (unsigned I = 0; I < kNumEventKinds; ++I) {
+    const char *Name = eventKindName(static_cast<EventKind>(I));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_GT(std::string(Name).size(), 2u);
+    for (unsigned J = 0; J < I; ++J)
+      EXPECT_STRNE(Name, eventKindName(static_cast<EventKind>(J)));
+  }
+  EXPECT_STREQ(eventKindName(EventKind::MonitorContended),
+               "monitor.contended");
+  EXPECT_STREQ(eventKindName(EventKind::FjSteal), "fj.steal");
+}

@@ -7,6 +7,9 @@
 #   tools/check.sh --stress        # ... then also run ctest -L stress
 #   tools/check.sh --tsan          # ... then a -DREN_SANITIZE=thread build
 #                                  #     and the runtime/stress tests under it
+#   tools/check.sh --trace         # ... the ren::trace tier: ctest -L trace
+#                                  #     in the tier-1 build, then the same
+#                                  #     label (incl. stress_trace) under TSan
 #   tools/check.sh --stress --tsan # everything
 #
 # Options:
@@ -25,11 +28,13 @@ TSAN_DIR=build-tsan
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_STRESS=0
 RUN_TSAN=0
+RUN_TRACE=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --stress) RUN_STRESS=1 ;;
     --tsan) RUN_TSAN=1 ;;
+    --trace) RUN_TRACE=1 ;;
     --build-dir|--tsan-dir|--jobs)
       if [[ $# -lt 2 ]]; then
         echo "missing value for $1 (try --help)" >&2
@@ -43,7 +48,7 @@ while [[ $# -gt 0 ]]; do
       shift
       ;;
     -h|--help)
-      sed -n '2,17p' "$0" | sed 's/^#//'
+      sed -n '2,20p' "$0" | sed 's/^#//'
       exit 0
       ;;
     *)
@@ -68,6 +73,20 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 if [[ "$RUN_STRESS" == 1 ]]; then
   step "stress: ctest -L stress"
   ctest --test-dir "$BUILD_DIR" -L stress --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TRACE" == 1 ]]; then
+  step "trace: ctest -L trace"
+  ctest --test-dir "$BUILD_DIR" -L trace --output-on-failure -j "$JOBS"
+
+  step "trace: configure ($TSAN_DIR, -DREN_SANITIZE=thread)"
+  cmake -B "$TSAN_DIR" -S . -DREN_SANITIZE=thread
+
+  step "trace: build"
+  cmake --build "$TSAN_DIR" -j "$JOBS"
+
+  step "trace: ctest -L trace under TSan (incl. stress_trace)"
+  ctest --test-dir "$TSAN_DIR" -L trace --output-on-failure -j "$JOBS"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then

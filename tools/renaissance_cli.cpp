@@ -12,7 +12,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/Harness.h"
+#include "harness/Plugins.h"
 #include "support/Format.h"
+#include "trace/TraceSession.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -36,6 +38,9 @@ void printUsage() {
       "  --csv               emit CSV instead of the text summary\n"
       "  --json              emit JSON instead of the text summary\n"
       "  --no-trace          disable the cache simulator\n"
+      "  --trace=FILE        record runtime events to FILE as Chrome\n"
+      "                      trace_event JSON (chrome://tracing, Perfetto)\n"
+      "  --trace-summary     print the contention/park/steal profile\n"
       "\n"
       "suites: renaissance, dacapo, scalabench, specjvm2008, all\n");
 }
@@ -58,6 +63,8 @@ int main(int Argc, char **Argv) {
 
   Runner::Options Opts;
   bool Csv = false, Json = false;
+  bool TraceSummary = false;
+  std::string TracePath;
   std::vector<std::string> Selection;
 
   for (int I = 1; I < Argc; ++I) {
@@ -85,6 +92,18 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--no-trace") {
       Opts.TraceMemory = false;
+      continue;
+    }
+    if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(std::strlen("--trace="));
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "error: --trace needs a file path\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--trace-summary") {
+      TraceSummary = true;
       continue;
     }
     if (Arg == "--repetitions" || Arg == "--warmups") {
@@ -138,7 +157,15 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  bool Tracing = !TracePath.empty() || TraceSummary;
   Runner R(Opts);
+  TracePlugin Tracer;
+  ren::trace::TraceSession Session;
+  if (Tracing) {
+    R.addPlugin(Tracer);
+    Session.start();
+  }
+
   std::vector<RunResult> Results;
   for (const auto &[S, Name] : ToRun) {
     if (!Csv && !Json)
@@ -150,11 +177,30 @@ int main(int Argc, char **Argv) {
                   Result.meanSteadyNanos() / 1e6,
                   static_cast<unsigned long long>(Result.Checksum));
     Results.push_back(std::move(Result));
+    if (Tracing)
+      Session.drain(); // keep ring laps rare on long selections
   }
 
   if (Csv)
     std::fputs(toCsv(Results).c_str(), stdout);
   else if (Json)
     std::fputs(toJson(Results).c_str(), stdout);
+
+  if (Tracing) {
+    Session.stop();
+    if (!TracePath.empty()) {
+      if (!Session.writeChromeJson(TracePath)) {
+        std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                     TracePath.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n",
+                   Session.events().size(),
+                   static_cast<unsigned long long>(Session.dropped()),
+                   TracePath.c_str());
+    }
+    if (TraceSummary)
+      std::fputs(Session.profile().summary().c_str(), stdout);
+  }
   return 0;
 }
