@@ -129,8 +129,58 @@ static void BM_ForkJoinParallelFor(benchmark::State &State) {
     });
     benchmark::DoNotOptimize(Sum.load());
   }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Data.size()));
 }
-BENCHMARK(BM_ForkJoinParallelFor)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_ForkJoinParallelFor)->Arg(1 << 10)->Arg(1 << 14)->UseRealTime();
+
+// Fork-join ping: one external fork + join per iteration. Measures the
+// submit -> wakeup -> run -> completion-signal round trip, the latency
+// floor under every future/actor dispatch.
+static void BM_ForkJoinPing(benchmark::State &State) {
+  forkjoin::ForkJoinPool Pool(2);
+  for (auto _ : State) {
+    auto T = Pool.fork([] { return 1; });
+    Pool.join(T);
+    benchmark::DoNotOptimize(T->result());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ForkJoinPing)->UseRealTime();
+
+namespace {
+
+long fjFib(forkjoin::ForkJoinPool &Pool, int N) {
+  if (N < 2)
+    return N;
+  auto Right = Pool.fork([&Pool, N] { return fjFib(Pool, N - 2); });
+  long Left = fjFib(Pool, N - 1);
+  Pool.join(Right);
+  return Left + Right->result();
+}
+
+// Fork calls performed by fjFib(N): one per non-leaf recursive call.
+int64_t fjFibForks(int N) {
+  if (N < 2)
+    return 0;
+  return fjFibForks(N - 1) + fjFibForks(N - 2) + 1;
+}
+
+} // namespace
+
+// Steal-heavy grain-1 fork/join: recursive fib with a task per split. The
+// pure scheduler stressor — task allocation, deque push/pop, steals and
+// helping joins dominate; the leaf work is a single addition.
+static void BM_ForkJoinStealHeavyFib(benchmark::State &State) {
+  forkjoin::ForkJoinPool Pool(4);
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    long R = Pool.invoke([&Pool, N] { return fjFib(Pool, N); });
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * (fjFibForks(N) + 1));
+}
+BENCHMARK(BM_ForkJoinStealHeavyFib)->Arg(16)->UseRealTime();
 
 static void BM_StmIncrement(benchmark::State &State) {
   stm::TVar<long> Counter(0);

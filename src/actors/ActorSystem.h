@@ -231,8 +231,10 @@ template <typename MsgT> void Cell<MsgT>::tell(MsgT Message) {
 }
 
 template <typename MsgT> void Cell<MsgT>::schedule() {
+  // Fire-and-forget activation: nobody joins it (quiescence is tracked by
+  // the message counter), so take the handle-free fast path.
   if (Scheduled.compareAndSet(0, 1))
-    System.PoolPtr->fork([this] { process(); });
+    System.PoolPtr->forkDetached([this] { process(); });
 }
 
 template <typename MsgT> void Cell<MsgT>::process() {
@@ -259,8 +261,14 @@ template <typename MsgT> void Cell<MsgT>::process() {
   }
 
   // Deactivate, then re-check for messages that raced with deactivation.
+  // Pending must be read *before* the release of Scheduled: activations
+  // are serialized by the Scheduled flag, so the field is ours only until
+  // that store — afterwards the next activation may already be mutating
+  // it. A stale HadPending merely schedules a redundant (empty)
+  // activation.
+  bool HadPending = Pending != nullptr;
   Scheduled.store(0, std::memory_order_release);
-  if (Pending || Head.load(std::memory_order_acquire))
+  if (HadPending || Head.load(std::memory_order_acquire))
     schedule();
 }
 

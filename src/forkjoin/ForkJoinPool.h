@@ -5,90 +5,217 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A work-stealing fork/join pool modelling java.util.concurrent's
+/// A lock-free work-stealing fork/join pool modelling java.util.concurrent's
 /// ForkJoinPool (Lea, "A Java Fork/Join Framework"), the substrate of the
 /// fj-kmeans benchmark and the default executor of several others.
 ///
-/// Workers keep per-worker deques (LIFO for the owner, FIFO for thieves)
-/// and park via the instrumented runtime::Parker when idle, so a fork/join
-/// workload exhibits the paper's park-heavy profile. Task and future
-/// allocation is counted through runtime::newShared.
+/// The scheduler hot path is allocation- and lock-minimal:
+///
+///  - each worker owns a growable Chase–Lev deque (ChaseLevDeque.h): LIFO
+///    push/pop for the owner without CAS except on the last element,
+///    FIFO CAS-claimed steals for thieves;
+///  - a task is one intrusive object (TaskImpl): completion state word,
+///    refcount and the callable live inline, so a fork performs exactly
+///    one allocation — counted through the same instrumentation as
+///    runtime::newShared (one Metric::Object per task);
+///  - joins are event-driven: a joiner spins briefly, then CAS-registers a
+///    stack-allocated wait node on the task's state word and parks; the
+///    completing thread wakes exactly the registered waiters. Workers keep
+///    helping (running other tasks) while they wait;
+///  - idle workers spin briefly, then register on a Treiber stack of idle
+///    workers; signalWork pops and unparks exactly one in O(1);
+///  - external submissions go through a lock-free Vyukov MPSC queue.
+///
+/// Instrumentation semantics are preserved: idle workers park via the
+/// counted runtime::Parker (Metric::Park), fork/steal/external/idle trace
+/// events keep their kinds and arguments, and task allocation is counted
+/// once per task. The deque and queue internals are deliberately *not*
+/// counted — they model the VM-internal structures the paper's
+/// instrumentation does not observe.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REN_FORKJOIN_FORKJOINPOOL_H
 #define REN_FORKJOIN_FORKJOINPOOL_H
 
+#include "forkjoin/ChaseLevDeque.h"
+#include "forkjoin/MpscQueue.h"
 #include "runtime/Alloc.h"
-#include "runtime/Monitor.h"
 #include "runtime/Park.h"
+#include "support/Check.h"
 
 #include <atomic>
 #include <cassert>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ren {
 namespace forkjoin {
 
 class ForkJoinPool;
+template <typename T> class TaskRef;
 
-/// Base class for pool tasks: completion latch + execution hook.
-class TaskBase {
+/// Base class for pool tasks: intrusive refcount, single-word completion
+/// state machine, and MPSC linkage for the external submission queue.
+class TaskBase : public MpscNode {
 public:
-  virtual ~TaskBase() = default;
+  TaskBase(const TaskBase &) = delete;
+  TaskBase &operator=(const TaskBase &) = delete;
 
-  /// Runs the task body exactly once.
+  /// Runs the task body exactly once, then publishes completion and wakes
+  /// every parked joiner.
   void run();
 
   /// True once the task body has finished.
-  bool isDone() const { return Done.load(std::memory_order_acquire); }
+  bool isDone() const {
+    return State.load(std::memory_order_acquire) == kDone;
+  }
+
+  /// Intrusive reference counting (TaskRef drives this).
+  void retain() { RefCount.fetch_add(1, std::memory_order_relaxed); }
+  void release() {
+    if (RefCount.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      delete this;
+  }
 
 protected:
+  TaskBase() = default;
+  virtual ~TaskBase() = default;
+
   /// Subclasses implement the body.
   virtual void execute() = 0;
 
 private:
   friend class ForkJoinPool;
+
+  /// One parked joiner, stack-allocated in awaitDone. The completing
+  /// thread copies the fields it needs, then sets Released (after which
+  /// the waiter's frame may die) and finally unparks.
+  struct WaitNode {
+    runtime::Parker *P = nullptr;
+    uintptr_t Next = 0;
+    std::atomic<bool> Released{false};
+  };
+
+  /// State word values: kActive (running or pending, no waiters), kDone,
+  /// or a WaitNode* (Treiber stack of parked joiners). WaitNodes are
+  /// aligned, so their addresses never collide with kDone.
+  static constexpr uintptr_t kActive = 0;
+  static constexpr uintptr_t kDone = 1;
+
+  /// Blocks until done; workers of \p Pool help run other tasks.
   void awaitDone(ForkJoinPool *Pool);
 
-  std::atomic<bool> Done{false};
-  runtime::Monitor DoneMonitor;
+  std::atomic<uintptr_t> State{kActive};
+  std::atomic<uint32_t> RefCount{1};
 };
+
+/// Intrusive smart pointer to a task; the handle type fork() returns.
+template <typename T> class TaskRef {
+public:
+  TaskRef() = default;
+  /// Wraps \p P; adopts the existing reference unless \p AddRef.
+  explicit TaskRef(T *P, bool AddRef) : Ptr(P) {
+    if (Ptr && AddRef)
+      Ptr->retain();
+  }
+  TaskRef(const TaskRef &O) : Ptr(O.Ptr) {
+    if (Ptr)
+      Ptr->retain();
+  }
+  TaskRef(TaskRef &&O) noexcept : Ptr(O.Ptr) { O.Ptr = nullptr; }
+  /// Upcasting conversions (e.g. TaskRef<Task<int>> -> TaskRef<TaskBase>).
+  template <typename U,
+            std::enable_if_t<std::is_convertible_v<U *, T *>, int> = 0>
+  TaskRef(const TaskRef<U> &O) : Ptr(O.Ptr) {
+    if (Ptr)
+      Ptr->retain();
+  }
+  template <typename U,
+            std::enable_if_t<std::is_convertible_v<U *, T *>, int> = 0>
+  TaskRef(TaskRef<U> &&O) noexcept : Ptr(O.Ptr) {
+    O.Ptr = nullptr;
+  }
+  TaskRef &operator=(TaskRef O) noexcept {
+    std::swap(Ptr, O.Ptr);
+    return *this;
+  }
+  ~TaskRef() {
+    if (Ptr)
+      Ptr->release();
+  }
+
+  T *get() const { return Ptr; }
+  T *operator->() const {
+    assert(Ptr && "dereference of empty TaskRef");
+    return Ptr;
+  }
+  T &operator*() const { return *operator->(); }
+  explicit operator bool() const { return Ptr != nullptr; }
+  void reset() {
+    if (Ptr)
+      Ptr->release();
+    Ptr = nullptr;
+  }
+
+private:
+  template <typename U> friend class TaskRef;
+  T *Ptr = nullptr;
+};
+
+/// The generic task handle.
+using TaskHandle = TaskRef<TaskBase>;
 
 /// A typed fork/join task holding its result.
 template <typename T> class Task : public TaskBase {
 public:
-  explicit Task(std::function<T()> Body) : Body(std::move(Body)) {}
-
-  /// Returns the result; only valid once done.
+  /// Returns the result. Reading before completion is an API-misuse hard
+  /// error in every build type (the value would be garbage).
   const T &result() const {
-    assert(isDone() && "result read before completion");
+    REN_CHECK(isDone(), "Task<T>::result() read before completion");
     return Result;
   }
 
 protected:
-  void execute() override { Result = Body(); }
-
-private:
-  std::function<T()> Body;
   T Result{};
 };
 
-/// void specialization.
-template <> class Task<void> : public TaskBase {
+/// void specialization: completion only.
+template <> class Task<void> : public TaskBase {};
+
+namespace detail {
+
+/// The concrete task: the callable is stored inline in the task object
+/// (exact-size small-buffer optimization — no std::function, no separate
+/// control block), so one allocation covers task + state + body.
+template <typename T, typename FnT> class TaskImpl final : public Task<T> {
 public:
-  explicit Task(std::function<void()> Body) : Body(std::move(Body)) {}
+  explicit TaskImpl(FnT Body) : Body(std::move(Body)) {}
+
+protected:
+  void execute() override { this->Result = Body(); }
+
+private:
+  FnT Body;
+};
+
+template <typename FnT> class TaskImpl<void, FnT> final : public Task<void> {
+public:
+  explicit TaskImpl(FnT Body) : Body(std::move(Body)) {}
 
 protected:
   void execute() override { Body(); }
 
 private:
-  std::function<void()> Body;
+  FnT Body;
 };
+
+} // namespace detail
 
 /// The work-stealing pool.
 class ForkJoinPool {
@@ -100,20 +227,32 @@ public:
   ForkJoinPool(const ForkJoinPool &) = delete;
   ForkJoinPool &operator=(const ForkJoinPool &) = delete;
 
-  unsigned parallelism() const { return Workers.size(); }
+  unsigned parallelism() const { return NumWorkers; }
 
   /// Forks \p Body as a task. From a worker thread it is pushed onto the
   /// worker's own deque; otherwise onto the external submission queue.
   template <typename FnT> auto fork(FnT Body) {
     using R = std::invoke_result_t<FnT>;
-    auto T = runtime::newShared<Task<R>>(std::function<R()>(std::move(Body)));
+    auto *T = allocTask<R>(std::move(Body));
+    T->retain(); // The scheduler's reference; released after run().
+    TaskRef<Task<R>> Handle(T, /*AddRef=*/false);
     schedule(T);
-    return T;
+    return Handle;
   }
 
-  /// Blocks until \p T completes; worker threads help by running other
-  /// tasks while waiting ("join with helping").
-  void join(const std::shared_ptr<TaskBase> &T) { T->awaitDone(this); }
+  /// Fire-and-forget fork: no handle, so the fast path skips the handle's
+  /// refcount round trip. The executor/actor dispatch paths use this.
+  template <typename FnT> void forkDetached(FnT Body) {
+    using R = std::invoke_result_t<FnT>;
+    schedule(allocTask<R>(std::move(Body)));
+  }
+
+  /// Blocks until \p Handle completes; worker threads help by running
+  /// other tasks while waiting ("join with helping").
+  template <typename T> void join(const TaskRef<T> &Handle) {
+    assert(Handle && "join on an empty TaskRef");
+    Handle->awaitDone(this);
+  }
 
   /// Forks \p Body and waits for its result.
   template <typename FnT> auto invoke(FnT Body) {
@@ -153,19 +292,52 @@ public:
   bool helpOneTask();
 
 private:
+  friend class TaskBase;
+
   struct WorkerState;
 
-  void schedule(std::shared_ptr<TaskBase> T);
-  std::shared_ptr<TaskBase> findWork(unsigned SelfIndex);
-  std::shared_ptr<TaskBase> popExternal();
+  /// Allocates the single task object, counted like runtime::newShared.
+  template <typename R, typename FnT> Task<R> *allocTask(FnT Body) {
+    runtime::noteObjectAlloc();
+    return new detail::TaskImpl<R, FnT>(std::move(Body));
+  }
+
+  void schedule(TaskBase *T);
+  TaskBase *findWork(unsigned SelfIndex);
+  TaskBase *tryPopExternal();
+  void runTask(TaskBase *T) {
+    T->run();
+    T->release();
+  }
   void workerLoop(unsigned Index);
+
+  /// Pops one idle worker (if any) and unparks it. O(1).
   void signalWork();
 
+  /// Registers worker \p Index on the idle stack unless already on it.
+  /// \returns true if this call performed the registration.
+  bool registerIdleWorker(unsigned Index);
+  WorkerState *popIdleWorker();
+
+  /// Cheap scheduler-state probe: true if any queue looks non-empty.
+  /// Used between idle registration and park to close the wakeup race.
+  bool hasQueuedWork() const;
+
+  runtime::Parker &workerParker(unsigned Index);
+
+  unsigned NumWorkers = 0;
   std::vector<std::unique_ptr<WorkerState>> Workers;
   std::vector<std::thread> Threads;
 
-  runtime::Monitor ExternalLock;
-  std::deque<std::shared_ptr<TaskBase>> ExternalQueue;
+  // External submissions: lock-free MPSC queue; consumers serialize with a
+  // non-blocking try-flag; Size gives parkers an exact non-empty hint.
+  MpscQueue External;
+  std::atomic<size_t> ExternalSize{0};
+  std::atomic<bool> ExternalPopBusy{false};
+
+  // Treiber stack of idle workers: (tag << 32) | (worker index + 1), 0 for
+  // empty. The tag is bumped by every successful head CAS, defeating ABA.
+  std::atomic<uint64_t> IdleHead{0};
 
   std::atomic<bool> ShuttingDown{false};
 };

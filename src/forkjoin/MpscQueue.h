@@ -1,0 +1,95 @@
+//===- forkjoin/MpscQueue.h - Intrusive lock-free MPSC queue ----*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vyukov's intrusive multi-producer single-consumer queue, used as the
+/// ForkJoinPool external-submission queue (the analogue of the pool's
+/// shared submission WorkQueues). Producers enqueue with one wait-free
+/// exchange + one store; the consumer side is lock-free and must be
+/// externalized to one consumer at a time — ForkJoinPool guards it with a
+/// non-blocking try-flag so any worker may drain but none ever waits.
+///
+/// Nodes are intrusive: anything queued derives from MpscNode. The queue
+/// never allocates; a stub node embedded in the queue keeps push/pop
+/// branch-light (the one subtle state is an in-flight push: the new node
+/// is visible via the exchanged head before its predecessor's Next link is
+/// written, during which pop() reports "empty-for-now" — callers re-check
+/// after the producer's signal, so no task is ever stranded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_FORKJOIN_MPSCQUEUE_H
+#define REN_FORKJOIN_MPSCQUEUE_H
+
+#include <atomic>
+
+namespace ren {
+namespace forkjoin {
+
+/// Intrusive linkage for MpscQueue members.
+struct MpscNode {
+  std::atomic<MpscNode *> Next{nullptr};
+};
+
+/// The queue. Head is the producers' end (most recently pushed); Tail is
+/// the consumer's cursor.
+class MpscQueue {
+public:
+  MpscQueue() : Head(&Stub), Tail(&Stub) {}
+
+  MpscQueue(const MpscQueue &) = delete;
+  MpscQueue &operator=(const MpscQueue &) = delete;
+
+  /// Multi-producer push: wait-free except for the single exchange.
+  void push(MpscNode *N) {
+    N->Next.store(nullptr, std::memory_order_relaxed);
+    MpscNode *Prev = Head.exchange(N, std::memory_order_acq_rel);
+    Prev->Next.store(N, std::memory_order_release);
+  }
+
+  /// Single-consumer pop in FIFO order; returns nullptr when empty *or*
+  /// when the head push is still in flight (momentarily unlinked). Only
+  /// one thread may call pop at a time.
+  MpscNode *pop() {
+    MpscNode *T = Tail;
+    MpscNode *N = T->Next.load(std::memory_order_acquire);
+    if (T == &Stub) {
+      if (!N)
+        return nullptr; // Empty.
+      Tail = N;
+      T = N;
+      N = N->Next.load(std::memory_order_acquire);
+    }
+    if (N) {
+      Tail = N;
+      return T;
+    }
+    // T is the last linked node; if a push is in flight behind it, report
+    // empty-for-now (the producer's completion signal re-triggers us).
+    MpscNode *H = Head.load(std::memory_order_acquire);
+    if (T != H)
+      return nullptr;
+    // Queue quiescent with one node: re-append the stub so T becomes
+    // poppable, then re-read the link.
+    push(&Stub);
+    N = T->Next.load(std::memory_order_acquire);
+    if (N) {
+      Tail = N;
+      return T;
+    }
+    return nullptr;
+  }
+
+private:
+  MpscNode Stub;
+  alignas(64) std::atomic<MpscNode *> Head;
+  alignas(64) MpscNode *Tail;
+};
+
+} // namespace forkjoin
+} // namespace ren
+
+#endif // REN_FORKJOIN_MPSCQUEUE_H

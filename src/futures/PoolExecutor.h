@@ -32,9 +32,12 @@ public:
   explicit PoolExecutor(forkjoin::ForkJoinPool &Pool) : Pool(Pool) {}
 
   void execute(std::function<void()> Work) override {
+    // forkDetached: dispatches are fire-and-forget, so skip the join
+    // handle and its refcount round trip — the task object is the only
+    // allocation.
     if (trace::enabled()) {
       uint64_t SubmitNs = trace::nowNanos();
-      Pool.fork([SubmitNs, Work = std::move(Work)] {
+      Pool.forkDetached([SubmitNs, Work = std::move(Work)] {
         uint64_t StartNs = trace::nowNanos();
         Work();
         trace::span(trace::EventKind::TaskRun, "pool.task", StartNs,
@@ -42,7 +45,7 @@ public:
       });
       return;
     }
-    Pool.fork(std::move(Work));
+    Pool.forkDetached(std::move(Work));
   }
 
   /// Runs \p Body on the pool and exposes the result as a Future. A void

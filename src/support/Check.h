@@ -1,0 +1,43 @@
+//===- support/Check.h - Always-on invariant checks -------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// REN_CHECK: an assert that survives release builds. The library uses
+/// plain assert() for internal invariants, but API-misuse errors that
+/// would otherwise turn into silent undefined behaviour (e.g. reading a
+/// fork/join task's result before it completed) must fail loudly in every
+/// build type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_SUPPORT_CHECK_H
+#define REN_SUPPORT_CHECK_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ren {
+namespace support {
+
+[[noreturn]] inline void checkFailed(const char *Cond, const char *Msg,
+                                     const char *File, int Line) {
+  std::fprintf(stderr, "REN_CHECK failed: %s (%s) at %s:%d\n", Cond, Msg,
+               File, Line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace support
+} // namespace ren
+
+/// Aborts (in every build type) with a diagnostic if \p Cond is false.
+#define REN_CHECK(Cond, Msg)                                                 \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::ren::support::checkFailed(#Cond, Msg, __FILE__, __LINE__);           \
+  } while (0)
+
+#endif // REN_SUPPORT_CHECK_H

@@ -1,0 +1,188 @@
+//===- tests/forkjoin/ChaseLevDequeTest.cpp -------------------------------==//
+//
+// Functional tests for the Chase–Lev work-stealing deque: owner LIFO
+// order, thief FIFO order, growth across ring boundaries, and the
+// takes + steals == pushes conservation law under concurrent thieves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "forkjoin/ChaseLevDeque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using ren::forkjoin::ChaseLevDeque;
+
+namespace {
+
+struct Item {
+  explicit Item(int V) : Value(V) {}
+  int Value;
+};
+
+} // namespace
+
+TEST(ChaseLevDequeTest, PopOnEmptyReturnsNull) {
+  ChaseLevDeque<Item> D;
+  EXPECT_EQ(D.pop(), nullptr);
+  EXPECT_TRUE(D.emptyEstimate());
+}
+
+TEST(ChaseLevDequeTest, StealOnEmptyIsNullNotAborted) {
+  ChaseLevDeque<Item> D;
+  auto R = D.steal();
+  EXPECT_EQ(R.Item, nullptr);
+  EXPECT_FALSE(R.Aborted);
+}
+
+TEST(ChaseLevDequeTest, OwnerPopIsLifo) {
+  ChaseLevDeque<Item> D;
+  Item A(1), B(2), C(3);
+  D.push(&A);
+  D.push(&B);
+  D.push(&C);
+  EXPECT_EQ(D.sizeEstimate(), 3u);
+  EXPECT_EQ(D.pop(), &C);
+  EXPECT_EQ(D.pop(), &B);
+  EXPECT_EQ(D.pop(), &A);
+  EXPECT_EQ(D.pop(), nullptr);
+}
+
+TEST(ChaseLevDequeTest, ThiefStealIsFifo) {
+  ChaseLevDeque<Item> D;
+  Item A(1), B(2), C(3);
+  D.push(&A);
+  D.push(&B);
+  D.push(&C);
+  EXPECT_EQ(D.steal().Item, &A);
+  EXPECT_EQ(D.steal().Item, &B);
+  EXPECT_EQ(D.steal().Item, &C);
+  EXPECT_EQ(D.steal().Item, nullptr);
+}
+
+TEST(ChaseLevDequeTest, MixedPopAndStealPartitionTheItems) {
+  ChaseLevDeque<Item> D;
+  std::vector<Item> Items;
+  Items.reserve(8);
+  for (int I = 0; I < 8; ++I)
+    Items.emplace_back(I);
+  for (auto &It : Items)
+    D.push(&It);
+  // Thief takes the two oldest, owner the two newest.
+  EXPECT_EQ(D.steal().Item->Value, 0);
+  EXPECT_EQ(D.steal().Item->Value, 1);
+  EXPECT_EQ(D.pop()->Value, 7);
+  EXPECT_EQ(D.pop()->Value, 6);
+  EXPECT_EQ(D.sizeEstimate(), 4u);
+}
+
+TEST(ChaseLevDequeTest, GrowsPastInitialCapacityPreservingContents) {
+  ChaseLevDeque<Item> D(/*InitialCapacity=*/4);
+  ASSERT_EQ(D.capacity(), 4u);
+  std::vector<Item> Items;
+  Items.reserve(100);
+  for (int I = 0; I < 100; ++I)
+    Items.emplace_back(I);
+  for (auto &It : Items)
+    D.push(&It);
+  EXPECT_GE(D.growCount(), 1u);
+  EXPECT_GE(D.capacity(), 128u);
+  // Everything comes back out, LIFO, across the ring copies.
+  for (int I = 99; I >= 0; --I) {
+    Item *P = D.pop();
+    ASSERT_NE(P, nullptr) << "missing item " << I;
+    EXPECT_EQ(P->Value, I);
+  }
+  EXPECT_EQ(D.pop(), nullptr);
+}
+
+TEST(ChaseLevDequeTest, GrowthStraddlingWrappedIndices) {
+  // Drive the window around the ring several times so Top/Bottom are far
+  // from zero when growth copies the live window.
+  ChaseLevDeque<Item> D(/*InitialCapacity=*/4);
+  std::vector<Item> Items;
+  Items.reserve(64);
+  for (int I = 0; I < 64; ++I)
+    Items.emplace_back(I);
+  int Next = 0;
+  // Rotate: push 3 / steal 3, keeping the deque short but the indices
+  // advancing, then stuff it full to force a wrapped-window grow.
+  for (int Round = 0; Round < 6; ++Round) {
+    for (int I = 0; I < 3; ++I)
+      D.push(&Items[Next++]);
+    for (int I = 0; I < 3; ++I)
+      ASSERT_NE(D.steal().Item, nullptr);
+  }
+  int First = Next;
+  while (Next < 64)
+    D.push(&Items[Next++]);
+  EXPECT_GE(D.growCount(), 1u);
+  for (int I = First; I < 64; ++I) {
+    auto R = D.steal();
+    ASSERT_NE(R.Item, nullptr);
+    EXPECT_EQ(R.Item->Value, I);
+  }
+}
+
+TEST(ChaseLevDequeTest, ConcurrentStealsConserveItems) {
+  // Owner pushes N items and pops; thieves steal concurrently. Every item
+  // must be taken exactly once: takes + steals == pushes, no duplicates.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<Item> D(/*InitialCapacity=*/8);
+  std::vector<Item> Items;
+  Items.reserve(kItems);
+  for (int I = 0; I < kItems; ++I)
+    Items.emplace_back(I);
+
+  std::vector<std::atomic<int>> TakenBy(kItems);
+  for (auto &T : TakenBy)
+    T.store(0, std::memory_order_relaxed);
+  std::atomic<bool> Done{false};
+  std::atomic<int> Steals{0};
+
+  std::vector<std::thread> Thieves;
+  for (int T = 0; T < kThieves; ++T)
+    Thieves.emplace_back([&] {
+      while (!Done.load(std::memory_order_acquire)) {
+        auto R = D.steal();
+        if (R.Item) {
+          TakenBy[R.Item->Value].fetch_add(1, std::memory_order_relaxed);
+          Steals.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Aborted or empty: retry until the owner says we are done.
+      }
+    });
+
+  int Pops = 0;
+  for (int I = 0; I < kItems; ++I) {
+    D.push(&Items[I]);
+    // Interleave pops so the single-element owner/thief race on Top gets
+    // exercised continuously.
+    if (I % 2 == 1) {
+      Item *P = D.pop();
+      if (P) {
+        TakenBy[P->Value].fetch_add(1, std::memory_order_relaxed);
+        ++Pops;
+      }
+    }
+  }
+  // Drain the remainder as the owner.
+  while (Item *P = D.pop()) {
+    TakenBy[P->Value].fetch_add(1, std::memory_order_relaxed);
+    ++Pops;
+  }
+  // The deque looks empty to the owner; let the thieves finish any
+  // in-flight steal and stop.
+  Done.store(true, std::memory_order_release);
+  for (auto &T : Thieves)
+    T.join();
+
+  for (int I = 0; I < kItems; ++I)
+    ASSERT_EQ(TakenBy[I].load(), 1) << "item " << I << " taken "
+                                    << TakenBy[I].load() << " times";
+  EXPECT_EQ(Pops + Steals.load(), kItems);
+}

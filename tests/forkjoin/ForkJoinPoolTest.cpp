@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 using namespace ren::forkjoin;
@@ -29,7 +31,7 @@ TEST(ForkJoinPoolTest, InvokeVoidRuns) {
 TEST(ForkJoinPoolTest, ManyForkedTasksAllComplete) {
   ForkJoinPool Pool(4);
   std::atomic<int> Count{0};
-  std::vector<std::shared_ptr<Task<void>>> Tasks;
+  std::vector<TaskRef<Task<void>>> Tasks;
   for (int I = 0; I < 500; ++I)
     Tasks.push_back(Pool.fork([&] { Count.fetch_add(1); }));
   for (auto &T : Tasks)
@@ -116,4 +118,76 @@ TEST(ForkJoinPoolTest, TaskAllocationAndParkingAreCounted) {
 TEST(ForkJoinPoolTest, DefaultParallelismPositive) {
   ForkJoinPool Pool;
   EXPECT_GE(Pool.parallelism(), 1u);
+}
+
+TEST(ForkJoinPoolTest, TaskHandleUpcastsAndOutlivesPool) {
+  TaskHandle Generic;
+  {
+    ForkJoinPool Pool(2);
+    TaskRef<Task<int>> Typed = Pool.fork([] { return 99; });
+    Pool.join(Typed);
+    Generic = Typed; // upcast TaskRef<Task<int>> -> TaskRef<TaskBase>
+    EXPECT_EQ(Typed->result(), 99);
+  }
+  // The handle keeps the task object alive after the pool is gone.
+  ASSERT_TRUE(Generic);
+  EXPECT_TRUE(Generic->isDone());
+}
+
+TEST(ForkJoinPoolDeathTest, ResultBeforeCompletionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ASSERT_DEATH(
+      {
+        ForkJoinPool Pool(2);
+        std::atomic<bool> Release{false};
+        auto T = Pool.fork([&] {
+          while (!Release.load())
+            std::this_thread::yield();
+          return 7;
+        });
+        // The task body is gated on Release, so it cannot have completed:
+        // reading the result here is the API misuse REN_CHECK must catch
+        // in every build type.
+        int V = T->result();
+        Release.store(true);
+        (void)V;
+      },
+      "result\\(\\) read before completion");
+}
+
+// Regression test for the signalWork lost-wakeup race: workers must
+// register on the idle stack *before* their final empty re-check, so an
+// external submission racing with the park either sees the registration
+// (and unparks) or is seen by the re-check. Under the old
+// check-then-register ordering a submission could land in the window and
+// strand the pool parked with work queued. Repeated park/submit cycles
+// with a cold pool make that window hot; a hang here shows up as the
+// 60-second watchdog below.
+TEST(ForkJoinPoolTest, ExternalSubmitAfterWorkersParkIsNotLost) {
+  ForkJoinPool Pool(2);
+  std::atomic<bool> Done{false};
+  std::thread Watchdog([&] {
+    for (int I = 0; I < 600 && !Done.load(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!Done.load()) {
+      fprintf(stderr, "lost wakeup: external submission never ran\n");
+      fflush(stderr);
+      abort();
+    }
+  });
+  for (int Round = 0; Round < 200; ++Round) {
+    // Let the workers drain and park (spin phase is bounded, so a short
+    // wait makes parking likely but not certain — both paths are valid).
+    if (Round % 3 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::atomic<int> Ran{0};
+    std::vector<TaskRef<Task<void>>> Tasks;
+    for (int I = 0; I < 4; ++I)
+      Tasks.push_back(Pool.fork([&] { Ran.fetch_add(1); }));
+    for (auto &T : Tasks)
+      Pool.join(T);
+    ASSERT_EQ(Ran.load(), 4) << "round " << Round;
+  }
+  Done.store(true);
+  Watchdog.join();
 }

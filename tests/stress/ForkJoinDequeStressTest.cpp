@@ -1,0 +1,212 @@
+//===- tests/stress/ForkJoinDequeStressTest.cpp ---------------------------==//
+//
+// jcstress-style interleaving stress for the Chase–Lev deque
+// (ctest -L stress, and the prime target of a -DREN_SANITIZE=thread
+// build): one owner pushing and popping against concurrent thieves, with
+// the conservation law takes + steals == pushes checked every repetition.
+// The single-element owner/thief race on Top and growth under concurrent
+// steals are the interleavings of interest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "forkjoin/ChaseLevDeque.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ren::stress;
+using ren::forkjoin::ChaseLevDeque;
+
+namespace {
+
+/// One owner (actor 0) pushes kItems and interleaves pops; two thieves
+/// steal until the owner is done and the deque drains. Every item must be
+/// taken exactly once, by exactly one side.
+class DequeOwnerVsThievesScenario : public StressScenario {
+public:
+  static constexpr int kItems = 256;
+
+  std::string name() const override { return "cl-deque-owner-vs-thieves"; }
+  unsigned actors() const override { return 3; }
+
+  void prepare() override {
+    // Tiny initial ring so growth happens mid-steal most repetitions.
+    Deque = std::make_unique<ChaseLevDeque<int>>(/*InitialCapacity=*/4);
+    OwnerDone.store(false, std::memory_order_relaxed);
+    Pops.store(0, std::memory_order_relaxed);
+    Steals.store(0, std::memory_order_relaxed);
+    Duplicate.store(false, std::memory_order_relaxed);
+    for (int I = 0; I < kItems; ++I) {
+      Values[I] = I;
+      Taken[I].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      owner(Nudge);
+      return;
+    }
+    thief(Nudge);
+  }
+
+  std::string observe() override {
+    if (Duplicate.load())
+      return "duplicate-take";
+    for (int I = 0; I < kItems; ++I)
+      if (Taken[I].load() != 1)
+        return "item-" + std::to_string(I) + "-taken-" +
+               std::to_string(Taken[I].load());
+    if (Pops.load() + Steals.load() != kItems)
+      return "count-mismatch";
+    return "conserved";
+  }
+
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("conserved", "takes + steals == pushes, each item once")
+        .forbid("duplicate-take", "an item was taken by both sides");
+    return Spec;
+  }
+
+private:
+  void take(int *P, std::atomic<int> &Counter) {
+    if (Taken[*P].fetch_add(1, std::memory_order_relaxed) != 0)
+      Duplicate.store(true, std::memory_order_relaxed);
+    Counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void owner(InterleavingNudge &Nudge) {
+    for (int I = 0; I < kItems; ++I) {
+      Deque->push(&Values[I]);
+      // Keep the deque shallow: pop roughly every other push so the
+      // single-element CAS race with the thieves stays hot.
+      if (I % 2 == 1) {
+        if (int *P = Deque->pop())
+          take(P, Pops);
+      }
+      if (I % 32 == 0)
+        Nudge.pause();
+    }
+    while (int *P = Deque->pop())
+      take(P, Pops);
+    OwnerDone.store(true, std::memory_order_release);
+  }
+
+  void thief(InterleavingNudge &Nudge) {
+    Nudge.pause();
+    // Steal until the owner has finished *and* the deque is drained; a
+    // lost CAS (Aborted) is a retry, not a conclusion.
+    for (;;) {
+      auto R = Deque->steal();
+      if (R.Item) {
+        take(R.Item, Steals);
+        continue;
+      }
+      if (!R.Aborted && OwnerDone.load(std::memory_order_acquire) &&
+          Deque->emptyEstimate())
+        return;
+    }
+  }
+
+  std::unique_ptr<ChaseLevDeque<int>> Deque;
+  int Values[kItems];
+  std::atomic<int> Taken[kItems];
+  std::atomic<bool> OwnerDone{false};
+  std::atomic<bool> Duplicate{false};
+  std::atomic<int> Pops{0};
+  std::atomic<int> Steals{0};
+};
+
+/// Thieves only, racing each other over a quiescent full deque: FIFO
+/// order must hold per-thief observation and no element may be stolen
+/// twice. Exercises the claiming CAS with no owner interference.
+class DequeThiefRaceScenario : public StressScenario {
+public:
+  static constexpr int kItems = 64;
+
+  std::string name() const override { return "cl-deque-thief-race"; }
+  unsigned actors() const override { return 2; }
+
+  void prepare() override {
+    Deque = std::make_unique<ChaseLevDeque<int>>(/*InitialCapacity=*/8);
+    for (int I = 0; I < kItems; ++I) {
+      Values[I] = I;
+      Taken[I].store(0, std::memory_order_relaxed);
+      Deque->push(&Values[I]);
+    }
+    Misorder.store(false, std::memory_order_relaxed);
+    Duplicate.store(false, std::memory_order_relaxed);
+    StolenTotal.store(0, std::memory_order_relaxed);
+  }
+
+  void run(unsigned, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    int Last = -1;
+    int Got = 0;
+    while (StolenTotal.load(std::memory_order_relaxed) < kItems) {
+      auto R = Deque->steal();
+      if (!R.Item) {
+        if (!R.Aborted && Deque->emptyEstimate())
+          break;
+        continue;
+      }
+      // Steals are FIFO: each thief's observed sequence is increasing.
+      if (*R.Item <= Last)
+        Misorder.store(true, std::memory_order_relaxed);
+      Last = *R.Item;
+      if (Taken[*R.Item].fetch_add(1, std::memory_order_relaxed) != 0)
+        Duplicate.store(true, std::memory_order_relaxed);
+      StolenTotal.fetch_add(1, std::memory_order_relaxed);
+      ++Got;
+    }
+    (void)Got;
+  }
+
+  std::string observe() override {
+    if (Duplicate.load())
+      return "duplicate-steal";
+    if (Misorder.load())
+      return "fifo-violated";
+    return std::to_string(StolenTotal.load());
+  }
+
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept(std::to_string(kItems), "every element stolen exactly once")
+        .forbid("duplicate-steal", "claiming CAS failed to arbitrate")
+        .forbid("fifo-violated", "steal order went backwards");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<ChaseLevDeque<int>> Deque;
+  int Values[kItems];
+  std::atomic<int> Taken[kItems];
+  std::atomic<bool> Misorder{false};
+  std::atomic<bool> Duplicate{false};
+  std::atomic<int> StolenTotal{0};
+};
+
+} // namespace
+
+TEST(ForkJoinDequeStress, OwnerVsThievesConservation) {
+  DequeOwnerVsThievesScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 200;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ForkJoinDequeStress, ThievesRaceWithoutDuplication) {
+  DequeThiefRaceScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}

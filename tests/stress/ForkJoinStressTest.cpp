@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 
 using namespace ren::stress;
@@ -72,7 +73,7 @@ public:
   unsigned actors() const override { return 2; }
   void prepare() override { Executed.store(0); }
   void run(unsigned, InterleavingNudge &Nudge) override {
-    std::vector<std::shared_ptr<ren::forkjoin::TaskBase>> Tasks;
+    std::vector<ren::forkjoin::TaskHandle> Tasks;
     for (int I = 0; I < 8; ++I) {
       Tasks.push_back(Pool.fork([this] {
         Executed.fetch_add(1, std::memory_order_relaxed);
@@ -182,6 +183,54 @@ private:
   long Sums[2] = {-1, -1};
 };
 
+/// Lost-wakeup regression scenario: a fresh small pool per repetition so
+/// the workers are parked (or parking) when the external submission
+/// arrives. The submit/park race is exactly the window the idle-stack
+/// protocol must close: the worker registers on the idle stack *before*
+/// its final empty re-check, and the submitter's signalWork fences before
+/// reading the stack. Under the old check-then-register ordering this
+/// scenario hangs (the repetition deadline trips and the runner reports a
+/// timeout outcome).
+class ParkedWakeupScenario : public StressScenario {
+public:
+  std::string name() const override { return "fj-parked-wakeup"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override {
+    // Fresh pool each repetition: workers start idle and park quickly,
+    // recreating the cold-submit window every time.
+    Pool = std::make_unique<ForkJoinPool>(2);
+    Ran.store(0, std::memory_order_relaxed);
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      // Give the workers a beat to fall through their spin phase and
+      // park, then submit externally.
+      Nudge.pause();
+      auto T = Pool->fork([this] {
+        Ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      Pool->join(T);
+    } else {
+      // Competing submitter keeps the idle stack churning.
+      Nudge.pause();
+      auto T = Pool->fork([this] {
+        Ran.fetch_add(1, std::memory_order_relaxed);
+      });
+      Pool->join(T);
+    }
+  }
+  std::string observe() override { return std::to_string(Ran.load()); }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("2", "both external submissions ran and woke the pool");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<ForkJoinPool> Pool;
+  std::atomic<int> Ran{0};
+};
+
 } // namespace
 
 TEST(ForkJoinStress, ConcurrentExternalSubmission) {
@@ -212,6 +261,14 @@ TEST(ForkJoinStress, ConcurrentParallelReduceIsDeterministic) {
   ParallelReduceScenario S;
   StressRunner::Options Opts;
   Opts.Repetitions = 80;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(ForkJoinStress, ExternalSubmitWakesParkedWorkers) {
+  ParkedWakeupScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 120;
   StressReport Report = StressRunner(Opts).run(S);
   EXPECT_TRUE(Report.passed()) << Report.summary();
 }

@@ -1,0 +1,130 @@
+//===- tests/trace/ForkJoinTraceTest.cpp ----------------------------------==//
+//
+// Asserts the lock-free scheduler preserves the fork/join trace
+// instrumentation: FjFork fires once per worker-side fork, FjExternal for
+// external submissions, FjSteal (with thief/victim indices) when a thief
+// claims from another worker's deque, and the TraceProfile aggregates
+// them into per-worker activity rows consistently with the raw kind
+// counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "forkjoin/ForkJoinPool.h"
+#include "trace/Trace.h"
+#include "trace/TraceSession.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ren::trace;
+using ren::forkjoin::ForkJoinPool;
+
+namespace {
+
+uint64_t kindCount(const TraceProfile &P, EventKind K) {
+  return P.KindCounts[static_cast<size_t>(K)];
+}
+
+} // namespace
+
+TEST(ForkJoinTraceTest, ForkAndExternalEventsAreCounted) {
+  constexpr int kChildren = 40;
+  TraceSession Session;
+  Session.start();
+  {
+    ForkJoinPool Pool(2);
+    // The invoke submission is external (main thread is not a worker);
+    // the kChildren forks below happen on a worker, so they land on its
+    // deque and emit FjFork.
+    Pool.invoke([&] {
+      std::atomic<int> Ran{0};
+      std::vector<ren::forkjoin::TaskRef<ren::forkjoin::Task<void>>> Tasks;
+      for (int I = 0; I < kChildren; ++I)
+        Tasks.push_back(Pool.fork([&] { Ran.fetch_add(1); }));
+      for (auto &T : Tasks)
+        Pool.join(T);
+      EXPECT_EQ(Ran.load(), kChildren);
+    });
+  }
+  Session.stop();
+  TraceProfile P = Session.profile();
+
+  // Exactly one FjFork per worker-side fork, at least one FjExternal for
+  // the root submission.
+  EXPECT_EQ(kindCount(P, EventKind::FjFork), uint64_t(kChildren));
+  EXPECT_GE(kindCount(P, EventKind::FjExternal), 1u);
+
+  // The profile attributes every fork to some worker row; the rows must
+  // agree with the raw kind counts.
+  uint64_t ForkSum = 0, StealSum = 0, OverflowSum = 0;
+  for (const WorkerActivity &W : P.Workers) {
+    ForkSum += W.Forks;
+    StealSum += W.Steals;
+    OverflowSum += W.Overflows;
+  }
+  EXPECT_EQ(ForkSum, kindCount(P, EventKind::FjFork));
+  EXPECT_EQ(StealSum, kindCount(P, EventKind::FjSteal));
+  EXPECT_EQ(OverflowSum, kindCount(P, EventKind::FjExternal));
+}
+
+TEST(ForkJoinTraceTest, StealsAreTracedWithThiefAndVictim) {
+  // Force steals deterministically: the root worker forks children onto
+  // its own deque and then spins (not helping), so the only way the
+  // children run is for the other workers to steal them.
+  constexpr int kChildren = 16;
+  TraceSession Session;
+  Session.start();
+  {
+    ForkJoinPool Pool(3);
+    Pool.invoke([&] {
+      std::atomic<int> Ran{0};
+      for (int I = 0; I < kChildren; ++I)
+        Pool.forkDetached([&] { Ran.fetch_add(1); });
+      while (Ran.load() < kChildren)
+        std::this_thread::yield();
+    });
+  }
+  Session.stop();
+  TraceProfile P = Session.profile();
+
+  // Every child had to be stolen off the busy root's deque.
+  EXPECT_EQ(kindCount(P, EventKind::FjSteal), uint64_t(kChildren));
+
+  // The raw steal events carry thief (A) and victim (B) worker indices,
+  // and a thief never "steals" from itself.
+  uint64_t StealEvents = 0;
+  for (const TraceEvent &E : Session.events()) {
+    if (E.Kind != EventKind::FjSteal)
+      continue;
+    ++StealEvents;
+    EXPECT_LT(E.A, 3u) << "thief index out of range";
+    EXPECT_LT(E.B, 3u) << "victim index out of range";
+    EXPECT_NE(E.A, E.B) << "self-steal traced";
+  }
+  EXPECT_EQ(StealEvents, uint64_t(kChildren));
+
+  uint64_t StealSum = 0;
+  for (const WorkerActivity &W : P.Workers)
+    StealSum += W.Steals;
+  EXPECT_EQ(StealSum, uint64_t(kChildren));
+}
+
+TEST(ForkJoinTraceTest, DisabledTracerRecordsNothing) {
+  // No session active: the scheduler's trace guards must keep the fast
+  // path silent (and cheap).
+  {
+    ForkJoinPool Pool(2);
+    Pool.invoke([&] {
+      for (int I = 0; I < 8; ++I)
+        Pool.forkDetached([] {});
+      return 0;
+    });
+  }
+  TraceSession Session;
+  Session.start();
+  Session.stop();
+  EXPECT_EQ(Session.events().size(), 0u);
+}

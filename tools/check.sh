@@ -11,10 +11,15 @@
 #                                  #     in the tier-1 build, then the same
 #                                  #     label (incl. stress_trace) under TSan
 #   tools/check.sh --stress --tsan # everything
+#   tools/check.sh --bench-smoke   # Release build, run the fork/join
+#                                  #     microbenchmarks briefly and emit
+#                                  #     BENCH_forkjoin.json (ops/s for
+#                                  #     ping, parallelFor, steal-heavy)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
 #   --tsan-dir DIR    TSan build tree              (default: build-tsan)
+#   --bench-dir DIR   Release bench build tree     (default: build-bench)
 #   --jobs N          parallel build/test jobs     (default: nproc)
 #
 #===------------------------------------------------------------------------===#
@@ -25,17 +30,20 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 TSAN_DIR=build-tsan
+BENCH_DIR=build-bench
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_STRESS=0
 RUN_TSAN=0
 RUN_TRACE=0
+RUN_BENCH=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --stress) RUN_STRESS=1 ;;
     --tsan) RUN_TSAN=1 ;;
     --trace) RUN_TRACE=1 ;;
-    --build-dir|--tsan-dir|--jobs)
+    --bench-smoke) RUN_BENCH=1 ;;
+    --build-dir|--tsan-dir|--bench-dir|--jobs)
       if [[ $# -lt 2 ]]; then
         echo "missing value for $1 (try --help)" >&2
         exit 2
@@ -43,6 +51,7 @@ while [[ $# -gt 0 ]]; do
       case "$1" in
         --build-dir) BUILD_DIR="$2" ;;
         --tsan-dir) TSAN_DIR="$2" ;;
+        --bench-dir) BENCH_DIR="$2" ;;
         --jobs) JOBS="$2" ;;
       esac
       shift
@@ -101,6 +110,55 @@ if [[ "$RUN_TSAN" == 1 ]]; then
 
   step "tsan: stress label under TSan"
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  step "bench-smoke: configure ($BENCH_DIR, Release)"
+  cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+
+  step "bench-smoke: build bench_micro_substrates"
+  cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_micro_substrates
+
+  step "bench-smoke: fork/join microbenchmarks"
+  RAW_JSON="$BENCH_DIR/bench_forkjoin_raw.json"
+  # ~2s cap per case: min_time 0.3s x 3 repetition-free cases plus
+  # warmup stays well under it; the outer timeout is the hard stop.
+  # (This Google Benchmark build wants min_time as a plain double.)
+  timeout 120 "$BENCH_DIR/bench/bench_micro_substrates" \
+    --benchmark_filter='BM_ForkJoin(Ping|ParallelFor|StealHeavyFib)' \
+    --benchmark_min_time=0.3 \
+    --benchmark_out="$RAW_JSON" --benchmark_out_format=json
+
+  step "bench-smoke: write BENCH_forkjoin.json"
+  python3 - "$RAW_JSON" bench/BASELINE_forkjoin.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+cases = {}
+for b in raw.get("benchmarks", []):
+    ops = b.get("items_per_second")
+    if ops is None:
+        continue
+    c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["speedup_vs_mutex_deque"] = round(ops / ref, 2)
+    cases[b["name"]] = c
+out = {"context": {"date": raw["context"].get("date"),
+                   "num_cpus": raw["context"].get("num_cpus")},
+       "baseline": "bench/BASELINE_forkjoin.json (mutex-deque scheduler)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_forkjoin.json", "w"), indent=2)
+print("wrote BENCH_forkjoin.json:")
+for name, c in cases.items():
+    extra = ""
+    if "speedup_vs_mutex_deque" in c:
+        extra = f"  ({c['speedup_vs_mutex_deque']}x vs mutex-deque)"
+    print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
+EOF
 fi
 
 step "all requested checks passed"
