@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 
 using namespace ren;
 
@@ -32,8 +33,64 @@ static void BM_MonitorUncontended(benchmark::State &State) {
     runtime::Synchronized Sync(M);
     benchmark::DoNotOptimize(&M);
   }
+  State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_MonitorUncontended);
+
+// Contended enter/exit throughput: every thread hammers one shared monitor
+// with a tiny critical section. The 2- and 8-thread variants are the
+// `check.sh --bench-smoke` monitor cases (BENCH_monitor.json) — they
+// exercise the spin-then-park inflation path rather than the thin CAS.
+static void BM_MonitorContendedEnterExit(benchmark::State &State) {
+  static runtime::Monitor M;
+  static long Shared = 0;
+  for (auto _ : State) {
+    runtime::Synchronized Sync(M);
+    ++Shared;
+    benchmark::DoNotOptimize(Shared);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MonitorContendedEnterExit)
+    ->Threads(2)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Wait/notify ping: each iteration hands a turn token to a partner thread
+// via notifyOne and blocks in wait until it is handed back — two guarded
+// block round trips per iteration, the latency floor of every
+// producer/consumer handshake built on the monitor.
+static void BM_MonitorWaitNotifyPing(benchmark::State &State) {
+  runtime::Monitor M;
+  int Turn = 0; // 0 = main's turn, 1 = partner's turn
+  bool Done = false;
+  std::thread Partner([&] {
+    runtime::Synchronized Sync(M);
+    for (;;) {
+      while (Turn != 1 && !Done)
+        M.wait();
+      if (Done)
+        return;
+      Turn = 0;
+      M.notifyOne();
+    }
+  });
+  for (auto _ : State) {
+    runtime::Synchronized Sync(M);
+    Turn = 1;
+    M.notifyOne();
+    while (Turn != 0)
+      M.wait();
+  }
+  {
+    runtime::Synchronized Sync(M);
+    Done = true;
+    M.notifyAll();
+  }
+  Partner.join();
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MonitorWaitNotifyPing)->UseRealTime();
 
 static void BM_AtomicCas(benchmark::State &State) {
   runtime::Atomic<long> A(0);

@@ -73,8 +73,10 @@ CounterCell &localCell() {
 
 } // namespace
 
-void ren::metrics::count(Metric M, uint64_t Delta) {
-  localCell().bump(M, Delta);
+CounterCell &ren::metrics::detail::registerThreadCell() {
+  CounterCell &Cell = localCell();
+  TlsCell = &Cell;
+  return Cell;
 }
 
 MetricsRegistry &MetricsRegistry::get() {

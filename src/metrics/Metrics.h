@@ -66,13 +66,38 @@ struct CounterCell {
   std::array<std::atomic<uint64_t>, kNumCounters> Counts = {};
 
   void bump(Metric M, uint64_t Delta) {
-    Counts[static_cast<unsigned>(M)].fetch_add(Delta,
-                                               std::memory_order_relaxed);
+    // Single-writer counter: only the owning thread writes, so a plain
+    // load+store pair (no lock-prefixed RMW) is atomic enough — snapshot
+    // readers see an untorn value, and no update can be lost. This keeps
+    // the instrumented fast paths (monitor enter, CAS wrappers) free of an
+    // extra hardware atomic per event.
+    std::atomic<uint64_t> &C = Counts[static_cast<unsigned>(M)];
+    C.store(C.load(std::memory_order_relaxed) + Delta,
+            std::memory_order_relaxed);
   }
 };
 
+namespace detail {
+
+/// The calling thread's cell, cached as a raw pointer so the hot count()
+/// path is a TLS read + branch with no guard (constant-initialized TLS).
+/// Cells are registry-owned and never deallocated, so the cached pointer
+/// can never dangle.
+inline thread_local CounterCell *TlsCell = nullptr;
+
+/// Registers a cell for the calling thread, caches it in TlsCell and
+/// returns it (out of line; runs once per thread).
+CounterCell &registerThreadCell();
+
+} // namespace detail
+
 /// Increments metric \p M by \p Delta on the calling thread's cell.
-void count(Metric M, uint64_t Delta = 1);
+inline void count(Metric M, uint64_t Delta = 1) {
+  CounterCell *Cell = detail::TlsCell;
+  if (!Cell)
+    Cell = &detail::registerThreadCell();
+  Cell->bump(M, Delta);
+}
 
 /// An aggregated view of all counters plus the derived time quantities.
 ///

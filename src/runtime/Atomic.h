@@ -30,8 +30,7 @@ namespace detail {
 /// success path; guarded by a single relaxed load when tracing is off.
 inline void traceCasFailure(const void *Cell) {
   trace::instant(trace::EventKind::CasFail, "cas.fail",
-                 reinterpret_cast<uint64_t>(
-                     reinterpret_cast<uintptr_t>(Cell)));
+                 trace::objectId(Cell));
 }
 
 } // namespace detail

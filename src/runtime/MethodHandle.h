@@ -113,8 +113,7 @@ public:
         if (TraceT0)
           trace::span(trace::EventKind::Bootstrap, "idynamic.bootstrap",
                       TraceT0, trace::nowNanos() - TraceT0,
-                      reinterpret_cast<uint64_t>(
-                          reinterpret_cast<uintptr_t>(this)));
+                      trace::objectId(this));
         ++BootstrapRuns;
         Linked.store(true, std::memory_order_release);
       }

@@ -1,155 +1,549 @@
 //===- runtime/Monitor.cpp ------------------------------------------------==//
+//
+// The thin-lock monitor. The full state machine and memory-ordering
+// argument live in DESIGN.md §10; the load-bearing rules are
+//
+//  (1) every transfer of ownership goes through a CAS on the lock word —
+//      an acquiring CAS is acquire, a releasing CAS is release, and since
+//      *every* write to the word is an RMW, the release sequence makes any
+//      later acquiring CAS synchronize with every earlier releasing one.
+//      Owner/Depth/wait-set accesses therefore always happen-before the
+//      next owner's accesses, without being atomic RMWs themselves.
+//  (2) a queued acquirer publishes its stack node with a release CAS on
+//      the word (covering the node's fields), and the exiting owner pops
+//      the node with an acquire read before dereferencing it. The popper
+//      copies the node's parker out, *then* sets Released (release), then
+//      unparks: once the waiter observes Released (acquire) its frame may
+//      legally die — the flag, not the unpark, is the lifetime handshake
+//      (the same protocol as the fork/join join nodes, DESIGN.md §9).
+//  (3) a push can only land while the locked bit is set (the push CAS's
+//      expected value carries the bit), so the lock holder cannot miss it:
+//      its releasing CAS either pops a queued node and wakes it, or
+//      proves the queue was empty at release time. An enter that loses
+//      the push race against a release re-reads the word and acquires
+//      instead of parking — no lost wakeups.
+//  (4) the biased states sit outside rule (1): the bias owner's enter/exit
+//      use no RMW at all, so the transfer out of a biased epoch is the
+//      asymmetric Dekker duel instead. The owner announces its token in
+//      InCs (relaxed store + compiler fence) and confirms the word; the
+//      revoker CASes the word to the revoking state, calls
+//      membarrier(PRIVATE_EXPEDITED) — forcing every CPU through a full
+//      barrier — and then waits until InCs no longer carries the owner's
+//      token. The membarrier makes it impossible for the owner to confirm
+//      a stale biased word after the revoker has observed it absent from
+//      InCs, and the owner's release-store of InCs == 0 on exit is the
+//      edge the revoker's acquire-load synchronizes with. Everything the
+//      C++ memory model cannot express here (the fence asymmetry) is
+//      confined to this one duel; DESIGN.md §10 carries the full argument.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/Monitor.h"
 
 #include "metrics/Metrics.h"
+#include "runtime/Park.h"
 #include "trace/Trace.h"
 
 #include <cassert>
 #include <chrono>
+#include <thread>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 using namespace ren;
 using namespace ren::runtime;
 using metrics::Metric;
 
+//===----------------------------------------------------------------------===//
+// Biased-locking support: membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)
+// issues a full memory barrier on every CPU currently running a thread of
+// this process. That is the revoker's half of the asymmetric Dekker duel
+// (rule 4); without it bias is never granted and the monitor is a pure
+// thin/fat word lock.
+//===----------------------------------------------------------------------===//
+
 namespace {
 
-inline uint64_t monitorId(const Monitor *M) {
-  return reinterpret_cast<uint64_t>(reinterpret_cast<uintptr_t>(M));
+#if defined(__linux__)
+// From <linux/membarrier.h>; spelled out so the build does not depend on
+// kernel headers being installed.
+constexpr int kMembarrierCmdQuery = 0;
+constexpr int kMembarrierCmdPrivateExpedited = 1 << 3;
+constexpr int kMembarrierCmdRegisterPrivateExpedited = 1 << 4;
+
+inline int membarrier(int Cmd) {
+  return static_cast<int>(syscall(__NR_membarrier, Cmd, 0, 0));
+}
+#endif
+
+/// Full barrier on every CPU running this process (only called once bias
+/// has been granted, which initBiasMode gates on support).
+inline void expeditedBarrier() {
+#if defined(__linux__)
+  membarrier(kMembarrierCmdPrivateExpedited);
+#endif
 }
 
 } // namespace
 
-void Monitor::enter() {
-  metrics::count(Metric::Synch);
+std::atomic<int> runtime::detail::BiasMode{0};
+
+int runtime::detail::initBiasMode() {
+  int Mode = -1;
+#if defined(__linux__)
+  int Supported = membarrier(kMembarrierCmdQuery);
+  if (Supported > 0 && (Supported & kMembarrierCmdPrivateExpedited) &&
+      membarrier(kMembarrierCmdRegisterPrivateExpedited) == 0)
+    Mode = 1;
+#endif
+  // Racy double-init is fine: registration is idempotent and every racer
+  // computes the same answer.
+  BiasMode.store(Mode, std::memory_order_relaxed);
+  return Mode;
+}
+
+/// Wait-node state (wait-set arbitration between notify and timeout).
+namespace {
+
+constexpr uint32_t kWaiting = 0;  ///< In the wait set, not yet notified.
+constexpr uint32_t kNotified = 1; ///< Moved to the entry queue by notify.
+constexpr uint32_t kTimedOut = 2; ///< Claimed by the waiter's own timeout.
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// One step of bounded exponential backoff between spin probes: pause
+/// bursts first, yields after (so single-CPU hosts make progress while a
+/// contender spins against the lock holder).
+inline void backoffStep(unsigned Round) {
+  if (Round < 4) {
+    for (unsigned I = 0; I < (8u << Round); ++I)
+      cpuRelax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+/// Adaptive spin bound before a contended enter inflates (queues and
+/// parks). Spinning only pays when the lock holder can run concurrently,
+/// so single-CPU hosts skip straight to the queue.
+unsigned spinRounds() {
+  static const unsigned Rounds =
+      std::thread::hardware_concurrency() > 1 ? 8 : 0;
+  return Rounds;
+}
+
+/// Lock-word encoding of a node pointer (bit 0 stays free for kLockedBit).
+inline uint64_t nodeBits(const void *N) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(N));
+}
+
+} // namespace
+
+struct Monitor::QueueNode {
+  /// The blocked thread's parker; set once at construction, read by the
+  /// popping owner after the publishing CAS (rule 2).
+  Parker *P = nullptr;
+  /// Entry-queue (Treiber stack) link. Written before the publishing push
+  /// CAS; stable until popped (only the lock holder pops, so the stack has
+  /// one consumer and no pop-side ABA).
+  QueueNode *Next = nullptr;
+  /// Wait-set FIFO link; accessed only while owning the monitor.
+  QueueNode *NextWait = nullptr;
+  /// kWaiting / kNotified / kTimedOut; the notify-vs-timeout CAS target.
+  std::atomic<uint32_t> State{kWaiting};
+  /// The pop handshake: set by the exiting owner after it has copied P
+  /// out; once true, this frame may die (rule 2).
+  std::atomic<bool> Released{false};
+};
+
+
+/// Takes a word in one of the biased states and returns a fresh word once
+/// no bias remains (the caller re-examines it under the thin/fat rules).
+/// At most one thread wins the revoker role per epoch; everyone else —
+/// including a bias owner whose claim confirm failed — waits out the
+/// kBiasedBit revoking state here.
+uint64_t Monitor::revokeBias(uint64_t W) {
+  for (unsigned Round = 0;; ++Round) {
+    if (!(W & kBiasedBit))
+      return W;
+    if (W != kBiasedBit) {
+      // Biased to some thread: try to become the revoker.
+      const uint64_t OwnerToken = W >> kTokenShift;
+      if (!Word.compare_exchange_weak(W, kBiasedBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed))
+        continue; // W refreshed; re-examine.
+      // Won the revoker role. Kill future grants first so the monitor
+      // cannot bounce back into a bias epoch after we neutralize it.
+      BiasDisabled.store(true, std::memory_order_relaxed);
+      trace::instant(trace::EventKind::MonitorInflate, "monitor.inflate",
+                     trace::objectId(this), 1);
+      // The Dekker duel (rule 4): after this barrier the owner cannot
+      // confirm a stale biased word, so InCs != OwnerToken proves the
+      // owner is not (and can no longer get) inside a critical section.
+      expeditedBarrier();
+      for (unsigned Wait = 0; InCs.load(std::memory_order_acquire) ==
+                              OwnerToken;
+           ++Wait)
+        backoffStep(Wait < 16 ? Wait : 16);
+      // Neutralize. On failure the owner converted itself to thin-held
+      // (kLockedBit) mid-revocation — either way the bias is gone.
+      uint64_t Expected = kBiasedBit;
+      Word.compare_exchange_strong(Expected, 0, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed);
+      return Word.load(std::memory_order_relaxed);
+    }
+    // Somebody else is revoking: wait for the transition out.
+    backoffStep(Round < 16 ? Round : 16);
+    W = Word.load(std::memory_order_relaxed);
+  }
+}
+
+/// Converts a biased-held monitor to thin-held so the word protocol
+/// (queue pushes, releaseOwnership) applies. Called by the owner before
+/// any wait-set operation; a no-op when the monitor was acquired through
+/// the word protocol.
+void Monitor::unbiasSelf(uint64_t Self) {
+  if (InCs.load(std::memory_order_relaxed) != Self)
+    return;
+  // Inside a biased critical section the word is either our biased word
+  // or kBiasedBit (a revoker waiting on us); a revoker cannot complete
+  // while InCs carries our token, so this CAS loop only ever races the
+  // biased -> revoking transition.
+  uint64_t W = Word.load(std::memory_order_relaxed);
+  do {
+    assert((W & kBiasedBit) && "biased critical section without bias word");
+  } while (!Word.compare_exchange_weak(W, kLockedBit,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed));
+  InCs.store(0, std::memory_order_release);
+}
+
+void Monitor::enterCold(uint64_t Self) {
   // Tracing guard: one relaxed load when disabled; the timestamp is taken
   // only when a session is recording.
   uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
-  std::unique_lock<std::mutex> Guard(Lock);
-  std::thread::id Self = std::this_thread::get_id();
-  if (Owner == Self) {
+  if (Owner.load(std::memory_order_relaxed) == Self) {
+    // Reentrant: only this thread can have stored Self, so the relaxed
+    // load is decisive and no CAS is needed at all.
     ++Depth;
+    metrics::count(Metric::Synch);
     if (TraceT0)
       trace::instant(trace::EventKind::MonitorAcquire, "monitor.acquire",
-                     monitorId(this), Depth);
+                     trace::objectId(this), Depth);
     return;
   }
-  bool Contended = Depth != 0;
-  acquireSlow(Guard, Contended);
-  if (TraceT0) {
-    if (Contended)
-      trace::span(trace::EventKind::MonitorContended, "monitor.contended",
-                  TraceT0, trace::nowNanos() - TraceT0, monitorId(this));
-    else
-      trace::instant(trace::EventKind::MonitorAcquire, "monitor.acquire",
-                     monitorId(this));
-  }
-}
-
-void Monitor::acquireSlow(std::unique_lock<std::mutex> &Guard,
-                          bool Contended) {
-  if (Contended) {
-    ++Waiting;
-    EntryCv.wait(Guard, [this] { return Depth == 0; });
-    --Waiting;
-  } else {
-    EntryCv.wait(Guard, [this] { return Depth == 0; });
-  }
-  Owner = std::this_thread::get_id();
-  Depth = 1;
-}
-
-unsigned Monitor::contendedAcquirers() const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return Waiting;
-}
-
-bool Monitor::tryEnter() {
-  std::unique_lock<std::mutex> Guard(Lock);
-  std::thread::id Self = std::this_thread::get_id();
-  if (Owner == Self) {
-    metrics::count(Metric::Synch);
-    ++Depth;
-    return true;
-  }
-  if (Depth != 0)
-    return false;
+  enterSlow(Self);
   metrics::count(Metric::Synch);
-  Owner = Self;
-  Depth = 1;
-  return true;
+  if (TraceT0)
+    trace::span(trace::EventKind::MonitorContended, "monitor.contended",
+                TraceT0, trace::nowNanos() - TraceT0, trace::objectId(this));
 }
 
-void Monitor::exit() {
-  std::unique_lock<std::mutex> Guard(Lock);
-  assert(Owner == std::this_thread::get_id() &&
-         "monitor exited by non-owner");
-  assert(Depth > 0 && "monitor exit without enter");
-  if (--Depth == 0) {
-    Owner = std::thread::id();
-    Guard.unlock();
-    EntryCv.notify_one();
+void Monitor::enterSlow(uint64_t Self) {
+  // The contended-acquirer count covers the whole slow path, *including*
+  // bias revocation: a revoker blocked on the owner's critical section
+  // must already read as contended, or a holder polling
+  // contendedAcquirers() before releasing would deadlock against it.
+  Queued.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 0 — a biased word means the lock's owner is not even using the
+  // word protocol yet: revoke the bias (waiting out the owner's critical
+  // section if it is in one), then compete under the thin/fat rules.
+  uint64_t W = Word.load(std::memory_order_relaxed);
+  if (W & kBiasedBit)
+    W = revokeBias(W);
+
+  // Phase 1 — bounded adaptive spin: worth it only while the lock is held
+  // thin (somebody queued means the holder will wake *them* first, so a
+  // spinner would cut the queue ahead of threads that already paid for a
+  // park — give up immediately and join them).
+  for (unsigned Round = 0, Bound = spinRounds(); Round < Bound; ++Round) {
+    if (W & kBiasedBit) {
+      // Re-granted under our feet (only possible before the first
+      // revocation sets BiasDisabled): revoke again.
+      W = revokeBias(W);
+      continue;
+    }
+    if (!(W & kLockedBit)) {
+      if (Word.compare_exchange_weak(W, W | kLockedBit,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        Owner.store(Self, std::memory_order_relaxed);
+        Depth = 1;
+        Queued.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+      continue; // CAS refreshed W; re-examine without burning backoff.
+    }
+    if (W & ~kLockedBit)
+      break; // Already inflated; park behind the queue.
+    backoffStep(Round);
+    W = Word.load(std::memory_order_relaxed);
+  }
+
+  // Phase 2 — inflate: register a stack node on the entry queue and park.
+  QueueNode N;
+  N.P = &currentParker();
+  acquireQueued(N, Self);
+  Queued.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Monitor::acquireQueued(QueueNode &N, uint64_t Self) {
+  static_assert(alignof(QueueNode) >= 4,
+                "QueueNode addresses must leave bits 0-1 free for "
+                "kLockedBit and kBiasedBit");
+  for (;;) {
+    uint64_t W = Word.load(std::memory_order_relaxed);
+    if (W & kBiasedBit) {
+      // The word can re-enter a bias epoch while we race (a grant from 0
+      // before the first revocation disables it); nodes cannot be pushed
+      // onto a biased word, so revoke and re-examine.
+      revokeBias(W);
+      continue;
+    }
+    if (!(W & kLockedBit)) {
+      // Free (queue may be non-empty — barging is allowed, as in HotSpot;
+      // fairness is traded for the release fast path).
+      if (Word.compare_exchange_weak(W, W | kLockedBit,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        Owner.store(Self, std::memory_order_relaxed);
+        Depth = 1;
+        return;
+      }
+      continue;
+    }
+    // Held: push our node. The expected value carries the locked bit, so
+    // the push can only land while the lock is held (rule 3) — if the
+    // holder releases first, the CAS fails and we retry the acquire.
+    N.Released.store(false, std::memory_order_relaxed);
+    N.Next = reinterpret_cast<QueueNode *>(W & ~kLockedBit);
+    if (!Word.compare_exchange_weak(W, nodeBits(&N) | kLockedBit,
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed))
+      continue;
+    if (!N.Next)
+      trace::instant(trace::EventKind::MonitorInflate, "monitor.inflate",
+                     trace::objectId(this));
+    // Parked wait for the release baton (rule 2). A stray permit from an
+    // earlier unpark makes park return early; the flag re-check absorbs it.
+    while (!N.Released.load(std::memory_order_acquire))
+      N.P->park();
   }
 }
 
-bool Monitor::heldByCurrentThread() const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return Depth > 0 && Owner == std::this_thread::get_id();
+void Monitor::releaseOwnership() {
+  Owner.store(0, std::memory_order_relaxed);
+  uint64_t W = Word.load(std::memory_order_acquire);
+  for (;;) {
+    assert((W & kLockedBit) && "releasing an unheld monitor");
+    auto *Head = reinterpret_cast<QueueNode *>(W & ~kLockedBit);
+    if (!Head) {
+      // Thin release: one CAS. A push racing in flips the CAS into the
+      // pop branch below instead — it cannot land after we succeed,
+      // because its expected value carries the locked bit (rule 3).
+      if (Word.compare_exchange_weak(W, 0, std::memory_order_release,
+                                     std::memory_order_acquire))
+        return;
+      continue;
+    }
+    // Fat release: unlock and pop the most recent queuer in one CAS, then
+    // hand it the baton. Only the lock holder pops, so Head->Next is
+    // stable here even while new pushes retarget the word.
+    if (Word.compare_exchange_weak(W, nodeBits(Head->Next),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+      Parker *P = Head->P;
+      // Copy everything out of the node *before* releasing it: once
+      // Released is set the waiter may return and pop its stack frame.
+      Head->Released.store(true, std::memory_order_release);
+      P->unpark();
+      return;
+    }
+  }
+}
+
+void Monitor::appendWaiter(QueueNode *N) {
+  N->NextWait = nullptr;
+  if (WaitTail)
+    WaitTail->NextWait = N;
+  else
+    WaitHead = N;
+  WaitTail = N;
+}
+
+void Monitor::unlinkWaiter(QueueNode *N) {
+  QueueNode *Prev = nullptr;
+  for (QueueNode *Cur = WaitHead; Cur; Prev = Cur, Cur = Cur->NextWait) {
+    if (Cur != N)
+      continue;
+    if (Prev)
+      Prev->NextWait = N->NextWait;
+    else
+      WaitHead = N->NextWait;
+    if (WaitTail == N)
+      WaitTail = Prev;
+    return;
+  }
+  // Not found: a notifier unlinked the node after losing the timeout CAS;
+  // nothing left to do.
+}
+
+void Monitor::requeueToEntry(QueueNode *N) {
+  N->Released.store(false, std::memory_order_relaxed);
+  uint64_t W = Word.load(std::memory_order_relaxed);
+  for (;;) {
+    assert((W & kLockedBit) && "requeue requires ownership");
+    N->Next = reinterpret_cast<QueueNode *>(W & ~kLockedBit);
+    if (Word.compare_exchange_weak(W, nodeBits(N) | kLockedBit,
+                                   std::memory_order_release,
+                                   std::memory_order_relaxed))
+      break;
+  }
+  if (!N->Next)
+    trace::instant(trace::EventKind::MonitorInflate, "monitor.inflate",
+                   trace::objectId(this));
 }
 
 void Monitor::wait() {
   metrics::count(Metric::Wait);
   uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
-  std::unique_lock<std::mutex> Guard(Lock);
-  assert(Owner == std::this_thread::get_id() && "wait requires ownership");
-  unsigned SavedDepth = Depth;
+  const uint64_t Self = currentThreadToken();
+  assert(Owner.load(std::memory_order_relaxed) == Self &&
+         "wait requires ownership");
+  unbiasSelf(Self); // wait-set machinery runs on the word protocol
+  QueueNode N;
+  N.P = &currentParker();
+  appendWaiter(&N);
+  const uint32_t SavedDepth = Depth;
   Depth = 0;
-  Owner = std::thread::id();
-  EntryCv.notify_one();
-  WaitCv.wait(Guard);
-  // Reacquire at the saved depth.
-  EntryCv.wait(Guard, [this] { return Depth == 0; });
-  Owner = std::this_thread::get_id();
+  releaseOwnership();
+  // Block until a notifier requeues the node onto the entry queue and a
+  // subsequent exit hands over the baton — notify alone never wakes a
+  // waiter (requeue-to-entry: no thundering herd, no futile wakeups).
+  while (!N.Released.load(std::memory_order_acquire))
+    N.P->park();
+  Queued.fetch_add(1, std::memory_order_relaxed);
+  acquireQueued(N, Self);
+  Queued.fetch_sub(1, std::memory_order_relaxed);
   Depth = SavedDepth;
   if (TraceT0)
     trace::span(trace::EventKind::MonitorWait, "monitor.wait", TraceT0,
-                trace::nowNanos() - TraceT0, monitorId(this));
+                trace::nowNanos() - TraceT0, trace::objectId(this));
 }
 
 bool Monitor::waitFor(uint64_t Millis) {
   metrics::count(Metric::Wait);
   uint64_t TraceT0 = trace::enabled() ? trace::nowNanos() : 0;
-  std::unique_lock<std::mutex> Guard(Lock);
-  assert(Owner == std::this_thread::get_id() && "wait requires ownership");
-  unsigned SavedDepth = Depth;
+  const uint64_t Self = currentThreadToken();
+  assert(Owner.load(std::memory_order_relaxed) == Self &&
+         "wait requires ownership");
+  unbiasSelf(Self); // wait-set machinery runs on the word protocol
+  QueueNode N;
+  N.P = &currentParker();
+  appendWaiter(&N);
+  const uint32_t SavedDepth = Depth;
   Depth = 0;
-  Owner = std::thread::id();
-  EntryCv.notify_one();
-  bool Notified = WaitCv.wait_for(Guard, std::chrono::milliseconds(Millis)) ==
-                  std::cv_status::no_timeout;
-  EntryCv.wait(Guard, [this] { return Depth == 0; });
-  Owner = std::this_thread::get_id();
+  releaseOwnership();
+
+  // Timed phase: the deadline covers the *wait*; reacquisition afterwards
+  // is unbounded, as in Object.wait(timeout). The notify-vs-timeout race
+  // is arbitrated by one CAS on the node state.
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(Millis);
+  bool Notified = true;
+  for (;;) {
+    if (N.State.load(std::memory_order_acquire) != kWaiting)
+      break; // Notified: the node is on (or headed to) the entry queue.
+    const auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline) {
+      uint32_t Expected = kWaiting;
+      if (N.State.compare_exchange_strong(Expected, kTimedOut,
+                                          std::memory_order_acq_rel))
+        Notified = false;
+      // On CAS failure a notifier claimed the node first: count it as a
+      // notification delivered at the deadline.
+      break;
+    }
+    const auto RemainMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count();
+    N.P->parkFor(static_cast<uint64_t>(RemainMs) + 1);
+  }
+
+  Queued.fetch_add(1, std::memory_order_relaxed);
+  if (Notified) {
+    // Requeued by the notifier: wait for the exit baton like any queued
+    // acquirer, then reacquire.
+    while (!N.Released.load(std::memory_order_acquire))
+      N.P->park();
+    acquireQueued(N, Self);
+  } else {
+    // Timed out: reacquire through the normal entry protocol (the node's
+    // entry fields are free — no notifier will touch a kTimedOut node),
+    // then unlink ourselves from the wait set under ownership.
+    acquireQueued(N, Self);
+    unlinkWaiter(&N);
+  }
+  Queued.fetch_sub(1, std::memory_order_relaxed);
   Depth = SavedDepth;
   if (TraceT0)
     trace::span(trace::EventKind::MonitorWait, "monitor.wait", TraceT0,
-                trace::nowNanos() - TraceT0, monitorId(this), Notified);
+                trace::nowNanos() - TraceT0, trace::objectId(this),
+                Notified);
   return Notified;
 }
 
 void Monitor::notifyOne() {
   metrics::count(Metric::Notify);
-  std::lock_guard<std::mutex> Guard(Lock);
-  assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  assert(Owner.load(std::memory_order_relaxed) == currentThreadToken() &&
+         "notify requires ownership");
+  unbiasSelf(currentThreadToken()); // requeue pushes need the locked bit
   trace::instant(trace::EventKind::MonitorNotify, "monitor.notify",
-                 monitorId(this), 0);
-  WaitCv.notify_one();
+                 trace::objectId(this), 0);
+  while (QueueNode *N = WaitHead) {
+    WaitHead = N->NextWait;
+    if (!WaitHead)
+      WaitTail = nullptr;
+    uint32_t Expected = kWaiting;
+    if (N->State.compare_exchange_strong(Expected, kNotified,
+                                         std::memory_order_acq_rel)) {
+      requeueToEntry(N);
+      return;
+    }
+    // The waiter timed out concurrently; its notification must not be
+    // swallowed — fall through and wake the next waiter instead. (The
+    // timed-out node stays alive until its owner reacquires the monitor,
+    // which needs our release, so touching it here was safe.)
+  }
 }
 
 void Monitor::notifyAll() {
   metrics::count(Metric::Notify);
-  std::lock_guard<std::mutex> Guard(Lock);
-  assert(Owner == std::this_thread::get_id() && "notify requires ownership");
+  assert(Owner.load(std::memory_order_relaxed) == currentThreadToken() &&
+         "notify requires ownership");
+  unbiasSelf(currentThreadToken()); // requeue pushes need the locked bit
   trace::instant(trace::EventKind::MonitorNotify, "monitor.notify",
-                 monitorId(this), 1);
-  WaitCv.notify_all();
+                 trace::objectId(this), 1);
+  while (QueueNode *N = WaitHead) {
+    WaitHead = N->NextWait;
+    if (!WaitHead)
+      WaitTail = nullptr;
+    uint32_t Expected = kWaiting;
+    if (N->State.compare_exchange_strong(Expected, kNotified,
+                                         std::memory_order_acq_rel))
+      requeueToEntry(N);
+  }
 }

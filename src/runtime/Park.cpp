@@ -5,7 +5,10 @@
 #include "metrics/Metrics.h"
 #include "trace/Trace.h"
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
+#include <vector>
 
 using namespace ren;
 using namespace ren::runtime;
@@ -13,9 +16,49 @@ using metrics::Metric;
 
 namespace {
 
-inline uint64_t parkerId(const Parker *P) {
-  return reinterpret_cast<uint64_t>(reinterpret_cast<uintptr_t>(P));
+inline uint64_t parkerId(const Parker *P) { return trace::objectId(P); }
+
+/// Process-lifetime parker pool. Parkers are handed out one per live thread
+/// and recycled on thread exit, but never destroyed: an unparker may still
+/// be inside notify_one on a parker after its owner finished the wakeup
+/// handshake (or exited), so destruction would be a use-after-free. The
+/// pool itself is leaked for the same reason — thread-exit releases can run
+/// after static destructors. The mutex here is off every hot path; it is
+/// taken once per thread lifetime on each side.
+class ParkerPool {
+public:
+  Parker *acquire() {
+    {
+      std::lock_guard<std::mutex> Guard(Lock);
+      if (!Free.empty()) {
+        Parker *P = Free.back();
+        Free.pop_back();
+        return P;
+      }
+    }
+    return new Parker;
+  }
+
+  void release(Parker *P) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Free.push_back(P);
+  }
+
+private:
+  std::mutex Lock;
+  std::vector<Parker *> Free;
+};
+
+ParkerPool &pool() {
+  static ParkerPool *Pool = new ParkerPool; // intentionally leaked
+  return *Pool;
 }
+
+/// Thread-lifetime lease on a pooled parker.
+struct ParkerLease {
+  Parker *P = pool().acquire();
+  ~ParkerLease() { pool().release(P); }
+};
 
 } // namespace
 
@@ -55,6 +98,13 @@ void Parker::unpark() {
 }
 
 Parker &ren::runtime::currentParker() {
-  thread_local Parker P;
-  return P;
+  thread_local ParkerLease Lease;
+  return *Lease.P;
+}
+
+uint64_t ren::runtime::detail::assignThreadToken() {
+  static std::atomic<uint64_t> NextToken{1};
+  uint64_t Token = NextToken.fetch_add(1, std::memory_order_relaxed);
+  ThreadTokenCache = Token;
+  return Token;
 }

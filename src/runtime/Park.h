@@ -38,9 +38,10 @@ public:
   bool parkFor(uint64_t Millis);
 
   /// Makes a single permit available and wakes the parked thread (if any).
-  /// Callable from any thread, but — as with LockSupport.unpark(thread) —
-  /// the parker's owning thread must not have terminated (thread-local
-  /// parkers die with their thread).
+  /// Callable from any thread, at any time: parkers are pool-allocated and
+  /// never destroyed (see \c currentParker), so an unpark racing the owning
+  /// thread's exit signals a still-live object. The permit may then land on
+  /// the parker's next owner, which observes it as a spurious return.
   void unpark();
 
 private:
@@ -49,8 +50,38 @@ private:
   bool Permit = false;
 };
 
-/// Returns the calling thread's parker.
+/// Returns the calling thread's parker, leased from a process-lifetime pool
+/// for the duration of the thread. Pooling (rather than a plain
+/// thread_local) is load-bearing: wakeup protocols publish a Parker* to
+/// other threads, and the final unpark may still be signalling it after the
+/// owning thread has moved on — or exited. A parker is therefore never
+/// deallocated; at worst a recycled parker carries a stale permit, which
+/// the next owner's park() reports as an allowed spurious return.
 Parker &currentParker();
+
+namespace detail {
+
+/// Cached thread token; 0 means unassigned. Constant-initialized TLS so
+/// the hot currentThreadToken() path is a plain TLS read with no guard.
+inline thread_local uint64_t ThreadTokenCache = 0;
+
+/// Assigns and caches the calling thread's token (out of line; runs once
+/// per thread).
+uint64_t assignThreadToken();
+
+} // namespace detail
+
+/// A small nonzero token identifying the calling thread, assigned from a
+/// monotonic counter on first use and never reused (unlike pthread ids or
+/// std::thread::id values, which recycle). The monitor's lock-free owner
+/// checks compare these tokens on every enter/exit, so this is a TLS read
+/// plus a predictable branch.
+inline uint64_t currentThreadToken() {
+  uint64_t Token = detail::ThreadTokenCache;
+  if (Token == 0)
+    Token = detail::assignThreadToken();
+  return Token;
+}
 
 } // namespace runtime
 } // namespace ren

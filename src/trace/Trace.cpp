@@ -24,6 +24,8 @@ const char *ren::trace::eventKindName(EventKind K) {
     return "monitor.wait";
   case EventKind::MonitorNotify:
     return "monitor.notify";
+  case EventKind::MonitorInflate:
+    return "monitor.inflate";
   case EventKind::Park:
     return "park";
   case EventKind::Unpark:

@@ -67,6 +67,8 @@ enum class EventKind : uint8_t {
   MonitorContended, ///< Contended entry; Dur = blocked ns. A = address.
   MonitorWait,      ///< Object.wait analogue; Dur = waited ns. A = address.
   MonitorNotify,    ///< notifyOne/notifyAll. A = address, B = all ? 1 : 0.
+  MonitorInflate,   ///< Monitor entry queue went from empty to populated
+                    ///< (thin -> fat transition). A = address.
   Park,             ///< Parker::park(For); Dur = parked ns. A = parker.
   Unpark,           ///< Parker::unpark. A = parker address.
   CasFail,          ///< A failed CAS (one retry-loop iteration). A = cell.
@@ -82,10 +84,17 @@ enum class EventKind : uint8_t {
 };
 
 /// Number of EventKind values (for histogram arrays).
-inline constexpr unsigned kNumEventKinds = 16;
+inline constexpr unsigned kNumEventKinds = 17;
 
 /// Short lower-case kind name ("monitor.acquire", "fj.steal", ...).
 const char *eventKindName(EventKind K);
+
+/// Converts an object's address into the opaque 64-bit id trace events
+/// carry in their A/B arguments: one well-defined uintptr_t -> uint64_t
+/// conversion shared by every instrumentation site.
+inline uint64_t objectId(const void *O) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(O));
+}
 
 /// Chrome trace_event phase of a record.
 enum class Phase : char {

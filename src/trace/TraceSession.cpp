@@ -82,6 +82,9 @@ TraceProfile ren::trace::buildProfile(const std::vector<TraceEvent> &Events,
       P.MonitorBlocked.add(E.Dur);
       break;
     }
+    case EventKind::MonitorInflate:
+      ++P.MonitorInflations;
+      break;
     case EventKind::Park:
       P.ParkLatency.add(E.Dur);
       break;
@@ -153,13 +156,15 @@ std::string TraceProfile::summary() const {
   Emit();
 
   std::snprintf(Line, sizeof(Line),
-                "  monitors: %llu uncontended, %llu contended acquires\n",
+                "  monitors: %llu uncontended, %llu contended acquires, "
+                "%llu inflations\n",
                 static_cast<unsigned long long>(
                     KindCounts[static_cast<unsigned>(
                         EventKind::MonitorAcquire)]),
                 static_cast<unsigned long long>(
                     KindCounts[static_cast<unsigned>(
-                        EventKind::MonitorContended)]));
+                        EventKind::MonitorContended)]),
+                static_cast<unsigned long long>(MonitorInflations));
   Emit();
 
   size_t Top = std::min<size_t>(ContendedMonitors.size(), 5);

@@ -72,6 +72,7 @@ struct TraceProfile {
   LatencyHistogram ParkLatency;
   LatencyHistogram MonitorBlocked;
   std::vector<WorkerActivity> Workers; ///< Sorted by Tid.
+  uint64_t MonitorInflations = 0; ///< Thin -> fat monitor transitions.
   uint64_t CasFailures = 0;
   uint64_t Bootstraps = 0;
   uint64_t TaskRuns = 0;

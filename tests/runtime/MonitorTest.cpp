@@ -67,6 +67,76 @@ TEST(MonitorTest, TryEnterSucceedsReentrantly) {
   EXPECT_FALSE(M.heldByCurrentThread());
 }
 
+// The first thread to touch a monitor biases it to itself; the bias
+// outlives its critical sections, so a foreign tryEnter reads the monitor
+// as held (acquiring it would need a blocking revocation, which tryEnter
+// must not do). A blocking enter revokes the bias and hands exclusion
+// over; afterwards the word protocol serves everyone, including tryEnter.
+TEST(MonitorTest, BiasRevocationHandsOverExclusion) {
+  if (!ren::runtime::detail::biasEnabled())
+    GTEST_SKIP() << "no membarrier(PRIVATE_EXPEDITED); bias never granted";
+  Monitor M;
+  M.enter(); // grants this thread the bias
+  M.exit();  // bias sticks after exit
+  bool ForeignTry = true;
+  bool ForeignEnter = false;
+  std::thread Other([&] {
+    ForeignTry = M.tryEnter(); // biased elsewhere: reads as held
+    M.enter();                 // revokes the bias, then acquires
+    ForeignEnter = M.heldByCurrentThread();
+    M.exit();
+  });
+  Other.join();
+  EXPECT_FALSE(ForeignTry);
+  EXPECT_TRUE(ForeignEnter);
+  // Post-revocation the monitor runs the plain word protocol: free means
+  // tryEnter succeeds, from any thread.
+  EXPECT_TRUE(M.tryEnter());
+  EXPECT_TRUE(M.heldByCurrentThread());
+  M.exit();
+  EXPECT_FALSE(M.heldByCurrentThread());
+}
+
+// Revoking the bias of a thread that is *inside* a critical section must
+// wait for that section to finish — the revoked owner's updates must be
+// visible to the revoker, and the critical sections must never overlap.
+TEST(MonitorTest, BiasRevocationWaitsForCriticalSection) {
+  if (!ren::runtime::detail::biasEnabled())
+    GTEST_SKIP() << "no membarrier(PRIVATE_EXPEDITED); bias never granted";
+  Monitor M;
+  int Shared = 0;
+  std::atomic<bool> InSection{false};
+  std::thread Owner([&] {
+    M.enter(); // biased: zero-RMW critical section
+    InSection.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Shared = 42;
+    M.exit();
+  });
+  while (!InSection.load())
+    std::this_thread::yield();
+  M.enter(); // must block until Owner's biased section completes
+  EXPECT_EQ(Shared, 42);
+  M.exit();
+  Owner.join();
+}
+
+// Biased critical sections of distinct monitors nest: the in-section
+// claim is per-monitor state, not per-thread, so holding one biased
+// monitor must not disturb entering (or exiting) another.
+TEST(MonitorTest, BiasedMonitorsNestIndependently) {
+  Monitor M1, M2;
+  M1.enter();
+  M2.enter();
+  EXPECT_TRUE(M1.heldByCurrentThread());
+  EXPECT_TRUE(M2.heldByCurrentThread());
+  M1.exit(); // out of order on purpose
+  EXPECT_FALSE(M1.heldByCurrentThread());
+  EXPECT_TRUE(M2.heldByCurrentThread());
+  M2.exit();
+  EXPECT_FALSE(M2.heldByCurrentThread());
+}
+
 TEST(MonitorTest, CountsSynchMetric) {
   Monitor M;
   MetricSnapshot Before = snap();
@@ -75,6 +145,59 @@ TEST(MonitorTest, CountsSynchMetric) {
   }
   MetricSnapshot D = MetricSnapshot::delta(Before, snap());
   EXPECT_EQ(D.get(Metric::Synch), 10u);
+}
+
+// The metric rule: Metric::Synch counts *successful acquisitions* only —
+// one per enter (initial or reentrant) and per succeeding tryEnter; a
+// failed tryEnter contributes nothing. Pins the rule the thin-lock
+// rewrite standardized across enter/tryEnter.
+TEST(MonitorTest, SynchCountsSuccessfulAcquisitionsOnly) {
+  Monitor M;
+  MetricSnapshot Before = snap();
+  M.enter();                  // +1
+  EXPECT_TRUE(M.tryEnter());  // +1 (reentrant success)
+  M.exit();
+  std::thread Other([&] {
+    EXPECT_FALSE(M.tryEnter()); // +0 (failed acquisition)
+  });
+  Other.join();
+  M.exit();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Synch), 2u);
+}
+
+// A contended enter still counts exactly one Synch per call site, no
+// matter how many spin/park rounds the slow path needed.
+TEST(MonitorTest, ContendedEnterCountsOneSynchPerCall) {
+  Monitor M;
+  MetricSnapshot Before = snap();
+  M.enter(); // +1
+  std::thread Blocked([&] {
+    M.enter(); // +1, through the inflated path
+    M.exit();
+  });
+  while (M.contendedAcquirers() < 1)
+    std::this_thread::yield();
+  M.exit();
+  Blocked.join();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Synch), 2u);
+}
+
+// wait/waitFor count one Metric::Wait per call and notifyOne/notifyAll
+// one Metric::Notify per call — including a timed wait that expires.
+TEST(MonitorTest, WaitAndNotifyCountExactlyPerCall) {
+  Monitor M;
+  MetricSnapshot Before = snap();
+  {
+    Synchronized Sync(M);
+    EXPECT_FALSE(M.waitFor(1)); // +1 Wait, timeout path
+    M.notifyOne();              // +1 Notify (empty wait set)
+    M.notifyAll();              // +1 Notify
+  }
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Wait), 1u);
+  EXPECT_EQ(D.get(Metric::Notify), 2u);
 }
 
 TEST(MonitorTest, WaitNotifyHandshake) {

@@ -321,7 +321,7 @@ TEST(TraceExportTest, TwoThreadMonitorContentionIsDeterministic) {
   if (!kTraceCompiled)
     GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
   ren::runtime::Monitor M;
-  const uint64_t Id = reinterpret_cast<uint64_t>(&M);
+  const uint64_t Id = objectId(&M);
 
   TraceSession Session;
   Session.start();
@@ -330,10 +330,10 @@ TEST(TraceExportTest, TwoThreadMonitorContentionIsDeterministic) {
     M.enter(); // provably contended: MonitorContended span
     M.exit();
   });
-  // contendedAcquirers() reads the blocked-count under the monitor's own
-  // mutex, which the victim holds until it is inside the entry cv wait —
-  // once this loop exits the victim is *guaranteed* blocked, making the
-  // contended path deterministic rather than probabilistic.
+  // contendedAcquirers() counts threads committed to the queued slow path
+  // (incremented before the spin/park protocol begins) — once this loop
+  // exits the victim is *guaranteed* on the contended path, making the
+  // MonitorContended span deterministic rather than probabilistic.
   while (M.contendedAcquirers() < 1)
     std::this_thread::yield();
   M.exit();

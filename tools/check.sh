@@ -11,10 +11,13 @@
 #                                  #     in the tier-1 build, then the same
 #                                  #     label (incl. stress_trace) under TSan
 #   tools/check.sh --stress --tsan # everything
-#   tools/check.sh --bench-smoke   # Release build, run the fork/join
-#                                  #     microbenchmarks briefly and emit
-#                                  #     BENCH_forkjoin.json (ops/s for
-#                                  #     ping, parallelFor, steal-heavy)
+#   tools/check.sh --bench-smoke   # Release build, run the fork/join and
+#                                  #     monitor microbenchmarks briefly and
+#                                  #     emit BENCH_forkjoin.json (ops/s for
+#                                  #     ping, parallelFor, steal-heavy) plus
+#                                  #     BENCH_monitor.json (uncontended
+#                                  #     enter/exit, 2/8-thread contended
+#                                  #     throughput, wait/notify ping)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
@@ -157,6 +160,44 @@ for name, c in cases.items():
     extra = ""
     if "speedup_vs_mutex_deque" in c:
         extra = f"  ({c['speedup_vs_mutex_deque']}x vs mutex-deque)"
+    print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
+EOF
+
+  step "bench-smoke: monitor microbenchmarks"
+  RAW_MON="$BENCH_DIR/bench_monitor_raw.json"
+  timeout 120 "$BENCH_DIR/bench/bench_micro_substrates" \
+    --benchmark_filter='BM_MonitorUncontended$|BM_MonitorContendedEnterExit|BM_MonitorWaitNotifyPing' \
+    --benchmark_min_time=0.3 \
+    --benchmark_out="$RAW_MON" --benchmark_out_format=json
+
+  step "bench-smoke: write BENCH_monitor.json"
+  python3 - "$RAW_MON" bench/BASELINE_monitor.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+cases = {}
+for b in raw.get("benchmarks", []):
+    ops = b.get("items_per_second")
+    if ops is None:
+        continue
+    c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["speedup_vs_mutex_monitor"] = round(ops / ref, 2)
+    cases[b["name"]] = c
+out = {"context": {"date": raw["context"].get("date"),
+                   "num_cpus": raw["context"].get("num_cpus")},
+       "baseline": "bench/BASELINE_monitor.json (std::mutex/condvar monitor)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_monitor.json", "w"), indent=2)
+print("wrote BENCH_monitor.json:")
+for name, c in cases.items():
+    extra = ""
+    if "speedup_vs_mutex_monitor" in c:
+        extra = f"  ({c['speedup_vs_mutex_monitor']}x vs mutex monitor)"
     print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
 EOF
 fi
