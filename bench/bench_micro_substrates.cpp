@@ -18,11 +18,14 @@
 #include "streams/Stream.h"
 #include "trace/Trace.h"
 #include "trace/TraceSession.h"
+#include "workloads/DataGen.h"
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
+#include <string>
 #include <thread>
 
 using namespace ren;
@@ -165,11 +168,18 @@ static void BM_TraceDisabledGuard(benchmark::State &State) {
 }
 BENCHMARK(BM_TraceDisabledGuard);
 
+// Steady-state per-element handle dispatch: the monomorphic fast path a
+// pipeline interpreter uses once the handle's bootstrap-then-simplify
+// transition has run (invoke() additionally pays the transition check on
+// every call — that polymorphic cost is exactly what simplification
+// removes).
 static void BM_MethodHandleInvoke(benchmark::State &State) {
   auto H = runtime::bindLambda<long(long)>([](long X) { return X * 31; });
+  H.simplify();
   long V = 1;
   for (auto _ : State)
-    benchmark::DoNotOptimize(V = H.invoke(V));
+    benchmark::DoNotOptimize(V = H.directInvoke(V));
+  State.SetItemsProcessed(State.iterations());
 }
 BENCHMARK(BM_MethodHandleInvoke);
 
@@ -290,6 +300,79 @@ static void BM_FutureMapChain(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_FutureMapChain);
+
+// The `check.sh --bench-smoke` streams/dispatch cases (BENCH_streams.json):
+// a serial map/filter/reduce pipeline, a scrabble-style parallel pipeline
+// (filter + map + groupBy over a word dictionary on a 4-worker pool), and
+// the raw method-handle dispatch floor every pipeline element pays.
+
+static void BM_StreamSerialPipeline(benchmark::State &State) {
+  std::vector<int> Input(static_cast<size_t>(State.range(0)));
+  std::iota(Input.begin(), Input.end(), 0);
+  for (auto _ : State) {
+    auto Sum = streams::Stream<int>::of(Input)
+                   .map([](const int &X) { return X * 3 + 1; })
+                   .filter([](const int &X) { return X % 2 == 0; })
+                   .map([](const int &X) { return X - 1; })
+                   .template reduce<long>(
+                       0, [](long A, const int &X) { return A + X; },
+                       [](long A, long B) { return A + B; });
+    benchmark::DoNotOptimize(Sum);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Input.size()));
+}
+BENCHMARK(BM_StreamSerialPipeline)->Arg(1 << 14);
+
+namespace {
+
+int benchLetterScore(char C) {
+  static const int Scores[26] = {1, 3, 3, 2,  1, 4, 2, 4, 1, 8, 5, 1, 3,
+                                 1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10};
+  return Scores[C - 'a'];
+}
+
+std::array<int, 26> benchHistogram(const std::string &Word) {
+  std::array<int, 26> H = {};
+  for (char C : Word)
+    ++H[C - 'a'];
+  return H;
+}
+
+} // namespace
+
+static void BM_StreamParallelScrabble(benchmark::State &State) {
+  forkjoin::ForkJoinPool Pool(4);
+  std::vector<std::string> Dictionary = workloads::makeDictionary(8000, 0x5C7A);
+  std::array<int, 26> Available = {};
+  const std::string Rack = "etaoinshrdlucmfwypvbgkjqxzetaoinshrdluetaoinshr";
+  for (char C : Rack)
+    ++Available[C - 'a'];
+  for (auto _ : State) {
+    auto Scored =
+        streams::Stream<std::string>::of(Dictionary)
+            .parallel(Pool)
+            .filter([&Available](const std::string &W) {
+              std::array<int, 26> H = benchHistogram(W);
+              for (int I = 0; I < 26; ++I)
+                if (H[I] > Available[I])
+                  return false;
+              return true;
+            })
+            .map([](const std::string &W) {
+              int S = 0;
+              for (char C : W)
+                S += benchLetterScore(C);
+              return std::make_pair(S, W.size());
+            });
+    auto Groups = Scored.groupBy(
+        [](const std::pair<int, size_t> &P) { return P.first; });
+    benchmark::DoNotOptimize(Groups.size());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Dictionary.size()));
+}
+BENCHMARK(BM_StreamParallelScrabble)->UseRealTime();
 
 static void BM_StreamPipeline(benchmark::State &State) {
   std::vector<int> Input(static_cast<size_t>(State.range(0)));

@@ -97,7 +97,9 @@ namespace detail {
 /// Shared state between a Promise and its Futures.
 template <typename T> class FutureState {
 public:
-  using Callback = std::function<void(const Try<T> &)>;
+  /// SmallFn rather than std::function: completion chains hop through one
+  /// indirect call per continuation, and small callbacks stay heap-free.
+  using Callback = runtime::SmallFn<void(const Try<T> &)>;
 
   /// Attempts the pending->completed transition. \returns false if the
   /// state was already completed.
@@ -207,7 +209,7 @@ public:
 
   /// Registers a raw completion callback on \p Exec.
   void onComplete(Executor &Exec,
-                  std::function<void(const Try<T> &)> Cb) const {
+                  runtime::SmallFn<void(const Try<T> &)> Cb) const {
     assert(State && "onComplete on invalid future");
     State->onComplete([&Exec, Cb = std::move(Cb)](const Try<T> &R) {
       // Copy the result: an asynchronous executor may outlive the source

@@ -20,6 +20,28 @@
 ///  - \c MethodHandle<Sig> — a polymorphic callable. \c invoke counts
 ///    Metric::Method (an invokevirtual-equivalent dispatch).
 ///
+/// §5.4 also shows that a *method-handle-simplification* (MHS) JIT pass —
+/// collapsing the polymorphic invoke chain into a direct call — is one of
+/// the highest-impact optimizations on the suite. The handle models the
+/// bootstrap-then-simplify lifecycle:
+///
+///  - storage is small-buffer-optimized: captureless and small trivially
+///    copyable lambdas live inline in the handle (no heap allocation, no
+///    shared_ptr double indirection); larger targets fall back to a shared
+///    heap cell. Either way dispatch is ONE function-pointer call.
+///  - \c invoke is the polymorphic path: it checks for the first
+///    invocation, transitions the handle to the simplified state (emitting
+///    a \c MhSimplify trace event), then dispatches.
+///  - \c directInvoke is the monomorphic fast path a simplified call site
+///    compiles to: dispatch + Metric::Method, no transition check. Fused
+///    pipeline interpreters (streams/rx) call \c simplify() once when a
+///    pipeline is linked and \c directInvoke per element.
+///  - \c directCall is dispatch alone, for interpreters that batch their
+///    Metric::Method accounting per index range (the counts are identical,
+///    the per-element counter update is hoisted — exactly the distinction
+///    between what MHS removes, dispatch overhead, and what it must
+///    preserve, the dynamic invocation counts DiSL would observe).
+///
 /// The streams, rx and futures frameworks route user lambdas through these
 /// types, which is what makes Renaissance workloads idynamic-heavy (Fig 4)
 /// and creates the method-handle-simplification opportunity.
@@ -35,20 +57,120 @@
 
 #include <atomic>
 #include <cassert>
-#include <type_traits>
-#include <functional>
+#include <cstddef>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <new>
+#include <type_traits>
 #include <utility>
 
 namespace ren {
 namespace runtime {
+
+/// A small-buffer-optimized type-erased callable: the uncounted dispatch
+/// substrate under MethodHandle, and a cheaper std::function replacement
+/// for framework plumbing (rx observers, future callbacks).
+///
+/// Calling convention: one load of the trampoline pointer plus one indirect
+/// call. Trivially copyable targets up to three words live inline; anything
+/// else is held in a shared heap cell (copies share the target, which is
+/// the ownership model every callback site here already used via
+/// shared_ptr-captured state).
+template <typename SigT> class SmallFn;
+
+template <typename RetT, typename... ArgTs> class SmallFn<RetT(ArgTs...)> {
+public:
+  SmallFn() = default;
+
+  template <typename FnT,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<FnT>, SmallFn> &&
+                std::is_invocable_r_v<RetT, std::decay_t<FnT> &, ArgTs...>>>
+  SmallFn(FnT &&Target) {
+    using F = std::decay_t<FnT>;
+    Call = [](void *Ctx, ArgTs &&...Args) -> RetT {
+      return (*static_cast<F *>(Ctx))(std::forward<ArgTs>(Args)...);
+    };
+    if constexpr (fitsInline<F>()) {
+      OnHeap = false;
+      ::new (static_cast<void *>(Buf)) F(std::forward<FnT>(Target));
+      Ctx = Buf;
+    } else {
+      OnHeap = true;
+      Heap = std::make_shared<F>(std::forward<FnT>(Target));
+      Ctx = Heap.get();
+    }
+  }
+
+  // Ctx always points at *this object's* target (its own Buf on the inline
+  // path), so copies recompute it instead of copying it.
+  SmallFn(const SmallFn &Other)
+      : Call(Other.Call), OnHeap(Other.OnHeap), Heap(Other.Heap) {
+    std::memcpy(Buf, Other.Buf, kInlineBytes);
+    Ctx = OnHeap ? Heap.get() : static_cast<void *>(Buf);
+  }
+
+  SmallFn(SmallFn &&Other) noexcept
+      : Call(Other.Call), OnHeap(Other.OnHeap), Heap(std::move(Other.Heap)) {
+    std::memcpy(Buf, Other.Buf, kInlineBytes);
+    Ctx = OnHeap ? Heap.get() : static_cast<void *>(Buf);
+  }
+
+  SmallFn &operator=(const SmallFn &Other) {
+    Call = Other.Call;
+    OnHeap = Other.OnHeap;
+    Heap = Other.Heap;
+    std::memcpy(Buf, Other.Buf, kInlineBytes);
+    Ctx = OnHeap ? Heap.get() : static_cast<void *>(Buf);
+    return *this;
+  }
+
+  SmallFn &operator=(SmallFn &&Other) noexcept {
+    Call = Other.Call;
+    OnHeap = Other.OnHeap;
+    Heap = std::move(Other.Heap);
+    std::memcpy(Buf, Other.Buf, kInlineBytes);
+    Ctx = OnHeap ? Heap.get() : static_cast<void *>(Buf);
+    return *this;
+  }
+
+  explicit operator bool() const { return Call != nullptr; }
+
+  /// True if the target lives in the inline buffer (no heap cell).
+  bool isInline() const { return Call != nullptr && !OnHeap; }
+
+  /// Dispatch: one load of the precomputed context, one indirect call.
+  RetT operator()(ArgTs... Args) const {
+    assert(Call && "calling an empty SmallFn");
+    return Call(Ctx, std::forward<ArgTs>(Args)...);
+  }
+
+private:
+  static constexpr size_t kInlineBytes = 3 * sizeof(void *);
+
+  template <typename F> static constexpr bool fitsInline() {
+    return sizeof(F) <= kInlineBytes &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_trivially_copyable_v<F> &&
+           std::is_trivially_destructible_v<F>;
+  }
+
+  using Trampoline = RetT (*)(void *, ArgTs &&...);
+
+  Trampoline Call = nullptr;
+  void *Ctx = nullptr;
+  bool OnHeap = false;
+  std::shared_ptr<void> Heap;
+  alignas(std::max_align_t) mutable unsigned char Buf[kInlineBytes] = {};
+};
 
 template <typename SigT> class MethodHandle;
 
 /// A polymorphic method handle holding a target callable. Invocation is a
 /// counted dynamic dispatch (the \c invoke on the JVM is polymorphic and
 /// blocks inlining — exactly the cost MHS removes in the JIT experiments).
+/// See the file comment for the bootstrap-then-simplify lifecycle.
 template <typename RetT, typename... ArgTs> class MethodHandle<RetT(ArgTs...)> {
 public:
   MethodHandle() = default;
@@ -58,19 +180,90 @@ public:
   template <typename FnT,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<FnT>, MethodHandle> &&
-                std::is_invocable_r_v<RetT, FnT &, ArgTs...>>>
+                std::is_invocable_r_v<RetT, std::decay_t<FnT> &, ArgTs...>>>
   explicit MethodHandle(FnT &&Target)
-      : Target(std::make_shared<std::function<RetT(ArgTs...)>>(
-            std::forward<FnT>(Target))) {}
+      : Target(std::forward<FnT>(Target)) {}
+
+  // The simplified flag is per handle *copy* (each copy is one call site
+  // instance); copies inherit the current state so an already-simplified
+  // handle does not re-announce itself when captured into a closure.
+  MethodHandle(const MethodHandle &Other)
+      : Target(Other.Target),
+        Simplified(Other.Simplified.load(std::memory_order_relaxed)) {}
+
+  MethodHandle(MethodHandle &&Other) noexcept
+      : Target(std::move(Other.Target)),
+        Simplified(Other.Simplified.load(std::memory_order_relaxed)) {}
+
+  MethodHandle &operator=(const MethodHandle &Other) {
+    Target = Other.Target;
+    Simplified.store(Other.Simplified.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+  MethodHandle &operator=(MethodHandle &&Other) noexcept {
+    Target = std::move(Other.Target);
+    Simplified.store(Other.Simplified.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
 
   /// True if the handle is linked to a target.
-  explicit operator bool() const { return Target != nullptr; }
+  explicit operator bool() const { return static_cast<bool>(Target); }
 
-  /// Polymorphic invocation; counts one dynamic dispatch.
+  /// True if the target is stored inline (the SBO fast path).
+  bool isInline() const { return Target.isInline(); }
+
+  /// True once the handle has transitioned to the direct-invoke path.
+  bool isSimplified() const {
+    return Simplified.load(std::memory_order_relaxed);
+  }
+
+  /// Transitions this handle (copy) to the simplified state, emitting the
+  /// MhSimplify trace event exactly once per transition. Idempotent; safe
+  /// to race.
+  ///
+  /// Memory ordering: relaxed suffices throughout. The flag guards no
+  /// data — the dispatch state (trampoline pointer and captured target) is
+  /// immutable after construction and is published to other threads by
+  /// whatever mechanism publishes the handle object itself (task
+  /// submission, closure capture). The flag only dedups the one-shot trace
+  /// event, and the trace ring has its own seqlock publication protocol.
+  void simplify() const {
+    if (Simplified.load(std::memory_order_relaxed))
+      return;
+    if (!Simplified.exchange(true, std::memory_order_relaxed))
+      trace::instant(trace::EventKind::MhSimplify, "mh.simplify",
+                     trace::objectId(this), Target.isInline() ? 1 : 0);
+  }
+
+  /// Polymorphic invocation; counts one dynamic dispatch. The first
+  /// invocation transitions the handle to the simplified state (the
+  /// bootstrap-then-simplify model).
   RetT invoke(ArgTs... Args) const {
     assert(Target && "invoking an unlinked method handle");
+    simplify();
     noteVirtualCall();
-    return (*Target)(std::forward<ArgTs>(Args)...);
+    return Target(std::forward<ArgTs>(Args)...);
+  }
+
+  /// The monomorphic fast path a simplified call site compiles to: one
+  /// counted direct dispatch, no transition check. Callers must have
+  /// simplified the handle first (fused interpreters do this when the
+  /// pipeline is linked).
+  RetT directInvoke(ArgTs... Args) const {
+    assert(Target && "invoking an unlinked method handle");
+    noteVirtualCall();
+    return Target(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Dispatch alone — the caller owns the Metric::Method accounting (used
+  /// by fused pipeline interpreters that batch counter updates per index
+  /// range; the totals are identical to per-element counting).
+  RetT directCall(ArgTs... Args) const {
+    assert(Target && "invoking an unlinked method handle");
+    return Target(std::forward<ArgTs>(Args)...);
   }
 
   /// Convenience call syntax.
@@ -79,7 +272,8 @@ public:
   }
 
 private:
-  std::shared_ptr<std::function<RetT(ArgTs...)>> Target;
+  SmallFn<RetT(ArgTs...)> Target;
+  mutable std::atomic<bool> Simplified{false};
 };
 
 /// The call-site object behind one textual lambda-creation site.
@@ -114,7 +308,11 @@ public:
           trace::span(trace::EventKind::Bootstrap, "idynamic.bootstrap",
                       TraceT0, trace::nowNanos() - TraceT0,
                       trace::objectId(this));
-        ++BootstrapRuns;
+        // Relaxed is enough: the write is serialized by BootstrapLock and
+        // readers only need an untorn value (they may racily read it
+        // without the lock, see bootstrapCount).
+        BootstrapRuns.store(BootstrapRuns.load(std::memory_order_relaxed) + 1,
+                            std::memory_order_relaxed);
         Linked.store(true, std::memory_order_release);
       }
     }
@@ -122,14 +320,17 @@ public:
     return Cached;
   }
 
-  /// Number of times the bootstrap method actually ran (for tests).
-  unsigned bootstrapCount() const { return BootstrapRuns; }
+  /// Number of times the bootstrap method actually ran (for tests). Safe
+  /// to call concurrently with racing first executions.
+  unsigned bootstrapCount() const {
+    return BootstrapRuns.load(std::memory_order_relaxed);
+  }
 
 private:
   std::atomic<bool> Linked{false};
   std::mutex BootstrapLock;
   MethodHandle<SigT> Cached;
-  unsigned BootstrapRuns = 0;
+  std::atomic<unsigned> BootstrapRuns{0};
 };
 
 /// Wraps an arbitrary callable as a lambda routed through a (function-local)

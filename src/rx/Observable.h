@@ -14,6 +14,14 @@
 /// dynamic dispatch; \c observeOn hands events to an Executor through a
 /// monitor-guarded queue (synch/wait/notify).
 ///
+/// The push path is fused in the method-handle-simplification sense of
+/// paper §5.4: each operator transitions its MethodHandle to the
+/// direct-invoke state once per subscription (\c simplify, before any
+/// element flows) and dispatches per element through \c directInvoke — one
+/// counted monomorphic call, no transition check. Observer callbacks are
+/// runtime::SmallFn rather than std::function, so the per-element
+/// downstream hop is a single indirect call with no double indirection.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef REN_RX_OBSERVABLE_H
@@ -25,7 +33,6 @@
 
 #include <cassert>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -33,16 +40,18 @@
 namespace ren {
 namespace rx {
 
-/// The downstream side of a subscription.
+/// The downstream side of a subscription. SmallFn copies share captured
+/// state (operator chains hold their per-subscription state in explicit
+/// shared cells anyway), so observers stay cheap to fan out.
 template <typename T> struct Observer {
-  std::function<void(const T &)> OnNext;
-  std::function<void()> OnComplete;
+  runtime::SmallFn<void(const T &)> OnNext;
+  runtime::SmallFn<void()> OnComplete;
 };
 
 /// A cold observable: each subscription re-runs the producer.
 template <typename T> class Observable {
 public:
-  using SubscribeFn = std::function<void(Observer<T>)>;
+  using SubscribeFn = runtime::SmallFn<void(Observer<T>)>;
 
   Observable() = default;
 
@@ -72,8 +81,8 @@ public:
   }
 
   /// Subscribes with explicit callbacks (terminal).
-  void subscribe(std::function<void(const T &)> OnNext,
-                 std::function<void()> OnComplete = [] {}) const {
+  void subscribe(runtime::SmallFn<void(const T &)> OnNext,
+                 runtime::SmallFn<void()> OnComplete = [] {}) const {
     assert(Producer && "subscribe on an empty observable");
     Producer(Observer<T>{std::move(OnNext), std::move(OnComplete)});
   }
@@ -86,9 +95,12 @@ public:
     // The downstream observer is held in shared state: an upstream
     // observeOn boundary may keep emitting after this frame unwinds.
     Out.Producer = [Upstream = Producer, Handle](Observer<U> Obs) {
+      Handle.simplify(); // Monomorphic from the first element on.
       auto Down = std::make_shared<Observer<U>>(std::move(Obs));
       Upstream(Observer<T>{
-          [Down, Handle](const T &V) { Down->OnNext(Handle.invoke(V)); },
+          [Down, Handle](const T &V) {
+            Down->OnNext(Handle.directInvoke(V));
+          },
           [Down] { Down->OnComplete(); }});
     };
     return Out;
@@ -99,9 +111,10 @@ public:
     auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
     Observable Out;
     Out.Producer = [Upstream = Producer, Handle](Observer<T> Obs) {
+      Handle.simplify();
       auto Down = std::make_shared<Observer<T>>(std::move(Obs));
       Upstream(Observer<T>{[Down, Handle](const T &V) {
-                             if (Handle.invoke(V))
+                             if (Handle.directInvoke(V))
                                Down->OnNext(V);
                            },
                            [Down] { Down->OnComplete(); }});
@@ -117,9 +130,10 @@ public:
     auto Handle = runtime::bindLambda<ObsU(const T &)>(std::move(Fn));
     Observable<U> Out;
     Out.Producer = [Upstream = Producer, Handle](Observer<U> Obs) {
+      Handle.simplify();
       auto Down = std::make_shared<Observer<U>>(std::move(Obs));
       Upstream(Observer<T>{[Down, Handle](const T &V) {
-                             ObsU Inner = Handle.invoke(V);
+                             ObsU Inner = Handle.directInvoke(V);
                              Inner.subscribe(
                                  [Down](const U &IV) { Down->OnNext(IV); });
                            },
@@ -165,6 +179,7 @@ public:
     auto Handle = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
     Observable<R> Out;
     Out.Producer = [Upstream = Producer, Init, Handle](Observer<R> Obs) {
+      Handle.simplify();
       struct ReduceState {
         Observer<R> Down;
         R Acc;
@@ -173,7 +188,8 @@ public:
       St->Down = std::move(Obs);
       St->Acc = Init;
       Upstream(Observer<T>{[St, Handle](const T &V) {
-                             St->Acc = Handle.invoke(std::move(St->Acc), V);
+                             St->Acc =
+                                 Handle.directInvoke(std::move(St->Acc), V);
                            },
                            [St] {
                              St->Down.OnNext(St->Acc);

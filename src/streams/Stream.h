@@ -1,4 +1,4 @@
-//===- streams/Stream.h - Data-parallel stream pipelines --------*- C++ -*-===//
+//===- streams/Stream.h - Fused data-parallel stream pipelines --*- C++ -*-===//
 //
 // Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
 //
@@ -9,18 +9,39 @@
 /// pipelines, optionally evaluated in parallel on a fork/join pool — the
 /// substrate of scrabble and streams-mnemonics.
 ///
+/// Evaluation is *lazy and fused*: intermediate operations (map, filter,
+/// flatMap) only record a pipeline stage; a terminal operation (collect,
+/// reduce, groupBy, forEach, ...) drives every source element through the
+/// whole stage chain in a single pass, with no intermediate array per
+/// stage. The stage chain is a compile-time cons-list of small ops structs
+/// (detail::MapOps<detail::FilterOps<detail::SourceOps<T>>> ...), so the
+/// per-element path is fully visible to the compiler — the C++ analogue of
+/// the method-handle-simplification JIT pass of paper §5.4, which collapses
+/// the polymorphic lambda invoke chains of JVM streams into direct calls
+/// and inlines them.
+///
 /// Matching the JVM metric profile:
 ///  - every pipeline-stage lambda is created through runtime::bindLambda
-///    (Metric::IDynamic) and applied through MethodHandle::invoke per
-///    element (Metric::Method) — streams workloads are dispatch-heavy;
-///  - stages materialize intermediate arrays, counted via noteArrayAlloc
-///    (Table 2, footnote: "some data-parallel and streaming frameworks
-///    allocate intermediate arrays");
-///  - parallel evaluation splits the source across the fork/join pool.
+///    (Metric::IDynamic once per stage) and each stage also links a
+///    runtime::MethodHandle, whose \c simplify() transition (MhSimplify
+///    trace event) a terminal performs once when the pipeline is driven;
+///  - Metric::Method is counted once per per-element stage application,
+///    identical to invoking the handle per element; the fused interpreter
+///    batches the counter update per index range (runtime::noteVirtualCall
+///    with the accumulated count) exactly like the JIT hoists profile
+///    counters out of a compiled loop;
+///  - Metric::Array is counted only for *genuine* materializations: the
+///    source wrap (of/range), per-element flatMap expansions, and the
+///    terminal collect/sorted copies. Relative to the former eager
+///    evaluator this removes one array per intermediate stage — the same
+///    direction MHS moves the profile on the JVM;
+///  - parallel evaluation splits the *source* index range across the
+///    fork/join pool; each chunk drives a private copy of the stage chain
+///    (stage counters stay unsynchronized) and deterministic chunk order
+///    preserves element order.
 ///
-/// Evaluation is eager stage-by-stage (each operation returns a new
-/// materialized Stream), which keeps the framework small while preserving
-/// the allocation and dispatch behaviour that matters for the metrics.
+/// Streams are cheap non-owning views: the source vector is shared, so a
+/// stream can be reused after a terminal (terminals do not consume).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,9 +51,14 @@
 #include "forkjoin/ForkJoinPool.h"
 #include "runtime/Alloc.h"
 #include "runtime/MethodHandle.h"
+#include "runtime/Park.h"
+
+#include <atomic>
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -40,226 +66,496 @@
 namespace ren {
 namespace streams {
 
-/// A materialized stream of values of type \p T.
-template <typename T> class Stream {
+namespace detail {
+
+/// Stage-chain concept: each ops struct exposes
+///  - \c InT / \c OutT — the source element type fed into the chain and the
+///    element type this stage emits;
+///  - \c apply(V, Sink) — pushes one source element through the chain,
+///    invoking Sink(const OutT &) zero or more times;
+///  - \c flush() — publishes the batched Metric::Method / Metric::Array
+///    counts accumulated since the last flush (called once per index range);
+///  - \c simplify() — transitions every stage's MethodHandle to the
+///    direct-invoke state (called once by the terminal before driving).
+///
+/// Each stage holds both the concrete callable (the inlined target the
+/// simplified call site dispatches to — a direct, compiler-visible call)
+/// and the MethodHandle linked by bindLambda (the original polymorphic
+/// site: its bootstrap/simplify lifecycle and trace events model §5.4).
+
+/// The chain terminus: emits source elements unchanged.
+template <typename T> struct SourceOps {
+  using InT = T;
+  using OutT = T;
+
+  template <typename SinkT> void apply(const T &V, SinkT &&Sink) { Sink(V); }
+  void flush() {}
+  void simplify() const {}
+};
+
+/// Element-wise transformation stage.
+template <typename PrevT, typename FnT, typename U> struct MapOps {
+  using InT = typename PrevT::InT;
+  using OutT = U;
+
+  PrevT Prev;
+  FnT Fn;
+  runtime::MethodHandle<U(const typename PrevT::OutT &)> Handle;
+  uint64_t Calls = 0;
+
+  template <typename SinkT> void apply(const InT &V, SinkT &&Sink) {
+    Prev.apply(V, [&](const typename PrevT::OutT &X) {
+      ++Calls;
+      Sink(Fn(X));
+    });
+  }
+
+  void flush() {
+    Prev.flush();
+    if (Calls) {
+      runtime::noteVirtualCall(Calls);
+      Calls = 0;
+    }
+  }
+
+  void simplify() const {
+    Prev.simplify();
+    Handle.simplify();
+  }
+};
+
+/// Predicate stage: forwards elements satisfying the predicate.
+template <typename PrevT, typename FnT> struct FilterOps {
+  using InT = typename PrevT::InT;
+  using OutT = typename PrevT::OutT;
+
+  PrevT Prev;
+  FnT Fn;
+  runtime::MethodHandle<bool(const OutT &)> Handle;
+  uint64_t Calls = 0;
+
+  template <typename SinkT> void apply(const InT &V, SinkT &&Sink) {
+    Prev.apply(V, [&](const OutT &X) {
+      ++Calls;
+      if (Fn(X))
+        Sink(X);
+    });
+  }
+
+  void flush() {
+    Prev.flush();
+    if (Calls) {
+      runtime::noteVirtualCall(Calls);
+      Calls = 0;
+    }
+  }
+
+  void simplify() const {
+    Prev.simplify();
+    Handle.simplify();
+  }
+};
+
+/// Expansion stage: each element becomes a sequence, emitted in order. The
+/// per-element expansion vector is a genuine materialization and is counted
+/// as an array allocation (batched like the dispatch counts).
+template <typename PrevT, typename FnT, typename VecU> struct FlatMapOps {
+  using InT = typename PrevT::InT;
+  using OutT = typename VecU::value_type;
+
+  PrevT Prev;
+  FnT Fn;
+  runtime::MethodHandle<VecU(const typename PrevT::OutT &)> Handle;
+  uint64_t Calls = 0;
+  uint64_t Arrays = 0;
+
+  template <typename SinkT> void apply(const InT &V, SinkT &&Sink) {
+    Prev.apply(V, [&](const typename PrevT::OutT &X) {
+      ++Calls;
+      VecU Expanded = Fn(X);
+      ++Arrays;
+      for (const OutT &E : Expanded)
+        Sink(E);
+    });
+  }
+
+  void flush() {
+    Prev.flush();
+    if (Calls) {
+      runtime::noteVirtualCall(Calls);
+      Calls = 0;
+    }
+    if (Arrays) {
+      runtime::noteArrayAlloc(Arrays);
+      Arrays = 0;
+    }
+  }
+
+  void simplify() const {
+    Prev.simplify();
+    Handle.simplify();
+  }
+};
+
+} // namespace detail
+
+/// A lazy stream of values of type \p T: a shared source vector plus a
+/// fused chain of pipeline stages (\p OpsT). Intermediate operations return
+/// a new Stream with one more stage; terminals drive the chain. All
+/// pipeline call sites build the type with \c auto.
+template <typename T, typename OpsT = detail::SourceOps<T>> class Stream {
+  using SrcT = typename OpsT::InT;
+
 public:
-  /// Wraps a vector as a stream (copy counted as one array allocation).
+  /// Wraps a vector as a stream (the copy into the shared source is the
+  /// one materialization, counted as one array allocation).
   static Stream of(std::vector<T> Values) {
     runtime::noteArrayAlloc();
-    Stream S;
-    S.Data = std::move(Values);
-    return S;
+    return Stream(std::make_shared<const std::vector<T>>(std::move(Values)),
+                  OpsT{}, nullptr);
   }
 
   /// Integer ranges [Lo, Hi) (enabled only for integral T at call sites).
+  /// Empty when Hi <= Lo.
   static Stream range(T Lo, T Hi) {
     runtime::noteArrayAlloc();
-    Stream S;
-    S.Data.reserve(static_cast<size_t>(Hi - Lo));
-    for (T I = Lo; I < Hi; ++I)
-      S.Data.push_back(I);
-    return S;
+    std::vector<T> Values;
+    if (Lo < Hi) {
+      Values.reserve(static_cast<size_t>(Hi - Lo));
+      for (T I = Lo; I < Hi; ++I)
+        Values.push_back(I);
+    }
+    return Stream(std::make_shared<const std::vector<T>>(std::move(Values)),
+                  OpsT{}, nullptr);
   }
 
-  /// Switches subsequent stages to parallel evaluation on \p Pool.
+  /// Switches terminal evaluation of this pipeline to parallel on \p Pool.
   Stream &parallel(forkjoin::ForkJoinPool &Pool) {
     this->Pool = &Pool;
     return *this;
   }
 
-  /// True if this stream evaluates stages in parallel.
+  /// True if this stream evaluates terminals in parallel.
   bool isParallel() const { return Pool != nullptr; }
 
-  size_t size() const { return Data.size(); }
+  /// Number of elements the pipeline produces. Free for a source stream;
+  /// otherwise drives the pipeline (counting the stage dispatches it
+  /// performs, like any terminal).
+  size_t size() {
+    if constexpr (std::is_same_v<OpsT, detail::SourceOps<T>>) {
+      return Src->size();
+    } else {
+      Ops.simplify();
+      size_t N = 0;
+      runRange(Ops, 0, Src->size(), [&](const T &) { ++N; });
+      return N;
+    }
+  }
 
-  /// Element-wise transformation.
+  /// Element-wise transformation (lazy: appends a fused stage).
   template <typename FnT> auto map(FnT Fn) {
     using U = std::invoke_result_t<FnT, const T &>;
-    auto Handle = runtime::bindLambda<U(const T &)>(std::move(Fn));
-    Stream<U> Out;
-    Out.Pool = Pool;
-    runtime::noteArrayAlloc();
-    Out.Data.resize(Data.size());
-    eachChunk([&](size_t Lo, size_t Hi) {
-      for (size_t I = Lo; I < Hi; ++I)
-        Out.Data[I] = Handle.invoke(Data[I]);
-    });
-    return Out;
+    auto Handle = runtime::bindLambda<U(const T &)>(Fn);
+    using Ops2 = detail::MapOps<OpsT, FnT, U>;
+    return Stream<U, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
+                           Pool);
   }
 
-  /// Keeps elements satisfying \p Fn.
-  template <typename FnT> Stream filter(FnT Fn) {
-    auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
-    Stream Out;
-    Out.Pool = Pool;
-    runtime::noteArrayAlloc();
-    std::vector<std::vector<T>> Parts = chunkResults<T>(
-        [&](size_t Lo, size_t Hi, std::vector<T> &Part) {
-          for (size_t I = Lo; I < Hi; ++I)
-            if (Handle.invoke(Data[I]))
-              Part.push_back(Data[I]);
-        });
-    for (auto &Part : Parts)
-      Out.Data.insert(Out.Data.end(), std::make_move_iterator(Part.begin()),
-                      std::make_move_iterator(Part.end()));
-    return Out;
+  /// Keeps elements satisfying \p Fn (lazy: appends a fused stage).
+  template <typename FnT> auto filter(FnT Fn) {
+    auto Handle = runtime::bindLambda<bool(const T &)>(Fn);
+    using Ops2 = detail::FilterOps<OpsT, FnT>;
+    return Stream<T, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
+                           Pool);
   }
 
-  /// Expands each element into a sequence and concatenates.
+  /// Expands each element into a sequence and concatenates (lazy).
   template <typename FnT> auto flatMap(FnT Fn) {
     using VecU = std::invoke_result_t<FnT, const T &>;
     using U = typename VecU::value_type;
-    auto Handle = runtime::bindLambda<VecU(const T &)>(std::move(Fn));
-    Stream<U> Out;
-    Out.Pool = Pool;
-    runtime::noteArrayAlloc();
-    std::vector<std::vector<U>> Parts = chunkResults<U>(
-        [&](size_t Lo, size_t Hi, std::vector<U> &Part) {
-          for (size_t I = Lo; I < Hi; ++I) {
-            VecU Expanded = Handle.invoke(Data[I]);
-            runtime::noteArrayAlloc();
-            Part.insert(Part.end(), std::make_move_iterator(Expanded.begin()),
-                        std::make_move_iterator(Expanded.end()));
-          }
-        });
-    for (auto &Part : Parts)
-      Out.Data.insert(Out.Data.end(), std::make_move_iterator(Part.begin()),
-                      std::make_move_iterator(Part.end()));
-    return Out;
+    auto Handle = runtime::bindLambda<VecU(const T &)>(Fn);
+    using Ops2 = detail::FlatMapOps<OpsT, FnT, VecU>;
+    return Stream<U, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
+                           Pool);
   }
 
-  /// Folds the stream; \p Combine merges partial results in parallel mode.
+  /// Terminal: folds the pipeline output; \p Combine merges partial
+  /// results in parallel mode.
   template <typename R, typename FoldT, typename CombineT>
   R reduce(R Init, FoldT Fold, CombineT Combine) {
-    auto FoldH = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
-    if (!Pool || Data.size() < 2) {
-      R Acc = Init;
-      for (const T &V : Data)
-        Acc = FoldH.invoke(std::move(Acc), V);
+    auto FoldH = runtime::bindLambda<R(R, const T &)>(Fold);
+    Ops.simplify();
+    FoldH.simplify();
+    if (!Pool || Src->size() < 2) {
+      R Acc = std::move(Init);
+      uint64_t FoldCalls = 0;
+      runRange(Ops, 0, Src->size(), [&](const T &V) {
+        ++FoldCalls;
+        Acc = Fold(std::move(Acc), V);
+      });
+      runtime::noteVirtualCall(FoldCalls);
       return Acc;
     }
     auto CombineH = runtime::bindLambda<R(R, R)>(std::move(Combine));
-    size_t Grain = grain();
-    return Pool->template parallelReduce<R>(
-        0, Data.size(), Grain,
-        [&](size_t Lo, size_t Hi) {
-          R Acc = Init;
-          for (size_t I = Lo; I < Hi; ++I)
-            Acc = FoldH.invoke(std::move(Acc), Data[I]);
-          return Acc;
-        },
-        [&](R A, R B) { return CombineH.invoke(std::move(A), std::move(B)); });
-  }
-
-  /// Sequential fold without a combiner (sequential even in parallel mode).
-  template <typename R, typename FoldT> R fold(R Init, FoldT Fold) {
-    auto FoldH = runtime::bindLambda<R(R, const T &)>(std::move(Fold));
-    R Acc = std::move(Init);
-    for (const T &V : Data)
-      Acc = FoldH.invoke(std::move(Acc), V);
+    CombineH.simplify();
+    size_t G = grain();
+    size_t NumChunks = (Src->size() + G - 1) / G;
+    std::vector<std::optional<R>> Parts(NumChunks);
+    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+      OpsT Local = Ops;
+      R Acc = Init;
+      uint64_t FoldCalls = 0;
+      runRange(Local, Lo, Hi, [&](const T &V) {
+        ++FoldCalls;
+        Acc = Fold(std::move(Acc), V);
+      });
+      runtime::noteVirtualCall(FoldCalls);
+      Parts[C].emplace(std::move(Acc));
+    });
+    R Acc = std::move(*Parts[0]);
+    for (size_t C = 1; C < NumChunks; ++C)
+      Acc = CombineH.directInvoke(std::move(Acc), std::move(*Parts[C]));
     return Acc;
   }
 
-  /// Groups elements by key (hash map of materialized groups).
+  /// Terminal: sequential fold without a combiner (sequential even in
+  /// parallel mode).
+  template <typename R, typename FoldT> R fold(R Init, FoldT Fold) {
+    auto FoldH = runtime::bindLambda<R(R, const T &)>(Fold);
+    Ops.simplify();
+    FoldH.simplify();
+    R Acc = std::move(Init);
+    uint64_t FoldCalls = 0;
+    runRange(Ops, 0, Src->size(), [&](const T &V) {
+      ++FoldCalls;
+      Acc = Fold(std::move(Acc), V);
+    });
+    runtime::noteVirtualCall(FoldCalls);
+    return Acc;
+  }
+
+  /// Terminal: groups pipeline output by key (hash map of materialized
+  /// groups, one counted object). Parallel mode builds chunk-local maps
+  /// and merges them in chunk order, preserving within-group element order.
   template <typename FnT> auto groupBy(FnT KeyFn) {
     using K = std::invoke_result_t<FnT, const T &>;
-    auto Handle = runtime::bindLambda<K(const T &)>(std::move(KeyFn));
-    std::unordered_map<K, std::vector<T>> Groups;
+    auto Handle = runtime::bindLambda<K(const T &)>(KeyFn);
+    using GroupsT = std::unordered_map<K, std::vector<T>>;
     runtime::noteObjectAlloc();
-    for (const T &V : Data)
-      Groups[Handle.invoke(V)].push_back(V);
+    Ops.simplify();
+    Handle.simplify();
+    GroupsT Groups;
+    if (!Pool || Src->size() < 2) {
+      uint64_t KeyCalls = 0;
+      runRange(Ops, 0, Src->size(), [&](const T &V) {
+        ++KeyCalls;
+        Groups[KeyFn(V)].push_back(V);
+      });
+      runtime::noteVirtualCall(KeyCalls);
+      return Groups;
+    }
+    // Chunks emit flat (key, value) runs — key extraction and the pipeline
+    // run in parallel; the single hash-map build is a serial pass over the
+    // runs in chunk order (the same merge-tail shape as the JVM's
+    // groupingBy collector), which is far cheaper than building and
+    // re-merging one hash map per chunk.
+    size_t G = grain();
+    size_t NumChunks = (Src->size() + G - 1) / G;
+    std::vector<std::vector<std::pair<K, T>>> Parts(NumChunks);
+    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+      OpsT Local = Ops;
+      std::vector<std::pair<K, T>> &Part = Parts[C];
+      Part.reserve(Hi - Lo);
+      uint64_t KeyCalls = 0;
+      runRange(Local, Lo, Hi, [&](const T &V) {
+        ++KeyCalls;
+        Part.emplace_back(KeyFn(V), V);
+      });
+      runtime::noteVirtualCall(KeyCalls);
+    });
+    for (std::vector<std::pair<K, T>> &Part : Parts)
+      for (std::pair<K, T> &KV : Part)
+        Groups[KV.first].push_back(std::move(KV.second));
     return Groups;
   }
 
-  /// Applies \p Fn to every element (terminal).
+  /// Terminal: applies \p Fn to every pipeline output element.
   template <typename FnT> void forEach(FnT Fn) {
-    auto Handle = runtime::bindLambda<void(const T &)>(std::move(Fn));
-    eachChunk([&](size_t Lo, size_t Hi) {
-      for (size_t I = Lo; I < Hi; ++I)
-        Handle.invoke(Data[I]);
+    auto Handle = runtime::bindLambda<void(const T &)>(Fn);
+    Ops.simplify();
+    Handle.simplify();
+    if (!Pool || Src->size() < 2) {
+      uint64_t Calls = 0;
+      runRange(Ops, 0, Src->size(), [&](const T &V) {
+        ++Calls;
+        Fn(V);
+      });
+      runtime::noteVirtualCall(Calls);
+      return;
+    }
+    size_t G = grain();
+    size_t NumChunks = (Src->size() + G - 1) / G;
+    parallelChunks(NumChunks, G, [&](size_t, size_t Lo, size_t Hi) {
+      OpsT Local = Ops;
+      uint64_t Calls = 0;
+      runRange(Local, Lo, Hi, [&](const T &V) {
+        ++Calls;
+        Fn(V);
+      });
+      runtime::noteVirtualCall(Calls);
     });
   }
 
-  /// Number of elements satisfying \p Fn.
+  /// Terminal: number of pipeline output elements satisfying \p Fn.
   template <typename FnT> size_t countIf(FnT Fn) {
-    auto Handle = runtime::bindLambda<bool(const T &)>(std::move(Fn));
+    auto Handle = runtime::bindLambda<bool(const T &)>(Fn);
+    Ops.simplify();
+    Handle.simplify();
     size_t N = 0;
-    for (const T &V : Data)
-      N += Handle.invoke(V) ? 1 : 0;
+    uint64_t Calls = 0;
+    runRange(Ops, 0, Src->size(), [&](const T &V) {
+      ++Calls;
+      N += Fn(V) ? 1 : 0;
+    });
+    runtime::noteVirtualCall(Calls);
     return N;
   }
 
-  /// Sorted copy of the stream.
-  template <typename CmpT> Stream sorted(CmpT Cmp) {
-    Stream Out = *this;
+  /// Materializes the pipeline output sorted under \p Cmp (one counted
+  /// array); the result is a fresh source stream, so chaining continues.
+  template <typename CmpT> auto sorted(CmpT Cmp) {
     runtime::noteArrayAlloc();
-    std::stable_sort(Out.Data.begin(), Out.Data.end(), Cmp);
-    return Out;
+    std::vector<T> Out = gather();
+    std::stable_sort(Out.begin(), Out.end(), Cmp);
+    return Stream<T>(std::make_shared<const std::vector<T>>(std::move(Out)),
+                     detail::SourceOps<T>{}, Pool);
   }
 
-  /// First \p N elements.
-  Stream limit(size_t N) {
-    Stream Out = *this;
-    if (Out.Data.size() > N)
-      Out.Data.resize(N);
-    return Out;
+  /// First \p N pipeline output elements (short-circuits: stops driving
+  /// the source once \p N outputs are produced).
+  auto limit(size_t N) {
+    Ops.simplify();
+    std::vector<T> Out;
+    const std::vector<SrcT> &S = *Src;
+    for (size_t I = 0; I < S.size() && Out.size() < N; ++I)
+      Ops.apply(S[I], [&](const T &V) {
+        if (Out.size() < N)
+          Out.push_back(V);
+      });
+    Ops.flush();
+    return Stream<T>(std::make_shared<const std::vector<T>>(std::move(Out)),
+                     detail::SourceOps<T>{}, Pool);
   }
 
-  /// Largest element under \p Cmp; stream must be non-empty.
+  /// Terminal: largest output element under \p Cmp (first of equal maxima);
+  /// the pipeline must produce at least one element.
   template <typename CmpT> T maxBy(CmpT Cmp) {
-    assert(!Data.empty() && "maxBy on empty stream");
-    return *std::max_element(Data.begin(), Data.end(), Cmp);
+    Ops.simplify();
+    std::optional<T> Best;
+    runRange(Ops, 0, Src->size(), [&](const T &V) {
+      if (!Best || Cmp(*Best, V))
+        Best = V;
+    });
+    assert(Best && "maxBy on empty stream");
+    return std::move(*Best);
   }
 
-  /// Terminal: moves the materialized elements out.
-  std::vector<T> collect() { return std::move(Data); }
-
-  /// Non-consuming view of the data (for tests).
-  const std::vector<T> &view() const { return Data; }
+  /// Terminal: materializes the pipeline output (one counted array).
+  std::vector<T> collect() {
+    runtime::noteArrayAlloc();
+    return gather();
+  }
 
 private:
-  template <typename U> friend class Stream;
+  template <typename, typename> friend class Stream;
+
+  Stream(std::shared_ptr<const std::vector<SrcT>> Src, OpsT Ops,
+         forkjoin::ForkJoinPool *Pool)
+      : Src(std::move(Src)), Ops(std::move(Ops)), Pool(Pool) {}
 
   size_t grain() const {
-    size_t G = Data.size() / (Pool ? 4 * Pool->parallelism() : 1);
+    size_t G = Src->size() / (Pool ? 4 * Pool->parallelism() : 1);
     return G == 0 ? 1 : G;
   }
 
-  /// Runs \p Body over index chunks, in parallel when a pool is attached.
-  template <typename BodyT> void eachChunk(BodyT Body) {
-    if (!Pool || Data.size() < 2) {
-      if (!Data.empty())
-        Body(0, Data.size());
+  /// Drives source indices [Lo, Hi) through ops instance \p O into \p Sink
+  /// and flushes the batched stage counts.
+  template <typename SinkT>
+  void runRange(OpsT &O, size_t Lo, size_t Hi, SinkT &&Sink) {
+    const std::vector<SrcT> &S = *Src;
+    for (size_t I = Lo; I < Hi; ++I)
+      O.apply(S[I], Sink);
+    O.flush();
+  }
+
+  /// Invokes Body(Chunk, Lo, Hi) for each source chunk on the pool. Chunk
+  /// indices are deterministic, so per-chunk results concatenated in chunk
+  /// order reproduce the serial element order.
+  ///
+  /// External callers (the common case: a benchmark thread driving a
+  /// terminal) use a flat counted-completer scatter, the shape of
+  /// java.util.concurrent's CountedCompleter that backs JVM parallel
+  /// streams: every chunk is a detached task decrementing a completion
+  /// latch, the caller runs chunk 0 itself and parks at most once. No
+  /// blocking joins anywhere — a recursive join tree parks once per inner
+  /// node when chunk bodies outlast the join spin (oversubscribed hosts),
+  /// which dwarfs the chunk work itself. A caller that is already a pool
+  /// worker must not park while tasks sit in its own deque, so it takes
+  /// the recursive splitter, whose joins help.
+  template <typename BodyT>
+  void parallelChunks(size_t NumChunks, size_t G, BodyT Body) {
+    const size_t N = Src->size();
+    if (forkjoin::ForkJoinPool::onWorkerThread()) {
+      Pool->parallelFor(0, NumChunks, 1, [&](size_t CLo, size_t CHi) {
+        for (size_t C = CLo; C < CHi; ++C)
+          Body(C, C * G, std::min(C * G + G, N));
+      });
       return;
     }
-    Pool->parallelFor(0, Data.size(), grain(),
-                      [&](size_t Lo, size_t Hi) { Body(Lo, Hi); });
+    std::atomic<size_t> Remaining{NumChunks};
+    std::atomic<bool> Done{false};
+    runtime::Parker &Waiter = runtime::currentParker();
+    auto Finish = [&] {
+      if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Done.store(true, std::memory_order_release);
+        Waiter.unpark();
+      }
+    };
+    for (size_t C = 1; C < NumChunks; ++C)
+      Pool->forkDetached([&Body, &Finish, &N, C, G] {
+        Body(C, C * G, std::min(C * G + G, N));
+        Finish();
+      });
+    Body(0, 0, std::min(G, N));
+    Finish();
+    while (!Done.load(std::memory_order_acquire))
+      Waiter.park();
   }
 
-  /// Runs \p Body over chunks, collecting one partial vector per chunk in
-  /// deterministic order regardless of scheduling.
-  template <typename U, typename BodyT>
-  std::vector<std::vector<U>> chunkResults(BodyT Body) {
-    if (!Pool || Data.size() < 2) {
-      std::vector<std::vector<U>> Parts(1);
-      if (!Data.empty())
-        Body(0, Data.size(), Parts[0]);
-      return Parts;
+  /// Uncounted materialization shared by collect() and sorted().
+  std::vector<T> gather() {
+    Ops.simplify();
+    std::vector<T> Out;
+    if (!Pool || Src->size() < 2) {
+      runRange(Ops, 0, Src->size(), [&](const T &V) { Out.push_back(V); });
+      return Out;
     }
     size_t G = grain();
-    size_t NumChunks = (Data.size() + G - 1) / G;
-    std::vector<std::vector<U>> Parts(NumChunks);
-    Pool->parallelFor(0, NumChunks, 1, [&](size_t CLo, size_t CHi) {
-      for (size_t C = CLo; C < CHi; ++C) {
-        size_t Lo = C * G;
-        size_t Hi = std::min(Lo + G, Data.size());
-        Body(Lo, Hi, Parts[C]);
-      }
+    size_t NumChunks = (Src->size() + G - 1) / G;
+    std::vector<std::vector<T>> Parts(NumChunks);
+    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+      OpsT Local = Ops;
+      std::vector<T> &Part = Parts[C];
+      runRange(Local, Lo, Hi, [&](const T &V) { Part.push_back(V); });
     });
-    return Parts;
+    for (std::vector<T> &Part : Parts)
+      Out.insert(Out.end(), std::make_move_iterator(Part.begin()),
+                 std::make_move_iterator(Part.end()));
+    return Out;
   }
 
-  std::vector<T> Data;
+  std::shared_ptr<const std::vector<SrcT>> Src;
+  OpsT Ops;
   forkjoin::ForkJoinPool *Pool = nullptr;
 };
 

@@ -34,6 +34,8 @@ const char *ren::trace::eventKindName(EventKind K) {
     return "cas.fail";
   case EventKind::Bootstrap:
     return "idynamic.bootstrap";
+  case EventKind::MhSimplify:
+    return "mh.simplify";
   case EventKind::FjFork:
     return "fj.fork";
   case EventKind::FjExternal:

@@ -73,6 +73,8 @@ enum class EventKind : uint8_t {
   Unpark,           ///< Parker::unpark. A = parker address.
   CasFail,          ///< A failed CAS (one retry-loop iteration). A = cell.
   Bootstrap,        ///< invokedynamic bootstrap; Dur = linkage ns. A = site.
+  MhSimplify,       ///< Method handle transitioned to the direct-invoke
+                    ///< path. A = handle, B = stored inline ? 1 : 0.
   FjFork,           ///< Task pushed onto a worker deque. A = worker index.
   FjExternal,       ///< Task overflowed to the external queue.
   FjSteal,          ///< Successful steal. A = thief index, B = victim index.
@@ -84,7 +86,7 @@ enum class EventKind : uint8_t {
 };
 
 /// Number of EventKind values (for histogram arrays).
-inline constexpr unsigned kNumEventKinds = 17;
+inline constexpr unsigned kNumEventKinds = 18;
 
 /// Short lower-case kind name ("monitor.acquire", "fj.steal", ...).
 const char *eventKindName(EventKind K);

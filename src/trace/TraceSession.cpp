@@ -94,6 +94,9 @@ TraceProfile ren::trace::buildProfile(const std::vector<TraceEvent> &Events,
     case EventKind::Bootstrap:
       ++P.Bootstraps;
       break;
+    case EventKind::MhSimplify:
+      ++P.MhSimplifies;
+      break;
     case EventKind::FjFork:
       ++Worker(E.Tid).Forks;
       break;
@@ -191,9 +194,11 @@ std::string TraceProfile::summary() const {
   Emit();
 
   std::snprintf(Line, sizeof(Line),
-                "  atomics: %llu CAS failures; idynamic: %llu bootstraps\n",
+                "  atomics: %llu CAS failures; idynamic: %llu bootstraps, "
+                "%llu handles simplified\n",
                 static_cast<unsigned long long>(CasFailures),
-                static_cast<unsigned long long>(Bootstraps));
+                static_cast<unsigned long long>(Bootstraps),
+                static_cast<unsigned long long>(MhSimplifies));
   Emit();
 
   if (TaskRuns > 0) {

@@ -75,6 +75,7 @@ struct TraceProfile {
   uint64_t MonitorInflations = 0; ///< Thin -> fat monitor transitions.
   uint64_t CasFailures = 0;
   uint64_t Bootstraps = 0;
+  uint64_t MhSimplifies = 0; ///< Handles that took the direct-invoke path.
   uint64_t TaskRuns = 0;
   uint64_t TaskQueueNsTotal = 0;
   uint64_t TaskQueueNsMax = 0;

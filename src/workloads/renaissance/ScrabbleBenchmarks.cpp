@@ -91,7 +91,9 @@ public:
   void runIteration() override {
     // The Paumard pipeline shape: histogram each word (lambda), filter the
     // playable ones (lambda), score them (lambda), group by score, and
-    // find the best bucket.
+    // find the best bucket. The stages fuse: the groupBy terminal drives
+    // each word through filter+map in one pass per source chunk, with no
+    // per-stage intermediate arrays.
     auto Scored =
         streams::Stream<std::string>::of(Dictionary)
             .parallel(*Pool)

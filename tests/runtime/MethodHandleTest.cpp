@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <thread>
 #include <vector>
 
@@ -140,4 +141,112 @@ TEST(BindLambdaTest, CountsIDynamicAndWorks) {
   MetricSnapshot D = MetricSnapshot::delta(Before, snap());
   EXPECT_EQ(D.get(Metric::IDynamic), 1u);
   EXPECT_EQ(H.invoke(2, 3), 5);
+}
+
+//===----------------------------------------------------------------------===//
+// SmallFn: the SBO dispatch substrate under MethodHandle.
+//===----------------------------------------------------------------------===//
+
+TEST(SmallFnTest, SmallTrivialTargetsStayInline) {
+  int K = 5;
+  SmallFn<int(int)> F([K](int X) { return X + K; });
+  EXPECT_TRUE(static_cast<bool>(F));
+  EXPECT_TRUE(F.isInline()) << "a one-word trivially copyable capture must "
+                               "take the no-heap SBO path";
+  EXPECT_EQ(F(2), 7);
+}
+
+TEST(SmallFnTest, CopiesOfInlineTargetsOutliveTheOriginal) {
+  // Dispatch goes through a precomputed context pointer; a copy must point
+  // at its OWN inline buffer, not the original's (which here goes out of
+  // scope before the copy is called).
+  SmallFn<int(int)> Copy;
+  {
+    long K = 100;
+    SmallFn<int(int)> Original([K](int X) { return X + static_cast<int>(K); });
+    Copy = Original;
+  }
+  EXPECT_TRUE(Copy.isInline());
+  EXPECT_EQ(Copy(1), 101);
+}
+
+TEST(SmallFnTest, LargeTargetsFallBackToASharedHeapCell) {
+  // 4 words of capture exceeds the 3-word inline buffer. Heap-backed
+  // copies share the one cell — the ownership model the frameworks
+  // already used via shared_ptr-captured state.
+  struct BigState {
+    long A = 1, B = 2, C = 3;
+    int Hits = 0;
+  };
+  SmallFn<int()> F([S = BigState{}]() mutable { return ++S.Hits; });
+  EXPECT_FALSE(F.isInline());
+  SmallFn<int()> G = F;
+  EXPECT_EQ(F(), 1);
+  EXPECT_EQ(G(), 2) << "heap-backed copies share the captured state";
+}
+
+TEST(SmallFnTest, EmptySmallFnIsFalse) {
+  SmallFn<void()> F;
+  EXPECT_FALSE(static_cast<bool>(F));
+  EXPECT_FALSE(F.isInline());
+}
+
+//===----------------------------------------------------------------------===//
+// The bootstrap-then-simplify lifecycle (MHS fast path).
+//===----------------------------------------------------------------------===//
+
+TEST(MethodHandleTest, SmallTargetsAreStoredInline) {
+  MethodHandle<int(int)> H([](int X) { return X * 2; });
+  EXPECT_TRUE(H.isInline()) << "captureless lambda must not heap-allocate";
+  std::array<long, 8> Big{};
+  MethodHandle<long()> Heap([Big] { return Big[0]; });
+  EXPECT_FALSE(Heap.isInline());
+  EXPECT_EQ(Heap.invoke(), 0);
+}
+
+TEST(MethodHandleTest, DirectInvokeCountsOneDispatchPerCall) {
+  MethodHandle<int(int)> H([](int X) { return X + 1; });
+  H.simplify();
+  MetricSnapshot Before = snap();
+  int V = 0;
+  for (int I = 0; I < 9; ++I)
+    V = H.directInvoke(V);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(V, 9);
+  EXPECT_EQ(D.get(Metric::Method), 9u)
+      << "the monomorphic path preserves the dynamic invocation counts";
+}
+
+TEST(MethodHandleTest, DirectCallLeavesCountingToTheCaller) {
+  MethodHandle<int(int)> H([](int X) { return X + 1; });
+  H.simplify();
+  MetricSnapshot Before = snap();
+  int V = 0;
+  for (int I = 0; I < 9; ++I)
+    V = H.directCall(V);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(V, 9);
+  EXPECT_EQ(D.get(Metric::Method), 0u)
+      << "batching interpreters publish the counts themselves";
+}
+
+TEST(MethodHandleTest, InvokeTransitionsToTheSimplifiedState) {
+  MethodHandle<int()> H([] { return 3; });
+  EXPECT_FALSE(H.isSimplified());
+  H.invoke();
+  EXPECT_TRUE(H.isSimplified())
+      << "the first polymorphic invoke performs the MHS transition";
+  H.simplify(); // idempotent
+  EXPECT_TRUE(H.isSimplified());
+}
+
+TEST(MethodHandleTest, CopiesInheritTheSimplifiedState) {
+  MethodHandle<int()> H([] { return 3; });
+  H.simplify();
+  MethodHandle<int()> Copy(H);
+  EXPECT_TRUE(Copy.isSimplified());
+  MethodHandle<int()> Fresh([] { return 4; });
+  MethodHandle<int()> FreshCopy(Fresh);
+  EXPECT_FALSE(FreshCopy.isSimplified())
+      << "each copy is its own call-site instance";
 }

@@ -1,0 +1,262 @@
+//===- tests/streams/StreamFusionTest.cpp ---------------------------------==//
+//
+// The fused-pipeline contract: lazy intermediates, single-pass terminals,
+// and the pinned metric profile (IDynamic once per stage construction,
+// Method once per per-element stage application, Array only for genuine
+// materializations). Semantics are checked against an eager per-stage
+// reference evaluator retained here in test code, including randomized
+// map/filter/flatMap chains run both serially and in parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "streams/Stream.h"
+
+#include "metrics/Metrics.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+using namespace ren::streams;
+using namespace ren::metrics;
+using ren::Xoshiro256StarStar;
+
+namespace {
+
+MetricSnapshot snap() { return MetricsRegistry::get().snapshot(); }
+
+//===----------------------------------------------------------------------===//
+// Eager reference evaluator: one materialized array per stage, the
+// semantics (not the cost profile) the fused pipeline must reproduce.
+//===----------------------------------------------------------------------===//
+
+template <typename T, typename FnT>
+auto refMap(const std::vector<T> &In, FnT Fn) {
+  std::vector<decltype(Fn(In[0]))> Out;
+  Out.reserve(In.size());
+  for (const T &V : In)
+    Out.push_back(Fn(V));
+  return Out;
+}
+
+template <typename T, typename FnT>
+std::vector<T> refFilter(const std::vector<T> &In, FnT Fn) {
+  std::vector<T> Out;
+  for (const T &V : In)
+    if (Fn(V))
+      Out.push_back(V);
+  return Out;
+}
+
+template <typename T, typename FnT>
+auto refFlatMap(const std::vector<T> &In, FnT Fn) {
+  decltype(Fn(In[0])) Out;
+  for (const T &V : In) {
+    auto Inner = Fn(V);
+    Out.insert(Out.end(), Inner.begin(), Inner.end());
+  }
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Laziness and reuse.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamFusionTest, IntermediatesAreLazyUntilATerminalRuns) {
+  int Applied = 0;
+  auto S = Stream<int>::range(0, 50).map([&Applied](const int &X) {
+    ++Applied;
+    return X * 2;
+  });
+  EXPECT_EQ(Applied, 0) << "map must only record a stage, not evaluate";
+  auto Out = S.collect();
+  EXPECT_EQ(Applied, 50) << "the terminal drives every element exactly once";
+  EXPECT_EQ(Out.size(), 50u);
+  EXPECT_EQ(Out[49], 98);
+}
+
+TEST(StreamFusionTest, TerminalsDoNotConsumeTheStream) {
+  int Applied = 0;
+  auto S = Stream<int>::range(0, 10).map([&Applied](const int &X) {
+    ++Applied;
+    return X + 1;
+  });
+  auto First = S.collect();
+  auto Second = S.collect();
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(Applied, 20) << "each terminal re-drives the shared source";
+}
+
+TEST(StreamFusionTest, LimitShortCircuitsTheSource) {
+  int Applied = 0;
+  auto Out = Stream<int>::range(0, 1000)
+                 .map([&Applied](const int &X) {
+                   ++Applied;
+                   return X;
+                 })
+                 .limit(3)
+                 .collect();
+  EXPECT_EQ(Out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(Applied, 3) << "limit must stop driving the source at N outputs";
+}
+
+TEST(StreamFusionTest, RangeIsEmptyWhenHiNotAboveLo) {
+  EXPECT_EQ(Stream<int>::range(5, 5).collect(), std::vector<int>{});
+  EXPECT_EQ(Stream<int>::range(7, 3).collect(), std::vector<int>{});
+  EXPECT_EQ(Stream<int>::range(7, 3).size(), 0u);
+  EXPECT_EQ(Stream<int>::range(-2, -2)
+                .map([](const int &X) { return X; })
+                .size(),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pinned metric profile.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamFusionTest, FusedChainPinsExactMetricCounts) {
+  MetricSnapshot Before = snap();
+  auto Out = Stream<int>::range(0, 100)
+                 .map([](const int &X) { return X + 1; })
+                 .filter([](const int &X) { return X % 2 == 0; })
+                 .collect();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(Out.size(), 50u);
+  EXPECT_EQ(D.get(Metric::IDynamic), 2u) << "one idynamic per stage built";
+  EXPECT_EQ(D.get(Metric::Method), 200u)
+      << "one dispatch per per-element stage application (100 map + 100 "
+         "filter), batched but total-preserving";
+  EXPECT_EQ(D.get(Metric::Array), 2u)
+      << "source wrap + terminal collect only: fusion materializes no "
+         "intermediate stage arrays";
+}
+
+TEST(StreamFusionTest, FusionRemovesPerStageIntermediateArrays) {
+  MetricSnapshot Before = snap();
+  Stream<int>::range(0, 64)
+      .map([](const int &X) { return X + 1; })
+      .map([](const int &X) { return X * 2; })
+      .map([](const int &X) { return X - 3; })
+      .collect();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(D.get(Metric::Array), 2u)
+      << "the former eager evaluator allocated one array per map stage";
+  EXPECT_EQ(D.get(Metric::Method), 3u * 64u);
+}
+
+TEST(StreamFusionTest, FlatMapCountsOneArrayPerExpansion) {
+  MetricSnapshot Before = snap();
+  auto Out = Stream<int>::of({1, 2, 3, 4, 5}).flatMap([](const int &X) {
+    return std::vector<int>{X, -X};
+  });
+  auto V = Out.collect();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  EXPECT_EQ(V.size(), 10u);
+  EXPECT_EQ(D.get(Metric::Array), 1u + 5u + 1u)
+      << "source + one genuine materialization per expanded element + "
+         "collect";
+  EXPECT_EQ(D.get(Metric::Method), 5u);
+}
+
+TEST(StreamFusionTest, ParallelMetricTotalsMatchSerial) {
+  ren::forkjoin::ForkJoinPool Pool(4);
+  std::vector<int> Input(4001);
+  std::iota(Input.begin(), Input.end(), 0);
+  auto Run = [&](bool Parallel) {
+    MetricSnapshot Before = snap();
+    auto S = Stream<int>::of(Input);
+    if (Parallel)
+      S.parallel(Pool);
+    S.map([](const int &X) { return X * 3; })
+        .filter([](const int &X) { return X % 2 == 1; })
+        .collect();
+    return MetricSnapshot::delta(Before, snap());
+  };
+  MetricSnapshot Ser = Run(false);
+  MetricSnapshot Par = Run(true);
+  EXPECT_EQ(Par.get(Metric::Method), Ser.get(Metric::Method))
+      << "chunk-local batched counters must publish the same per-element "
+         "dispatch total";
+  EXPECT_EQ(Par.get(Metric::IDynamic), Ser.get(Metric::IDynamic));
+  EXPECT_EQ(Par.get(Metric::Array), Ser.get(Metric::Array));
+}
+
+TEST(StreamFusionTest, GroupByCountsOneObjectAndParallelMatches) {
+  ren::forkjoin::ForkJoinPool Pool(4);
+  std::vector<int> Input(3000);
+  std::iota(Input.begin(), Input.end(), 0);
+  auto KeyFn = [](const int &X) { return X % 7; };
+
+  MetricSnapshot Before = snap();
+  auto Ser = Stream<int>::of(Input).groupBy(KeyFn);
+  MetricSnapshot SerD = MetricSnapshot::delta(Before, snap());
+
+  Before = snap();
+  auto Par = Stream<int>::of(Input).parallel(Pool).groupBy(KeyFn);
+  MetricSnapshot ParD = MetricSnapshot::delta(Before, snap());
+
+  ASSERT_EQ(Ser.size(), 7u);
+  for (auto &KV : Ser) {
+    auto It = Par.find(KV.first);
+    ASSERT_NE(It, Par.end());
+    EXPECT_EQ(It->second, KV.second)
+        << "chunk-order merge must preserve within-group source order";
+  }
+  EXPECT_EQ(SerD.get(Metric::Object), 2u)
+      << "one lambda object (bindLambda) + one counted group map";
+  EXPECT_GE(ParD.get(Metric::Object), 2u)
+      << "parallel adds only the counted fork/join task objects";
+  EXPECT_EQ(SerD.get(Metric::Method), ParD.get(Metric::Method));
+  EXPECT_EQ(SerD.get(Metric::Array), ParD.get(Metric::Array));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized semantic equivalence against the eager reference.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamFusionTest, RandomizedChainsMatchEagerReferenceSerialAndParallel) {
+  ren::forkjoin::ForkJoinPool Pool(3);
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    Xoshiro256StarStar Rng(Seed * 0x9E3779B9ULL);
+    const int N = static_cast<int>(Rng.nextBounded(400));
+    const int A = static_cast<int>(Rng.nextBounded(97)) + 1;
+    const int M = static_cast<int>(Rng.nextBounded(5)) + 2;
+    const int B = static_cast<int>(Rng.nextBounded(31)) + 1;
+    std::vector<int> Input(N);
+    for (int &V : Input)
+      V = static_cast<int>(Rng.nextBounded(10000));
+
+    auto MapFn = [A](const int &X) { return X ^ A; };
+    auto FilterFn = [M](const int &X) { return X % M != 0; };
+    auto FlatFn = [](const int &X) {
+      return std::vector<int>(static_cast<size_t>(X % 3), X);
+    };
+    auto Map2Fn = [B](const int &X) { return X * B + 1; };
+
+    std::vector<int> Ref = refMap(
+        refFlatMap(refFilter(refMap(Input, MapFn), FilterFn), FlatFn), Map2Fn);
+
+    auto Build = [&](bool Parallel) {
+      auto S = Stream<int>::of(Input);
+      if (Parallel)
+        S.parallel(Pool);
+      return S.map(MapFn).filter(FilterFn).flatMap(FlatFn).map(Map2Fn);
+    };
+    EXPECT_EQ(Build(false).collect(), Ref) << "seed " << Seed;
+    EXPECT_EQ(Build(true).collect(), Ref) << "seed " << Seed;
+
+    long RefSum = std::accumulate(Ref.begin(), Ref.end(), 0L);
+    long SerSum = Build(false).reduce(
+        0L, [](long Acc, const int &X) { return Acc + X; },
+        [](long X, long Y) { return X + Y; });
+    long ParSum = Build(true).reduce(
+        0L, [](long Acc, const int &X) { return Acc + X; },
+        [](long X, long Y) { return X + Y; });
+    EXPECT_EQ(SerSum, RefSum) << "seed " << Seed;
+    EXPECT_EQ(ParSum, RefSum) << "seed " << Seed;
+  }
+}

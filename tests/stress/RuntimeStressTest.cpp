@@ -2,12 +2,14 @@
 //
 // Concurrency stress scenarios for ren::runtime (ctest -L stress):
 // Atomic<T> CAS counters, Monitor mutual exclusion and guarded blocks,
-// Parker permit delivery — plus the BrokenMonitor mutation test proving
-// the harness actually detects a buggy primitive.
+// Parker permit delivery, the invokedynamic bootstrap-count publication —
+// plus the BrokenMonitor mutation test proving the harness actually
+// detects a buggy primitive.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Atomic.h"
+#include "runtime/MethodHandle.h"
 #include "runtime/Monitor.h"
 #include "runtime/Park.h"
 #include "stress/Linearizability.h"
@@ -316,6 +318,74 @@ TEST(RuntimeStress, ParkerNeverLosesPermit) {
   ParkPermitScenario S;
   StressRunner::Options Opts;
   Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+namespace {
+
+/// Races an invokedynamic site's first execution against lock-free
+/// bootstrapCount() readers. BootstrapRuns is a std::atomic<unsigned>
+/// written under the bootstrap lock but read without it, so this is the
+/// TSan target for the counter publication: a racing reader may observe
+/// 0 or 1 but never a torn value, an overcount, or a regression.
+class BootstrapCountScenario : public StressScenario {
+public:
+  std::string name() const override { return "idynamic-bootstrap-count"; }
+  unsigned actors() const override { return kActors; }
+  void prepare() override {
+    Site = std::make_unique<
+        ren::runtime::InvokeDynamicSite<int()>>();
+    Invoked = 0;
+    BadRead = false;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    if (Index == 0) {
+      Nudge.pause();
+      auto H = Site->makeHandle([] {
+        return ren::runtime::MethodHandle<int()>([] { return 7; });
+      });
+      Invoked = H.invoke();
+    } else {
+      unsigned Prev = 0;
+      for (int I = 0; I < 8; ++I) {
+        unsigned Now = Site->bootstrapCount();
+        if (Now > 1 || Now < Prev)
+          BadRead = true;
+        Prev = Now;
+        Nudge.pause();
+      }
+    }
+  }
+  std::string observe() override {
+    if (BadRead)
+      return "bad-read";
+    if (Site->bootstrapCount() != 1)
+      return "count:" + std::to_string(Site->bootstrapCount());
+    return Invoked == 7 ? "linked-once" : "wrong-target";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("linked-once", "bootstrap ran once and readers saw 0 or 1")
+        .forbid("bad-read", "racing reader saw a torn or regressing count")
+        .forbid("count:0", "bootstrap publication was lost")
+        .forbid("count:2", "bootstrap ran twice")
+        .forbid("wrong-target", "handle linked to the wrong target");
+    return Spec;
+  }
+
+private:
+  std::unique_ptr<ren::runtime::InvokeDynamicSite<int()>> Site;
+  int Invoked = 0;
+  bool BadRead = false;
+};
+
+} // namespace
+
+TEST(RuntimeStress, BootstrapCountReadsRaceCleanly) {
+  BootstrapCountScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 400;
   StressReport Report = StressRunner(Opts).run(S);
   EXPECT_TRUE(Report.passed()) << Report.summary();
 }

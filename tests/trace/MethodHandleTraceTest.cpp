@@ -1,0 +1,118 @@
+//===- tests/trace/MethodHandleTraceTest.cpp ------------------------------==//
+//
+// Pins the method-handle trace surface across the SBO/fast-path rewrite:
+// the MhSimplify instant fired exactly once per handle transition (with
+// the inline-storage payload), silence from already-simplified copies and
+// from the direct-invoke path, the per-stage emission of a fused stream
+// pipeline, and the TraceProfile simplified-handle aggregation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MethodHandle.h"
+#include "streams/Stream.h"
+#include "trace/Trace.h"
+#include "trace/TraceSession.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+using namespace ren::trace;
+using ren::runtime::MethodHandle;
+
+namespace {
+
+std::vector<TraceEvent> simplifies(const TraceSession &Session) {
+  std::vector<TraceEvent> Out;
+  for (const TraceEvent &E : Session.events())
+    if (E.Kind == EventKind::MhSimplify)
+      Out.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+TEST(MethodHandleTraceTest, SimplifyEmitsOneInstantWithSboPayload) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  MethodHandle<int(int)> H([](int X) { return X + 1; });
+  TraceSession Session;
+  Session.start();
+  H.simplify();
+  H.simplify();        // idempotent: no second event
+  H.directInvoke(1);   // the fast path never re-announces
+  H.invoke(2);
+  Session.stop();
+
+  auto Events = simplifies(Session);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Ph, Phase::Instant);
+  EXPECT_STREQ(Events[0].Name, "mh.simplify");
+  EXPECT_EQ(Events[0].A, objectId(&H));
+  EXPECT_EQ(Events[0].B, 1u) << "payload B: target stored inline";
+}
+
+TEST(MethodHandleTraceTest, HeapBackedHandleReportsSboMiss) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  std::array<long, 8> Big{};
+  MethodHandle<long()> H([Big] { return Big[0]; });
+  TraceSession Session;
+  Session.start();
+  H.invoke(); // first invoke performs the transition
+  Session.stop();
+
+  auto Events = simplifies(Session);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].A, objectId(&H));
+  EXPECT_EQ(Events[0].B, 0u) << "payload B: target fell back to the heap";
+}
+
+TEST(MethodHandleTraceTest, SimplifiedCopiesStaySilent) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  MethodHandle<int()> H([] { return 3; });
+  H.simplify(); // before the session: the copy inherits the state
+  TraceSession Session;
+  Session.start();
+  MethodHandle<int()> Copy(H);
+  Copy.simplify();
+  Copy.invoke();
+  MethodHandle<int()> Fresh([] { return 4; });
+  MethodHandle<int()> FreshCopy(Fresh);
+  FreshCopy.invoke(); // an unsimplified copy transitions as its own site
+  Session.stop();
+
+  auto Events = simplifies(Session);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].A, objectId(&FreshCopy));
+}
+
+TEST(MethodHandleTraceTest, FusedPipelineSimplifiesEachStageOnce) {
+  if (!kTraceCompiled)
+    GTEST_SKIP() << "tracing compiled out (REN_TRACE_DISABLED)";
+  using ren::streams::Stream;
+  TraceSession Build;
+  Build.start();
+  auto S = Stream<int>::range(0, 32)
+               .map([](const int &X) { return X + 1; })
+               .filter([](const int &X) { return X % 2 == 0; });
+  Build.stop();
+  EXPECT_EQ(simplifies(Build).size(), 0u)
+      << "building the lazy pipeline must not transition any handle";
+
+  TraceSession Run;
+  Run.start();
+  S.collect();
+  S.collect(); // stage handles are already simplified: no new events
+  Run.stop();
+
+  auto Events = simplifies(Run);
+  EXPECT_EQ(Events.size(), 2u)
+      << "one transition per pipeline stage, on the first terminal only";
+
+  TraceProfile Profile = Run.profile();
+  EXPECT_EQ(Profile.MhSimplifies, 2u);
+  EXPECT_NE(Profile.summary().find("simplified"), std::string::npos);
+}

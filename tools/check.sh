@@ -11,13 +11,18 @@
 #                                  #     in the tier-1 build, then the same
 #                                  #     label (incl. stress_trace) under TSan
 #   tools/check.sh --stress --tsan # everything
-#   tools/check.sh --bench-smoke   # Release build, run the fork/join and
-#                                  #     monitor microbenchmarks briefly and
-#                                  #     emit BENCH_forkjoin.json (ops/s for
-#                                  #     ping, parallelFor, steal-heavy) plus
+#   tools/check.sh --bench-smoke   # Release build, run the fork/join,
+#                                  #     monitor and streams/dispatch
+#                                  #     microbenchmarks briefly and emit
+#                                  #     BENCH_forkjoin.json (ops/s for
+#                                  #     ping, parallelFor, steal-heavy),
 #                                  #     BENCH_monitor.json (uncontended
 #                                  #     enter/exit, 2/8-thread contended
-#                                  #     throughput, wait/notify ping)
+#                                  #     throughput, wait/notify ping) and
+#                                  #     BENCH_streams.json (method-handle
+#                                  #     dispatch, fused serial pipeline,
+#                                  #     parallel scrabble-style pipeline vs
+#                                  #     the committed eager baseline)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
@@ -198,6 +203,45 @@ for name, c in cases.items():
     extra = ""
     if "speedup_vs_mutex_monitor" in c:
         extra = f"  ({c['speedup_vs_mutex_monitor']}x vs mutex monitor)"
+    print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
+EOF
+
+  step "bench-smoke: streams/dispatch microbenchmarks"
+  RAW_STREAMS="$BENCH_DIR/bench_streams_raw.json"
+  timeout 120 "$BENCH_DIR/bench/bench_micro_substrates" \
+    --benchmark_filter='BM_MethodHandleInvoke|BM_StreamSerialPipeline|BM_StreamParallelScrabble' \
+    --benchmark_min_time=0.3 \
+    --benchmark_out="$RAW_STREAMS" --benchmark_out_format=json
+
+  step "bench-smoke: write BENCH_streams.json"
+  python3 - "$RAW_STREAMS" bench/BASELINE_streams.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+cases = {}
+for b in raw.get("benchmarks", []):
+    ops = b.get("items_per_second")
+    if ops is None:
+        continue
+    c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["speedup_vs_eager"] = round(ops / ref, 2)
+    cases[b["name"]] = c
+out = {"context": {"date": raw["context"].get("date"),
+                   "num_cpus": raw["context"].get("num_cpus")},
+       "baseline": "bench/BASELINE_streams.json (eager per-stage streams, "
+                   "shared_ptr<std::function> method handles)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_streams.json", "w"), indent=2)
+print("wrote BENCH_streams.json:")
+for name, c in cases.items():
+    extra = ""
+    if "speedup_vs_eager" in c:
+        extra = f"  ({c['speedup_vs_eager']}x vs eager streams)"
     print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
 EOF
 fi
