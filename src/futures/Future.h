@@ -99,6 +99,10 @@ template <typename T> class FutureState {
 public:
   /// SmallFn rather than std::function: completion chains hop through one
   /// indirect call per continuation, and small callbacks stay heap-free.
+  /// Unlike std::function, SmallFn copies of a *large* target share it
+  /// (no deep copy on the heap path) — callbacks must be stateless or keep
+  /// mutable state in explicit shared cells, which every continuation the
+  /// framework builds already does.
   using Callback = runtime::SmallFn<void(const Try<T> &)>;
 
   /// Attempts the pending->completed transition. \returns false if the

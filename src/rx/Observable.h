@@ -49,6 +49,12 @@ template <typename T> struct Observer {
 };
 
 /// A cold observable: each subscription re-runs the producer.
+///
+/// The producer is a SmallFn, whose copies share a *large* captured target
+/// rather than deep-copying it as std::function would. A cold producer must
+/// therefore not carry mutable captured state across subscriptions: create
+/// per-subscription state inside the producer body (as fromVector/range and
+/// every operator here do), or hold it in an explicit shared cell.
 template <typename T> class Observable {
 public:
   using SubscribeFn = runtime::SmallFn<void(Observer<T>)>;

@@ -432,8 +432,10 @@ public:
   }
 
   /// First \p N pipeline output elements (short-circuits: stops driving
-  /// the source once \p N outputs are produced).
+  /// the source once \p N outputs are produced); materializes the result
+  /// as a fresh source stream (one counted array).
   auto limit(size_t N) {
+    runtime::noteArrayAlloc();
     Ops.simplify();
     std::vector<T> Out;
     const std::vector<SrcT> &S = *Src;
@@ -515,10 +517,19 @@ private:
     std::atomic<size_t> Remaining{NumChunks};
     std::atomic<bool> Done{false};
     runtime::Parker &Waiter = runtime::currentParker();
+    // The caller may return — popping this frame, and Remaining/Done/
+    // Waiter/Body/Finish with it — as soon as it observes Done == true
+    // (its own Finish may race the last worker's, and park() can return
+    // spuriously on a stale permit). The Done store must therefore be the
+    // LAST access to this frame: the parker is hoisted into a local first
+    // (release ordering keeps that read before the store), and parkers
+    // are pool-allocated and never destroyed (see Park.h), so the unpark
+    // after the store touches no freed memory even if the frame is gone.
     auto Finish = [&] {
+      runtime::Parker &P = Waiter;
       if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         Done.store(true, std::memory_order_release);
-        Waiter.unpark();
+        P.unpark();
       }
     };
     for (size_t C = 1; C < NumChunks; ++C)

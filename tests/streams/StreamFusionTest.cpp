@@ -93,6 +93,7 @@ TEST(StreamFusionTest, TerminalsDoNotConsumeTheStream) {
 
 TEST(StreamFusionTest, LimitShortCircuitsTheSource) {
   int Applied = 0;
+  MetricSnapshot Before = snap();
   auto Out = Stream<int>::range(0, 1000)
                  .map([&Applied](const int &X) {
                    ++Applied;
@@ -100,8 +101,12 @@ TEST(StreamFusionTest, LimitShortCircuitsTheSource) {
                  })
                  .limit(3)
                  .collect();
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
   EXPECT_EQ(Out, (std::vector<int>{0, 1, 2}));
   EXPECT_EQ(Applied, 3) << "limit must stop driving the source at N outputs";
+  EXPECT_EQ(D.get(Metric::Array), 3u)
+      << "range source + the limit materialization + terminal collect: "
+         "limit's fresh source vector is a genuine, counted array";
 }
 
 TEST(StreamFusionTest, RangeIsEmptyWhenHiNotAboveLo) {

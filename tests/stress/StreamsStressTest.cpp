@@ -1,0 +1,135 @@
+//===- tests/stress/StreamsStressTest.cpp ---------------------------------==//
+//
+// Concurrency stress scenarios for ren::streams (ctest -L stress): the
+// external-caller completion latch in Stream::parallelChunks. A terminal
+// invoked from a non-pool thread scatters detached chunk tasks that
+// decrement a stack-resident latch; the caller may return — popping the
+// frame — the instant it observes Done == true, so the last finisher must
+// not touch the frame after that store (the use-after-return window the
+// fix closed). Tiny sources maximize chunk count relative to chunk work,
+// widening the race window for TSan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "streams/Stream.h"
+
+#include "forkjoin/ForkJoinPool.h"
+#include "stress/Stress.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace ren::stress;
+using ren::forkjoin::ForkJoinPool;
+using ren::streams::Stream;
+
+namespace {
+
+/// Two external threads hammer parallel reduce terminals on one shared
+/// pool. Each source element is its own chunk (near-empty chunk bodies),
+/// so the caller's own Finish and spin check race the workers' detached
+/// Finish decrements on every repetition.
+class ParallelReduceLatchScenario : public StressScenario {
+public:
+  ParallelReduceLatchScenario() : Pool(4) {
+    Input.resize(24);
+    std::iota(Input.begin(), Input.end(), 0);
+  }
+
+  std::string name() const override { return "streams-parallel-latch"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Sums[0] = Sums[1] = -1; }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto S = Stream<int>::of(Input);
+    S.parallel(Pool);
+    Sums[Index] = S.map([](const int &X) { return X * 2; })
+                      .reduce(
+                          0L,
+                          [](long Acc, const int &X) { return Acc + X; },
+                          [](long A, long B) { return A + B; });
+  }
+  std::string observe() override {
+    long Expected = 2 * (23 * 24 / 2); // sum of 2*[0, 24)
+    for (int I = 0; I < 2; ++I)
+      if (Sums[I] != Expected)
+        return "actor" + std::to_string(I) + ":" + std::to_string(Sums[I]);
+    return "both-correct";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("both-correct", "every chunk ran and the latch released "
+                                "exactly after the last one");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::vector<int> Input;
+  long Sums[2] = {-1, -1};
+};
+
+/// Same latch shape through collect(): chunk bodies write caller-stack
+/// Parts vectors, so a latch that releases early (or a finisher touching
+/// the frame late) corrupts the materialized output.
+class ParallelCollectLatchScenario : public StressScenario {
+public:
+  ParallelCollectLatchScenario() : Pool(4) {
+    Input.resize(17);
+    std::iota(Input.begin(), Input.end(), 1);
+  }
+
+  std::string name() const override { return "streams-parallel-collect"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Ok[0] = Ok[1] = false; }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto S = Stream<int>::of(Input);
+    S.parallel(Pool);
+    std::vector<int> Out =
+        S.filter([](const int &X) { return X % 2 == 1; }).collect();
+    std::vector<int> Expected;
+    for (int V : Input)
+      if (V % 2 == 1)
+        Expected.push_back(V);
+    Ok[Index] = Out == Expected;
+  }
+  std::string observe() override {
+    if (!Ok[0] || !Ok[1])
+      return "wrong-output";
+    return "ordered-and-complete";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("ordered-and-complete")
+        .forbid("wrong-output",
+                "a chunk was lost, duplicated, or merged out of order");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::vector<int> Input;
+  bool Ok[2] = {false, false};
+};
+
+} // namespace
+
+TEST(StreamsStress, ParallelReduceLatchNeverTouchesADeadFrame) {
+  ParallelReduceLatchScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StreamsStress, ParallelCollectPreservesOrderUnderContention) {
+  ParallelCollectLatchScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
