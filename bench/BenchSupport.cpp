@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 using namespace ren;
 using namespace ren::bench;
@@ -98,6 +99,20 @@ ImpactCell ren::bench::impactCell(uint64_t CyclesWith,
                 stats::mean(With);
   Cell.PValue = stats::welchTTest(With, Without).PValue;
   return Cell;
+}
+
+ParallelHostInfo ren::bench::parallelHostInfo(unsigned ThreadsUsed) {
+  ParallelHostInfo Info;
+  Info.HardwareConcurrency = std::thread::hardware_concurrency();
+  Info.ThreadsUsed = ThreadsUsed;
+  Info.SerialHost = Info.HardwareConcurrency <= 1;
+  if (Info.SerialHost)
+    std::fprintf(stderr,
+                 "warning: hardware_concurrency() reports %u CPU(s); "
+                 "parallel rows (threads_used=%u) measure scheduling "
+                 "overhead, not scaling\n",
+                 Info.HardwareConcurrency, ThreadsUsed);
+  return Info;
 }
 
 std::vector<BenchmarkImpactRow> ren::bench::computeImpactMatrix() {

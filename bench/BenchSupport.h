@@ -102,6 +102,20 @@ struct BenchmarkImpactRow {
 /// Computes the full Figure 5 data set.
 std::vector<BenchmarkImpactRow> computeImpactMatrix();
 
+/// Host-parallelism snapshot recorded into the bench JSON context by the
+/// parallel-streams benchmarks. \p ThreadsUsed is the widest pool the
+/// benchmark actually ran. When the host advertises <= 1 hardware thread
+/// (SerialHost), parallel speedups measure scheduling overhead rather
+/// than scaling; parallelHostInfo prints a one-line stderr warning in
+/// that case so the numbers are never read as scaling data.
+struct ParallelHostInfo {
+  unsigned HardwareConcurrency = 0; ///< std::thread::hardware_concurrency()
+  unsigned ThreadsUsed = 0;
+  bool SerialHost = false; ///< HardwareConcurrency <= 1
+};
+
+ParallelHostInfo parallelHostInfo(unsigned ThreadsUsed);
+
 } // namespace bench
 } // namespace ren
 

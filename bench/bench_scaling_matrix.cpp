@@ -1,0 +1,248 @@
+//===- bench/bench_scaling_matrix.cpp -------------------------------------==//
+//
+// pSTL-Bench-style scaling matrix for the stream terminals: every cell is
+// one (terminal, input size, thread count) triple, timed self-contained
+// and emitted as JSON that tools/check.sh --bench-smoke merges into
+// BENCH_streams.json and gates against bench/BASELINE_streams.json.
+//
+// Cells:
+//   matrix/reduce/size=N/threads=T    fused map+reduce sum
+//   matrix/groupBy/size=N/threads=T   striped-combiner groupBy (mod key)
+//   matrix/sorted/size=N/threads=T    parallel stable merge sort + collect
+//   matrix/collect/size=N/threads=T   fused filter+map materialize
+//   matrix/groupByEager/size=N/threads=1   hand-written serial
+//       hash-and-append loop — the eager reference row the paper-style
+//       speedup column divides by
+//
+// threads=1 rows run the serial terminal path (no pool) so the
+// speedup-vs-threads curve reads as "vs serial", matching how pSTL-Bench
+// plots scaling. ops_per_second is source elements per wall second.
+//
+// Flags: --quick (small sizes, short min-time — the `ctest -L bench`
+// smoke), --min-time=SECONDS (per-cell measure budget, default 0.3),
+// --out=PATH (default stdout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "forkjoin/ForkJoinPool.h"
+#include "streams/Stream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace ren;
+
+namespace {
+
+struct Cell {
+  std::string Name;
+  double OpsPerSecond = 0.0;
+  double RealTimeNs = 0.0;
+};
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs \p Body until \p MinTime seconds have elapsed (at least twice:
+/// the first call is warmup and discarded) and returns the mean seconds
+/// per call over the measured runs.
+double timeCell(double MinTime, const std::function<void()> &Body) {
+  Body(); // warmup: faults in the input, spins up pool workers
+  unsigned Iters = 0;
+  double Start = nowSeconds(), Elapsed = 0.0;
+  do {
+    Body();
+    ++Iters;
+    Elapsed = nowSeconds() - Start;
+  } while (Elapsed < MinTime);
+  return Elapsed / Iters;
+}
+
+/// Shuffled-ish deterministic input: a full-period LCG walk so sorted()
+/// sees genuinely unordered data and groupBy keys spread over all values.
+std::vector<int> makeInput(size_t N) {
+  std::vector<int> V(N);
+  uint32_t X = 0x9E3779B9u;
+  for (size_t I = 0; I < N; ++I) {
+    X = X * 1664525u + 1013904223u;
+    V[I] = static_cast<int>(X >> 8);
+  }
+  return V;
+}
+
+volatile long Sink = 0; ///< defeats whole-pipeline dead-code elimination
+
+long runReduce(const std::vector<int> &Input, forkjoin::ForkJoinPool *Pool) {
+  auto S = streams::Stream<int>::of(Input);
+  if (Pool)
+    S.parallel(*Pool);
+  return S.map([](const int &X) { return X * 3 + 1; })
+      .template reduce<long>(
+          0, [](long A, const int &X) { return A + X; },
+          [](long A, long B) { return A + B; });
+}
+
+size_t runGroupBy(const std::vector<int> &Input,
+                  forkjoin::ForkJoinPool *Pool) {
+  auto S = streams::Stream<int>::of(Input);
+  if (Pool)
+    S.parallel(*Pool);
+  auto Groups = S.groupBy([](const int &X) { return X & 0x3FF; });
+  return Groups.size();
+}
+
+/// The eager reference row: what a non-stream caller writes by hand — a
+/// single serial hash-and-append loop, no chunking, no stripes.
+size_t runGroupByEager(const std::vector<int> &Input) {
+  std::unordered_map<int, std::vector<int>> Groups;
+  for (int X : Input)
+    Groups[X & 0x3FF].push_back(X);
+  return Groups.size();
+}
+
+int runSorted(const std::vector<int> &Input, forkjoin::ForkJoinPool *Pool) {
+  auto S = streams::Stream<int>::of(Input);
+  if (Pool)
+    S.parallel(*Pool);
+  std::vector<int> Out =
+      S.sorted([](const int &A, const int &B) { return A < B; }).collect();
+  return Out.empty() ? 0 : Out.back();
+}
+
+size_t runCollect(const std::vector<int> &Input,
+                  forkjoin::ForkJoinPool *Pool) {
+  auto S = streams::Stream<int>::of(Input);
+  if (Pool)
+    S.parallel(*Pool);
+  std::vector<int> Out = S.filter([](const int &X) { return (X & 1) == 0; })
+                             .map([](const int &X) { return X + 1; })
+                             .collect();
+  return Out.size();
+}
+
+std::string cellName(const char *Terminal, size_t Size, unsigned Threads) {
+  return "matrix/" + std::string(Terminal) + "/size=" +
+         std::to_string(Size) + "/threads=" + std::to_string(Threads);
+}
+
+void emitJson(std::FILE *Out, const std::vector<Cell> &Cells,
+              const bench::ParallelHostInfo &Host) {
+  std::fputs("{\n  \"context\": {\n", Out);
+  std::fprintf(Out, "    \"num_cpus\": %u,\n", Host.HardwareConcurrency);
+  std::fprintf(Out, "    \"threads_used\": %u,\n", Host.ThreadsUsed);
+  std::fprintf(Out, "    \"serial_host\": %s\n",
+               Host.SerialHost ? "true" : "false");
+  std::fputs("  },\n  \"benchmarks\": [\n", Out);
+  for (size_t I = 0; I < Cells.size(); ++I)
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"items_per_second\": %.6g, "
+                 "\"real_time\": %.6g}%s\n",
+                 Cells[I].Name.c_str(), Cells[I].OpsPerSecond,
+                 Cells[I].RealTimeNs, I + 1 < Cells.size() ? "," : "");
+  std::fputs("  ]\n}\n", Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  double MinTime = 0.3;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Arg, "--min-time=", 11) == 0)
+      MinTime = std::atof(Arg + 11);
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      OutPath = Arg + 6;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--min-time=SECONDS] [--out=PATH]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (Quick)
+    MinTime = std::min(MinTime, 0.02);
+
+  const std::vector<size_t> Sizes =
+      Quick ? std::vector<size_t>{1 << 10}
+            : std::vector<size_t>{1 << 12, 1 << 16};
+  const std::vector<unsigned> Threads = {1, 2, 4};
+  unsigned MaxThreads = Threads.back();
+
+  bench::ParallelHostInfo Host = bench::parallelHostInfo(MaxThreads);
+
+  std::vector<Cell> Cells;
+  for (size_t Size : Sizes) {
+    std::vector<int> Input = makeInput(Size);
+
+    // Eager reference row first: the denominator of the paper-style
+    // "streams vs hand-written loop" comparison at this size.
+    {
+      double Secs =
+          timeCell(MinTime, [&] { Sink = (long)runGroupByEager(Input); });
+      Cells.push_back(Cell{cellName("groupByEager", Size, 1),
+                           static_cast<double>(Size) / Secs, Secs * 1e9});
+    }
+
+    for (unsigned T : Threads) {
+      // threads=1 is the serial terminal path; >1 owns a T-worker pool.
+      std::unique_ptr<forkjoin::ForkJoinPool> Pool;
+      if (T > 1)
+        Pool = std::make_unique<forkjoin::ForkJoinPool>(T);
+      forkjoin::ForkJoinPool *P = Pool.get();
+
+      struct Terminal {
+        const char *Name;
+        std::function<void()> Body;
+      };
+      const Terminal Terminals[] = {
+          {"reduce", [&] { Sink = runReduce(Input, P); }},
+          {"groupBy", [&] { Sink = (long)runGroupBy(Input, P); }},
+          {"sorted", [&] { Sink = runSorted(Input, P); }},
+          {"collect", [&] { Sink = (long)runCollect(Input, P); }},
+      };
+      for (const Terminal &Term : Terminals) {
+        double Secs = timeCell(MinTime, Term.Body);
+        Cells.push_back(Cell{cellName(Term.Name, Size, T),
+                             static_cast<double>(Size) / Secs, Secs * 1e9});
+      }
+    }
+  }
+
+  std::FILE *Out = stdout;
+  if (!OutPath.empty()) {
+    Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open --out file '%s'\n", OutPath.c_str());
+      return 1;
+    }
+  }
+  emitJson(Out, Cells, Host);
+  if (Out != stdout)
+    std::fclose(Out);
+
+  std::fprintf(stderr, "scaling matrix: %zu cells, threads_used=%u, "
+                       "num_cpus=%u%s\n",
+               Cells.size(), MaxThreads, Host.HardwareConcurrency,
+               Host.SerialHost ? " (serial host: speedups are overhead "
+                                 "measurements)"
+                               : "");
+  return 0;
+}

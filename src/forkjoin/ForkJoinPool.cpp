@@ -262,8 +262,10 @@ bool ForkJoinPool::registerIdleWorker(unsigned Index) {
     // subsequent queue re-check (rule (2) of the wakeup protocol).
     if (IdleHead.compare_exchange_weak(Head, NewHead,
                                        std::memory_order_seq_cst,
-                                       std::memory_order_relaxed))
+                                       std::memory_order_relaxed)) {
+      IdleCount.fetch_add(1, std::memory_order_relaxed);
       return true;
+    }
   }
 }
 
@@ -281,6 +283,7 @@ ForkJoinPool::WorkerState *ForkJoinPool::popIdleWorker() {
     if (IdleHead.compare_exchange_weak(Head, NewHead,
                                        std::memory_order_seq_cst,
                                        std::memory_order_acquire)) {
+      IdleCount.fetch_sub(1, std::memory_order_relaxed);
       W.OnIdleStack.store(false, std::memory_order_release);
       return &W;
     }

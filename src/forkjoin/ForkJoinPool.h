@@ -44,6 +44,7 @@
 #include "runtime/Park.h"
 #include "support/Check.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -229,6 +230,42 @@ public:
 
   unsigned parallelism() const { return NumWorkers; }
 
+  /// Approximate number of workers currently parked on the idle stack — a
+  /// relaxed scheduling hint, not a synchronized count. Bulk operations use
+  /// it to size their task fan-out to the parallelism actually available
+  /// (a saturated pool balances better with fewer, larger chunks).
+  unsigned approxIdleWorkers() const {
+    return IdleCount.load(std::memory_order_relaxed);
+  }
+
+  /// Grain (elements per chunk) advice for splitting a bulk operation of
+  /// \p N elements, targeting kTasksPerWorker chunks per *available*
+  /// worker (the caller plus the idle hint, clamped to the pool size) so
+  /// steals can rebalance, floored at \p MinGrain so task overhead stays
+  /// amortized, and never slicing finer than one element per chunk. A
+  /// single-worker pool gets one chunk: there is nobody to rebalance onto.
+  size_t adviseGrain(size_t N, size_t MinGrain) const {
+    if (N == 0)
+      return 1;
+    if (parallelism() <= 1)
+      return N; // One chunk: there is nobody to rebalance onto.
+    // The idle hint is racy (workers park and wake concurrently); treating
+    // it as a lower bound keeps the fan-out conservative when the pool is
+    // saturated by other callers and full when it is quiescent.
+    size_t Avail = std::min<size_t>(parallelism(), approxIdleWorkers() + 1);
+    size_t TargetChunks = kTasksPerWorker * Avail;
+    size_t G = (N + TargetChunks - 1) / TargetChunks;
+    if (G < MinGrain)
+      G = MinGrain;
+    return G < 1 ? 1 : G;
+  }
+
+  /// Chunks-per-worker oversplit factor used by adviseGrain: enough slack
+  /// for work stealing to even out skewed chunk costs, small enough that
+  /// per-task overhead stays negligible (java.util.concurrent uses the
+  /// same <<2 lead in its bulk-task sizing).
+  static constexpr size_t kTasksPerWorker = 4;
+
   /// Forks \p Body as a task. From a worker thread it is pushed onto the
   /// worker's own deque; otherwise onto the external submission queue.
   template <typename FnT> auto fork(FnT Body) {
@@ -338,6 +375,11 @@ private:
   // Treiber stack of idle workers: (tag << 32) | (worker index + 1), 0 for
   // empty. The tag is bumped by every successful head CAS, defeating ABA.
   std::atomic<uint64_t> IdleHead{0};
+
+  // Relaxed mirror of the idle-stack population for adviseGrain: bumped on
+  // successful registration, dropped on successful pop. Purely a hint — it
+  // may lag the stack by a few workers and guards nothing.
+  std::atomic<unsigned> IdleCount{0};
 
   std::atomic<bool> ShuttingDown{false};
 };

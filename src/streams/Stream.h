@@ -36,9 +36,14 @@
 ///    evaluator this removes one array per intermediate stage — the same
 ///    direction MHS moves the profile on the JVM;
 ///  - parallel evaluation splits the *source* index range across the
-///    fork/join pool; each chunk drives a private copy of the stage chain
-///    (stage counters stay unsynchronized) and deterministic chunk order
-///    preserves element order.
+///    fork/join pool with size- and core-adaptive chunking (grain
+///    targeting via ForkJoinPool::adviseGrain rather than fixed splits);
+///    each chunk drives a private copy of the stage chain (stage counters
+///    stay unsynchronized) and deterministic chunk indices preserve
+///    element order. Parallel groupBy merges through a striped concurrent
+///    combiner (hash-selected stripes, thin-lock bucket inserts,
+///    chunk-indexed run stitching) and sorted() runs a stable parallel
+///    merge sort — both reproduce the serial output exactly.
 ///
 /// Streams are cheap non-owning views: the source vector is shared, so a
 /// stream can be reused after a terminal (terminals do not consume).
@@ -57,8 +62,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -82,6 +89,29 @@ namespace detail {
 /// simplified call site dispatches to — a direct, compiler-visible call)
 /// and the MethodHandle linked by bindLambda (the original polymorphic
 /// site: its bootstrap/simplify lifecycle and trace events model §5.4).
+
+/// A one-word test-and-test-and-set spin lock guarding one combiner
+/// stripe. Stripe critical sections are a handful of hash-map operations,
+/// so a short spin (with a yield fallback so oversubscribed and single-CPU
+/// hosts make progress) beats any parked lock; the acquire/release pair is
+/// a plain atomic protocol TSan understands directly.
+class StripeLock {
+public:
+  void lock() {
+    while (Locked.exchange(true, std::memory_order_acquire)) {
+      unsigned Spins = 0;
+      while (Locked.load(std::memory_order_relaxed))
+        if (++Spins > 64) {
+          std::this_thread::yield();
+          Spins = 0;
+        }
+    }
+  }
+  void unlock() { Locked.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Locked{false};
+};
 
 /// The chain terminus: emits source elements unchanged.
 template <typename T> struct SourceOps {
@@ -212,7 +242,7 @@ public:
   static Stream of(std::vector<T> Values) {
     runtime::noteArrayAlloc();
     return Stream(std::make_shared<const std::vector<T>>(std::move(Values)),
-                  OpsT{}, nullptr);
+                  OpsT{}, nullptr, 0);
   }
 
   /// Integer ranges [Lo, Hi) (enabled only for integral T at call sites).
@@ -226,12 +256,18 @@ public:
         Values.push_back(I);
     }
     return Stream(std::make_shared<const std::vector<T>>(std::move(Values)),
-                  OpsT{}, nullptr);
+                  OpsT{}, nullptr, 0);
   }
 
   /// Switches terminal evaluation of this pipeline to parallel on \p Pool.
-  Stream &parallel(forkjoin::ForkJoinPool &Pool) {
+  /// \p GrainHint pins the chunk size in source elements; 0 (the default)
+  /// selects adaptive grain targeting (ForkJoinPool::adviseGrain sizes
+  /// chunks to the workers actually available, floored so task overhead
+  /// stays amortized). Tests and stress scenarios pass explicit tiny
+  /// grains to maximize scheduler and combiner traffic.
+  Stream &parallel(forkjoin::ForkJoinPool &Pool, size_t GrainHint = 0) {
     this->Pool = &Pool;
+    this->GrainHint = GrainHint;
     return *this;
   }
 
@@ -258,7 +294,7 @@ public:
     auto Handle = runtime::bindLambda<U(const T &)>(Fn);
     using Ops2 = detail::MapOps<OpsT, FnT, U>;
     return Stream<U, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
-                           Pool);
+                           Pool, GrainHint);
   }
 
   /// Keeps elements satisfying \p Fn (lazy: appends a fused stage).
@@ -266,7 +302,7 @@ public:
     auto Handle = runtime::bindLambda<bool(const T &)>(Fn);
     using Ops2 = detail::FilterOps<OpsT, FnT>;
     return Stream<T, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
-                           Pool);
+                           Pool, GrainHint);
   }
 
   /// Expands each element into a sequence and concatenates (lazy).
@@ -276,7 +312,7 @@ public:
     auto Handle = runtime::bindLambda<VecU(const T &)>(Fn);
     using Ops2 = detail::FlatMapOps<OpsT, FnT, VecU>;
     return Stream<U, Ops2>(Src, Ops2{Ops, std::move(Fn), std::move(Handle)},
-                           Pool);
+                           Pool, GrainHint);
   }
 
   /// Terminal: folds the pipeline output; \p Combine merges partial
@@ -286,7 +322,9 @@ public:
     auto FoldH = runtime::bindLambda<R(R, const T &)>(Fold);
     Ops.simplify();
     FoldH.simplify();
-    if (!Pool || Src->size() < 2) {
+    size_t G = grain();
+    size_t NumChunks = Src->empty() ? 0 : (Src->size() + G - 1) / G;
+    if (!Pool || NumChunks < 2) {
       R Acc = std::move(Init);
       uint64_t FoldCalls = 0;
       runRange(Ops, 0, Src->size(), [&](const T &V) {
@@ -298,10 +336,9 @@ public:
     }
     auto CombineH = runtime::bindLambda<R(R, R)>(std::move(Combine));
     CombineH.simplify();
-    size_t G = grain();
-    size_t NumChunks = (Src->size() + G - 1) / G;
     std::vector<std::optional<R>> Parts(NumChunks);
-    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+    parallelChunks(NumChunks, G, Src->size(),
+                   [&](size_t C, size_t Lo, size_t Hi) {
       OpsT Local = Ops;
       R Acc = Init;
       uint64_t FoldCalls = 0;
@@ -335,8 +372,14 @@ public:
   }
 
   /// Terminal: groups pipeline output by key (hash map of materialized
-  /// groups, one counted object). Parallel mode builds chunk-local maps
-  /// and merges them in chunk order, preserving within-group element order.
+  /// groups, one counted object). Parallel mode runs key extraction and
+  /// grouping chunk-locally, publishes each chunk's per-key runs into a
+  /// striped concurrent combiner (hash-selected stripe, thin-lock bucket
+  /// insert — one lock acquisition per (chunk, key), never per element),
+  /// and stitches every group's runs back together in chunk-index order,
+  /// so within-group element order is identical to the serial build. The
+  /// former chunk-order *serial* map build was the parallel-terminal merge
+  /// bottleneck: it re-hashed every element on one thread.
   template <typename FnT> auto groupBy(FnT KeyFn) {
     using K = std::invoke_result_t<FnT, const T &>;
     auto Handle = runtime::bindLambda<K(const T &)>(KeyFn);
@@ -345,7 +388,9 @@ public:
     Ops.simplify();
     Handle.simplify();
     GroupsT Groups;
-    if (!Pool || Src->size() < 2) {
+    size_t G = grain();
+    size_t NumChunks = Src->empty() ? 0 : (Src->size() + G - 1) / G;
+    if (!Pool || NumChunks < 2) {
       uint64_t KeyCalls = 0;
       runRange(Ops, 0, Src->size(), [&](const T &V) {
         ++KeyCalls;
@@ -354,28 +399,72 @@ public:
       runtime::noteVirtualCall(KeyCalls);
       return Groups;
     }
-    // Chunks emit flat (key, value) runs — key extraction and the pipeline
-    // run in parallel; the single hash-map build is a serial pass over the
-    // runs in chunk order (the same merge-tail shape as the JVM's
-    // groupingBy collector), which is far cheaper than building and
-    // re-merging one hash map per chunk.
-    size_t G = grain();
-    size_t NumChunks = (Src->size() + G - 1) / G;
-    std::vector<std::vector<std::pair<K, T>>> Parts(NumChunks);
-    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+    /// One chunk's contribution to one group, tagged for order stitching.
+    struct Run {
+      size_t Chunk;
+      std::vector<T> Elems;
+    };
+    /// Stripes are padded to a cache line so neighbouring locks never
+    /// false-share. The combiner internals are VM-internal structures
+    /// (uncounted), like the fork/join deques.
+    struct alignas(64) Stripe {
+      detail::StripeLock Lock;
+      std::unordered_map<K, std::vector<Run>> Buckets;
+    };
+    const size_t NumStripes = stripeCount();
+    std::vector<Stripe> Stripes(NumStripes);
+    std::hash<K> Hasher;
+    parallelChunks(NumChunks, G, Src->size(),
+                   [&](size_t C, size_t Lo, size_t Hi) {
       OpsT Local = Ops;
-      std::vector<std::pair<K, T>> &Part = Parts[C];
-      Part.reserve(Hi - Lo);
+      // Chunk-local grouping first: in-chunk per-key order is captured
+      // lock-free; the stripe lock is then taken once per (chunk, key).
+      std::unordered_map<K, std::vector<T>> LocalGroups;
       uint64_t KeyCalls = 0;
       runRange(Local, Lo, Hi, [&](const T &V) {
         ++KeyCalls;
-        Part.emplace_back(KeyFn(V), V);
+        LocalGroups[KeyFn(V)].push_back(V);
       });
       runtime::noteVirtualCall(KeyCalls);
+      for (auto &KV : LocalGroups) {
+        Stripe &S = Stripes[Hasher(KV.first) & (NumStripes - 1)];
+        S.Lock.lock();
+        S.Buckets[KV.first].push_back(Run{C, std::move(KV.second)});
+        S.Lock.unlock();
+      }
     });
-    for (std::vector<std::pair<K, T>> &Part : Parts)
-      for (std::pair<K, T> &KV : Part)
-        Groups[KV.first].push_back(std::move(KV.second));
+    // Stitch: stripes are disjoint key sets, so each one concatenates its
+    // groups' runs in chunk-index order in parallel. The serial tail below
+    // only splices map nodes (group headers) — it never re-hashes or moves
+    // elements, which is what made the old merge serial-bottlenecked.
+    std::vector<GroupsT> Stitched(NumStripes);
+    parallelChunks(NumStripes, 1, NumStripes,
+                   [&](size_t SI, size_t, size_t) {
+      Stripe &S = Stripes[SI];
+      GroupsT &Out = Stitched[SI];
+      Out.reserve(S.Buckets.size());
+      for (auto &KV : S.Buckets) {
+        std::vector<Run> &Runs = KV.second;
+        std::sort(Runs.begin(), Runs.end(),
+                  [](const Run &A, const Run &B) { return A.Chunk < B.Chunk; });
+        size_t Total = 0;
+        for (const Run &R : Runs)
+          Total += R.Elems.size();
+        std::vector<T> Merged;
+        Merged.reserve(Total);
+        for (Run &R : Runs)
+          for (T &E : R.Elems)
+            Merged.push_back(std::move(E));
+        Out.emplace(KV.first, std::move(Merged));
+      }
+    });
+    size_t TotalKeys = 0;
+    for (const GroupsT &M : Stitched)
+      TotalKeys += M.size();
+    Groups.reserve(TotalKeys);
+    for (GroupsT &M : Stitched)
+      while (!M.empty())
+        Groups.insert(M.extract(M.begin()));
     return Groups;
   }
 
@@ -384,7 +473,9 @@ public:
     auto Handle = runtime::bindLambda<void(const T &)>(Fn);
     Ops.simplify();
     Handle.simplify();
-    if (!Pool || Src->size() < 2) {
+    size_t G = grain();
+    size_t NumChunks = Src->empty() ? 0 : (Src->size() + G - 1) / G;
+    if (!Pool || NumChunks < 2) {
       uint64_t Calls = 0;
       runRange(Ops, 0, Src->size(), [&](const T &V) {
         ++Calls;
@@ -393,9 +484,8 @@ public:
       runtime::noteVirtualCall(Calls);
       return;
     }
-    size_t G = grain();
-    size_t NumChunks = (Src->size() + G - 1) / G;
-    parallelChunks(NumChunks, G, [&](size_t, size_t Lo, size_t Hi) {
+    parallelChunks(NumChunks, G, Src->size(),
+                   [&](size_t, size_t Lo, size_t Hi) {
       OpsT Local = Ops;
       uint64_t Calls = 0;
       runRange(Local, Lo, Hi, [&](const T &V) {
@@ -423,12 +513,44 @@ public:
 
   /// Materializes the pipeline output sorted under \p Cmp (one counted
   /// array); the result is a fresh source stream, so chaining continues.
+  /// Parallel mode runs a stable merge sort: grain-sized runs are
+  /// stable_sort'ed concurrently, then pairwise std::inplace_merge rounds
+  /// halve the run count until one sorted sequence remains. Every building
+  /// block is stable, so the output is bit-identical to the serial
+  /// stable_sort (equal elements keep source order).
   template <typename CmpT> auto sorted(CmpT Cmp) {
     runtime::noteArrayAlloc();
     std::vector<T> Out = gather();
-    std::stable_sort(Out.begin(), Out.end(), Cmp);
+    const size_t N = Out.size();
+    // Sorting has plenty of work per element, but merge rounds touch the
+    // whole array each pass — a larger grain floor than the streaming
+    // terminals keeps the round count (and task overhead) down.
+    size_t G = !Pool ? N
+                     : (GrainHint ? GrainHint
+                                  : Pool->adviseGrain(N, kSortMinGrain));
+    if (!Pool || N < 2 || G >= N) {
+      std::stable_sort(Out.begin(), Out.end(), Cmp);
+    } else {
+      size_t NumRuns = (N + G - 1) / G;
+      parallelChunks(NumRuns, G, N, [&](size_t, size_t Lo, size_t Hi) {
+        std::stable_sort(Out.begin() + static_cast<ptrdiff_t>(Lo),
+                         Out.begin() + static_cast<ptrdiff_t>(Hi), Cmp);
+      });
+      for (size_t Width = G; Width < N; Width *= 2) {
+        size_t NumPairs = (N + 2 * Width - 1) / (2 * Width);
+        parallelChunks(NumPairs, 1, NumPairs, [&](size_t P, size_t, size_t) {
+          size_t Lo = P * 2 * Width;
+          size_t Mid = std::min(Lo + Width, N);
+          size_t Hi = std::min(Lo + 2 * Width, N);
+          if (Mid < Hi)
+            std::inplace_merge(Out.begin() + static_cast<ptrdiff_t>(Lo),
+                               Out.begin() + static_cast<ptrdiff_t>(Mid),
+                               Out.begin() + static_cast<ptrdiff_t>(Hi), Cmp);
+        });
+      }
+    }
     return Stream<T>(std::make_shared<const std::vector<T>>(std::move(Out)),
-                     detail::SourceOps<T>{}, Pool);
+                     detail::SourceOps<T>{}, Pool, GrainHint);
   }
 
   /// First \p N pipeline output elements (short-circuits: stops driving
@@ -446,7 +568,7 @@ public:
       });
     Ops.flush();
     return Stream<T>(std::make_shared<const std::vector<T>>(std::move(Out)),
-                     detail::SourceOps<T>{}, Pool);
+                     detail::SourceOps<T>{}, Pool, GrainHint);
   }
 
   /// Terminal: largest output element under \p Cmp (first of equal maxima);
@@ -472,12 +594,39 @@ private:
   template <typename, typename> friend class Stream;
 
   Stream(std::shared_ptr<const std::vector<SrcT>> Src, OpsT Ops,
-         forkjoin::ForkJoinPool *Pool)
-      : Src(std::move(Src)), Ops(std::move(Ops)), Pool(Pool) {}
+         forkjoin::ForkJoinPool *Pool, size_t GrainHint)
+      : Src(std::move(Src)), Ops(std::move(Ops)), Pool(Pool),
+        GrainHint(GrainHint) {}
 
+  /// Grain floor for the streaming terminals (reduce/groupBy/forEach/
+  /// collect): below this many elements per chunk, task scheduling costs
+  /// more than the chunk body on every substrate we measure.
+  static constexpr size_t kMinGrain = 64;
+  /// Grain floor for sorted(): each merge round sweeps the whole array,
+  /// so runs start an order of magnitude coarser.
+  static constexpr size_t kSortMinGrain = 1024;
+  /// Stripe-count cap for the groupBy combiner.
+  static constexpr size_t kMaxStripes = 64;
+
+  /// Chunk size in source elements for this terminal: the explicit hint if
+  /// the caller pinned one, otherwise adaptive grain targeting.
   size_t grain() const {
-    size_t G = Src->size() / (Pool ? 4 * Pool->parallelism() : 1);
-    return G == 0 ? 1 : G;
+    if (!Pool)
+      return Src->empty() ? 1 : Src->size();
+    if (GrainHint)
+      return GrainHint;
+    return Pool->adviseGrain(Src->size(), kMinGrain);
+  }
+
+  /// Power-of-two stripe count for the groupBy combiner: enough stripes
+  /// that concurrent chunk publications rarely collide (4 per worker),
+  /// capped so the stitch pass stays cheap for small pools.
+  size_t stripeCount() const {
+    size_t Target = 4 * static_cast<size_t>(Pool->parallelism());
+    size_t P = 8;
+    while (P < Target && P < kMaxStripes)
+      P <<= 1;
+    return P;
   }
 
   /// Drives source indices [Lo, Hi) through ops instance \p O into \p Sink
@@ -490,9 +639,11 @@ private:
     O.flush();
   }
 
-  /// Invokes Body(Chunk, Lo, Hi) for each source chunk on the pool. Chunk
-  /// indices are deterministic, so per-chunk results concatenated in chunk
-  /// order reproduce the serial element order.
+  /// Invokes Body(Chunk, Lo, Hi) for each grain-\p G chunk of the index
+  /// domain [0, N) on the pool (callers pass the source size, an
+  /// output-array size, or a stripe/pair count). Chunk indices are
+  /// deterministic, so per-chunk results concatenated in chunk order
+  /// reproduce the serial element order.
   ///
   /// External callers (the common case: a benchmark thread driving a
   /// terminal) use a flat counted-completer scatter, the shape of
@@ -505,8 +656,7 @@ private:
   /// worker must not park while tasks sit in its own deque, so it takes
   /// the recursive splitter, whose joins help.
   template <typename BodyT>
-  void parallelChunks(size_t NumChunks, size_t G, BodyT Body) {
-    const size_t N = Src->size();
+  void parallelChunks(size_t NumChunks, size_t G, size_t N, BodyT Body) {
     if (forkjoin::ForkJoinPool::onWorkerThread()) {
       Pool->parallelFor(0, NumChunks, 1, [&](size_t CLo, size_t CHi) {
         for (size_t C = CLo; C < CHi; ++C)
@@ -547,14 +697,15 @@ private:
   std::vector<T> gather() {
     Ops.simplify();
     std::vector<T> Out;
-    if (!Pool || Src->size() < 2) {
+    size_t G = grain();
+    size_t NumChunks = Src->empty() ? 0 : (Src->size() + G - 1) / G;
+    if (!Pool || NumChunks < 2) {
       runRange(Ops, 0, Src->size(), [&](const T &V) { Out.push_back(V); });
       return Out;
     }
-    size_t G = grain();
-    size_t NumChunks = (Src->size() + G - 1) / G;
     std::vector<std::vector<T>> Parts(NumChunks);
-    parallelChunks(NumChunks, G, [&](size_t C, size_t Lo, size_t Hi) {
+    parallelChunks(NumChunks, G, Src->size(),
+                   [&](size_t C, size_t Lo, size_t Hi) {
       OpsT Local = Ops;
       std::vector<T> &Part = Parts[C];
       runRange(Local, Lo, Hi, [&](const T &V) { Part.push_back(V); });
@@ -568,6 +719,8 @@ private:
   std::shared_ptr<const std::vector<SrcT>> Src;
   OpsT Ops;
   forkjoin::ForkJoinPool *Pool = nullptr;
+  /// Explicit chunk size pinned by parallel(); 0 = adaptive.
+  size_t GrainHint = 0;
 };
 
 } // namespace streams

@@ -1,13 +1,23 @@
 //===- tests/stress/StreamsStressTest.cpp ---------------------------------==//
 //
-// Concurrency stress scenarios for ren::streams (ctest -L stress): the
-// external-caller completion latch in Stream::parallelChunks. A terminal
-// invoked from a non-pool thread scatters detached chunk tasks that
-// decrement a stack-resident latch; the caller may return — popping the
-// frame — the instant it observes Done == true, so the last finisher must
-// not touch the frame after that store (the use-after-return window the
-// fix closed). Tiny sources maximize chunk count relative to chunk work,
-// widening the race window for TSan.
+// Concurrency stress scenarios for ren::streams (ctest -L stress):
+//
+//  - the external-caller completion latch in Stream::parallelChunks. A
+//    terminal invoked from a non-pool thread scatters detached chunk tasks
+//    that decrement a stack-resident latch; the caller may return —
+//    popping the frame — the instant it observes Done == true, so the last
+//    finisher must not touch the frame after that store (the
+//    use-after-return window the fix closed). Tiny sources and pinned
+//    grain-1 chunking maximize chunk count relative to chunk work,
+//    widening the race window for TSan;
+//
+//  - the striped groupBy combiner: one-element chunks with heavily
+//    colliding keys force every chunk to contend on the same few stripe
+//    locks, and the chunk-indexed run stitching must still reproduce the
+//    exact serial within-group order;
+//
+//  - oversubscription: more external callers than pool workers, all
+//    parked on their own completion latches at once.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,8 +28,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 using namespace ren::stress;
@@ -116,6 +128,159 @@ private:
   bool Ok[2] = {false, false};
 };
 
+/// Striped-combiner hammer: every source element is its own chunk
+/// (grain hint 1) and the key function folds everything onto 3 keys, so
+/// every chunk task fights for the same stripe buckets. Two actors run
+/// disjoint pipelines on one shared pool, doubling combiner traffic.
+/// The observation checks the full within-group order, not just totals —
+/// a lost run, a duplicated run, or a mis-sorted chunk index all surface
+/// as "misordered".
+class StripedGroupByCollidingKeysScenario : public StressScenario {
+public:
+  StripedGroupByCollidingKeysScenario() : Pool(4) {
+    Input.resize(96);
+    std::iota(Input.begin(), Input.end(), 0);
+    Expected = referenceGroups();
+  }
+
+  std::string name() const override { return "streams-striped-groupby"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Ok[0] = Ok[1] = false; }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto S = Stream<int>::of(Input);
+    S.parallel(Pool, /*GrainHint=*/1); // one-element chunks
+    auto Groups = S.groupBy([](const int &X) { return X % 3; });
+    Ok[Index] = Groups.size() == Expected.size();
+    for (auto &KV : Expected) {
+      auto It = Groups.find(KV.first);
+      if (It == Groups.end() || It->second != KV.second) {
+        Ok[Index] = false;
+        break;
+      }
+    }
+  }
+  std::string observe() override {
+    if (!Ok[0] || !Ok[1])
+      return "misordered";
+    return "groups-ordered";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("groups-ordered")
+        .forbid("misordered", "a stripe insert was lost or the "
+                              "chunk-indexed stitch broke in-group order");
+    return Spec;
+  }
+
+private:
+  std::unordered_map<int, std::vector<int>> referenceGroups() const {
+    std::unordered_map<int, std::vector<int>> G;
+    for (int V : Input)
+      G[V % 3].push_back(V);
+    return G;
+  }
+
+  ForkJoinPool Pool;
+  std::vector<int> Input;
+  std::unordered_map<int, std::vector<int>> Expected;
+  bool Ok[2] = {false, false};
+};
+
+/// Oversubscribed external-caller latch: four external actors on a
+/// two-worker pool, each scattering one-element chunks and parking on its
+/// own stack-resident latch. Workers interleave chunks of all four
+/// terminals, so Finish decrements of different frames interleave on the
+/// same worker — any cross-frame access is a TSan hit.
+class OversubscribedLatchScenario : public StressScenario {
+public:
+  OversubscribedLatchScenario() : Pool(2) {
+    Input.resize(16);
+    std::iota(Input.begin(), Input.end(), 1);
+  }
+
+  std::string name() const override { return "streams-oversubscribed-latch"; }
+  unsigned actors() const override { return 4; }
+  void prepare() override {
+    for (bool &B : Ok)
+      B = false;
+  }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto S = Stream<int>::of(Input);
+    S.parallel(Pool, /*GrainHint=*/1);
+    long Sum = S.map([](const int &X) { return X * X; })
+                   .reduce(
+                       0L, [](long Acc, const int &X) { return Acc + X; },
+                       [](long A, long B) { return A + B; });
+    long Expected = 0;
+    for (int V : Input)
+      Expected += static_cast<long>(V) * V;
+    Ok[Index] = Sum == Expected;
+  }
+  std::string observe() override {
+    for (bool B : Ok)
+      if (!B)
+        return "wrong-sum";
+    return "all-correct";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("all-correct", "every latch released after exactly its own "
+                               "chunks, under 2x oversubscription");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::vector<int> Input;
+  bool Ok[4] = {false, false, false, false};
+};
+
+/// Parallel merge-sort under grain-1 chunking: single-element runs force
+/// the maximum number of inplace_merge rounds, and two actors sort
+/// through one pool so merge tasks of both sorts interleave.
+class ParallelSortedStressScenario : public StressScenario {
+public:
+  ParallelSortedStressScenario() : Pool(4) {
+    // A fixed shuffled input with duplicates (stability-sensitive).
+    for (int I = 0; I < 48; ++I)
+      Input.push_back((I * 7919) % 16);
+    Expected = Input;
+    std::stable_sort(Expected.begin(), Expected.end());
+  }
+
+  std::string name() const override { return "streams-parallel-sorted"; }
+  unsigned actors() const override { return 2; }
+  void prepare() override { Ok[0] = Ok[1] = false; }
+  void run(unsigned Index, InterleavingNudge &Nudge) override {
+    Nudge.pause();
+    auto S = Stream<int>::of(Input);
+    S.parallel(Pool, /*GrainHint=*/1);
+    Ok[Index] =
+        S.sorted([](const int &A, const int &B) { return A < B; }).collect() ==
+        Expected;
+  }
+  std::string observe() override {
+    if (!Ok[0] || !Ok[1])
+      return "unsorted";
+    return "sorted";
+  }
+  OutcomeSpec spec() const override {
+    OutcomeSpec Spec;
+    Spec.accept("sorted").forbid("unsorted",
+                                 "a merge round ran before both of its "
+                                 "input runs were complete");
+    return Spec;
+  }
+
+private:
+  ForkJoinPool Pool;
+  std::vector<int> Input;
+  std::vector<int> Expected;
+  bool Ok[2] = {false, false};
+};
+
 } // namespace
 
 TEST(StreamsStress, ParallelReduceLatchNeverTouchesADeadFrame) {
@@ -128,6 +293,30 @@ TEST(StreamsStress, ParallelReduceLatchNeverTouchesADeadFrame) {
 
 TEST(StreamsStress, ParallelCollectPreservesOrderUnderContention) {
   ParallelCollectLatchScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StreamsStress, StripedGroupByKeepsInGroupOrderUnderCollisions) {
+  StripedGroupByCollidingKeysScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StreamsStress, OversubscribedCallersEachGetTheirOwnLatch) {
+  OversubscribedLatchScenario S;
+  StressRunner::Options Opts;
+  Opts.Repetitions = 300;
+  StressReport Report = StressRunner(Opts).run(S);
+  EXPECT_TRUE(Report.passed()) << Report.summary();
+}
+
+TEST(StreamsStress, ParallelSortedStableUnderGrainOneChunking) {
+  ParallelSortedStressScenario S;
   StressRunner::Options Opts;
   Opts.Repetitions = 300;
   StressReport Report = StressRunner(Opts).run(S);

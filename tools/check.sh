@@ -21,8 +21,11 @@
 #                                  #     throughput, wait/notify ping) and
 #                                  #     BENCH_streams.json (method-handle
 #                                  #     dispatch, fused serial pipeline,
-#                                  #     parallel scrabble-style pipeline vs
-#                                  #     the committed eager baseline)
+#                                  #     parallel scrabble-style pipeline,
+#                                  #     and the terminal x size x threads
+#                                  #     scaling matrix, vs the committed
+#                                  #     eager baseline; any matrix cell
+#                                  #     >20% below baseline fails)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
@@ -124,8 +127,9 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   step "bench-smoke: configure ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
-  step "bench-smoke: build bench_micro_substrates"
-  cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_micro_substrates
+  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix"
+  cmake --build "$BENCH_DIR" -j "$JOBS" \
+    --target bench_micro_substrates --target bench_scaling_matrix
 
   step "bench-smoke: fork/join microbenchmarks"
   RAW_JSON="$BENCH_DIR/bench_forkjoin_raw.json"
@@ -213,13 +217,19 @@ EOF
     --benchmark_min_time=0.3 \
     --benchmark_out="$RAW_STREAMS" --benchmark_out_format=json
 
-  step "bench-smoke: write BENCH_streams.json"
-  python3 - "$RAW_STREAMS" bench/BASELINE_streams.json <<'EOF'
+  step "bench-smoke: stream scaling matrix"
+  RAW_MATRIX="$BENCH_DIR/bench_matrix_raw.json"
+  timeout 300 "$BENCH_DIR/bench/bench_scaling_matrix" \
+    --min-time=0.2 --out="$RAW_MATRIX"
+
+  step "bench-smoke: write BENCH_streams.json (micro + matrix, gated)"
+  python3 - "$RAW_STREAMS" "$RAW_MATRIX" bench/BASELINE_streams.json <<'EOF'
 import json, os, sys
 raw = json.load(open(sys.argv[1]))
+matrix = json.load(open(sys.argv[2]))
 base = {}
-if os.path.exists(sys.argv[2]):
-    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+if os.path.exists(sys.argv[3]):
+    base = json.load(open(sys.argv[3])).get("benchmarks", {})
 cases = {}
 for b in raw.get("benchmarks", []):
     ops = b.get("items_per_second")
@@ -231,10 +241,28 @@ for b in raw.get("benchmarks", []):
         c["baseline_ops_per_second"] = ref
         c["speedup_vs_eager"] = round(ops / ref, 2)
     cases[b["name"]] = c
+# Matrix cells: merged under the same key space, gated >20% below the
+# committed per-cell baseline (the scaling regression check).
+failures = []
+for b in matrix.get("benchmarks", []):
+    ops = b["items_per_second"]
+    c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["vs_committed_baseline"] = round(ops / ref, 2)
+        if ops < 0.8 * ref:
+            failures.append((b["name"], ops, ref))
+    cases[b["name"]] = c
+mctx = matrix.get("context", {})
+num_cpus = raw["context"].get("num_cpus")
 out = {"context": {"date": raw["context"].get("date"),
-                   "num_cpus": raw["context"].get("num_cpus")},
+                   "num_cpus": num_cpus,
+                   "threads_used": mctx.get("threads_used"),
+                   "serial_host": mctx.get("serial_host")},
        "baseline": "bench/BASELINE_streams.json (eager per-stage streams, "
-                   "shared_ptr<std::function> method handles)",
+                   "shared_ptr<std::function> method handles; matrix cells "
+                   "pinned from the host that committed the baseline)",
        "benchmarks": cases}
 json.dump(out, open("BENCH_streams.json", "w"), indent=2)
 print("wrote BENCH_streams.json:")
@@ -242,7 +270,19 @@ for name, c in cases.items():
     extra = ""
     if "speedup_vs_eager" in c:
         extra = f"  ({c['speedup_vs_eager']}x vs eager streams)"
+    elif "vs_committed_baseline" in c:
+        extra = f"  ({c['vs_committed_baseline']}x vs committed)"
     print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
+if num_cpus is not None and num_cpus <= 1:
+    print("warning: num_cpus <= 1 — matrix parallel rows measure "
+          "scheduling overhead, not scaling", file=sys.stderr)
+if failures:
+    print("FAIL: matrix cells regressed >20% vs committed baseline:",
+          file=sys.stderr)
+    for name, ops, ref in failures:
+        print(f"  {name}: {ops:.3e} ops/s vs baseline {ref:.3e} "
+              f"({ops/ref:.2f}x)", file=sys.stderr)
+    sys.exit(1)
 EOF
 fi
 
