@@ -1,0 +1,207 @@
+//===- bench/bench_netsim.cpp ---------------------------------------------==//
+//
+// Connection-scaling matrix for the netsim reactor: every throughput cell
+// is one (connections, shards) pair driven by the open-loop load
+// generator, timed self-contained and emitted as JSON that
+// tools/check.sh --bench-smoke merges into BENCH_netsim.json and gates
+// against bench/BASELINE_netsim.json.
+//
+// Cells:
+//   netsim/echo/conns=C/shards=S   unpaced echo flood over C concurrent
+//       connections on an S-shard reactor (C up to 10000 — the
+//       thread-per-connection design this replaced topped out two orders
+//       of magnitude lower); items_per_second is completed requests per
+//       wall second
+//   netsim/latency/rate=R/conns=C/shards=S   fixed-rate open-loop run;
+//       items_per_second is sustained requests/sec, and the cell carries
+//       coordinated-omission-safe p50/p99/p999 latency (ns) as extra
+//       fields
+//
+// On a single-core host the shard sweep measures reactor overhead, not
+// parallel speedup — same caveat as the stream scaling matrix.
+//
+// Flags: --quick (fewer requests, short min-time — the `ctest -L bench`
+// smoke), --min-time=SECONDS (per-cell measure budget, default 0.3),
+// --out=PATH (default stdout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "netsim/LoadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ren;
+using namespace ren::netsim;
+
+namespace {
+
+struct Cell {
+  std::string Name;
+  double OpsPerSecond = 0.0;
+  double RealTimeNs = 0.0;
+  std::string ExtraJson; ///< preformatted ", \"key\": value" pairs
+};
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+Bytes echoHandler(const Bytes &Request) { return Request; }
+
+/// One throughput cell: C connections on an S-shard server, unpaced
+/// open-loop echo. Repeats whole LoadGen runs until MinTime and averages.
+Cell echoCell(unsigned Conns, unsigned Shards, uint64_t Requests,
+              double MinTime) {
+  Server Srv("bench-echo", echoHandler, Shards);
+  LoadGenOptions Opts;
+  Opts.Requests = Requests;
+  Opts.Connections = Conns;
+  Opts.MaxInFlight = 512;
+  Opts.PayloadBytes = 32;
+
+  LoadGen(Srv, Opts).run(); // warmup: faults pools, spins up shards
+
+  uint64_t Completed = 0, Nanos = 0;
+  unsigned Runs = 0;
+  double Start = nowSeconds();
+  do {
+    LoadReport R = LoadGen(Srv, Opts).run();
+    Completed += R.Completed;
+    Nanos += R.ElapsedNanos;
+    ++Runs;
+  } while (nowSeconds() - Start < MinTime);
+
+  Cell C;
+  C.Name = "netsim/echo/conns=" + std::to_string(Conns) +
+           "/shards=" + std::to_string(Shards);
+  C.OpsPerSecond =
+      static_cast<double>(Completed) * 1e9 / static_cast<double>(Nanos);
+  C.RealTimeNs = static_cast<double>(Nanos) / Runs;
+  return C;
+}
+
+/// The latency cell: a fixed-rate run whose p50/p99/p999 ride along as
+/// extra JSON fields (informational — the gate compares throughput).
+Cell latencyCell(double Rate, unsigned Conns, unsigned Shards,
+                 uint64_t Requests) {
+  Server Srv("bench-latency", echoHandler, Shards);
+  LoadGenOptions Opts;
+  Opts.Requests = Requests;
+  Opts.RatePerSec = Rate;
+  Opts.Connections = Conns;
+  Opts.MaxInFlight = 1024;
+  Opts.PayloadBytes = 32;
+  LoadReport R = LoadGen(Srv, Opts).run();
+
+  Cell C;
+  C.Name = "netsim/latency/rate=" +
+           std::to_string(static_cast<unsigned>(Rate)) +
+           "/conns=" + std::to_string(Conns) +
+           "/shards=" + std::to_string(Shards);
+  C.OpsPerSecond = R.sustainedRps();
+  C.RealTimeNs = static_cast<double>(R.ElapsedNanos);
+  char Extra[256];
+  std::snprintf(Extra, sizeof(Extra),
+                ", \"p50_ns\": %llu, \"p99_ns\": %llu, \"p999_ns\": %llu, "
+                "\"max_send_delay_ns\": %llu",
+                static_cast<unsigned long long>(R.P50),
+                static_cast<unsigned long long>(R.P99),
+                static_cast<unsigned long long>(R.P999),
+                static_cast<unsigned long long>(R.MaxSendDelayNanos));
+  C.ExtraJson = Extra;
+  return C;
+}
+
+void emitJson(std::FILE *Out, const std::vector<Cell> &Cells,
+              const bench::ParallelHostInfo &Host) {
+  std::fputs("{\n  \"context\": {\n", Out);
+  std::fprintf(Out, "    \"num_cpus\": %u,\n", Host.HardwareConcurrency);
+  std::fprintf(Out, "    \"threads_used\": %u,\n", Host.ThreadsUsed);
+  std::fprintf(Out, "    \"serial_host\": %s\n",
+               Host.SerialHost ? "true" : "false");
+  std::fputs("  },\n  \"benchmarks\": [\n", Out);
+  for (size_t I = 0; I < Cells.size(); ++I)
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"items_per_second\": %.6g, "
+                 "\"real_time\": %.6g%s}%s\n",
+                 Cells[I].Name.c_str(), Cells[I].OpsPerSecond,
+                 Cells[I].RealTimeNs, Cells[I].ExtraJson.c_str(),
+                 I + 1 < Cells.size() ? "," : "");
+  std::fputs("  ]\n}\n", Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  double MinTime = 0.3;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Arg, "--min-time=", 11) == 0)
+      MinTime = std::atof(Arg + 11);
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      OutPath = Arg + 6;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--min-time=SECONDS] [--out=PATH]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  if (Quick)
+    MinTime = std::min(MinTime, 0.02);
+
+  const std::vector<unsigned> Conns = {64, 1024, 10000};
+  const std::vector<unsigned> Shards = {1, 2, 4};
+  unsigned MaxShards = Shards.back();
+
+  bench::ParallelHostInfo Host = bench::parallelHostInfo(MaxShards);
+
+  std::vector<Cell> Cells;
+  for (unsigned C : Conns) {
+    // Every connection sees traffic: at least one request per connection,
+    // more on the small matrices so the cell measures steady throughput
+    // rather than connection setup.
+    uint64_t Requests =
+        Quick ? std::max<uint64_t>(C, 1000) : std::max<uint64_t>(2 * C, 8000);
+    for (unsigned S : Shards)
+      Cells.push_back(echoCell(C, S, Requests, MinTime));
+  }
+  Cells.push_back(latencyCell(/*Rate=*/20000.0, /*Conns=*/256,
+                              /*Shards=*/2,
+                              /*Requests=*/Quick ? 2000 : 10000));
+
+  std::FILE *Out = stdout;
+  if (!OutPath.empty()) {
+    Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open --out file '%s'\n", OutPath.c_str());
+      return 1;
+    }
+  }
+  emitJson(Out, Cells, Host);
+  if (Out != stdout)
+    std::fclose(Out);
+
+  std::fprintf(stderr,
+               "netsim matrix: %zu cells (max %u connections), "
+               "threads_used=%u, num_cpus=%u%s\n",
+               Cells.size(), Conns.back(), MaxShards,
+               Host.HardwareConcurrency,
+               Host.SerialHost ? " (serial host: shard sweep measures "
+                                 "reactor overhead, not scaling)"
+                               : "");
+  return 0;
+}

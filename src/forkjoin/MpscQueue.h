@@ -83,6 +83,20 @@ public:
     return nullptr;
   }
 
+  /// Consumer-side emptiness probe: false means definitely empty (no node
+  /// linked, no push in flight); true means a node is linked *or* a push
+  /// is mid-flight (visible head, unlinked Next). Only the consumer may
+  /// call this — it reads the unsynchronized Tail cursor. The netsim
+  /// reactor's edge-trigger disarm protocol re-checks with this after
+  /// clearing a connection's readiness flag, so a frame racing the disarm
+  /// is either drained or re-notified, never stranded.
+  bool consumerMaybeNonEmpty() const {
+    // Empty iff both ends sit on the stub: a non-stub Tail is an
+    // unreturned node, and a non-stub Head behind a stub Tail is a linked
+    // or mid-flight push.
+    return Tail != &Stub || Head.load(std::memory_order_acquire) != &Stub;
+  }
+
 private:
   MpscNode Stub;
   alignas(64) std::atomic<MpscNode *> Head;

@@ -17,6 +17,7 @@
 #define REN_HARNESS_PLUGINS_H
 
 #include "harness/Harness.h"
+#include "netsim/LoadGen.h"
 #include "trace/Trace.h"
 
 #include <string>
@@ -146,6 +147,76 @@ private:
   const char *RunName = "run";
   IterationSpan Open;
   std::vector<IterationSpan> Spans;
+};
+
+/// Attaches open-loop load-generator results to benchmark iterations.
+///
+/// A network benchmark that drives a netsim LoadGen publishes its report
+/// process-globally (publishLoadReport — LoadGen::run does it
+/// automatically). This plugin snapshots the publication counter around
+/// each iteration and records one entry per iteration that published,
+/// surfacing coordinated-omission-safe p50/p99/p999 latency and sustained
+/// requests/sec alongside the harness's own timings — no plumbing from
+/// the benchmark body required.
+class NetLatencyPlugin : public Plugin {
+public:
+  struct IterationLoad {
+    std::string Benchmark;
+    unsigned Iteration = 0;
+    bool Warmup = false;
+    std::string Service;
+    uint64_t Completed = 0;
+    uint64_t Failed = 0;
+    uint64_t P50Nanos = 0;
+    uint64_t P99Nanos = 0;
+    uint64_t P999Nanos = 0;
+    uint64_t MaxNanos = 0;
+    double SustainedRps = 0.0;
+  };
+
+  void beforeIteration(const BenchmarkInfo &, unsigned, bool) override {
+    VersionBefore = netsim::loadReportVersion();
+  }
+
+  void afterIteration(const BenchmarkInfo &Info, unsigned Index,
+                      bool Warmup, uint64_t) override {
+    if (netsim::loadReportVersion() == VersionBefore)
+      return; // iteration ran no load generator
+    netsim::LoadReport R = netsim::lastLoadReport();
+    IterationLoad Rec;
+    Rec.Benchmark = Info.Name;
+    Rec.Iteration = Index;
+    Rec.Warmup = Warmup;
+    Rec.Service = R.Service;
+    Rec.Completed = R.Completed;
+    Rec.Failed = R.Failed;
+    Rec.P50Nanos = R.P50;
+    Rec.P99Nanos = R.P99;
+    Rec.P999Nanos = R.P999;
+    Rec.MaxNanos = R.MaxNanos;
+    Rec.SustainedRps = R.sustainedRps();
+    Records.push_back(std::move(Rec));
+  }
+
+  const std::vector<IterationLoad> &records() const { return Records; }
+
+  /// Mean steady-state p99 latency in nanoseconds across recorded
+  /// iterations (0 when nothing was recorded).
+  double meanSteadyP99Nanos() const {
+    double Sum = 0.0;
+    unsigned Count = 0;
+    for (const IterationLoad &R : Records) {
+      if (R.Warmup)
+        continue;
+      Sum += static_cast<double>(R.P99Nanos);
+      ++Count;
+    }
+    return Count == 0 ? 0.0 : Sum / Count;
+  }
+
+private:
+  uint64_t VersionBefore = 0;
+  std::vector<IterationLoad> Records;
 };
 
 } // namespace harness

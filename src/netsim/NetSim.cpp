@@ -2,6 +2,7 @@
 
 #include "netsim/NetSim.h"
 
+#include "netsim/Reactor.h"
 #include "runtime/Alloc.h"
 
 #include <cassert>
@@ -59,9 +60,8 @@ std::string ByteBuffer::readString() {
 
 void Channel::send(Bytes Frame) {
   runtime::Synchronized Sync(Lock);
-  // A peer may legitimately race a send against close (e.g. a server
-  // worker replying to a connection the client just tore down); the frame
-  // is dropped, as on a real closed socket.
+  // A peer may legitimately race a send against close; the frame is
+  // dropped, as on a real closed socket.
   if (Closed)
     return;
   Frames.push_back(std::move(Frame));
@@ -93,149 +93,52 @@ size_t Channel::pending() {
 // ClientConnection
 //===----------------------------------------------------------------------===//
 
-ClientConnection::ClientConnection(std::shared_ptr<Channel> ToServer)
-    : ToServer(std::move(ToServer)),
-      FromServer(std::make_shared<Channel>()) {
-  Pump = std::thread([this] { pumpLoop(); });
-}
+ClientConnection::ClientConnection(std::shared_ptr<Connection> C)
+    : Conn(std::move(C)) {}
 
 ClientConnection::~ClientConnection() { close(); }
 
-void ClientConnection::close() {
-  {
-    runtime::Synchronized Sync(PendingLock);
-    if (!Open)
-      return;
-    Open = false;
-  }
-  ToServer->close(); // stops the server-side splice for this connection
-  FromServer->close();
-  Pump.join();
-  // Fail any still-outstanding requests.
-  runtime::Synchronized Sync(PendingLock);
-  for (auto &[Id, P] : Pending)
-    P.tryFailure("connection closed");
-  Pending.clear();
-}
-
 futures::Future<Bytes> ClientConnection::call(Bytes Request) {
-  futures::Promise<Bytes> P;
-  uint64_t Id;
-  {
-    runtime::Synchronized Sync(PendingLock);
-    if (!Open)
-      return futures::Future<Bytes>::failed("connection closed");
-    Id = NextRequestId++;
-    Pending.emplace(Id, P);
-  }
-  ByteBuffer Out;
-  Out.writeU64(Id);
-  Bytes Frame = Out.takeBytes();
-  Frame.insert(Frame.end(), Request.begin(), Request.end());
-  runtime::noteObjectAlloc(); // the wire envelope
-  ToServer->send(std::move(Frame));
-  return P.future();
+  return Conn->call(std::move(Request));
 }
 
-void ClientConnection::pumpLoop() {
-  Bytes Frame;
-  while (FromServer->recv(Frame)) {
-    ByteBuffer In(std::move(Frame));
-    uint64_t Id = In.readU64();
-    Bytes Payload = In.takeBytes();
-    Payload.erase(Payload.begin(), Payload.begin() + 8);
-    futures::Promise<Bytes> P;
-    bool Found = false;
-    {
-      runtime::Synchronized Sync(PendingLock);
-      auto It = Pending.find(Id);
-      if (It != Pending.end()) {
-        P = It->second;
-        Pending.erase(It);
-        Found = true;
-      }
-    }
-    if (Found)
-      P.trySuccess(std::move(Payload));
-  }
-}
+void ClientConnection::close() { Conn->close(); }
 
 //===----------------------------------------------------------------------===//
 // Server
 //===----------------------------------------------------------------------===//
 
-Server::Server(std::string Name, Handler Handle, unsigned NumWorkers)
-    : Name(std::move(Name)), Handle(std::move(Handle)) {
-  assert(NumWorkers > 0 && "server needs at least one worker");
-  for (unsigned I = 0; I < NumWorkers; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+Server::Server(std::string Name, Handler Handle, unsigned Shards)
+    : Server(std::move(Name), std::move(Handle),
+             ServerOptions{Shards, false, 0x5eedc0de}) {}
+
+Server::Server(std::string ServiceName, Handler Handle, ServerOptions Opts)
+    : Name(std::move(ServiceName)) {
+  assert(Opts.Shards > 0 && "server needs at least one shard");
+  ReactorOptions ROpts;
+  ROpts.Shards = Opts.Shards;
+  ROpts.Deterministic = Opts.Deterministic;
+  ROpts.Seed = Opts.Seed;
+  Core = std::make_unique<Reactor>(std::move(Handle), ROpts);
 }
 
-Server::~Server() {
-  {
-    runtime::Synchronized Sync(QueueLock);
-    ShuttingDown = true;
-    QueueLock.notifyAll();
-  }
-  for (auto &W : Workers)
-    W.join();
-  for (auto &S : Splices)
-    S.join();
-}
+Server::~Server() = default;
 
 std::unique_ptr<ClientConnection> Server::connect() {
-  auto ToServer = std::make_shared<Channel>();
-  auto *Conn = new ClientConnection(ToServer);
-  // Splice: a per-connection forwarding thread moves frames from the
-  // connection's outbound channel into the shared request queue, tagging
-  // them with the reply channel. It exits when the connection closes its
-  // outbound channel; the server joins it at destruction (connections must
-  // therefore be closed before their server is destroyed).
-  std::thread Splice([this, ToServer, Reply = Conn->FromServer] {
-    Bytes Frame;
-    while (ToServer->recv(Frame)) {
-      runtime::Synchronized Sync(QueueLock);
-      Queue.push_back(WireRequest{Reply, std::move(Frame)});
-      QueueLock.notifyAll();
-    }
-  });
-  {
-    runtime::Synchronized Sync(QueueLock);
-    Splices.push_back(std::move(Splice));
-  }
-  return std::unique_ptr<ClientConnection>(Conn);
+  return std::unique_ptr<ClientConnection>(
+      new ClientConnection(Core->open()));
 }
 
-uint64_t Server::requestsHandled() {
-  runtime::Synchronized Sync(QueueLock);
-  return Handled;
-}
+uint64_t Server::requestsHandled() { return Core->requestsHandled(); }
 
-void Server::workerLoop() {
-  for (;;) {
-    WireRequest Req;
-    {
-      runtime::Synchronized Sync(QueueLock);
-      QueueLock.waitUntil(
-          [this] { return !Queue.empty() || ShuttingDown; });
-      if (Queue.empty())
-        return;
-      Req = std::move(Queue.front());
-      Queue.pop_front();
-    }
-    ByteBuffer In(std::move(Req.Frame));
-    uint64_t Id = In.readU64();
-    Bytes Whole = In.takeBytes();
-    Bytes Payload(Whole.begin() + 8, Whole.end());
-    Bytes Response = Handle(Payload);
-    ByteBuffer Out;
-    Out.writeU64(Id);
-    Bytes Reply = Out.takeBytes();
-    Reply.insert(Reply.end(), Response.begin(), Response.end());
-    Req.ReplyTo->send(std::move(Reply));
-    {
-      runtime::Synchronized Sync(QueueLock);
-      ++Handled;
-    }
-  }
-}
+unsigned Server::shards() const { return Core->shards(); }
+
+bool Server::deterministic() const { return Core->deterministic(); }
+
+size_t Server::pump(size_t MaxFrames) { return Core->pump(MaxFrames); }
+
+size_t Server::runUntilIdle() { return Core->runUntilIdle(); }
+
+uint64_t Server::virtualNanos() const { return Core->virtualNanos(); }
+
+bool Server::idle() const { return Core->idle(); }

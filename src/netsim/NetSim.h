@@ -5,16 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// An in-process "network": byte-frame channels between client and server
-/// endpoints, the substrate of finagle-http and finagle-chirper.
+/// An in-process "network": byte-frame request/response between client and
+/// server endpoints, the substrate of finagle-http and finagle-chirper.
 ///
 /// The paper encodes network benchmarks "as multiple threads that exercise
 /// the network stack within a single process (using the loopback
-/// interface)". We model the same structure: requests are serialized into
-/// byte frames, queued through monitor-guarded channels (synch/wait/notify
-/// metrics), handled by a server worker pool, and responses are demuxed
-/// back into futures on a per-connection pump thread — the Finagle RPC
-/// pipeline in miniature.
+/// interface)". Since the reactor rewrite, the stack is readiness-driven:
+/// requests are serialized into byte frames, pushed onto lock-free
+/// per-connection MPSC queues, drained by a small number of reactor shard
+/// event loops (see Reactor.h), and responses are demuxed back onto
+/// futures — no per-connection threads, so connection counts scale to the
+/// tens of thousands the Finagle workloads assume.
+///
+/// Server/ClientConnection keep the original public surface; ServerOptions
+/// additionally exposes the shard count and the single-threaded
+/// deterministic-simulation mode (seeded event ordering, virtual time)
+/// that the differential test layer drives.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,13 +30,12 @@
 #include "futures/Future.h"
 #include "runtime/Monitor.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 namespace ren {
@@ -65,6 +70,12 @@ private:
 };
 
 /// A blocking MPMC frame queue modelling one direction of a socket.
+///
+/// Retained from the thread-per-connection era: the reactor no longer
+/// routes frames through monitor-guarded channels, but Channel remains
+/// the simplest blocking conduit for tests and workloads that want
+/// wait/notify traffic (and it pins the Monitor-based queue semantics the
+/// original netsim was built on).
 class Channel {
 public:
   /// Enqueues a frame and wakes a receiver.
@@ -88,9 +99,24 @@ private:
 /// Handles one request frame and produces a response frame.
 using Handler = std::function<Bytes(const Bytes &)>;
 
+class Connection;
+class Reactor;
 class Server;
 
-/// A client connection: request/response with future-based dispatch.
+/// Server construction parameters.
+struct ServerOptions {
+  /// Reactor event-loop shards (each one thread in real mode).
+  unsigned Shards = 1;
+  /// Deterministic-simulation mode: no threads; the caller drives the
+  /// reactor with Server::pump / Server::runUntilIdle on a single thread
+  /// under seeded event ordering and virtual time.
+  bool Deterministic = false;
+  /// Seed for the simulation's event-ordering RNG.
+  uint64_t Seed = 0x5eedc0de;
+};
+
+/// A client connection handle: request/response with future-based
+/// dispatch. Thin owner of a reactor Connection.
 class ClientConnection {
 public:
   ~ClientConnection();
@@ -101,61 +127,68 @@ public:
   /// Sends \p Request and returns a future response.
   futures::Future<Bytes> call(Bytes Request);
 
-  /// Closes the connection (idempotent).
+  /// Closes the connection (idempotent). Drain-before-close: requests
+  /// already queued are still handled and their responses delivered
+  /// before the close completes.
   void close();
 
 private:
   friend class Server;
-  explicit ClientConnection(std::shared_ptr<Channel> ToServer);
+  explicit ClientConnection(std::shared_ptr<Connection> Conn);
 
-  void pumpLoop();
-
-  std::shared_ptr<Channel> ToServer;
-  std::shared_ptr<Channel> FromServer;
-  std::thread Pump;
-
-  runtime::Monitor PendingLock;
-  std::unordered_map<uint64_t, futures::Promise<Bytes>> Pending;
-  uint64_t NextRequestId = 1;
-  bool Open = true;
+  std::shared_ptr<Connection> Conn;
 };
 
-/// A server endpoint: a worker pool consuming request frames.
+/// A server endpoint: a sharded reactor running \p Handler.
 class Server {
 public:
-  /// Starts \p Workers handler threads for service \p Name.
-  Server(std::string Name, Handler Handle, unsigned Workers);
+  /// Starts a reactor with \p Shards event-loop shards for service
+  /// \p Name. (Pre-reactor code passed a worker count here; shards play
+  /// the same capacity role without per-connection threads.)
+  Server(std::string Name, Handler Handle, unsigned Shards);
+
+  /// Full-control constructor (shard count, deterministic mode, seed).
+  Server(std::string Name, Handler Handle, ServerOptions Opts);
+
   ~Server();
 
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Opens a connection to this server.
+  /// Opens a connection to this server. Connections must be closed
+  /// before the server is destroyed.
   std::unique_ptr<ClientConnection> connect();
 
   const std::string &name() const { return Name; }
 
-  /// Total requests handled so far.
+  /// Total requests handled so far (exact once traffic quiesces).
   uint64_t requestsHandled();
 
+  /// Number of reactor shards backing this server.
+  unsigned shards() const;
+
+  /// True when constructed in deterministic-simulation mode.
+  bool deterministic() const;
+
+  //===--------------------------------------------------------------===//
+  // Deterministic-simulation driving (Deterministic servers only)
+  //===--------------------------------------------------------------===//
+
+  /// Processes up to \p MaxFrames queued frames in seeded order.
+  size_t pump(size_t MaxFrames = SIZE_MAX);
+
+  /// Pumps until every queue is empty. \returns frames processed.
+  size_t runUntilIdle();
+
+  /// The simulation's virtual clock (deterministic per schedule).
+  uint64_t virtualNanos() const;
+
+  /// True when nothing is queued (sim mode only).
+  bool idle() const;
+
 private:
-  struct WireRequest {
-    std::shared_ptr<Channel> ReplyTo;
-    Bytes Frame;
-  };
-
-  void workerLoop();
-
   std::string Name;
-  Handler Handle;
-
-  runtime::Monitor QueueLock;
-  std::deque<WireRequest> Queue;
-  bool ShuttingDown = false;
-  uint64_t Handled = 0;
-
-  std::vector<std::thread> Workers;
-  std::vector<std::thread> Splices;
+  std::unique_ptr<Reactor> Core;
 };
 
 } // namespace netsim

@@ -1,0 +1,343 @@
+//===- netsim/Reactor.cpp -------------------------------------------------==//
+
+#include "netsim/Reactor.h"
+
+#include "metrics/Metrics.h"
+#include "runtime/Alloc.h"
+
+#include <cassert>
+
+using namespace ren;
+using namespace ren::netsim;
+
+//===----------------------------------------------------------------------===//
+// Poller
+//===----------------------------------------------------------------------===//
+
+Poller::~Poller() = default;
+
+bool ThreadPoller::drain(std::vector<ReadyNode *> &Out) {
+  bool Any = false;
+  while (auto *N = static_cast<ReadyNode *>(Events.pop())) {
+    Out.push_back(N);
+    Any = true;
+  }
+  return Any;
+}
+
+void ThreadPoller::notify(ReadyNode *N) {
+  Events.push(N);
+  // Dekker handshake against poll(): the push above vs our Sleeping read,
+  // the consumer's Sleeping publish vs its re-drain. Both sides fence
+  // seq_cst, so "consumer misses the node AND producer misses Sleeping"
+  // (the lost-wakeup store-buffering outcome) cannot happen.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (Sleeping.load(std::memory_order_relaxed) &&
+      Sleeping.exchange(false, std::memory_order_acq_rel))
+    if (runtime::Parker *P = Waiter.load(std::memory_order_acquire))
+      P->unpark();
+}
+
+void ThreadPoller::shutdown() {
+  ShuttingDown.store(true, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (Sleeping.exchange(false, std::memory_order_acq_rel))
+    if (runtime::Parker *P = Waiter.load(std::memory_order_acquire))
+      P->unpark();
+}
+
+bool ThreadPoller::poll(std::vector<ReadyNode *> &Out) {
+  if (!Waiter.load(std::memory_order_relaxed))
+    Waiter.store(&runtime::currentParker(), std::memory_order_release);
+  for (;;) {
+    if (drain(Out))
+      return true;
+    if (ShuttingDown.load(std::memory_order_acquire)) {
+      // Deliver anything that raced in with the shutdown flag; exhausted
+      // only when a post-flag drain finds nothing.
+      return drain(Out);
+    }
+    // Brief spin: readiness edges usually arrive in bursts.
+    for (int I = 0; I < 64; ++I) {
+      if (drain(Out))
+        return true;
+      std::this_thread::yield();
+    }
+    Sleeping.store(true, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (drain(Out)) {
+      Sleeping.store(false, std::memory_order_relaxed);
+      return true;
+    }
+    if (ShuttingDown.load(std::memory_order_acquire)) {
+      Sleeping.store(false, std::memory_order_relaxed);
+      return drain(Out);
+    }
+    runtime::currentParker().park(); // spurious returns are fine: we loop
+    Sleeping.store(false, std::memory_order_relaxed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Connection: producer side
+//===----------------------------------------------------------------------===//
+
+Connection::Connection(Reactor &Owner, unsigned ShardIndex, uint32_t ConnId)
+    : Owner(Owner), ShardIndex(ShardIndex), ConnId(ConnId) {
+  Node.Conn = this;
+}
+
+Connection::~Connection() = default;
+
+void Connection::submit(FrameNode *Frame) {
+  Inbound.push(Frame);
+  // The push's exchange is the lock-free-queue CAS the JVM Finagle stack
+  // performs per write; count it as the paper's atomic metric does.
+  metrics::count(metrics::Metric::Atomic);
+  // Edge-trigger: only the false->true arming edge posts an event. The
+  // fence pairs with the shard's disarm/re-check (see drainConnection).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!Armed.exchange(true, std::memory_order_acq_rel))
+    Owner.Shards[ShardIndex]->Events->notify(&Node);
+}
+
+futures::Future<Bytes> Connection::call(Bytes Request) {
+  if (!ClientOpen.load(std::memory_order_acquire))
+    return futures::Future<Bytes>::failed("connection closed");
+  auto *Frame = new FrameNode;
+  uint64_t Id = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  Frame->Wire.reserve(Request.size() + 8);
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Frame->Wire.push_back(static_cast<uint8_t>(Id >> Shift));
+  Frame->Wire.insert(Frame->Wire.end(), Request.begin(), Request.end());
+  runtime::noteObjectAlloc(); // the wire envelope
+  futures::Future<Bytes> Fut = Frame->Reply.future();
+  submit(Frame);
+  return Fut;
+}
+
+void Connection::close() {
+  if (!ClientOpen.exchange(false, std::memory_order_acq_rel))
+    return; // idempotent
+  auto *Marker = new FrameNode;
+  Marker->FrameKind = FrameNode::Kind::CloseMarker;
+  futures::Future<Bytes> Ack = Marker->Reply.future();
+  submit(Marker);
+  if (Owner.deterministic()) {
+    // Single-threaded mode: pump the simulation inline until the shard
+    // acks the drain. FIFO guarantees every earlier frame was processed.
+    while (!Ack.isCompleted()) {
+      size_t Processed = Owner.pump(1);
+      assert(Processed > 0 && "close marker queued but pump found nothing");
+      (void)Processed;
+    }
+  } else {
+    Ack.await();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reactor
+//===----------------------------------------------------------------------===//
+
+Reactor::Reactor(Handler HandleFn, ReactorOptions Options)
+    : Handle(std::move(HandleFn)), Opts(Options), SimRng(Options.Seed) {
+  assert(Opts.Shards > 0 && "reactor needs at least one shard");
+  Shards.reserve(Opts.Shards);
+  for (unsigned I = 0; I < Opts.Shards; ++I) {
+    auto S = std::make_unique<Shard>();
+    if (Opts.Deterministic)
+      S->Events = std::make_unique<SimPoller>();
+    else
+      S->Events = std::make_unique<ThreadPoller>();
+    Shards.push_back(std::move(S));
+  }
+  if (!Opts.Deterministic)
+    for (auto &S : Shards)
+      S->Loop = std::thread([this, Raw = S.get()] { shardLoop(*Raw); });
+}
+
+Reactor::~Reactor() {
+  for (auto &S : Shards)
+    S->Events->shutdown();
+  for (auto &S : Shards)
+    if (S->Loop.joinable())
+      S->Loop.join();
+  // Defensive sweep: a connection left open holds frames nobody will
+  // process now (the contract is to close connections first; this keeps
+  // the failure mode "futures fail" rather than "futures hang").
+  std::lock_guard<std::mutex> Guard(ConnLock);
+  for (auto &C : Conns)
+    while (auto *F = static_cast<FrameNode *>(C->Inbound.pop())) {
+      F->Reply.tryFailure("server destroyed");
+      delete F;
+    }
+}
+
+std::shared_ptr<Connection> Reactor::open() {
+  unsigned ShardIndex =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % Shards.size();
+  uint32_t Id = NextConnId.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<Connection> C(new Connection(*this, ShardIndex, Id));
+  runtime::noteObjectAlloc();
+  std::lock_guard<std::mutex> Guard(ConnLock);
+  Conns.push_back(C);
+  return C;
+}
+
+uint64_t Reactor::requestsHandled() const {
+  uint64_t Total = 0;
+  for (const auto &S : Shards)
+    Total += S->Handled.load(std::memory_order_relaxed);
+  return Total;
+}
+
+void Reactor::shardLoop(Shard &S) {
+  std::vector<ReadyNode *> Batch;
+  while (S.Events->poll(Batch)) {
+    for (ReadyNode *N : Batch)
+      drainConnection(S, *N->Conn);
+    Batch.clear();
+  }
+  // Shutdown path: poll delivered every event queued before the flag, so
+  // each armed connection got one final drain above.
+}
+
+void Reactor::drainConnection(Shard &S, Connection &C) {
+  for (;;) {
+    while (auto *Frame = static_cast<FrameNode *>(C.Inbound.pop()))
+      processFrame(S, C, Frame);
+    // Disarm, then re-check behind a seq_cst fence (pairs with the
+    // producer's push+arm fence): either we see the racing frame here,
+    // or the producer saw our disarm and posted a fresh event.
+    C.Armed.store(false, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!C.Inbound.consumerMaybeNonEmpty())
+      return;
+    // Frames raced in: try to reclaim the processing role. Losing the
+    // exchange means a producer re-armed and re-notified; the poller
+    // will redeliver, so we must not keep consuming.
+    if (C.Armed.exchange(true, std::memory_order_acq_rel))
+      return;
+  }
+}
+
+void Reactor::processFrame(Shard &S, Connection &C, FrameNode *Frame) {
+  std::unique_ptr<FrameNode> Owned(Frame);
+
+  if (Frame->FrameKind == FrameNode::Kind::CloseMarker) {
+    C.PeerClosed = true;
+    C.State = Connection::RxState::Idle;
+    // Everything queued before the marker was already processed (FIFO),
+    // so the demux table is empty unless a response path was abandoned.
+    for (auto &[Id, P] : C.Pending)
+      P.tryFailure("connection closed");
+    C.Pending.clear();
+    Frame->Reply.trySuccess({}); // drain-complete ack
+    return;
+  }
+
+  if (C.PeerClosed) {
+    // A call raced close(): the frame landed behind the marker, as on a
+    // real socket that was already shut down.
+    Frame->Reply.tryFailure("connection closed");
+    return;
+  }
+
+  // --- the per-connection state machine ---
+  // ReadHeader: peel the 8-byte request id off the envelope.
+  assert(Frame->Wire.size() >= 8 && "malformed wire frame");
+  uint64_t Id = 0;
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Id |= static_cast<uint64_t>(Frame->Wire[Shift / 8]) << Shift;
+  Bytes Payload(Frame->Wire.begin() + 8, Frame->Wire.end());
+
+  // Register the demux entry, exactly as the client-side dispatcher
+  // would on write: id -> promise.
+  C.Pending.emplace(Id, Frame->Reply);
+
+  // Dispatch the handler.
+  C.State = Connection::RxState::Dispatching;
+  Bytes Response = Handle(Payload);
+
+  // Encode the response envelope (id + body) — the bytes a server would
+  // put back on the wire.
+  C.State = Connection::RxState::Responding;
+  Bytes ReplyWire;
+  ReplyWire.reserve(Response.size() + 8);
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    ReplyWire.push_back(static_cast<uint8_t>(Id >> Shift));
+  ReplyWire.insert(ReplyWire.end(), Response.begin(), Response.end());
+  runtime::noteObjectAlloc(); // the reply envelope
+
+  // Demux: parse the envelope id back out and complete the matching
+  // future. (The id *must* round-trip; the assert pins the codec.)
+  uint64_t ReplyId = 0;
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    ReplyId |= static_cast<uint64_t>(ReplyWire[Shift / 8]) << Shift;
+  assert(ReplyId == Id && "response demux id mismatch");
+  auto It = C.Pending.find(ReplyId);
+  assert(It != C.Pending.end() && "response for unregistered request");
+  futures::Promise<Bytes> P = It->second;
+  C.Pending.erase(It);
+  Bytes Body(ReplyWire.begin() + 8, ReplyWire.end());
+  P.trySuccess(std::move(Body));
+
+  C.State = Connection::RxState::Idle;
+  ++C.FramesHandled;
+  S.Handled.fetch_add(1, std::memory_order_relaxed);
+
+  if (Opts.Deterministic)
+    SimNanos += kSimFrameNanos + kSimByteNanos * Frame->Wire.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic-simulation pump
+//===----------------------------------------------------------------------===//
+
+void Reactor::gatherSimReady() {
+  std::vector<ReadyNode *> Batch;
+  for (auto &S : Shards)
+    S->Events->poll(Batch);
+  for (ReadyNode *N : Batch)
+    SimReady.push_back(N->Conn);
+}
+
+bool Reactor::idle() const {
+  assert(Opts.Deterministic && "idle() is a sim-mode query");
+  if (!SimReady.empty())
+    return false;
+  for (const auto &S : Shards)
+    if (!static_cast<SimPoller *>(S->Events.get())->idle())
+      return false;
+  return true;
+}
+
+size_t Reactor::pump(size_t MaxFrames) {
+  assert(Opts.Deterministic &&
+         "pump() drives deterministic reactors; real shards self-drive");
+  size_t Processed = 0;
+  while (Processed < MaxFrames) {
+    gatherSimReady();
+    if (SimReady.empty())
+      break;
+    // Seeded event ordering: pick the next ready connection uniformly.
+    // One frame per step keeps the exploration fine-grained; FIFO within
+    // a connection is preserved by the queue itself.
+    size_t Pick = SimRng.nextBounded(SimReady.size());
+    Connection *C = SimReady[Pick];
+    auto *Frame = static_cast<FrameNode *>(C->Inbound.pop());
+    if (Frame) {
+      processFrame(*Shards[C->ShardIndex], *C, Frame);
+      ++Processed;
+    }
+    // Single-threaded: the disarm/re-check protocol degenerates to a
+    // plain emptiness test.
+    if (!C->Inbound.consumerMaybeNonEmpty()) {
+      C->Armed.store(false, std::memory_order_relaxed);
+      SimReady[Pick] = SimReady.back();
+      SimReady.pop_back();
+    }
+  }
+  return Processed;
+}

@@ -475,3 +475,59 @@ TEST(TracePluginTest, RecordsSpansEvenWhenTracingDisabled) {
     EXPECT_NE(E.Kind, ren::trace::EventKind::Iteration)
         << "disabled tracer must not publish iteration events";
 }
+
+//===----------------------------------------------------------------------===//
+// NetLatencyPlugin: load-generator reports attached to iterations.
+//===----------------------------------------------------------------------===//
+
+TEST(NetLatencyPluginTest, RecordsLoadReportPerIteration) {
+  class DrivesLoad : public Benchmark {
+  public:
+    BenchmarkInfo info() const override {
+      return {"netload", Suite::Renaissance, "n", "none", 1, 2};
+    }
+    void runIteration() override {
+      ren::netsim::Server Srv(
+          "plugin-echo", [](const ren::netsim::Bytes &B) { return B; }, 1);
+      ren::netsim::LoadGenOptions Opts;
+      Opts.Requests = 64;
+      Opts.Connections = 4;
+      ren::netsim::LoadGen(Srv, Opts).run();
+    }
+  };
+  DrivesLoad B;
+  ren::harness::NetLatencyPlugin Plugin;
+  Runner R;
+  R.addPlugin(Plugin);
+  R.run(B);
+
+  // One record per iteration (1 warmup + 2 steady), each carrying the
+  // published report's numbers.
+  ASSERT_EQ(Plugin.records().size(), 3u);
+  EXPECT_TRUE(Plugin.records()[0].Warmup);
+  EXPECT_FALSE(Plugin.records()[1].Warmup);
+  for (const auto &Rec : Plugin.records()) {
+    EXPECT_EQ(Rec.Benchmark, "netload");
+    EXPECT_EQ(Rec.Service, "plugin-echo");
+    EXPECT_EQ(Rec.Completed, 64u);
+    EXPECT_EQ(Rec.Failed, 0u);
+    EXPECT_GT(Rec.P50Nanos, 0u);
+    EXPECT_LE(Rec.P50Nanos, Rec.P99Nanos);
+    EXPECT_LE(Rec.P99Nanos, Rec.P999Nanos);
+    EXPECT_LE(Rec.P999Nanos, Rec.MaxNanos);
+    EXPECT_GT(Rec.SustainedRps, 0.0);
+  }
+  EXPECT_GT(Plugin.meanSteadyP99Nanos(), 0.0);
+}
+
+TEST(NetLatencyPluginTest, IterationsWithoutLoadRecordNothing) {
+  // The version snapshot means benchmarks that never run a LoadGen do not
+  // pick up a stale report published by an earlier benchmark.
+  ToyBenchmark B;
+  ren::harness::NetLatencyPlugin Plugin;
+  Runner R;
+  R.addPlugin(Plugin);
+  R.run(B);
+  EXPECT_TRUE(Plugin.records().empty());
+  EXPECT_EQ(Plugin.meanSteadyP99Nanos(), 0.0);
+}

@@ -1,0 +1,198 @@
+//===- tests/netsim/LoadGenTest.cpp ---------------------------------------==//
+//
+// Unit tests for the open-loop load generator: the latency histogram, the
+// coordinated-omission accounting (a stalled server must surface the wait
+// behind it in recorded latencies), the stop path, and the process-global
+// report slot the harness plugin reads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "netsim/LoadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+using namespace ren::netsim;
+
+namespace {
+
+Bytes toBytes(const std::string &S) { return Bytes(S.begin(), S.end()); }
+
+Bytes echoHandler(const Bytes &Request) { return Request; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogramTest, BucketsCoverTheRangeInOrder) {
+  // Exact below 32; bounded ~3% relative error above.
+  for (uint64_t V : {0ull, 1ull, 31ull}) {
+    unsigned Index = LatencyHistogram::bucketIndex(V);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(Index), V);
+  }
+  uint64_t Prev = 0;
+  for (uint64_t V :
+       {32ull, 33ull, 100ull, 1000ull, 123456ull, 1000000000ull,
+        (1ull << 62) + 12345ull}) {
+    unsigned Index = LatencyHistogram::bucketIndex(V);
+    uint64_t Upper = LatencyHistogram::bucketUpperBound(Index);
+    EXPECT_GE(Upper, V);
+    EXPECT_LE(static_cast<double>(Upper - V), 0.04 * static_cast<double>(V))
+        << "bucket rounding too coarse for " << V;
+    EXPECT_GE(Upper, Prev);
+    Prev = Upper;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesOnKnownDistribution) {
+  LatencyHistogram H;
+  // 1000 samples: 990 at 1000ns, 9 at 100000ns, 1 at 5000000ns.
+  for (int I = 0; I < 990; ++I)
+    H.record(1000);
+  for (int I = 0; I < 9; ++I)
+    H.record(100000);
+  H.record(5000000);
+  EXPECT_EQ(H.count(), 1000u);
+  EXPECT_EQ(H.maxValue(), 5000000u);
+
+  auto Near = [](uint64_t Got, uint64_t Want) {
+    EXPECT_GE(Got, Want);
+    EXPECT_LE(static_cast<double>(Got), 1.04 * static_cast<double>(Want));
+  };
+  Near(H.valueAtQuantile(0.50), 1000);
+  Near(H.valueAtQuantile(0.98), 1000);
+  Near(H.valueAtQuantile(0.995), 100000);
+  EXPECT_EQ(H.valueAtQuantile(0.9995), 5000000u); // capped at true max
+  EXPECT_EQ(H.valueAtQuantile(1.0), 5000000u);
+}
+
+TEST(LatencyHistogramTest, ResetAndEmptyBehaviour) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.valueAtQuantile(0.99), 0u);
+  H.record(777);
+  EXPECT_EQ(H.count(), 1u);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.maxValue(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// LoadGen
+//===----------------------------------------------------------------------===//
+
+TEST(LoadGenTest, UnpacedRunCompletesAndValidatesEverything) {
+  Server Srv("echo", echoHandler, 2);
+  LoadGenOptions Opts;
+  Opts.Requests = 400;
+  Opts.Connections = 8;
+  Opts.MaxInFlight = 32;
+  Opts.PayloadBytes = 24;
+  Opts.Validate = [](const Bytes &Resp) { return Resp.size() == 24; };
+  LoadReport R = LoadGen(Srv, Opts).run();
+
+  EXPECT_EQ(R.Sent, 400u);
+  EXPECT_EQ(R.Completed, 400u);
+  EXPECT_EQ(R.Failed, 0u);
+  EXPECT_EQ(R.Valid, 400u);
+  EXPECT_EQ(R.Histogram.count(), 400u);
+  EXPECT_GT(R.sustainedRps(), 0.0);
+  EXPECT_GT(R.P50, 0u);
+  EXPECT_LE(R.P50, R.P99);
+  EXPECT_LE(R.P99, R.P999);
+  EXPECT_LE(R.P999, R.MaxNanos);
+  EXPECT_EQ(Srv.requestsHandled(), 400u);
+}
+
+TEST(LoadGenTest, StalledServerLatenciesIncludeScheduledWait) {
+  // Coordinated omission: the first request stalls the (single-shard)
+  // server a known interval. With MaxInFlight=1, every request scheduled
+  // during the stall cannot even be sent; intended-time accounting must
+  // charge that wait to their latencies anyway.
+  constexpr uint64_t StallNanos = 60 * 1000 * 1000; // 60ms
+  std::atomic<bool> Stalled{false};
+  Server Srv("stall",
+             [&](const Bytes &Request) {
+               if (!Stalled.exchange(true))
+                 std::this_thread::sleep_for(
+                     std::chrono::nanoseconds(StallNanos));
+               return Request;
+             },
+             1);
+
+  LoadGenOptions Opts;
+  Opts.Requests = 50;
+  Opts.RatePerSec = 1000.0; // 1ms schedule: ~49 arrivals land in the stall
+  Opts.Connections = 4;
+  Opts.MaxInFlight = 1;
+  Opts.KeepSamples = true;
+  LoadReport R = LoadGen(Srv, Opts).run();
+
+  ASSERT_EQ(R.Completed, 50u);
+  ASSERT_EQ(R.Samples.size(), 50u);
+
+  // The generator demonstrably fell behind its schedule...
+  EXPECT_GE(R.MaxSendDelayNanos, StallNanos / 2);
+  // ...and the recorded latencies include the scheduled-send wait: the
+  // handler is instant after the stall, so only intended-time accounting
+  // can produce many multi-millisecond samples.
+  unsigned Delayed = 0;
+  for (const LoadSample &Smp : R.Samples) {
+    EXPECT_GE(Smp.SentNs, Smp.ScheduledNs);
+    EXPECT_GE(Smp.intendedLatency(), Smp.sendDelay());
+    if (Smp.intendedLatency() >= 5 * 1000 * 1000)
+      ++Delayed;
+  }
+  EXPECT_GE(Delayed, 10u)
+      << "stall-era requests did not inherit their queueing delay";
+  // The distribution's tail carries the stall, not the service time.
+  EXPECT_GE(R.P99, StallNanos / 4);
+  EXPECT_GE(R.MaxNanos, StallNanos / 2);
+}
+
+TEST(LoadGenTest, StopAbortsSendingButResolvesEverySentRequest) {
+  // Slow-ish handler so the run is still in progress when stop() lands.
+  Server Srv("slow",
+             [](const Bytes &Request) {
+               std::this_thread::sleep_for(std::chrono::microseconds(200));
+               return Request;
+             },
+             1);
+  LoadGenOptions Opts;
+  Opts.Requests = 100000; // far more than can finish before stop()
+  Opts.Connections = 4;
+  Opts.MaxInFlight = 16;
+  LoadGen Gen(Srv, Opts);
+
+  LoadReport R;
+  std::thread Runner([&] { R = Gen.run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Gen.stop();
+  Runner.join();
+
+  EXPECT_LT(R.Sent, Opts.Requests) << "stop() did not abort the schedule";
+  EXPECT_EQ(R.Completed + R.Failed, R.Sent)
+      << "a sent request was left unresolved";
+  EXPECT_EQ(R.Histogram.count(), R.Sent);
+}
+
+TEST(LoadGenTest, PublishesReportForTheHarnessPlugin) {
+  uint64_t Before = loadReportVersion();
+  Server Srv("echo", echoHandler, 1);
+  LoadGenOptions Opts;
+  Opts.Requests = 50;
+  Opts.Connections = 2;
+  LoadReport R = LoadGen(Srv, Opts).run();
+
+  EXPECT_EQ(loadReportVersion(), Before + 1);
+  LoadReport Last = lastLoadReport();
+  EXPECT_EQ(Last.Service, "echo");
+  EXPECT_EQ(Last.Completed, R.Completed);
+  EXPECT_EQ(Last.P99, R.P99);
+  EXPECT_TRUE(Last.Samples.empty()) << "global slot must not keep samples";
+}

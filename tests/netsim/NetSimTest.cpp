@@ -145,6 +145,40 @@ TEST(ServerTest, CallAfterCloseFailsFast) {
   EXPECT_TRUE(R.await().isFailure());
 }
 
+TEST(ServerTest, CloseDrainsQueuedFramesBeforeClosing) {
+  // Regression: the pre-reactor teardown joined splice threads while
+  // frames could still sit in the outbound queue, silently dropping
+  // responses for requests that were accepted before close(). The
+  // contract now is drain-before-close: every frame queued before the
+  // close marker is processed and its response delivered, *then* the
+  // connection closes. A slow handler makes the race window real.
+  Server Srv("slow-echo",
+             [](const Bytes &Request) {
+               std::this_thread::sleep_for(std::chrono::microseconds(300));
+               return echoHandler(Request);
+             },
+             1);
+  auto Conn = Srv.connect();
+  constexpr int Queued = 32;
+  std::vector<ren::futures::Future<Bytes>> Responses;
+  for (int I = 0; I < Queued; ++I)
+    Responses.push_back(Conn->call(toBytes(std::to_string(I))));
+  // Close immediately: nearly all frames are still queued behind the
+  // slow handler.
+  Conn->close();
+  for (int I = 0; I < Queued; ++I) {
+    ASSERT_TRUE(Responses[I].isCompleted())
+        << "close() returned before the drain finished";
+    const auto &R = Responses[I].await();
+    ASSERT_TRUE(R.isSuccess())
+        << "queued frame " << I << " was dropped by close: " << R.error();
+    EXPECT_EQ(toString(R.value()), "echo:" + std::to_string(I));
+  }
+  EXPECT_EQ(Srv.requestsHandled(), static_cast<uint64_t>(Queued));
+  // Post-close calls fail fast; the drained frames already answered.
+  EXPECT_TRUE(Conn->call(toBytes("late")).await().isFailure());
+}
+
 TEST(ServerTest, RpcCountsMonitorMetrics) {
   MetricSnapshot Before = MetricsRegistry::get().snapshot();
   {

@@ -25,7 +25,14 @@
 #                                  #     and the terminal x size x threads
 #                                  #     scaling matrix, vs the committed
 #                                  #     eager baseline; any matrix cell
-#                                  #     >20% below baseline fails)
+#                                  #     >20% below baseline fails) and
+#                                  #     BENCH_netsim.json (reactor
+#                                  #     connection-scaling matrix, conns x
+#                                  #     shards up to 10000 connections,
+#                                  #     plus a fixed-rate latency cell
+#                                  #     with p50/p99/p999; any cell >20%
+#                                  #     below bench/BASELINE_netsim.json
+#                                  #     fails)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
@@ -127,9 +134,10 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   step "bench-smoke: configure ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
-  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix"
+  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix + bench_netsim"
   cmake --build "$BENCH_DIR" -j "$JOBS" \
-    --target bench_micro_substrates --target bench_scaling_matrix
+    --target bench_micro_substrates --target bench_scaling_matrix \
+    --target bench_netsim
 
   step "bench-smoke: fork/join microbenchmarks"
   RAW_JSON="$BENCH_DIR/bench_forkjoin_raw.json"
@@ -281,6 +289,62 @@ if failures:
           file=sys.stderr)
     for name, ops, ref in failures:
         print(f"  {name}: {ops:.3e} ops/s vs baseline {ref:.3e} "
+              f"({ops/ref:.2f}x)", file=sys.stderr)
+    sys.exit(1)
+EOF
+
+  step "bench-smoke: netsim reactor connection-scaling matrix"
+  RAW_NETSIM="$BENCH_DIR/bench_netsim_raw.json"
+  timeout 300 "$BENCH_DIR/bench/bench_netsim" \
+    --min-time=0.2 --out="$RAW_NETSIM"
+
+  step "bench-smoke: write BENCH_netsim.json (gated)"
+  python3 - "$RAW_NETSIM" bench/BASELINE_netsim.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+cases = {}
+failures = []
+for b in raw.get("benchmarks", []):
+    ops = b["items_per_second"]
+    c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
+    # The latency cell carries coordinated-omission-safe percentiles.
+    for k in ("p50_ns", "p99_ns", "p999_ns", "max_send_delay_ns"):
+        if k in b:
+            c[k] = b[k]
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["vs_committed_baseline"] = round(ops / ref, 2)
+        if ops < 0.8 * ref:
+            failures.append((b["name"], ops, ref))
+    cases[b["name"]] = c
+ctx = raw.get("context", {})
+out = {"context": {"num_cpus": ctx.get("num_cpus"),
+                   "threads_used": ctx.get("threads_used"),
+                   "serial_host": ctx.get("serial_host")},
+       "baseline": "bench/BASELINE_netsim.json (readiness-driven reactor, "
+                   "cells pinned from the host that committed the baseline)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_netsim.json", "w"), indent=2)
+print("wrote BENCH_netsim.json:")
+for name, c in cases.items():
+    extra = ""
+    if "vs_committed_baseline" in c:
+        extra = f"  ({c['vs_committed_baseline']}x vs committed)"
+    if "p99_ns" in c:
+        extra += f"  [p99 {c['p99_ns']/1e3:.1f}us]"
+    print(f"  {name}: {c['ops_per_second']:.3e} req/s{extra}")
+if ctx.get("serial_host"):
+    print("warning: serial host — the shard sweep measures reactor "
+          "overhead, not parallel scaling", file=sys.stderr)
+if failures:
+    print("FAIL: netsim cells regressed >20% vs committed baseline:",
+          file=sys.stderr)
+    for name, ops, ref in failures:
+        print(f"  {name}: {ops:.3e} req/s vs baseline {ref:.3e} "
               f"({ops/ref:.2f}x)", file=sys.stderr)
     sys.exit(1)
 EOF
