@@ -88,7 +88,7 @@ private:
 /// The runtime cell binding an actor to its mailbox and scheduling state.
 template <typename MsgT> class Cell : public detail::CellBase {
 public:
-  Cell(ActorSystem &System, std::unique_ptr<Actor<MsgT>> Instance)
+  Cell(ActorSystem &System, runtime::Ref<Actor<MsgT>> Instance)
       : System(System), Instance(std::move(Instance)) {
     this->Instance->OwningSystem = &System;
   }
@@ -98,12 +98,12 @@ public:
     Node *N = Head.getAndSet(nullptr);
     while (N) {
       Node *Next = N->Next;
-      delete N;
+      runtime::heap::destroy(N);
       N = Next;
     }
     while (Pending) {
       Node *Next = Pending->Next;
-      delete Pending;
+      runtime::heap::destroy(Pending);
       Pending = Next;
     }
   }
@@ -134,7 +134,7 @@ private:
   void process();
 
   ActorSystem &System;
-  std::unique_ptr<Actor<MsgT>> Instance;
+  runtime::Ref<Actor<MsgT>> Instance;
   // Treiber-stack mailbox head (newest first); reversed at consume time.
   runtime::Atomic<Node *> Head{nullptr};
   // Pending messages in arrival order, owned by the processing activation.
@@ -185,7 +185,7 @@ public:
   ActorRef<typename ActorT::MessageType> spawn(ArgTs &&...Args) {
     using MsgT = typename ActorT::MessageType;
     auto Instance = runtime::newObject<ActorT>(std::forward<ArgTs>(Args)...);
-    auto CellPtr = std::make_shared<Cell<MsgT>>(*this, std::move(Instance));
+    auto CellPtr = runtime::newShared<Cell<MsgT>>(*this, std::move(Instance));
     ActorRef<MsgT> Ref(CellPtr);
     CellPtr->setSelf(Ref);
     {
@@ -221,7 +221,7 @@ private:
 template <typename MsgT> void Cell<MsgT>::tell(MsgT Message) {
   System.notePending();
   runtime::noteObjectAlloc(); // message envelope
-  Node *N = new Node(std::move(Message));
+  Node *N = runtime::heap::create<Node>(std::move(Message));
   // Lock-free push: CAS retry on the mailbox head.
   Node *OldHead = Head.load(std::memory_order_relaxed);
   do {
@@ -256,7 +256,7 @@ template <typename MsgT> void Cell<MsgT>::process() {
     // Virtual dispatch into user code, counted like invokevirtual.
     runtime::virtualCall(Instance.get(), &Actor<MsgT>::receive,
                          std::move(N->Message));
-    delete N;
+    runtime::heap::destroy(N);
     System.noteProcessed();
   }
 

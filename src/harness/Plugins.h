@@ -18,6 +18,7 @@
 
 #include "harness/Harness.h"
 #include "netsim/LoadGen.h"
+#include "runtime/Heap.h"
 #include "trace/Trace.h"
 
 #include <string>
@@ -217,6 +218,83 @@ public:
 private:
   uint64_t VersionBefore = 0;
   std::vector<IterationLoad> Records;
+};
+
+/// Records per-iteration managed-heap behaviour: allocation volume, slab
+/// traffic, and reclaim ("GC") pauses from the runtime/Heap.h substrate.
+///
+/// The paper's conclusion proposes the suite for GC studies; this plugin
+/// closes the loop on the managed-heap rework by exposing the substrate's
+/// pause/occupancy counters through the §2.2 plugin interface, the same
+/// way AllocationRatePlugin exposes the object counts. With ForceReclaim
+/// set, the plugin drives a reclaim pass after every iteration (outside
+/// the timed region) so deferred work — orphaned slabs, zero-count Rc
+/// objects — is attributed to the iteration that produced it, like a
+/// forced young-collection between harness iterations.
+class GcPausePlugin : public Plugin {
+public:
+  struct IterationHeap {
+    std::string Benchmark;
+    unsigned Iteration = 0;
+    bool Warmup = false;
+    uint64_t Nanos = 0;
+
+    /// Interval delta (HeapStats::delta semantics: counters subtract,
+    /// SlabsInUse/Epoch carry the end-of-iteration value).
+    runtime::heap::HeapStats Delta;
+
+    /// Live bytes at the iteration boundary (after the optional forced
+    /// reclaim), not an interval quantity.
+    uint64_t LiveBytesAfter = 0;
+    double OccupancyAfter = 0.0;
+
+    /// Allocated block bytes per millisecond of operation time.
+    double bytesPerMs() const {
+      return Nanos == 0 ? 0.0
+                        : static_cast<double>(Delta.BytesAllocated) /
+                              (static_cast<double>(Nanos) / 1e6);
+    }
+  };
+
+  explicit GcPausePlugin(bool ForceReclaim = false)
+      : ForceReclaim(ForceReclaim) {}
+
+  void beforeIteration(const BenchmarkInfo &, unsigned, bool) override {
+    Before = runtime::heap::stats();
+  }
+
+  void afterIteration(const BenchmarkInfo &Info, unsigned Index,
+                      bool Warmup, uint64_t Nanos) override {
+    if (ForceReclaim)
+      runtime::heap::reclaim();
+    runtime::heap::HeapStats After = runtime::heap::stats();
+    IterationHeap Rec;
+    Rec.Benchmark = Info.Name;
+    Rec.Iteration = Index;
+    Rec.Warmup = Warmup;
+    Rec.Nanos = Nanos;
+    Rec.Delta = runtime::heap::HeapStats::delta(Before, After);
+    Rec.LiveBytesAfter = After.bytesLive();
+    Rec.OccupancyAfter = After.slabOccupancyPercent();
+    Records.push_back(std::move(Rec));
+  }
+
+  const std::vector<IterationHeap> &records() const { return Records; }
+
+  /// Total reclaim-pause nanoseconds across recorded steady-state
+  /// iterations (the "GC time" a pause study starts from).
+  uint64_t steadyReclaimNanos() const {
+    uint64_t Total = 0;
+    for (const IterationHeap &R : Records)
+      if (!R.Warmup)
+        Total += R.Delta.ReclaimTotalNanos;
+    return Total;
+  }
+
+private:
+  bool ForceReclaim;
+  runtime::heap::HeapStats Before;
+  std::vector<IterationHeap> Records;
 };
 
 } // namespace harness

@@ -212,9 +212,11 @@ uint64_t Graph::addNode(std::string Label) {
     runtime::Synchronized Sync(IdLock);
     Id = NextId++;
   }
+  auto Rec = runtime::newObject<NodeRecord>();
+  Rec->Label = std::move(Label);
   Stripe &S = stripeFor(Id);
   runtime::Synchronized Sync(S.Lock);
-  S.Nodes.emplace(Id, NodeRecord{std::move(Label), {}, {}});
+  S.Nodes.emplace(Id, std::move(Rec));
   return Id;
 }
 
@@ -223,7 +225,7 @@ void Graph::addEdge(uint64_t From, uint64_t To) {
   runtime::Synchronized Sync(S.Lock);
   auto It = S.Nodes.find(From);
   assert(It != S.Nodes.end() && "edge from unknown node");
-  It->second.Out.push_back(To);
+  It->second->Out.push_back(To);
 }
 
 void Graph::setProperty(uint64_t Node, const std::string &Key,
@@ -232,7 +234,7 @@ void Graph::setProperty(uint64_t Node, const std::string &Key,
   runtime::Synchronized Sync(S.Lock);
   auto It = S.Nodes.find(Node);
   assert(It != S.Nodes.end() && "property on unknown node");
-  It->second.Props[Key] = Value;
+  It->second->Props[Key] = Value;
 }
 
 std::optional<int64_t> Graph::getProperty(uint64_t Node,
@@ -242,8 +244,8 @@ std::optional<int64_t> Graph::getProperty(uint64_t Node,
   auto It = S.Nodes.find(Node);
   if (It == S.Nodes.end())
     return std::nullopt;
-  auto PropIt = It->second.Props.find(Key);
-  if (PropIt == It->second.Props.end())
+  auto PropIt = It->second->Props.find(Key);
+  if (PropIt == It->second->Props.end())
     return std::nullopt;
   return PropIt->second;
 }
@@ -253,7 +255,7 @@ const std::string &Graph::labelOf(uint64_t Node) {
   runtime::Synchronized Sync(S.Lock);
   auto It = S.Nodes.find(Node);
   assert(It != S.Nodes.end() && "label of unknown node");
-  return It->second.Label;
+  return It->second->Label;
 }
 
 std::vector<uint64_t> Graph::neighbours(uint64_t Node) {
@@ -263,10 +265,10 @@ std::vector<uint64_t> Graph::neighbours(uint64_t Node) {
   auto It = S.Nodes.find(Node);
   if (It == S.Nodes.end())
     return {};
-  memsim::traceBuffer(It->second.Out.data(),
-                      It->second.Out.size() * sizeof(uint64_t));
+  memsim::traceBuffer(It->second->Out.data(),
+                      It->second->Out.size() * sizeof(uint64_t));
   runtime::noteArrayAlloc(); // the result copy
-  return It->second.Out;
+  return It->second->Out;
 }
 
 size_t Graph::reachableWithin(uint64_t Start, unsigned MaxDepth) {

@@ -20,6 +20,7 @@
 #ifndef REN_KVSTORE_KVSTORE_H
 #define REN_KVSTORE_KVSTORE_H
 
+#include "runtime/Alloc.h"
 #include "runtime/Monitor.h"
 
 #include <cstdint>
@@ -175,9 +176,12 @@ private:
     std::unordered_map<std::string, int64_t> Props;
   };
 
+  /// Node payloads live on the managed heap (runtime/Heap.h): the map
+  /// holds substrate-backed refs, so graph churn exercises the allocator
+  /// the benchmarks measure.
   struct Stripe {
     runtime::Monitor Lock;
-    std::unordered_map<uint64_t, NodeRecord> Nodes;
+    std::unordered_map<uint64_t, runtime::Ref<NodeRecord>> Nodes;
   };
 
   Stripe &stripeFor(uint64_t Node) {

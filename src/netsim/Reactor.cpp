@@ -104,7 +104,7 @@ void Connection::submit(FrameNode *Frame) {
 futures::Future<Bytes> Connection::call(Bytes Request) {
   if (!ClientOpen.load(std::memory_order_acquire))
     return futures::Future<Bytes>::failed("connection closed");
-  auto *Frame = new FrameNode;
+  auto *Frame = runtime::heap::create<FrameNode>();
   uint64_t Id = NextRequestId.fetch_add(1, std::memory_order_relaxed);
   Frame->Wire.reserve(Request.size() + 8);
   for (int Shift = 0; Shift < 64; Shift += 8)
@@ -119,7 +119,7 @@ futures::Future<Bytes> Connection::call(Bytes Request) {
 void Connection::close() {
   if (!ClientOpen.exchange(false, std::memory_order_acq_rel))
     return; // idempotent
-  auto *Marker = new FrameNode;
+  auto *Marker = runtime::heap::create<FrameNode>();
   Marker->FrameKind = FrameNode::Kind::CloseMarker;
   futures::Future<Bytes> Ack = Marker->Reply.future();
   submit(Marker);
@@ -170,7 +170,7 @@ Reactor::~Reactor() {
   for (auto &C : Conns)
     while (auto *F = static_cast<FrameNode *>(C->Inbound.pop())) {
       F->Reply.tryFailure("server destroyed");
-      delete F;
+      runtime::heap::destroy(F);
     }
 }
 
@@ -178,7 +178,14 @@ std::shared_ptr<Connection> Reactor::open() {
   unsigned ShardIndex =
       NextShard.fetch_add(1, std::memory_order_relaxed) % Shards.size();
   uint32_t Id = NextConnId.fetch_add(1, std::memory_order_relaxed);
-  std::shared_ptr<Connection> C(new Connection(*this, ShardIndex, Id));
+  // Placement-construct on the substrate; the deleter mirrors HeapDelete
+  // but stays here because the ctor is only visible to this friend.
+  void *Mem = runtime::heap::allocate(sizeof(Connection));
+  std::shared_ptr<Connection> C(::new (Mem) Connection(*this, ShardIndex, Id),
+                                [](Connection *P) {
+                                  P->~Connection();
+                                  runtime::heap::deallocate(P);
+                                });
   runtime::noteObjectAlloc();
   std::lock_guard<std::mutex> Guard(ConnLock);
   Conns.push_back(C);
@@ -223,7 +230,7 @@ void Reactor::drainConnection(Shard &S, Connection &C) {
 }
 
 void Reactor::processFrame(Shard &S, Connection &C, FrameNode *Frame) {
-  std::unique_ptr<FrameNode> Owned(Frame);
+  runtime::Ref<FrameNode> Owned(Frame); // frees into the substrate
 
   if (Frame->FrameKind == FrameNode::Kind::CloseMarker) {
     C.PeerClosed = true;

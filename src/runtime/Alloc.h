@@ -10,15 +10,28 @@
 /// The paper counts objects allocated, arrays allocated, and methods
 /// invoked via invokevirtual/invokeinterface/invokedynamic. The frameworks
 /// and workloads in this repository route their allocation sites through
-/// \c newObject / \c newArray and their polymorphic call sites through
-/// \c virtualCall so the same dynamic counts are produced.
+/// \c newObject / \c newShared / \c newArray and their polymorphic call
+/// sites through \c virtualCall so the same dynamic counts are produced.
+///
+/// Since the managed-heap rework the seam does more than count: every
+/// allocation draws from the slab substrate in runtime/Heap.h (the memory
+/// manager the benchmarks actually measure, instead of glibc malloc), and
+/// allocation sites feed the memsim cache model real heap addresses when a
+/// simulation is active. `newObject` returns `Ref<T>` — a unique_ptr whose
+/// deleter frees into the substrate — `newShared` keeps its
+/// `std::shared_ptr` shape (control block and payload both
+/// substrate-backed via allocate_shared), and `newArray` returns
+/// `Array<T>`, a vector drawing from the heap, while noting the array's
+/// element count and byte size for HeapStats attribution.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REN_RUNTIME_ALLOC_H
 #define REN_RUNTIME_ALLOC_H
 
+#include "memsim/MemSim.h"
 #include "metrics/Metrics.h"
+#include "runtime/Heap.h"
 
 #include <memory>
 #include <utility>
@@ -42,24 +55,62 @@ inline void noteVirtualCall(uint64_t N = 1) {
   metrics::count(metrics::Metric::Method, N);
 }
 
+/// Deleter for substrate-backed objects: destroys, then returns the block
+/// to the managed heap. Deleting through a base-class pointer works for
+/// virtual destructors the same way it does for std::default_delete —
+/// the heap rounds interior pointers back to their block start.
+struct HeapDelete {
+  template <typename T> void operator()(T *Obj) const {
+    if (Obj) {
+      Obj->~T();
+      heap::deallocate(Obj);
+    }
+  }
+};
+
+/// An owned reference to a counted object on the managed heap; the
+/// substrate-backed analogue of the std::unique_ptr newObject used to
+/// return.
+template <typename T> using Ref = std::unique_ptr<T, HeapDelete>;
+
+/// A counted array on the managed heap (the analogue of Java `new T[n]`).
+template <typename T> using Array = std::vector<T, heap::StlAllocator<T>>;
+
 /// Allocates a counted object: the analogue of Java \c new.
-template <typename T, typename... ArgTs>
-std::unique_ptr<T> newObject(ArgTs &&...Args) {
+template <typename T, typename... ArgTs> Ref<T> newObject(ArgTs &&...Args) {
   noteObjectAlloc();
-  return std::make_unique<T>(std::forward<ArgTs>(Args)...);
+  void *Mem = alignof(T) <= 16
+                  ? heap::allocate(sizeof(T))
+                  : heap::allocateAligned(sizeof(T), alignof(T));
+  T *Obj = ::new (Mem) T(std::forward<ArgTs>(Args)...);
+  memsim::traceData(Obj, sizeof(T));
+  return Ref<T>(Obj);
 }
 
-/// Allocates a counted shared object.
+/// Allocates a counted shared object. The returned type is an ordinary
+/// std::shared_ptr; allocate_shared places the control block and payload
+/// in one substrate block.
 template <typename T, typename... ArgTs>
 std::shared_ptr<T> newShared(ArgTs &&...Args) {
   noteObjectAlloc();
-  return std::make_shared<T>(std::forward<ArgTs>(Args)...);
+  std::shared_ptr<T> Obj = std::allocate_shared<T>(
+      heap::StlAllocator<T>(), std::forward<ArgTs>(Args)...);
+  memsim::traceData(Obj.get(), sizeof(T));
+  return Obj;
 }
 
-/// Allocates a counted array (the analogue of Java \c new T[n]).
-template <typename T> std::vector<T> newArray(size_t Count, T Fill = T()) {
+/// Allocates a counted array. One Array metric event per array regardless
+/// of length (the Java `new T[n]` analogue — pinned by AllocTest); the
+/// element count and byte size are attributed separately through
+/// heap::noteArrayBytes, and the memsim cache model sees the payload's
+/// real heap address range when a simulation is active.
+template <typename T> Array<T> newArray(size_t Count, T Fill = T()) {
   noteArrayAlloc();
-  return std::vector<T>(Count, Fill);
+  heap::noteArrayBytes(Count * sizeof(T));
+  Array<T> Arr(Count, Fill);
+  if (Count > 0)
+    memsim::traceBuffer(Arr.data(), Count * sizeof(T));
+  return Arr;
 }
 
 /// Invokes a virtual member function through an object pointer while

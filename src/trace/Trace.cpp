@@ -50,6 +50,8 @@ const char *ren::trace::eventKindName(EventKind K) {
     return "iteration";
   case EventKind::Run:
     return "run";
+  case EventKind::HeapReclaim:
+    return "heap.reclaim";
   case EventKind::User:
     return "user";
   }

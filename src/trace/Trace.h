@@ -82,11 +82,13 @@ enum class EventKind : uint8_t {
   TaskRun,          ///< Executor task; Dur = run ns, A = queue-latency ns.
   Iteration,        ///< Harness iteration span. A = index, B = warmup.
   Run,              ///< Harness whole-benchmark span.
+  HeapReclaim,      ///< Managed-heap reclaim pass ("GC pause"); Dur =
+                    ///< pause ns, A = slabs recycled, B = Rc destroyed.
   User,             ///< Free-form event for tests and ad-hoc probes.
 };
 
 /// Number of EventKind values (for histogram arrays).
-inline constexpr unsigned kNumEventKinds = 18;
+inline constexpr unsigned kNumEventKinds = 19;
 
 /// Short lower-case kind name ("monitor.acquire", "fj.steal", ...).
 const char *eventKindName(EventKind K);

@@ -117,6 +117,9 @@ TraceProfile ren::trace::buildProfile(const std::vector<TraceEvent> &Events,
       P.TaskQueueNsTotal += E.A;
       P.TaskQueueNsMax = std::max(P.TaskQueueNsMax, E.A);
       break;
+    case EventKind::HeapReclaim:
+      P.GcPause.add(E.Dur);
+      break;
     default:
       break;
     }
@@ -192,6 +195,17 @@ std::string TraceProfile::summary() const {
                 static_cast<double>(ParkLatency.quantileNanos(0.99)) / 1e6,
                 static_cast<double>(ParkLatency.MaxNs) / 1e6);
   Emit();
+
+  if (GcPause.Count > 0) {
+    std::snprintf(Line, sizeof(Line),
+                  "  heap: %llu reclaim passes, total %.3f ms, p99 ~%.3f "
+                  "ms, max %.3f ms\n",
+                  static_cast<unsigned long long>(GcPause.Count),
+                  static_cast<double>(GcPause.TotalNs) / 1e6,
+                  static_cast<double>(GcPause.quantileNanos(0.99)) / 1e6,
+                  static_cast<double>(GcPause.MaxNs) / 1e6);
+    Emit();
+  }
 
   std::snprintf(Line, sizeof(Line),
                 "  atomics: %llu CAS failures; idynamic: %llu bootstraps, "

@@ -71,6 +71,7 @@ struct TraceProfile {
   std::vector<MonitorContention> ContendedMonitors; ///< Sorted, worst first.
   LatencyHistogram ParkLatency;
   LatencyHistogram MonitorBlocked;
+  LatencyHistogram GcPause; ///< Managed-heap reclaim pass durations.
   std::vector<WorkerActivity> Workers; ///< Sorted by Tid.
   uint64_t MonitorInflations = 0; ///< Thin -> fat monitor transitions.
   uint64_t CasFailures = 0;

@@ -154,7 +154,7 @@ public:
 
 private:
   static void fillPolygon(std::vector<uint8_t> &Canvas,
-                          const std::vector<std::pair<int, int>> &Poly,
+                          const runtime::Array<std::pair<int, int>> &Poly,
                           uint8_t Color) {
     for (int Y = 0; Y < kCanvas; ++Y) {
       // Even-odd rule scanline fill.
@@ -521,7 +521,7 @@ public:
   struct Node {
     virtual ~Node() = default;
     virtual uint64_t weight() const = 0;
-    std::vector<std::unique_ptr<Node>> Children;
+    std::vector<runtime::Ref<Node>> Children;
   };
 
   struct StmtNode : Node {
@@ -550,8 +550,8 @@ public:
   uint64_t checksum() const override { return Result; }
 
 private:
-  std::unique_ptr<Node> buildTree(Xoshiro256StarStar &Rng, int Depth) {
-    std::unique_ptr<Node> N;
+  runtime::Ref<Node> buildTree(Xoshiro256StarStar &Rng, int Depth) {
+    runtime::Ref<Node> N;
     switch (Rng.nextBounded(3)) {
     case 0:
       N = runtime::newObject<StmtNode>();
@@ -585,7 +585,7 @@ private:
     return Violations;
   }
 
-  std::vector<std::unique_ptr<Node>> Roots;
+  std::vector<runtime::Ref<Node>> Roots;
   uint64_t Result = 0;
 };
 
@@ -653,9 +653,9 @@ public:
       runtime::Monitor Lock;
       std::map<std::string, long> Attributes;
     };
-    std::vector<std::unique_ptr<Session>> Sessions;
+    std::vector<runtime::Ref<Session>> Sessions;
     for (int S = 0; S < 32; ++S)
-      Sessions.push_back(std::make_unique<Session>());
+      Sessions.push_back(runtime::newObject<Session>());
 
     std::vector<std::thread> Workers;
     std::atomic<uint64_t> Served{0};

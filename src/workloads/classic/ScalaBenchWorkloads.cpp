@@ -47,9 +47,10 @@ struct ConsCell {
 using ConsList = std::shared_ptr<ConsCell>;
 
 ConsList cons(long Head, ConsList Tail) {
-  runtime::noteObjectAlloc();
   runtime::noteVirtualCall(); // List.::(...) dispatch
-  auto Cell = std::make_shared<ConsCell>();
+  // newShared notes the Object metric and draws the cell (payload +
+  // control block, one allocate_shared block) from the managed heap.
+  auto Cell = runtime::newShared<ConsCell>();
   Cell->Head = Head;
   Cell->Tail = std::move(Tail);
   return Cell;
@@ -229,7 +230,7 @@ public:
   struct Node {
     char Op; // '+', '*', or 'n' for leaf
     long Value = 0;
-    std::unique_ptr<Node> Lhs, Rhs;
+    runtime::Ref<Node> Lhs, Rhs;
   };
 
   void runIteration() override {
@@ -246,7 +247,7 @@ public:
   uint64_t checksum() const override { return Result; }
 
 private:
-  std::unique_ptr<Node> buildTree(Xoshiro256StarStar &Rng, int Depth) {
+  runtime::Ref<Node> buildTree(Xoshiro256StarStar &Rng, int Depth) {
     auto N = runtime::newObject<Node>();
     if (Depth >= 8 || Rng.nextBool(0.3)) {
       N->Op = 'n';

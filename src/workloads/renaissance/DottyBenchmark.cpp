@@ -135,19 +135,19 @@ struct VarExpr : Expr {
 struct CallExpr : Expr {
   CallExpr() : Expr(ExprKind::Call) {}
   std::string Callee;
-  std::vector<std::unique_ptr<Expr>> Args;
+  std::vector<runtime::Ref<Expr>> Args;
 };
 
 struct BinaryExpr : Expr {
   BinaryExpr() : Expr(ExprKind::Binary) {}
   char Op = '+';
-  std::unique_ptr<Expr> Lhs, Rhs;
+  runtime::Ref<Expr> Lhs, Rhs;
 };
 
 struct FunctionDef {
   std::string Name;
   std::vector<std::string> Params;
-  std::unique_ptr<Expr> Body;
+  runtime::Ref<Expr> Body;
 };
 
 /// The shared symbol table: function arities resolved across files, every
@@ -210,7 +210,7 @@ private:
     return Def;
   }
 
-  std::unique_ptr<Expr> parseExpr() {
+  runtime::Ref<Expr> parseExpr() {
     auto Lhs = parseTerm();
     while (Current.Kind == TokKind::Plus ||
            Current.Kind == TokKind::Minus) {
@@ -225,7 +225,7 @@ private:
     return Lhs;
   }
 
-  std::unique_ptr<Expr> parseTerm() {
+  runtime::Ref<Expr> parseTerm() {
     auto Lhs = parsePrimary();
     while (Current.Kind == TokKind::Star ||
            Current.Kind == TokKind::Slash) {
@@ -240,7 +240,7 @@ private:
     return Lhs;
   }
 
-  std::unique_ptr<Expr> parsePrimary() {
+  runtime::Ref<Expr> parsePrimary() {
     if (Current.Kind == TokKind::Number) {
       double V = std::stod(Current.Text);
       advance();

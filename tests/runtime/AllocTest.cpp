@@ -1,8 +1,13 @@
 //===- tests/runtime/AllocTest.cpp ----------------------------------------==//
 
 #include "runtime/Alloc.h"
+#include "support/Rng.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
 
 using namespace ren::runtime;
 using namespace ren::metrics;
@@ -68,4 +73,169 @@ TEST(AllocTest, VirtualCallDispatchesAndCounts) {
   MetricSnapshot D = MetricSnapshot::delta(Before, snap());
   EXPECT_EQ(Area, 9);
   EXPECT_EQ(D.get(Metric::Method), 1u);
+}
+
+TEST(AllocTest, DeleteThroughBaseClassPointer) {
+  // HeapDelete must work like default_delete for virtual hierarchies:
+  // the substrate rounds the (possibly interior) base pointer back to
+  // the block start.
+  Ref<Shape> Base = newObject<Square>(5);
+  EXPECT_EQ(Base->area(), 25);
+  heap::HeapStats Before = heap::stats();
+  Base.reset();
+  heap::HeapStats D = heap::HeapStats::delta(Before, heap::stats());
+  EXPECT_GE(D.BytesFreed, heap::blockBytesFor(sizeof(Square)));
+}
+
+//===----------------------------------------------------------------------===//
+// newArray metric semantics (pinned: the Java `new T[n]` analogue)
+//===----------------------------------------------------------------------===//
+
+TEST(AllocTest, NewArrayAttributesElementBytesSeparately) {
+  // Exactly one Array event regardless of length, with the payload size
+  // attributed through HeapStats::ArrayBytes: Count * sizeof(T).
+  heap::HeapStats HeapBefore = heap::stats();
+  MetricSnapshot Before = snap();
+  auto A = newArray<uint64_t>(777);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  heap::HeapStats HD = heap::HeapStats::delta(HeapBefore, heap::stats());
+  EXPECT_EQ(D.get(Metric::Array), 1u);
+  EXPECT_EQ(HD.ArrayBytes, 777u * sizeof(uint64_t));
+  // The backing store really came from the substrate.
+  EXPECT_GE(HD.BytesAllocated, 777u * sizeof(uint64_t));
+  EXPECT_EQ(A.size(), 777u);
+}
+
+TEST(AllocTest, NewArrayZeroLengthCountsOneArrayNoBytes) {
+  heap::HeapStats HeapBefore = heap::stats();
+  MetricSnapshot Before = snap();
+  auto A = newArray<int>(0);
+  MetricSnapshot D = MetricSnapshot::delta(Before, snap());
+  heap::HeapStats HD = heap::HeapStats::delta(HeapBefore, heap::stats());
+  EXPECT_EQ(D.get(Metric::Array), 1u);
+  EXPECT_EQ(HD.ArrayBytes, 0u);
+  EXPECT_TRUE(A.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Differential suite: substrate vs malloc reference
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One randomized alloc/free schedule executed twice — once on the
+/// substrate, once on plain new[]/delete[] — with identical seeds. Every
+/// live block carries a seeded fill pattern checked on free; the live-byte
+/// ledger must balance to zero at the end on both sides.
+struct DifferentialRun {
+  struct Block {
+    void *Ptr = nullptr;
+    size_t Size = 0;
+    uint8_t Fill = 0;
+  };
+
+  uint64_t Seed;
+  bool UseSubstrate;
+  uint64_t LiveBytes = 0;
+  uint64_t PeakLive = 0;
+  uint64_t Checksum = 0;
+
+  explicit DifferentialRun(uint64_t Seed, bool UseSubstrate)
+      : Seed(Seed), UseSubstrate(UseSubstrate) {}
+
+  void *rawAlloc(size_t Size) {
+    return UseSubstrate ? heap::allocate(Size) : ::operator new(Size);
+  }
+  void rawFree(void *P) {
+    if (UseSubstrate)
+      heap::deallocate(P);
+    else
+      ::operator delete(P);
+  }
+
+  void execute() {
+    ren::Xoshiro256StarStar Rng(Seed);
+    std::vector<Block> Live;
+    for (int Op = 0; Op < 4000; ++Op) {
+      bool DoAlloc = Live.empty() || Rng.nextBounded(100) < 55;
+      if (DoAlloc) {
+        Block B;
+        // Mixed small/large sizes, biased small like real churn.
+        B.Size = Rng.nextBounded(100) < 95
+                     ? 1 + Rng.nextBounded(512)
+                     : 1 + Rng.nextBounded(32 * 1024);
+        B.Fill = static_cast<uint8_t>(Rng.nextBounded(256));
+        B.Ptr = rawAlloc(B.Size);
+        std::memset(B.Ptr, B.Fill, B.Size);
+        LiveBytes += B.Size;
+        PeakLive = std::max(PeakLive, LiveBytes);
+        Live.push_back(B);
+      } else {
+        size_t Victim = Rng.nextBounded(Live.size());
+        Block B = Live[Victim];
+        Live[Victim] = Live.back();
+        Live.pop_back();
+        auto *Bytes = static_cast<uint8_t *>(B.Ptr);
+        for (size_t I = 0; I < B.Size; ++I)
+          Checksum += Bytes[I] == B.Fill ? 1 : 1000003; // corruption screams
+        LiveBytes -= B.Size;
+        rawFree(B.Ptr);
+      }
+    }
+    for (Block &B : Live) {
+      auto *Bytes = static_cast<uint8_t *>(B.Ptr);
+      for (size_t I = 0; I < B.Size; ++I)
+        Checksum += Bytes[I] == B.Fill ? 1 : 1000003;
+      LiveBytes -= B.Size;
+      rawFree(B.Ptr);
+    }
+  }
+};
+
+} // namespace
+
+TEST(AllocDifferentialTest, SubstrateMatchesMallocReference) {
+  for (uint64_t Seed : {0xA110C1ULL, 0xBEEF5EEDULL, 0x7E57ULL}) {
+    DifferentialRun Sub(Seed, /*UseSubstrate=*/true);
+    DifferentialRun Mal(Seed, /*UseSubstrate=*/false);
+    Sub.execute();
+    Mal.execute();
+    // Same schedule, same data, same ledger on both allocators.
+    EXPECT_EQ(Sub.Checksum, Mal.Checksum) << "seed " << Seed;
+    EXPECT_EQ(Sub.PeakLive, Mal.PeakLive) << "seed " << Seed;
+    EXPECT_EQ(Sub.LiveBytes, 0u);
+    EXPECT_EQ(Mal.LiveBytes, 0u);
+  }
+}
+
+TEST(AllocDifferentialTest, SubstrateLedgerBalancesAcrossThreadExit) {
+  // Blocks allocated on worker threads, some freed by the main thread
+  // after the workers exited: the heap's own accounting must balance
+  // exactly over the interval once reclaim folds the retired caches.
+  heap::HeapStats Before = heap::stats();
+  std::vector<void *> Handoff(256);
+  std::thread W1([&] {
+    for (size_t I = 0; I < 128; ++I) {
+      Handoff[I] = heap::allocate(64 + 16 * (I % 8));
+      std::memset(Handoff[I], 0x5A, 64);
+    }
+  });
+  std::thread W2([&] {
+    for (size_t I = 128; I < 256; ++I) {
+      Handoff[I] = heap::allocate(64 + 16 * (I % 8));
+      std::memset(Handoff[I], 0x5A, 64);
+    }
+  });
+  W1.join();
+  W2.join();
+  for (void *P : Handoff) {
+    auto *Bytes = static_cast<uint8_t *>(P);
+    for (int I = 0; I < 64; ++I)
+      ASSERT_EQ(Bytes[I], 0x5A);
+    heap::deallocate(P);
+  }
+  heap::reclaim();
+  heap::reclaim();
+  heap::HeapStats D = heap::HeapStats::delta(Before, heap::stats());
+  EXPECT_EQ(D.BytesAllocated, D.BytesFreed);
 }

@@ -7,6 +7,11 @@
 #   tools/check.sh --stress        # ... then also run ctest -L stress
 #   tools/check.sh --tsan          # ... then a -DREN_SANITIZE=thread build
 #                                  #     and the runtime/stress tests under it
+#   tools/check.sh --asan          # ... a -DREN_SANITIZE=address build and
+#                                  #     the allocation-substrate tests
+#                                  #     under it (ctest -L alloc:
+#                                  #     test_runtime incl. HeapTest, and
+#                                  #     the stress_alloc races)
 #   tools/check.sh --trace         # ... the ren::trace tier: ctest -L trace
 #                                  #     in the tier-1 build, then the same
 #                                  #     label (incl. stress_trace) under TSan
@@ -32,11 +37,17 @@
 #                                  #     plus a fixed-rate latency cell
 #                                  #     with p50/p99/p999; any cell >20%
 #                                  #     below bench/BASELINE_netsim.json
-#                                  #     fails)
+#                                  #     fails) and BENCH_alloc.json (the
+#                                  #     managed-heap substrate cells vs
+#                                  #     their malloc twins; any substrate
+#                                  #     cell >20% below the committed
+#                                  #     bench/BASELINE_alloc.json
+#                                  #     reference fails)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
 #   --tsan-dir DIR    TSan build tree              (default: build-tsan)
+#   --asan-dir DIR    ASan build tree              (default: build-asan)
 #   --bench-dir DIR   Release bench build tree     (default: build-bench)
 #   --jobs N          parallel build/test jobs     (default: nproc)
 #
@@ -48,10 +59,12 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 TSAN_DIR=build-tsan
+ASAN_DIR=build-asan
 BENCH_DIR=build-bench
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_STRESS=0
 RUN_TSAN=0
+RUN_ASAN=0
 RUN_TRACE=0
 RUN_BENCH=0
 
@@ -59,9 +72,10 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --stress) RUN_STRESS=1 ;;
     --tsan) RUN_TSAN=1 ;;
+    --asan) RUN_ASAN=1 ;;
     --trace) RUN_TRACE=1 ;;
     --bench-smoke) RUN_BENCH=1 ;;
-    --build-dir|--tsan-dir|--bench-dir|--jobs)
+    --build-dir|--tsan-dir|--asan-dir|--bench-dir|--jobs)
       if [[ $# -lt 2 ]]; then
         echo "missing value for $1 (try --help)" >&2
         exit 2
@@ -69,6 +83,7 @@ while [[ $# -gt 0 ]]; do
       case "$1" in
         --build-dir) BUILD_DIR="$2" ;;
         --tsan-dir) TSAN_DIR="$2" ;;
+        --asan-dir) ASAN_DIR="$2" ;;
         --bench-dir) BENCH_DIR="$2" ;;
         --jobs) JOBS="$2" ;;
       esac
@@ -130,14 +145,27 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ctest --test-dir "$TSAN_DIR" -L stress --output-on-failure -j "$JOBS"
 fi
 
+if [[ "$RUN_ASAN" == 1 ]]; then
+  step "asan: configure ($ASAN_DIR, -DREN_SANITIZE=address)"
+  cmake -B "$ASAN_DIR" -S . -DREN_SANITIZE=address
+
+  step "asan: build test_runtime + stress_alloc"
+  cmake --build "$ASAN_DIR" -j "$JOBS" \
+    --target test_runtime --target stress_alloc
+
+  step "asan: allocation-substrate tests under ASan (ctest -L alloc)"
+  ctest --test-dir "$ASAN_DIR" -L alloc -E bench_alloc_smoke \
+    --output-on-failure -j "$JOBS"
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   step "bench-smoke: configure ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
-  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix + bench_netsim"
+  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix + bench_netsim + bench_alloc"
   cmake --build "$BENCH_DIR" -j "$JOBS" \
     --target bench_micro_substrates --target bench_scaling_matrix \
-    --target bench_netsim
+    --target bench_netsim --target bench_alloc
 
   step "bench-smoke: fork/join microbenchmarks"
   RAW_JSON="$BENCH_DIR/bench_forkjoin_raw.json"
@@ -346,6 +374,72 @@ if failures:
     for name, ops, ref in failures:
         print(f"  {name}: {ops:.3e} req/s vs baseline {ref:.3e} "
               f"({ops/ref:.2f}x)", file=sys.stderr)
+    sys.exit(1)
+EOF
+
+  step "bench-smoke: managed-heap substrate cells (substrate vs malloc twins)"
+  RAW_ALLOC="$BENCH_DIR/bench_alloc_raw.json"
+  timeout 300 "$BENCH_DIR/bench/bench_alloc" \
+    --benchmark_min_time=0.3 \
+    --benchmark_out="$RAW_ALLOC" --benchmark_out_format=json
+
+  step "bench-smoke: write BENCH_alloc.json (gated)"
+  python3 - "$RAW_ALLOC" bench/BASELINE_alloc.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+ops = {b["name"]: b.get("items_per_second")
+       for b in raw.get("benchmarks", []) if "items_per_second" in b}
+# Substrate cell -> malloc twin run in the same invocation.
+twins = {
+    "BM_AllocChurnSmall_Substrate": "BM_AllocChurnSmall_Malloc",
+    "BM_AllocChurnMixed_Substrate": "BM_AllocChurnMixed_Malloc",
+    "BM_CrossThreadFree_Substrate/real_time":
+        "BM_CrossThreadFree_Malloc/real_time",
+    "BM_FragSoak_Substrate": "BM_FragSoak_Malloc",
+    "BM_RcCopyDrop_Substrate": "BM_SharedPtrCopyDrop_Malloc",
+    "BM_RcCreateDrop_Substrate": "BM_SharedPtrCreateDrop_Malloc",
+}
+cases = {}
+failures = []
+for name, o in ops.items():
+    c = {"ops_per_second": o}
+    twin = twins.get(name)
+    if twin and twin in ops and ops[twin]:
+        c["malloc_ops_per_second"] = ops[twin]
+        c["speedup_vs_malloc"] = round(o / ops[twin], 2)
+    ref = base.get(name, {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["vs_committed_baseline"] = round(o / ref, 2)
+        if o < 0.8 * ref:
+            failures.append((name, o, ref))
+    cases[name] = c
+out = {"context": {"date": raw["context"].get("date"),
+                   "num_cpus": raw["context"].get("num_cpus")},
+       "baseline": "bench/BASELINE_alloc.json (malloc twin references "
+                   "pinned from the committing host; RcCreateDrop is "
+                   "self-pinned — see the baseline's comment)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_alloc.json", "w"), indent=2)
+print("wrote BENCH_alloc.json:")
+for name, c in cases.items():
+    extra = ""
+    if "speedup_vs_malloc" in c:
+        extra = f"  ({c['speedup_vs_malloc']}x vs malloc)"
+    print(f"  {name}: {c['ops_per_second']:.3e} ops/s{extra}")
+if raw["context"].get("num_cpus", 2) <= 1:
+    print("warning: num_cpus <= 1 — the cross-thread cell measures the "
+          "free path plus scheduler handoff, not parallel arena "
+          "behaviour", file=sys.stderr)
+if failures:
+    print("FAIL: substrate cells fell >20% below the committed "
+          "reference:", file=sys.stderr)
+    for name, o, ref in failures:
+        print(f"  {name}: {o:.3e} ops/s vs reference {ref:.3e} "
+              f"({o/ref:.2f}x)", file=sys.stderr)
     sys.exit(1)
 EOF
 fi
