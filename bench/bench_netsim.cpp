@@ -8,33 +8,52 @@
 //
 // Cells:
 //   netsim/echo/conns=C/shards=S   unpaced echo flood over C concurrent
-//       connections on an S-shard reactor (C up to 10000 — the
-//       thread-per-connection design this replaced topped out two orders
-//       of magnitude lower); items_per_second is completed requests per
-//       wall second
+//       connections on an S-shard reactor (C up to 100000 in the default
+//       matrix, 1000000 behind --huge — the thread-per-connection design
+//       this replaced topped out three orders of magnitude lower);
+//       items_per_second is completed requests per wall second
+//   netsim/footprint/conns=C       per-connection memory: RSS delta for
+//       C held-open connections; items_per_second is connection-open
+//       throughput, rss_per_conn_bytes/rss_total_bytes ride along
 //   netsim/latency/rate=R/conns=C/shards=S   fixed-rate open-loop run;
 //       items_per_second is sustained requests/sec, and the cell carries
 //       coordinated-omission-safe p50/p99/p999 latency (ns) as extra
 //       fields
+//   netsim/slowp99/offload=on|off/conns=C/shards=1   fixed-rate mix
+//       where 4 of C connections run a deliberately slow (blocking)
+//       handler; items_per_second is 1e9 / fast-connection p90 (bigger =
+//       better — see slowP99Cell for why p90 gates and p99 rides along),
+//       so the baseline gate enforces that offloading keeps slow
+//       handlers from head-of-line-blocking the fast traffic's tail
 //
-// On a single-core host the shard sweep measures reactor overhead, not
-// parallel speedup — same caveat as the stream scaling matrix.
+// Every cell embeds the host-parallelism snapshot (num_cpus /
+// threads_used / serial_host) with threads_used set to that cell's shard
+// count. On a single-core host the shard sweep measures reactor
+// overhead, not parallel speedup — same caveat as the stream scaling
+// matrix.
 //
 // Flags: --quick (fewer requests, short min-time — the `ctest -L bench`
-// smoke), --min-time=SECONDS (per-cell measure budget, default 0.3),
-// --out=PATH (default stdout).
+// smoke), --huge (adds the conns=1000000 cell when address-space rlimits
+// and MemAvailable allow; never run by check.sh), --min-time=SECONDS
+// (per-cell measure budget, default 0.3), --out=PATH (default stdout).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 #include "netsim/LoadGen.h"
+#include "support/Clock.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ren;
@@ -56,6 +75,51 @@ double nowSeconds() {
 }
 
 Bytes echoHandler(const Bytes &Request) { return Request; }
+
+/// Resident set size from /proc/self/statm (bytes); 0 if unreadable.
+uint64_t currentRssBytes() {
+  std::FILE *F = std::fopen("/proc/self/statm", "r");
+  if (!F)
+    return 0;
+  unsigned long long Size = 0, Resident = 0;
+  int Got = std::fscanf(F, "%llu %llu", &Size, &Resident);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  long Page = sysconf(_SC_PAGESIZE);
+  return Resident * static_cast<uint64_t>(Page > 0 ? Page : 4096);
+}
+
+/// MemAvailable from /proc/meminfo (bytes); 0 if unreadable.
+uint64_t memAvailableBytes() {
+  std::FILE *F = std::fopen("/proc/meminfo", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  uint64_t Avail = 0;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    unsigned long long Kb = 0;
+    if (std::sscanf(Line, "MemAvailable: %llu kB", &Kb) == 1) {
+      Avail = Kb * 1024;
+      break;
+    }
+  }
+  std::fclose(F);
+  return Avail;
+}
+
+/// The host snapshot is per-process; threads_used is per-cell (its shard
+/// count), so every cell's JSON is self-describing.
+std::string hostExtra(unsigned ShardsUsed) {
+  static bench::ParallelHostInfo Host = bench::parallelHostInfo(0);
+  char Extra[128];
+  std::snprintf(Extra, sizeof(Extra),
+                ", \"num_cpus\": %u, \"threads_used\": %u, "
+                "\"serial_host\": %s",
+                Host.HardwareConcurrency, ShardsUsed,
+                Host.SerialHost ? "true" : "false");
+  return Extra;
+}
 
 /// One throughput cell: C connections on an S-shard server, unpaced
 /// open-loop echo. Repeats whole LoadGen runs until MinTime and averages.
@@ -86,7 +150,152 @@ Cell echoCell(unsigned Conns, unsigned Shards, uint64_t Requests,
   C.OpsPerSecond =
       static_cast<double>(Completed) * 1e9 / static_cast<double>(Nanos);
   C.RealTimeNs = static_cast<double>(Nanos) / Runs;
+  C.ExtraJson = hostExtra(Shards);
   return C;
+}
+
+/// The footprint cell: RSS delta for \p Conns held-open connections,
+/// measured on a quiet single-shard server. items_per_second is
+/// connection-open throughput; rss_per_conn_bytes is the headline number
+/// (informational — noisy allocators round it up, never down, so a
+/// regression shows as growth).
+Cell footprintCell(unsigned Conns) {
+  Server Srv("bench-footprint", echoHandler, 1);
+  uint64_t Before = currentRssBytes();
+  double Start = nowSeconds();
+  std::vector<std::unique_ptr<ClientConnection>> Pool;
+  Pool.reserve(Conns);
+  for (unsigned I = 0; I < Conns; ++I)
+    Pool.push_back(Srv.connect());
+  double OpenSeconds = nowSeconds() - Start;
+  uint64_t After = currentRssBytes();
+  uint64_t Delta = After > Before ? After - Before : 0;
+
+  Cell C;
+  C.Name = "netsim/footprint/conns=" + std::to_string(Conns);
+  C.OpsPerSecond = static_cast<double>(Conns) / OpenSeconds;
+  C.RealTimeNs = OpenSeconds * 1e9;
+  char Extra[160];
+  std::snprintf(Extra, sizeof(Extra),
+                ", \"rss_total_bytes\": %llu, \"rss_per_conn_bytes\": %.1f",
+                static_cast<unsigned long long>(Delta),
+                static_cast<double>(Delta) / Conns);
+  C.ExtraJson = Extra + hostExtra(1);
+  for (auto &Conn : Pool)
+    Conn->close();
+  return C;
+}
+
+/// The tail-isolation cell: 4 of 256 connections carry requests whose
+/// handler blocks ~500us (a sleep — blocking, not CPU burn, so on a
+/// single-CPU host offload genuinely frees the shard; a busy-spin would
+/// monopolize the core either way). Sleeps are millisecond-granular on
+/// the reference container, so the slow share is kept small enough that
+/// even 10x inflation cannot saturate the one offload worker. With
+/// handler offload the stalls park on the shard's executor and the fast
+/// connections' tail stays flat; inline they head-of-line-block the
+/// shard for ~15-30% of the run. items_per_second is 1e9 / fast *p90*:
+/// the stall signal sits well above p90 inline and vanishes with
+/// offload, while the reference container's post-flood throttling
+/// hiccups only pollute the top ~1-2% of samples — gating p90 keeps the
+/// committed baseline meaningful where a p99 gate would gate scheduler
+/// noise. The fast/slow p99s still ride along informationally.
+Cell slowP99Cell(bool Offload, uint64_t Requests) {
+  constexpr unsigned kConns = 256;
+  constexpr unsigned kSlowConns = 4;
+  // The EWMA learns a connection is slow from its first sampled frame,
+  // which runs inline even with offload enabled; the warmup prefix
+  // covering that learning phase is excluded from the percentiles.
+  constexpr uint64_t kWarmupSeqs = 512;
+  ServerOptions SrvOpts;
+  SrvOpts.Shards = 1;
+  SrvOpts.OffloadHandlers = Offload;
+  SrvOpts.OffloadThreads = 1;
+  SrvOpts.OffloadThresholdNanos = 20000;
+  Server Srv("bench-slowp99",
+             [](const Bytes &Request) {
+               if (Request.size() > 8 && Request[8] != 0)
+                 std::this_thread::sleep_for(
+                     std::chrono::microseconds(500));
+               return Request;
+             },
+             SrvOpts);
+
+  LoadGenOptions Opts;
+  Opts.Requests = Requests;
+  Opts.RatePerSec = 20000.0;
+  Opts.Connections = kConns;
+  Opts.MaxInFlight = 1024;
+  Opts.KeepSamples = true; // per-request samples split fast from slow
+  Opts.MakeRequest = [](uint64_t Seq) {
+    Bytes Req(32, 0);
+    for (int Shift = 0; Shift < 64; Shift += 8)
+      Req[static_cast<size_t>(Shift / 8)] =
+          static_cast<uint8_t>(Seq >> Shift);
+    // Round-robin routing sends Seq to connection Seq % kConns: the
+    // first kSlowConns connections carry all the slow requests.
+    Req[8] = (Seq % kConns) < kSlowConns ? 1 : 0;
+    return Req;
+  };
+  LoadReport R = LoadGen(Srv, Opts).run();
+
+  // Fast-connection percentiles from the steady-state per-request
+  // samples (sample order is send order, so Seq % kConns recovers the
+  // routing).
+  std::vector<uint64_t> Fast, Slow;
+  for (size_t Seq = kWarmupSeqs; Seq < R.Samples.size(); ++Seq)
+    ((Seq % kConns) < kSlowConns ? Slow : Fast)
+        .push_back(R.Samples[Seq].intendedLatency());
+  auto Pct = [](std::vector<uint64_t> &V, unsigned Hundredths) -> uint64_t {
+    if (V.empty())
+      return 0;
+    size_t Rank = (V.size() * Hundredths) / 100;
+    Rank = std::min(Rank, V.size() - 1);
+    std::nth_element(V.begin(), V.begin() + static_cast<ptrdiff_t>(Rank),
+                     V.end());
+    return V[Rank];
+  };
+  uint64_t FastP90 = Pct(Fast, 90), FastP99 = Pct(Fast, 99);
+  uint64_t SlowP99 = Pct(Slow, 99);
+
+  Cell C;
+  C.Name = std::string("netsim/slowp99/offload=") +
+           (Offload ? "on" : "off") + "/conns=256/shards=1";
+  C.OpsPerSecond = FastP90 ? 1e9 / static_cast<double>(FastP90) : 0.0;
+  C.RealTimeNs = static_cast<double>(R.ElapsedNanos);
+  char Extra[256];
+  std::snprintf(Extra, sizeof(Extra),
+                ", \"fast_p90_ns\": %llu, \"fast_p99_ns\": %llu, "
+                "\"slow_p99_ns\": %llu, \"p99_ns\": %llu, "
+                "\"sustained_rps\": %.6g",
+                static_cast<unsigned long long>(FastP90),
+                static_cast<unsigned long long>(FastP99),
+                static_cast<unsigned long long>(SlowP99),
+                static_cast<unsigned long long>(R.P99), R.sustainedRps());
+  C.ExtraJson = Extra + hostExtra(1);
+  return C;
+}
+
+/// Resource gate for the --huge (10^6 connections) cell: the run needs
+/// roughly 2 GiB of headroom (connection objects + registry + frames in
+/// flight). Checks address-space/data rlimits and MemAvailable.
+bool hugeFeasible(std::string &Why) {
+  const uint64_t Need = 2ull << 30;
+  for (auto Res : {RLIMIT_AS, RLIMIT_DATA}) {
+    struct rlimit RL;
+    if (getrlimit(Res, &RL) == 0 && RL.rlim_cur != RLIM_INFINITY &&
+        static_cast<uint64_t>(RL.rlim_cur) < Need) {
+      Why = Res == RLIMIT_AS ? "RLIMIT_AS below 2 GiB"
+                             : "RLIMIT_DATA below 2 GiB";
+      return false;
+    }
+  }
+  uint64_t Avail = memAvailableBytes();
+  if (Avail != 0 && Avail < Need) {
+    Why = "MemAvailable below 2 GiB";
+    return false;
+  }
+  return true;
 }
 
 /// The latency cell: a fixed-rate run whose p50/p99/p999 ride along as
@@ -117,7 +326,7 @@ Cell latencyCell(double Rate, unsigned Conns, unsigned Shards,
                 static_cast<unsigned long long>(R.P99),
                 static_cast<unsigned long long>(R.P999),
                 static_cast<unsigned long long>(R.MaxSendDelayNanos));
-  C.ExtraJson = Extra;
+  C.ExtraJson = Extra + hostExtra(Shards);
   return C;
 }
 
@@ -143,20 +352,24 @@ void emitJson(std::FILE *Out, const std::vector<Cell> &Cells,
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
+  bool Huge = false;
   double MinTime = 0.3;
   std::string OutPath;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--quick") == 0)
       Quick = true;
+    else if (std::strcmp(Arg, "--huge") == 0)
+      Huge = true;
     else if (std::strncmp(Arg, "--min-time=", 11) == 0)
       MinTime = std::atof(Arg + 11);
     else if (std::strncmp(Arg, "--out=", 6) == 0)
       OutPath = Arg + 6;
     else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--min-time=SECONDS] [--out=PATH]\n",
-                   Argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--quick] [--huge] [--min-time=SECONDS] [--out=PATH]\n",
+          Argv[0]);
       return 2;
     }
   }
@@ -165,11 +378,19 @@ int main(int Argc, char **Argv) {
 
   const std::vector<unsigned> Conns = {64, 1024, 10000};
   const std::vector<unsigned> Shards = {1, 2, 4};
+  // The 10^5 tier runs a narrower shard sweep: per-run connection churn
+  // dominates at 4 shards without changing the story.
+  const std::vector<unsigned> BigShards = {1, 2};
   unsigned MaxShards = Shards.back();
 
   bench::ParallelHostInfo Host = bench::parallelHostInfo(MaxShards);
 
   std::vector<Cell> Cells;
+  // Footprint first: the heap substrate's slabs never shrink, so the RSS
+  // delta only means "bytes per connection" while the slabs are cold —
+  // after any echo cell has churned 10^5 connections the same opens are
+  // served from warm slabs and the delta collapses to noise.
+  Cells.push_back(footprintCell(/*Conns=*/100000));
   for (unsigned C : Conns) {
     // Every connection sees traffic: at least one request per connection,
     // more on the small matrices so the cell measures steady throughput
@@ -179,8 +400,26 @@ int main(int Argc, char **Argv) {
     for (unsigned S : Shards)
       Cells.push_back(echoCell(C, S, Requests, MinTime));
   }
+  for (unsigned S : BigShards)
+    Cells.push_back(echoCell(/*Conns=*/100000, S,
+                             /*Requests=*/Quick ? 100000 : 200000, MinTime));
+  if (Huge) {
+    std::string Why;
+    if (hugeFeasible(Why)) {
+      // Footprint before echo for the same cold-slab reason as above.
+      Cells.push_back(footprintCell(/*Conns=*/1000000));
+      Cells.push_back(echoCell(/*Conns=*/1000000, /*Shards=*/2,
+                               /*Requests=*/1000000, /*MinTime=*/0.0));
+    } else {
+      std::fprintf(stderr, "skipping --huge cells: %s\n", Why.c_str());
+    }
+  }
   Cells.push_back(latencyCell(/*Rate=*/20000.0, /*Conns=*/256,
                               /*Shards=*/2,
+                              /*Requests=*/Quick ? 2000 : 10000));
+  Cells.push_back(slowP99Cell(/*Offload=*/false,
+                              /*Requests=*/Quick ? 2000 : 10000));
+  Cells.push_back(slowP99Cell(/*Offload=*/true,
                               /*Requests=*/Quick ? 2000 : 10000));
 
   std::FILE *Out = stdout;
@@ -198,7 +437,7 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr,
                "netsim matrix: %zu cells (max %u connections), "
                "threads_used=%u, num_cpus=%u%s\n",
-               Cells.size(), Conns.back(), MaxShards,
+               Cells.size(), Huge ? 1000000u : 100000u, MaxShards,
                Host.HardwareConcurrency,
                Host.SerialHost ? " (serial host: shard sweep measures "
                                  "reactor overhead, not scaling)"

@@ -100,6 +100,10 @@ struct LoadGenOptions {
   unsigned MaxInFlight = 1024;
   /// Default request payload size (MakeRequest overrides).
   size_t PayloadBytes = 32;
+  /// Per-request deadline (ns after send, 0 = none): requests that miss
+  /// it resolve as failures ("request deadline exceeded") and count into
+  /// Failed — the open-loop schedule never blocks on a stuck server.
+  uint64_t DeadlineNanos = 0;
   /// Optional request factory, called with the request sequence number.
   std::function<Bytes(uint64_t)> MakeRequest;
   /// Optional response validator; successes it accepts count as Valid.

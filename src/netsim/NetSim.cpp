@@ -102,6 +102,13 @@ futures::Future<Bytes> ClientConnection::call(Bytes Request) {
   return Conn->call(std::move(Request));
 }
 
+futures::Future<Bytes> ClientConnection::call(Bytes Request,
+                                              uint64_t DeadlineAfterNanos) {
+  return Conn->call(std::move(Request), DeadlineAfterNanos);
+}
+
+bool ClientConnection::isServerOpen() const { return Conn->isServerOpen(); }
+
 void ClientConnection::close() { Conn->close(); }
 
 //===----------------------------------------------------------------------===//
@@ -119,6 +126,11 @@ Server::Server(std::string ServiceName, Handler Handle, ServerOptions Opts)
   ROpts.Shards = Opts.Shards;
   ROpts.Deterministic = Opts.Deterministic;
   ROpts.Seed = Opts.Seed;
+  ROpts.DrainBudget = Opts.DrainBudget;
+  ROpts.OffloadHandlers = Opts.OffloadHandlers;
+  ROpts.OffloadThreads = Opts.OffloadThreads;
+  ROpts.OffloadThresholdNanos = Opts.OffloadThresholdNanos;
+  ROpts.IdleTimeoutNanos = Opts.IdleTimeoutNanos;
   Core = std::make_unique<Reactor>(std::move(Handle), ROpts);
 }
 
@@ -131,6 +143,8 @@ std::unique_ptr<ClientConnection> Server::connect() {
 
 uint64_t Server::requestsHandled() { return Core->requestsHandled(); }
 
+size_t Server::connectionsLive() const { return Core->connectionsLive(); }
+
 unsigned Server::shards() const { return Core->shards(); }
 
 bool Server::deterministic() const { return Core->deterministic(); }
@@ -140,5 +154,9 @@ size_t Server::pump(size_t MaxFrames) { return Core->pump(MaxFrames); }
 size_t Server::runUntilIdle() { return Core->runUntilIdle(); }
 
 uint64_t Server::virtualNanos() const { return Core->virtualNanos(); }
+
+void Server::advanceVirtualTime(uint64_t Nanos) {
+  Core->advanceVirtualTime(Nanos);
+}
 
 bool Server::idle() const { return Core->idle(); }

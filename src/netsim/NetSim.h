@@ -113,6 +113,22 @@ struct ServerOptions {
   bool Deterministic = false;
   /// Seed for the simulation's event-ordering RNG.
   uint64_t Seed = 0x5eedc0de;
+  /// Frames a shard drains from one connection per round before the
+  /// connection is requeued behind the round's other ready connections.
+  unsigned DrainBudget = 32;
+  /// Route slow handlers through the per-shard executor seam so they do
+  /// not head-of-line-block their shard (real mode; deterministic mode
+  /// always runs handlers inline for byte-identical simulation).
+  bool OffloadHandlers = true;
+  /// Executor threads per shard when offload is enabled.
+  unsigned OffloadThreads = 1;
+  /// A connection whose handler-latency EWMA exceeds this (ns) has its
+  /// requests offloaded instead of run inline.
+  uint64_t OffloadThresholdNanos = 20000;
+  /// Cull connections idle longer than this many nanoseconds (0 =
+  /// never). Culled connections fail fast on call() and their memory is
+  /// reclaimed once the client drops its handle.
+  uint64_t IdleTimeoutNanos = 0;
 };
 
 /// A client connection handle: request/response with future-based
@@ -126,6 +142,15 @@ public:
 
   /// Sends \p Request and returns a future response.
   futures::Future<Bytes> call(Bytes Request);
+
+  /// Like call(), but the response future fails with "request deadline
+  /// exceeded" unless it completes within \p DeadlineAfterNanos
+  /// (relative; virtual time in deterministic mode).
+  futures::Future<Bytes> call(Bytes Request, uint64_t DeadlineAfterNanos);
+
+  /// False once the server culled this connection for idleness (calls
+  /// fail fast with "connection idle timeout").
+  bool isServerOpen() const;
 
   /// Closes the connection (idempotent). Drain-before-close: requests
   /// already queued are still handled and their responses delivered
@@ -164,6 +189,11 @@ public:
   /// Total requests handled so far (exact once traffic quiesces).
   uint64_t requestsHandled();
 
+  /// Connections currently registered: opened and neither closed nor
+  /// culled-and-released — the observable the idle-cull memory claim is
+  /// tested against.
+  size_t connectionsLive() const;
+
   /// Number of reactor shards backing this server.
   unsigned shards() const;
 
@@ -182,6 +212,11 @@ public:
 
   /// The simulation's virtual clock (deterministic per schedule).
   uint64_t virtualNanos() const;
+
+  /// Advances the virtual clock by \p Nanos and fires every timer that
+  /// came due — the sim-mode path to idle timeouts and request deadlines
+  /// without queueing traffic.
+  void advanceVirtualTime(uint64_t Nanos);
 
   /// True when nothing is queued (sim mode only).
   bool idle() const;

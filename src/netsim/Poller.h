@@ -61,12 +61,15 @@ public:
   /// enqueued the frame that made the connection readable.
   virtual void notify(ReadyNode *N) = 0;
 
-  /// Appends pending readiness events to \p Out. Blocking pollers wait
-  /// for at least one event; non-blocking pollers may append none.
+  /// Appends pending readiness events to \p Out, waiting up to
+  /// \p WaitNanos for the first one: 0 polls without blocking, UINT64_MAX
+  /// blocks until an event or shutdown, anything else is a timed wait
+  /// (the shard's next-timer bound) that may legitimately append nothing.
   /// \returns false once the poller is shut down *and* drained — the
   /// event loop's exit condition (events queued before shutdown are
   /// still delivered, so no armed connection is ever stranded).
-  virtual bool poll(std::vector<ReadyNode *> &Out) = 0;
+  virtual bool poll(std::vector<ReadyNode *> &Out,
+                    uint64_t WaitNanos = UINT64_MAX) = 0;
 
   /// Initiates shutdown: poll stops blocking, drains what is queued, and
   /// then reports exhaustion.
@@ -77,7 +80,8 @@ public:
 class ThreadPoller final : public Poller {
 public:
   void notify(ReadyNode *N) override;
-  bool poll(std::vector<ReadyNode *> &Out) override;
+  bool poll(std::vector<ReadyNode *> &Out,
+            uint64_t WaitNanos = UINT64_MAX) override;
   void shutdown() override;
 
 private:
@@ -101,7 +105,9 @@ class SimPoller final : public Poller {
 public:
   void notify(ReadyNode *N) override { Ready.push_back(N); }
 
-  bool poll(std::vector<ReadyNode *> &Out) override {
+  bool poll(std::vector<ReadyNode *> &Out,
+            uint64_t WaitNanos = UINT64_MAX) override {
+    (void)WaitNanos; // never blocks: the sim driver owns time
     Out.insert(Out.end(), Ready.begin(), Ready.end());
     Ready.clear();
     return !Down;

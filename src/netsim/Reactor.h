@@ -25,27 +25,62 @@
 /// that races the disarm is either seen by the re-check or re-arms and
 /// re-notifies — never stranded.
 ///
+/// Three mechanisms carry the reactor from the 10^4-connection regime
+/// toward 10^5-10^6:
+///
+///  - *Budgeted batch draining*: a shard drains at most
+///    ReactorOptions::DrainBudget frames per connection per round, then
+///    requeues the connection behind the rest of the round's batch — one
+///    chatty connection cannot starve the other 10^5 on its shard. A
+///    requeued connection stays armed, so the seq_cst disarm/re-check
+///    fence pair is paid once per *drained* connection, not once per
+///    budget slice.
+///
+///  - *Handler offload*: each shard owns a small ForkJoinPool executor
+///    seam. Handlers stay inline while cheap; when a connection's
+///    per-connection latency EWMA crosses OffloadThresholdNanos, its
+///    requests are dispatched to the executor and the connection is
+///    parked (stays armed, not requeued) until the completion re-notifies
+///    the poller — a slow tenant head-of-line-blocks only itself, never
+///    its shard. FIFO per connection is preserved because at most one
+///    offloaded frame is in flight and the queue is not touched behind
+///    it. Offload is a no-op in deterministic mode (byte-identical sim).
+///
+///  - *Timer-wheel timeouts and culling*: each shard owns a hashed
+///    hierarchical TimerWheel (O(1) schedule/cancel) advanced every poll
+///    round — by the wall clock in real mode, by the virtual clock in sim
+///    mode. It drives connection idle timeouts (idle connections are
+///    *culled*: server-side closed, failed fast, and their memory
+///    reclaimed once the client lets go) and request deadlines (surfaced
+///    as failed futures). Culling is what keeps 10^5-10^6 mostly-idle
+///    connections from pinning memory for the lifetime of the reactor.
+///
 /// Deterministic-simulation mode: constructed with
 /// ReactorOptions::Deterministic, the reactor spawns no threads and runs
 /// on SimPollers. A single driving thread issues calls and then pumps the
 /// reactor explicitly; the pump picks the next ready connection with a
 /// seeded RNG (exploring cross-connection orderings) while preserving
-/// per-connection FIFO, and advances a virtual clock per frame. Same
-/// seed, same schedule, same virtual time — the proof substrate the
-/// differential and regression tests in tests/netsim build on.
+/// per-connection FIFO, and advances a virtual clock per frame. Timer
+/// wheels run on the virtual clock, so timeout firing order is a pure
+/// function of the seed and the schedule. Same seed, same schedule, same
+/// virtual time — the proof substrate the differential and regression
+/// tests in tests/netsim build on.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef REN_NETSIM_REACTOR_H
 #define REN_NETSIM_REACTOR_H
 
+#include "forkjoin/ForkJoinPool.h"
 #include "forkjoin/MpscQueue.h"
 #include "futures/Future.h"
 #include "netsim/Poller.h"
+#include "netsim/TimerWheel.h"
 #include "support/Rng.h"
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -60,7 +95,11 @@ namespace netsim {
 /// not depend on each other's larger halves).
 using Bytes = std::vector<uint8_t>;
 
-/// Handles one request payload and produces a response payload.
+/// Handles one request payload and produces a response payload. With
+/// handler offload enabled (the real-mode default), a handler may run on
+/// an executor thread concurrently with other connections' handlers —
+/// handlers that mutate shared state must synchronize, exactly as Finagle
+/// service functions must.
 using Handler = std::function<Bytes(const Bytes &)>;
 
 class Reactor;
@@ -70,8 +109,18 @@ class Reactor;
 /// markers, the promise acks that the drain finished). Owned by the queue
 /// from push until the shard processes and frees it.
 struct FrameNode : forkjoin::MpscNode {
-  enum class Kind : uint8_t { Request, CloseMarker };
+  enum class Kind : uint8_t {
+    Request,
+    CloseMarker,
+    /// Announces a new connection to its shard so the shard can schedule
+    /// the idle timer. Only submitted when idle timeouts are enabled;
+    /// carries no payload, expects no reply, advances no clock.
+    Register,
+  };
   Kind FrameKind = Kind::Request;
+  /// Absolute deadline for Request frames (0 = none): the future fails
+  /// with "request deadline exceeded" instead of completing late.
+  uint64_t DeadlineNanos = 0;
   Bytes Wire;
   futures::Promise<Bytes> Reply;
 };
@@ -90,8 +139,14 @@ public:
 
   /// Sends \p Request and returns a future response. After close() the
   /// call fails fast; a call racing close() may be failed by the shard
-  /// with the same "connection closed" error.
+  /// with the same "connection closed" error. After an idle cull the
+  /// call fails fast with "connection idle timeout".
   futures::Future<Bytes> call(Bytes Request);
+
+  /// Like call(), but the response future fails with "request deadline
+  /// exceeded" unless it completes within \p DeadlineAfterNanos
+  /// (relative to now; virtual time in deterministic mode).
+  futures::Future<Bytes> call(Bytes Request, uint64_t DeadlineAfterNanos);
 
   /// Drain-before-close: enqueues a close marker *behind* every frame
   /// already pushed and blocks until the shard has processed them all —
@@ -102,6 +157,11 @@ public:
 
   bool isOpen() const {
     return ClientOpen.load(std::memory_order_acquire);
+  }
+
+  /// False once the server side culled this connection for idleness.
+  bool isServerOpen() const {
+    return ServerOpen.load(std::memory_order_acquire);
   }
 
   uint32_t id() const { return ConnId; }
@@ -127,15 +187,33 @@ private:
   forkjoin::MpscQueue Inbound;
   std::atomic<bool> Armed{false};
   std::atomic<bool> ClientOpen{true};
+  /// Cleared by the shard when the idle cull closes the server side.
+  std::atomic<bool> ServerOpen{true};
   std::atomic<uint64_t> NextRequestId{1};
+  /// EWMA of recent handler latencies (ns). Updated with relaxed atomics
+  /// from the shard (inline runs) and executor threads (offloaded runs);
+  /// the offload policy reads it per dequeue.
+  std::atomic<uint64_t> EwmaNanos{0};
 
   // --- shard-private state machine below this line ---
   enum class RxState : uint8_t { Idle, Dispatching, Responding };
   RxState State = RxState::Idle;
   bool PeerClosed = false;
+  /// Set by the idle cull: subsequent requests fail instead of running.
+  bool Culled = false;
+  /// Set once the shard has handed this connection to the graveyard
+  /// (close marker processed or culled); guards double-retirement.
+  bool Retired = false;
+  /// Idle timer, embedded so arming a connection's timeout never
+  /// allocates. Scheduled/cancelled/fired only by the owning shard.
+  TimerNode IdleTimer;
+  /// Timestamp of the last processed frame (shard clock), the idle
+  /// timer's re-arm basis.
+  uint64_t LastActivityNanos = 0;
   /// The response demux table: request id -> promise, registered when
   /// the shard reads the request header, erased when the response
-  /// envelope comes back from the handler.
+  /// envelope comes back from the handler. Offloaded frames bypass it
+  /// (their promise travels in the executor task).
   std::unordered_map<uint64_t, futures::Promise<Bytes>> Pending;
   uint64_t FramesHandled = 0;
 };
@@ -149,9 +227,25 @@ struct ReactorOptions {
   bool Deterministic = false;
   /// Seed for the deterministic pump's event ordering.
   uint64_t Seed = 0x5eedc0de;
+  /// Frames drained per connection per shard round before the connection
+  /// is requeued behind the round's other work.
+  unsigned DrainBudget = 32;
+  /// Route slow handlers through the per-shard executor (real mode only;
+  /// deterministic mode always runs inline).
+  bool OffloadHandlers = true;
+  /// Executor threads per shard when offload is enabled.
+  unsigned OffloadThreads = 1;
+  /// A connection whose handler-latency EWMA exceeds this offloads its
+  /// requests instead of running them inline on the shard.
+  uint64_t OffloadThresholdNanos = 20000;
+  /// Cull connections idle longer than this (0 = never). Idle-culled
+  /// connections fail fast on call() and their memory is reclaimed once
+  /// the client drops its handle.
+  uint64_t IdleTimeoutNanos = 0;
 };
 
-/// The reactor: shards, pollers, and the connection registry.
+/// The reactor: shards, pollers, timer wheels, and the connection
+/// registry.
 class Reactor {
 public:
   Reactor(Handler Handle, ReactorOptions Opts);
@@ -166,6 +260,11 @@ public:
   /// Total request frames handled across all shards (racy snapshot while
   /// traffic is in flight, exact once quiesced).
   uint64_t requestsHandled() const;
+
+  /// Connections currently in the registry: opened and neither closed
+  /// nor culled-and-released. The cull path's memory claim is asserted
+  /// against this (plus RSS in bench_netsim).
+  size_t connectionsLive() const;
 
   unsigned shards() const { return static_cast<unsigned>(Shards.size()); }
   bool deterministic() const { return Opts.Deterministic; }
@@ -188,6 +287,11 @@ public:
   /// processed frame (kSimFrameNanos + size * kSimByteNanos).
   uint64_t virtualNanos() const { return SimNanos; }
 
+  /// Advances the virtual clock by \p Nanos and fires every timer that
+  /// became due — the sim-mode way to reach idle timeouts and request
+  /// deadlines without queueing traffic.
+  void advanceVirtualTime(uint64_t Nanos);
+
   static constexpr uint64_t kSimFrameNanos = 1000;
   static constexpr uint64_t kSimByteNanos = 2;
 
@@ -196,19 +300,71 @@ private:
 
   struct Shard {
     std::unique_ptr<Poller> Events;
+    std::unique_ptr<TimerWheel> Wheel;
+    /// Executor seam for slow handlers (real mode, OffloadHandlers).
+    std::unique_ptr<forkjoin::ForkJoinPool> Exec;
     std::thread Loop; ///< real mode only
     std::atomic<uint64_t> Handled{0};
+    /// Shard clock, refreshed once per round (wall in real mode, the
+    /// virtual clock in sim mode); timestamp basis for idle tracking and
+    /// deadline pre-checks.
+    uint64_t NowNanos = 0;
+    /// Retired connections whose memory cannot be released yet: the
+    /// client still holds the handle, or a late producer may still hold
+    /// a raw pointer (Armed). Swept incrementally at the bottom of every
+    /// round — a bounded slice per pass, resumed at SweepCursor, so a
+    /// mass teardown (10^6 clients closing before dropping their
+    /// handles) costs O(N) total instead of O(N^2).
+    std::vector<std::shared_ptr<Connection>> Graveyard;
+    size_t SweepCursor = 0;
+    /// Expired-timer scratch for advanceTimers (avoids a per-round
+    /// allocation).
+    std::vector<TimerNode *> FiredScratch;
   };
 
   void shardLoop(Shard &S);
 
-  /// Drains \p C's inbound queue with the disarm/re-check protocol.
-  void drainConnection(Shard &S, Connection &C);
+  /// Drains up to DrainBudget frames from \p C with the disarm/re-check
+  /// protocol. \returns true when the connection must be requeued on the
+  /// shard's run queue (budget exhausted with frames left, still armed);
+  /// false when fully drained (disarmed) or parked on an offload.
+  bool drainBudgeted(Shard &S, Connection &C);
 
   /// Processes one frame on \p C's state machine: decode, register the
   /// demux entry, dispatch the handler, encode, demux onto the future.
   /// Takes ownership of \p Frame.
   void processFrame(Shard &S, Connection &C, FrameNode *Frame);
+
+  /// True when \p Frame should run on the shard's executor instead of
+  /// inline (request frames on slow-EWMA connections, real mode only).
+  bool shouldOffload(const Shard &S, const Connection &C,
+                     const FrameNode *Frame) const;
+
+  /// Hands \p Frame to the shard executor and parks \p C (stays armed;
+  /// the completion re-notifies the poller). Takes ownership of \p Frame.
+  void dispatchOffload(Shard &S, Connection &C, FrameNode *Frame);
+
+  /// Executor-side continuation of dispatchOffload.
+  void runOffloaded(Shard &S, Connection &C, FrameNode *Frame);
+
+  /// Dispatches one expired timer (idle cull or request deadline).
+  void fireTimer(Shard &S, TimerNode *T);
+
+  /// Advances \p S's wheel to the shard clock and fires what expired.
+  void advanceTimers(Shard &S);
+
+  /// Server-side close for an idle connection: fail fast from now on,
+  /// then retire.
+  void cull(Shard &S, Connection &C);
+
+  /// Moves \p C from the registry to \p S's graveyard (idempotent).
+  void retire(Shard &S, Connection &C);
+
+  /// Releases graveyard connections nobody can reach anymore.
+  void sweepGraveyard(Shard &S);
+
+  /// Folds \p SampleNanos into \p C's handler-latency EWMA.
+  static void foldEwma(Connection &C, uint64_t SampleNanos);
 
   /// Sim mode: refill SimReady from the shards' SimPollers.
   void gatherSimReady();
@@ -220,11 +376,13 @@ private:
   std::atomic<uint32_t> NextConnId{1};
   std::atomic<unsigned> NextShard{0};
 
-  /// Registry keeping connections alive until reactor teardown: readiness
-  /// nodes carry raw Connection pointers, so a connection must outlive
-  /// any event that may still name it.
+  /// Registry keeping connections alive while reachable: readiness nodes
+  /// carry raw Connection pointers, so a connection must outlive any
+  /// event that may still name it. Closed/culled connections move to
+  /// their shard's graveyard and are released once the client handle is
+  /// gone and the connection is disarmed.
   mutable std::mutex ConnLock;
-  std::vector<std::shared_ptr<Connection>> Conns;
+  std::unordered_map<uint32_t, std::shared_ptr<Connection>> Registry;
 
   // Sim-mode state (single driving thread).
   Xoshiro256StarStar SimRng;

@@ -1,0 +1,174 @@
+//===- netsim/TimerWheel.cpp - Hashed hierarchical timer wheel ------------===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "netsim/TimerWheel.h"
+
+namespace ren {
+namespace netsim {
+
+namespace {
+
+constexpr uint64_t kMask = TimerWheel::kSlots - 1;
+
+/// Ticks covered by one slot of level L: 64^L.
+constexpr uint64_t levelSpan(unsigned L) {
+  return uint64_t(1) << (TimerWheel::kSlotBits * (L + 1));
+}
+
+} // namespace
+
+TimerWheel::TimerWheel(uint64_t StartNanos)
+    : StartNanos(StartNanos), NowTick(0) {
+  for (unsigned L = 0; L < kLevels; ++L)
+    for (unsigned I = 0; I < kSlots; ++I) {
+      TimerNode &H = Wheel[L][I].Head;
+      H.Prev = H.Next = &H;
+    }
+}
+
+void TimerWheel::link(Slot &S, TimerNode *T) {
+  TimerNode &H = S.Head;
+  T->Prev = H.Prev;
+  T->Next = &H;
+  H.Prev->Next = T;
+  H.Prev = T;
+}
+
+void TimerWheel::unlink(TimerNode *T) {
+  T->Prev->Next = T->Next;
+  T->Next->Prev = T->Prev;
+  T->Prev = T->Next = nullptr;
+}
+
+TimerWheel::Slot &TimerWheel::slotFor(uint64_t DeadlineTick) {
+  // Callers guarantee DeadlineTick >= NowTick. Delta picks the level:
+  // the coarsest slots still distinguish the deadline from "now".
+  uint64_t Delta = DeadlineTick - NowTick;
+  if (Delta < levelSpan(0))
+    return Wheel[0][DeadlineTick & kMask];
+  if (Delta < levelSpan(1))
+    return Wheel[1][(DeadlineTick >> kSlotBits) & kMask];
+  if (Delta < levelSpan(2))
+    return Wheel[2][(DeadlineTick >> (2 * kSlotBits)) & kMask];
+  // Beyond the wheel horizon: clamp into the top level's farthest slot.
+  // Such a timer fires late (after repeated cascades), never early.
+  if (Delta >= levelSpan(3))
+    DeadlineTick = NowTick + levelSpan(3) - 1;
+  return Wheel[3][(DeadlineTick >> (3 * kSlotBits)) & kMask];
+}
+
+void TimerWheel::schedule(TimerNode *T, uint64_t DeadlineNanos) {
+  assert(!T->scheduled() && "timer already pending");
+  T->DeadlineNanos = DeadlineNanos;
+  // Ceil to a tick so a timer never fires before its deadline; an
+  // already-due deadline goes to the very next tick (the current tick's
+  // slot has already fired).
+  uint64_t Rel = DeadlineNanos > StartNanos ? DeadlineNanos - StartNanos : 0;
+  uint64_t DeadlineTick = (Rel + kTickNanos - 1) / kTickNanos;
+  if (DeadlineTick <= NowTick)
+    DeadlineTick = NowTick + 1;
+  link(slotFor(DeadlineTick), T);
+  ++Count;
+}
+
+void TimerWheel::cancel(TimerNode *T) {
+  if (!T->scheduled())
+    return;
+  unlink(T);
+  --Count;
+}
+
+void TimerWheel::cascade(Slot &S) {
+  // Re-file every timer one level down (or straight into the current
+  // level-0 slot when already due — advanceTo fires that slot right
+  // after cascading, so due timers still fire on this tick).
+  TimerNode &H = S.Head;
+  TimerNode *T = H.Next;
+  H.Prev = H.Next = &H;
+  while (T != &H) {
+    TimerNode *Next = T->Next;
+    uint64_t Rel =
+        T->DeadlineNanos > StartNanos ? T->DeadlineNanos - StartNanos : 0;
+    uint64_t DeadlineTick = (Rel + kTickNanos - 1) / kTickNanos;
+    if (DeadlineTick < NowTick)
+      DeadlineTick = NowTick;
+    link(slotFor(DeadlineTick), T);
+    T = Next;
+  }
+}
+
+void TimerWheel::advanceTo(uint64_t NowNanos, std::vector<TimerNode *> &Fired) {
+  uint64_t Rel = NowNanos > StartNanos ? NowNanos - StartNanos : 0;
+  uint64_t TargetTick = Rel / kTickNanos;
+  while (NowTick < TargetTick) {
+    // Empty wheel: jump straight to the target instead of walking ticks
+    // (a shard waking from a long park must not replay hours of ticks).
+    if (Count == 0) {
+      NowTick = TargetTick;
+      return;
+    }
+    ++NowTick;
+    // Crossing a coarser slot boundary pulls that slot's timers down a
+    // level. Top level first so a timer can ripple through several
+    // levels on the same tick.
+    if ((NowTick & (levelSpan(2) - 1)) == 0)
+      cascade(Wheel[3][(NowTick >> (3 * kSlotBits)) & kMask]);
+    if ((NowTick & (levelSpan(1) - 1)) == 0)
+      cascade(Wheel[2][(NowTick >> (2 * kSlotBits)) & kMask]);
+    if ((NowTick & (levelSpan(0) - 1)) == 0)
+      cascade(Wheel[1][(NowTick >> kSlotBits) & kMask]);
+    TimerNode &H = Wheel[0][NowTick & kMask].Head;
+    TimerNode *T = H.Next;
+    H.Prev = H.Next = &H;
+    while (T != &H) {
+      TimerNode *Next = T->Next;
+      T->Prev = T->Next = nullptr;
+      --Count;
+      Fired.push_back(T);
+      T = Next;
+    }
+  }
+}
+
+void TimerWheel::drainAll(std::vector<TimerNode *> &Out) {
+  for (unsigned L = 0; L < kLevels; ++L)
+    for (unsigned I = 0; I < kSlots; ++I) {
+      TimerNode &H = Wheel[L][I].Head;
+      TimerNode *T = H.Next;
+      H.Prev = H.Next = &H;
+      while (T != &H) {
+        TimerNode *Next = T->Next;
+        T->Prev = T->Next = nullptr;
+        --Count;
+        Out.push_back(T);
+        T = Next;
+      }
+    }
+}
+
+uint64_t TimerWheel::nanosToNext(uint64_t NowNanos) const {
+  if (Count == 0)
+    return UINT64_MAX;
+  // Scan the level-0 window for the nearest armed slot. Delta starts at
+  // 1: the current tick's slot already fired.
+  for (uint64_t Delta = 1; Delta < kSlots; ++Delta) {
+    uint64_t Tick = NowTick + Delta;
+    const TimerNode &H = Wheel[0][Tick & kMask].Head;
+    if (H.Next != &H) {
+      uint64_t FireNanos = StartNanos + Tick * kTickNanos;
+      return FireNanos > NowNanos ? FireNanos - NowNanos : 0;
+    }
+  }
+  // Everything pending sits above level 0; nothing can fire before the
+  // next level-1 cascade boundary. Waking there is conservative (maybe
+  // early, never late).
+  uint64_t Boundary = (NowTick | (levelSpan(0) - 1)) + 1;
+  uint64_t FireNanos = StartNanos + Boundary * kTickNanos;
+  return FireNanos > NowNanos ? FireNanos - NowNanos : 0;
+}
+
+} // namespace netsim
+} // namespace ren

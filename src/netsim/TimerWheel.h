@@ -1,0 +1,140 @@
+//===- netsim/TimerWheel.h - Hashed hierarchical timer wheel ----*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reactor's timing subsystem: a hashed, hierarchical timer wheel in
+/// the Varghese/Lauck tradition (the same shape as Netty's
+/// HashedWheelTimer and the Linux kernel's timer cascade). Each reactor
+/// shard owns one wheel and is its only driver, so schedule and cancel
+/// are plain pointer surgery — O(1), no locks, no allocation (timers are
+/// intrusive nodes embedded in the object they time, or owned by the
+/// party that scheduled them).
+///
+/// Shape: kLevels levels of kSlots slots each. Level 0 slots are one tick
+/// wide (kTickNanos, ~1 ms); each higher level's slots are kSlots times
+/// wider than the level below, so four 64-slot levels cover ~17 minutes
+/// at millisecond granularity — far beyond any idle timeout or request
+/// deadline the reactor schedules. Timers land in the coarsest level
+/// whose slot width still distinguishes their deadline; when the wheel's
+/// clock crosses a higher-level slot boundary, that slot's timers cascade
+/// down a level, and level-0 slots fire in tick order (FIFO within a
+/// slot). Firing order is therefore a pure function of (deadlines,
+/// insertion order) — which is what makes the deterministic-simulation
+/// timer tests seed-stable: same seed, same insertion order, same firing
+/// order.
+///
+/// The wheel never invokes callbacks itself: advanceTo() unlinks expired
+/// timers into a caller-provided vector and the driver dispatches them.
+/// That keeps the wheel free of ownership policy (the reactor fires
+/// embedded idle timers and heap-owned deadline timers differently) and
+/// makes the data structure directly unit-testable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_NETSIM_TIMERWHEEL_H
+#define REN_NETSIM_TIMERWHEEL_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ren {
+namespace netsim {
+
+/// One pending timer: an intrusive doubly-linked node. Embed it in the
+/// timed object (idle timers) or heap-allocate it (request deadlines);
+/// the wheel only links and unlinks. \c What distinguishes the firing
+/// paths; \c Payload carries the timed object.
+struct TimerNode {
+  enum class Kind : uint8_t { None, IdleCull, RequestDeadline };
+
+  uint64_t DeadlineNanos = 0;
+  TimerNode *Prev = nullptr;
+  TimerNode *Next = nullptr;
+  Kind What = Kind::None;
+  void *Payload = nullptr;
+
+  /// True while linked into a wheel (schedule sets it, fire/cancel clear
+  /// it). Single-driver discipline: only the owning shard reads or
+  /// writes this.
+  bool scheduled() const { return Prev != nullptr; }
+};
+
+/// A hashed hierarchical timer wheel. Single-threaded by contract: the
+/// owning shard schedules, cancels and advances; nobody else touches it.
+class TimerWheel {
+public:
+  static constexpr unsigned kSlotBits = 6;
+  static constexpr unsigned kSlots = 1u << kSlotBits; // 64
+  static constexpr unsigned kLevels = 4;
+  /// Level-0 tick width: ~1.05 ms. Four levels cover kTickNanos * 64^4
+  /// ~= 4.9 hours; deadlines beyond that clamp into the top level (they
+  /// fire late, never early — and nothing in the reactor schedules that
+  /// far out).
+  static constexpr uint64_t kTickNanos = 1u << 20;
+
+  /// \p StartNanos anchors tick 0 (the reactor passes its notion of
+  /// "now" at construction so the first tick is never a huge jump).
+  explicit TimerWheel(uint64_t StartNanos = 0);
+
+  TimerWheel(const TimerWheel &) = delete;
+  TimerWheel &operator=(const TimerWheel &) = delete;
+
+  /// Links \p T to fire at \p DeadlineNanos (absolute, same clock as
+  /// advanceTo). A deadline at or before the wheel's current time lands
+  /// in the next advanceTo call. \p T must not already be scheduled.
+  void schedule(TimerNode *T, uint64_t DeadlineNanos);
+
+  /// Unlinks \p T if scheduled; no-op otherwise. O(1).
+  void cancel(TimerNode *T);
+
+  /// Advances the wheel's clock to \p NowNanos, cascading higher levels
+  /// across slot boundaries, and appends every expired timer to \p Fired
+  /// in firing order (tick order, FIFO within a slot). Expired timers
+  /// are unlinked (scheduled() turns false) before they are handed back.
+  void advanceTo(uint64_t NowNanos, std::vector<TimerNode *> &Fired);
+
+  /// Unlinks every pending timer into \p Out (teardown sweep; order is
+  /// slot order, not deadline order).
+  void drainAll(std::vector<TimerNode *> &Out);
+
+  /// Pending timer count.
+  size_t pending() const { return Count; }
+
+  /// Nanoseconds from \p NowNanos until the next timer could fire, or
+  /// UINT64_MAX when the wheel is empty. Conservative: never later than
+  /// the true next deadline (a higher-level hit reports its cascade
+  /// boundary), so a driver sleeping this long can only wake early.
+  uint64_t nanosToNext(uint64_t NowNanos) const;
+
+  /// The wheel's current time in ticks (exposed for the unit tests).
+  uint64_t nowTicks() const { return NowTick; }
+
+private:
+  struct Slot {
+    TimerNode Head; ///< circular sentinel
+  };
+
+  void link(Slot &S, TimerNode *T);
+  static void unlink(TimerNode *T);
+
+  /// Picks the (level, slot) for \p DeadlineTick given the current tick.
+  Slot &slotFor(uint64_t DeadlineTick);
+
+  /// Re-files every timer in \p S (cascade step).
+  void cascade(Slot &S);
+
+  uint64_t StartNanos;
+  uint64_t NowTick; ///< ticks elapsed since StartNanos
+  size_t Count = 0;
+  Slot Wheel[kLevels][kSlots];
+};
+
+} // namespace netsim
+} // namespace ren
+
+#endif // REN_NETSIM_TIMERWHEEL_H

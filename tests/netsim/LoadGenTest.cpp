@@ -196,3 +196,32 @@ TEST(LoadGenTest, PublishesReportForTheHarnessPlugin) {
   EXPECT_EQ(Last.P99, R.P99);
   EXPECT_TRUE(Last.Samples.empty()) << "global slot must not keep samples";
 }
+
+TEST(LoadGenTest, PerRequestDeadlinesResolveMissesAsFailures) {
+  // A handler slower than the deadline: every request must resolve as a
+  // failure (whichever expiry path fires), never hang — Sent is fully
+  // accounted and the open-loop schedule keeps moving.
+  Server Slow("deadline-slow",
+              [](const Bytes &Request) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                return Request;
+              },
+              1);
+  LoadGenOptions Opts;
+  Opts.Requests = 40;
+  Opts.Connections = 2;
+  Opts.MaxInFlight = 4;
+  Opts.DeadlineNanos = 200'000; // 0.2ms against a 1ms handler
+  LoadReport R = LoadGen(Slow, Opts).run();
+  EXPECT_EQ(R.Sent, 40u);
+  EXPECT_EQ(R.Completed + R.Failed, R.Sent);
+  EXPECT_EQ(R.Completed, 0u) << "a 1ms response beat a 0.2ms deadline";
+  EXPECT_EQ(R.Failed, R.Sent);
+
+  // A generous deadline changes nothing about a healthy run.
+  Server Fast("deadline-fast", echoHandler, 1);
+  Opts.DeadlineNanos = 1'000'000'000;
+  LoadReport R2 = LoadGen(Fast, Opts).run();
+  EXPECT_EQ(R2.Completed, R2.Sent);
+  EXPECT_EQ(R2.Failed, 0u);
+}

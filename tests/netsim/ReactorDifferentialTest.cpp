@@ -15,9 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace ren::netsim;
@@ -200,4 +202,59 @@ TEST(ReactorDifferentialTest, RandomizedSizesStressTheEnvelopeCodec) {
   // Larger, skewed payload sizes; one seed per shard width.
   runDifferential("echo", 0xA5A5, /*Conns=*/4, /*PerConn=*/40, 2);
   runDifferential("chirper", 0x5A5A, /*Conns=*/12, /*PerConn=*/10, 4);
+}
+
+TEST(ReactorDifferentialTest, SlowHandlerMixAgreesWithExecutorsEnabled) {
+  // The executor seam and the timer wheel must be invisible to the
+  // differential contract: a handler that stalls (real mode only — the
+  // stall changes timing, never bytes) pushes its connections over the
+  // offload threshold, so some frames run inline on shard threads and
+  // some on the per-shard executor, with idle-cull timers armed
+  // throughout. Responses must still match the simulation byte-for-byte
+  // in per-connection order.
+  for (uint64_t Seed : {21ull, 0xfadedULL}) {
+    SCOPED_TRACE("slow-mix seed=" + std::to_string(Seed));
+    Script S = makeEchoScript(Seed, /*Conns=*/6, /*PerConn=*/24);
+    auto MakeHandler = [](bool RealMode) -> Handler {
+      return [RealMode](const Bytes &Request) {
+        if (RealMode && !Request.empty() && (Request[0] & 3) == 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        Bytes Out = Request;
+        Out.push_back(0x51);
+        return Out;
+      };
+    };
+
+    Observed Sim, Real;
+    {
+      ServerOptions Opts;
+      Opts.Shards = 2;
+      Opts.Deterministic = true;
+      Opts.Seed = Seed ^ 0x9e3779b97f4a7c15ULL;
+      Opts.IdleTimeoutNanos = 500'000'000; // armed, far beyond the run
+      Server Srv("sim", MakeHandler(false), Opts);
+      Sim = execute(Srv, S);
+    }
+    {
+      ServerOptions Opts;
+      Opts.Shards = 2;
+      Opts.OffloadHandlers = true;
+      Opts.OffloadThreads = 2;
+      Opts.OffloadThresholdNanos = 50'000; // the stall crosses this
+      Opts.IdleTimeoutNanos = 500'000'000;
+      Server Srv("real", MakeHandler(true), Opts);
+      Real = execute(Srv, S);
+    }
+
+    ASSERT_EQ(Sim.size(), Real.size());
+    for (unsigned C = 0; C < Sim.size(); ++C) {
+      ASSERT_EQ(Sim[C].size(), S.PerConn[C].size());
+      ASSERT_EQ(Real[C].size(), S.PerConn[C].size())
+          << "offloaded frames dropped or duplicated on connection " << C;
+      for (size_t R = 0; R < Sim[C].size(); ++R)
+        ASSERT_EQ(Sim[C][R], Real[C][R])
+            << "connection " << C << " response " << R
+            << " diverged once the executor seam engaged";
+    }
+  }
 }

@@ -1,0 +1,229 @@
+//===- tests/netsim/TimerWheelTest.cpp ------------------------------------===//
+//
+// The hashed hierarchical timer wheel in isolation: deadline ordering,
+// FIFO within a tick, cascading across levels, cancellation, the
+// conservative nanosToNext bound, and big-jump vs stepped advance
+// equivalence. The reactor's idle-cull and request-deadline behaviour is
+// covered in ReactorSimTest; this file pins the data structure itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "netsim/TimerWheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace ren::netsim;
+
+namespace {
+
+constexpr uint64_t kTick = TimerWheel::kTickNanos;
+
+uint64_t nanosAt(uint64_t Tick) { return Tick * kTick; }
+
+} // namespace
+
+TEST(TimerWheel, StartsEmpty) {
+  TimerWheel W;
+  EXPECT_EQ(W.pending(), 0u);
+  EXPECT_EQ(W.nanosToNext(0), UINT64_MAX);
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(1000), Fired);
+  EXPECT_TRUE(Fired.empty());
+}
+
+TEST(TimerWheel, FiresAtDeadlineNeverEarly) {
+  TimerWheel W;
+  TimerNode T;
+  // Deadline strictly inside tick 6: must not fire before the tick-6
+  // boundary, must fire at it.
+  W.schedule(&T, nanosAt(5) + 3);
+  EXPECT_TRUE(T.scheduled());
+  EXPECT_EQ(W.pending(), 1u);
+
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(5) + 3, Fired); // now == deadline, tick 6 not reached
+  EXPECT_TRUE(Fired.empty());
+  W.advanceTo(nanosAt(6) - 1, Fired);
+  EXPECT_TRUE(Fired.empty());
+  W.advanceTo(nanosAt(6), Fired);
+  ASSERT_EQ(Fired.size(), 1u);
+  EXPECT_EQ(Fired[0], &T);
+  EXPECT_FALSE(T.scheduled());
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheel, FiresInDeadlineOrderAcrossLevels) {
+  TimerWheel W;
+  // Deadlines spanning level 0 (<64 ticks), level 1 (<4096), level 2.
+  const uint64_t Ticks[] = {3, 70, 2, 500, 64, 4100, 63, 4096, 1};
+  TimerNode Nodes[9];
+  for (int I = 0; I < 9; ++I)
+    W.schedule(&Nodes[I], nanosAt(Ticks[I]));
+  EXPECT_EQ(W.pending(), 9u);
+
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(5000), Fired);
+  ASSERT_EQ(Fired.size(), 9u);
+  EXPECT_EQ(W.pending(), 0u);
+  // Firing order must be deadline order.
+  std::vector<uint64_t> Deadlines;
+  for (TimerNode *T : Fired)
+    Deadlines.push_back(T->DeadlineNanos);
+  EXPECT_TRUE(std::is_sorted(Deadlines.begin(), Deadlines.end()));
+}
+
+TEST(TimerWheel, FifoWithinOneTick) {
+  TimerWheel W;
+  TimerNode A, B, C;
+  // Same tick, insertion order A, B, C — firing order must match, both
+  // for timers that sat in level 0 and for timers that cascaded down.
+  W.schedule(&A, nanosAt(100));
+  W.schedule(&B, nanosAt(100));
+  W.schedule(&C, nanosAt(100));
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(100), Fired);
+  ASSERT_EQ(Fired.size(), 3u);
+  EXPECT_EQ(Fired[0], &A);
+  EXPECT_EQ(Fired[1], &B);
+  EXPECT_EQ(Fired[2], &C);
+}
+
+TEST(TimerWheel, CancelUnlinksWithoutFiring) {
+  TimerWheel W;
+  TimerNode Keep, Drop;
+  W.schedule(&Keep, nanosAt(10));
+  W.schedule(&Drop, nanosAt(10));
+  W.cancel(&Drop);
+  EXPECT_FALSE(Drop.scheduled());
+  EXPECT_EQ(W.pending(), 1u);
+  W.cancel(&Drop); // idempotent
+  EXPECT_EQ(W.pending(), 1u);
+
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(20), Fired);
+  ASSERT_EQ(Fired.size(), 1u);
+  EXPECT_EQ(Fired[0], &Keep);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel W;
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(50), Fired);
+  TimerNode T;
+  W.schedule(&T, nanosAt(10)); // already in the past
+  W.advanceTo(nanosAt(51), Fired);
+  ASSERT_EQ(Fired.size(), 1u);
+  EXPECT_EQ(Fired[0], &T);
+}
+
+TEST(TimerWheel, BigJumpEqualsSteppedAdvance) {
+  const uint64_t Ticks[] = {1, 63, 64, 65, 4095, 4096, 4097, 9000};
+  TimerNode A[8], B[8];
+
+  TimerWheel Jump, Step;
+  for (int I = 0; I < 8; ++I) {
+    Jump.schedule(&A[I], nanosAt(Ticks[I]));
+    Step.schedule(&B[I], nanosAt(Ticks[I]));
+  }
+  std::vector<TimerNode *> JumpFired, StepFired;
+  Jump.advanceTo(nanosAt(10000), JumpFired);
+  for (uint64_t T = 0; T <= 10000; T += 7)
+    Step.advanceTo(nanosAt(T), StepFired);
+  Step.advanceTo(nanosAt(10000), StepFired);
+
+  ASSERT_EQ(JumpFired.size(), 8u);
+  ASSERT_EQ(StepFired.size(), 8u);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(JumpFired[I]->DeadlineNanos, StepFired[I]->DeadlineNanos)
+        << "divergence at position " << I;
+}
+
+TEST(TimerWheel, NodeIsReusableAfterFiring) {
+  TimerWheel W;
+  TimerNode T;
+  std::vector<TimerNode *> Fired;
+  for (uint64_t Round = 1; Round <= 5; ++Round) {
+    W.schedule(&T, nanosAt(Round * 10));
+    W.advanceTo(nanosAt(Round * 10), Fired);
+  }
+  EXPECT_EQ(Fired.size(), 5u);
+  EXPECT_EQ(W.pending(), 0u);
+}
+
+TEST(TimerWheel, NanosToNextIsConservative) {
+  TimerWheel W;
+  TimerNode Near, Far;
+  W.schedule(&Near, nanosAt(7));
+  W.schedule(&Far, nanosAt(5000)); // above level 0
+
+  // The bound must never overshoot the earliest deadline.
+  uint64_t Wait = W.nanosToNext(0);
+  EXPECT_LE(Wait, nanosAt(7));
+  EXPECT_GT(Wait, 0u);
+
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(7), Fired);
+  ASSERT_EQ(Fired.size(), 1u);
+
+  // Only the far timer remains, parked above level 0: the bound may be
+  // early (a cascade boundary) but never late.
+  uint64_t Now = nanosAt(7);
+  Wait = W.nanosToNext(Now);
+  EXPECT_NE(Wait, UINT64_MAX);
+  EXPECT_LE(Now + Wait, nanosAt(5000));
+
+  // Sleeping-and-repolling on the bound terminates at the deadline.
+  int Wakeups = 0;
+  while (W.pending() > 0) {
+    uint64_t Sleep = W.nanosToNext(Now);
+    ASSERT_NE(Sleep, UINT64_MAX);
+    Now += Sleep > 0 ? Sleep : kTick;
+    W.advanceTo(Now, Fired);
+    ASSERT_LT(++Wakeups, 200) << "nanosToNext failed to converge";
+  }
+  EXPECT_EQ(Fired.size(), 2u);
+  EXPECT_LE(Now, nanosAt(5000) + kTick);
+}
+
+TEST(TimerWheel, DrainAllUnlinksEverything) {
+  TimerWheel W;
+  TimerNode Nodes[6];
+  const uint64_t Ticks[] = {2, 30, 100, 4000, 5000, 200000};
+  for (int I = 0; I < 6; ++I)
+    W.schedule(&Nodes[I], nanosAt(Ticks[I]));
+  std::vector<TimerNode *> Out;
+  W.drainAll(Out);
+  EXPECT_EQ(Out.size(), 6u);
+  EXPECT_EQ(W.pending(), 0u);
+  for (auto &N : Nodes)
+    EXPECT_FALSE(N.scheduled());
+}
+
+TEST(TimerWheel, StartAnchorOffsetsTickZero) {
+  const uint64_t Anchor = 123456789;
+  TimerWheel W(Anchor);
+  TimerNode T;
+  W.schedule(&T, Anchor + nanosAt(3));
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(Anchor + nanosAt(2), Fired);
+  EXPECT_TRUE(Fired.empty());
+  W.advanceTo(Anchor + nanosAt(3), Fired);
+  EXPECT_EQ(Fired.size(), 1u);
+}
+
+TEST(TimerWheel, KindAndPayloadTravelWithTheNode) {
+  TimerWheel W;
+  int Ctx = 42;
+  TimerNode T;
+  T.What = TimerNode::Kind::RequestDeadline;
+  T.Payload = &Ctx;
+  W.schedule(&T, nanosAt(1));
+  std::vector<TimerNode *> Fired;
+  W.advanceTo(nanosAt(1), Fired);
+  ASSERT_EQ(Fired.size(), 1u);
+  EXPECT_EQ(Fired[0]->What, TimerNode::Kind::RequestDeadline);
+  EXPECT_EQ(Fired[0]->Payload, &Ctx);
+}

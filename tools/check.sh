@@ -33,11 +33,17 @@
 #                                  #     >20% below baseline fails) and
 #                                  #     BENCH_netsim.json (reactor
 #                                  #     connection-scaling matrix, conns x
-#                                  #     shards up to 10000 connections,
-#                                  #     plus a fixed-rate latency cell
-#                                  #     with p50/p99/p999; any cell >20%
-#                                  #     below bench/BASELINE_netsim.json
-#                                  #     fails) and BENCH_alloc.json (the
+#                                  #     shards up to 100000 connections,
+#                                  #     an RSS-per-connection footprint
+#                                  #     cell, a fixed-rate latency cell
+#                                  #     with p50/p99/p999, and the
+#                                  #     slow-handler p99 pair gating the
+#                                  #     executor offload win; any cell
+#                                  #     >20% below
+#                                  #     bench/BASELINE_netsim.json fails;
+#                                  #     the 10^6-connection tier needs
+#                                  #     bench_netsim --huge and is never
+#                                  #     run here) and BENCH_alloc.json (the
 #                                  #     managed-heap substrate cells vs
 #                                  #     their malloc twins; any substrate
 #                                  #     cell >20% below the committed
@@ -338,8 +344,13 @@ failures = []
 for b in raw.get("benchmarks", []):
     ops = b["items_per_second"]
     c = {"ops_per_second": ops, "real_time_ns": b.get("real_time")}
-    # The latency cell carries coordinated-omission-safe percentiles.
-    for k in ("p50_ns", "p99_ns", "p999_ns", "max_send_delay_ns"):
+    # The latency cells carry coordinated-omission-safe percentiles, the
+    # slowp99 cells the fast/slow split, the footprint cell RSS, and every
+    # cell the host shape (single-core containers are self-describing).
+    for k in ("p50_ns", "p99_ns", "p999_ns", "max_send_delay_ns",
+              "fast_p90_ns", "fast_p99_ns", "slow_p99_ns", "sustained_rps",
+              "rss_total_bytes", "rss_per_conn_bytes",
+              "num_cpus", "threads_used", "serial_host"):
         if k in b:
             c[k] = b[k]
     ref = base.get(b["name"], {}).get("ops_per_second")

@@ -13,6 +13,7 @@
 
 #include "harness/Harness.h"
 #include "harness/Plugins.h"
+#include "runtime/Heap.h"
 #include "support/Format.h"
 #include "trace/TraceSession.h"
 #include "workloads/Workloads.h"
@@ -37,6 +38,9 @@ void printUsage() {
       "  --warmups N         warmup iterations per benchmark\n"
       "  --csv               emit CSV instead of the text summary\n"
       "  --json              emit JSON instead of the text summary\n"
+      "  --heap-stats        print the managed-heap counter delta for\n"
+      "                      the whole run (allocations, slab traffic,\n"
+      "                      reclaim pauses) after the results\n"
       "  --no-trace          disable the cache simulator\n"
       "  --trace=FILE        record runtime events to FILE as Chrome\n"
       "                      trace_event JSON (chrome://tracing, Perfetto)\n"
@@ -64,6 +68,7 @@ int main(int Argc, char **Argv) {
   Runner::Options Opts;
   bool Csv = false, Json = false;
   bool TraceSummary = false;
+  bool HeapStatsWanted = false;
   std::string TracePath;
   std::vector<std::string> Selection;
 
@@ -104,6 +109,10 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--trace-summary") {
       TraceSummary = true;
+      continue;
+    }
+    if (Arg == "--heap-stats") {
+      HeapStatsWanted = true;
       continue;
     }
     if (Arg == "--repetitions" || Arg == "--warmups") {
@@ -158,6 +167,9 @@ int main(int Argc, char **Argv) {
   }
 
   bool Tracing = !TracePath.empty() || TraceSummary;
+  runtime::heap::HeapStats HeapBefore;
+  if (HeapStatsWanted)
+    HeapBefore = runtime::heap::stats();
   Runner R(Opts);
   TracePlugin Tracer;
   ren::trace::TraceSession Session;
@@ -201,6 +213,38 @@ int main(int Argc, char **Argv) {
     }
     if (TraceSummary)
       std::fputs(Session.profile().summary().c_str(), stdout);
+  }
+
+  if (HeapStatsWanted) {
+    using runtime::heap::HeapStats;
+    HeapStats After = runtime::heap::stats();
+    HeapStats D = HeapStats::delta(HeapBefore, After);
+    std::printf(
+        "heap stats (delta over the run):\n"
+        "  allocated:       %llu bytes in %llu small + %llu large allocs\n"
+        "  freed:           %llu bytes (%llu routed cross-thread)\n"
+        "  live at exit:    %llu bytes, %.1f%% slab occupancy\n"
+        "  slabs:           %llu in use, %llu recycled, %llu orphans "
+        "adopted, %llu regions mapped\n"
+        "  reclaim:         %llu passes, %.3f ms total, %.3f ms max "
+        "pause\n"
+        "  rc objects:      %llu deferred, %llu destroyed\n",
+        static_cast<unsigned long long>(D.BytesAllocated),
+        static_cast<unsigned long long>(D.SmallAllocs),
+        static_cast<unsigned long long>(D.LargeAllocs),
+        static_cast<unsigned long long>(D.BytesFreed),
+        static_cast<unsigned long long>(D.RemoteFrees),
+        static_cast<unsigned long long>(After.bytesLive()),
+        After.slabOccupancyPercent(),
+        static_cast<unsigned long long>(D.SlabsInUse),
+        static_cast<unsigned long long>(D.SlabsRecycled),
+        static_cast<unsigned long long>(D.OrphanSlabsAdopted),
+        static_cast<unsigned long long>(D.RegionsAllocated),
+        static_cast<unsigned long long>(D.ReclaimPasses),
+        static_cast<double>(D.ReclaimTotalNanos) / 1e6,
+        static_cast<double>(D.ReclaimMaxNanos) / 1e6,
+        static_cast<unsigned long long>(D.RcDeferred),
+        static_cast<unsigned long long>(D.RcDestroyed));
   }
   return 0;
 }
