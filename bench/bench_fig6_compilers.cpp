@@ -5,6 +5,11 @@
 // confidence intervals, plus the paper's §6 summary (how many benchmarks
 // each compiler wins and the median speedups).
 //
+// A third column runs the same kernels under the tiered runtime
+// (profiling interpreter -> speculative graal-pipeline compile) and
+// reports its steady state relative to C2, with a summary row counting
+// how many benchmarks reach within 5% of ahead-of-time graal once warm.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
@@ -27,16 +32,46 @@ int main() {
               "executions at 99%%)\n\n");
 
   TextTable T({"workload", "suite", "speedup", "ci-low", "ci-high",
-               "verdict"});
+               "verdict", "tiered"});
   unsigned GraalBetter = 0, C2Better = 0, Ties = 0;
+  unsigned TieredNearGraal = 0, TieredTotal = 0;
   std::vector<double> GraalWins, C2Wins;
   uint64_t Seed = 0xF16;
+
+  // Steady-state cycles of the last schedule round: by round 3 every hot
+  // loop has tiered up, so the last round runs entirely in installed code.
+  auto lastRound = [](const jit::KernelRun &R, size_t PerRound) {
+    uint64_t Sum = 0;
+    for (size_t I = R.InvocationCycles.size() - PerRound;
+         I < R.InvocationCycles.size(); ++I)
+      Sum += R.InvocationCycles[I];
+    return Sum;
+  };
 
   for (const BenchmarkId &Id : allBenchmarks()) {
     const char *SuiteStr = suiteName(Id.Suite);
     jit::kernels::Kernel K = jit::kernels::kernelFor(SuiteStr, Id.Name);
     jit::KernelRun Graal = jit::runKernel(K, jit::OptConfig::graal());
     jit::KernelRun C2 = jit::runKernel(K, jit::OptConfig::c2());
+
+    // Tiered steady state vs the same round of an AOT graal run. Twelve
+    // rounds let even functions invoked once per round cross the
+    // invocation threshold (8), so the last round runs fully compiled.
+    const unsigned Rounds = 12;
+    size_t PerRound = K.Invocations.size();
+    jit::KernelRun Tiered =
+        jit::runKernelTiered(K, jit::TieredConfig{}, Rounds);
+    jit::KernelRun GraalN = jit::runKernel(K, jit::OptConfig::graal(), Rounds);
+    uint64_t TieredSteady = lastRound(Tiered, PerRound);
+    uint64_t GraalSteady = lastRound(GraalN, PerRound);
+    uint64_t C2Steady = lastRound(jit::runKernel(K, jit::OptConfig::c2(),
+                                                 Rounds),
+                                  PerRound);
+    double TieredVsC2 =
+        TieredSteady ? double(C2Steady) / double(TieredSteady) : 1.0;
+    ++TieredTotal;
+    if (TieredSteady * 100 <= GraalSteady * 105)
+      ++TieredNearGraal;
 
     // Ratio samples: paired noisy executions.
     std::vector<double> GraalTimes = noisySamples(Graal.Cycles, 15, Seed++);
@@ -61,7 +96,7 @@ int main() {
       ++Ties;
     }
     T.addRow({Id.Name, SuiteStr, fixed(Speedup, 3), fixed(Lo, 3),
-              fixed(Hi, 3), Verdict});
+              fixed(Hi, 3), Verdict, fixed(TieredVsC2, 3)});
   }
   std::printf("%s\n", T.render().c_str());
 
@@ -83,6 +118,10 @@ int main() {
             signedPercent(median(GraalWins) - 1.0), "+20%"});
   S.addRow({"median slowdown where c2 better",
             signedPercent(median(C2Wins) - 1.0), "+4%"});
+  S.addRow({"tiered steady within 5% of AOT graal",
+            std::to_string(TieredNearGraal) + " of " +
+                std::to_string(TieredTotal),
+            "n/a"});
   std::printf("%s\n", S.render().c_str());
   return 0;
 }

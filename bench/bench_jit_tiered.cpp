@@ -1,0 +1,280 @@
+//===- bench/bench_jit_tiered.cpp -----------------------------------------==//
+//
+// Tiered-execution cells for the mini-JIT: warmup curves, steady-state
+// parity with ahead-of-time compilation, deopt-storm bounds and the
+// polymorphic-inline-cache ladder. Every cell is a deterministic modelled
+// cycle count (no wall-clock timing), reported as ops/s = 1e9 / cycles so
+// the shared >20%-below gate in tools/check.sh --bench-smoke (against
+// bench/BASELINE_jit.json) reads "bigger is better" like every other
+// bench JSON.
+//
+// Cells:
+//   jit/warmup/first100/{tiered,interp,aot}   cumulative cycles over the
+//       first 100 invocations of the warmup kernel (16 cold ballast
+//       functions + one hot loop), compile cost included: the tiered
+//       runtime compiles only the hot closure, AOT compiles everything
+//       before the first result, interp never compiles
+//   jit/steady/{tiered,aot}   mean cycles of the last 10 hot invocations
+//   jit/pic/{mono,bi,mega}    steady per-invocation cycles of the
+//       virtual-dispatch kernel at 1, 2 and 4 receiver classes, with
+//       pic_hits / pic_misses / deopts riding along
+//   jit/deopt/shift           total cycles of the distribution-shift
+//       kernel (mono -> bi -> megamorphic), with deopts / recompiles
+//   jit/deopt/storm           total cycles of a hostile schedule that
+//       rotates receiver classes after tier-up; blacklisting must keep
+//       recompilation bounded
+//
+// The binary self-asserts the paper-level invariants (exit 1 on failure):
+// tiered steady state within 5% of AOT, tiered warmup area under the
+// curve beats both interpreter-only and compile-first, deopt storms stay
+// within the recompile bound, and the PIC ladder degrades mono -> bi ->
+// megamorphic.
+//
+// Flags: --quick (smaller schedules; the `ctest -L bench` smoke),
+// --out=PATH (JSON to a file instead of stdout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Experiment.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ren;
+using namespace ren::jit;
+using namespace ren::jit::kernels;
+
+namespace {
+
+struct Cell {
+  std::string Name;
+  uint64_t Cycles = 0;        ///< the gated quantity (smaller = better)
+  std::string ExtraJson;      ///< preformatted ", \"key\": value" pairs
+};
+
+unsigned GateFailures = 0;
+
+void gate(bool Ok, const char *What) {
+  if (!Ok) {
+    std::fprintf(stderr, "GATE FAILED: %s\n", What);
+    ++GateFailures;
+  }
+}
+
+uint64_t cumulative(const KernelRun &R, size_t N) {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < N && I < R.InvocationCycles.size(); ++I)
+    Sum += R.InvocationCycles[I];
+  return Sum;
+}
+
+/// Mean cycles of the last \p N invocations (the steady-state estimate).
+uint64_t steadyMean(const KernelRun &R, size_t N) {
+  const std::vector<uint64_t> &S = R.InvocationCycles;
+  if (S.empty())
+    return 0;
+  N = std::min(N, S.size());
+  uint64_t Sum = 0;
+  for (size_t I = S.size() - N; I < S.size(); ++I)
+    Sum += S[I];
+  return Sum / N;
+}
+
+std::string tierExtras(const KernelRun &R) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                ", \"compiles\": %" PRIu64 ", \"recompiles\": %" PRIu64
+                ", \"deopts\": %" PRIu64 ", \"pic_hits\": %" PRIu64
+                ", \"pic_misses\": %" PRIu64
+                ", \"modelled_compile_cycles\": %" PRIu64,
+                R.Tiers.Compiles, R.Tiers.Recompiles, R.Tiers.Deopts,
+                R.PicHits, R.PicMisses, R.ModelledCompileCycles);
+  return Buf;
+}
+
+/// Hostile schedule: tier up monomorphically, then rotate through every
+/// other receiver class for several rounds. Blacklisting must converge
+/// this to the inline-cache fallback within the recompile bound instead
+/// of recompiling forever.
+Kernel stormKernel(unsigned Rounds, int64_t Trips) {
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  buildVirtualDispatchLoop(*K.M, "storm", 4);
+  for (unsigned I = 0; I < 8; ++I)
+    K.Invocations.push_back(Invocation{"storm", {Trips, 0, 0}});
+  for (unsigned R = 0; R < Rounds; ++R)
+    for (int64_t Base = 1; Base <= 3; ++Base)
+      K.Invocations.push_back(Invocation{"storm", {Trips, 0, Base}});
+  return K;
+}
+
+void emitJson(std::FILE *Out, const std::vector<Cell> &Cells) {
+  std::fputs("{\n  \"context\": {\"deterministic\": true, "
+             "\"unit\": \"modelled cycles (ops = 1e9 / cycles)\"},\n"
+             "  \"benchmarks\": [\n",
+             Out);
+  for (size_t I = 0; I < Cells.size(); ++I)
+    std::fprintf(Out,
+                 "    {\"name\": \"%s\", \"items_per_second\": %.6g, "
+                 "\"cycles\": %" PRIu64 "%s}%s\n",
+                 Cells[I].Name.c_str(),
+                 1e9 / static_cast<double>(Cells[I].Cycles),
+                 Cells[I].Cycles, Cells[I].ExtraJson.c_str(),
+                 I + 1 < Cells.size() ? "," : "");
+  std::fputs("  ]\n}\n", Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--quick") == 0)
+      Quick = true;
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      OutPath = Arg + 6;
+    else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out=PATH]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned HotInvocations = Quick ? 110 : 200;
+  const int64_t Trips = Quick ? 128 : 256;
+  const unsigned PerPhase = Quick ? 12 : 16;
+  TieredConfig Config;
+  std::vector<Cell> Cells;
+
+  //===--- Warmup curve: tiered vs interpreter-only vs compile-first ---===//
+  Kernel Warm = tieredWarmupKernel(HotInvocations, /*Trips=*/200);
+  KernelRun Tiered = runKernelTiered(Warm, Config);
+  KernelRun Interp = runKernelInterpOnly(Warm);
+  KernelRun Aot = runKernel(Warm, Config.Opt, /*Rounds=*/1, &Config);
+
+  uint64_t TieredAuc = cumulative(Tiered, 100);
+  uint64_t InterpAuc = cumulative(Interp, 100);
+  uint64_t AotAuc = cumulative(Aot, 100);
+  Cells.push_back({"jit/warmup/first100/tiered", TieredAuc,
+                   tierExtras(Tiered)});
+  Cells.push_back({"jit/warmup/first100/interp", InterpAuc, ""});
+  char AotExtra[80];
+  std::snprintf(AotExtra, sizeof(AotExtra),
+                ", \"modelled_compile_cycles\": %" PRIu64,
+                Aot.ModelledCompileCycles);
+  Cells.push_back({"jit/warmup/first100/aot", AotAuc, AotExtra});
+
+  gate(Tiered.ResultHash == Interp.ResultHash &&
+           Tiered.ResultHash == Aot.ResultHash,
+       "warmup kernel results agree across execution modes");
+  gate(TieredAuc < InterpAuc,
+       "tiered warmup (first 100 invocations, compile cost included) "
+       "beats interpreter-only");
+  gate(TieredAuc < AotAuc,
+       "tiered warmup (first 100 invocations, compile cost included) "
+       "beats compile-everything-first");
+
+  uint64_t TieredSteady = steadyMean(Tiered, 10);
+  uint64_t AotSteady = steadyMean(Aot, 10);
+  Cells.push_back({"jit/steady/tiered", TieredSteady, ""});
+  Cells.push_back({"jit/steady/aot", AotSteady, ""});
+  gate(TieredSteady * 100 <= AotSteady * 105,
+       "tiered steady state within 5% of ahead-of-time graal");
+
+  //===--- Inline-cache ladder: mono -> bi -> megamorphic -------------===//
+  const char *PicNames[3] = {"jit/pic/mono", "jit/pic/bi", "jit/pic/mega"};
+  const unsigned PicModes[3] = {1, 2, 4};
+  uint64_t PicSteady[3] = {0, 0, 0};
+  for (int P = 0; P < 3; ++P) {
+    Kernel K = virtualDispatchKernel(PicModes[P], /*Invocations=*/24, Trips);
+    KernelRun R = runKernelTiered(K, Config);
+    KernelRun RI = runKernelInterpOnly(K);
+    PicSteady[P] = steadyMean(R, 4);
+    Cells.push_back({PicNames[P], PicSteady[P], tierExtras(R)});
+    gate(R.ResultHash == RI.ResultHash, "pic kernel results agree");
+    gate(R.Tiers.Deopts == 0, "stable receiver sets never deopt");
+    if (PicModes[P] < 4)
+      gate(R.PicHits > 0 && R.PicMisses == 0,
+           "mono/bi sites devirtualize into always-hitting checks");
+    else
+      gate(R.PicMisses > 0,
+           "four rotating classes overflow the two-entry cache");
+  }
+  gate(PicSteady[0] < PicSteady[1] && PicSteady[1] < PicSteady[2],
+       "dispatch cost degrades mono < bi < megamorphic");
+
+  //===--- Deopt: distribution shift and hostile storm ----------------===//
+  Kernel Shift = virtualDispatchShiftKernel(PerPhase, Trips);
+  KernelRun ShiftTiered = runKernelTiered(Shift, Config);
+  KernelRun ShiftInterp = runKernelInterpOnly(Shift);
+  Cells.push_back({"jit/deopt/shift", ShiftTiered.Cycles,
+                   tierExtras(ShiftTiered)});
+  gate(ShiftTiered.ResultHash == ShiftInterp.ResultHash,
+       "shift kernel deopt/replay preserves results");
+  gate(ShiftTiered.Tiers.Deopts >= 1, "distribution shift deopts");
+  gate(ShiftTiered.Tiers.Recompiles <= Config.MaxRecompiles,
+       "shift recompilation stays within the bound");
+  gate(ShiftTiered.InvocationCycles.back() <
+           ShiftInterp.InvocationCycles.back(),
+       "post-deopt steady state still beats the interpreter");
+
+  Kernel Storm = stormKernel(Quick ? 4 : 8, Trips);
+  KernelRun StormTiered = runKernelTiered(Storm, Config);
+  KernelRun StormInterp = runKernelInterpOnly(Storm);
+  Cells.push_back({"jit/deopt/storm", StormTiered.Cycles,
+                   tierExtras(StormTiered)});
+  gate(StormTiered.ResultHash == StormInterp.ResultHash,
+       "storm kernel deopt/replay preserves results");
+  gate(StormTiered.Tiers.Deopts >= 1, "the storm actually deopts");
+  gate(StormTiered.Tiers.Recompiles <= Config.MaxRecompiles,
+       "blacklisting bounds recompilation under a receiver storm");
+  gate(StormTiered.InvocationCycles.back() <
+           StormInterp.InvocationCycles.back(),
+       "the storm converges to code that beats the interpreter");
+
+  //===--- Report -----------------------------------------------------===//
+  TextTable T({"cell", "cycles"});
+  for (const Cell &C : Cells)
+    T.addRow({C.Name, std::to_string(C.Cycles)});
+  std::printf("=== Tiered-execution cells (modelled cycles) ===\n%s\n",
+              T.render().c_str());
+  std::printf("warmup AUC (first 100 invocations): tiered %" PRIu64
+              " vs interp %" PRIu64 " (%.2fx) vs aot %" PRIu64
+              " (%.2fx)\n",
+              TieredAuc, InterpAuc,
+              static_cast<double>(InterpAuc) /
+                  static_cast<double>(TieredAuc),
+              AotAuc,
+              static_cast<double>(AotAuc) / static_cast<double>(TieredAuc));
+  std::printf("steady state: tiered %" PRIu64 " vs aot %" PRIu64
+              " cycles/invocation\n",
+              TieredSteady, AotSteady);
+  std::printf("deopt storm: %" PRIu64 " deopts, %" PRIu64
+              " recompiles (bound %u)\n",
+              StormTiered.Tiers.Deopts, StormTiered.Tiers.Recompiles,
+              Config.MaxRecompiles);
+
+  std::FILE *Out = stdout;
+  if (!OutPath.empty()) {
+    Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open --out file '%s'\n", OutPath.c_str());
+      return 2;
+    }
+  }
+  emitJson(Out, Cells);
+  if (Out != stdout)
+    std::fclose(Out);
+
+  if (GateFailures) {
+    std::fprintf(stderr, "%u gate(s) failed\n", GateFailures);
+    return 1;
+  }
+  return 0;
+}

@@ -58,63 +58,111 @@ uint64_t ren::jit::estimateCodeBytes(const Function &F) {
   return 64 + 14ull * F.instructionCount();
 }
 
+CompileStats ren::jit::compileFunction(Module &M, Function &F,
+                                       const OptConfig &Config) {
+  CompileStats Stats;
+  Stats.FunctionName = F.Name;
+  Stats.NodesBefore = F.instructionCount();
+
+  auto runPass = [&](const char *Name, auto Body) {
+    uint64_t Begin = wallNanos();
+    bool Changed = Body();
+    PassStat P;
+    P.PassName = Name;
+    P.WallNanos = wallNanos() - Begin;
+    P.ChangedIr = Changed;
+    Stats.Passes.push_back(P);
+    if (Changed) {
+      [[maybe_unused]] std::string Error = F.verify();
+      assert(Error.empty() && "pass produced malformed IR");
+    }
+  };
+
+  // Pipeline order mirrors the paper's description: abstraction-lowering
+  // passes first (MHS + inlining + PEA), then the concurrency and loop
+  // optimizations, with folding as the connective cleanup.
+  runPass("ConstantFolding", [&] { return runConstantFolding(F); });
+  if (Config.Mhs)
+    runPass("MethodHandleSimplification",
+            [&] { return runMethodHandleSimplification(M, F); });
+  if (Config.Inline)
+    runPass("Inlining",
+            [&] { return runInliner(M, F, Config.InlineThreshold); });
+  if (Config.Eawa)
+    runPass("EscapeAnalysisWithAtomics",
+            [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/true); });
+  else if (Config.BasePea)
+    runPass("PartialEscapeAnalysis",
+            [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/false); });
+  if (Config.Ac)
+    runPass("AtomicCoalescing", [&] { return runAtomicCoalescing(F); });
+  if (Config.Llc)
+    runPass("LockCoarsening",
+            [&] { return runLockCoarsening(F, Config.LlcChunk); });
+  if (Config.Dbds)
+    runPass("Duplication", [&] { return runDuplication(F); });
+  if (Config.Gm)
+    runPass("GuardMotion", [&] { return runGuardMotion(F); });
+  if (Config.Lv)
+    runPass("LoopVectorization",
+            [&] { return runLoopVectorization(F); });
+  if (Config.Unroll)
+    runPass("LoopUnrolling", [&] { return runLoopUnrolling(F); });
+  runPass("ConstantFolding", [&] { return runConstantFolding(F); });
+
+  Stats.NodesAfter = F.instructionCount();
+  return Stats;
+}
+
 std::vector<CompileStats> ren::jit::compileModule(Module &M,
                                                   const OptConfig &Config) {
   std::vector<CompileStats> AllStats;
-  for (const auto &FPtr : M.functions()) {
-    Function &F = *FPtr;
-    CompileStats Stats;
-    Stats.FunctionName = F.Name;
-    Stats.NodesBefore = F.instructionCount();
-
-    auto runPass = [&](const char *Name, auto Body) {
-      uint64_t Begin = wallNanos();
-      bool Changed = Body();
-      PassStat P;
-      P.PassName = Name;
-      P.WallNanos = wallNanos() - Begin;
-      P.ChangedIr = Changed;
-      Stats.Passes.push_back(P);
-      if (Changed) {
-        [[maybe_unused]] std::string Error = F.verify();
-        assert(Error.empty() && "pass produced malformed IR");
-      }
-    };
-
-    // Pipeline order mirrors the paper's description: abstraction-lowering
-    // passes first (MHS + inlining + PEA), then the concurrency and loop
-    // optimizations, with folding as the connective cleanup.
-    runPass("ConstantFolding", [&] { return runConstantFolding(F); });
-    if (Config.Mhs)
-      runPass("MethodHandleSimplification",
-              [&] { return runMethodHandleSimplification(M, F); });
-    if (Config.Inline)
-      runPass("Inlining",
-              [&] { return runInliner(M, F, Config.InlineThreshold); });
-    if (Config.Eawa)
-      runPass("EscapeAnalysisWithAtomics",
-              [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/true); });
-    else if (Config.BasePea)
-      runPass("PartialEscapeAnalysis",
-              [&] { return runEscapeAnalysis(F, /*HandleAtomics=*/false); });
-    if (Config.Ac)
-      runPass("AtomicCoalescing", [&] { return runAtomicCoalescing(F); });
-    if (Config.Llc)
-      runPass("LockCoarsening",
-              [&] { return runLockCoarsening(F, Config.LlcChunk); });
-    if (Config.Dbds)
-      runPass("Duplication", [&] { return runDuplication(F); });
-    if (Config.Gm)
-      runPass("GuardMotion", [&] { return runGuardMotion(F); });
-    if (Config.Lv)
-      runPass("LoopVectorization",
-              [&] { return runLoopVectorization(F); });
-    if (Config.Unroll)
-      runPass("LoopUnrolling", [&] { return runLoopUnrolling(F); });
-    runPass("ConstantFolding", [&] { return runConstantFolding(F); });
-
-    Stats.NodesAfter = F.instructionCount();
-    AllStats.push_back(std::move(Stats));
-  }
+  for (const auto &FPtr : M.functions())
+    AllStats.push_back(compileFunction(M, *FPtr, Config));
   return AllStats;
+}
+
+std::vector<CompileStats>
+ren::jit::compileFunctions(Module &M, const std::vector<std::string> &Names,
+                           const OptConfig &Config) {
+  std::vector<CompileStats> AllStats;
+  for (const auto &FPtr : M.functions())
+    for (const std::string &Name : Names)
+      if (FPtr->Name == Name) {
+        AllStats.push_back(compileFunction(M, *FPtr, Config));
+        break;
+      }
+  return AllStats;
+}
+
+std::vector<std::string> ren::jit::transitiveCallees(const Module &M,
+                                                     const Function &Entry) {
+  std::vector<const Function *> Work{&Entry};
+  std::vector<std::string> Names;
+  auto push = [&](const Function *F) {
+    if (!F)
+      return;
+    for (const std::string &N : Names)
+      if (N == F->Name)
+        return;
+    Names.push_back(F->Name);
+    Work.push_back(F);
+  };
+  Names.push_back(Entry.Name);
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (const auto &B : F->Blocks)
+      for (const auto &I : B->Insts) {
+        if (I->Op == Opcode::Invoke)
+          push(M.functionById(static_cast<size_t>(I->Imm)));
+        else if (I->Op == Opcode::MethodHandleInvoke)
+          push(M.handleTarget(static_cast<unsigned>(I->Imm)));
+        else if (I->Op == Opcode::VirtualInvoke)
+          for (unsigned Cls :
+               M.classesImplementing(static_cast<unsigned>(I->Imm)))
+            push(M.virtualTarget(Cls, static_cast<unsigned>(I->Imm)));
+      }
+  }
+  return Names;
 }

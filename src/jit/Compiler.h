@@ -86,9 +86,26 @@ struct CompileStats {
 /// plus a per-IR-node expansion factor (Fig 7's "code size").
 uint64_t estimateCodeBytes(const Function &F);
 
+/// Runs the configured pipeline over one function of \p M in place.
+CompileStats compileFunction(Module &M, Function &F, const OptConfig &Config);
+
 /// Runs the configured pipeline over every function of \p M in place.
 /// \returns per-function statistics.
 std::vector<CompileStats> compileModule(Module &M, const OptConfig &Config);
+
+/// Runs the pipeline over just the named functions, in module order —
+/// what a tier-up compiles: an entry function's hot closure rather than
+/// the whole module.
+std::vector<CompileStats> compileFunctions(Module &M,
+                                           const std::vector<std::string> &Names,
+                                           const OptConfig &Config);
+
+/// The names of \p Entry plus every function transitively reachable from
+/// it through direct calls, method handles and vtable bindings — the
+/// closure a tier-up must compile so compiled code never calls back into
+/// unoptimized IR.
+std::vector<std::string> transitiveCallees(const Module &M,
+                                           const Function &Entry);
 
 } // namespace jit
 } // namespace ren

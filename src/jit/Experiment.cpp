@@ -5,36 +5,103 @@
 using namespace ren;
 using namespace ren::jit;
 
+namespace {
+
+/// Folds one invocation's ExecResult into the aggregate run.
+void accumulate(KernelRun &Out, const ExecResult &R) {
+  Out.Cycles += R.Cycles;
+  Out.InvocationCycles.push_back(R.Cycles);
+  Out.ResultHash = static_cast<int64_t>(
+      static_cast<uint64_t>(Out.ResultHash) * 1000003u +
+      static_cast<uint64_t>(R.ReturnValue));
+  for (size_t G = 0; G < R.Guards.Normal.size(); ++G) {
+    Out.Guards.Normal[G] += R.Guards.Normal[G];
+    Out.Guards.Speculative[G] += R.Guards.Speculative[G];
+  }
+  Out.CasExecuted += R.CasExecuted;
+  Out.CallsExecuted += R.CallsExecuted;
+  Out.MonitorOps += R.MonitorOps;
+  Out.Allocations += R.Allocations;
+  Out.MhDispatches += R.MhDispatches;
+  Out.VirtualDispatches += R.VirtualDispatches;
+  Out.PicHits += R.PicHits;
+  Out.PicMisses += R.PicMisses;
+  for (const auto &[Name, Cycles] : R.CyclesByFunction)
+    Out.CyclesByFunction[Name] += Cycles;
+}
+
+} // namespace
+
 KernelRun ren::jit::runKernel(const kernels::Kernel &K,
-                              const OptConfig &Config) {
+                              const OptConfig &Config, unsigned Rounds,
+                              const TieredConfig *CompileCostModel) {
   KernelRun Out;
   std::unique_ptr<Module> M = K.M->clone();
   Out.Compilation = compileModule(*M, Config);
   for (const CompileStats &S : Out.Compilation) {
     Out.TotalNodesBefore += S.NodesBefore;
     Out.TotalNodesAfter += S.NodesAfter;
+    if (CompileCostModel)
+      Out.ModelledCompileCycles +=
+          CompileCostModel->CompileBaseCycles +
+          static_cast<uint64_t>(S.NodesBefore) *
+              CompileCostModel->CompileCyclesPerNode;
   }
 
   Interpreter Interp(*M);
-  for (const kernels::Invocation &Inv : K.Invocations) {
-    Function *F = M->function(Inv.FunctionName);
-    assert(F && "kernel invocation names unknown function");
-    ExecResult R = Interp.run(*F, Inv.Args);
-    Out.Cycles += R.Cycles;
-    Out.ResultHash = static_cast<int64_t>(
-        static_cast<uint64_t>(Out.ResultHash) * 1000003u +
-        static_cast<uint64_t>(R.ReturnValue));
-    for (size_t G = 0; G < R.Guards.Normal.size(); ++G) {
-      Out.Guards.Normal[G] += R.Guards.Normal[G];
-      Out.Guards.Speculative[G] += R.Guards.Speculative[G];
+  bool First = true;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    for (const kernels::Invocation &Inv : K.Invocations) {
+      Function *F = M->function(Inv.FunctionName);
+      assert(F && "kernel invocation names unknown function");
+      ExecResult R = Interp.run(*F, Inv.Args);
+      if (First) {
+        // Compile-everything-first: the whole ahead-of-time compile cost
+        // lands on the first point of the warmup curve.
+        R.Cycles += Out.ModelledCompileCycles;
+        First = false;
+      }
+      accumulate(Out, R);
     }
-    Out.CasExecuted += R.CasExecuted;
-    Out.CallsExecuted += R.CallsExecuted;
-    Out.MonitorOps += R.MonitorOps;
-    Out.Allocations += R.Allocations;
-    Out.MhDispatches += R.MhDispatches;
-    for (const auto &[Name, Cycles] : R.CyclesByFunction)
-      Out.CyclesByFunction[Name] += Cycles;
   }
+  return Out;
+}
+
+KernelRun ren::jit::runKernelInterpOnly(const kernels::Kernel &K,
+                                        unsigned Rounds) {
+  KernelRun Out;
+  std::unique_ptr<Module> M = K.M->clone();
+  Interpreter Interp(*M);
+  ProfileData Profile;
+  ExecOptions O;
+  O.Tier = ExecTier::Profiling;
+  O.Profile = &Profile;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    for (const kernels::Invocation &Inv : K.Invocations) {
+      Function *F = M->function(Inv.FunctionName);
+      assert(F && "kernel invocation names unknown function");
+      accumulate(Out, Interp.run(*F, Inv.Args, O));
+      ++Out.Tiers.ProfiledInvocations;
+    }
+  }
+  return Out;
+}
+
+KernelRun ren::jit::runKernelTiered(const kernels::Kernel &K,
+                                    const TieredConfig &Config,
+                                    unsigned Rounds) {
+  KernelRun Out;
+  TieredRuntime Runtime(*K.M, Config);
+  for (unsigned Round = 0; Round < Rounds; ++Round)
+    for (const kernels::Invocation &Inv : K.Invocations)
+      accumulate(Out, Runtime.invoke(Inv.FunctionName, Inv.Args));
+
+  Out.Compilation = Runtime.compiles();
+  for (const CompileStats &S : Out.Compilation) {
+    Out.TotalNodesBefore += S.NodesBefore;
+    Out.TotalNodesAfter += S.NodesAfter;
+  }
+  Out.Tiers = Runtime.counters();
+  Out.ModelledCompileCycles = Out.Tiers.ModelledCompileCycles;
   return Out;
 }

@@ -17,6 +17,7 @@
 #include "jit/Compiler.h"
 #include "jit/Interp.h"
 #include "jit/Kernels.h"
+#include "jit/Tiered.h"
 
 namespace ren {
 namespace jit {
@@ -31,6 +32,9 @@ struct KernelRun {
   uint64_t MonitorOps = 0;
   uint64_t Allocations = 0;
   uint64_t MhDispatches = 0;
+  uint64_t VirtualDispatches = 0;
+  uint64_t PicHits = 0;
+  uint64_t PicMisses = 0;
   /// Per-function cycle attribution (for the §5.4 hot-method table).
   std::unordered_map<std::string, uint64_t> CyclesByFunction;
   /// Compilation statistics of the configured pipeline.
@@ -38,11 +42,33 @@ struct KernelRun {
   /// Total optimized IR nodes across the module (Fig 7 ingredient).
   unsigned TotalNodesAfter = 0;
   unsigned TotalNodesBefore = 0;
+  /// Modelled cycles per invocation in schedule order — the warmup
+  /// curve. For tiered runs, tier-up invocations include the modelled
+  /// compile cost; for ahead-of-time runs the whole modelled compile
+  /// cost is charged to the first invocation.
+  std::vector<uint64_t> InvocationCycles;
+  uint64_t ModelledCompileCycles = 0;
+  /// Tier transition counters (all zero for non-tiered runs).
+  TierCounters Tiers;
 };
 
-/// Clones the kernel module, compiles it under \p Config, runs every
-/// invocation in order and aggregates the results.
-KernelRun runKernel(const kernels::Kernel &K, const OptConfig &Config);
+/// Clones the kernel module, compiles it under \p Config, runs the
+/// invocation schedule \p Rounds times in order and aggregates the
+/// results. \p CompileCostModel, when set, prices the ahead-of-time
+/// compile (charged to the first invocation's cycle series entry) using
+/// the same base/per-node constants as the tiered runtime.
+KernelRun runKernel(const kernels::Kernel &K, const OptConfig &Config,
+                    unsigned Rounds = 1,
+                    const TieredConfig *CompileCostModel = nullptr);
+
+/// Runs the schedule entirely in the profiling interpreter tier — the
+/// "interpreter-only" warmup baseline. Never compiles.
+KernelRun runKernelInterpOnly(const kernels::Kernel &K, unsigned Rounds = 1);
+
+/// Runs the schedule under the tiered runtime: profiling tier, counter
+/// tier-up, speculative compiles, deopt/recompile, inline caches.
+KernelRun runKernelTiered(const kernels::Kernel &K, const TieredConfig &Config,
+                          unsigned Rounds = 1);
 
 } // namespace jit
 } // namespace ren

@@ -78,19 +78,27 @@ const std::vector<int64_t> &Interpreter::arrayState(unsigned ArrayId) {
 
 ExecResult Interpreter::run(const Function &F,
                             const std::vector<int64_t> &Args) {
+  return run(F, Args, ExecOptions());
+}
+
+ExecResult Interpreter::run(const Function &F,
+                            const std::vector<int64_t> &Args,
+                            const ExecOptions &Opts) {
   if (!ArraysInitialized) {
     for (size_t I = 0; I < M.numArrays(); ++I)
       Arrays.push_back(M.arrayInit(static_cast<unsigned>(I)));
     ArraysInitialized = true;
   }
+  const Module &Code = Opts.Code ? *Opts.Code : M;
   ExecResult Result;
-  Result.ReturnValue = execFunction(F, Args, Result, 0);
+  Result.ReturnValue = execFunction(Code, F, Args, Result, Opts, 0);
   return Result;
 }
 
-int64_t Interpreter::execFunction(const Function &F,
+int64_t Interpreter::execFunction(const Module &Code, const Function &F,
                                   const std::vector<int64_t> &Args,
-                                  ExecResult &Result, unsigned Depth) {
+                                  ExecResult &Result,
+                                  const ExecOptions &Opts, unsigned Depth) {
   assert(Depth < kMaxCallDepth && "call depth exceeded");
   assert(Args.size() == F.NumParams && "argument count mismatch");
 
@@ -111,6 +119,28 @@ int64_t Interpreter::execFunction(const Function &F,
   auto charge = [&](uint64_t Cycles) {
     Result.Cycles += Cycles;
     FnCycles += Cycles;
+  };
+
+  // Profiling-tier bookkeeping: record into the profile (if any) and pay
+  // the per-instruction interpreter dispatch overhead.
+  const bool Interpreted = Opts.Tier == ExecTier::Profiling;
+  FunctionProfile *Prof =
+      Interpreted && Opts.Profile ? &Opts.Profile->forFunction(F.Name)
+                                  : nullptr;
+  if (Prof)
+    ++Prof->Invocations;
+
+  // Inline-cache crediting for devirtualized sites in compiled code: a
+  // guard or branch carrying a PicSite counts dispatch outcomes.
+  auto creditPicHit = [&](const Instruction *I) {
+    ++Result.PicHits;
+    if (Opts.Pics)
+      ++Opts.Pics->site(F.Name, static_cast<unsigned>(I->PicSite)).Hits;
+  };
+  auto creditPicMiss = [&](const Instruction *I) {
+    ++Result.PicMisses;
+    if (Opts.Pics)
+      ++Opts.Pics->site(F.Name, static_cast<unsigned>(I->PicSite)).Misses;
   };
 
   const BasicBlock *Block = F.entry();
@@ -141,6 +171,8 @@ int64_t Interpreter::execFunction(const Function &F,
             Vec[L] = readLane(Incoming, L);
         PhiWrites.push_back({I->Index, Regs[Incoming->Index], Vec});
         charge(Costs.PhiMove);
+        if (Interpreted)
+          charge(Costs.InterpDispatch);
         ++Result.InstructionsExecuted;
       }
       for (auto &[Index, Value, Vec] : PhiWrites) {
@@ -153,6 +185,8 @@ int64_t Interpreter::execFunction(const Function &F,
     for (size_t Pos = FirstNonPhi; Pos < Block->Insts.size(); ++Pos) {
       const Instruction *I = Block->Insts[Pos].get();
       ++Result.InstructionsExecuted;
+      if (Interpreted)
+        charge(Costs.InterpDispatch);
       switch (I->Op) {
       case Opcode::Const:
         Regs[I->Index] = I->Imm;
@@ -289,13 +323,27 @@ int64_t Interpreter::execFunction(const Function &F,
         ++Result.MonitorOps;
         break;
       case Opcode::Guard: {
-        [[maybe_unused]] int64_t Cond = Regs[I->Operands[0]->Index];
-        assert(Cond != 0 && "guard failed (kernels never deoptimize)");
+        int64_t Cond = Regs[I->Operands[0]->Index];
+        if (Cond == 0) {
+          // Only profile-driven speculative guards may fail, and only
+          // under an execution that is prepared to deoptimize.
+          assert(Opts.AllowDeopt && I->AssumptionId != 0 &&
+                 "guard failed (non-speculative guards never deoptimize)");
+          charge(Costs.GuardOp);
+          Result.Deopted = true;
+          Result.DeoptAssumption = I->AssumptionId;
+          Result.DeoptSite = I->PicSite;
+          if (I->PicSite >= 0)
+            creditPicMiss(I);
+          return 0;
+        }
         auto &Slot = I->Speculative
                          ? Result.Guards.Speculative
                          : Result.Guards.Normal;
         ++Slot[static_cast<size_t>(I->Kind)];
         charge(Costs.GuardOp);
+        if (I->PicSite >= 0)
+          creditPicHit(I);
         Regs[I->Index] = 1;
         break;
       }
@@ -312,39 +360,101 @@ int64_t Interpreter::execFunction(const Function &F,
       }
       case Opcode::Invoke: {
         const Function *Callee =
-            M.functionById(static_cast<size_t>(I->Imm));
+            Code.functionById(static_cast<size_t>(I->Imm));
         std::vector<int64_t> CallArgs;
         CallArgs.reserve(I->Operands.size());
         for (const Instruction *A : I->Operands)
           CallArgs.push_back(Regs[A->Index]);
         charge(Costs.CallOverhead);
         ++Result.CallsExecuted;
-        Regs[I->Index] = execFunction(*Callee, CallArgs, Result, Depth + 1);
+        Regs[I->Index] =
+            execFunction(Code, *Callee, CallArgs, Result, Opts, Depth + 1);
+        if (Result.Deopted)
+          return 0;
         break;
       }
       case Opcode::MethodHandleInvoke: {
         const Function *Callee =
-            M.handleTarget(static_cast<unsigned>(I->Imm));
+            Code.handleTarget(static_cast<unsigned>(I->Imm));
         std::vector<int64_t> CallArgs;
         CallArgs.reserve(I->Operands.size());
         for (const Instruction *A : I->Operands)
           CallArgs.push_back(Regs[A->Index]);
         charge(Costs.MhDispatch);
         ++Result.MhDispatches;
-        Regs[I->Index] = execFunction(*Callee, CallArgs, Result, Depth + 1);
+        Regs[I->Index] =
+            execFunction(Code, *Callee, CallArgs, Result, Opts, Depth + 1);
+        if (Result.Deopted)
+          return 0;
+        break;
+      }
+      case Opcode::VirtualInvoke: {
+        int64_t Ref = Regs[I->Operands[0]->Index];
+        assert(Ref > 0 && "virtual dispatch on null receiver");
+        unsigned Cls = ObjectClasses[static_cast<size_t>(Ref - 1)];
+        if (Prof)
+          ++Prof->VirtualSites[I->Index].Counts[Cls];
+        const Function *Callee = nullptr;
+        if (Opts.Pics) {
+          // Dispatch through the site's runtime inline cache, keyed by
+          // the stable profile site id when the compiler tagged one.
+          unsigned SiteKey = I->PicSite >= 0
+                                 ? static_cast<unsigned>(I->PicSite)
+                                 : I->Index;
+          PicState &P = Opts.Pics->site(F.Name, SiteKey);
+          Callee = P.lookup(Cls);
+          if (Callee) {
+            charge(P.numValid() <= 1 ? Costs.PicMonoHit : Costs.PicPolyHit);
+            ++P.Hits;
+            ++Result.PicHits;
+          } else {
+            Callee = Code.virtualTarget(Cls, static_cast<unsigned>(I->Imm));
+            assert(Callee && "no virtual target for receiver class");
+            charge(Costs.VirtualDispatch);
+            ++P.Misses;
+            ++Result.PicMisses;
+            P.install(Cls, Callee); // no-op once megamorphic
+          }
+        } else {
+          Callee = Code.virtualTarget(Cls, static_cast<unsigned>(I->Imm));
+          assert(Callee && "no virtual target for receiver class");
+          charge(Costs.VirtualDispatch);
+        }
+        std::vector<int64_t> CallArgs;
+        CallArgs.reserve(I->Operands.size());
+        for (const Instruction *A : I->Operands)
+          CallArgs.push_back(Regs[A->Index]);
+        ++Result.CallsExecuted;
+        ++Result.VirtualDispatches;
+        Regs[I->Index] =
+            execFunction(Code, *Callee, CallArgs, Result, Opts, Depth + 1);
+        if (Result.Deopted)
+          return 0;
         break;
       }
       case Opcode::Branch: {
         charge(Costs.Branch);
+        bool Taken = Regs[I->Operands[0]->Index] != 0;
+        if (Prof) {
+          auto &BP = Prof->Branches[I->Index];
+          ++(Taken ? BP.Taken : BP.NotTaken);
+        }
+        if (Taken && I->PicSite >= 0)
+          creditPicHit(I);
         PrevBlock = Block;
-        Block = Regs[I->Operands[0]->Index] != 0 ? I->TrueTarget
-                                                 : I->FalseTarget;
+        Block = Taken ? I->TrueTarget : I->FalseTarget;
+        // Block ids follow creation order and loop headers precede their
+        // bodies, so an edge to an earlier (or same) block is a backedge.
+        if (Prof && Block->Id <= PrevBlock->Id)
+          ++Prof->Backedges;
         goto nextBlock;
       }
       case Opcode::Jump:
         charge(Costs.Branch);
         PrevBlock = Block;
         Block = I->TrueTarget;
+        if (Prof && Block->Id <= PrevBlock->Id)
+          ++Prof->Backedges;
         goto nextBlock;
       case Opcode::Return:
         return Regs[I->Operands[0]->Index];

@@ -21,6 +21,7 @@
 #define REN_JIT_INTERP_H
 
 #include "jit/Ir.h"
+#include "jit/Profile.h"
 
 #include <array>
 #include <string>
@@ -49,13 +50,23 @@ struct CostModel {
   uint64_t MhDispatch = 45;
   /// A vectorized op costs one scalar op plus this per extra lane bundle.
   uint64_t VectorOverhead = 1;
+  /// Per-instruction decode/dispatch overhead charged on top of the op
+  /// cost when executing in the profiling interpreter tier.
+  uint64_t InterpDispatch = 3;
+  /// Uncached virtual dispatch: vtable load + uninlinable call (charged
+  /// instead of CallOverhead, like MhDispatch).
+  uint64_t VirtualDispatch = 40;
+  /// Virtual dispatch through a warm inline cache: one compare + call
+  /// for the monomorphic case, a short chain for the bimorphic one.
+  uint64_t PicMonoHit = 8;
+  uint64_t PicPolyHit = 14;
 };
 
 /// Per-guard-kind execution counters (the §5.5 table), split by whether
 /// the guard was a hoisted speculative variant.
 struct GuardCounts {
-  std::array<uint64_t, 5> Normal = {};      // indexed by GuardKind
-  std::array<uint64_t, 5> Speculative = {}; // indexed by GuardKind
+  std::array<uint64_t, GuardKindCount> Normal = {};      // by GuardKind
+  std::array<uint64_t, GuardKindCount> Speculative = {}; // by GuardKind
 
   uint64_t total() const {
     uint64_t T = 0;
@@ -65,6 +76,36 @@ struct GuardCounts {
       T += N;
     return T;
   }
+};
+
+/// Which execution regime an entry function runs under.
+enum class ExecTier {
+  /// Compiled-code cost model (the pre-tiering default): op costs only.
+  Direct,
+  /// The profiling interpreter: every instruction additionally pays
+  /// InterpDispatch, and counters/profiles are recorded.
+  Profiling,
+  /// Installed optimized code: op costs like Direct, plus deoptimization
+  /// on failing speculative guards and inline-cache dispatch.
+  Compiled
+};
+
+/// Per-run execution options (the defaults reproduce the pre-tiering
+/// behaviour exactly).
+struct ExecOptions {
+  ExecTier Tier = ExecTier::Direct;
+  /// The module whose code runs; callees, handles and vtables resolve
+  /// here. Null = the interpreter's heap module. Clones share ids, so a
+  /// compiled clone can execute against the original heap.
+  const Module *Code = nullptr;
+  /// Profile to record into (Profiling tier only).
+  ProfileData *Profile = nullptr;
+  /// Runtime inline caches for VirtualInvoke sites; null = every virtual
+  /// dispatch pays the full VirtualDispatch cost.
+  PicSet *Pics = nullptr;
+  /// When true, a failing guard carrying an AssumptionId requests
+  /// deoptimization (ExecResult::Deopted) instead of asserting.
+  bool AllowDeopt = false;
 };
 
 /// The outcome of executing one entry function.
@@ -78,6 +119,16 @@ struct ExecResult {
   uint64_t Allocations = 0;
   uint64_t CallsExecuted = 0;
   uint64_t MhDispatches = 0;
+  uint64_t VirtualDispatches = 0;
+  /// Inline-cache dispatch outcomes (interpreter-cache hits plus
+  /// devirtualized guard/branch sites in compiled code).
+  uint64_t PicHits = 0;
+  uint64_t PicMisses = 0;
+  /// Set when a speculative guard failed under AllowDeopt. ReturnValue
+  /// is meaningless; the caller must roll back and re-execute.
+  bool Deopted = false;
+  uint32_t DeoptAssumption = 0;
+  int32_t DeoptSite = -1;
   /// Modelled cycles attributed to each function (inclusive of callees'
   /// own attribution; call overhead attributed to the caller).
   std::unordered_map<std::string, uint64_t> CyclesByFunction;
@@ -93,14 +144,39 @@ public:
   /// this interpreter (module arrays are copied on construction).
   ExecResult run(const Function &F, const std::vector<int64_t> &Args);
 
+  /// Runs \p F under explicit execution options (tier, code module,
+  /// profile recording, inline caches, deopt).
+  ExecResult run(const Function &F, const std::vector<int64_t> &Args,
+                 const ExecOptions &Opts);
+
   /// Read access to a module array's current contents (for tests).
   const std::vector<int64_t> &arrayState(unsigned ArrayId);
+
+  /// A copy of the mutable heap (arrays + objects), taken before a
+  /// speculative compiled invocation so a deopt can roll back any side
+  /// effects and replay the invocation in the profiling tier.
+  struct HeapSnapshot {
+    std::vector<std::vector<int64_t>> Arrays;
+    bool ArraysInitialized = false;
+    std::vector<std::vector<int64_t>> Objects;
+    std::vector<unsigned> ObjectClasses;
+  };
+  HeapSnapshot snapshotHeap() const {
+    return {Arrays, ArraysInitialized, Objects, ObjectClasses};
+  }
+  void restoreHeap(HeapSnapshot S) {
+    Arrays = std::move(S.Arrays);
+    ArraysInitialized = S.ArraysInitialized;
+    Objects = std::move(S.Objects);
+    ObjectClasses = std::move(S.ObjectClasses);
+  }
 
 private:
   struct Frame;
 
-  int64_t execFunction(const Function &F, const std::vector<int64_t> &Args,
-                       ExecResult &Result, unsigned Depth);
+  int64_t execFunction(const Module &Code, const Function &F,
+                       const std::vector<int64_t> &Args, ExecResult &Result,
+                       const ExecOptions &Opts, unsigned Depth);
 
   const Module &M;
   CostModel Costs;

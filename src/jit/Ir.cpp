@@ -71,6 +71,8 @@ const char *ren::jit::opcodeName(Opcode Op) {
     return "invoke";
   case Opcode::MethodHandleInvoke:
     return "mhinvoke";
+  case Opcode::VirtualInvoke:
+    return "virtinvoke";
   case Opcode::Branch:
     return "br";
   case Opcode::Jump:
@@ -202,8 +204,13 @@ std::string Function::dump() const {
         Out += "<x" + std::to_string(I->Lanes) + ">";
       if (I->Op == Opcode::Guard) {
         Out += std::string(" [") + guardKindName(I->Kind) +
-               (I->Speculative ? ", speculative]" : "]");
+               (I->Speculative ? ", speculative" : "") +
+               (I->AssumptionId ? ", assume#" + std::to_string(I->AssumptionId)
+                                : "") +
+               "]";
       }
+      if (I->PicSite >= 0)
+        Out += " pic@" + std::to_string(I->PicSite);
       for (const Instruction *Operand : I->Operands)
         Out += " v" + std::to_string(Ids[Operand]);
       if (I->Op == Opcode::Const || I->Op == Opcode::Param ||
@@ -211,7 +218,8 @@ std::string Function::dump() const {
           I->Op == Opcode::NewObject || I->Op == Opcode::GetField ||
           I->Op == Opcode::PutField || I->Op == Opcode::Cas ||
           I->Op == Opcode::InstanceOf || I->Op == Opcode::Invoke ||
-          I->Op == Opcode::MethodHandleInvoke)
+          I->Op == Opcode::MethodHandleInvoke ||
+          I->Op == Opcode::VirtualInvoke)
         Out += " #" + std::to_string(I->Imm);
       if (I->TrueTarget)
         Out += " -> " + I->TrueTarget->Label;
@@ -269,6 +277,11 @@ std::string Function::verify() const {
     for (const auto &I : Blocks[BI]->Insts)
       if (I->Op == Opcode::Param)
         return Name + ": param outside entry block";
+  // Virtual invocations need a receiver operand.
+  for (const auto &B : Blocks)
+    for (const auto &I : B->Insts)
+      if (I->Op == Opcode::VirtualInvoke && I->Operands.empty())
+        return Name + "/" + B->Label + ": virtinvoke without receiver";
   return "";
 }
 
@@ -307,6 +320,30 @@ unsigned Module::addMethodHandle(Function *Target) {
   return static_cast<unsigned>(Handles.size() - 1);
 }
 
+static uint64_t vtableKey(unsigned ClassId, unsigned Slot) {
+  return (static_cast<uint64_t>(ClassId) << 32) | Slot;
+}
+
+void Module::setVirtualTarget(unsigned ClassId, unsigned Slot,
+                              Function *Target) {
+  assert(ClassId < Classes.size() && "bad class id");
+  VTable[vtableKey(ClassId, Slot)] = Target;
+}
+
+Function *Module::virtualTarget(unsigned ClassId, unsigned Slot) const {
+  auto It = VTable.find(vtableKey(ClassId, Slot));
+  return It == VTable.end() ? nullptr : It->second;
+}
+
+std::vector<unsigned> Module::classesImplementing(unsigned Slot) const {
+  std::vector<unsigned> Out;
+  for (const auto &[Key, Target] : VTable)
+    if (static_cast<unsigned>(Key & 0xffffffffu) == Slot && Target)
+      Out.push_back(static_cast<unsigned>(Key >> 32));
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
 std::unordered_map<const Instruction *, Instruction *>
 ren::jit::cloneFunctionInto(const Function &Source, Function &Dest) {
   assert(Dest.Blocks.empty() && "destination must be empty");
@@ -318,10 +355,7 @@ ren::jit::cloneFunctionInto(const Function &Source, Function &Dest) {
     BasicBlock *NewB = BlockMap[B.get()];
     for (const auto &I : B->Insts) {
       auto NewI = std::make_unique<Instruction>(I->Op);
-      NewI->Imm = I->Imm;
-      NewI->Kind = I->Kind;
-      NewI->Speculative = I->Speculative;
-      NewI->Lanes = I->Lanes;
+      NewI->copyMetaFrom(*I);
       if (I->TrueTarget)
         NewI->TrueTarget = BlockMap[I->TrueTarget];
       if (I->FalseTarget)
@@ -354,5 +388,7 @@ std::unique_ptr<Module> Module::clone() const {
   }
   for (Function *H : Handles)
     New->Handles.push_back(FuncMap.at(H));
+  for (const auto &[Key, Target] : VTable)
+    New->VTable[Key] = Target ? FuncMap.at(Target) : nullptr;
   return New;
 }

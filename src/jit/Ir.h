@@ -82,6 +82,9 @@ enum class Opcode {
   // Calls.
   Invoke,             ///< Imm = function id; Operands = args.
   MethodHandleInvoke, ///< Imm = method-handle id; Operands = args.
+  VirtualInvoke,      ///< Operands: [receiver, args...]; Imm = method slot.
+                      ///< Dispatches on the receiver's dynamic class via
+                      ///< the module's virtual-method table.
   // Control flow (block terminators).
   Branch, ///< Operands: [condition]; targets TrueTarget/FalseTarget.
   Jump,   ///< Target TrueTarget.
@@ -106,6 +109,12 @@ enum class GuardKind {
   Other
 };
 
+/// Number of GuardKind values. Counter tables (the §5.5 per-kind table in
+/// GuardCounts) are sized by this so a new guard kind cannot silently
+/// misindex them.
+inline constexpr size_t GuardKindCount =
+    static_cast<size_t>(GuardKind::Other) + 1;
+
 const char *guardKindName(GuardKind K);
 
 /// One SSA instruction. Owned by its basic block; referenced by pointer.
@@ -128,8 +137,32 @@ public:
   /// True once a guard has been hoisted by speculative guard motion.
   bool Speculative = false;
 
+  /// Non-zero on guards inserted by the profile-driven speculation passes:
+  /// the id of the assumption the guard checks. When such a guard fails
+  /// under a deopt-enabled execution, the interpreter requests
+  /// deoptimization instead of asserting (see Interp / Tiered).
+  uint32_t AssumptionId = 0;
+
+  /// >= 0 on instructions that implement a polymorphic-inline-cache test
+  /// for a virtual call site: the profile site index the cache belongs
+  /// to. A passing guard / taken branch with a PicSite counts as a PIC
+  /// hit; a deopt on such a guard counts as a miss.
+  int32_t PicSite = -1;
+
   /// Lanes > 1 marks a vectorized instruction (set by loop vectorization).
   unsigned Lanes = 1;
+
+  /// Copies the per-instruction metadata that every cloning site must
+  /// preserve (Imm, guard info, speculation ids, lanes). Operands, phi
+  /// blocks and branch targets still need site-specific remapping.
+  void copyMetaFrom(const Instruction &O) {
+    Imm = O.Imm;
+    Kind = O.Kind;
+    Speculative = O.Speculative;
+    AssumptionId = O.AssumptionId;
+    PicSite = O.PicSite;
+    Lanes = O.Lanes;
+  }
 
   /// Branch targets (terminators).
   BasicBlock *TrueTarget = nullptr;
@@ -252,6 +285,18 @@ public:
     return Handles[HandleId];
   }
 
+  /// Binds virtual method \p Slot of class \p ClassId to \p Target.
+  /// VirtualInvoke dispatches through this table on the receiver's
+  /// dynamic class.
+  void setVirtualTarget(unsigned ClassId, unsigned Slot, Function *Target);
+
+  /// The bound target, or nullptr if the (class, slot) pair is unbound.
+  Function *virtualTarget(unsigned ClassId, unsigned Slot) const;
+
+  /// All classes with a binding for \p Slot (the possible receivers a
+  /// compiler must consider for a megamorphic site).
+  std::vector<unsigned> classesImplementing(unsigned Slot) const;
+
   const std::vector<std::unique_ptr<Function>> &functions() const {
     return Functions;
   }
@@ -265,6 +310,8 @@ private:
   std::vector<ClassInfo> Classes;
   std::vector<std::vector<int64_t>> Arrays;
   std::vector<Function *> Handles;
+  /// (ClassId << 32 | Slot) -> target function.
+  std::unordered_map<uint64_t, Function *> VTable;
 };
 
 /// Deep-copies \p Source into \p Dest (an empty function shell with the

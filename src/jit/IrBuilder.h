@@ -129,6 +129,14 @@ public:
     return emit(Opcode::MethodHandleInvoke, std::move(Args), HandleId);
   }
 
+  /// Virtual dispatch on \p Receiver's dynamic class through vtable slot
+  /// \p Slot; the receiver is passed to the target as its first argument.
+  Instruction *virtualInvoke(unsigned Slot, Instruction *Receiver,
+                             std::vector<Instruction *> Args) {
+    Args.insert(Args.begin(), Receiver);
+    return emit(Opcode::VirtualInvoke, std::move(Args), Slot);
+  }
+
   Instruction *branch(Instruction *Cond, BasicBlock *IfTrue,
                       BasicBlock *IfFalse) {
     Instruction *B = emit(Opcode::Branch, {Cond});

@@ -4,6 +4,7 @@
 
 #include "jit/IrBuilder.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -501,6 +502,135 @@ Function *kernels::buildEscapingAllocLoop(Module &M, const std::string &Name,
   });
 }
 
+Function *kernels::buildVirtualDispatchLoop(Module &M, const std::string &Name,
+                                            unsigned NumClasses,
+                                            unsigned Slot) {
+  assert(NumClasses >= 1 && NumClasses <= 8 && "receiver set out of range");
+  // One class per receiver shape, each implementing the vtable slot with
+  // its own leaf: read the receiver's field, fold the argument with a
+  // per-class multiplier. Results therefore distinguish dispatch targets.
+  std::vector<unsigned> Classes;
+  for (unsigned C = 0; C < NumClasses; ++C) {
+    unsigned ClassId = M.addClass(Name + ".C" + std::to_string(C), 1);
+    Function *Target =
+        M.addFunction(Name + ".target" + std::to_string(C), 2);
+    IrBuilder TB(*Target);
+    TB.setBlock(TB.makeBlock("entry"));
+    Instruction *Recv = TB.param(0);
+    Instruction *X = TB.param(1);
+    Instruction *Field = TB.getField(Recv, 0);
+    Instruction *Scale = TB.constant(3 + C);
+    Instruction *Scaled = TB.mul(X, Scale);
+    TB.ret(TB.add(Field, Scaled));
+    TB.finish();
+    M.setVirtualTarget(ClassId, Slot, Target);
+    Classes.push_back(ClassId);
+  }
+  unsigned RefArray = M.addArray(std::vector<int64_t>(NumClasses, 0));
+
+  // (n, mask, base): iteration i dispatches on receiver (i & mask) + base,
+  // so the invocation schedule controls the site's observed polymorphism
+  // degree — and can shift it mid-run — without rebuilding the module.
+  Function *F = M.addFunction(Name, 3);
+  IrBuilder B(*F);
+  BasicBlock *Entry = B.makeBlock("entry");
+  BasicBlock *Header = B.makeBlock("header");
+  BasicBlock *Body = B.makeBlock("body");
+  BasicBlock *Exit = B.makeBlock("exit");
+
+  B.setBlock(Entry);
+  Instruction *N = B.param(0);
+  Instruction *Mask = B.param(1);
+  Instruction *Base = B.param(2);
+  Instruction *Zero = B.constant(0);
+  for (unsigned C = 0; C < NumClasses; ++C) {
+    Instruction *Obj = B.newObject(Classes[C]);
+    B.putField(Obj, 0, B.constant(17 * C + 5));
+    B.store(RefArray, B.constant(C), Obj);
+  }
+  B.jump(Header);
+
+  B.setBlock(Header);
+  Instruction *I = B.phi();
+  Instruction *Acc = B.phi();
+  Instruction *Cond = B.cmpLt(I, N);
+  B.branch(Cond, Body, Exit);
+
+  B.setBlock(Body);
+  Instruction *Sel = B.binary(Opcode::And, I, Mask);
+  Instruction *Idx = B.add(Sel, Base);
+  Instruction *Recv = B.load(RefArray, Idx);
+  Instruction *R = B.virtualInvoke(Slot, Recv, {I});
+  Instruction *Acc2 = B.add(Acc, R);
+  Instruction *One = B.constant(1);
+  Instruction *I2 = B.add(I, One);
+  B.jump(Header);
+
+  B.setBlock(Exit);
+  B.ret(Acc);
+
+  IrBuilder::addIncoming(I, Zero, Entry);
+  IrBuilder::addIncoming(I, I2, Body);
+  IrBuilder::addIncoming(Acc, Zero, Entry);
+  IrBuilder::addIncoming(Acc, Acc2, Body);
+  B.finish();
+  return F;
+}
+
+Kernel kernels::virtualDispatchKernel(unsigned Modes, unsigned Invocations,
+                                      int64_t Trips) {
+  assert(Modes >= 1 && (Modes & (Modes - 1)) == 0 &&
+         "modes must be a power of two for mask selection");
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  buildVirtualDispatchLoop(*K.M, "vdispatch", Modes);
+  for (unsigned Inv = 0; Inv < Invocations; ++Inv)
+    K.Invocations.push_back(
+        Invocation{"vdispatch", {Trips, static_cast<int64_t>(Modes) - 1, 0}});
+  return K;
+}
+
+Kernel kernels::virtualDispatchShiftKernel(unsigned PerPhase, int64_t Trips) {
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  buildVirtualDispatchLoop(*K.M, "vshift", 4);
+  // Three phases, each monomorphic on a class the previous phases never
+  // dispatched: the tiered runtime speculates monomorphically, deopts on
+  // the first shift and recompiles bimorphically, then deopts again on
+  // the second shift and falls back to the megamorphic inline cache.
+  for (int64_t Base = 0; Base < 3; ++Base)
+    for (unsigned Inv = 0; Inv < PerPhase; ++Inv)
+      K.Invocations.push_back(Invocation{"vshift", {Trips, 0, Base}});
+  return K;
+}
+
+Kernel kernels::tieredWarmupKernel(unsigned HotInvocations, int64_t Trips) {
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  Module &M = *K.M;
+  assert(Trips <= 1024 && "hot loop trips exceed its array bound");
+  unsigned DataArray = M.addArray(std::vector<int64_t>(1024, 7));
+  buildBoundsCheckedLoop(M, "hot", DataArray, 2);
+  // Cold ballast: straight-line functions of ~60 IR nodes, each invoked
+  // exactly once. An ahead-of-time compile pays their modelled compile
+  // cost up front; the tiered runtime never promotes them.
+  const unsigned kBallast = 16;
+  for (unsigned C = 0; C < kBallast; ++C) {
+    Function *F = M.addFunction("cold" + std::to_string(C), 1);
+    IrBuilder B(*F);
+    B.setBlock(B.makeBlock("entry"));
+    Instruction *X = B.param(0);
+    B.ret(emitWork(B, X, 14));
+    B.finish();
+  }
+  for (unsigned C = 0; C < kBallast; ++C)
+    K.Invocations.push_back(
+        Invocation{"cold" + std::to_string(C), {static_cast<int64_t>(C) + 3}});
+  for (unsigned Inv = 0; Inv < HotInvocations; ++Inv)
+    K.Invocations.push_back(Invocation{"hot", {Trips, 1}});
+  return K;
+}
+
 //===----------------------------------------------------------------------===//
 // Per-benchmark kernel mixes
 //===----------------------------------------------------------------------===//
@@ -642,6 +772,17 @@ kernels::calibrationFor(const std::string &Key) {
 bool kernels::hasKernel(const std::string &SuiteName,
                         const std::string &Name) {
   return targetTable().count(SuiteName + "/" + Name) != 0;
+}
+
+std::vector<std::pair<std::string, std::string>> kernels::allBenchmarks() {
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (const auto &[Key, Profile] : targetTable()) {
+    (void)Profile;
+    size_t Slash = Key.find('/');
+    Out.emplace_back(Key.substr(0, Slash), Key.substr(Slash + 1));
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }
 
 Kernel kernels::kernelFor(const std::string &SuiteName,

@@ -31,6 +31,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ren {
@@ -100,6 +101,16 @@ Function *buildDataGuardLoop(Module &M, const std::string &Name,
 Function *buildEscapingAllocLoop(Module &M, const std::string &Name,
                                  unsigned BoxClass, unsigned RefArrayId);
 
+/// Loop dispatching through a vtable slot on a receiver picked per
+/// iteration from \p NumClasses singleton receivers, each of a distinct
+/// class implementing the slot with its own leaf (devirtualization / PIC
+/// target). Unlike the other builders this one takes three parameters,
+/// (n, mask, base): iteration i calls through receiver (i & mask) + base,
+/// so the invocation schedule controls — and can shift mid-run — the
+/// site's observed polymorphism degree.
+Function *buildVirtualDispatchLoop(Module &M, const std::string &Name,
+                                   unsigned NumClasses, unsigned Slot = 0);
+
 /// One entry-point invocation of a kernel module.
 struct Invocation {
   std::string FunctionName;
@@ -119,6 +130,32 @@ Kernel kernelFor(const std::string &SuiteName, const std::string &Name);
 
 /// True if a kernel mix is defined for the benchmark.
 bool hasKernel(const std::string &SuiteName, const std::string &Name);
+
+/// Every (suite, benchmark) pair with a kernel mix, deterministically
+/// ordered — the sweep domain for exhaustive differential tests.
+std::vector<std::pair<std::string, std::string>> allBenchmarks();
+
+/// Virtual-dispatch kernel cycling every iteration over \p Modes receiver
+/// classes (1 = monomorphic, 2 = bimorphic, 4 = megamorphic). \p Modes
+/// must be a power of two (mask selection).
+Kernel virtualDispatchKernel(unsigned Modes, unsigned Invocations = 24,
+                             int64_t Trips = 256);
+
+/// Virtual-dispatch kernel whose receiver distribution shifts mid-run:
+/// three phases of \p PerPhase invocations, each monomorphic on a class
+/// the earlier phases never dispatched. Drives the tiered runtime through
+/// the full deopt chain: monomorphic speculation, deopt + bimorphic
+/// recompile, deopt + megamorphic inline-cache fallback.
+Kernel virtualDispatchShiftKernel(unsigned PerPhase = 12,
+                                  int64_t Trips = 256);
+
+/// Warmup-curve kernel: 16 cold straight-line ballast functions invoked
+/// once each, then a hot bounds-checked loop invoked \p HotInvocations
+/// times. Ahead-of-time compilation pays the ballast's modelled compile
+/// cost before the first result; the tiered runtime only ever compiles
+/// the hot entry. \p Trips must stay within the hot loop's 1024-element
+/// array.
+Kernel tieredWarmupKernel(unsigned HotInvocations = 120, int64_t Trips = 200);
 
 /// Calibrated per-trip cycle cost of a pattern under the graal pipeline
 /// and the per-trip cycle delta its targeted pass removes. Kernel trip

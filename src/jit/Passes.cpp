@@ -370,10 +370,7 @@ bool ren::jit::runInliner(Module &M, Function &F,
           BasicBlock *NB = BlockMap[CB.get()];
           for (const auto &CI : CB->Insts) {
             auto NI = std::make_unique<Instruction>(CI->Op);
-            NI->Imm = CI->Imm;
-            NI->Kind = CI->Kind;
-            NI->Speculative = CI->Speculative;
-            NI->Lanes = CI->Lanes;
+            NI->copyMetaFrom(*CI);
             if (CI->TrueTarget)
               NI->TrueTarget = BlockMap[CI->TrueTarget];
             if (CI->FalseTarget)
@@ -978,5 +975,267 @@ bool ren::jit::runAtomicCoalescing(Function &F) {
   }
   if (Changed)
     runConstantFolding(F);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-driven speculation (tiered tier-up)
+//===----------------------------------------------------------------------===//
+
+bool ren::jit::runBranchSpeculation(Function &F, const FunctionProfile &Prof,
+                                    const SpecBlacklist &Blacklist,
+                                    uint32_t &NextAssumptionId,
+                                    std::vector<SpecAssumption> &Assumptions,
+                                    uint64_t MinSamples) {
+  // Site keys are instruction indices in the unoptimized IR; this pass
+  // must therefore run on a fresh clone before any other transformation.
+  F.renumber();
+
+  // A speculative guard costs more per execution than the branch it
+  // replaces (the branch folds to a jump, not away), so straightening a
+  // loop-resident branch only pays when guard motion can then hoist the
+  // guard to the preheader. Mirror GM's hoistability test: the condition
+  // must be loop-invariant, or a pure in-loop computation over invariant
+  // operands. Branches outside any loop run at most once per entry, where
+  // the guard is noise and the straightened CFG feeds later passes.
+  DominatorTree Dom(F);
+  std::vector<Loop> Loops = findLoops(F, Dom);
+  auto guardWouldHoist = [&](const Instruction *Term) {
+    for (const Loop &L : Loops) {
+      if (!L.contains(Term))
+        continue;
+      const Instruction *Cond = Term->Operands[0];
+      if (isLoopInvariant(L, Cond))
+        continue;
+      if (!isPure(Cond) || Cond->Op == Opcode::Phi)
+        return false;
+      for (const Instruction *Operand : Cond->Operands)
+        if (!isLoopInvariant(L, Operand))
+          return false;
+    }
+    return true;
+  };
+
+  // Collect candidates first: rewriting inserts instructions, which would
+  // otherwise shift the indices of later candidates.
+  struct Candidate {
+    Instruction *Term;
+    bool AlwaysTaken;
+  };
+  std::vector<Candidate> Candidates;
+  for (auto &B : F.Blocks) {
+    Instruction *Term = B->terminator();
+    if (Term->Op != Opcode::Branch || Term->TrueTarget == Term->FalseTarget)
+      continue;
+    if (Term->Operands[0]->Op == Opcode::Const)
+      continue; // constant folding will handle it without speculation
+    auto It = Prof.Branches.find(Term->Index);
+    if (It == Prof.Branches.end() || It->second.total() < MinSamples)
+      continue;
+    const BranchProfile &BP = It->second;
+    if (BP.Taken != 0 && BP.NotTaken != 0)
+      continue; // both sides observed: nothing to assume
+    if (Blacklist.contains(F.Name, Term->Index, SpecDegree::BranchSpec))
+      continue;
+    if (!guardWouldHoist(Term))
+      continue; // in-loop guard would outprice the branch it replaces
+    Candidates.push_back({Term, BP.NotTaken == 0});
+  }
+
+  bool Changed = false;
+  for (const Candidate &C : Candidates) {
+    Instruction *Term = C.Term;
+    BasicBlock *B = Term->Parent;
+    Instruction *Cond = Term->Operands[0];
+    size_t TPos = B->Insts.size() - 1;
+    assert(B->Insts[TPos].get() == Term && "terminator not last");
+
+    SpecAssumption A;
+    A.Id = NextAssumptionId++;
+    A.FunctionName = F.Name;
+    A.Site = Term->Index;
+    A.Degree = SpecDegree::BranchSpec;
+    Assumptions.push_back(A);
+
+    if (C.AlwaysTaken) {
+      // Assume the condition holds: guard on it, branch on constant 1.
+      auto G = std::make_unique<Instruction>(
+          Opcode::Guard, std::vector<Instruction *>{Cond});
+      G->Kind = GuardKind::UnreachedCode;
+      G->Speculative = true;
+      G->AssumptionId = A.Id;
+      B->insertAt(TPos++, std::move(G));
+      auto One = std::make_unique<Instruction>(Opcode::Const);
+      One->Imm = 1;
+      Term->Operands[0] = B->insertAt(TPos++, std::move(One));
+    } else {
+      // Assume the condition never holds: guard on its negation, branch
+      // on constant 0.
+      auto Zero = std::make_unique<Instruction>(Opcode::Const);
+      Zero->Imm = 0;
+      Instruction *Z = B->insertAt(TPos++, std::move(Zero));
+      auto Eq = std::make_unique<Instruction>(
+          Opcode::CmpEq, std::vector<Instruction *>{Cond, Z});
+      Instruction *EqI = B->insertAt(TPos++, std::move(Eq));
+      auto G = std::make_unique<Instruction>(
+          Opcode::Guard, std::vector<Instruction *>{EqI});
+      G->Kind = GuardKind::UnreachedCode;
+      G->Speculative = true;
+      G->AssumptionId = A.Id;
+      B->insertAt(TPos++, std::move(G));
+      Term->Operands[0] = Z;
+    }
+    Changed = true;
+  }
+  // The now-constant branches are left for the pipeline's constant
+  // folding, which also deletes the assumed-dead paths and fixes phis.
+  return Changed;
+}
+
+namespace {
+
+/// Builds the direct call that replaces a devirtualized dispatch.
+std::unique_ptr<Instruction> makeDirectCall(Module &M, const Function *Target,
+                                            const Instruction *Site) {
+  auto Call = std::make_unique<Instruction>(Opcode::Invoke);
+  Call->Imm = static_cast<int64_t>(M.functionId(Target));
+  Call->Operands = Site->Operands;
+  return Call;
+}
+
+} // namespace
+
+bool ren::jit::runSpeculativeDevirtualization(
+    Module &M, Function &F, const FunctionProfile &Prof,
+    const SpecBlacklist &Blacklist, uint32_t &NextAssumptionId,
+    std::vector<SpecAssumption> &Assumptions, uint64_t MinSamples) {
+  F.renumber();
+
+  std::vector<Instruction *> Sites;
+  for (auto &B : F.Blocks)
+    for (auto &I : B->Insts)
+      if (I->Op == Opcode::VirtualInvoke &&
+          Prof.VirtualSites.count(I->Index) != 0)
+        Sites.push_back(I.get());
+
+  bool Changed = false;
+  for (Instruction *I : Sites) {
+    const unsigned Site = I->Index;
+    const ReceiverProfile &RP = Prof.VirtualSites.at(Site);
+    if (RP.total() < MinSamples)
+      continue;
+    auto Sorted = RP.sorted();
+    const unsigned Slot = static_cast<unsigned>(I->Imm);
+    const bool MonoOk =
+        Sorted.size() == 1 &&
+        !Blacklist.contains(F.Name, Site, SpecDegree::DevirtMono);
+    const bool BiOk =
+        Sorted.size() <= 2 &&
+        !Blacklist.contains(F.Name, Site, SpecDegree::DevirtBi);
+
+    BasicBlock *B = I->Parent;
+    size_t Pos = 0;
+    while (B->Insts[Pos].get() != I)
+      ++Pos;
+    Instruction *Recv = I->Operands[0];
+
+    if (MonoOk) {
+      // Monomorphic: assume the single observed receiver class, call its
+      // target directly (the inliner can then inline it).
+      const Function *Target = M.virtualTarget(Sorted[0].first, Slot);
+      assert(Target && "profiled receiver has no vtable binding");
+      SpecAssumption A{NextAssumptionId++, F.Name, Site,
+                       SpecDegree::DevirtMono};
+      Assumptions.push_back(A);
+
+      auto Test = std::make_unique<Instruction>(
+          Opcode::InstanceOf, std::vector<Instruction *>{Recv});
+      Test->Imm = Sorted[0].first;
+      Instruction *TestI = B->insertAt(Pos++, std::move(Test));
+      auto G = std::make_unique<Instruction>(
+          Opcode::Guard, std::vector<Instruction *>{TestI});
+      G->Kind = GuardKind::TypeCheck;
+      G->Speculative = true;
+      G->AssumptionId = A.Id;
+      G->PicSite = static_cast<int32_t>(Site);
+      B->insertAt(Pos++, std::move(G));
+      Instruction *Call =
+          B->insertAt(Pos++, makeDirectCall(M, Target, I));
+      replaceAllUses(F, I, Call);
+      assert(B->Insts[Pos].get() == I && "site moved during rewrite");
+      B->Insts.erase(B->Insts.begin() + static_cast<ptrdiff_t>(Pos));
+      Changed = true;
+      continue;
+    }
+
+    if (BiOk && Sorted.size() == 2) {
+      // Bimorphic: dispatch diamond — test the majority class, guard the
+      // minority one; a third class fails the guard and deopts.
+      const Function *TargetA = M.virtualTarget(Sorted[0].first, Slot);
+      const Function *TargetB = M.virtualTarget(Sorted[1].first, Slot);
+      assert(TargetA && TargetB && "profiled receiver has no vtable binding");
+      SpecAssumption A{NextAssumptionId++, F.Name, Site,
+                       SpecDegree::DevirtBi};
+      Assumptions.push_back(A);
+
+      BasicBlock *Tail = splitBlockAfter(F, B, Pos);
+      BasicBlock *ArmA = F.addBlock(B->Label + ".pic0");
+      BasicBlock *ArmB = F.addBlock(B->Label + ".pic1");
+
+      // B currently ends with the VirtualInvoke; replace it with the
+      // class test and a counted dispatch branch.
+      auto Test = std::make_unique<Instruction>(
+          Opcode::InstanceOf, std::vector<Instruction *>{Recv});
+      Test->Imm = Sorted[0].first;
+      Instruction *TestI = B->insertAt(Pos, std::move(Test));
+
+      Instruction *CallA = ArmA->append(makeDirectCall(M, TargetA, I));
+      auto JumpA = std::make_unique<Instruction>(Opcode::Jump);
+      JumpA->TrueTarget = Tail;
+      ArmA->append(std::move(JumpA));
+
+      auto TestB = std::make_unique<Instruction>(
+          Opcode::InstanceOf, std::vector<Instruction *>{Recv});
+      TestB->Imm = Sorted[1].first;
+      Instruction *TestBI = ArmB->append(std::move(TestB));
+      auto G = std::make_unique<Instruction>(
+          Opcode::Guard, std::vector<Instruction *>{TestBI});
+      G->Kind = GuardKind::TypeCheck;
+      G->Speculative = true;
+      G->AssumptionId = A.Id;
+      G->PicSite = static_cast<int32_t>(Site);
+      ArmB->append(std::move(G));
+      Instruction *CallB = ArmB->append(makeDirectCall(M, TargetB, I));
+      auto JumpB = std::make_unique<Instruction>(Opcode::Jump);
+      JumpB->TrueTarget = Tail;
+      ArmB->append(std::move(JumpB));
+
+      auto Phi = std::make_unique<Instruction>(Opcode::Phi);
+      Phi->Operands = {CallA, CallB};
+      Phi->PhiBlocks = {ArmA, ArmB};
+      Instruction *Merge = Tail->insertAt(0, std::move(Phi));
+      replaceAllUses(F, I, Merge);
+
+      // Drop the VirtualInvoke (now last in B) and terminate B with the
+      // dispatch branch. The majority arm counts its hits on the branch,
+      // the minority arm on the guard — exactly one credit per dispatch.
+      assert(B->Insts.back().get() == I && "site not at block end");
+      B->Insts.pop_back();
+      auto Br = std::make_unique<Instruction>(
+          Opcode::Branch, std::vector<Instruction *>{TestI});
+      Br->TrueTarget = ArmA;
+      Br->FalseTarget = ArmB;
+      Br->PicSite = static_cast<int32_t>(Site);
+      B->append(std::move(Br));
+
+      F.recomputePreds();
+      Changed = true;
+      continue;
+    }
+
+    // Megamorphic (or speculation exhausted): keep the VirtualInvoke and
+    // tag it so its runtime inline cache reports under the profile site.
+    I->PicSite = static_cast<int32_t>(Site);
+  }
   return Changed;
 }

@@ -41,6 +41,9 @@
 #define REN_JIT_PASSES_H
 
 #include "jit/Ir.h"
+#include "jit/Profile.h"
+
+#include <unordered_set>
 
 namespace ren {
 namespace jit {
@@ -82,6 +85,75 @@ bool runDuplication(Function &F);
 /// 4x unrolling of tight counted loops (the "C2" configuration's
 /// distinguishing classic loop optimization).
 bool runLoopUnrolling(Function &F);
+
+//===----------------------------------------------------------------------===//
+// Profile-driven speculation (the tiered tier-up; see Tiered.h)
+//===----------------------------------------------------------------------===//
+
+/// The degree of speculation applied at a site. A deoptimization
+/// blacklists the failed (function, site, degree); the next compile then
+/// picks the strongest remaining degree — virtual sites step down
+/// monomorphic -> bimorphic -> megamorphic inline cache, biased branches
+/// step down to the plain branch.
+enum class SpecDegree { BranchSpec = 0, DevirtMono = 1, DevirtBi = 2 };
+
+/// One assumption baked into compiled code, identified by the id carried
+/// on its guard (Instruction::AssumptionId).
+struct SpecAssumption {
+  uint32_t Id = 0;
+  std::string FunctionName;
+  unsigned Site = 0; ///< instruction index in the unoptimized function
+  SpecDegree Degree = SpecDegree::BranchSpec;
+};
+
+/// (site, degree) pairs that already failed, per function. Speculation
+/// passes never re-apply a blacklisted degree, which bounds the
+/// deopt/recompile cycle at each site.
+struct SpecBlacklist {
+  static uint64_t key(unsigned Site, SpecDegree Degree) {
+    return (static_cast<uint64_t>(Site) << 2) | static_cast<uint64_t>(Degree);
+  }
+  bool contains(const std::string &Fn, unsigned Site,
+                SpecDegree Degree) const {
+    auto It = Failed.find(Fn);
+    return It != Failed.end() && It->second.count(key(Site, Degree)) != 0;
+  }
+  void add(const std::string &Fn, unsigned Site, SpecDegree Degree) {
+    Failed[Fn].insert(key(Site, Degree));
+  }
+  size_t size() const {
+    size_t N = 0;
+    for (const auto &[Fn, Keys] : Failed)
+      N += Keys.size();
+    return N;
+  }
+
+  std::unordered_map<std::string, std::unordered_set<uint64_t>> Failed;
+};
+
+/// Profile-driven branch straightening: a branch whose profile shows one
+/// side never taken (with at least \p MinSamples observations) gets a
+/// speculative guard on its condition and a constant branch condition;
+/// the pipeline's constant folding then deletes the assumed-dead path.
+/// Appends one SpecAssumption per inserted guard. \p F must be a fresh
+/// clone of the profiled IR (sites are keyed by instruction index).
+bool runBranchSpeculation(Function &F, const FunctionProfile &Prof,
+                          const SpecBlacklist &Blacklist,
+                          uint32_t &NextAssumptionId,
+                          std::vector<SpecAssumption> &Assumptions,
+                          uint64_t MinSamples = 16);
+
+/// Profile-driven devirtualization of VirtualInvoke sites: monomorphic
+/// sites become a speculative type check plus a direct (inlinable) call,
+/// bimorphic sites a two-way dispatch diamond whose minority arm is
+/// guarded, and megamorphic (or blacklisted-down) sites keep the
+/// VirtualInvoke and dispatch through the runtime inline cache.
+bool runSpeculativeDevirtualization(Module &M, Function &F,
+                                    const FunctionProfile &Prof,
+                                    const SpecBlacklist &Blacklist,
+                                    uint32_t &NextAssumptionId,
+                                    std::vector<SpecAssumption> &Assumptions,
+                                    uint64_t MinSamples = 16);
 
 } // namespace jit
 } // namespace ren

@@ -66,10 +66,7 @@ void replaceUsesOutside(Function &F, Instruction *Old, Instruction *New,
 /// Clones instruction \p Orig without operands/targets (copied by caller).
 std::unique_ptr<Instruction> shallowClone(const Instruction *Orig) {
   auto NI = std::make_unique<Instruction>(Orig->Op);
-  NI->Imm = Orig->Imm;
-  NI->Kind = Orig->Kind;
-  NI->Speculative = Orig->Speculative;
-  NI->Lanes = Orig->Lanes;
+  NI->copyMetaFrom(*Orig);
   return NI;
 }
 

@@ -1,0 +1,79 @@
+//===- jit/Profile.cpp -----------------------------------------------------==//
+
+#include "jit/Profile.h"
+
+#include <algorithm>
+
+using namespace ren;
+using namespace ren::jit;
+
+uint64_t ReceiverProfile::total() const {
+  uint64_t T = 0;
+  for (const auto &[Cls, N] : Counts)
+    T += N;
+  return T;
+}
+
+std::vector<std::pair<unsigned, uint64_t>> ReceiverProfile::sorted() const {
+  std::vector<std::pair<unsigned, uint64_t>> Out(Counts.begin(), Counts.end());
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  return Out;
+}
+
+const FunctionProfile *ProfileData::lookup(const std::string &Name) const {
+  auto It = Functions.find(Name);
+  return It == Functions.end() ? nullptr : &It->second;
+}
+
+unsigned PicState::numValid() const {
+  unsigned N = 0;
+  for (const Entry &E : Entries)
+    N += E.Valid ? 1 : 0;
+  return N;
+}
+
+const Function *PicState::lookup(unsigned ClassId) const {
+  for (const Entry &E : Entries)
+    if (E.Valid && E.ClassId == ClassId)
+      return E.Target;
+  return nullptr;
+}
+
+bool PicState::install(unsigned ClassId, const Function *Target) {
+  for (Entry &E : Entries) {
+    if (!E.Valid) {
+      E = Entry{ClassId, Target, true};
+      return true;
+    }
+  }
+  return false;
+}
+
+const PicState *PicSet::lookup(const std::string &FunctionName,
+                               unsigned SiteIndex) const {
+  auto FIt = Sites.find(FunctionName);
+  if (FIt == Sites.end())
+    return nullptr;
+  auto SIt = FIt->second.find(SiteIndex);
+  return SIt == FIt->second.end() ? nullptr : &SIt->second;
+}
+
+uint64_t PicSet::totalHits() const {
+  uint64_t T = 0;
+  for (const auto &[Fn, Map] : Sites)
+    for (const auto &[Site, P] : Map)
+      T += P.Hits;
+  return T;
+}
+
+uint64_t PicSet::totalMisses() const {
+  uint64_t T = 0;
+  for (const auto &[Fn, Map] : Sites)
+    for (const auto &[Site, P] : Map)
+      T += P.Misses;
+  return T;
+}

@@ -1,0 +1,117 @@
+//===- jit/Profile.h - Execution profiles for tiered compilation -*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data the profiling interpreter tier records and the speculative
+/// passes consume, plus the runtime polymorphic-inline-cache state used
+/// when executing VirtualInvoke sites.
+///
+/// Profile sites are keyed by the instruction's renumber() index in the
+/// *unoptimized* function. That key survives module cloning because
+/// clone() preserves block and instruction order, and the speculation
+/// passes renumber a fresh clone of the profiled IR before rewriting it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_PROFILE_H
+#define REN_JIT_PROFILE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ren {
+namespace jit {
+
+class Function;
+
+/// Taken/not-taken counts for one Branch site.
+struct BranchProfile {
+  uint64_t Taken = 0;
+  uint64_t NotTaken = 0;
+  uint64_t total() const { return Taken + NotTaken; }
+};
+
+/// Receiver classes observed at one VirtualInvoke site.
+struct ReceiverProfile {
+  std::unordered_map<unsigned, uint64_t> Counts; ///< class id -> times seen
+  uint64_t total() const;
+  /// (class id, count) pairs sorted by descending count with class-id
+  /// tie-break — a deterministic input for the devirtualization pass.
+  std::vector<std::pair<unsigned, uint64_t>> sorted() const;
+};
+
+/// Everything the profiling tier records about one function.
+struct FunctionProfile {
+  uint64_t Invocations = 0;
+  /// Loop-edge executions summed over all loops in the function — the
+  /// "hot loop in a cold method" tier-up trigger.
+  uint64_t Backedges = 0;
+  std::unordered_map<unsigned, BranchProfile> Branches;
+  std::unordered_map<unsigned, ReceiverProfile> VirtualSites;
+};
+
+/// Profiles for the functions of one module, keyed by function name
+/// (names are stable across module clones).
+class ProfileData {
+public:
+  FunctionProfile &forFunction(const std::string &Name) {
+    return Functions[Name];
+  }
+  const FunctionProfile *lookup(const std::string &Name) const;
+  void clear() { Functions.clear(); }
+
+private:
+  std::unordered_map<std::string, FunctionProfile> Functions;
+};
+
+/// One polymorphic inline cache: up to two cached (receiver class ->
+/// target) entries. More distinct receivers than entries = megamorphic;
+/// the cache stops filling and every further miss pays the full vtable
+/// dispatch.
+struct PicState {
+  struct Entry {
+    unsigned ClassId = 0;
+    const Function *Target = nullptr;
+    bool Valid = false;
+  };
+  std::array<Entry, 2> Entries;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  unsigned numValid() const;
+  const Function *lookup(unsigned ClassId) const;
+  /// Installs a mapping if a slot is free; returns false when the cache
+  /// is already full (megamorphic).
+  bool install(unsigned ClassId, const Function *Target);
+};
+
+/// Inline caches for all (function, site) pairs of one installed code
+/// version. Must be cleared whenever new code is installed: cached
+/// targets point into the module they were filled from.
+class PicSet {
+public:
+  PicState &site(const std::string &FunctionName, unsigned SiteIndex) {
+    return Sites[FunctionName][SiteIndex];
+  }
+  const PicState *lookup(const std::string &FunctionName,
+                         unsigned SiteIndex) const;
+  uint64_t totalHits() const;
+  uint64_t totalMisses() const;
+  void clear() { Sites.clear(); }
+
+private:
+  std::unordered_map<std::string, std::unordered_map<unsigned, PicState>>
+      Sites;
+};
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_PROFILE_H

@@ -1,0 +1,136 @@
+//===- jit/Tiered.cpp ------------------------------------------------------==//
+
+#include "jit/Tiered.h"
+
+#include <optional>
+
+using namespace ren;
+using namespace ren::jit;
+
+TieredRuntime::TieredRuntime(const Module &Source, TieredConfig Config)
+    : Source(Source), Config(std::move(Config)), Interp(Source) {}
+
+bool TieredRuntime::isCompiled(const std::string &FunctionName) const {
+  auto It = Entries.find(FunctionName);
+  return It != Entries.end() && It->second.Code != nullptr;
+}
+
+void TieredRuntime::compileEntry(EntryState &E, const std::string &Name) {
+  E.Code = Source.clone();
+  E.LiveAssumptions = 0;
+  Function *Entry = E.Code->function(Name);
+  assert(Entry && "tier-up of unknown function");
+  std::vector<std::string> Closure = transitiveCallees(*E.Code, *Entry);
+
+  if (Config.Speculate && !E.SpecDisabled) {
+    for (const std::string &FN : Closure) {
+      const FunctionProfile *P = Profile.lookup(FN);
+      if (!P)
+        continue;
+      Function *F = E.Code->function(FN);
+      std::vector<SpecAssumption> Fresh;
+      runBranchSpeculation(*F, *P, Blacklist, NextAssumptionId, Fresh,
+                           Config.MinProfileSamples);
+      runSpeculativeDevirtualization(*E.Code, *F, *P, Blacklist,
+                                     NextAssumptionId, Fresh,
+                                     Config.MinProfileSamples);
+      [[maybe_unused]] std::string Error = F->verify();
+      assert(Error.empty() && "speculation produced malformed IR");
+      for (const SpecAssumption &A : Fresh)
+        Assumptions[A.Id] = A;
+      E.LiveAssumptions += Fresh.size();
+    }
+  }
+
+  std::vector<CompileStats> Stats =
+      compileFunctions(*E.Code, Closure, Config.Opt);
+  uint64_t Cost = 0;
+  for (const CompileStats &S : Stats)
+    Cost += Config.CompileBaseCycles +
+            static_cast<uint64_t>(S.NodesBefore) * Config.CompileCyclesPerNode;
+  for (CompileStats &S : Stats)
+    AllCompiles.push_back(std::move(S));
+
+  ++Counters.Compiles;
+  Counters.ModelledCompileCycles += Cost;
+  E.PendingCompileCycles += Cost;
+  // New code invalidates inline caches: cached targets point into the
+  // module they were filled from.
+  Pics.clear();
+}
+
+ExecResult TieredRuntime::invoke(const std::string &FunctionName,
+                                 const std::vector<int64_t> &Args) {
+  EntryState &E = Entries[FunctionName];
+  const Function *SrcF = Source.function(FunctionName);
+  assert(SrcF && "invocation of unknown function");
+
+  // Tier-up check before execution: counters from earlier invocations
+  // (or a hot loop's backedges) trigger a compile for this one.
+  if (!E.Code) {
+    const FunctionProfile *P = Profile.lookup(FunctionName);
+    if (P && (P->Invocations >= Config.InvocationThreshold ||
+              P->Backedges >= Config.BackedgeThreshold))
+      compileEntry(E, FunctionName);
+  }
+
+  // Compile cost is charged to the invocation that triggered it, so the
+  // per-invocation cycle series shows the warmup spike.
+  uint64_t ExtraCycles = E.PendingCompileCycles;
+  E.PendingCompileCycles = 0;
+
+  if (!E.Code) {
+    ExecOptions O;
+    O.Tier = ExecTier::Profiling;
+    O.Profile = &Profile;
+    ExecResult R = Interp.run(*SrcF, Args, O);
+    ++Counters.ProfiledInvocations;
+    R.Cycles += ExtraCycles;
+    return R;
+  }
+
+  const Function *CF = E.Code->function(FunctionName);
+  ExecOptions O;
+  O.Tier = ExecTier::Compiled;
+  O.Code = E.Code.get();
+  O.Pics = &Pics;
+  O.AllowDeopt = E.LiveAssumptions != 0;
+  // Speculative code can fail mid-invocation after side effects; snapshot
+  // the heap so a deopt can replay the invocation from a clean state.
+  std::optional<Interpreter::HeapSnapshot> Snapshot;
+  if (O.AllowDeopt)
+    Snapshot = Interp.snapshotHeap();
+  ExecResult R = Interp.run(*CF, Args, O);
+  if (!R.Deopted) {
+    ++Counters.CompiledInvocations;
+    R.Cycles += ExtraCycles;
+    return R;
+  }
+
+  // Deoptimization: roll back, blacklist the failed assumption, replay in
+  // the profiling tier (the replay teaches the profile the violating
+  // behaviour), then recompile without the assumption.
+  ++Counters.Deopts;
+  ExtraCycles += R.Cycles; // the discarded speculative work still cost us
+  Interp.restoreHeap(std::move(*Snapshot));
+  auto It = Assumptions.find(R.DeoptAssumption);
+  assert(It != Assumptions.end() && "deopt names unknown assumption");
+  Blacklist.add(It->second.FunctionName, It->second.Site, It->second.Degree);
+
+  ExecOptions PO;
+  PO.Tier = ExecTier::Profiling;
+  PO.Profile = &Profile;
+  ExecResult Replay = Interp.run(*SrcF, Args, PO);
+  ++Counters.ProfiledInvocations;
+
+  ++E.Recompiles;
+  ++Counters.Recompiles;
+  if (E.Recompiles >= Config.MaxRecompiles)
+    E.SpecDisabled = true;
+  compileEntry(E, FunctionName);
+  ExtraCycles += E.PendingCompileCycles;
+  E.PendingCompileCycles = 0;
+
+  Replay.Cycles += ExtraCycles;
+  return Replay;
+}

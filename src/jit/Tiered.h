@@ -1,0 +1,129 @@
+//===- jit/Tiered.h - Tiered execution runtime ------------------*- C++ -*-===//
+//
+// Part of Renaissance-C++, a reproduction of the PLDI'19 Renaissance paper.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter -> optimizing-compiler tier-up machinery (DESIGN §14):
+///
+///  1. Entry functions start in the profiling interpreter tier, which
+///     pays a per-instruction dispatch overhead and records invocation /
+///     backedge counters, branch biases and receiver classes.
+///  2. Once a counter crosses its threshold, the entry's hot closure
+///     (itself plus transitive callees) is cloned, speculated on
+///     (profile-driven branch straightening and devirtualization with
+///     assumption-carrying guards), optimized by the configured pipeline,
+///     and installed. The compile charges a modelled cycle cost to the
+///     triggering invocation, which is what makes warmup curves show the
+///     interpret / compile / steady phases.
+///  3. A failing speculative guard deoptimizes: the heap rolls back to
+///     the pre-invocation snapshot, the assumption is blacklisted, the
+///     invocation replays in the profiling tier (teaching the profile the
+///     violating behaviour), and the entry recompiles without the failed
+///     assumption. Recompiles are bounded; past the bound the entry
+///     recompiles conservatively with speculation disabled.
+///
+/// Virtual-call sites that stay megamorphic dispatch through runtime
+/// polymorphic inline caches (PicSet) instead of the flat vtable cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef REN_JIT_TIERED_H
+#define REN_JIT_TIERED_H
+
+#include "jit/Compiler.h"
+#include "jit/Interp.h"
+#include "jit/Passes.h"
+#include "jit/Profile.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ren {
+namespace jit {
+
+/// Tier-up policy and modelled compile-cost parameters.
+struct TieredConfig {
+  /// The optimizing pipeline used at tier-up.
+  OptConfig Opt = OptConfig::graal();
+  /// Entry invocations in the profiling tier before tier-up.
+  uint64_t InvocationThreshold = 8;
+  /// Loop backedges before tier-up (catches hot loops in cold methods).
+  uint64_t BackedgeThreshold = 4096;
+  /// Deopt-triggered recompiles per entry before speculation is disabled
+  /// and the entry compiles conservatively.
+  unsigned MaxRecompiles = 3;
+  /// Modelled compile cost: base cycles per compiled function...
+  uint64_t CompileBaseCycles = 3000;
+  /// ...plus this per pre-optimization IR node.
+  uint64_t CompileCyclesPerNode = 1000;
+  /// Master switch for the speculative passes.
+  bool Speculate = true;
+  /// Minimum profile observations before a site is worth speculating on.
+  uint64_t MinProfileSamples = 16;
+};
+
+/// Counters describing a tiered execution (surfaced in KernelRun).
+struct TierCounters {
+  uint64_t ProfiledInvocations = 0;
+  uint64_t CompiledInvocations = 0;
+  uint64_t Compiles = 0;   ///< tier-up compiles, including recompiles
+  uint64_t Recompiles = 0; ///< compiles triggered by a deopt
+  uint64_t Deopts = 0;
+  uint64_t ModelledCompileCycles = 0;
+};
+
+/// Executes entry-function invocations against one heap, moving each
+/// entry from the profiling tier to speculatively optimized code and back
+/// (on deopt) per the configured policy.
+class TieredRuntime {
+public:
+  explicit TieredRuntime(const Module &Source, TieredConfig Config = {});
+
+  /// Runs one invocation of the named entry function under the current
+  /// tier. The returned Cycles include any modelled compile cost and
+  /// deopt-discarded work this invocation triggered.
+  ExecResult invoke(const std::string &FunctionName,
+                    const std::vector<int64_t> &Args);
+
+  /// True once the named entry runs compiled code.
+  bool isCompiled(const std::string &FunctionName) const;
+
+  const TierCounters &counters() const { return Counters; }
+  const ProfileData &profile() const { return Profile; }
+  const SpecBlacklist &blacklist() const { return Blacklist; }
+  const PicSet &pics() const { return Pics; }
+  /// Pipeline statistics of every compile performed, in order.
+  const std::vector<CompileStats> &compiles() const { return AllCompiles; }
+
+private:
+  struct EntryState {
+    std::unique_ptr<Module> Code; ///< installed code, null while profiling
+    unsigned Recompiles = 0;
+    bool SpecDisabled = false;
+    size_t LiveAssumptions = 0;
+    uint64_t PendingCompileCycles = 0;
+  };
+
+  void compileEntry(EntryState &E, const std::string &Name);
+
+  const Module &Source;
+  TieredConfig Config;
+  Interpreter Interp; ///< owns the heap; executes all tiers against it
+  ProfileData Profile;
+  PicSet Pics;
+  SpecBlacklist Blacklist;
+  std::unordered_map<uint32_t, SpecAssumption> Assumptions;
+  uint32_t NextAssumptionId = 1;
+  std::unordered_map<std::string, EntryState> Entries;
+  std::vector<CompileStats> AllCompiles;
+  TierCounters Counters;
+};
+
+} // namespace jit
+} // namespace ren
+
+#endif // REN_JIT_TIERED_H

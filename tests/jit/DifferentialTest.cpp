@@ -1,0 +1,226 @@
+//===- tests/jit/DifferentialTest.cpp -------------------------------------==//
+//
+// Differential execution across every execution mode: the named pipelines
+// (graal, c2), every leave-one-out variant, the profiling interpreter and
+// the tiered runtime must produce identical ResultHashes on every
+// benchmark kernel and on seeded randomized kernels. Any divergence means
+// an optimization or the deopt/replay machinery changed semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Experiment.h"
+
+#include "jit/IrBuilder.h"
+#include "jit/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <random>
+
+using namespace ren::jit;
+using namespace ren::jit::kernels;
+
+namespace {
+
+/// Runs \p K under every static configuration plus the interpreter-only
+/// and tiered modes and checks every ResultHash agrees. Tiered runs need
+/// several rounds to actually tier up, so they are compared against a
+/// graal run of the same round count.
+void expectAllModesAgree(const Kernel &K, const std::string &Label,
+                         unsigned TieredRounds) {
+  KernelRun Graal = runKernel(K, OptConfig::graal());
+  KernelRun C2 = runKernel(K, OptConfig::c2());
+  EXPECT_EQ(Graal.ResultHash, C2.ResultHash) << Label << ": c2";
+  for (const std::string &Pass : OptConfig::passShortNames()) {
+    KernelRun Without = runKernel(K, OptConfig::graalWithout(Pass));
+    EXPECT_EQ(Graal.ResultHash, Without.ResultHash)
+        << Label << ": graalWithout(" << Pass << ")";
+  }
+  KernelRun Interp = runKernelInterpOnly(K);
+  EXPECT_EQ(Graal.ResultHash, Interp.ResultHash) << Label << ": interp";
+
+  KernelRun GraalN = runKernel(K, OptConfig::graal(), TieredRounds);
+  KernelRun Tiered = runKernelTiered(K, TieredConfig{}, TieredRounds);
+  EXPECT_EQ(GraalN.ResultHash, Tiered.ResultHash) << Label << ": tiered";
+}
+
+} // namespace
+
+TEST(DifferentialTest, AllBenchmarkKernelsAgreeAcrossModes) {
+  // Benchmark kernels run their hot loops well past the backedge
+  // threshold, so the second tiered round already executes installed
+  // code: three rounds cover profile / tier-up / steady.
+  for (const auto &[Suite, Name] : allBenchmarks()) {
+    Kernel K = kernelFor(Suite, Name);
+    expectAllModesAgree(K, Suite + "/" + Name, /*TieredRounds=*/3);
+  }
+}
+
+TEST(DifferentialTest, DispatchKernelsAgreeAcrossModes) {
+  for (unsigned Modes : {1u, 2u, 4u})
+    expectAllModesAgree(virtualDispatchKernel(Modes),
+                        "vdispatch" + std::to_string(Modes),
+                        /*TieredRounds=*/2);
+  expectAllModesAgree(virtualDispatchShiftKernel(), "vshift",
+                      /*TieredRounds=*/2);
+  expectAllModesAgree(tieredWarmupKernel(/*HotInvocations=*/40), "warmup",
+                      /*TieredRounds=*/1);
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized kernels: a seeded generator assembles modules from random
+// pattern mixes with random trip counts and schedules, so the differential
+// check explores shapes the hand-written mixes never hit.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Kernel randomKernel(uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  auto Rand = [&](int64_t Lo, int64_t Hi) {
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+  };
+
+  Kernel K;
+  K.M = std::make_unique<Module>();
+  Module &M = *K.M;
+  unsigned BoxClass = M.addClass("Box", 1);
+  unsigned LockClass = M.addClass("Lock", 1);
+  unsigned CellClass = M.addClass("Cell", 1);
+  unsigned ClassA = M.addClass("A", 1);
+  unsigned ClassB = M.addClass("B", 1);
+  std::vector<int64_t> Data(4096);
+  for (auto &V : Data)
+    V = Rand(1, 99991); // positive: data guards always pass
+  unsigned DataArray = M.addArray(Data);
+  unsigned RefArray = M.addArray(std::vector<int64_t>(64, 0));
+
+  // Pattern palette. Builders whose loop streams the array linearly get a
+  // per-function array sized to the trip count.
+  unsigned Counter = 0;
+  auto name = [&] { return "r" + std::to_string(Counter++); };
+  using BuildFn = std::function<std::string(int64_t)>;
+  std::vector<BuildFn> Palette = {
+      [&](int64_t Trips) {
+        std::string N = name();
+        unsigned A = M.addArray(
+            std::vector<int64_t>(static_cast<size_t>(Trips) + 8, 3));
+        buildBoundsCheckedLoop(M, N, A, static_cast<unsigned>(Rand(0, 3)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildSyncLoop(M, N, DataArray, LockClass,
+                      static_cast<unsigned>(Rand(0, 2)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildCasRetryPair(M, N, CellClass);
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildAtomicPublish(M, N, BoxClass);
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildMhPipeline(M, N, static_cast<unsigned>(Rand(1, 3)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildTypeCheckMerge(M, N, ClassA, ClassB);
+        return N;
+      },
+      [&](int64_t Trips) {
+        std::string N = name();
+        unsigned A = M.addArray(
+            std::vector<int64_t>(static_cast<size_t>(Trips) + 8, 5));
+        buildPlainArrayLoop(M, N, A, static_cast<unsigned>(Rand(1, 3)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildHashedLoop(M, N, DataArray, static_cast<unsigned>(Rand(1, 3)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildGuardedHashLoop(M, N, DataArray,
+                             static_cast<unsigned>(Rand(1, 3)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildCallLoop(M, N);
+        return N;
+      },
+      [&](int64_t Trips) {
+        std::string N = name();
+        unsigned A = M.addArray(
+            std::vector<int64_t>(static_cast<size_t>(Trips) + 8, 7));
+        buildDataGuardLoop(M, N, A, static_cast<unsigned>(Rand(1, 2)));
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildEscapingAllocLoop(M, N, BoxClass, RefArray);
+        return N;
+      },
+      [&](int64_t) {
+        std::string N = name();
+        buildVirtualDispatchLoop(M, N, /*NumClasses=*/4);
+        return N;
+      },
+  };
+
+  // Pick 4-8 patterns (repeats allowed), each with its own trip count.
+  int64_t NumFns = Rand(4, 8);
+  struct Built {
+    std::string Name;
+    int64_t Trips;
+    size_t Which;
+  };
+  std::vector<Built> Fns;
+  for (int64_t F = 0; F < NumFns; ++F) {
+    size_t Which = static_cast<size_t>(Rand(0, Palette.size() - 1));
+    int64_t Trips = Rand(500, 1500);
+    Fns.push_back({Palette[Which](Trips), Trips, Which});
+  }
+
+  // Random schedule: every function 1-2 times, order shuffled.
+  std::vector<size_t> Order;
+  for (size_t F = 0; F < Fns.size(); ++F)
+    for (int64_t Times = Rand(1, 2); Times > 0; --Times)
+      Order.push_back(F);
+  std::shuffle(Order.begin(), Order.end(), Rng);
+  constexpr size_t kGuardedHash = 8, kBoundsChecked = 0, kVirtual = 12;
+  for (size_t F : Order) {
+    const Built &BF = Fns[F];
+    std::vector<int64_t> Args = {BF.Trips};
+    if (BF.Which == kGuardedHash || BF.Which == kBoundsChecked)
+      Args.push_back(1); // non-null array reference
+    if (BF.Which == kVirtual) {
+      Args.push_back((1 << Rand(0, 2)) - 1); // mask: 0, 1 or 3 receivers
+      Args.push_back(0);                     // base
+    }
+    K.Invocations.push_back(Invocation{BF.Name, Args});
+  }
+  return K;
+}
+
+} // namespace
+
+TEST(DifferentialTest, RandomizedKernelsAgreeAcrossModes) {
+  for (uint32_t Seed = 1; Seed <= 5; ++Seed) {
+    Kernel K = randomKernel(Seed);
+    for (const auto &F : K.M->functions())
+      ASSERT_EQ(F->verify(), "") << "seed " << Seed << ": " << F->Name;
+    expectAllModesAgree(K, "seed" + std::to_string(Seed),
+                        /*TieredRounds=*/10);
+  }
+}

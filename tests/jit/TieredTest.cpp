@@ -1,0 +1,236 @@
+//===- tests/jit/TieredTest.cpp -------------------------------------------==//
+//
+// Tiered-execution tests: the profiling interpreter records counters and
+// type/branch profiles, hot entries tier up into speculatively optimized
+// code, failing speculation deoptimizes / blacklists / recompiles within
+// bounds, and polymorphic inline caches degrade mono -> bi -> megamorphic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Tiered.h"
+
+#include "jit/Experiment.h"
+#include "jit/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace ren::jit;
+using namespace ren::jit::kernels;
+
+namespace {
+
+/// Cycles of the first \p N entries of a run's per-invocation series.
+uint64_t cumulative(const KernelRun &R, size_t N) {
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < N && I < R.InvocationCycles.size(); ++I)
+    Sum += R.InvocationCycles[I];
+  return Sum;
+}
+
+} // namespace
+
+TEST(TieredTest, GuardKindCountMatchesEnum) {
+  static_assert(GuardKindCount == static_cast<size_t>(GuardKind::Other) + 1,
+                "GuardKindCount must cover the whole enum");
+  GuardCounts G;
+  EXPECT_EQ(G.Normal.size(), GuardKindCount);
+  EXPECT_EQ(G.Speculative.size(), GuardKindCount);
+}
+
+TEST(TieredTest, PicStateTransitions) {
+  PicState P;
+  EXPECT_EQ(P.numValid(), 0u);
+  EXPECT_EQ(P.lookup(7), nullptr);
+  Function A("a", 0), B("b", 0);
+  EXPECT_TRUE(P.install(7, &A));
+  EXPECT_EQ(P.numValid(), 1u);
+  EXPECT_EQ(P.lookup(7), &A);
+  EXPECT_TRUE(P.install(9, &B));
+  EXPECT_EQ(P.numValid(), 2u);
+  EXPECT_EQ(P.lookup(9), &B);
+  // Megamorphic: the cache is full and stops filling.
+  EXPECT_FALSE(P.install(11, &A));
+  EXPECT_EQ(P.lookup(11), nullptr);
+  EXPECT_EQ(P.lookup(7), &A);
+}
+
+TEST(TieredTest, ProfilingTierRecordsProfile) {
+  Module M;
+  buildVirtualDispatchLoop(M, "v", 2);
+  Interpreter Interp(M);
+  ProfileData Profile;
+  ExecOptions O;
+  O.Tier = ExecTier::Profiling;
+  O.Profile = &Profile;
+  ExecResult R = Interp.run(*M.function("v"), {64, 1, 0}, O);
+  EXPECT_EQ(R.VirtualDispatches, 64u);
+
+  const FunctionProfile *P = Profile.lookup("v");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->Invocations, 1u);
+  EXPECT_GE(P->Backedges, 64u) << "every loop iteration is a backedge";
+  ASSERT_EQ(P->VirtualSites.size(), 1u);
+  const ReceiverProfile &RP = P->VirtualSites.begin()->second;
+  EXPECT_EQ(RP.total(), 64u);
+  ASSERT_EQ(RP.sorted().size(), 2u) << "alternating receivers: two classes";
+  EXPECT_EQ(RP.sorted()[0].second, 32u);
+  // The loop header branch: taken once per iteration, not taken on exit.
+  bool SawLoopBranch = false;
+  for (const auto &[Site, BP] : P->Branches)
+    SawLoopBranch |= BP.Taken == 64 && BP.NotTaken == 1;
+  EXPECT_TRUE(SawLoopBranch);
+  // Callee profiles are recorded too (receiver targets ran 64 times).
+  uint64_t CalleeInvocations = 0;
+  for (const char *Callee : {"v.target0", "v.target1"}) {
+    const FunctionProfile *CP = Profile.lookup(Callee);
+    ASSERT_NE(CP, nullptr) << Callee;
+    CalleeInvocations += CP->Invocations;
+  }
+  EXPECT_EQ(CalleeInvocations, 64u);
+}
+
+TEST(TieredTest, ProfilingTierPaysDispatchOverhead) {
+  Module M;
+  buildVirtualDispatchLoop(M, "v", 1);
+  Interpreter Direct(M), Profiled(M);
+  ExecResult D = Direct.run(*M.function("v"), {64, 0, 0});
+  ProfileData Profile;
+  ExecOptions O;
+  O.Tier = ExecTier::Profiling;
+  O.Profile = &Profile;
+  ExecResult P = Profiled.run(*M.function("v"), {64, 0, 0}, O);
+  EXPECT_EQ(D.ReturnValue, P.ReturnValue);
+  EXPECT_GT(P.Cycles, D.Cycles) << "InterpDispatch applies per instruction";
+}
+
+TEST(TieredTest, TierUpAfterInvocationThreshold) {
+  Kernel K = virtualDispatchKernel(1);
+  TieredConfig C;
+  TieredRuntime R(*K.M, C);
+  uint64_t ProfiledCycles = 0;
+  for (uint64_t I = 0; I < C.InvocationThreshold; ++I) {
+    EXPECT_FALSE(R.isCompiled("vdispatch"));
+    ProfiledCycles = R.invoke("vdispatch", {64, 0, 0}).Cycles;
+  }
+  // The next invocation crosses the threshold: it pays the modelled
+  // compile cost and runs the installed code.
+  ExecResult TierUp = R.invoke("vdispatch", {64, 0, 0});
+  EXPECT_TRUE(R.isCompiled("vdispatch"));
+  EXPECT_GT(TierUp.Cycles, ProfiledCycles) << "compile cost charged here";
+  uint64_t CompiledCycles = R.invoke("vdispatch", {64, 0, 0}).Cycles;
+  EXPECT_LT(CompiledCycles, ProfiledCycles);
+  EXPECT_EQ(R.counters().Compiles, 1u);
+  EXPECT_EQ(R.counters().Deopts, 0u);
+  EXPECT_EQ(R.counters().ProfiledInvocations, C.InvocationThreshold);
+}
+
+TEST(TieredTest, TierUpOnHotLoopBackedges) {
+  Kernel K = virtualDispatchKernel(1);
+  TieredConfig C;
+  TieredRuntime R(*K.M, C);
+  // One invocation whose loop alone exceeds the backedge threshold.
+  R.invoke("vdispatch",
+           {static_cast<int64_t>(C.BackedgeThreshold) + 100, 0, 0});
+  EXPECT_FALSE(R.isCompiled("vdispatch"));
+  R.invoke("vdispatch", {8, 0, 0});
+  EXPECT_TRUE(R.isCompiled("vdispatch"));
+}
+
+TEST(TieredTest, MonomorphicSiteDevirtualizes) {
+  Kernel K = virtualDispatchKernel(1, /*Invocations=*/24, /*Trips=*/128);
+  KernelRun Tiered = runKernelTiered(K, TieredConfig{});
+  KernelRun Interp = runKernelInterpOnly(K);
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+  EXPECT_EQ(Tiered.Tiers.Deopts, 0u) << "a stable receiver never deopts";
+  EXPECT_EQ(Tiered.Tiers.Compiles, 1u);
+  // Compiled dispatches go through the speculated direct call: type-check
+  // hits replace flat vtable dispatch.
+  EXPECT_GT(Tiered.PicHits, 0u);
+  EXPECT_LT(Tiered.InvocationCycles.back(), Interp.InvocationCycles.back());
+}
+
+TEST(TieredTest, BimorphicSiteSplitsIntoDiamond) {
+  Kernel K = virtualDispatchKernel(2, /*Invocations=*/24, /*Trips=*/128);
+  KernelRun Tiered = runKernelTiered(K, TieredConfig{});
+  KernelRun Interp = runKernelInterpOnly(K);
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+  EXPECT_EQ(Tiered.Tiers.Deopts, 0u) << "both observed classes stay valid";
+  EXPECT_GT(Tiered.PicHits, 0u);
+  EXPECT_LT(Tiered.InvocationCycles.back(), Interp.InvocationCycles.back());
+}
+
+TEST(TieredTest, MegamorphicSiteFallsBackToInlineCache) {
+  Kernel K = virtualDispatchKernel(4, /*Invocations=*/24, /*Trips=*/128);
+  KernelRun Tiered = runKernelTiered(K, TieredConfig{});
+  KernelRun Interp = runKernelInterpOnly(K);
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+  EXPECT_EQ(Tiered.Tiers.Deopts, 0u) << "inline caches never speculate";
+  // Four receiver classes rotate through a two-entry cache: the site is
+  // megamorphic and keeps missing.
+  EXPECT_GT(Tiered.PicMisses, 0u);
+  EXPECT_GT(Tiered.VirtualDispatches, 0u) << "misses pay the vtable cost";
+}
+
+TEST(TieredTest, DeoptRoundTrip) {
+  Kernel K = virtualDispatchShiftKernel(/*PerPhase=*/12, /*Trips=*/128);
+  TieredConfig C;
+  KernelRun Tiered = runKernelTiered(K, C);
+  KernelRun Interp = runKernelInterpOnly(K);
+  // Results survive the speculation failures: rollback + replay works.
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+  // Each distribution shift kills one assumption exactly once: the mono
+  // guard, then the bimorphic minority guard. Blacklisting prevents any
+  // assumption from deopting twice.
+  EXPECT_GE(Tiered.Tiers.Deopts, 1u);
+  EXPECT_EQ(Tiered.Tiers.Deopts, 2u);
+  EXPECT_EQ(Tiered.Tiers.Recompiles, Tiered.Tiers.Deopts);
+  EXPECT_LE(Tiered.Tiers.Recompiles,
+            static_cast<uint64_t>(C.MaxRecompiles));
+  // After the final recompile the entry still beats the interpreter.
+  EXPECT_LT(Tiered.InvocationCycles.back(), Interp.InvocationCycles.back());
+}
+
+TEST(TieredTest, RecompileBoundDisablesSpeculation) {
+  Kernel K = virtualDispatchShiftKernel(/*PerPhase=*/12, /*Trips=*/64);
+  TieredConfig C;
+  C.MaxRecompiles = 1;
+  KernelRun Tiered = runKernelTiered(K, C);
+  // The first deopt exhausts the recompile budget: the conservative
+  // recompile carries no assumptions, so the later shifts cannot deopt.
+  EXPECT_EQ(Tiered.Tiers.Deopts, 1u);
+  EXPECT_EQ(Tiered.Tiers.Recompiles, 1u);
+  KernelRun Interp = runKernelInterpOnly(K);
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+}
+
+TEST(TieredTest, WarmupCurveBeatsBothBaselines) {
+  Kernel K = tieredWarmupKernel();
+  TieredConfig C;
+  KernelRun Tiered = runKernelTiered(K, C);
+  KernelRun Interp = runKernelInterpOnly(K);
+  KernelRun Aot = runKernel(K, C.Opt, /*Rounds=*/1, &C);
+  EXPECT_EQ(Tiered.ResultHash, Interp.ResultHash);
+  EXPECT_EQ(Tiered.ResultHash, Aot.ResultHash);
+  ASSERT_EQ(Tiered.InvocationCycles.size(), Aot.InvocationCycles.size());
+  // Cumulative cycles over the first 100 invocations, compile cost
+  // included: tiering beats both never-compile and compile-everything.
+  EXPECT_LT(cumulative(Tiered, 100), cumulative(Interp, 100));
+  EXPECT_LT(cumulative(Tiered, 100), cumulative(Aot, 100));
+  // Steady state: within 5% of the ahead-of-time optimized code.
+  EXPECT_LE(Tiered.InvocationCycles.back(),
+            Aot.InvocationCycles.back() * 105 / 100);
+  // Only the hot closure was compiled; the cold ballast stayed in the
+  // interpreter, which is where the warmup win comes from.
+  EXPECT_LT(Tiered.ModelledCompileCycles, Aot.ModelledCompileCycles);
+}
+
+TEST(TieredTest, TieredRunsAreDeterministic) {
+  Kernel A = virtualDispatchShiftKernel();
+  Kernel B = virtualDispatchShiftKernel();
+  KernelRun RA = runKernelTiered(A, TieredConfig{});
+  KernelRun RB = runKernelTiered(B, TieredConfig{});
+  EXPECT_EQ(RA.Cycles, RB.Cycles);
+  EXPECT_EQ(RA.ResultHash, RB.ResultHash);
+  EXPECT_EQ(RA.Tiers.Deopts, RB.Tiers.Deopts);
+  EXPECT_EQ(RA.InvocationCycles, RB.InvocationCycles);
+}

@@ -48,7 +48,16 @@
 #                                  #     their malloc twins; any substrate
 #                                  #     cell >20% below the committed
 #                                  #     bench/BASELINE_alloc.json
-#                                  #     reference fails)
+#                                  #     reference fails) and BENCH_jit.json
+#                                  #     (tiered-execution cells: warmup
+#                                  #     AUC over the first 100 invocations
+#                                  #     for tiered vs interpreter-only vs
+#                                  #     compile-first, steady-state parity
+#                                  #     with AOT, the mono/bi/mega inline-
+#                                  #     cache ladder and the deopt-storm
+#                                  #     recompile bound; all deterministic
+#                                  #     modelled cycles, gated >20% below
+#                                  #     bench/BASELINE_jit.json)
 #
 # Options:
 #   --build-dir DIR   tier-1 build tree            (default: build)
@@ -168,10 +177,10 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   step "bench-smoke: configure ($BENCH_DIR, Release)"
   cmake -B "$BENCH_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
-  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix + bench_netsim + bench_alloc"
+  step "bench-smoke: build bench_micro_substrates + bench_scaling_matrix + bench_netsim + bench_alloc + bench_jit_tiered"
   cmake --build "$BENCH_DIR" -j "$JOBS" \
     --target bench_micro_substrates --target bench_scaling_matrix \
-    --target bench_netsim --target bench_alloc
+    --target bench_netsim --target bench_alloc --target bench_jit_tiered
 
   step "bench-smoke: fork/join microbenchmarks"
   RAW_JSON="$BENCH_DIR/bench_forkjoin_raw.json"
@@ -451,6 +460,62 @@ if failures:
     for name, o, ref in failures:
         print(f"  {name}: {o:.3e} ops/s vs reference {ref:.3e} "
               f"({o/ref:.2f}x)", file=sys.stderr)
+    sys.exit(1)
+EOF
+
+  step "bench-smoke: tiered-execution cells (warmup / steady / PIC / deopt)"
+  RAW_JIT="$BENCH_DIR/bench_jit_raw.json"
+  # Full mode, not --quick: the committed baseline is pinned from the full
+  # schedules. The binary self-asserts the tier-up invariants and exits
+  # non-zero on any gate failure before we even reach the merge.
+  timeout 120 "$BENCH_DIR/bench/bench_jit_tiered" --out="$RAW_JIT"
+
+  step "bench-smoke: write BENCH_jit.json (gated)"
+  python3 - "$RAW_JIT" bench/BASELINE_jit.json <<'EOF'
+import json, os, sys
+raw = json.load(open(sys.argv[1]))
+base = {}
+if os.path.exists(sys.argv[2]):
+    base = json.load(open(sys.argv[2])).get("benchmarks", {})
+cases = {}
+failures = []
+for b in raw.get("benchmarks", []):
+    ops = b["items_per_second"]
+    c = {"ops_per_second": ops, "cycles": b.get("cycles")}
+    # Tier telemetry rides along so a BENCH diff shows *why* a cell moved
+    # (extra recompiles, lost PIC hits) and not just that it did.
+    for k in ("compiles", "recompiles", "deopts", "pic_hits", "pic_misses",
+              "modelled_compile_cycles"):
+        if k in b:
+            c[k] = b[k]
+    ref = base.get(b["name"], {}).get("ops_per_second")
+    if ref:
+        c["baseline_ops_per_second"] = ref
+        c["vs_committed_baseline"] = round(ops / ref, 2)
+        if ops < 0.8 * ref:
+            failures.append((b["name"], ops, ref))
+    cases[b["name"]] = c
+out = {"context": raw.get("context", {}),
+       "baseline": "bench/BASELINE_jit.json (deterministic modelled cycles; "
+                   "the gate only trips on behavioral change, not host "
+                   "noise)",
+       "benchmarks": cases}
+json.dump(out, open("BENCH_jit.json", "w"), indent=2)
+print("wrote BENCH_jit.json:")
+for name, c in cases.items():
+    extra = ""
+    if "vs_committed_baseline" in c:
+        extra = f"  ({c['vs_committed_baseline']}x vs committed)"
+    if c.get("deopts"):
+        extra += f"  [deopts {c['deopts']}, recompiles {c['recompiles']}]"
+    print(f"  {name}: {c['cycles']} cycles{extra}")
+if failures:
+    print("FAIL: jit cells regressed >20% vs committed baseline "
+          "(deterministic cycles — this is a real behavioral change):",
+          file=sys.stderr)
+    for name, ops, ref in failures:
+        print(f"  {name}: {ops:.3e} ops/s vs baseline {ref:.3e} "
+              f"({ops/ref:.2f}x)", file=sys.stderr)
     sys.exit(1)
 EOF
 fi

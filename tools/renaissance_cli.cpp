@@ -13,11 +13,13 @@
 
 #include "harness/Harness.h"
 #include "harness/Plugins.h"
+#include "jit/Experiment.h"
 #include "runtime/Heap.h"
 #include "support/Format.h"
 #include "trace/TraceSession.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -41,12 +43,73 @@ void printUsage() {
       "  --heap-stats        print the managed-heap counter delta for\n"
       "                      the whole run (allocations, slab traffic,\n"
       "                      reclaim pauses) after the results\n"
+      "  --jit-config C      also run each benchmark's mini-JIT kernel\n"
+      "                      under compiler configuration C (graal, c2 or\n"
+      "                      tiered) and print its warmup summary: first\n"
+      "                      invocations vs steady state in modelled\n"
+      "                      cycles, compiles, deopts, inline-cache hits\n"
       "  --no-trace          disable the cache simulator\n"
       "  --trace=FILE        record runtime events to FILE as Chrome\n"
       "                      trace_event JSON (chrome://tracing, Perfetto)\n"
       "  --trace-summary     print the contention/park/steal profile\n"
       "\n"
       "suites: renaissance, dacapo, scalabench, specjvm2008, all\n");
+}
+
+/// Runs the benchmark's mini-JIT kernel under \p Config ("graal", "c2" or
+/// "tiered") and prints the warmup summary: mean cycles over the first
+/// invocations (including modelled compile cost) against the steady
+/// state, plus the tier-transition and inline-cache counters.
+void printJitSummary(const char *SuiteStr, const std::string &Name,
+                     const std::string &Config) {
+  if (!jit::kernels::hasKernel(SuiteStr, Name)) {
+    std::printf("  jit (%s): no kernel profile for this benchmark\n",
+                Config.c_str());
+    return;
+  }
+  jit::kernels::Kernel K = jit::kernels::kernelFor(SuiteStr, Name);
+  // Enough rounds that even once-per-round functions cross the tier-up
+  // invocation threshold (8), so "steady" really is compiled code.
+  const unsigned Rounds = 12;
+  jit::TieredConfig Cost;
+  jit::KernelRun R =
+      Config == "tiered"
+          ? jit::runKernelTiered(K, Cost, Rounds)
+          : jit::runKernel(K,
+                           Config == "c2" ? jit::OptConfig::c2()
+                                          : jit::OptConfig::graal(),
+                           Rounds, &Cost);
+
+  const auto &Curve = R.InvocationCycles;
+  size_t FirstN = std::min<size_t>(Curve.size(), K.Invocations.size());
+  size_t SteadyN = std::min<size_t>(Curve.size(), 10);
+  uint64_t FirstSum = 0, SteadySum = 0;
+  for (size_t I = 0; I < FirstN; ++I)
+    FirstSum += Curve[I];
+  for (size_t I = Curve.size() - SteadyN; I < Curve.size(); ++I)
+    SteadySum += Curve[I];
+  double FirstMean = FirstN ? double(FirstSum) / double(FirstN) : 0.0;
+  double SteadyMean = SteadyN ? double(SteadySum) / double(SteadyN) : 0.0;
+
+  std::printf("  jit (%s): first %zu invocations mean %.0f cycles "
+              "(incl. %llu compile), steady %.0f cycles",
+              Config.c_str(), FirstN, FirstMean,
+              static_cast<unsigned long long>(R.ModelledCompileCycles),
+              SteadyMean);
+  if (SteadyMean > 0.0)
+    std::printf(" (%.1fx warmup)", FirstMean / SteadyMean);
+  std::printf("\n");
+  // AOT configs compile the whole module up front; the tiered counter
+  // tracks tier-up compile events instead.
+  uint64_t Compiles = Config == "tiered" ? R.Tiers.Compiles
+                                         : uint64_t(R.Compilation.size());
+  std::printf("  jit (%s): compiles %llu (%llu recompiles), deopts %llu, "
+              "pic hits %llu / misses %llu\n",
+              Config.c_str(), static_cast<unsigned long long>(Compiles),
+              static_cast<unsigned long long>(R.Tiers.Recompiles),
+              static_cast<unsigned long long>(R.Tiers.Deopts),
+              static_cast<unsigned long long>(R.PicHits),
+              static_cast<unsigned long long>(R.PicMisses));
 }
 
 bool suiteByName(const std::string &Name, Suite &Out) {
@@ -70,6 +133,7 @@ int main(int Argc, char **Argv) {
   bool TraceSummary = false;
   bool HeapStatsWanted = false;
   std::string TracePath;
+  std::string JitConfig;
   std::vector<std::string> Selection;
 
   for (int I = 1; I < Argc; ++I) {
@@ -113,6 +177,20 @@ int main(int Argc, char **Argv) {
     }
     if (Arg == "--heap-stats") {
       HeapStatsWanted = true;
+      continue;
+    }
+    if (Arg == "--jit-config") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --jit-config needs a value\n");
+        return 1;
+      }
+      JitConfig = Argv[++I];
+      if (JitConfig != "graal" && JitConfig != "c2" &&
+          JitConfig != "tiered") {
+        std::fprintf(stderr,
+                     "error: --jit-config must be graal, c2 or tiered\n");
+        return 1;
+      }
       continue;
     }
     if (Arg == "--repetitions" || Arg == "--warmups") {
@@ -188,6 +266,8 @@ int main(int Argc, char **Argv) {
       std::printf("  mean steady operation: %.2f ms, checksum %llu\n",
                   Result.meanSteadyNanos() / 1e6,
                   static_cast<unsigned long long>(Result.Checksum));
+    if (!JitConfig.empty() && !Csv && !Json)
+      printJitSummary(suiteName(S), Name, JitConfig);
     Results.push_back(std::move(Result));
     if (Tracing)
       Session.drain(); // keep ring laps rare on long selections
